@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_fig*`` / ``test_table*`` benchmark regenerates one artifact of
+the paper end to end (simulations included) and attaches the headline
+numbers to ``benchmark.extra_info`` so a ``--benchmark-json`` export
+carries the reproduction results alongside the timings.
+
+Benchmarks run at a reduced scale (2 SMs, fractional grids) so the whole
+suite completes in a few minutes; the full-scale artifacts are produced
+by ``pro-sim`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness.runner import ExperimentSetup
+
+#: Scale used by the artifact benchmarks.
+BENCH_SMS = 2
+BENCH_SCALE = 0.35
+
+
+def fresh_setup() -> ExperimentSetup:
+    """A new setup with an empty cache (so timings measure real work)."""
+    return ExperimentSetup(config=GPUConfig.scaled(BENCH_SMS),
+                           scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def shared_setup() -> ExperimentSetup:
+    """Session-shared setup for benches that assert on results (cached)."""
+    return fresh_setup()
+
+
+def once(benchmark, fn):
+    """Run an expensive artifact regeneration exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

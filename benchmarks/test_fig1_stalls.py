@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 1 (stall breakdown of TL / LRR / GTO)."""
+
+from repro.harness.experiments import fig1_stall_breakdown
+
+from .conftest import fresh_setup, once
+
+
+def test_fig1_stall_breakdown(benchmark):
+    result = once(benchmark, lambda: fig1_stall_breakdown(fresh_setup()))
+    assert len(result.breakdown) == 15  # one bar group per application
+    for sched in ("tl", "lrr", "gto"):
+        benchmark.extra_info[f"mean_idle_share_{sched}"] = (
+            result.mean_idle_share(sched)
+        )
+    # Every stall class appears somewhere across the suite.
+    kinds_seen = set()
+    for per_sched in result.breakdown.values():
+        for b in per_sched.values():
+            kinds_seen |= {k for k, v in b.items() if v > 0}
+    assert kinds_seen == {"idle", "scoreboard", "pipeline"}
+    assert "Fig. 1" in result.render()

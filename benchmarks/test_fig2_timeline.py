@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 2 (TB execution timeline, LRR vs PRO)."""
+
+from repro.harness.experiments import fig2_tb_timeline
+
+from .conftest import fresh_setup, once
+
+
+def test_fig2_timeline(benchmark):
+    result = once(benchmark, lambda: fig2_tb_timeline(fresh_setup()))
+    assert result.intervals["lrr"] and result.intervals["pro"]
+    lrr_spread = result.finish_spread("lrr")
+    pro_spread = result.finish_spread("pro")
+    benchmark.extra_info["lrr_first_batch_finish_spread"] = lrr_spread
+    benchmark.extra_info["pro_first_batch_finish_spread"] = pro_spread
+    # The paper's visual: LRR finishes the first batch together, PRO
+    # staggers it.
+    assert pro_spread > lrr_spread
+    assert "Fig. 2" in result.render()

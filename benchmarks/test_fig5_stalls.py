@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 5 (stall-cycle improvement of PRO)."""
+
+from repro.harness.experiments import fig5_stall_improvement
+
+from .conftest import fresh_setup, once
+
+
+def test_fig5_stall_improvement(benchmark):
+    result = once(benchmark, lambda: fig5_stall_improvement(fresh_setup()))
+    assert len(result.ratios) == 15
+    for b in ("tl", "lrr", "gto"):
+        benchmark.extra_info[f"geomean_total_ratio_{b}"] = (
+            result.geomeans[b]["total"]
+        )
+    # Paper shape: PRO has fewer total stalls than TL and LRR on geomean
+    # (1.32x / 1.19x in the paper; smaller but > 1 here).
+    assert result.geomeans["lrr"]["total"] > 1.0
+    assert result.geomeans["tl"]["total"] > 1.0
+    assert "Fig. 5" in result.render_fig5()

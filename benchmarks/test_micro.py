@@ -1,0 +1,89 @@
+"""Microbenchmarks of the simulator's hot components.
+
+These are conventional pytest-benchmark timings (many rounds) — useful
+for tracking the simulator's own performance across changes, per the
+optimization workflow the project follows (profile before optimizing).
+"""
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.config import LatencyConfig, MemoryConfig
+from repro.isa.patterns import AccessContext, Coalesced, Random
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram
+from repro.memory.subsystem import MemorySubsystem
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+
+
+def test_cache_access_throughput(benchmark):
+    c = Cache(16 * 1024, 4, 128)
+    addrs = [(i * 131) % 4096 * 128 for i in range(512)]
+
+    def run():
+        for a in addrs:
+            c.access(a)
+
+    benchmark(run)
+
+
+def test_dram_service_throughput(benchmark):
+    d = Dram(MemoryConfig(), LatencyConfig())
+    lines = [(i * 37) % 1024 * 128 for i in range(256)]
+
+    def run():
+        t = 0
+        for line in lines:
+            t = d.service(line, t)
+
+    benchmark(run)
+
+
+def test_subsystem_access_throughput(benchmark):
+    mem = MemorySubsystem(CFG)
+    reqs = [[(i * 53) % 2048 * 128] for i in range(256)]
+
+    def run():
+        for c, lines in enumerate(reqs):
+            mem.access(0, lines, c * 4)
+
+    benchmark(run)
+
+
+def test_pattern_generation_coalesced(benchmark):
+    p = Coalesced(iter_stride=128, warp_region=4096)
+    ctxs = [AccessContext(t, w, i) for t in range(8) for w in range(4)
+            for i in range(8)]
+    benchmark(lambda: [p.lines(c) for c in ctxs])
+
+
+def test_pattern_generation_random(benchmark):
+    p = Random(1 << 22, txns=16)
+    ctxs = [AccessContext(t, w, i) for t in range(8) for w in range(4)
+            for i in range(4)]
+    benchmark(lambda: [p.lines(c) for c in ctxs])
+
+
+def test_small_kernel_simulation_rate(benchmark):
+    """End-to-end cycles/second on a small kernel (the key metric for
+    how large an experiment the harness can afford)."""
+    prog = tiny_program(loops=4, threads_per_tb=128)
+
+    def run():
+        return Gpu(CFG, "pro").run(KernelLaunch(prog, 12)).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_scheduler_overhead_pro_vs_lrr(benchmark):
+    """PRO's sorting overhead shows up as slower wall-clock per simulated
+    cycle; keep it visible."""
+    prog = tiny_program(loops=4, threads_per_tb=128)
+
+    def run():
+        a = Gpu(CFG, "lrr").run(KernelLaunch(prog, 12)).cycles
+        b = Gpu(CFG, "pro").run(KernelLaunch(prog, 12)).cycles
+        return a, b
+
+    benchmark(run)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table III (per-application stall ratios)."""
+
+from repro.harness.experiments import table3_stall_ratios
+
+from .conftest import fresh_setup, once
+
+
+def test_table3_stall_ratios(benchmark):
+    result = once(benchmark, lambda: table3_stall_ratios(fresh_setup()))
+    table = result.render_table3()
+    assert "Table III" in table and "GEOMEAN" in table
+    # every application row carries PRO's absolute stalls + 3x4 ratios
+    for app, stalls in result.pro_stalls.items():
+        assert set(stalls) == {"pipeline", "idle", "scoreboard"}
+        for b in ("tl", "lrr", "gto"):
+            assert set(result.ratios[app][b]) == {
+                "pipeline", "idle", "scoreboard", "total"
+            }
+    benchmark.extra_info["geomean_total_vs_lrr"] = (
+        result.geomeans["lrr"]["total"]
+    )

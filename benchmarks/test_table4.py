@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table IV (PRO's sorted TB order over time)."""
+
+from repro.harness.experiments import table4_sort_trace
+
+from .conftest import fresh_setup, once
+
+
+def test_table4_sort_trace(benchmark):
+    result = once(
+        benchmark, lambda: table4_sort_trace(fresh_setup(), threshold=64)
+    )
+    assert result.rows, "expected sort-order snapshots"
+    benchmark.extra_info["sort_periods"] = len(result.rows)
+    benchmark.extra_info["order_changes"] = result.order_changes
+    # Paper: the sorted order changes over the TBs' lifetime.
+    assert result.order_changes >= 1
+    assert "Table IV" in result.render()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Author a custom SIMT kernel with the ProgramBuilder DSL and study how
+its occupancy and scheduling behaviour change with shared-memory usage.
+
+Demonstrates:
+  * building a program (loops, divergent trip counts, barriers, memory
+    access patterns),
+  * the occupancy calculator,
+  * sweeping a resource knob and watching the scheduler gap change —
+    warp scheduling matters most at low-to-medium occupancy, the
+    regime the paper's shared-memory-hungry kernels live in.
+"""
+
+from repro import Coalesced, Gpu, GPUConfig, KernelLaunch, ProgramBuilder
+from repro.simt.occupancy import occupancy_report
+
+
+def build_kernel(shared_mem: int):
+    """A reduction-style kernel: divergent accumulate loop + barrier tail."""
+    b = ProgramBuilder(
+        "custom_reduce",
+        threads_per_tb=256,
+        regs_per_thread=20,
+        shared_mem_per_tb=shared_mem,
+    )
+    # Warp-level divergence: warps of a TB do unequal amounts of work.
+    with b.loop(times=lambda tb, w: 6 + (tb * 64 + w) % 5):
+        b.load_global(1, pattern=Coalesced(base=0, iter_stride=128,
+                                           warp_region=2048))
+        b.fma(2, (1, 2))
+    b.store_shared((2,))
+    for _ in range(4):  # log-step reduction
+        b.barrier()
+        b.load_shared(3)
+        b.fma(2, (2, 3))
+        b.store_shared((2,))
+    b.barrier()
+    b.store_global((2,), pattern=Coalesced(base=1 << 30))
+    return b.build()
+
+
+def main() -> None:
+    cfg = GPUConfig.scaled(4)
+    print(f"{'smem/TB':>8} {'TBs/SM':>7} {'warps/SM':>9} "
+          f"{'LRR':>8} {'PRO':>8} {'PRO speedup':>12}")
+    for smem_kb in (4, 8, 12, 16, 24):
+        prog = build_kernel(smem_kb * 1024)
+        occ = occupancy_report(prog, cfg)
+        cycles = {}
+        for sched in ("lrr", "pro"):
+            r = Gpu(cfg, scheduler=sched).run(KernelLaunch(prog, num_tbs=64))
+            cycles[sched] = r.cycles
+        print(f"{smem_kb:>6}KB {occ['resident_tbs']:>7} "
+              f"{occ['resident_warps']:>9} {cycles['lrr']:>8} "
+              f"{cycles['pro']:>8} {cycles['lrr'] / cycles['pro']:>11.3f}x")
+
+    print("\nLower occupancy -> fewer warps to hide latency -> scheduling "
+          "policy matters more (the paper's §II premise).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Debug scheduler decisions with the IssueTrace recorder.
+
+Attaches an IssueTrace to LRR and PRO runs of the same kernel and shows:
+  * the opcode mix the SM actually issued,
+  * per-warp issue gaps (where a warp's time went),
+  * how differently the two schedulers distribute early issue slots
+    across thread blocks — LRR spreads them evenly, PRO concentrates on
+    the leading TB (its SRTF-style noWait policy).
+"""
+
+from collections import Counter
+
+from repro import Gpu, GPUConfig, IssueTrace
+from repro.workloads import get_kernel
+
+
+def slot_distribution(trace, first_n=400):
+    """Issue-slot share per TB over the first N events."""
+    counts = Counter(ev.tb_index for ev in trace.events[:first_n])
+    total = sum(counts.values())
+    return {tb: n / total for tb, n in sorted(counts.items())}
+
+
+def main() -> None:
+    model = get_kernel("aesEncrypt128")
+    cfg = GPUConfig.scaled(2)
+
+    traces = {}
+    for sched in ("lrr", "pro"):
+        trace = IssueTrace(limit=5000, sm_id=0)
+        Gpu(cfg, sched).run(model.build_launch(0.5), trace=trace)
+        traces[sched] = trace
+
+    print("Opcode histogram (SM 0, first 5000 issues, PRO):")
+    for op, n in sorted(traces["pro"].opcode_histogram().items()):
+        print(f"  {op:5s} {n:5d}")
+
+    print("\nIssue-slot share per TB over the first 400 issues:")
+    for sched, trace in traces.items():
+        dist = slot_distribution(trace)
+        top = max(dist.values())
+        shares = "  ".join(f"tb{tb}:{share:.0%}" for tb, share in dist.items())
+        print(f"  {sched:4s} {shares}   (max share {top:.0%})")
+
+    print("\nIssue gaps of warp (tb=0, w=0) under PRO — long gaps are "
+          "memory latency or lost arbitration:")
+    gaps = traces["pro"].issue_gaps(0, 0)
+    print(f"  first 20 gaps: {gaps[:20]}")
+    big = [g for g in gaps if g > 50]
+    print(f"  gaps > 50 cycles: {len(big)} (max {max(gaps) if gaps else 0})")
+
+
+if __name__ == "__main__":
+    main()

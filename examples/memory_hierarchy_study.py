@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Study how memory access patterns move a kernel across bottlenecks.
+
+Builds four variants of the same loop body — coalesced, strided,
+random-divergent and pointer-chasing — and shows how cache hit rates,
+DRAM row locality and the stall composition shift, and with them the
+gap between warp schedulers. This is the substrate-level view of why
+the paper's BFS/b+tree rows behave so differently from NN/convSep.
+"""
+
+from repro import (
+    Chase,
+    Coalesced,
+    Gpu,
+    GPUConfig,
+    KernelLaunch,
+    ProgramBuilder,
+    Random,
+    Strided,
+)
+from repro.stats.report import render_table
+
+MB = 1 << 20
+
+
+def build(name, pattern):
+    b = ProgramBuilder(name, threads_per_tb=256, regs_per_thread=18)
+    with b.loop(times=6):
+        b.load_global(1, pattern=pattern)
+        b.fma(2, (1, 2))
+        b.fma(2, (2,))
+    b.store_global((2,), pattern=Coalesced(base=1 << 30))
+    return b.build()
+
+
+VARIANTS = {
+    "coalesced (1 txn)": Coalesced(base=0, iter_stride=128, warp_region=2048),
+    "strided (4 txns)": Strided(base=0, stride=16, iter_stride=2048),
+    "random (16 txns)": Random(8 * MB, txns=16, seed=5),
+    "pointer chase": Chase(8 * MB, seed=7),
+}
+
+
+def main() -> None:
+    cfg = GPUConfig.scaled(4)
+    rows = []
+    for label, pattern in VARIANTS.items():
+        prog = build("mem_study", pattern)
+        per_sched = {}
+        stats = None
+        for sched in ("lrr", "pro"):
+            r = Gpu(cfg, scheduler=sched).run(KernelLaunch(prog, num_tbs=64))
+            per_sched[sched] = r.cycles
+            stats = r.counters
+        b = stats.stall_breakdown()
+        rows.append((
+            label,
+            per_sched["lrr"],
+            per_sched["pro"],
+            per_sched["lrr"] / per_sched["pro"],
+            f"{stats.l1_miss_rate:.2f}",
+            f"{stats.dram_row_hit_rate:.2f}",
+            f"{b['idle']:.0%}/{b['scoreboard']:.0%}/{b['pipeline']:.0%}",
+        ))
+    print(render_table(
+        ("Pattern", "LRR cycles", "PRO cycles", "PRO speedup",
+         "L1 miss", "DRAM row hit", "stalls i/s/p (PRO)"),
+        rows,
+        title="Memory pattern study (same compute, different access shape)",
+    ))
+    print("\nCoalesced streams are row-buffer friendly and latency-bound "
+          "(scoreboard);\nscattered patterns saturate the LSU/MSHRs and "
+          "become pipeline-bound,\nshrinking what any warp scheduler can "
+          "recover — as in the paper's BFS row.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one kernel under every scheduler and compare.
+
+Runs the paper's headline kernel (scalarProdGPU) on a 4-SM GPU under
+LRR, TL, GTO and PRO, printing cycles, IPC and the stall breakdown —
+the minimal end-to-end tour of the public API.
+
+Usage::
+
+    python examples/quickstart.py [kernel-name]
+"""
+
+import sys
+
+from repro import Gpu, GPUConfig
+from repro.core import available_schedulers
+from repro.workloads import all_kernels, get_kernel
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "scalarProdGPU"
+    model = get_kernel(name)
+    print(f"Kernel: {model.name} (app {model.app}, suite {model.suite})")
+    print(f"  paper grid: {model.paper_tbs} TBs; model grid: "
+          f"{model.model_tbs} TBs")
+    print(f"  {model.notes}\n")
+
+    cfg = GPUConfig.scaled(4)
+    results = {}
+    for sched in ("lrr", "tl", "gto", "pro"):
+        results[sched] = Gpu(cfg, scheduler=sched).run(model.build_launch())
+
+    print(f"{'scheduler':<10} {'cycles':>9} {'IPC':>6} "
+          f"{'idle':>9} {'scoreboard':>11} {'pipeline':>9}")
+    for sched, r in results.items():
+        c = r.counters
+        print(f"{sched:<10} {r.cycles:>9} {r.ipc:>6.2f} "
+              f"{c.stall_idle:>9} {c.stall_scoreboard:>11} "
+              f"{c.stall_pipeline:>9}")
+
+    pro = results["pro"]
+    print("\nPRO speedup: " + "  ".join(
+        f"vs {s}: {results[s].cycles / pro.cycles:.3f}x"
+        for s in ("lrr", "tl", "gto")
+    ))
+    print(f"\n(all registered schedulers: {available_schedulers()})")
+    print(f"(all kernels: {[m.name for m in all_kernels()]})")
+
+
+if __name__ == "__main__":
+    main()

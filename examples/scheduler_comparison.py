@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compare all warp schedulers (including PRO's ablations) across a
+workload sample, reporting speedups and stall compositions.
+
+A compact version of the paper's Fig. 4 + Fig. 5 on a chosen subset; use
+the full harness (``pro-sim fig4``) for all 25 kernels.
+
+Usage::
+
+    python examples/scheduler_comparison.py [kernel ...]
+"""
+
+import sys
+
+from repro import Gpu, GPUConfig
+from repro.stats.report import geomean, render_table
+from repro.workloads import get_kernel
+
+DEFAULT_SAMPLE = (
+    "aesEncrypt128",      # compute + shared-memory rounds
+    "sha1_overlap",       # low-occupancy dependent ALU chains
+    "calculate_temp",     # barrier-ladder stencil
+    "scalarProdGPU",      # divergent accumulate + reduction
+    "findK",              # pointer-chase latency bound
+)
+
+SCHEDULERS = ("lrr", "tl", "gto", "pro", "pro-nb", "pro-nf")
+
+
+def main() -> None:
+    kernels = sys.argv[1:] or list(DEFAULT_SAMPLE)
+    cfg = GPUConfig.scaled(4)
+
+    cycles: dict[str, dict[str, int]] = {}
+    for name in kernels:
+        model = get_kernel(name)
+        cycles[name] = {}
+        for sched in SCHEDULERS:
+            r = Gpu(cfg, scheduler=sched).run(model.build_launch())
+            cycles[name][sched] = r.cycles
+
+    rows = []
+    for name, per in cycles.items():
+        rows.append((name, *[per[s] for s in SCHEDULERS]))
+    print(render_table(("Kernel",) + SCHEDULERS, rows,
+                       title="Simulation cycles per scheduler"))
+
+    rows = []
+    for name, per in cycles.items():
+        rows.append((name, *[per[s] / per["pro"] for s in SCHEDULERS]))
+    gmean = ["GEOMEAN"] + [
+        geomean(cycles[k][s] / cycles[k]["pro"] for k in cycles)
+        for s in SCHEDULERS
+    ]
+    rows.append(tuple(gmean))
+    print()
+    print(render_table(("Kernel",) + tuple(f"{s}/pro" for s in SCHEDULERS),
+                       rows,
+                       title="Speedup of PRO (values > 1: PRO is faster)"))
+
+
+if __name__ == "__main__":
+    main()

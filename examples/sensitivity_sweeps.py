@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Sensitivity sweeps: where does PRO's advantage come from?
+
+Uses repro.analysis to sweep three axes on one kernel and watch the
+PRO-vs-LRR gap move:
+
+  * memory latency (longer latency -> more to hide -> scheduling matters),
+  * occupancy (fewer resident TBs -> fewer warps -> scheduling matters),
+  * grid size (more batches -> more residency staggering to exploit).
+
+Usage::
+
+    python examples/sensitivity_sweeps.py [kernel-name]
+"""
+
+import sys
+
+from repro.analysis import grid_sweep, latency_sweep, occupancy_sweep
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "scalarProdGPU"
+
+    lat = latency_sweep(kernel, factors=(0.5, 1.0, 2.0), num_sms=2,
+                        scale=0.5, schedulers=("lrr", "pro"))
+    print(lat.render())
+    print(f"pro/lrr speedup across latency points: "
+          f"{[round(s, 3) for s in lat.speedup_series()]}\n")
+
+    occ = occupancy_sweep(kernel, tb_limits=(1, 2, 4, 8), num_sms=2,
+                          scale=0.5, schedulers=("lrr", "pro"))
+    print(occ.render())
+    print(f"pro/lrr speedup across occupancy points: "
+          f"{[round(s, 3) for s in occ.speedup_series()]}\n")
+
+    grid = grid_sweep(kernel, scales=(0.5, 1.0, 2.0), num_sms=2,
+                      schedulers=("lrr", "pro"))
+    print(grid.render())
+    print(f"pro/lrr speedup across grid points: "
+          f"{[round(s, 3) for s in grid.speedup_series()]}")
+
+
+if __name__ == "__main__":
+    main()

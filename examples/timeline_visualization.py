@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Visualize thread-block execution timelines (the paper's Fig. 2).
+
+Runs one kernel under LRR and PRO with a TimelineRecorder attached and
+renders ASCII Gantt charts of TB lifetimes on one SM: LRR executes TBs
+in lockstep batches; PRO staggers them so new TBs overlap stragglers.
+
+Usage::
+
+    python examples/timeline_visualization.py [kernel-name] [sm-id]
+"""
+
+import sys
+
+from repro import Gpu, GPUConfig, TimelineRecorder
+from repro.stats.report import render_gantt
+from repro.workloads import get_kernel
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "aesEncrypt128"
+    sm_id = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    model = get_kernel(kernel)
+    cfg = GPUConfig.scaled(4)
+
+    for sched in ("lrr", "pro"):
+        timeline = TimelineRecorder()
+        result = Gpu(cfg, scheduler=sched).run(
+            model.build_launch(), timeline=timeline
+        )
+        rows = [
+            (f"tb{iv.tb_index}", iv.start_cycle, iv.finish_cycle)
+            for iv in timeline.for_sm(sm_id)
+        ]
+        print(render_gantt(
+            rows,
+            title=f"{sched.upper()}: {kernel} on SM {sm_id} "
+                  f"({result.cycles} total cycles)",
+        ))
+        print(f"mean start stagger: {timeline.overlap_score(sm_id):.0f} "
+              "cycles\n")
+
+    print("Under LRR the bars align into batches (simultaneous starts and "
+          "finishes);\nunder PRO they shingle — exactly the contrast of the "
+          "paper's Fig. 2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP-517
+editable installs fail with ``invalid command 'bdist_wheel'``. This shim
+enables ``pip install -e . --no-build-isolation --no-use-pep517``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

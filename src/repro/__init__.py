@@ -1,0 +1,75 @@
+"""repro — reproduction of "PRO: Progress Aware GPU Warp Scheduling Algorithm".
+
+A pure-Python cycle-level SIMT GPU simulator (the GPGPU-Sim substitute)
+plus the four warp schedulers the paper evaluates — LRR, TL, GTO and PRO —
+synthetic models of its 25 benchmark kernels, and a harness regenerating
+every table and figure of the evaluation (see DESIGN.md / EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import Gpu, GPUConfig, KernelLaunch
+    from repro.workloads import get_kernel
+
+    model = get_kernel("scalarProdGPU")
+    launch = model.build_launch(scale=1.0)
+    result = Gpu(GPUConfig.scaled(), scheduler="pro").run(launch)
+    print(result.summary())
+"""
+
+from .config import GPUConfig, LatencyConfig, MemoryConfig, LINE_SIZE, WARP_SIZE
+from .core import available_schedulers
+from .errors import (
+    ConfigError,
+    LaunchError,
+    ProgramError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    WorkloadError,
+)
+from .gpu import Gpu, KernelLaunch, RunResult
+from .isa import (
+    Broadcast,
+    Chase,
+    Coalesced,
+    Program,
+    ProgramBuilder,
+    Random,
+    Strided,
+)
+from .simt.occupancy import max_resident_tbs, occupancy_report
+from .stats import IssueTrace, SortTraceRecorder, TimelineRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Broadcast",
+    "Chase",
+    "Coalesced",
+    "ConfigError",
+    "GPUConfig",
+    "IssueTrace",
+    "Gpu",
+    "KernelLaunch",
+    "LINE_SIZE",
+    "LatencyConfig",
+    "LaunchError",
+    "MemoryConfig",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "Random",
+    "ReproError",
+    "RunResult",
+    "SchedulerError",
+    "SimulationError",
+    "SortTraceRecorder",
+    "Strided",
+    "TimelineRecorder",
+    "WARP_SIZE",
+    "WorkloadError",
+    "available_schedulers",
+    "max_resident_tbs",
+    "occupancy_report",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis utilities: parameter sweeps and sensitivity studies.
+
+The paper evaluates one hardware point (GTX480). This package provides
+the sweep machinery to ask the follow-on questions a scheduling study
+needs: how does the PRO-vs-baseline gap move with memory latency, SM
+count, occupancy, or grid size?
+
+    from repro.analysis import latency_sweep, Sweep
+    result = latency_sweep("scalarProdGPU", factors=(0.5, 1.0, 2.0))
+    print(result.render())
+"""
+
+from .sweeps import (
+    Sweep,
+    SweepResult,
+    grid_sweep,
+    latency_sweep,
+    occupancy_sweep,
+    sm_count_sweep,
+)
+
+__all__ = [
+    "Sweep",
+    "SweepResult",
+    "grid_sweep",
+    "latency_sweep",
+    "occupancy_sweep",
+    "sm_count_sweep",
+]

@@ -1,0 +1,220 @@
+"""Parameter sweeps over the simulator.
+
+A :class:`Sweep` maps one named knob over a sequence of values, running a
+kernel under a set of schedulers at each point, and collects cycles +
+stall data into a :class:`SweepResult` with a table renderer. Four
+ready-made sweeps cover the axes that matter for warp-scheduling studies:
+
+* :func:`latency_sweep` — scale all memory latencies (is the gap
+  latency-driven?),
+* :func:`sm_count_sweep` — GPU width with proportional grids (does the
+  residency effect grow with more SMs?),
+* :func:`occupancy_sweep` — shared-memory pressure (fewer resident warps
+  make scheduling matter more — the paper's §II premise),
+* :func:`grid_sweep` — grid/residency ratio (fastTBPhase vs slowTBPhase
+  balance).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import GPUConfig
+from ..gpu.gpu import Gpu
+from ..gpu.launch import KernelLaunch, RunResult
+from ..stats.report import render_table
+from ..workloads import KernelModel, get_kernel
+
+#: (value, scheduler) -> RunResult
+SweepData = Dict[Tuple[object, str], RunResult]
+
+
+@dataclass
+class SweepResult:
+    """Collected results of one sweep."""
+
+    name: str
+    knob: str
+    values: List[object]
+    schedulers: Tuple[str, ...]
+    data: SweepData = field(default_factory=dict)
+
+    def cycles(self, value: object, scheduler: str) -> int:
+        return self.data[(value, scheduler)].cycles
+
+    def speedup(self, value: object, scheduler: str,
+                over: str = "lrr") -> float:
+        """Speedup of ``scheduler`` over ``over`` at one sweep point."""
+        return self.cycles(value, over) / self.cycles(value, scheduler)
+
+    def speedup_series(self, scheduler: str = "pro",
+                       over: str = "lrr") -> List[float]:
+        """The speedup at every sweep point, in value order."""
+        return [self.speedup(v, scheduler, over) for v in self.values]
+
+    def render(self) -> str:
+        headers = [self.knob] + [f"{s} cycles" for s in self.schedulers]
+        if "pro" in self.schedulers and "lrr" in self.schedulers:
+            headers.append("pro/lrr speedup")
+        rows = []
+        for v in self.values:
+            row: List[object] = [str(v)]
+            row += [self.cycles(v, s) for s in self.schedulers]
+            if "pro" in self.schedulers and "lrr" in self.schedulers:
+                row.append(self.speedup(v, "pro", "lrr"))
+            rows.append(tuple(row))
+        return render_table(headers, rows, title=self.name)
+
+
+@dataclass
+class Sweep:
+    """Generic sweep: run ``kernel`` under ``schedulers`` for each value.
+
+    ``configure(value)`` returns the (GPUConfig, launch-scale) pair for a
+    sweep point; ``launch_for(value, model)`` may be overridden via
+    ``make_launch`` for knobs that rebuild the program itself.
+    """
+
+    name: str
+    knob: str
+    values: Sequence[object]
+    configure: Callable[[object], GPUConfig]
+    schedulers: Tuple[str, ...] = ("lrr", "gto", "pro")
+    make_launch: Optional[Callable[[object, KernelModel], KernelLaunch]] = None
+    scale: float = 1.0
+
+    def run(self, kernel: str | KernelModel) -> SweepResult:
+        model = kernel if isinstance(kernel, KernelModel) else get_kernel(kernel)
+        result = SweepResult(
+            name=f"{self.name} — {model.name}",
+            knob=self.knob,
+            values=list(self.values),
+            schedulers=self.schedulers,
+        )
+        for value in self.values:
+            cfg = self.configure(value)
+            for sched in self.schedulers:
+                launch = (
+                    self.make_launch(value, model)
+                    if self.make_launch is not None
+                    else model.build_launch(self.scale)
+                )
+                result.data[(value, sched)] = Gpu(cfg, sched).run(launch)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Ready-made sweeps
+
+
+def latency_sweep(
+    kernel: str | KernelModel,
+    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    *,
+    num_sms: int = 2,
+    scale: float = 0.5,
+    schedulers: Tuple[str, ...] = ("lrr", "gto", "pro"),
+) -> SweepResult:
+    """Scale every memory-path latency by each factor."""
+    base = GPUConfig.scaled(num_sms)
+
+    def configure(factor: float) -> GPUConfig:
+        lat = base.latency
+        scaled = dataclasses.replace(
+            lat,
+            l1_hit=max(1, round(lat.l1_hit * factor)),
+            l2_hit=max(1, round(lat.l2_hit * factor)),
+            dram_row_hit=max(1, round(lat.dram_row_hit * factor)),
+            dram_row_miss=max(1, round(lat.dram_row_miss * factor)),
+            noc=max(1, round(lat.noc * factor)),
+        )
+        return base.with_(latency=scaled)
+
+    return Sweep(
+        name="Memory latency sensitivity",
+        knob="latency x",
+        values=list(factors),
+        configure=configure,
+        schedulers=schedulers,
+        scale=scale,
+    ).run(kernel)
+
+
+def sm_count_sweep(
+    kernel: str | KernelModel,
+    counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    scale_per_sm: float = 0.25,
+    schedulers: Tuple[str, ...] = ("lrr", "gto", "pro"),
+) -> SweepResult:
+    """Vary GPU width, scaling the grid proportionally (weak scaling)."""
+    model_holder: Dict[str, KernelModel] = {}
+
+    def configure(n: int) -> GPUConfig:
+        return GPUConfig.scaled(n)
+
+    def make_launch(n: int, model: KernelModel) -> KernelLaunch:
+        return model.build_launch(scale_per_sm * n)
+
+    return Sweep(
+        name="SM-count (weak) scaling",
+        knob="SMs",
+        values=list(counts),
+        configure=configure,
+        make_launch=make_launch,
+        schedulers=schedulers,
+    ).run(kernel)
+
+
+def occupancy_sweep(
+    kernel: str | KernelModel,
+    tb_limits: Sequence[int] = (1, 2, 4, 8),
+    *,
+    num_sms: int = 2,
+    scale: float = 0.5,
+    schedulers: Tuple[str, ...] = ("lrr", "gto", "pro"),
+) -> SweepResult:
+    """Cap resident TBs per SM — the occupancy knob.
+
+    Lower residency means fewer warps to hide latency with, the regime
+    where warp-scheduling policy matters most (paper §II).
+    """
+
+    def configure(limit: int) -> GPUConfig:
+        return GPUConfig.scaled(num_sms).with_(max_tbs_per_sm=limit)
+
+    return Sweep(
+        name="Occupancy (resident-TB cap)",
+        knob="TBs/SM",
+        values=list(tb_limits),
+        configure=configure,
+        schedulers=schedulers,
+        scale=scale,
+    ).run(kernel)
+
+
+def grid_sweep(
+    kernel: str | KernelModel,
+    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    *,
+    num_sms: int = 2,
+    schedulers: Tuple[str, ...] = ("lrr", "gto", "pro"),
+) -> SweepResult:
+    """Vary the grid size (the fastTBPhase/slowTBPhase balance)."""
+
+    def configure(_s: float) -> GPUConfig:
+        return GPUConfig.scaled(num_sms)
+
+    def make_launch(s: float, model: KernelModel) -> KernelLaunch:
+        return model.build_launch(s)
+
+    return Sweep(
+        name="Grid-size scaling",
+        knob="scale",
+        values=list(scales),
+        configure=configure,
+        make_launch=make_launch,
+        schedulers=schedulers,
+    ).run(kernel)

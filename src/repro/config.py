@@ -1,0 +1,255 @@
+"""GPU hardware configuration (paper Table I) and derived presets.
+
+The default configuration mirrors the GPGPU-Sim GTX480 (NVIDIA Fermi)
+configuration the paper used:
+
+======================================  =========
+Architecture                            GTX480
+Number of SMs                           14 (15 physical, 14 in the sim config)
+Max thread blocks per SM                8
+Max threads per SM                      1536
+Shared memory per SM                    48 KB
+L1 cache per SM                         16 KB
+L2 cache                                768 KB
+Max registers per SM                    32768
+Warp schedulers per SM                  2
+DRAM scheduler                          FR-FCFS
+======================================  =========
+
+Experiments in ``repro.harness`` default to :meth:`GPUConfig.scaled`, a
+4-SM configuration with identical per-SM parameters; workload grid sizes
+are scaled to preserve the ratio of grid size to resident-TB capacity,
+which is the quantity that drives the paper's fastTBPhase/slowTBPhase
+behaviour (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+#: Number of threads in a warp (CUDA fixed constant).
+WARP_SIZE = 32
+
+#: Cache line / memory transaction size in bytes (Fermi L1 line).
+LINE_SIZE = 128
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Latencies (in SM cycles) of the execution pipelines and memories.
+
+    Values follow GPGPU-Sim's GTX480 configuration closely enough to
+    reproduce the *relative* behaviour of the schedulers: short ALU
+    latencies hide easily, SFU latencies need a handful of ready warps,
+    and global-memory latencies (hundreds of cycles) need many.
+    """
+
+    #: Simple integer/float ALU op writeback latency.
+    alu: int = 4
+    #: Multiply / fused multiply-add latency.
+    mad: int = 6
+    #: Special function unit (sin, rsqrt, ...) latency.
+    sfu: int = 20
+    #: Shared-memory access latency (no conflicts).
+    shared: int = 24
+    #: Extra shared-memory cycles per bank-conflict way beyond the first.
+    shared_conflict: int = 8
+    #: L1 hit total load-to-use latency.
+    l1_hit: int = 32
+    #: Additional latency for an L2 hit (on top of L1 miss path).
+    l2_hit: int = 160
+    #: DRAM row-buffer hit service time (L2 miss path).
+    dram_row_hit: int = 160
+    #: DRAM row-buffer miss (precharge + activate + access) service time.
+    dram_row_miss: int = 320
+    #: Interconnect traversal, SM <-> L2, one way.
+    noc: int = 20
+    #: Instruction refetch bubble after a branch or barrier release. GPUs
+    #: do not speculate: after a warp issues a branch (or resumes from a
+    #: barrier) its next instruction is not in the i-buffer for this many
+    #: cycles, during which the warp has no valid instruction — the main
+    #: hardware source of GPGPU-Sim's "Idle" stall cycles (paper §II-B).
+    branch_bubble: int = 6
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if any latency is non-positive."""
+        for name in (
+            "alu",
+            "mad",
+            "sfu",
+            "shared",
+            "l1_hit",
+            "l2_hit",
+            "dram_row_hit",
+            "dram_row_miss",
+            "noc",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"latency {name!r} must be positive")
+        if self.shared_conflict < 0:
+            raise ConfigError("shared_conflict must be >= 0")
+        if self.branch_bubble < 0:
+            raise ConfigError("branch_bubble must be >= 0")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Geometry of the cache/DRAM hierarchy."""
+
+    #: L1 data cache capacity per SM, bytes.
+    l1_size: int = 16 * 1024
+    #: L1 associativity.
+    l1_ways: int = 4
+    #: MSHR entries per SM L1 (distinct outstanding miss lines).
+    mshr_entries: int = 32
+    #: Maximum merged requests per MSHR entry.
+    mshr_merge: int = 8
+    #: L2 total capacity, bytes (shared across SMs).
+    l2_size: int = 768 * 1024
+    #: L2 associativity.
+    l2_ways: int = 8
+    #: Number of L2 banks (address-interleaved at line granularity).
+    l2_banks: int = 6
+    #: DRAM channels.
+    dram_channels: int = 6
+    #: Banks per DRAM channel.
+    dram_banks: int = 8
+    #: DRAM row size in bytes (open-row locality granularity).
+    dram_row_size: int = 2048
+    #: Minimum cycles between successive bursts on one channel bus.
+    dram_bus_cycles: int = 4
+    #: Bank busy time after a row-hit access (burst occupancy, ~tCCD).
+    dram_hit_occupancy: int = 8
+    #: Bank busy time after a row-miss access (row cycle, ~tRC). Distinct
+    #: from the *latency* the requester sees (dram_row_miss): the bank can
+    #: accept its next request long before the data finished its journey.
+    dram_miss_occupancy: int = 48
+    #: Cache line size, bytes.
+    line_size: int = LINE_SIZE
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent geometry."""
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ConfigError("line_size must be a positive power of two")
+        for name in ("l1_size", "l1_ways", "l2_size", "l2_ways"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.l1_size % (self.line_size * self.l1_ways):
+            raise ConfigError("l1_size must be a multiple of line_size * l1_ways")
+        if self.l2_size % (self.line_size * self.l2_ways * self.l2_banks):
+            raise ConfigError(
+                "l2_size must be divisible by line_size * l2_ways * l2_banks"
+            )
+        if self.mshr_entries <= 0 or self.mshr_merge <= 0:
+            raise ConfigError("MSHR geometry must be positive")
+        if self.dram_channels <= 0 or self.dram_banks <= 0:
+            raise ConfigError("DRAM geometry must be positive")
+        if self.dram_row_size < self.line_size:
+            raise ConfigError("dram_row_size must be >= line_size")
+        if self.dram_hit_occupancy <= 0 or self.dram_miss_occupancy <= 0:
+            raise ConfigError("DRAM occupancies must be positive")
+        if self.dram_bus_cycles <= 0:
+            raise ConfigError("dram_bus_cycles must be positive")
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Top-level GPU configuration (paper Table I).
+
+    Instances are immutable; derive variants with :func:`dataclasses.replace`
+    or the :meth:`with_` helper.
+    """
+
+    #: Number of streaming multiprocessors.
+    num_sms: int = 14
+    #: Max resident thread blocks per SM (Fermi: 8).
+    max_tbs_per_sm: int = 8
+    #: Max resident threads per SM (Fermi: 1536).
+    max_threads_per_sm: int = 1536
+    #: Shared memory per SM, bytes.
+    shared_mem_per_sm: int = 48 * 1024
+    #: Register file per SM, 4-byte registers.
+    registers_per_sm: int = 32768
+    #: Warp schedulers per SM (Fermi: 2).
+    num_schedulers: int = 2
+    #: SP (ALU) issue ports per SM; each accepts one warp instruction/cycle.
+    sp_units: int = 2
+    #: SFU issue ports per SM.
+    sfu_units: int = 1
+    #: LSU (load/store) issue ports per SM.
+    lsu_units: int = 1
+    #: Threads per warp.
+    warp_size: int = WARP_SIZE
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    #: Cycles between a TB being assigned to an SM and its warps becoming
+    #: issuable: resource deallocation of the predecessor, the Thread Block
+    #: Scheduler round-trip, and per-thread state init. This is what makes
+    #: *batched* TB completion expensive (paper §II-C): when a whole batch
+    #: finishes together, the SM sits with no ready warps while every
+    #: replacement initializes; staggered completion hides the latency.
+    tb_launch_latency: int = 80
+    #: PRO re-sort period, cycles (paper §III-C: 1000).
+    pro_sort_threshold: int = 1000
+    #: TL fetch group size in warps (Narasiman et al.: 8).
+    tl_fetch_group_size: int = 8
+    #: Hard cap on simulated cycles; exceeded -> SimulationError (deadlock net).
+    max_cycles: int = 200_000_000
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the configuration is inconsistent."""
+        if self.num_sms <= 0:
+            raise ConfigError("num_sms must be positive")
+        if self.max_tbs_per_sm <= 0:
+            raise ConfigError("max_tbs_per_sm must be positive")
+        if self.warp_size <= 0:
+            raise ConfigError("warp_size must be positive")
+        if self.max_threads_per_sm < self.warp_size:
+            raise ConfigError("max_threads_per_sm must hold at least one warp")
+        if self.max_threads_per_sm % self.warp_size:
+            raise ConfigError("max_threads_per_sm must be a multiple of warp_size")
+        if self.num_schedulers <= 0:
+            raise ConfigError("num_schedulers must be positive")
+        if min(self.sp_units, self.sfu_units, self.lsu_units) <= 0:
+            raise ConfigError("each execution unit class needs >= 1 port")
+        if self.shared_mem_per_sm < 0 or self.registers_per_sm <= 0:
+            raise ConfigError("SM resources must be positive")
+        if self.pro_sort_threshold <= 0:
+            raise ConfigError("pro_sort_threshold must be positive")
+        if self.tb_launch_latency < 0:
+            raise ConfigError("tb_launch_latency must be >= 0")
+        if self.tl_fetch_group_size <= 0:
+            raise ConfigError("tl_fetch_group_size must be positive")
+        if self.max_cycles <= 0:
+            raise ConfigError("max_cycles must be positive")
+        self.latency.validate()
+        self.memory.validate()
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Maximum resident warps per SM (Fermi: 48)."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @classmethod
+    def gtx480(cls) -> "GPUConfig":
+        """The paper's Table I configuration (the class default)."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, num_sms: int = 4) -> "GPUConfig":
+        """A reduced-SM configuration used by the experiment harness.
+
+        Per-SM parameters are unchanged; only the SM count (and hence total
+        resident-TB capacity) shrinks. Workload grids are scaled to match,
+        preserving the grid/residency ratio (DESIGN.md §2).
+        """
+        return replace(cls(), num_sms=num_sms)
+
+    def with_(self, **kwargs) -> "GPUConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **kwargs)

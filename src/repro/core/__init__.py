@@ -1,0 +1,46 @@
+"""Warp scheduling algorithms: LRR, GTO, TL baselines and PRO (the paper).
+
+Schedulers are looked up by name via :func:`available_schedulers` /
+:func:`build_schedulers`:
+
+========== ==========================================================
+``lrr``    Loose Round Robin (equal priority, rotating start point)
+``gto``    Greedy Then Oldest (stick with one warp, fall back to oldest)
+``tl``     Two-Level (Narasiman et al., MICRO-2011 fetch groups)
+``pro``    Progress-aware scheduler (this paper, Algorithm 1 + Fig. 3)
+``pro-nb`` PRO ablation: barrierWait prioritization disabled (§IV note)
+``pro-nf`` PRO ablation: finishWait prioritization disabled
+``pro-norm`` PRO extension: normalized (fractional) progress (§III-C.1/§VI)
+``of``     Oldest-First reference (GTO without the greedy component)
+``rand``   Deterministic pseudo-random priority (policy floor)
+========== ==========================================================
+"""
+
+from .scheduler import (
+    WarpScheduler,
+    available_schedulers,
+    build_schedulers,
+    register_scheduler,
+)
+from .tb_state import TbState, allowed_transitions, check_transition
+from .lrr import LrrScheduler
+from .gto import GtoScheduler
+from .tl import TwoLevelScheduler
+from .pro import ProManager, ProScheduler
+from . import variants as _variants  # registers pro-nb / pro-nf / pro-norm
+from . import extra as _extra  # registers of / rand
+
+__all__ = [
+    "GtoScheduler",
+    "LrrScheduler",
+    "ProManager",
+    "ProScheduler",
+    "TbState",
+    "TwoLevelScheduler",
+    "WarpScheduler",
+    "allowed_transitions",
+    "available_schedulers",
+    "build_schedulers",
+    "check_transition",
+    "register_scheduler",
+]

@@ -1,0 +1,84 @@
+"""Additional reference schedulers beyond the paper's evaluated set.
+
+These are not in the paper's comparison but are standard reference points
+in the warp-scheduling literature and useful for sanity-checking the
+simulator (a policy-free scheduler should never beat a sensible one by
+much on latency-bound workloads):
+
+* ``of`` — strict Oldest-First: GTO without the greedy component. Shows
+  how much of GTO's strength comes from age-ordering alone.
+* ``rand`` — deterministic pseudo-random priority each cycle: the
+  policy-free floor. Uses a counter-hashed permutation so runs remain
+  bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .scheduler import WarpScheduler, register_scheduler, simple_factory
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class OldestFirstScheduler(WarpScheduler):
+    """Strict oldest-first (earliest-assigned TB, lowest warp index)."""
+
+    name = "of"
+
+    def __init__(self, sm, sched_id, cfg) -> None:
+        super().__init__(sm, sched_id, cfg)
+        self._aged: List = []
+
+    def on_tb_assigned(self, tb, cycle: int) -> None:
+        super().on_tb_assigned(tb, cycle)
+        # New TBs are youngest: appending preserves the age order.
+        self._aged.extend(w for w in tb.warps if w.sched_id == self.sched_id)
+
+    def on_warp_finished(self, warp, cycle: int) -> None:
+        if warp.sched_id != self.sched_id:
+            return
+        super().on_warp_finished(warp, cycle)
+        self._aged.remove(warp)
+
+    def order(self, cycle: int) -> Sequence:
+        return self._aged
+
+
+class RandomScheduler(WarpScheduler):
+    """Deterministic per-cycle pseudo-random priority (the policy floor)."""
+
+    name = "rand"
+
+    def order(self, cycle: int) -> Sequence:
+        warps = self.warps
+        n = len(warps)
+        if n <= 1:
+            return warps
+        # cheap keyed rotation + interleave: varies per cycle, reproducible
+        k = _mix(cycle * 2 + self.sched_id)
+        start = k % n
+        stride = 1 + (k >> 32) % (n - 1) if n > 1 else 1
+        # a full permutation only when gcd(stride, n) == 1; fall back to
+        # rotation otherwise (still varies by cycle)
+        seen = set()
+        out = []
+        idx = start
+        for _ in range(n):
+            if idx in seen:
+                return warps[start:] + warps[:start]
+            seen.add(idx)
+            out.append(warps[idx])
+            idx = (idx + stride) % n
+        return out
+
+
+register_scheduler("of", simple_factory(OldestFirstScheduler))
+register_scheduler("rand", simple_factory(RandomScheduler))

@@ -1,0 +1,53 @@
+"""Loose Round Robin (LRR) — the GPU default baseline.
+
+All warps get equal priority; each cycle the scan starts just after the
+last warp that issued, skipping non-ready warps ("loose"). The paper's
+motivating observation (§II-A): under LRR all warps make near-equal
+progress and reach long-latency instructions together, draining the ready
+pool at the same time and inflating Idle stalls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .scheduler import WarpScheduler, register_scheduler, simple_factory
+
+
+class LrrScheduler(WarpScheduler):
+    """Rotating-start round robin over this scheduler's warps."""
+
+    name = "lrr"
+
+    def __init__(self, sm, sched_id, cfg) -> None:
+        super().__init__(sm, sched_id, cfg)
+        self._start = 0
+
+    def order(self, cycle: int) -> Sequence:
+        warps = self.warps
+        n = len(warps)
+        if n == 0:
+            return ()
+        start = self._start % n
+        if start == 0:
+            return warps
+        return warps[start:] + warps[:start]
+
+    def note_issued(self, warp, cycle: int) -> None:
+        # Next scan begins after the warp that just issued.
+        try:
+            self._start = self.warps.index(warp) + 1
+        except ValueError:  # pragma: no cover - defensive
+            self._start = 0
+
+    def on_warp_finished(self, warp, cycle: int) -> None:
+        if warp.sched_id != self.sched_id:
+            return
+        # Keep the rotation point stable across removals.
+        idx = self.warps.index(warp)
+        super().on_warp_finished(warp, cycle)
+        if idx < self._start:
+            self._start -= 1
+
+
+register_scheduler("lrr", simple_factory(LrrScheduler))

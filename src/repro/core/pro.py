@@ -1,0 +1,381 @@
+"""PRO — the Progress Aware warp scheduler (the paper's contribution).
+
+Implements Algorithm 1 and the Fig. 3 state machine:
+
+* **TB priority by state.** Fast phase: finishWait (High) > barrierWait
+  (Medium) > noWait (Low). Slow phase: barrierWait(1) > finishNoWait.
+* **Within-state TB order.** finishWait: more finished warps first (tie:
+  more progress). barrierWait: more warps at the barrier first (tie: more
+  progress). noWait (fast): *descending* progress — an SRTF approximation
+  so leading TBs retire early and new TBs overlap the stragglers.
+  finishNoWait (slow): *ascending* progress — no new TBs are coming, so
+  help the laggards.
+* **Warp order inside a TB.** noWait: descending progress (stagger arrival
+  at long-latency ops). barrierWait/finishWait/finishNoWait: ascending
+  progress (drag sibling stragglers to the barrier/exit).
+* **Periodic re-sort.** noWait/finishNoWait TBs (and their warps) are
+  re-sorted every ``THRESHOLD`` cycles (paper: 1000). finishWait and
+  barrierWait lists are re-sorted event-driven, on each warp arrival.
+
+Both of an SM's warp schedulers share one :class:`ProManager`, mirroring
+the paper's hardware where the TB-level registers are per-SM, not
+per-scheduler. The manager is the SM's TB-event listener.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..config import GPUConfig
+from ..errors import SchedulerError
+from .scheduler import WarpScheduler, register_scheduler
+from .tb_state import TbEvent, TbState, transition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simt.sm import StreamingMultiprocessor
+    from ..simt.threadblock import ThreadBlock
+    from ..simt.warp import Warp
+
+
+class _TbRecord:
+    """Per-TB bookkeeping PRO maintains (state + per-scheduler warp order)."""
+
+    __slots__ = ("tb", "state", "warp_order", "progress_cache",
+                 "total_estimate", "warp_estimates")
+
+    def __init__(
+        self,
+        tb: "ThreadBlock",
+        state: TbState,
+        num_scheds: int,
+        *,
+        normalize: bool = False,
+    ) -> None:
+        self.tb = tb
+        self.state = state
+        #: Live warps per owning scheduler, in current priority order.
+        self.warp_order: List[List["Warp"]] = [
+            tb.warps_for_scheduler(s) for s in range(num_scheds)
+        ]
+        #: Progress snapshot taken at the last sort that examined this TB.
+        self.progress_cache = 0
+        # Normalized-progress extension (paper §III-C.1 discusses this
+        # alternative; §VI lists richer progress metrics as future work):
+        # estimate each warp's total thread-instructions once at launch so
+        # progress can be compared as a *fraction* across unequal TBs.
+        self.warp_estimates: Dict[int, int] = {}
+        self.total_estimate = 1
+        if normalize:
+            total = 0
+            for w in tb.warps:
+                est = max(1, tb.program.dynamic_count(tb.tb_index,
+                                                      w.warp_in_tb)
+                          * w.n_threads)
+                self.warp_estimates[w.warp_in_tb] = est
+                total += est
+            self.total_estimate = max(1, total)
+
+    def progress_key(self) -> float:
+        """TB progress, normalized to a completion fraction when the
+        manager runs in normalized mode (total_estimate > 1)."""
+        if self.warp_estimates:
+            return self.tb.progress / self.total_estimate
+        return float(self.tb.progress)
+
+    def _warp_key(self, w: "Warp") -> float:
+        est = self.warp_estimates.get(w.warp_in_tb)
+        return w.progress / est if est else float(w.progress)
+
+    def sort_warps(self, descending: bool) -> None:
+        """Re-sort each scheduler partition's warps by (possibly
+        normalized) progress."""
+        key = self._warp_key
+        for lst in self.warp_order:
+            if descending:
+                lst.sort(key=lambda w: (-key(w), w.warp_in_tb))
+            else:
+                lst.sort(key=lambda w: (key(w), w.warp_in_tb))
+
+
+#: Warp sort direction per TB state (True = descending progress).
+_WARP_SORT_DESCENDING = {
+    TbState.NO_WAIT: True,
+    TbState.BARRIER_WAIT: False,
+    TbState.BARRIER_WAIT1: False,
+    TbState.FINISH_WAIT: False,
+    TbState.FINISH_NO_WAIT: False,
+}
+
+
+class ProManager:
+    """Shared per-SM TB-state manager implementing Algorithm 1.
+
+    Parameters
+    ----------
+    sm:
+        The owning SM (used to reach the GPU's Thread Block Scheduler for
+        the fast/slow phase query).
+    cfg:
+        GPU configuration (sort THRESHOLD).
+    handle_barrier / handle_finish:
+        Ablation switches. With ``handle_barrier=False`` the scheduler
+        ignores barrier arrivals for prioritization (the paper's §IV note:
+        scalarProd improves ~11% with barrier handling disabled); with
+        ``handle_finish=False`` it ignores warp-finish promotion.
+    """
+
+    def __init__(
+        self,
+        sm: "StreamingMultiprocessor",
+        cfg: GPUConfig,
+        *,
+        handle_barrier: bool = True,
+        handle_finish: bool = True,
+        threshold: Optional[int] = None,
+        normalize: bool = False,
+    ) -> None:
+        self.sm = sm
+        self.cfg = cfg
+        self.threshold = threshold if threshold is not None else cfg.pro_sort_threshold
+        self.handle_barrier = handle_barrier
+        self.handle_finish = handle_finish
+        #: Normalized-progress extension: compare TBs/warps by completion
+        #: fraction instead of raw thread-instruction counts.
+        self.normalize = normalize
+        self.fast_phase = True
+        self.last_sort_cycle = 0
+        self.records: Dict[int, _TbRecord] = {}  # tb_index -> record
+        # State lists hold records in priority order (head = highest).
+        self.finish_wait: List[_TbRecord] = []
+        self.barrier_wait: List[_TbRecord] = []
+        self.no_wait: List[_TbRecord] = []
+        self.finish_no_wait: List[_TbRecord] = []
+        #: Optional SortTraceRecorder (Table IV); set by the harness.
+        self.sort_trace = None
+
+    # -- phase -----------------------------------------------------------
+
+    def _poll_fast_phase(self) -> bool:
+        gpu = self.sm.gpu
+        if gpu is None:
+            return self.fast_phase
+        return gpu.tb_scheduler.has_pending()
+
+    def _maybe_phase_transition(self, cycle: int) -> None:
+        """Algorithm 1 lines 36-40: merge on the fast->slow edge."""
+        if not self.fast_phase:
+            return
+        if self._poll_fast_phase():
+            return
+        self.fast_phase = False
+        merged = self.finish_wait + self.no_wait
+        self.finish_wait = []
+        self.no_wait = []
+        for rec in merged:
+            rec.state = transition(rec.state, TbEvent.PHASE_TO_SLOW, False)
+            rec.sort_warps(descending=False)
+        self.finish_no_wait.extend(merged)
+        self._sort_rem(self.finish_no_wait)
+        for rec in self.barrier_wait:
+            rec.state = transition(rec.state, TbEvent.PHASE_TO_SLOW, False)
+
+    # -- sorting helpers ------------------------------------------------------
+
+    def _sort_finish_wait(self) -> None:
+        """finishWait: more finished warps, then more progress."""
+        self.finish_wait.sort(
+            key=lambda r: (-r.tb.n_finished, -r.progress_key(), r.tb.tb_index)
+        )
+
+    def _sort_barrier_wait(self) -> None:
+        """barrierWait: more warps at the barrier, then more progress."""
+        self.barrier_wait.sort(
+            key=lambda r: (-r.tb.n_at_barrier, -r.progress_key(), r.tb.tb_index)
+        )
+
+    def _sort_rem(self, lst: List[_TbRecord]) -> None:
+        """Sort the 'remaining' list: noWait descending, finishNoWait
+        ascending (paper §III-C.1 vs §III-D)."""
+        if lst is self.no_wait:
+            lst.sort(key=lambda r: (-r.progress_key(), r.tb.tb_index))
+        else:
+            lst.sort(key=lambda r: (r.progress_key(), r.tb.tb_index))
+
+    def _maybe_threshold_sort(self, cycle: int) -> None:
+        """Algorithm 1 lines 57-61: periodic progress sort of remTBs."""
+        if cycle - self.last_sort_cycle <= self.threshold:
+            return
+        self.last_sort_cycle = cycle
+        rem = self.no_wait if self.no_wait else self.finish_no_wait
+        self._sort_rem(rem)
+        descending = self.fast_phase and rem is self.no_wait
+        for rec in rem:
+            rec.sort_warps(descending=descending)
+        if self.sort_trace is not None:
+            self.sort_trace.record(
+                self.sm.sm_id, cycle, [r.tb.tb_index for r in self._priority_records()]
+            )
+
+    # -- listener callbacks (SM events) ---------------------------------------
+
+    def on_tb_assigned(self, tb: "ThreadBlock", cycle: int) -> None:
+        state = TbState.NO_WAIT if self.fast_phase else TbState.FINISH_NO_WAIT
+        rec = _TbRecord(tb, state, self.cfg.num_schedulers,
+                        normalize=self.normalize)
+        self.records[tb.tb_index] = rec
+        if state is TbState.NO_WAIT:
+            self.no_wait.append(rec)
+            self._sort_rem(self.no_wait)
+        else:
+            self.finish_no_wait.append(rec)
+            self._sort_rem(self.finish_no_wait)
+
+    def on_tb_finished(self, tb: "ThreadBlock", cycle: int) -> None:
+        rec = self.records.pop(tb.tb_index, None)
+        if rec is None:  # pragma: no cover - defensive
+            raise SchedulerError(f"PRO lost track of TB {tb.tb_index}")
+        rec.state = TbState.FINISH
+        for lst in (self.finish_wait, self.barrier_wait, self.no_wait,
+                    self.finish_no_wait):
+            if rec in lst:
+                lst.remove(rec)
+
+    def on_warp_barrier(self, warp: "Warp", cycle: int) -> None:
+        """Algorithm 1, insertBarrierWarp (lines 17-33)."""
+        if not self.handle_barrier:
+            return
+        rec = self.records[warp.tb.tb_index]
+        self._maybe_phase_transition(cycle)
+        if warp.tb.n_at_barrier == 1:
+            old = rec.state
+            rec.state = transition(old, TbEvent.WARP_AT_BARRIER, self.fast_phase)
+            self._move(rec, old, rec.state)
+            rec.sort_warps(descending=False)
+        self._sort_barrier_wait()
+
+    def on_barrier_release(self, tb: "ThreadBlock", cycle: int) -> None:
+        if not self.handle_barrier:
+            return
+        rec = self.records[tb.tb_index]
+        self._maybe_phase_transition(cycle)
+        old = rec.state
+        rec.state = transition(old, TbEvent.ALL_AT_BARRIER, self.fast_phase)
+        self._move(rec, old, rec.state)
+        rec.sort_warps(descending=_WARP_SORT_DESCENDING[rec.state])
+
+    def on_warp_finished(self, warp: "Warp", cycle: int) -> None:
+        """Algorithm 1, insertFinishWarp (lines 1-15)."""
+        rec = self.records[warp.tb.tb_index]
+        # Remove the finished warp from its scheduler's order list.
+        lst = rec.warp_order[warp.sched_id]
+        if warp in lst:
+            lst.remove(warp)
+        if not self.handle_finish:
+            return
+        if warp.tb.n_finished == 1 and not warp.tb.all_finished:
+            self._maybe_phase_transition(cycle)
+            old = rec.state
+            rec.state = transition(old, TbEvent.WARP_FINISHED, self.fast_phase)
+            self._move(rec, old, rec.state)
+            rec.sort_warps(descending=False)
+        self._sort_finish_wait()
+
+    # -- list movement ------------------------------------------------------------
+
+    def _list_for(self, state: TbState) -> List[_TbRecord]:
+        if state is TbState.NO_WAIT:
+            return self.no_wait
+        if state is TbState.FINISH_WAIT:
+            return self.finish_wait
+        if state in (TbState.BARRIER_WAIT, TbState.BARRIER_WAIT1):
+            return self.barrier_wait
+        if state is TbState.FINISH_NO_WAIT:
+            return self.finish_no_wait
+        raise SchedulerError(f"no list for state {state}")  # pragma: no cover
+
+    def _move(self, rec: _TbRecord, old: TbState, new: TbState) -> None:
+        if old is new:
+            return
+        old_lst = self._list_for(old)
+        if rec in old_lst:
+            old_lst.remove(rec)
+        new_lst = self._list_for(new)
+        if rec not in new_lst:
+            new_lst.append(rec)
+        # Keep the destination list sorted by its rule.
+        if new_lst is self.finish_wait:
+            self._sort_finish_wait()
+        elif new_lst is self.barrier_wait:
+            self._sort_barrier_wait()
+        else:
+            self._sort_rem(new_lst)
+
+    # -- scheduling -----------------------------------------------------------------
+
+    def _priority_records(self) -> List[_TbRecord]:
+        """All resident TBs in descending priority (Algorithm 1, lines 41-62)."""
+        out: List[_TbRecord] = []
+        out.extend(self.finish_wait)
+        out.extend(self.barrier_wait)
+        if self.no_wait:
+            out.extend(self.no_wait)
+        else:
+            out.extend(self.finish_no_wait)
+        return out
+
+    def order(self, sched_id: int, cycle: int) -> List["Warp"]:
+        """Priority-ordered warps owned by scheduler ``sched_id``."""
+        self._maybe_phase_transition(cycle)
+        self._maybe_threshold_sort(cycle)
+        out: List["Warp"] = []
+        for rec in self._priority_records():
+            out.extend(rec.warp_order[sched_id])
+        return out
+
+
+class ProScheduler(WarpScheduler):
+    """Thin per-scheduler view over the shared :class:`ProManager`."""
+
+    name = "pro"
+
+    def __init__(self, sm, sched_id, cfg, manager: ProManager) -> None:
+        super().__init__(sm, sched_id, cfg)
+        self.manager = manager
+
+    @property
+    def listener(self) -> object:
+        # TB-level events must reach the shared manager exactly once.
+        return self.manager
+
+    def order(self, cycle: int) -> Sequence:
+        return self.manager.order(self.sched_id, cycle)
+
+    def note_issued(self, warp, cycle: int) -> None:
+        # PRO re-evaluates priorities every cycle; nothing sticky to record.
+        pass
+
+
+def make_pro_factory(
+    *,
+    handle_barrier: bool = True,
+    handle_finish: bool = True,
+    threshold: Optional[int] = None,
+    normalize: bool = False,
+):
+    """Build a registry factory for PRO or one of its ablation variants."""
+
+    def factory(sm: "StreamingMultiprocessor", cfg: GPUConfig):
+        manager = ProManager(
+            sm,
+            cfg,
+            handle_barrier=handle_barrier,
+            handle_finish=handle_finish,
+            threshold=threshold,
+            normalize=normalize,
+        )
+        return [ProScheduler(sm, i, cfg, manager) for i in range(cfg.num_schedulers)]
+
+    return factory
+
+
+register_scheduler("pro", make_pro_factory())

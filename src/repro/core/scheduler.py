@@ -1,0 +1,126 @@
+"""Warp scheduler interface and registry.
+
+An SM owns ``cfg.num_schedulers`` scheduler instances; warps are statically
+partitioned among them by warp index (Fermi behaviour). Every cycle the SM
+walks each scheduler's :meth:`WarpScheduler.order` — warps in descending
+priority — and issues the first issuable one.
+
+Schedulers receive *listener* callbacks for the TB-level events PRO needs
+(barrier arrival/release, warp/TB finish, TB assignment). For the simple
+baselines the scheduler itself is the listener; PRO exposes one shared
+per-SM manager so TB-level state is kept once, not once per scheduler
+(see :mod:`repro.core.pro`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+
+from ..config import GPUConfig
+from ..errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simt.sm import StreamingMultiprocessor
+    from ..simt.threadblock import ThreadBlock
+    from ..simt.warp import Warp
+
+
+class WarpScheduler:
+    """Base class: maintains this scheduler's live warp pool.
+
+    Subclasses implement :meth:`order` (priority order of this
+    scheduler's warps) and may override :meth:`note_issued` and the
+    listener callbacks. The base keeps ``self.warps`` = live (unfinished)
+    warps owned by this scheduler instance, in assignment order.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "base"
+
+    def __init__(self, sm: "StreamingMultiprocessor", sched_id: int, cfg: GPUConfig) -> None:
+        self.sm = sm
+        self.sched_id = sched_id
+        self.cfg = cfg
+        self.warps: List["Warp"] = []
+
+    # -- listener plumbing -------------------------------------------------
+
+    @property
+    def listener(self) -> object:
+        """The object receiving TB-level callbacks (default: self)."""
+        return self
+
+    def on_tb_assigned(self, tb: "ThreadBlock", cycle: int) -> None:
+        """A TB landed on this SM; adopt the warps this scheduler owns."""
+        self.warps.extend(w for w in tb.warps if w.sched_id == self.sched_id)
+
+    def on_tb_finished(self, tb: "ThreadBlock", cycle: int) -> None:
+        """A TB completed; its warps were already removed on finish."""
+
+    def on_warp_finished(self, warp: "Warp", cycle: int) -> None:
+        """A warp executed EXIT; drop it from the pool if it is ours."""
+        if warp.sched_id == self.sched_id:
+            try:
+                self.warps.remove(warp)
+            except ValueError:  # pragma: no cover - defensive
+                raise SchedulerError(
+                    f"{self.name}: finished warp {warp!r} not in pool"
+                )
+
+    def on_warp_barrier(self, warp: "Warp", cycle: int) -> None:
+        """A warp arrived at a barrier (stays in the pool, unschedulable)."""
+
+    def on_barrier_release(self, tb: "ThreadBlock", cycle: int) -> None:
+        """All warps of ``tb`` crossed the barrier."""
+
+    # -- scheduling ------------------------------------------------------------
+
+    def order(self, cycle: int) -> Sequence["Warp"]:
+        """This scheduler's warps in descending priority for this cycle."""
+        raise NotImplementedError
+
+    def note_issued(self, warp: "Warp", cycle: int) -> None:
+        """Called when ``warp`` (from this scheduler) issued at ``cycle``."""
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+#: name -> factory(sm, cfg) -> list[WarpScheduler] (one per SM scheduler).
+_REGISTRY: Dict[str, Callable[["StreamingMultiprocessor", GPUConfig], List[WarpScheduler]]] = {}
+
+
+def register_scheduler(
+    name: str,
+    factory: Callable[["StreamingMultiprocessor", GPUConfig], List[WarpScheduler]],
+) -> None:
+    """Register a scheduler factory under ``name`` (overwrites allowed for
+    user experimentation, but the built-in names are claimed at import)."""
+    _REGISTRY[name] = factory
+
+
+def simple_factory(cls) -> Callable:
+    """Factory for schedulers with no shared per-SM state."""
+
+    def make(sm: "StreamingMultiprocessor", cfg: GPUConfig) -> List[WarpScheduler]:
+        return [cls(sm, i, cfg) for i in range(cfg.num_schedulers)]
+
+    return make
+
+
+def available_schedulers() -> List[str]:
+    """Sorted names of all registered schedulers."""
+    return sorted(_REGISTRY)
+
+
+def build_schedulers(
+    name: str, sm: "StreamingMultiprocessor", cfg: GPUConfig
+) -> List[WarpScheduler]:
+    """Instantiate the named scheduler's per-SM instances."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory(sm, cfg)

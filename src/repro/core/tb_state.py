@@ -1,0 +1,141 @@
+"""Thread-block state machine (paper Fig. 3).
+
+PRO classifies each resident TB into one of six states. During the
+*fastTBPhase* (TBs still waiting in the GPU-level Thread Block Scheduler):
+
+* ``NO_WAIT`` — default; no warp is waiting on siblings.
+* ``BARRIER_WAIT`` — at least one warp is waiting at a barrier.
+* ``FINISH_WAIT`` — at least one warp has finished execution.
+
+When the kernel enters the *slowTBPhase* (last TB dispatched):
+
+* ``FINISH_NO_WAIT`` — merger of NO_WAIT and FINISH_WAIT.
+* ``BARRIER_WAIT1`` — BARRIER_WAIT's slow-phase twin (exists so that the
+  all-warps-arrived transition lands in FINISH_NO_WAIT).
+* ``FINISH`` — terminal: every warp finished; the TB is deallocated.
+
+:func:`transition` is the single source of truth for the diagram; the PRO
+scheduler drives it and the property tests in ``tests/core/test_tb_state.py``
+verify it structurally (reachability, terminality, phase consistency).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+from ..errors import SchedulerError
+
+
+class TbState(enum.Enum):
+    """PRO thread-block states (Fig. 3)."""
+
+    NO_WAIT = "noWait"
+    BARRIER_WAIT = "barrierWait"
+    FINISH_WAIT = "finishWait"
+    BARRIER_WAIT1 = "barrierWait1"
+    FINISH_NO_WAIT = "finishNoWait"
+    FINISH = "finish"
+
+
+class TbEvent(enum.Enum):
+    """Events that drive TB state transitions."""
+
+    WARP_AT_BARRIER = "warpAtBarrier"  # first (or another) warp hits barrier
+    ALL_AT_BARRIER = "allWarpsAtBarrier"  # barrier releases
+    WARP_FINISHED = "warpFinished"
+    ALL_FINISHED = "allWarpsFinished"
+    PHASE_TO_SLOW = "fastToSlowPhase"  # last TB dispatched by the TB scheduler
+
+
+#: States only valid during the slow phase (Fig. 3's red states).
+SLOW_PHASE_STATES: FrozenSet[TbState] = frozenset(
+    {TbState.BARRIER_WAIT1, TbState.FINISH_NO_WAIT}
+)
+
+#: States only valid during the fast phase.
+FAST_PHASE_STATES: FrozenSet[TbState] = frozenset(
+    {TbState.NO_WAIT, TbState.FINISH_WAIT}
+)
+
+
+def transition(state: TbState, event: TbEvent, fast_phase: bool) -> TbState:
+    """Next state of a TB in ``state`` upon ``event``.
+
+    ``fast_phase`` is the *current* phase when the event fires —
+    Algorithm 1 re-reads ``TBsWaitingInThrdBlkSched()`` at each event, so
+    e.g. a barrier entered in the fast phase but released in the slow
+    phase lands in FINISH_NO_WAIT.
+    """
+    if state is TbState.FINISH:
+        raise SchedulerError("FINISH is terminal; no transitions allowed")
+
+    if event is TbEvent.ALL_FINISHED:
+        return TbState.FINISH
+
+    if event is TbEvent.PHASE_TO_SLOW:
+        if state is TbState.NO_WAIT or state is TbState.FINISH_WAIT:
+            return TbState.FINISH_NO_WAIT
+        if state is TbState.BARRIER_WAIT:
+            return TbState.BARRIER_WAIT1
+        return state  # already a slow-phase state
+
+    if event is TbEvent.WARP_AT_BARRIER:
+        if state is TbState.NO_WAIT:
+            return TbState.BARRIER_WAIT
+        if state is TbState.FINISH_NO_WAIT:
+            return TbState.BARRIER_WAIT1
+        # Additional warps arriving keep the TB in its barrier state.
+        if state in (TbState.BARRIER_WAIT, TbState.BARRIER_WAIT1):
+            return state
+        raise SchedulerError(
+            f"warp reached a barrier while TB is in {state.value}; "
+            "programs must not mix unreleased barriers with finished warps"
+        )
+
+    if event is TbEvent.ALL_AT_BARRIER:
+        if state not in (TbState.BARRIER_WAIT, TbState.BARRIER_WAIT1):
+            raise SchedulerError(
+                f"barrier release in non-barrier state {state.value}"
+            )
+        return TbState.NO_WAIT if fast_phase else TbState.FINISH_NO_WAIT
+
+    if event is TbEvent.WARP_FINISHED:
+        if state is TbState.NO_WAIT:
+            return TbState.FINISH_WAIT if fast_phase else TbState.FINISH_NO_WAIT
+        if state in (TbState.FINISH_WAIT, TbState.FINISH_NO_WAIT):
+            return state
+        raise SchedulerError(
+            f"warp finished while TB is in {state.value}; "
+            "programs must not mix unreleased barriers with finished warps"
+        )
+
+    raise SchedulerError(f"unhandled event {event!r}")  # pragma: no cover
+
+
+def allowed_transitions() -> Dict[Tuple[TbState, TbEvent, bool], TbState]:
+    """Enumerate every legal (state, event, phase) -> state edge.
+
+    Used by the property tests to check the machine against the paper's
+    Fig. 3 exhaustively.
+    """
+    table: Dict[Tuple[TbState, TbEvent, bool], TbState] = {}
+    for state in TbState:
+        if state is TbState.FINISH:
+            continue
+        for event in TbEvent:
+            for fast in (True, False):
+                try:
+                    table[(state, event, fast)] = transition(state, event, fast)
+                except SchedulerError:
+                    pass
+    return table
+
+
+def check_transition(state: TbState, event: TbEvent, fast_phase: bool) -> bool:
+    """True when the edge is legal (no exception)."""
+    try:
+        transition(state, event, fast_phase)
+        return True
+    except SchedulerError:
+        return False

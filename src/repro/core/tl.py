@@ -1,0 +1,98 @@
+"""Two-Level (TL) warp scheduler — Narasiman et al., MICRO-2011.
+
+Warps are partitioned into fixed-size *fetch groups*. Groups are held in a
+priority list; the scheduler serves the highest-priority group that has a
+ready warp (round robin within the group). When the head group cannot
+supply a warp — its warps stalled on long-latency operations — it is
+rotated to the back, letting the next group run ahead. The staggered
+group progress hides long latencies better than LRR; the paper's §II-A
+describes exactly this mechanism (and §III its limitation: groups still
+march in round-robin lockstep compared to PRO's progress-driven order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .scheduler import WarpScheduler, register_scheduler, simple_factory
+
+
+class _FetchGroup:
+    """One fetch group: a warp list plus a round-robin pointer."""
+
+    __slots__ = ("warps", "rr")
+
+    def __init__(self) -> None:
+        self.warps: List = []
+        self.rr = 0
+
+    def ordered(self) -> List:
+        n = len(self.warps)
+        if n == 0:
+            return []
+        start = self.rr % n
+        if start == 0:
+            return list(self.warps)
+        return self.warps[start:] + self.warps[:start]
+
+
+class TwoLevelScheduler(WarpScheduler):
+    """Fetch-group two-level round robin."""
+
+    name = "tl"
+
+    def __init__(self, sm, sched_id, cfg) -> None:
+        super().__init__(sm, sched_id, cfg)
+        self.group_size = cfg.tl_fetch_group_size
+        #: Groups in priority order (head = active group).
+        self._groups: List[_FetchGroup] = []
+
+    # -- pool maintenance ---------------------------------------------------
+
+    def on_tb_assigned(self, tb, cycle: int) -> None:
+        super().on_tb_assigned(tb, cycle)
+        for w in tb.warps:
+            if w.sched_id != self.sched_id:
+                continue
+            if self._groups and len(self._groups[-1].warps) < self.group_size:
+                self._groups[-1].warps.append(w)
+            else:
+                g = _FetchGroup()
+                g.warps.append(w)
+                self._groups.append(g)
+
+    def on_warp_finished(self, warp, cycle: int) -> None:
+        if warp.sched_id != self.sched_id:
+            return
+        super().on_warp_finished(warp, cycle)
+        for g in self._groups:
+            if warp in g.warps:
+                idx = g.warps.index(warp)
+                g.warps.remove(warp)
+                if idx < g.rr:
+                    g.rr -= 1
+                break
+        self._groups = [g for g in self._groups if g.warps]
+
+    # -- scheduling -------------------------------------------------------------
+
+    def order(self, cycle: int) -> Sequence:
+        out: List = []
+        for g in self._groups:
+            out.extend(g.ordered())
+        return out
+
+    def note_issued(self, warp, cycle: int) -> None:
+        groups = self._groups
+        for gi, g in enumerate(groups):
+            if warp in g.warps:
+                g.rr = g.warps.index(warp) + 1
+                if gi > 0:
+                    # Every higher-priority group failed to supply a ready
+                    # warp this cycle: they stalled on long latencies, so
+                    # rotate them behind (the TL group switch).
+                    self._groups = groups[gi:] + groups[:gi]
+                return
+
+
+register_scheduler("tl", simple_factory(TwoLevelScheduler))

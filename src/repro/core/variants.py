@@ -1,0 +1,33 @@
+"""PRO ablation variants (registered at import).
+
+* ``pro-nb`` — barrier handling disabled: TBs are never promoted to
+  barrierWait; barriers still synchronize physically, but the scheduler
+  does not react. The paper's §IV notes scalarProd runs ~11% faster this
+  way, motivating their future work on per-application profiling.
+* ``pro-nf`` — finish handling disabled: no finishWait promotion.
+* ``pro-norm`` — the normalized-progress extension: TBs and warps are
+  compared by *completion fraction* (progress / estimated total
+  thread-instructions) instead of raw counts. §III-C.1 discusses exactly
+  this normalization as an alternative (and notes even it is approximate);
+  §VI lists richer progress metrics as future work. The estimate comes
+  from each warp's launch-time dynamic instruction count.
+* :func:`pro_with_threshold` — PRO with a custom re-sort period, for the
+  THRESHOLD sensitivity ablation (the paper fixes THRESHOLD=1000).
+"""
+
+from __future__ import annotations
+
+from .pro import make_pro_factory
+from .scheduler import register_scheduler
+
+register_scheduler("pro-nb", make_pro_factory(handle_barrier=False))
+register_scheduler("pro-nf", make_pro_factory(handle_finish=False))
+register_scheduler("pro-norm", make_pro_factory(normalize=True))
+
+
+def pro_with_threshold(threshold: int) -> str:
+    """Register (idempotently) and return the name of a PRO variant whose
+    periodic sort runs every ``threshold`` cycles."""
+    name = f"pro-t{threshold}"
+    register_scheduler(name, make_pro_factory(threshold=threshold))
+    return name

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the PRO reproduction library.
+
+Every error raised intentionally by the simulator derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine Python bugs (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`repro.config.GPUConfig`."""
+
+
+class ProgramError(ReproError):
+    """A malformed SIMT program (bad branch target, missing EXIT, ...)."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch that cannot run on the configured GPU.
+
+    Raised e.g. when a single thread block needs more registers, threads or
+    shared memory than one SM provides — the same situation in which a real
+    CUDA launch would fail with ``cudaErrorInvalidConfiguration``.
+    """
+
+
+class SchedulerError(ReproError):
+    """Unknown scheduler name or an internal scheduler invariant violation."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state (deadlock, lost warp, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Unknown benchmark kernel or invalid workload parameters."""

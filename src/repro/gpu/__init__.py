@@ -1,0 +1,7 @@
+"""Top-level GPU: global clock, thread block scheduler, kernel launches."""
+
+from .gpu import Gpu
+from .launch import KernelLaunch, RunResult
+from .tb_scheduler import ThreadBlockScheduler
+
+__all__ = ["Gpu", "KernelLaunch", "RunResult", "ThreadBlockScheduler"]

@@ -1,0 +1,162 @@
+"""Gpu — the top-level simulator object.
+
+Owns the SMs, the shared memory subsystem and the Thread Block Scheduler,
+and drives the global clock. The main loop advances time to the earliest
+cycle at which *any* SM can make progress (each SM maintains its own
+``sleep_until``, see :mod:`repro.simt.sm`), steps every due SM in id order
+(determinism), and finishes when the last TB completes.
+
+Typical use::
+
+    gpu = Gpu(GPUConfig.scaled(), scheduler="pro")
+    result = gpu.run(KernelLaunch(program, num_tbs=96))
+    print(result.cycles, result.counters.stall_breakdown())
+
+A ``Gpu`` may run several kernels sequentially; caches and DRAM state are
+reset between launches (cold-start semantics, matching how the paper
+simulates each kernel independently).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import GPUConfig
+from ..core.scheduler import build_schedulers
+from ..errors import SimulationError
+from ..memory.subsystem import MemorySubsystem
+from ..simt.occupancy import max_resident_tbs
+from ..simt.sm import NEVER, StreamingMultiprocessor
+from ..simt.threadblock import ThreadBlock
+from ..stats.counters import GpuCounters, SmCounters
+from ..stats.timeline import SortTraceRecorder, TimelineRecorder
+from ..stats.trace import IssueTrace
+from .launch import KernelLaunch, RunResult
+from .tb_scheduler import ThreadBlockScheduler
+
+
+class Gpu:
+    """A configured GPU with a chosen warp scheduling algorithm."""
+
+    def __init__(self, cfg: GPUConfig, scheduler: str = "lrr") -> None:
+        self.cfg = cfg
+        self.scheduler_name = scheduler
+        self.memory = MemorySubsystem(cfg)
+        self.sms: List[StreamingMultiprocessor] = [
+            StreamingMultiprocessor(i, cfg, self.memory, gpu=self)
+            for i in range(cfg.num_sms)
+        ]
+        for sm in self.sms:
+            sm.attach_schedulers(build_schedulers(scheduler, sm, cfg))
+        self.tb_scheduler: ThreadBlockScheduler = ThreadBlockScheduler([])
+        self._cycle = 0
+
+    # ------------------------------------------------------------------
+    def on_tb_finished(self, sm: StreamingMultiprocessor, cycle: int) -> None:
+        """SM callback: a TB completed; refill that SM from the queue."""
+        self.tb_scheduler.note_tb_finished()
+        self.tb_scheduler.refill(sm, cycle)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        launch: KernelLaunch,
+        *,
+        timeline: Optional[TimelineRecorder] = None,
+        sort_trace: Optional[SortTraceRecorder] = None,
+        trace: Optional["IssueTrace"] = None,
+    ) -> RunResult:
+        """Simulate one kernel launch to completion.
+
+        ``timeline`` / ``sort_trace`` / ``trace`` are optional recorders
+        (Fig. 2 data, Table IV data, per-issue debugging respectively);
+        untraced runs pay nothing for them.
+        """
+        cfg = self.cfg
+        program = launch.program
+        program.finalize(cfg.latency)
+        # Raises LaunchError if a single TB cannot fit.
+        max_resident_tbs(program, cfg)
+
+        self._reset_for_launch(timeline, sort_trace)
+        if trace is not None:
+            for sm in self.sms:
+                sm.trace = trace
+        tbs = [ThreadBlock(i, program) for i in range(launch.num_tbs)]
+        self.tb_scheduler = ThreadBlockScheduler(tbs)
+        self.tb_scheduler.initial_fill(self.sms, cycle=0)
+
+        sms = self.sms
+        max_cycles = cfg.max_cycles
+        cycle = 0
+        while not self.tb_scheduler.all_finished:
+            # Next cycle at which any SM can act.
+            nxt = NEVER
+            for sm in sms:
+                su = sm.sleep_until
+                if su < nxt and sm.resident_tbs:
+                    nxt = su
+            if nxt >= NEVER:
+                raise SimulationError(
+                    f"global deadlock at cycle {cycle}: "
+                    f"{self.tb_scheduler.total - self.tb_scheduler.finished_count} "
+                    "TB(s) unfinished but no SM can progress"
+                )
+            if nxt > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}; "
+                    "likely runaway workload configuration"
+                )
+            cycle = nxt
+            for sm in sms:
+                if sm.sleep_until <= cycle and sm.resident_tbs:
+                    sm.step(cycle)
+        # Cycles are 0-indexed step instants; the elapsed duration includes
+        # the final instant, so every SM's accounting sums exactly to it.
+        duration = cycle + 1
+        self._cycle = duration
+
+        counters = self._collect_counters(duration)
+        return RunResult(
+            kernel_name=program.name,
+            scheduler=self.scheduler_name,
+            num_tbs=launch.num_tbs,
+            cycles=duration,
+            counters=counters,
+            timeline=timeline,
+            sort_trace=sort_trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _reset_for_launch(
+        self,
+        timeline: Optional[TimelineRecorder],
+        sort_trace: Optional[SortTraceRecorder],
+    ) -> None:
+        cfg = self.cfg
+        self.memory.reset()
+        self.sms = [
+            StreamingMultiprocessor(i, cfg, self.memory, gpu=self)
+            for i in range(cfg.num_sms)
+        ]
+        for sm in self.sms:
+            sm.attach_schedulers(build_schedulers(self.scheduler_name, sm, cfg))
+            sm.timeline = timeline
+            if sort_trace is not None:
+                for listener in sm.listeners:
+                    if hasattr(listener, "sort_trace"):
+                        listener.sort_trace = sort_trace
+
+    def _collect_counters(self, cycle: int) -> GpuCounters:
+        for sm in self.sms:
+            sm.finalize_accounting(cycle)
+        counters = GpuCounters(
+            total_cycles=cycle,
+            per_sm=[sm.counters for sm in self.sms],
+        )
+        l1 = self.memory.l1_stats_total()
+        l2 = self.memory.l2_stats_total()
+        counters.l1_miss_rate = l1.miss_rate
+        counters.l2_miss_rate = l2.miss_rate
+        counters.dram_row_hit_rate = self.memory.dram.stats.row_hit_rate
+        return counters

@@ -1,0 +1,65 @@
+"""Kernel launch descriptor and run result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import LaunchError
+from ..isa.program import Program
+from ..stats.counters import GpuCounters
+from ..stats.timeline import SortTraceRecorder, TimelineRecorder
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A grid launch: a program plus the number of thread blocks.
+
+    The (threads per TB, registers, shared memory) triple lives on the
+    :class:`~repro.isa.program.Program`, mirroring how a compiled CUDA
+    kernel fixes those at compile time while the grid size is a launch
+    parameter.
+    """
+
+    program: Program
+    num_tbs: int
+
+    def __post_init__(self) -> None:
+        if self.num_tbs <= 0:
+            raise LaunchError("num_tbs must be positive")
+
+
+@dataclass
+class RunResult:
+    """Everything a finished kernel simulation produced."""
+
+    #: Kernel/launch identification.
+    kernel_name: str
+    scheduler: str
+    num_tbs: int
+    #: Total simulation cycles (the paper's performance metric).
+    cycles: int
+    counters: GpuCounters
+    timeline: Optional[TimelineRecorder] = None
+    sort_trace: Optional[SortTraceRecorder] = None
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions per cycle."""
+        return self.counters.ipc
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline cycles / our cycles (>1 means we are faster)."""
+        if self.cycles == 0:
+            raise ZeroDivisionError("run completed in zero cycles")
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        c = self.counters
+        return (
+            f"{self.kernel_name:<28s} {self.scheduler:<7s} "
+            f"cycles={self.cycles:>9d} ipc={self.ipc:5.2f} "
+            f"stalls(idle/sb/pipe)={c.stall_idle}/{c.stall_scoreboard}/"
+            f"{c.stall_pipeline}"
+        )

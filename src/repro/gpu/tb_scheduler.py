@@ -1,0 +1,85 @@
+"""GPU-level Thread Block Scheduler (the "global work distribution engine").
+
+Holds the grid's not-yet-dispatched TBs in launch order. At kernel start it
+fills every SM round-robin up to resource limits; afterwards, whenever a TB
+finishes on an SM, the freed resources are immediately offered to the next
+pending TB (paper §I: "the remaining TBs are assigned one at a time to an
+SM as and when a previously assigned TB finishes").
+
+``has_pending()`` is the paper's ``TBsWaitingInThrdBlkSched()``: True while
+the kernel is in the fastTBPhase.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List
+
+from ..simt.threadblock import ThreadBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simt.sm import StreamingMultiprocessor
+
+
+class ThreadBlockScheduler:
+    """FIFO dispatcher of TBs to SMs with capacity."""
+
+    def __init__(self, tbs: List[ThreadBlock]) -> None:
+        self._pending: Deque[ThreadBlock] = deque(tbs)
+        self._total = len(tbs)
+        self._finished = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def has_pending(self) -> bool:
+        """True while TBs wait for dispatch (the fastTBPhase predicate)."""
+        return bool(self._pending)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def finished_count(self) -> int:
+        return self._finished
+
+    @property
+    def all_finished(self) -> bool:
+        return self._finished == self._total
+
+    # -- dispatch -----------------------------------------------------------
+
+    def initial_fill(self, sms: List["StreamingMultiprocessor"], cycle: int = 0) -> int:
+        """Round-robin dispatch at kernel start; returns TBs placed.
+
+        Matches hardware: TBs are dealt one per SM in turn until either the
+        queue drains or no SM can accept another TB.
+        """
+        placed = 0
+        progress = True
+        while self._pending and progress:
+            progress = False
+            for sm in sms:
+                if not self._pending:
+                    break
+                if sm.can_accept(self._pending[0]):
+                    sm.assign_tb(self._pending.popleft(), cycle)
+                    placed += 1
+                    progress = True
+        return placed
+
+    def refill(self, sm: "StreamingMultiprocessor", cycle: int) -> int:
+        """Offer pending TBs to one SM (after it freed resources)."""
+        placed = 0
+        while self._pending and sm.can_accept(self._pending[0]):
+            sm.assign_tb(self._pending.popleft(), cycle)
+            placed += 1
+        return placed
+
+    def note_tb_finished(self) -> None:
+        """Bookkeeping hook called by the GPU for each completed TB."""
+        self._finished += 1

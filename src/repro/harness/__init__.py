@@ -1,0 +1,43 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+See DESIGN.md §5 for the experiment index. Typical use::
+
+    from repro.harness import ExperimentSetup, fig4_speedups
+    setup = ExperimentSetup()          # 4-SM scaled config, scale 1.0
+    result = fig4_speedups(setup)
+    print(result.render())
+"""
+
+from .runner import ExperimentSetup, ResultCache, run_kernel
+from .experiments import (
+    ablation_barrier_handling,
+    ablation_progress_normalization,
+    ablation_threshold,
+    extra_scheduler_comparison,
+    fig1_stall_breakdown,
+    fig2_tb_timeline,
+    fig4_speedups,
+    fig5_stall_improvement,
+    table1_config,
+    table2_benchmarks,
+    table3_stall_ratios,
+    table4_sort_trace,
+)
+
+__all__ = [
+    "ExperimentSetup",
+    "ResultCache",
+    "ablation_barrier_handling",
+    "ablation_progress_normalization",
+    "ablation_threshold",
+    "extra_scheduler_comparison",
+    "fig1_stall_breakdown",
+    "fig2_tb_timeline",
+    "fig4_speedups",
+    "fig5_stall_improvement",
+    "run_kernel",
+    "table1_config",
+    "table2_benchmarks",
+    "table3_stall_ratios",
+    "table4_sort_trace",
+]

@@ -1,0 +1,143 @@
+"""Command-line entry point: ``pro-sim <experiment>``.
+
+Examples::
+
+    pro-sim table2                 # benchmark inventory
+    pro-sim fig4 --sms 4           # per-kernel speedups (the headline)
+    pro-sim all --out results.txt  # every artifact, sharing runs
+    pro-sim fig4 --json fig4.json  # machine-readable export
+    pro-sim run scalarProdGPU --scheduler pro  # one simulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from ..config import GPUConfig
+from ..workloads import get_kernel
+from . import experiments
+from .runner import ExperimentSetup
+
+#: experiment name -> callable(setup) -> result object with .render()
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": experiments.table1_config,
+    "table2": experiments.table2_benchmarks,
+    "fig1": experiments.fig1_stall_breakdown,
+    "fig2": experiments.fig2_tb_timeline,
+    "fig4": experiments.fig4_speedups,
+    "fig5": experiments.fig5_stall_improvement,
+    "table3": experiments.table3_stall_ratios,
+    "table4": experiments.table4_sort_trace,
+    "ablation-barrier": experiments.ablation_barrier_handling,
+    "ablation-threshold": experiments.ablation_threshold,
+    "ablation-norm": experiments.ablation_progress_normalization,
+    "extra-schedulers": experiments.extra_scheduler_comparison,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="pro-sim",
+        description="Reproduce the tables and figures of 'PRO: Progress "
+                    "Aware GPU Warp Scheduling Algorithm' (IPDPS 2015).",
+    )
+    p.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "run"],
+        help="which artifact to regenerate ('all' = every one; 'run' = a "
+             "single kernel simulation)",
+    )
+    p.add_argument("kernel", nargs="?", default=None,
+                   help="kernel name (only for 'run')")
+    p.add_argument("--sms", type=int, default=4,
+                   help="number of SMs (default 4; 14 = paper Table I)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload grid-size multiplier (default 1.0)")
+    p.add_argument("--scheduler", default="pro",
+                   help="scheduler for 'run' (default pro)")
+    p.add_argument("--threshold", type=int, default=None,
+                   help="PRO sort period for 'table4' (default: a period "
+                        "scaled to the model's TB lifetimes; pass 1000 for "
+                        "the paper-literal value)")
+    p.add_argument("--out", default=None,
+                   help="also write the report to this file")
+    p.add_argument("--json", default=None, dest="json_out",
+                   help="also dump the experiment's raw data as JSON "
+                        "(not supported for 'all'/'run')")
+    return p
+
+
+def to_jsonable(result) -> dict:
+    """Convert an experiment result dataclass to plain JSON-able data.
+
+    Dict keys that are not str/int are stringified; dataclass fields are
+    flattened recursively. Render-only helpers are dropped.
+    """
+
+    def convert(obj):
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return {
+                f.name: convert(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            }
+        if isinstance(obj, dict):
+            return {str(k): convert(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [convert(v) for v in obj]
+        return obj
+
+    return convert(result)
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    setup = ExperimentSetup(config=GPUConfig.scaled(args.sms),
+                            scale=args.scale)
+
+    chunks = []
+    t0 = time.time()
+    if args.experiment == "run":
+        if not args.kernel:
+            print("error: 'run' requires a kernel name", file=sys.stderr)
+            return 2
+        result = setup.run(get_kernel(args.kernel), args.scheduler)
+        chunks.append(result.summary())
+        b = result.counters.stall_breakdown()
+        chunks.append(
+            f"stall breakdown: idle={b['idle']:.1%} "
+            f"scoreboard={b['scoreboard']:.1%} pipeline={b['pipeline']:.1%}"
+        )
+    elif args.experiment == "all":
+        for name, fn in EXPERIMENTS.items():
+            chunks.append(f"### {name}")
+            chunks.append(fn(setup).render())
+            chunks.append("")
+    elif args.experiment == "table4" and args.threshold is not None:
+        chunks.append(
+            experiments.table4_sort_trace(setup,
+                                          threshold=args.threshold).render()
+        )
+    else:
+        result = EXPERIMENTS[args.experiment](setup)
+        chunks.append(result.render())
+        if args.json_out:
+            with open(args.json_out, "w") as f:
+                json.dump(to_jsonable(result), f, indent=2, default=str)
+    chunks.append(f"\n[{time.time() - t0:.1f}s, {args.sms} SMs, "
+                  f"scale {args.scale}]")
+
+    report = "\n".join(chunks)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Simulation runner with cross-experiment result caching.
+
+Fig. 4, Fig. 5 and Table III all consume the same 25-kernel x 4-scheduler
+run matrix; :class:`ResultCache` memoizes runs per (kernel, scheduler,
+config, scale) so a full `all` harness invocation simulates each cell
+exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import GPUConfig
+from ..gpu.gpu import Gpu
+from ..gpu.launch import RunResult
+from ..stats.timeline import SortTraceRecorder, TimelineRecorder
+from ..workloads import KernelModel, get_kernel
+
+#: The scheduler set of the paper's evaluation.
+PAPER_SCHEDULERS = ("tl", "lrr", "gto", "pro")
+
+
+@dataclass
+class ExperimentSetup:
+    """Shared configuration of one harness session.
+
+    The default is the scaled 4-SM configuration (DESIGN.md §2); pass
+    ``config=GPUConfig.gtx480()`` and a larger ``scale`` for a
+    paper-faithful (but much slower) run.
+    """
+
+    config: GPUConfig = field(default_factory=lambda: GPUConfig.scaled(4))
+    #: Workload grid-size multiplier (1.0 = the models' scaled defaults).
+    scale: float = 1.0
+    cache: "ResultCache" = field(default_factory=lambda: ResultCache())
+
+    def run(self, kernel: str | KernelModel, scheduler: str,
+            **kwargs) -> RunResult:
+        """Run (or fetch from cache) one kernel under one scheduler."""
+        return self.cache.run(kernel, scheduler, self.config, self.scale,
+                              **kwargs)
+
+
+class ResultCache:
+    """Memoizes RunResults keyed by (kernel, scheduler, config, scale).
+
+    Runs requesting recorders (timeline / sort trace) are cached under a
+    distinct key so plain runs never pay recording overhead.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[Tuple, RunResult] = {}
+
+    def run(
+        self,
+        kernel: str | KernelModel,
+        scheduler: str,
+        config: GPUConfig,
+        scale: float = 1.0,
+        *,
+        with_timeline: bool = False,
+        with_sort_trace: bool = False,
+        trace_sm: int = 0,
+    ) -> RunResult:
+        model = kernel if isinstance(kernel, KernelModel) else get_kernel(kernel)
+        key = (model.name, scheduler, id_of(config), scale,
+               with_timeline, with_sort_trace, trace_sm)
+        hit = self._results.get(key)
+        if hit is not None:
+            return hit
+        timeline = TimelineRecorder() if with_timeline else None
+        sort_trace = (
+            SortTraceRecorder(sm_id=trace_sm) if with_sort_trace else None
+        )
+        gpu = Gpu(config, scheduler=scheduler)
+        result = gpu.run(
+            model.build_launch(scale), timeline=timeline, sort_trace=sort_trace
+        )
+        self._results[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+def id_of(config: GPUConfig) -> Tuple:
+    """Hashable identity of a config (frozen dataclasses hash by value)."""
+    return (config,)
+
+
+def run_kernel(
+    kernel: str | KernelModel,
+    scheduler: str = "pro",
+    config: Optional[GPUConfig] = None,
+    scale: float = 1.0,
+    **kwargs,
+) -> RunResult:
+    """One-shot convenience runner (no cache)."""
+    cache = ResultCache()
+    return cache.run(kernel, scheduler, config or GPUConfig.scaled(4),
+                     scale, **kwargs)

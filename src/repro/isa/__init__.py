@@ -1,0 +1,47 @@
+"""SIMT instruction set for the PRO reproduction simulator.
+
+A *program* is a linear list of :class:`~repro.isa.instructions.Instruction`
+objects executed in order by every warp of a kernel, with backward branches
+(loops), barriers and an explicit EXIT. Memory instructions carry an
+:class:`~repro.isa.patterns.AccessPattern` that deterministically generates
+the cache-line addresses each dynamic execution touches, which is what the
+memory hierarchy simulates.
+
+Programs are most conveniently written with the
+:class:`~repro.isa.builder.ProgramBuilder` DSL::
+
+    b = ProgramBuilder("saxpy")
+    b.load_global(dst=1, pattern=Coalesced(base=0x1000_0000))
+    b.load_global(dst=2, pattern=Coalesced(base=0x2000_0000))
+    b.fma(dst=3, srcs=(1, 2))
+    b.store_global(srcs=(3,), pattern=Coalesced(base=0x3000_0000))
+    program = b.exit().build()
+"""
+
+from .instructions import ExecUnit, Instruction, Opcode
+from .patterns import (
+    AccessContext,
+    AccessPattern,
+    Broadcast,
+    Chase,
+    Coalesced,
+    Random,
+    Strided,
+)
+from .program import Program
+from .builder import ProgramBuilder
+
+__all__ = [
+    "AccessContext",
+    "AccessPattern",
+    "Broadcast",
+    "Chase",
+    "Coalesced",
+    "ExecUnit",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "Random",
+    "Strided",
+]

@@ -1,0 +1,213 @@
+"""ProgramBuilder — an ergonomic DSL for authoring SIMT programs.
+
+Workload models (``repro.workloads``) and user code build programs with
+this fluent builder rather than hand-writing instruction lists::
+
+    b = ProgramBuilder("dot", threads_per_tb=256, shared_mem_per_tb=1024)
+    with b.loop(times=16):
+        b.load_global(1, pattern=Coalesced(iter_stride=4096))
+        b.load_global(2, pattern=Coalesced(base=1 << 30, iter_stride=4096))
+        b.fma(3, (1, 2, 3))
+    b.store_shared((3,))
+    b.barrier()
+    program = b.exit().build()
+
+Loops nest; ``times`` may be a constant or a per-warp callable
+``(tb_index, warp_in_tb) -> int`` (>= 1), which is how workloads model
+warp-level divergence.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Tuple
+
+from ..errors import ProgramError
+from .instructions import ActiveCount, Instruction, Opcode, TripCount
+from .patterns import AccessPattern
+from .program import Program
+
+
+class ProgramBuilder:
+    """Incrementally builds a validated :class:`~repro.isa.program.Program`."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        threads_per_tb: int = 256,
+        regs_per_thread: int = 16,
+        shared_mem_per_tb: int = 0,
+    ) -> None:
+        self.name = name
+        self.threads_per_tb = threads_per_tb
+        self.regs_per_thread = regs_per_thread
+        self.shared_mem_per_tb = shared_mem_per_tb
+        self._instrs: list[Instruction] = []
+        self._open_loops = 0
+        self._built = False
+
+    # -- compute ----------------------------------------------------------
+
+    def ialu(self, dst: int, srcs: Tuple[int, ...] = (), *, active: Optional[ActiveCount] = None) -> "ProgramBuilder":
+        """Append an integer ALU op (short latency, SP unit)."""
+        return self._append(Instruction(Opcode.IALU, dst, srcs, active=active))
+
+    def falu(self, dst: int, srcs: Tuple[int, ...] = (), *, active: Optional[ActiveCount] = None) -> "ProgramBuilder":
+        """Append a float add/mul (short latency, SP unit)."""
+        return self._append(Instruction(Opcode.FALU, dst, srcs, active=active))
+
+    def fma(self, dst: int, srcs: Tuple[int, ...] = (), *, active: Optional[ActiveCount] = None) -> "ProgramBuilder":
+        """Append a fused multiply-add (medium latency, SP unit)."""
+        return self._append(Instruction(Opcode.FMA, dst, srcs, active=active))
+
+    def sfu(self, dst: int, srcs: Tuple[int, ...] = (), *, active: Optional[ActiveCount] = None) -> "ProgramBuilder":
+        """Append a special-function op (long latency, SFU unit)."""
+        return self._append(Instruction(Opcode.SFU, dst, srcs, active=active))
+
+    def alu_chain(self, n: int, *, dst: int = 0, dep: bool = True) -> "ProgramBuilder":
+        """Append *n* ALU ops; ``dep=True`` makes each depend on the previous.
+
+        A dependent chain exposes ALU latency (scoreboard stalls); an
+        independent chain is pure issue-bandwidth work. Convenience for
+        workload modeling.
+        """
+        if n < 0:
+            raise ProgramError("alu_chain length must be >= 0")
+        for _ in range(n):
+            self.ialu(dst, (dst,) if dep else ())
+        return self
+
+    # -- memory -------------------------------------------------------------
+
+    def load_global(
+        self,
+        dst: int,
+        *,
+        pattern: AccessPattern,
+        srcs: Tuple[int, ...] = (),
+        active: Optional[ActiveCount] = None,
+    ) -> "ProgramBuilder":
+        """Append a global load writing ``dst`` (long, dynamic latency)."""
+        return self._append(
+            Instruction(Opcode.LDG, dst, srcs, pattern=pattern, active=active)
+        )
+
+    def store_global(
+        self,
+        srcs: Tuple[int, ...],
+        *,
+        pattern: AccessPattern,
+        active: Optional[ActiveCount] = None,
+    ) -> "ProgramBuilder":
+        """Append a global store (fire-and-forget, consumes LSU + DRAM bw)."""
+        return self._append(
+            Instruction(Opcode.STG, None, srcs, pattern=pattern, active=active)
+        )
+
+    def load_shared(
+        self,
+        dst: int,
+        *,
+        srcs: Tuple[int, ...] = (),
+        conflict_ways: int = 1,
+        active: Optional[ActiveCount] = None,
+    ) -> "ProgramBuilder":
+        """Append a shared-memory load (fixed latency + bank conflicts)."""
+        return self._append(
+            Instruction(
+                Opcode.LDS, dst, srcs, conflict_ways=conflict_ways, active=active
+            )
+        )
+
+    def store_shared(
+        self,
+        srcs: Tuple[int, ...],
+        *,
+        conflict_ways: int = 1,
+        active: Optional[ActiveCount] = None,
+    ) -> "ProgramBuilder":
+        """Append a shared-memory store."""
+        return self._append(
+            Instruction(
+                Opcode.STS, None, srcs, conflict_ways=conflict_ways, active=active
+            )
+        )
+
+    # -- control ------------------------------------------------------------
+
+    def barrier(self) -> "ProgramBuilder":
+        """Append a thread-block barrier (``__syncthreads``)."""
+        return self._append(Instruction(Opcode.BAR))
+
+    @contextlib.contextmanager
+    def loop(self, times: TripCount) -> Iterator[None]:
+        """Context manager: the body executes ``times`` times per warp.
+
+        ``times`` may be an int (>= 1) or a callable
+        ``(tb_index, warp_in_tb) -> int`` evaluated per warp at launch
+        (must resolve >= 1). Implemented as a backward branch at loop end
+        taken ``times - 1`` times.
+        """
+        if isinstance(times, int) and times < 1:
+            raise ProgramError("loop times must be >= 1")
+        start_pc = len(self._instrs)
+        self._open_loops += 1
+        try:
+            yield
+        finally:
+            self._open_loops -= 1
+        if len(self._instrs) == start_pc:
+            raise ProgramError("loop body cannot be empty")
+        if callable(times):
+            fn = times
+
+            def trips(tb: int, w: int, _fn=fn) -> int:
+                n = _fn(tb, w)
+                if n < 1:
+                    raise ProgramError(
+                        f"loop trip callable resolved to {n}; must be >= 1"
+                    )
+                return n - 1
+
+        else:
+            trips = times - 1
+        self._append(Instruction(Opcode.BRA, target=start_pc, trips=trips))
+
+    def exit(self) -> "ProgramBuilder":
+        """Append the terminating EXIT instruction."""
+        return self._append(Instruction(Opcode.EXIT))
+
+    # -- finalization ---------------------------------------------------------
+
+    def build(self) -> Program:
+        """Validate and return the finished program.
+
+        Appends EXIT automatically if the caller did not. The builder is
+        single-use; ``build`` may only be called once.
+        """
+        if self._built:
+            raise ProgramError("ProgramBuilder.build() may only be called once")
+        if self._open_loops:
+            raise ProgramError("build() called inside an open loop")
+        if not self._instrs or self._instrs[-1].op is not Opcode.EXIT:
+            self.exit()
+        self._built = True
+        return Program(
+            self.name,
+            self._instrs,
+            threads_per_tb=self.threads_per_tb,
+            regs_per_thread=self.regs_per_thread,
+            shared_mem_per_tb=self.shared_mem_per_tb,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _append(self, instr: Instruction) -> "ProgramBuilder":
+        if self._built:
+            raise ProgramError("cannot append to a built program")
+        self._instrs.append(instr)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._instrs)

@@ -1,0 +1,232 @@
+"""Instruction and opcode definitions.
+
+The instruction set is a distilled PTX: enough opcodes to express the
+compute/memory/synchronization structure that warp schedulers react to,
+and nothing more. Operands are warp-level architectural registers
+(small integers); actual data values are not simulated — only the
+*dependence* and *latency* structure matters for scheduling studies,
+exactly as in trace-driven GPU simulators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Tuple, Union
+
+from ..errors import ProgramError
+from .patterns import AccessPattern
+
+
+class ExecUnit(enum.IntEnum):
+    """Issue-port class an instruction occupies.
+
+    Matches the Fermi SM structure the paper assumes: SP (ALU) ports,
+    one SFU port, one LSU port. ``NONE`` marks control instructions
+    (barrier, exit) that consume an issue slot but no execution port.
+    """
+
+    SP = 0
+    SFU = 1
+    LSU = 2
+    NONE = 3
+
+
+class Opcode(enum.Enum):
+    """Distilled PTX opcodes."""
+
+    #: Integer add/sub/logic — short ALU latency.
+    IALU = "ialu"
+    #: Single-precision add/mul — short ALU latency.
+    FALU = "falu"
+    #: Integer multiply / float FMA — medium latency.
+    FMA = "fma"
+    #: Special function (rsqrt, sin, exp) — SFU, long-ish latency.
+    SFU = "sfu"
+    #: Global memory load (through L1/L2/DRAM).
+    LDG = "ldg"
+    #: Global memory store (write-through, fire-and-forget).
+    STG = "stg"
+    #: Shared memory load.
+    LDS = "lds"
+    #: Shared memory store.
+    STS = "sts"
+    #: Thread-block-wide barrier (``__syncthreads``).
+    BAR = "bar"
+    #: Backward branch (loop) with a per-warp trip count.
+    BRA = "bra"
+    #: Kernel exit for the warp.
+    EXIT = "exit"
+
+
+#: Execution unit for each opcode.
+OPCODE_UNIT: dict[Opcode, ExecUnit] = {
+    Opcode.IALU: ExecUnit.SP,
+    Opcode.FALU: ExecUnit.SP,
+    Opcode.FMA: ExecUnit.SP,
+    Opcode.SFU: ExecUnit.SFU,
+    Opcode.LDG: ExecUnit.LSU,
+    Opcode.STG: ExecUnit.LSU,
+    Opcode.LDS: ExecUnit.LSU,
+    Opcode.STS: ExecUnit.LSU,
+    Opcode.BAR: ExecUnit.NONE,
+    Opcode.BRA: ExecUnit.SP,
+    Opcode.EXIT: ExecUnit.NONE,
+}
+
+#: Opcodes that read or write memory.
+MEMORY_OPCODES = frozenset({Opcode.LDG, Opcode.STG, Opcode.LDS, Opcode.STS})
+#: Opcodes that produce a register result.
+WRITING_OPCODES = frozenset(
+    {Opcode.IALU, Opcode.FALU, Opcode.FMA, Opcode.SFU, Opcode.LDG, Opcode.LDS}
+)
+
+#: Per-warp trip-count specification for a branch: a constant, or a callable
+#: ``(tb_index, warp_in_tb) -> int`` evaluated at warp launch. Callables are
+#: how workloads inject *warp-level divergence* (paper §II-B).
+TripCount = Union[int, Callable[[int, int], int]]
+
+#: Active-thread count specification: a constant (<= warp size), or a callable
+#: ``(tb_index, warp_in_tb) -> int``. Models intra-warp (branch) divergence:
+#: progress accounting and memory divergence both honour it.
+ActiveCount = Union[int, Callable[[int, int], int]]
+
+
+class Instruction:
+    """One static SIMT instruction.
+
+    Parameters
+    ----------
+    op:
+        The :class:`Opcode`.
+    dst:
+        Destination register index, or ``None`` for non-writing ops.
+    srcs:
+        Source register indices (dependences the scoreboard enforces).
+    pattern:
+        For LDG/STG: the :class:`~repro.isa.patterns.AccessPattern`
+        generating the global-memory line addresses of each dynamic
+        execution.
+    conflict_ways:
+        For LDS/STS: shared-memory bank-conflict degree (1 = conflict
+        free); each extra way serializes the access further.
+    target:
+        For BRA: the (backward) branch target pc.
+    trips:
+        For BRA: per-warp taken-count (see :data:`TripCount`).
+    active:
+        Active threads executing this instruction (see :data:`ActiveCount`).
+        Defaults to a full warp.
+    """
+
+    __slots__ = (
+        "op",
+        "dst",
+        "srcs",
+        "pattern",
+        "conflict_ways",
+        "target",
+        "trips",
+        "active",
+        "unit",
+        "latency",
+        "pc",
+    )
+
+    def __init__(
+        self,
+        op: Opcode,
+        dst: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        *,
+        pattern: Optional[AccessPattern] = None,
+        conflict_ways: int = 1,
+        target: Optional[int] = None,
+        trips: Optional[TripCount] = None,
+        active: Optional[ActiveCount] = None,
+    ) -> None:
+        self.op = op
+        self.dst = dst
+        self.srcs = tuple(srcs)
+        self.pattern = pattern
+        self.conflict_ways = conflict_ways
+        self.target = target
+        self.trips = trips
+        self.active = active
+        self.unit = OPCODE_UNIT[op]
+        #: Writeback latency in cycles; resolved by Program.finalize().
+        self.latency: int = 0
+        #: Static pc within the owning program; set by Program.
+        self.pc: int = -1
+        self._check()
+
+    def _check(self) -> None:
+        op = self.op
+        if op in WRITING_OPCODES and self.dst is None:
+            raise ProgramError(f"{op.value} requires a destination register")
+        if op not in WRITING_OPCODES and self.dst is not None:
+            raise ProgramError(f"{op.value} cannot write a register")
+        if op in (Opcode.LDG, Opcode.STG):
+            if self.pattern is None:
+                raise ProgramError(f"{op.value} requires an access pattern")
+        elif self.pattern is not None:
+            raise ProgramError(f"{op.value} cannot carry an access pattern")
+        if op in (Opcode.LDS, Opcode.STS):
+            if self.conflict_ways < 1:
+                raise ProgramError("conflict_ways must be >= 1")
+        if op is Opcode.BRA:
+            if self.target is None or self.trips is None:
+                raise ProgramError("bra requires target and trips")
+        else:
+            if self.target is not None or self.trips is not None:
+                raise ProgramError(f"{op.value} cannot carry branch fields")
+        if self.dst is not None and self.dst < 0:
+            raise ProgramError("register indices must be non-negative")
+        if any(s < 0 for s in self.srcs):
+            raise ProgramError("register indices must be non-negative")
+        if isinstance(self.active, int) and self.active <= 0:
+            raise ProgramError("constant active count must be positive")
+
+    # -- launch-time resolution helpers ------------------------------------
+
+    def resolve_trips(self, tb_index: int, warp_in_tb: int) -> int:
+        """Evaluate the branch trip count for one warp (>= 0)."""
+        trips = self.trips
+        n = trips(tb_index, warp_in_tb) if callable(trips) else int(trips)
+        if n < 0:
+            raise ProgramError(
+                f"trip count for pc {self.pc} resolved negative ({n})"
+            )
+        return n
+
+    def resolve_active(self, tb_index: int, warp_in_tb: int, warp_size: int) -> int:
+        """Evaluate the active-thread count for one warp (1..warp_size)."""
+        active = self.active
+        if active is None:
+            return warp_size
+        n = active(tb_index, warp_in_tb) if callable(active) else int(active)
+        if not 1 <= n <= warp_size:
+            raise ProgramError(
+                f"active count for pc {self.pc} resolved to {n}, "
+                f"outside 1..{warp_size}"
+            )
+        return n
+
+    @property
+    def is_memory(self) -> bool:
+        """True for LDG/STG/LDS/STS."""
+        return self.op in MEMORY_OPCODES
+
+    @property
+    def writes_register(self) -> bool:
+        """True if the instruction produces a register result."""
+        return self.dst is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.value]
+        if self.dst is not None:
+            parts.append(f"r{self.dst}")
+        if self.srcs:
+            parts.append(",".join(f"r{s}" for s in self.srcs))
+        if self.op is Opcode.BRA:
+            parts.append(f"->{self.target}")
+        return f"<{' '.join(parts)} @pc{self.pc}>"

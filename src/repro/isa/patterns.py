@@ -1,0 +1,238 @@
+"""Deterministic global-memory address pattern generators.
+
+A memory instruction does not carry literal per-thread addresses (we do not
+simulate data); instead it carries an :class:`AccessPattern` that, given the
+dynamic :class:`AccessContext` (which TB, which warp, which loop iteration),
+produces the set of *cache-line addresses* the coalesced warp access touches.
+This is exactly the information the memory hierarchy needs and mirrors how
+trace-driven GPU simulators replay coalesced transactions.
+
+All patterns are pure and deterministic: the same context always yields the
+same lines, so whole simulations are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import LINE_SIZE, WARP_SIZE
+from ..errors import ProgramError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Cheap deterministic 64-bit mixer (SplitMix64 finalizer).
+
+    Used to derive pseudo-random but reproducible addresses without the
+    overhead of a stateful RNG in the simulator's hot path.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Dynamic coordinates of one executed memory instruction.
+
+    Attributes
+    ----------
+    tb_index:
+        Global thread-block index within the grid.
+    warp_in_tb:
+        Warp index within the thread block.
+    iteration:
+        How many times this warp has already executed this static
+        instruction (0 on first execution; increments across loop trips).
+    active:
+        Number of active threads in the warp for this execution.
+    """
+
+    tb_index: int
+    warp_in_tb: int
+    iteration: int
+    active: int = WARP_SIZE
+
+
+class AccessPattern:
+    """Base class for address pattern generators."""
+
+    __slots__ = ()
+
+    def lines(self, ctx: AccessContext) -> list[int]:
+        """Return the distinct cache-line addresses of this execution.
+
+        Line addresses are byte addresses aligned to ``LINE_SIZE``; the
+        memory subsystem treats each distinct line as one transaction
+        (the coalescer contract).
+        """
+        raise NotImplementedError
+
+
+class Coalesced(AccessPattern):
+    """Fully coalesced access: lane *i* of warp *w* touches element ``w*32+i``.
+
+    Each warp execution generates exactly one 128-byte transaction
+    (element size 4 B x 32 lanes = 128 B), the GPU best case. Successive
+    loop iterations advance by ``iter_stride`` bytes; successive warps are
+    offset so distinct warps touch distinct lines (streaming access).
+    """
+
+    __slots__ = ("base", "iter_stride", "warp_region")
+
+    def __init__(
+        self, base: int = 0, *, iter_stride: int = 0, warp_region: int = LINE_SIZE
+    ) -> None:
+        if base < 0 or iter_stride < 0 or warp_region < 0:
+            raise ProgramError("Coalesced pattern fields must be non-negative")
+        self.base = base
+        self.iter_stride = iter_stride
+        self.warp_region = warp_region
+
+    def lines(self, ctx: AccessContext) -> list[int]:
+        warp_linear = ctx.tb_index * 64 + ctx.warp_in_tb
+        addr = (
+            self.base
+            + warp_linear * self.warp_region
+            + ctx.iteration * self.iter_stride
+        )
+        return [addr & ~(LINE_SIZE - 1)]
+
+
+class Strided(AccessPattern):
+    """Strided access: lane *i* touches ``base + (warp_offset + i*stride)``.
+
+    A stride of ``stride`` bytes across 32 lanes spans
+    ``32*stride`` bytes, i.e. ``ceil(32*stride/128)`` cache lines — the
+    uncoalesced middle ground between streaming and random access (think
+    column-major array walks, the LPS/hotspot halo accesses).
+    """
+
+    __slots__ = ("base", "stride", "iter_stride")
+
+    def __init__(self, base: int = 0, *, stride: int = 128, iter_stride: int = 0) -> None:
+        if stride <= 0:
+            raise ProgramError("Strided stride must be positive")
+        if base < 0 or iter_stride < 0:
+            raise ProgramError("Strided pattern fields must be non-negative")
+        self.base = base
+        self.stride = stride
+        self.iter_stride = iter_stride
+
+    def lines(self, ctx: AccessContext) -> list[int]:
+        warp_linear = ctx.tb_index * 64 + ctx.warp_in_tb
+        start = (
+            self.base
+            + warp_linear * self.stride * WARP_SIZE
+            + ctx.iteration * self.iter_stride
+        )
+        stride = self.stride
+        seen: list[int] = []
+        last = -1
+        for lane in range(ctx.active):
+            line = (start + lane * stride) & ~(LINE_SIZE - 1)
+            if line != last:
+                seen.append(line)
+                last = line
+        return seen
+
+
+class Random(AccessPattern):
+    """Divergent access: active lanes touch pseudo-random lines in a window.
+
+    ``txns`` bounds the number of distinct transactions per execution
+    (hardware coalescers cap at one transaction per lane; 32 models fully
+    scattered BFS/b+tree gathers, smaller values model partially clustered
+    irregular access). Addresses are drawn from a ``footprint``-byte window
+    so cache behaviour is controllable: a footprint smaller than the L2
+    yields reuse, a huge footprint streams.
+    """
+
+    __slots__ = ("footprint", "txns", "seed", "base")
+
+    def __init__(
+        self,
+        footprint: int,
+        *,
+        txns: int = 32,
+        seed: int = 1,
+        base: int = 0,
+    ) -> None:
+        if footprint < LINE_SIZE:
+            raise ProgramError("Random footprint must be >= one line")
+        if not 1 <= txns <= WARP_SIZE:
+            raise ProgramError("txns must be in 1..warp size")
+        self.footprint = footprint
+        self.txns = txns
+        self.seed = seed
+        self.base = base
+
+    def lines(self, ctx: AccessContext) -> list[int]:
+        n_lines = self.footprint // LINE_SIZE
+        n = min(self.txns, ctx.active)
+        key = (
+            self.seed * 0x1F123BB5
+            + ctx.tb_index * 0x9E3779B9
+            + ctx.warp_in_tb * 0x85EBCA6B
+            + ctx.iteration
+        )
+        out: list[int] = []
+        seen: set[int] = set()
+        for i in range(n):
+            line_idx = _splitmix64(key + i * 0xC2B2AE35) % n_lines
+            if line_idx not in seen:
+                seen.add(line_idx)
+                out.append(self.base + line_idx * LINE_SIZE)
+        return out
+
+
+class Chase(AccessPattern):
+    """Pointer-chase access: one dependent transaction per execution.
+
+    Models b+tree node walks: each loop iteration loads a single line whose
+    address is a pseudo-random function of the previous hop (iteration).
+    One transaction, poor locality, fully latency-bound.
+    """
+
+    __slots__ = ("footprint", "seed", "base")
+
+    def __init__(self, footprint: int, *, seed: int = 1, base: int = 0) -> None:
+        if footprint < LINE_SIZE:
+            raise ProgramError("Chase footprint must be >= one line")
+        self.footprint = footprint
+        self.seed = seed
+        self.base = base
+
+    def lines(self, ctx: AccessContext) -> list[int]:
+        n_lines = self.footprint // LINE_SIZE
+        key = (
+            self.seed * 0x27D4EB2F
+            + ctx.tb_index * 0x165667B1
+            + ctx.warp_in_tb * 0xD3A2646C
+            + ctx.iteration * 0xFD7046C5
+        )
+        return [self.base + (_splitmix64(key) % n_lines) * LINE_SIZE]
+
+
+class Broadcast(AccessPattern):
+    """All lanes of all warps read the same small table (e.g. AES T-boxes).
+
+    One transaction per execution; extremely cache friendly — after the
+    first TB warms the L2 the accesses are near-free, which is why table
+    loads contribute little memory stall in the paper's compute kernels.
+    """
+
+    __slots__ = ("base", "table_lines", "seed")
+
+    def __init__(self, base: int = 0, *, table_lines: int = 8, seed: int = 0) -> None:
+        if table_lines <= 0:
+            raise ProgramError("table_lines must be positive")
+        self.base = base
+        self.table_lines = table_lines
+        self.seed = seed
+
+    def lines(self, ctx: AccessContext) -> list[int]:
+        idx = _splitmix64(self.seed + ctx.iteration * 0x2545F491) % self.table_lines
+        return [self.base + idx * LINE_SIZE]

@@ -1,0 +1,190 @@
+"""Program container and static validation.
+
+A :class:`Program` is an immutable, validated sequence of instructions plus
+per-TB resource requirements (threads, registers, shared memory) — the unit
+a kernel launch executes on every warp.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..config import LatencyConfig
+from ..errors import ProgramError
+from .instructions import Instruction, Opcode
+
+
+#: Map opcode -> attribute of LatencyConfig giving the writeback latency.
+_LATENCY_ATTR = {
+    Opcode.IALU: "alu",
+    Opcode.FALU: "alu",
+    Opcode.FMA: "mad",
+    Opcode.SFU: "sfu",
+    Opcode.BRA: "alu",
+}
+
+
+class Program:
+    """A validated SIMT program.
+
+    Parameters
+    ----------
+    name:
+        Human-readable kernel name.
+    instructions:
+        The instruction sequence. Must end with EXIT; every BRA must be a
+        backward branch (loop) targeting a pc strictly before itself.
+    threads_per_tb:
+        Threads per thread block requested at launch.
+    regs_per_thread:
+        Architectural registers per thread (occupancy input).
+    shared_mem_per_tb:
+        Shared memory per thread block in bytes (occupancy input).
+    """
+
+    __slots__ = (
+        "name",
+        "instructions",
+        "threads_per_tb",
+        "regs_per_thread",
+        "shared_mem_per_tb",
+        "_finalized_for",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        instructions: Iterable[Instruction],
+        *,
+        threads_per_tb: int = 256,
+        regs_per_thread: int = 16,
+        shared_mem_per_tb: int = 0,
+    ) -> None:
+        self.name = name
+        self.instructions: List[Instruction] = list(instructions)
+        self.threads_per_tb = threads_per_tb
+        self.regs_per_thread = regs_per_thread
+        self.shared_mem_per_tb = shared_mem_per_tb
+        self._finalized_for: Optional[LatencyConfig] = None
+        for pc, instr in enumerate(self.instructions):
+            instr.pc = pc
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Static checks; raises :class:`ProgramError` on violations."""
+        instrs = self.instructions
+        if not instrs:
+            raise ProgramError(f"program {self.name!r} is empty")
+        if instrs[-1].op is not Opcode.EXIT:
+            raise ProgramError(f"program {self.name!r} must end with EXIT")
+        for pc, instr in enumerate(instrs):
+            if instr.op is Opcode.EXIT and pc != len(instrs) - 1:
+                raise ProgramError(
+                    f"program {self.name!r}: EXIT allowed only as the last "
+                    f"instruction (found at pc {pc})"
+                )
+            if instr.op is Opcode.BRA:
+                if not 0 <= instr.target < pc:
+                    raise ProgramError(
+                        f"program {self.name!r}: BRA at pc {pc} must target a "
+                        f"strictly earlier pc (got {instr.target})"
+                    )
+        if self.threads_per_tb <= 0:
+            raise ProgramError("threads_per_tb must be positive")
+        if self.regs_per_thread <= 0:
+            raise ProgramError("regs_per_thread must be positive")
+        if self.shared_mem_per_tb < 0:
+            raise ProgramError("shared_mem_per_tb must be non-negative")
+
+    # ------------------------------------------------------------------
+    def finalize(self, latency: LatencyConfig) -> None:
+        """Resolve per-instruction writeback latencies from a config.
+
+        Memory latencies are dynamic (hierarchy-dependent) and therefore not
+        resolved here; fixed-latency opcodes get their writeback latency.
+        Idempotent for a given config.
+        """
+        if self._finalized_for == latency:
+            return
+        for instr in self.instructions:
+            attr = _LATENCY_ATTR.get(instr.op)
+            if attr is not None:
+                instr.latency = getattr(latency, attr)
+            elif instr.op in (Opcode.LDS, Opcode.STS):
+                instr.latency = (
+                    latency.shared
+                    + (instr.conflict_ways - 1) * latency.shared_conflict
+                )
+            else:
+                instr.latency = 0
+        self._finalized_for = latency
+
+    # ------------------------------------------------------------------
+    def static_count(self) -> int:
+        """Number of static instructions."""
+        return len(self.instructions)
+
+    def dynamic_count(self, tb_index: int, warp_in_tb: int) -> int:
+        """Dynamic instruction count one warp executes (loops unrolled).
+
+        Used by tests and workload sizing; walks the program exactly as a
+        warp would, so it is authoritative.
+        """
+        instrs = self.instructions
+        trips = {
+            i.pc: i.resolve_trips(tb_index, warp_in_tb)
+            for i in instrs
+            if i.op is Opcode.BRA
+        }
+        pc = 0
+        count = 0
+        remaining = dict(trips)
+        guard = 0
+        while True:
+            instr = instrs[pc]
+            count += 1
+            guard += 1
+            if guard > 50_000_000:  # pragma: no cover - malformed program net
+                raise ProgramError(
+                    f"program {self.name!r}: dynamic count exceeds guard; "
+                    "check loop trip counts"
+                )
+            if instr.op is Opcode.EXIT:
+                return count
+            if instr.op is Opcode.BRA and remaining[pc] > 0:
+                remaining[pc] -= 1
+                pc = instr.target
+            else:
+                if instr.op is Opcode.BRA:
+                    remaining[pc] = trips[pc]  # rearm for enclosing loops
+                pc += 1
+
+    def max_register(self) -> int:
+        """Highest register index referenced (for sanity checks)."""
+        hi = 0
+        for i in self.instructions:
+            if i.dst is not None:
+                hi = max(hi, i.dst)
+            for s in i.srcs:
+                hi = max(hi, s)
+        return hi
+
+    def has_barrier(self) -> bool:
+        """True if the program contains a BAR instruction."""
+        return any(i.op is Opcode.BAR for i in self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Program {self.name!r}: {len(self.instructions)} instrs, "
+            f"{self.threads_per_tb} thr/TB>"
+        )

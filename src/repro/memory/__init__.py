@@ -1,0 +1,26 @@
+"""Memory hierarchy: coalescer, L1 caches with MSHRs, shared L2, DRAM.
+
+The hierarchy is *timing-stateful but event-computed*: when a warp issues a
+memory instruction the subsystem immediately computes the completion cycle
+of every cache-line transaction from the current cache/MSHR/bank state and
+returns the maximum. The SM schedules a scoreboard-release event at that
+cycle. Because SMs are stepped in deterministic order, request arrival
+order — and therefore every simulation — is fully reproducible.
+"""
+
+from .cache import Cache, CacheStats
+from .coalescer import coalesce_addresses
+from .dram import Dram, DramStats
+from .mshr import Mshr
+from .subsystem import AccessResult, MemorySubsystem
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "Dram",
+    "DramStats",
+    "MemorySubsystem",
+    "Mshr",
+    "coalesce_addresses",
+]

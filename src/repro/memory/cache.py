@@ -1,0 +1,159 @@
+"""Set-associative cache with LRU replacement.
+
+Used for both the per-SM L1 data caches and the shared L2 (the L2 is a
+collection of these, one per bank). The cache stores tags only — the
+simulator never materializes data. Reads allocate on miss; writes are
+write-through and configurable no-allocate (L1, Fermi policy) or
+allocate (L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by access type."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def reads(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def writes(self) -> int:
+        return self.write_hits + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def miss_rate(self) -> float:
+        """Overall miss rate; 0.0 when the cache was never accessed."""
+        total = self.accesses
+        if total == 0:
+            return 0.0
+        return (self.read_misses + self.write_misses) / total
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats object into this one (for aggregation)."""
+        self.read_hits += other.read_hits
+        self.read_misses += other.read_misses
+        self.write_hits += other.write_hits
+        self.write_misses += other.write_misses
+        self.evictions += other.evictions
+
+
+class Cache:
+    """Tag-only set-associative LRU cache.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.
+    ways:
+        Associativity.
+    line_size:
+        Line size in bytes (power of two).
+    write_allocate:
+        Whether write misses install the line (L2) or bypass (L1).
+    name:
+        Label for diagnostics.
+    """
+
+    __slots__ = ("name", "line_size", "ways", "num_sets", "_line_shift",
+                 "_sets", "write_allocate", "stats")
+
+    def __init__(
+        self,
+        size: int,
+        ways: int,
+        line_size: int,
+        *,
+        write_allocate: bool = False,
+        name: str = "cache",
+    ) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError("line_size must be a positive power of two")
+        if size <= 0 or ways <= 0:
+            raise ConfigError("cache size and ways must be positive")
+        if size % (line_size * ways):
+            raise ConfigError("size must be a multiple of line_size * ways")
+        self.name = name
+        self.line_size = line_size
+        self.ways = ways
+        self.num_sets = size // (line_size * ways)
+        self._line_shift = line_size.bit_length() - 1
+        # Each set is a dict {tag: None}; Python dicts preserve insertion
+        # order, so eviction pops the first (least-recently-used) key and a
+        # hit re-inserts to refresh recency. This is the fastest pure-Python
+        # LRU for small associativities.
+        self._sets: list[dict[int, None]] = [dict() for _ in range(self.num_sets)]
+        self.write_allocate = write_allocate
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, is_write: bool = False) -> bool:
+        """Look up (and update) one line; returns True on hit.
+
+        ``line_addr`` must be line-aligned (the coalescer guarantees this).
+        Read misses allocate; write misses allocate only if
+        ``write_allocate``.
+        """
+        line_idx = line_addr >> self._line_shift
+        set_idx = line_idx % self.num_sets
+        tag = line_idx // self.num_sets
+        cset = self._sets[set_idx]
+        stats = self.stats
+        if tag in cset:
+            # refresh LRU position
+            del cset[tag]
+            cset[tag] = None
+            if is_write:
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            return True
+        if is_write:
+            stats.write_misses += 1
+            if not self.write_allocate:
+                return False
+        else:
+            stats.read_misses += 1
+        if len(cset) >= self.ways:
+            # evict LRU = first inserted key
+            cset.pop(next(iter(cset)))
+            stats.evictions += 1
+        cset[tag] = None
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Non-updating lookup (no stats, no LRU refresh). For tests/tools."""
+        line_idx = line_addr >> self._line_shift
+        cset = self._sets[line_idx % self.num_sets]
+        return (line_idx // self.num_sets) in cset
+
+    def invalidate_all(self) -> None:
+        """Drop every line (e.g. between kernel launches)."""
+        for cset in self._sets:
+            cset.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cache {self.name}: {self.num_sets} sets x {self.ways} ways "
+            f"x {self.line_size}B>"
+        )

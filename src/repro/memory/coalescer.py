@@ -1,0 +1,47 @@
+"""Per-warp memory access coalescing.
+
+Fermi-style coalescing: the 32 per-lane byte addresses of a warp memory
+instruction are reduced to the set of distinct 128-byte cache-line
+transactions. :mod:`repro.isa.patterns` generators emit line addresses
+directly for speed; this module provides the reference implementation used
+by tests, custom patterns and examples, and documents the contract the
+patterns must obey.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..config import LINE_SIZE
+
+
+def coalesce_addresses(addresses: Iterable[int], line_size: int = LINE_SIZE) -> List[int]:
+    """Collapse per-lane byte addresses into ordered distinct line addresses.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses of the active lanes (inactive lanes excluded).
+    line_size:
+        Transaction granularity (must be a power of two).
+
+    Returns
+    -------
+    list[int]
+        Distinct line-aligned addresses, in first-touch order — one memory
+        transaction each. An empty input yields an empty list (a fully
+        predicated-off access issues no transactions).
+    """
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ValueError("line_size must be a positive power of two")
+    mask = ~(line_size - 1)
+    seen: set[int] = set()
+    out: List[int] = []
+    for addr in addresses:
+        if addr < 0:
+            raise ValueError("addresses must be non-negative")
+        line = addr & mask
+        if line not in seen:
+            seen.add(line)
+            out.append(line)
+    return out

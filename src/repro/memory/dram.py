@@ -1,0 +1,140 @@
+"""Banked DRAM model with open-row timing ("FR-FCFS-lite").
+
+The paper's GPGPU-Sim configuration uses an FR-FCFS DRAM scheduler. We model
+the two effects of FR-FCFS that matter to warp scheduling studies:
+
+* **row-buffer locality** — a request hitting the currently open row of its
+  bank is serviced much faster than one that must precharge/activate, so
+  streaming (coalesced) traffic is cheap and scattered traffic expensive;
+* **bank/bus queueing** — concurrent requests to the same bank or channel
+  serialize, so bursts of memory traffic (the LRR failure mode the paper
+  describes) inflate latency for everyone.
+
+Requests are serviced in arrival order per bank with row-state carried
+between them, rather than reordered row-hits-first across the whole queue.
+DESIGN.md §2 documents why this preserves the scheduler-visible behaviour:
+the latency *variance* and *load dependence* are intact; only absolute
+averages shift slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import LatencyConfig, MemoryConfig
+
+
+@dataclass
+class DramStats:
+    """DRAM event counters."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit an open row (0.0 if unused)."""
+        total = self.accesses
+        return self.row_hits / total if total else 0.0
+
+
+class Dram:
+    """Channel/bank-partitioned DRAM with open-row timing.
+
+    Address mapping (line index ``L``):
+
+    * channel = ``L % channels`` — consecutive lines stripe across channels;
+    * within a channel, groups of ``row_size/line_size`` consecutive local
+      lines form a row, rows stripe across banks.
+
+    So a coalesced streaming warp sees row hits, while scattered accesses
+    thrash rows — matching real GPU address interleaving closely enough.
+    """
+
+    __slots__ = (
+        "channels",
+        "banks",
+        "lines_per_row",
+        "row_hit_lat",
+        "row_miss_lat",
+        "hit_occupancy",
+        "miss_occupancy",
+        "bus_cycles",
+        "_line_shift",
+        "_open_row",
+        "_bank_free",
+        "_bus_free",
+        "stats",
+    )
+
+    def __init__(self, mem: MemoryConfig, lat: LatencyConfig) -> None:
+        self.channels = mem.dram_channels
+        self.banks = mem.dram_banks
+        self.lines_per_row = max(1, mem.dram_row_size // mem.line_size)
+        self.row_hit_lat = lat.dram_row_hit
+        self.row_miss_lat = lat.dram_row_miss
+        self.hit_occupancy = mem.dram_hit_occupancy
+        self.miss_occupancy = mem.dram_miss_occupancy
+        self.bus_cycles = mem.dram_bus_cycles
+        self._line_shift = mem.line_size.bit_length() - 1
+        n = self.channels * self.banks
+        self._open_row = [-1] * n  # -1 = closed
+        self._bank_free = [0] * n
+        self._bus_free = [0] * self.channels
+        self.stats = DramStats()
+
+    # ------------------------------------------------------------------
+    def service(self, line_addr: int, arrive: int, is_write: bool = False) -> int:
+        """Service one line transaction arriving at cycle ``arrive``.
+
+        Returns the cycle at which read data is available on the channel
+        bus (for writes: when the write completes; callers typically ignore
+        it but the bank/bus occupancy still throttles subsequent traffic).
+        """
+        line_idx = line_addr >> self._line_shift
+        channel = line_idx % self.channels
+        local = line_idx // self.channels
+        row = local // self.lines_per_row
+        bank_in_ch = row % self.banks
+        bank = channel * self.banks + bank_in_ch
+        bank_row = row // self.banks
+
+        stats = self.stats
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        start = arrive if arrive > self._bank_free[bank] else self._bank_free[bank]
+        if self._open_row[bank] == bank_row:
+            stats.row_hits += 1
+            ready = start + self.row_hit_lat
+            occupancy = self.hit_occupancy
+        else:
+            stats.row_misses += 1
+            self._open_row[bank] = bank_row
+            ready = start + self.row_miss_lat
+            occupancy = self.miss_occupancy
+        # Data transfer serializes on the channel bus.
+        bus_free = self._bus_free[channel]
+        xfer = ready if ready > bus_free else bus_free
+        done = xfer + self.bus_cycles
+        self._bus_free[channel] = done
+        # Bank occupancy (tCCD / tRC) is far shorter than the end-to-end
+        # latency: the bank pipelines the next request while this one's
+        # data is still in flight.
+        self._bank_free[bank] = start + occupancy
+        return done
+
+    def reset(self) -> None:
+        """Close all rows and clear timing state (between kernels)."""
+        n = self.channels * self.banks
+        self._open_row = [-1] * n
+        self._bank_free = [0] * n
+        self._bus_free = [0] * self.channels

@@ -1,0 +1,138 @@
+"""Miss Status Holding Registers.
+
+The MSHR table tracks outstanding L1 miss lines. A second miss to an
+in-flight line *merges* (costs nothing extra and completes with the
+original). When the table is full, new misses are back-pressured: they
+cannot enter the memory system until the earliest in-flight miss retires,
+which the simulator models by delaying the request's start time — the same
+first-order effect (bounded memory-level parallelism per SM) a structural
+retry loop produces in GPGPU-Sim.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+@dataclass
+class MshrStats:
+    """MSHR event counters."""
+
+    allocations: int = 0
+    merges: int = 0
+    stalls: int = 0  # requests delayed by a full table
+
+
+class Mshr:
+    """Fixed-capacity outstanding-miss table with merge support.
+
+    Capacity is enforced with *slot reservations*: each of the
+    ``capacity`` slots carries the cycle at which it next frees. A new
+    miss reserves the earliest-free slot, so even several back-to-back
+    requests arriving while the table is full serialize correctly —
+    each waits for its own retirement, never sharing one freed slot
+    (a bug the property suite caught in an earlier dict-only design).
+    """
+
+    __slots__ = ("capacity", "merge_limit", "_entries", "_heap", "_slots",
+                 "stats")
+
+    def __init__(self, capacity: int, merge_limit: int = 8) -> None:
+        if capacity <= 0 or merge_limit <= 0:
+            raise ValueError("MSHR capacity and merge_limit must be positive")
+        self.capacity = capacity
+        self.merge_limit = merge_limit
+        #: line -> (completion_cycle, merge_count) — the merge window
+        self._entries: dict[int, tuple[int, int]] = {}
+        #: min-heap of (completion_cycle, line) for lazy entry retirement
+        self._heap: list[tuple[int, int]] = []
+        #: min-heap of per-slot next-free cycles (capacity enforcement)
+        self._slots: list[int] = [0] * capacity
+        self.stats = MshrStats()
+
+    # ------------------------------------------------------------------
+    def retire_until(self, cycle: int) -> None:
+        """Free every entry whose miss completed at or before ``cycle``."""
+        heap = self._heap
+        entries = self._entries
+        while heap and heap[0][0] <= cycle:
+            done, line = heapq.heappop(heap)
+            cur = entries.get(line)
+            if cur is not None and cur[0] == done:
+                del entries[line]
+
+    def lookup(self, line: int, cycle: int) -> int | None:
+        """If ``line`` is in flight, merge and return its completion cycle.
+
+        Returns ``None`` when the line is not outstanding (caller must then
+        reserve an entry via :meth:`earliest_start` + :meth:`allocate`).
+        A merge beyond ``merge_limit`` behaves like a fresh miss (the entry
+        cannot absorb it), matching hardware merge-field exhaustion.
+        """
+        self.retire_until(cycle)
+        entry = self._entries.get(line)
+        if entry is None:
+            return None
+        done, merges = entry
+        if merges >= self.merge_limit:
+            return None
+        self._entries[line] = (done, merges + 1)
+        self.stats.merges += 1
+        return done
+
+    def is_full(self, cycle: int) -> bool:
+        """True when no free slot exists at ``cycle``.
+
+        The SM refuses to issue a global load while its MSHR table is
+        full — the hardware would fail the reservation and replay the
+        instruction — which surfaces as a *Pipeline* stall. This is the
+        mechanism that punishes bursty (convoying) schedulers: when every
+        warp reaches its load together the table fills and the load/store
+        path wedges (paper §II-A).
+        """
+        return self._slots[0] > cycle
+
+    def next_retirement(self) -> int | None:
+        """Completion cycle of the earliest in-flight miss (None if idle)."""
+        heap = self._heap
+        entries = self._entries
+        while heap:
+            done, line = heap[0]
+            cur = entries.get(line)
+            if cur is not None and cur[0] == done:
+                return done
+            heapq.heappop(heap)  # stale
+        return None
+
+    def earliest_start(self, cycle: int) -> int:
+        """Earliest cycle a *new* miss can enter the memory system.
+
+        ``cycle`` itself when a free slot exists; otherwise when the
+        earliest-freeing slot retires (back-pressure). Each call pairs
+        with one :meth:`allocate`, which consumes that slot — so
+        concurrent overflowing requests serialize rather than stampeding
+        through a single freed slot.
+        """
+        slot_free = self._slots[0]
+        if slot_free <= cycle:
+            return cycle
+        self.stats.stalls += 1
+        return slot_free
+
+    def allocate(self, line: int, completion: int) -> None:
+        """Record a new in-flight miss completing at ``completion``.
+
+        Consumes the earliest-free slot (the one :meth:`earliest_start`
+        quoted).
+        """
+        heapq.heapreplace(self._slots, completion)
+        self._entries[line] = (completion, 0)
+        heapq.heappush(self._heap, (completion, line))
+        self.stats.allocations += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Current number of outstanding miss lines (after lazy retirement
+        as of the last call; exact only immediately after retire_until)."""
+        return len(self._entries)

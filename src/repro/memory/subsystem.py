@@ -1,0 +1,175 @@
+"""MemorySubsystem — wires per-SM L1s + MSHRs to the shared L2 and DRAM.
+
+One instance is shared by all SMs of a GPU. The entry point is
+:meth:`MemorySubsystem.access`: given the coalesced line addresses of one
+warp memory instruction, it walks each line through L1 -> MSHR -> L2 bank ->
+DRAM, updates all stateful components, and returns when the *last* line's
+data arrives (loads) — the cycle at which the warp's destination register
+becomes ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..config import GPUConfig
+from .cache import Cache, CacheStats
+from .dram import Dram
+from .mshr import Mshr
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one warp memory instruction."""
+
+    #: Cycle at which all requested lines are available (register release).
+    completion: int
+    #: Number of line transactions issued (LSU occupancy driver).
+    transactions: int
+    #: How many of the transactions hit in L1.
+    l1_hits: int
+
+
+class MemorySubsystem:
+    """Shared memory hierarchy for one GPU instance."""
+
+    __slots__ = ("cfg", "l1", "mshr", "l2_banks", "_l2_port_free",
+                 "l2_port_cycles", "l2_tag_cycles", "dram",
+                 "_l2_bank_count", "_line_shift")
+
+    def __init__(self, cfg: GPUConfig) -> None:
+        self.cfg = cfg
+        mem = cfg.memory
+        self.l1: List[Cache] = [
+            Cache(
+                mem.l1_size,
+                mem.l1_ways,
+                mem.line_size,
+                write_allocate=False,
+                name=f"L1[{i}]",
+            )
+            for i in range(cfg.num_sms)
+        ]
+        self.mshr: List[Mshr] = [
+            Mshr(mem.mshr_entries, mem.mshr_merge) for _ in range(cfg.num_sms)
+        ]
+        bank_size = mem.l2_size // mem.l2_banks
+        self.l2_banks: List[Cache] = [
+            Cache(
+                bank_size,
+                mem.l2_ways,
+                mem.line_size,
+                write_allocate=True,
+                name=f"L2[{b}]",
+            )
+            for b in range(mem.l2_banks)
+        ]
+        self._l2_port_free = [0] * mem.l2_banks
+        #: Cycles one L2 bank port is busy per access (queueing source).
+        self.l2_port_cycles = 2
+        #: Tag-lookup time charged before a miss departs for DRAM — much
+        #: shorter than the full hit latency (data array read + return).
+        self.l2_tag_cycles = 24
+        self.dram = Dram(mem, cfg.latency)
+        self._l2_bank_count = mem.l2_banks
+        self._line_shift = mem.line_size.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        sm_id: int,
+        lines: Sequence[int],
+        cycle: int,
+        *,
+        is_write: bool = False,
+    ) -> AccessResult:
+        """Process one warp memory instruction's line transactions.
+
+        Loads: returns the completion cycle of the slowest line.
+        Stores: write-through; the returned completion is when the last
+        write drains (callers ignore it — stores have no destination — but
+        the bandwidth consumed delays later loads).
+        """
+        lat = self.cfg.latency
+        l1 = self.l1[sm_id]
+        mshr = self.mshr[sm_id]
+        worst = cycle
+        l1_hits = 0
+        for line in lines:
+            if not is_write:
+                # The MSHR is checked alongside the L1 tags: a line whose
+                # fill is still in flight cannot be hit early — the access
+                # merges and completes with the original miss.
+                merged = mshr.lookup(line, cycle)
+                if merged is not None:
+                    if merged > worst:
+                        worst = merged
+                    continue
+            if l1.access(line, is_write):
+                # L1 hit: fixed load-to-use latency. (Write hits also update
+                # the line and then write through below.)
+                done = cycle + lat.l1_hit
+                l1_hits += 1
+                if not is_write:
+                    if done > worst:
+                        worst = done
+                    continue
+            elif not is_write:
+                # Read miss: reserve an MSHR entry (back-pressure if full)
+                # and fetch through L2/DRAM.
+                start = mshr.earliest_start(cycle)
+                done = self._l2_access(line, start + lat.noc, False) + lat.noc
+                mshr.allocate(line, done)
+                if done > worst:
+                    worst = done
+                continue
+            # Writes (hit or miss) go through to L2/DRAM.
+            done = self._l2_access(line, cycle + lat.noc, True) + lat.noc
+            if done > worst:
+                worst = done
+        return AccessResult(completion=worst, transactions=len(lines), l1_hits=l1_hits)
+
+    # ------------------------------------------------------------------
+    def _l2_access(self, line: int, arrive: int, is_write: bool) -> int:
+        """One line through the L2 bank (and DRAM on miss); returns done cycle."""
+        lat = self.cfg.latency
+        bank_idx = (line >> self._line_shift) % self._l2_bank_count
+        port_free = self._l2_port_free[bank_idx]
+        start = arrive if arrive > port_free else port_free
+        self._l2_port_free[bank_idx] = start + self.l2_port_cycles
+        if self.l2_banks[bank_idx].access(line, is_write):
+            return start + lat.l2_hit
+        if is_write:
+            # Write-allocate at L2; the DRAM write drains in the background
+            # but still consumes bank/bus time.
+            return self.dram.service(line, start + self.l2_tag_cycles, True)
+        return self.dram.service(line, start + self.l2_tag_cycles, False)
+
+    # ------------------------------------------------------------------
+    def l1_stats_total(self) -> CacheStats:
+        """Aggregate L1 statistics across all SMs."""
+        total = CacheStats()
+        for c in self.l1:
+            total.merge(c.stats)
+        return total
+
+    def l2_stats_total(self) -> CacheStats:
+        """Aggregate L2 statistics across banks."""
+        total = CacheStats()
+        for c in self.l2_banks:
+            total.merge(c.stats)
+        return total
+
+    def reset(self) -> None:
+        """Clear all cache/MSHR/DRAM state (between kernel launches)."""
+        for c in self.l1:
+            c.invalidate_all()
+        for c in self.l2_banks:
+            c.invalidate_all()
+        mem = self.cfg.memory
+        self.mshr = [
+            Mshr(mem.mshr_entries, mem.mshr_merge) for _ in range(self.cfg.num_sms)
+        ]
+        self._l2_port_free = [0] * mem.l2_banks
+        self.dram.reset()

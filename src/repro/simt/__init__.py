@@ -1,0 +1,18 @@
+"""SIMT execution core: warps, thread blocks, scoreboard, SM issue logic."""
+
+from .exec_units import ExecUnitPool
+from .occupancy import max_resident_tbs
+from .scoreboard import Scoreboard
+from .sm import IssueStatus, StreamingMultiprocessor
+from .threadblock import ThreadBlock
+from .warp import Warp
+
+__all__ = [
+    "ExecUnitPool",
+    "IssueStatus",
+    "Scoreboard",
+    "StreamingMultiprocessor",
+    "ThreadBlock",
+    "Warp",
+    "max_resident_tbs",
+]

@@ -1,0 +1,86 @@
+"""Execution unit issue ports.
+
+Each SM owns a pool of issue ports: ``sp_units`` SP ports, ``sfu_units``
+SFU ports and ``lsu_units`` LSU ports. Issuing an instruction occupies one
+port of its class for the instruction's *initiation interval* (1 cycle for
+simple ALU ops, several for SFU ops, one cycle per memory transaction for
+loads/stores). A warp whose instruction is operand-ready but finds all
+ports of its class busy contributes a **Pipeline** stall — the third stall
+class of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import GPUConfig
+from ..isa.instructions import ExecUnit
+
+#: Initiation interval (port-busy cycles) per unit class for single-
+#: transaction instructions. SFU throughput is a quarter of SP on Fermi.
+_BASE_II = {ExecUnit.SP: 1, ExecUnit.SFU: 4, ExecUnit.LSU: 1}
+
+
+class ExecUnitPool:
+    """Issue-port availability tracking for one SM."""
+
+    __slots__ = ("_free_at", "_counts")
+
+    def __init__(self, cfg: GPUConfig) -> None:
+        self._counts = {
+            ExecUnit.SP: cfg.sp_units,
+            ExecUnit.SFU: cfg.sfu_units,
+            ExecUnit.LSU: cfg.lsu_units,
+        }
+        #: unit -> list of cycle-stamps when each port frees up.
+        self._free_at: dict[ExecUnit, List[int]] = {
+            unit: [0] * n for unit, n in self._counts.items()
+        }
+
+    # ------------------------------------------------------------------
+    def port_available(self, unit: ExecUnit, cycle: int) -> bool:
+        """True if some port of ``unit``'s class is free at ``cycle``."""
+        if unit is ExecUnit.NONE:
+            return True
+        for t in self._free_at[unit]:
+            if t <= cycle:
+                return True
+        return False
+
+    def occupy(self, unit: ExecUnit, cycle: int, interval: int) -> None:
+        """Occupy the first free port of the class for ``interval`` cycles."""
+        if unit is ExecUnit.NONE:
+            return
+        ports = self._free_at[unit]
+        for i, t in enumerate(ports):
+            if t <= cycle:
+                ports[i] = cycle + max(1, interval)
+                return
+        raise AssertionError(  # pragma: no cover - caller checks first
+            f"occupy() with no free {unit.name} port at cycle {cycle}"
+        )
+
+    def initiation_interval(self, unit: ExecUnit, transactions: int = 1) -> int:
+        """Port-busy cycles: base II scaled by transaction count (LSU)."""
+        base = _BASE_II.get(unit, 1)
+        if unit is ExecUnit.LSU:
+            return max(1, transactions)
+        return base
+
+    def next_free(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which any currently-busy port frees.
+
+        Returns ``None`` when every port is already free (no pipeline
+        back-pressure to wait on). Used for stall fast-forwarding.
+        """
+        best: Optional[int] = None
+        for ports in self._free_at.values():
+            for t in ports:
+                if t > cycle and (best is None or t < best):
+                    best = t
+        return best
+
+    def reset(self) -> None:
+        """Free all ports (between kernels)."""
+        for unit, n in self._counts.items():
+            self._free_at[unit] = [0] * n

@@ -1,0 +1,67 @@
+"""Occupancy: how many TBs of a program fit on one SM.
+
+Mirrors the CUDA occupancy calculation for the resources the paper's
+Table I lists: the TB-slot limit (8 on Fermi), the thread limit (1536),
+the register file (32768 4-byte registers) and shared memory (48 KB).
+The binding constraint determines residency, which in turn determines
+when the grid enters the paper's slowTBPhase.
+"""
+
+from __future__ import annotations
+
+from ..config import GPUConfig
+from ..errors import LaunchError
+from ..isa.program import Program
+
+
+def max_resident_tbs(program: Program, cfg: GPUConfig) -> int:
+    """Maximum TBs of ``program`` concurrently resident on one SM.
+
+    Raises :class:`LaunchError` if even a single TB does not fit (the
+    CUDA ``cudaErrorInvalidConfiguration`` analogue).
+    """
+    threads = program.threads_per_tb
+    if threads > cfg.max_threads_per_sm:
+        raise LaunchError(
+            f"TB needs {threads} threads; SM holds {cfg.max_threads_per_sm}"
+        )
+    regs_per_tb = program.regs_per_thread * threads
+    if regs_per_tb > cfg.registers_per_sm:
+        raise LaunchError(
+            f"TB needs {regs_per_tb} registers; SM holds {cfg.registers_per_sm}"
+        )
+    if program.shared_mem_per_tb > cfg.shared_mem_per_sm:
+        raise LaunchError(
+            f"TB needs {program.shared_mem_per_tb} B shared memory; "
+            f"SM holds {cfg.shared_mem_per_sm}"
+        )
+
+    limit = cfg.max_tbs_per_sm
+    limit = min(limit, cfg.max_threads_per_sm // threads)
+    limit = min(limit, cfg.registers_per_sm // regs_per_tb)
+    if program.shared_mem_per_tb > 0:
+        limit = min(limit, cfg.shared_mem_per_sm // program.shared_mem_per_tb)
+    return max(1, limit)
+
+
+def occupancy_report(program: Program, cfg: GPUConfig) -> dict:
+    """Per-constraint residency limits (diagnostics for examples/docs)."""
+    threads = program.threads_per_tb
+    regs_per_tb = program.regs_per_thread * threads
+    report = {
+        "tb_slot_limit": cfg.max_tbs_per_sm,
+        "thread_limit": cfg.max_threads_per_sm // threads if threads else 0,
+        "register_limit": (
+            cfg.registers_per_sm // regs_per_tb if regs_per_tb else 0
+        ),
+        "shared_mem_limit": (
+            cfg.shared_mem_per_sm // program.shared_mem_per_tb
+            if program.shared_mem_per_tb
+            else None
+        ),
+    }
+    report["resident_tbs"] = max_resident_tbs(program, cfg)
+    report["resident_warps"] = report["resident_tbs"] * (
+        (threads + cfg.warp_size - 1) // cfg.warp_size
+    )
+    return report

@@ -1,0 +1,61 @@
+"""Per-warp scoreboard: in-order issue register dependence tracking.
+
+Each warp owns one scoreboard holding the set of destination registers with
+results still in flight. An instruction may issue only when none of its
+source registers *or* its destination register (WAW) is pending — the same
+rule GPGPU-Sim's scoreboard enforces, and the source of the paper's
+"Scoreboard" stall class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+
+class Scoreboard:
+    """Pending-register set for one warp."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        self._pending: set[int] = set()
+
+    def can_issue(self, dst: int | None, srcs: Tuple[int, ...]) -> bool:
+        """True when no RAW/WAW hazard blocks the instruction."""
+        pending = self._pending
+        if not pending:
+            return True
+        if dst is not None and dst in pending:
+            return False
+        for s in srcs:
+            if s in pending:
+                return False
+        return True
+
+    def reserve(self, dst: int) -> None:
+        """Mark ``dst`` in flight (called at issue of a writing op)."""
+        self._pending.add(dst)
+
+    def release(self, dst: int) -> None:
+        """Clear ``dst`` (called by the writeback/memory completion event).
+
+        Releasing a non-pending register is a simulator bug; fail loudly.
+        """
+        self._pending.remove(dst)
+
+    def pending(self) -> frozenset[int]:
+        """Snapshot of in-flight destination registers."""
+        return frozenset(self._pending)
+
+    @property
+    def busy(self) -> bool:
+        """True if any register is in flight."""
+        return bool(self._pending)
+
+    def release_all(self, regs: Iterable[int]) -> None:
+        """Release several registers (used by tests/teardown)."""
+        for r in regs:
+            self.release(r)
+
+    def __len__(self) -> int:
+        return len(self._pending)

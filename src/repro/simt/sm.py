@@ -1,0 +1,411 @@
+"""StreamingMultiprocessor: per-cycle issue, stall classification, events.
+
+Each SM steps once per global cycle while it has resident thread blocks.
+Its two warp schedulers (Fermi-style) each select at most one ready warp
+per cycle from their statically partitioned warp pools. A cycle with zero
+issues is classified Idle / Scoreboard / Pipeline exactly as GPGPU-Sim
+does (see :mod:`repro.stats.counters`).
+
+**Fast-forwarding** makes the pure-Python simulator tractable without
+changing results: when an SM issues nothing, its issue state cannot change
+before the earliest pending event (a register writeback, a memory
+completion, or an execution port freeing), so the SM sleeps until that
+cycle and attributes the skipped cycles to the recorded stall class. This
+is exact, not an approximation — nothing observable happens in between.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, List, Optional
+
+from ..config import GPUConfig
+from ..errors import SimulationError
+from ..isa.instructions import ExecUnit, Opcode
+from ..isa.patterns import AccessContext
+from ..memory.subsystem import MemorySubsystem
+from ..stats.counters import SmCounters, StallKind
+from .exec_units import ExecUnitPool
+from .threadblock import ThreadBlock
+from .warp import Warp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.scheduler import WarpScheduler
+    from ..gpu.gpu import Gpu
+
+#: Sentinel "never": an SM with nothing to do sleeps here until woken.
+NEVER = 1 << 62
+
+# Issue attempt outcomes (bit flags for aggregation; ISSUED is exclusive).
+_ST_NONE = 0  # warp not schedulable (barrier/finished) -> Idle contribution
+_ST_SB = 1  # valid instruction, operands not ready -> Scoreboard
+_ST_PIPE = 2  # valid + ready operands, no free port -> Pipeline
+_ST_ISSUED = 4
+
+
+class IssueStatus:
+    """Public names for the issue-attempt outcomes (used in tests)."""
+
+    NONE = _ST_NONE
+    SCOREBOARD = _ST_SB
+    PIPELINE = _ST_PIPE
+    ISSUED = _ST_ISSUED
+
+
+class StreamingMultiprocessor:
+    """One SM: warp pools, issue ports, scoreboard events, TB residency."""
+
+    __slots__ = (
+        "sm_id",
+        "cfg",
+        "memory",
+        "gpu",
+        "units",
+        "schedulers",
+        "listeners",
+        "resident_tbs",
+        "counters",
+        "sleep_until",
+        "_events",
+        "_event_seq",
+        "_launch_seq",
+        "used_threads",
+        "used_regs",
+        "used_smem",
+        "timeline",
+        "trace",
+        "_min_refetch",
+        "_stall_since",
+        "_stall_kind",
+    )
+
+    def __init__(
+        self,
+        sm_id: int,
+        cfg: GPUConfig,
+        memory: MemorySubsystem,
+        gpu: Optional["Gpu"] = None,
+    ) -> None:
+        self.sm_id = sm_id
+        self.cfg = cfg
+        self.memory = memory
+        self.gpu = gpu
+        self.units = ExecUnitPool(cfg)
+        self.schedulers: List["WarpScheduler"] = []
+        #: Unique TB-event listeners (schedulers, or PRO's shared manager).
+        self.listeners: List[object] = []
+        self.resident_tbs: List[ThreadBlock] = []
+        self.counters = SmCounters(sm_id=sm_id)
+        self.sleep_until = 0
+        #: Min-heap of (cycle, seq, warp, reg): scoreboard release events.
+        self._events: List[tuple] = []
+        self._event_seq = itertools.count()
+        self._launch_seq = itertools.count()
+        self.used_threads = 0
+        self.used_regs = 0
+        self.used_smem = 0
+        self.timeline = None  # optional TimelineRecorder
+        self.trace = None  # optional IssueTrace
+        self._min_refetch = NEVER
+        # Lazy stall attribution: when the SM goes to sleep without issuing,
+        # it records (since, kind); the cycles are credited when it actually
+        # wakes — which may be *earlier* than planned if the Thread Block
+        # Scheduler drops new work on it mid-sleep.
+        self._stall_since = -1
+        self._stall_kind: Optional[StallKind] = None
+
+    # ------------------------------------------------------------------
+    def attach_schedulers(self, schedulers: List["WarpScheduler"]) -> None:
+        """Install the warp schedulers (one list per SM, built by name)."""
+        self.schedulers = schedulers
+        seen: set[int] = set()
+        self.listeners = []
+        for s in schedulers:
+            listener = s.listener
+            if id(listener) not in seen:
+                seen.add(id(listener))
+                self.listeners.append(listener)
+
+    # -- TB residency --------------------------------------------------------
+
+    def can_accept(self, tb: ThreadBlock) -> bool:
+        """Resource check: does this TB fit right now?"""
+        prog = tb.program
+        cfg = self.cfg
+        return (
+            len(self.resident_tbs) < cfg.max_tbs_per_sm
+            and self.used_threads + prog.threads_per_tb <= cfg.max_threads_per_sm
+            and self.used_regs + prog.regs_per_thread * prog.threads_per_tb
+            <= cfg.registers_per_sm
+            and self.used_smem + prog.shared_mem_per_tb <= cfg.shared_mem_per_sm
+        )
+
+    def assign_tb(self, tb: ThreadBlock, cycle: int) -> None:
+        """Place a TB on this SM (the Thread Block Scheduler's action)."""
+        prog = tb.program
+        tb.materialize(self.sm_id, next(self._launch_seq), self.cfg.num_schedulers)
+        tb.start_cycle = cycle
+        # CTA launch latency: warps are not issuable until init completes.
+        ready_at = cycle + self.cfg.tb_launch_latency
+        for w in tb.warps:
+            w.next_valid_cycle = ready_at
+        self.resident_tbs.append(tb)
+        self.used_threads += prog.threads_per_tb
+        self.used_regs += prog.regs_per_thread * prog.threads_per_tb
+        self.used_smem += prog.shared_mem_per_tb
+        if self.timeline is not None:
+            self.timeline.tb_started(self.sm_id, tb.tb_index, cycle)
+        for listener in self.listeners:
+            listener.on_tb_assigned(tb, cycle)
+        # New warps are issuable from the next cycle.
+        if self.sleep_until > cycle + 1:
+            self.sleep_until = cycle + 1
+
+    def _release_tb(self, tb: ThreadBlock, cycle: int) -> None:
+        prog = tb.program
+        tb.finish_cycle = cycle
+        self.resident_tbs.remove(tb)
+        self.used_threads -= prog.threads_per_tb
+        self.used_regs -= prog.regs_per_thread * prog.threads_per_tb
+        self.used_smem -= prog.shared_mem_per_tb
+        self.counters.tbs_completed += 1
+        if self.timeline is not None:
+            self.timeline.tb_finished(self.sm_id, tb.tb_index, cycle)
+        for listener in self.listeners:
+            listener.on_tb_finished(tb, cycle)
+        if self.gpu is not None:
+            self.gpu.on_tb_finished(self, cycle)
+
+    # -- main per-cycle step ------------------------------------------------
+
+    def step(self, cycle: int) -> int:
+        """Advance this SM at ``cycle``; returns instructions issued.
+
+        Updates ``sleep_until`` to the next cycle at which stepping this SM
+        can have any effect.
+        """
+        # 0. Credit the stall period that just ended (if any).
+        if self._stall_kind is not None:
+            self.counters.add_stall(self._stall_kind, cycle - self._stall_since)
+            self._stall_kind = None
+
+        # 1. Retire writeback / memory-completion events due by now.
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _, _, warp, reg = heapq.heappop(events)
+            warp.scoreboard.release(reg)
+
+        # 2. Each scheduler issues at most one warp instruction.
+        issued = 0
+        agg = _ST_NONE
+        self._min_refetch = NEVER
+        for sched in self.schedulers:
+            for warp in sched.order(cycle):
+                st = self._try_issue(warp, cycle)
+                if st == _ST_ISSUED:
+                    issued += 1
+                    sched.note_issued(warp, cycle)
+                    break
+                agg |= st
+
+        # 3. Accounting + sleep computation.
+        if issued:
+            self.counters.active_cycles += 1
+            # Drained on this very issue (last EXIT): park until new work.
+            self.sleep_until = cycle + 1 if self.resident_tbs else NEVER
+            return issued
+
+        if not self.resident_tbs:
+            # Drained completely during this step (or empty SM): no stall
+            # accounting outside the busy period.
+            self.sleep_until = NEVER
+            return 0
+
+        kind = (
+            StallKind.PIPELINE
+            if agg & _ST_PIPE
+            else StallKind.SCOREBOARD
+            if agg & _ST_SB
+            else StallKind.IDLE
+        )
+        wake = events[0][0] if events else NEVER
+        port_free = self.units.next_free(cycle)
+        if port_free is not None and port_free < wake:
+            wake = port_free
+        if self._min_refetch < wake:
+            wake = self._min_refetch
+        if kind == StallKind.PIPELINE:
+            # A load blocked on a full MSHR unwedges at the next retirement.
+            ret = self.memory.mshr[self.sm_id].next_retirement()
+            if ret is not None and cycle < ret < wake:
+                wake = ret
+        if wake >= NEVER:
+            raise SimulationError(
+                f"SM {self.sm_id} deadlocked at cycle {cycle}: "
+                f"{len(self.resident_tbs)} resident TB(s), no pending events"
+            )
+        if wake <= cycle:  # pragma: no cover - defensive
+            wake = cycle + 1
+        self._stall_since = cycle
+        self._stall_kind = kind
+        self.sleep_until = wake
+        return 0
+
+    # -- issue path ----------------------------------------------------------
+
+    def _try_issue(self, warp: Warp, cycle: int) -> int:
+        """Attempt to issue ``warp``'s next instruction; returns a status."""
+        if warp.finished or warp.at_barrier:
+            return _ST_NONE
+        if cycle < warp.next_valid_cycle:
+            # Refetch bubble: no valid instruction yet (Idle contribution).
+            if warp.next_valid_cycle < self._min_refetch:
+                self._min_refetch = warp.next_valid_cycle
+            return _ST_NONE
+        instr = warp.program.instructions[warp.pc]
+        if not warp.scoreboard.can_issue(instr.dst, instr.srcs):
+            return _ST_SB
+        unit = instr.unit
+        if unit is not ExecUnit.NONE and not self.units.port_available(unit, cycle):
+            return _ST_PIPE
+        if instr.op is Opcode.LDG and self.memory.mshr[self.sm_id].is_full(cycle):
+            # MSHR reservation would fail; hardware replays the load.
+            return _ST_PIPE
+        self._do_issue(warp, instr, cycle)
+        return _ST_ISSUED
+
+    def _do_issue(self, warp: Warp, instr, cycle: int) -> None:
+        pc = warp.pc
+        active = warp.active_threads(pc)
+        op = instr.op
+        counters = self.counters
+
+        if self.trace is not None:
+            self.trace.record(cycle, self.sm_id, warp.tb.tb_index,
+                              warp.warp_in_tb, pc, op.value, active)
+        # Progress accounting (the quantity PRO schedules on).
+        warp.progress += active
+        warp.last_issue_cycle = cycle
+        counters.instructions += 1
+        counters.thread_instructions += active
+
+        # Execution-port occupancy + destination-register lifetime.
+        if op is Opcode.LDG or op is Opcode.STG:
+            it = warp.next_mem_iteration(pc)
+            ctx = AccessContext(
+                tb_index=warp.tb.tb_index,
+                warp_in_tb=warp.warp_in_tb,
+                iteration=it,
+                active=active,
+            )
+            lines = instr.pattern.lines(ctx)
+            n_txn = len(lines) if lines else 1
+            self.units.occupy(
+                ExecUnit.LSU, cycle, self.units.initiation_interval(ExecUnit.LSU, n_txn)
+            )
+            counters.mem_transactions += n_txn
+            result = self.memory.access(
+                self.sm_id, lines, cycle, is_write=(op is Opcode.STG)
+            )
+            if instr.dst is not None:
+                warp.scoreboard.reserve(instr.dst)
+                heapq.heappush(
+                    self._events,
+                    (result.completion, next(self._event_seq), warp, instr.dst),
+                )
+        elif op is Opcode.LDS or op is Opcode.STS:
+            self.units.occupy(ExecUnit.LSU, cycle, instr.conflict_ways)
+            if instr.dst is not None:
+                warp.scoreboard.reserve(instr.dst)
+                heapq.heappush(
+                    self._events,
+                    (cycle + instr.latency, next(self._event_seq), warp, instr.dst),
+                )
+        elif instr.unit is not ExecUnit.NONE:
+            self.units.occupy(
+                instr.unit, cycle, self.units.initiation_interval(instr.unit)
+            )
+            if instr.dst is not None:
+                warp.scoreboard.reserve(instr.dst)
+                heapq.heappush(
+                    self._events,
+                    (cycle + instr.latency, next(self._event_seq), warp, instr.dst),
+                )
+
+        # Control flow.
+        if op is Opcode.BRA:
+            warp.pc = instr.target if warp.branch_take(pc) else pc + 1
+            # No speculation on GPUs: the i-buffer refills after the branch
+            # resolves, leaving the warp without a valid instruction.
+            warp.next_valid_cycle = cycle + self.cfg.latency.branch_bubble
+        elif op is Opcode.BAR:
+            warp.pc = pc + 1
+            self._warp_reached_barrier(warp, cycle)
+        elif op is Opcode.EXIT:
+            self._warp_finished(warp, cycle)
+        else:
+            warp.pc = pc + 1
+
+    # -- barrier / finish bookkeeping ------------------------------------------
+
+    def _warp_reached_barrier(self, warp: Warp, cycle: int) -> None:
+        tb = warp.tb
+        warp.at_barrier = True
+        tb.n_at_barrier += 1
+        for listener in self.listeners:
+            listener.on_warp_barrier(warp, cycle)
+        if tb.all_at_barrier:
+            tb.n_at_barrier = 0
+            refetch = cycle + self.cfg.latency.branch_bubble
+            for w in tb.warps:
+                if w.at_barrier:
+                    w.at_barrier = False
+                    # Resuming warps refetch their post-barrier instruction.
+                    if w.next_valid_cycle < refetch:
+                        w.next_valid_cycle = refetch
+            for listener in self.listeners:
+                listener.on_barrier_release(tb, cycle)
+
+    def _warp_finished(self, warp: Warp, cycle: int) -> None:
+        tb = warp.tb
+        warp.finished = True
+        tb.n_finished += 1
+        for listener in self.listeners:
+            listener.on_warp_finished(warp, cycle)
+        if tb.all_finished:
+            self._release_tb(tb, cycle)
+
+    def finalize_accounting(self, final_cycle: int) -> None:
+        """Close the books at kernel completion.
+
+        Flushes any open stall period, then attributes every cycle of the
+        kernel not otherwise accounted for as Idle — chiefly the tail in
+        which this SM sat empty while other SMs finished the last TBs (the
+        paper's "work allocation at TB level" idle source). Afterwards
+        ``active + idle + scoreboard + pipeline == final_cycle`` for every
+        SM, an invariant the test suite checks.
+        """
+        if self._stall_kind is not None:
+            span = final_cycle - self._stall_since
+            if span > 0:
+                self.counters.add_stall(self._stall_kind, span)
+            self._stall_kind = None
+        gap = final_cycle - self.counters.busy_cycles
+        if gap > 0:
+            self.counters.add_stall(StallKind.IDLE, gap)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def resident_warp_count(self) -> int:
+        """Live (unfinished) warps currently resident."""
+        return sum(
+            tb.n_warps - tb.n_finished for tb in self.resident_tbs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SM {self.sm_id}: {len(self.resident_tbs)} TBs, "
+            f"{self.resident_warp_count} warps, sleep@{self.sleep_until}>"
+        )

@@ -1,0 +1,102 @@
+"""Thread block (CTA): the unit of work allocation to an SM.
+
+A TB is assigned to exactly one SM, holds its warps, and tracks the
+aggregate counters PRO schedules on: TB progress (sum of warp progress),
+warps waiting at the current barrier (``n_at_barrier``) and warps that have
+finished (``n_finished``). Resources (threads/registers/shared memory) are
+held until *all* warps finish — the paper's "SM residency" effect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import WARP_SIZE
+from ..isa.program import Program
+from .warp import Warp
+
+
+class ThreadBlock:
+    """One thread block resident on (or destined for) an SM."""
+
+    __slots__ = (
+        "tb_index",
+        "program",
+        "n_warps",
+        "warps",
+        "sm_id",
+        "launch_seq",
+        "n_at_barrier",
+        "n_finished",
+        "start_cycle",
+        "finish_cycle",
+    )
+
+    def __init__(self, tb_index: int, program: Program) -> None:
+        self.tb_index = tb_index
+        self.program = program
+        threads = program.threads_per_tb
+        self.n_warps = (threads + WARP_SIZE - 1) // WARP_SIZE
+        self.warps: List[Warp] = []
+        self.sm_id: int = -1
+        #: Order in which the TB was assigned to its SM (GTO "oldest" key).
+        self.launch_seq: int = -1
+        self.n_at_barrier = 0
+        self.n_finished = 0
+        self.start_cycle: int = -1
+        self.finish_cycle: int = -1
+
+    # ------------------------------------------------------------------
+    def materialize(self, sm_id: int, launch_seq: int, num_schedulers: int) -> None:
+        """Create the warps when the TB is assigned to an SM.
+
+        Warps are statically partitioned across the SM's warp schedulers
+        by index parity (Fermi behaviour the paper footnotes: "warps of a
+        TB are divided between the two warp schedulers").
+        """
+        self.sm_id = sm_id
+        self.launch_seq = launch_seq
+        threads_left = self.program.threads_per_tb
+        self.warps = []
+        for w in range(self.n_warps):
+            n_threads = min(WARP_SIZE, threads_left)
+            threads_left -= n_threads
+            self.warps.append(
+                Warp(
+                    self,
+                    w,
+                    self.program,
+                    n_threads=n_threads,
+                    sched_id=w % num_schedulers,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def progress(self) -> int:
+        """TB progress = sum of constituent warp progress (paper §III)."""
+        return sum(w.progress for w in self.warps)
+
+    @property
+    def all_finished(self) -> bool:
+        return self.n_finished == self.n_warps
+
+    @property
+    def all_at_barrier(self) -> bool:
+        """True when every *live* warp has reached the current barrier.
+
+        Programs in this simulator never mix EXIT with an unreleased
+        barrier (as in well-formed CUDA), so live warps == all warps here;
+        the finished term keeps the check robust for hand-built tests.
+        """
+        return self.n_at_barrier + self.n_finished == self.n_warps
+
+    def warps_for_scheduler(self, sched_id: int) -> List[Warp]:
+        """This TB's warps owned by one warp scheduler."""
+        return [w for w in self.warps if w.sched_id == sched_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TB {self.tb_index} sm={self.sm_id} warps={self.n_warps} "
+            f"fin={self.n_finished} bar={self.n_at_barrier}>"
+        )

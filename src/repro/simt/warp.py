@@ -1,0 +1,130 @@
+"""Warp: the schedulable unit.
+
+A warp executes its program in order, one instruction per issue, with
+per-warp loop trip counts and active-thread masks resolved once at launch
+(that is where workloads inject warp-level divergence). The warp's
+*progress* counter — instructions executed weighted by active threads —
+is the quantity PRO schedules on (paper §III).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..config import WARP_SIZE
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from .scoreboard import Scoreboard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .threadblock import ThreadBlock
+
+
+class Warp:
+    """One warp resident on an SM."""
+
+    __slots__ = (
+        "tb",
+        "warp_in_tb",
+        "global_id",
+        "sched_id",
+        "program",
+        "pc",
+        "scoreboard",
+        "at_barrier",
+        "finished",
+        "progress",
+        "n_threads",
+        "_trips_init",
+        "_trips_left",
+        "_active",
+        "mem_iter",
+        "last_issue_cycle",
+        "next_valid_cycle",
+    )
+
+    def __init__(
+        self,
+        tb: "ThreadBlock",
+        warp_in_tb: int,
+        program: Program,
+        *,
+        n_threads: int = WARP_SIZE,
+        sched_id: int = 0,
+    ) -> None:
+        self.tb = tb
+        self.warp_in_tb = warp_in_tb
+        #: Globally unique warp id (grid-wide), useful for tie-breaks/logs.
+        self.global_id = tb.tb_index * 4096 + warp_in_tb
+        #: Which of the SM's warp schedulers owns this warp.
+        self.sched_id = sched_id
+        self.program = program
+        self.pc = 0
+        self.scoreboard = Scoreboard()
+        self.at_barrier = False
+        self.finished = False
+        #: Progress counter: sum over issued instructions of active threads.
+        self.progress = 0
+        #: Threads materialized in this warp (the last warp of a TB whose
+        #: size is not a multiple of 32 is partially populated).
+        self.n_threads = n_threads
+        # Launch-time resolution of per-warp loop trip counts and active
+        # masks: evaluated once, so the hot issue path only reads dicts.
+        tb_index = tb.tb_index
+        self._trips_init: Dict[int, int] = {}
+        self._active: Dict[int, int] = {}
+        for instr in program.instructions:
+            if instr.op is Opcode.BRA:
+                self._trips_init[instr.pc] = instr.resolve_trips(
+                    tb_index, warp_in_tb
+                )
+            if instr.active is not None or n_threads != WARP_SIZE:
+                resolved = instr.resolve_active(tb_index, warp_in_tb, WARP_SIZE)
+                self._active[instr.pc] = min(resolved, n_threads)
+        self._trips_left: Dict[int, int] = dict(self._trips_init)
+        #: Per-static-instruction dynamic execution count (drives the
+        #: ``iteration`` field of memory AccessContexts).
+        self.mem_iter: Dict[int, int] = {}
+        self.last_issue_cycle = -1
+        #: First cycle at which the next instruction is fetched/decoded
+        #: (advanced past ``cycle + branch_bubble`` by branches and
+        #: barrier releases; see LatencyConfig.branch_bubble).
+        self.next_valid_cycle = 0
+
+    # ------------------------------------------------------------------
+    def active_threads(self, pc: int) -> int:
+        """Active thread count for the instruction at ``pc``."""
+        return self._active.get(pc, self.n_threads)
+
+    def branch_take(self, pc: int) -> bool:
+        """Consume one loop trip at ``pc``; True if the branch is taken.
+
+        When the trips are exhausted the counter re-arms (supports nested
+        loops re-entering an inner loop).
+        """
+        left = self._trips_left[pc]
+        if left > 0:
+            self._trips_left[pc] = left - 1
+            return True
+        self._trips_left[pc] = self._trips_init[pc]
+        return False
+
+    def next_mem_iteration(self, pc: int) -> int:
+        """Return and bump the dynamic execution index of a memory pc."""
+        it = self.mem_iter.get(pc, 0)
+        self.mem_iter[pc] = it + 1
+        return it
+
+    @property
+    def schedulable(self) -> bool:
+        """False for finished or barrier-blocked warps."""
+        return not (self.finished or self.at_barrier)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "fin" if self.finished else "bar" if self.at_barrier else f"pc{self.pc}"
+        )
+        return (
+            f"<Warp tb{self.tb.tb_index}.w{self.warp_in_tb} {state} "
+            f"prog={self.progress}>"
+        )

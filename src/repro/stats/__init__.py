@@ -1,0 +1,16 @@
+"""Simulation statistics: stall classification, counters, timelines, reports."""
+
+from .counters import GpuCounters, SmCounters, StallKind
+from .timeline import SortTraceRecorder, TbInterval, TimelineRecorder
+from .trace import IssueEvent, IssueTrace
+
+__all__ = [
+    "GpuCounters",
+    "IssueEvent",
+    "IssueTrace",
+    "SmCounters",
+    "SortTraceRecorder",
+    "StallKind",
+    "TbInterval",
+    "TimelineRecorder",
+]

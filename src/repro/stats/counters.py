@@ -1,0 +1,147 @@
+"""Cycle and stall accounting.
+
+GPGPU-Sim (and the paper, §II-B) classifies each SM cycle in which no warp
+is issued into exactly one of three stall kinds:
+
+* **Idle** — no warp even has a valid instruction: warps are at barriers,
+  finished, or the SM has no work. (Paper: warp-level divergence and
+  TB-granularity allocation inflate these; PRO attacks them.)
+* **Scoreboard** — at least one warp has a valid instruction, but none has
+  all operands ready (typically waiting on memory).
+* **Pipeline** — some warp has a valid, operand-ready instruction but every
+  needed execution port is busy.
+
+:class:`SmCounters` tracks these per SM; :class:`GpuCounters` aggregates to
+GPU level, which is how the paper's Fig. 5 / Table III report them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class StallKind(enum.IntEnum):
+    """Why an SM cycle issued nothing (GPGPU-Sim classification)."""
+
+    IDLE = 0
+    SCOREBOARD = 1
+    PIPELINE = 2
+
+
+@dataclass
+class SmCounters:
+    """Per-SM cycle/issue accounting over the SM's busy period."""
+
+    sm_id: int = 0
+    #: Cycles in which >= 1 instruction issued.
+    active_cycles: int = 0
+    #: Stall cycles by kind.
+    stall_idle: int = 0
+    stall_scoreboard: int = 0
+    stall_pipeline: int = 0
+    #: Warp instructions issued.
+    instructions: int = 0
+    #: Thread-weighted instructions (progress units issued on this SM).
+    thread_instructions: int = 0
+    #: Thread blocks completed on this SM.
+    tbs_completed: int = 0
+    #: Memory line transactions issued by this SM's warps.
+    mem_transactions: int = 0
+
+    def add_stall(self, kind: StallKind, cycles: int = 1) -> None:
+        """Attribute ``cycles`` stall cycles of the given kind."""
+        if kind == StallKind.IDLE:
+            self.stall_idle += cycles
+        elif kind == StallKind.SCOREBOARD:
+            self.stall_scoreboard += cycles
+        else:
+            self.stall_pipeline += cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        """Total stall cycles across the three kinds."""
+        return self.stall_idle + self.stall_scoreboard + self.stall_pipeline
+
+    @property
+    def busy_cycles(self) -> int:
+        """Active + stalled cycles (the SM's accounted busy period)."""
+        return self.active_cycles + self.stall_cycles
+
+    def stall_breakdown(self) -> Dict[str, float]:
+        """Fractions of stall cycles by kind (sums to 1.0; zeros if none)."""
+        total = self.stall_cycles
+        if total == 0:
+            return {"idle": 0.0, "scoreboard": 0.0, "pipeline": 0.0}
+        return {
+            "idle": self.stall_idle / total,
+            "scoreboard": self.stall_scoreboard / total,
+            "pipeline": self.stall_pipeline / total,
+        }
+
+
+@dataclass
+class GpuCounters:
+    """GPU-level aggregation of a finished kernel simulation."""
+
+    #: Simulation cycles from launch to last TB completion.
+    total_cycles: int = 0
+    per_sm: List[SmCounters] = field(default_factory=list)
+    #: L1 miss rate across all SMs (diagnostics; paper §IV mentions it).
+    l1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    dram_row_hit_rate: float = 0.0
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def stall_idle(self) -> int:
+        return sum(s.stall_idle for s in self.per_sm)
+
+    @property
+    def stall_scoreboard(self) -> int:
+        return sum(s.stall_scoreboard for s in self.per_sm)
+
+    @property
+    def stall_pipeline(self) -> int:
+        return sum(s.stall_pipeline for s in self.per_sm)
+
+    @property
+    def stall_cycles(self) -> int:
+        """Total GPU-level stall cycles (paper Fig. 5 / Table III metric)."""
+        return self.stall_idle + self.stall_scoreboard + self.stall_pipeline
+
+    @property
+    def active_cycles(self) -> int:
+        return sum(s.active_cycles for s in self.per_sm)
+
+    @property
+    def instructions(self) -> int:
+        return sum(s.instructions for s in self.per_sm)
+
+    @property
+    def thread_instructions(self) -> int:
+        return sum(s.thread_instructions for s in self.per_sm)
+
+    @property
+    def tbs_completed(self) -> int:
+        return sum(s.tbs_completed for s in self.per_sm)
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions per GPU cycle (0.0 for an empty run)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    def stall_breakdown(self) -> Dict[str, float]:
+        """GPU-level stall fractions by kind (paper Fig. 1 metric)."""
+        total = self.stall_cycles
+        if total == 0:
+            return {"idle": 0.0, "scoreboard": 0.0, "pipeline": 0.0}
+        return {
+            "idle": self.stall_idle / total,
+            "scoreboard": self.stall_scoreboard / total,
+            "pipeline": self.stall_pipeline / total,
+        }

@@ -1,0 +1,127 @@
+"""Plain-text rendering helpers for tables and figure-like output.
+
+The harness reproduces the paper's tables and figures as aligned text
+(tables) and ASCII bar charts (figures) so every artifact can be
+regenerated and diffed without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; floats are shown with
+    three decimals (the paper's speedup precision).
+    """
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    orig_rows = [list(row) for row in rows]
+    srows = [[fmt(v) for v in row] for row in orig_rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str], data_row: Sequence[object] | None = None) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            right = data_row is not None and isinstance(data_row[i], (int, float))
+            out.append(cell.rjust(widths[i]) if right else cell.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    for row, srow in zip(orig_rows, srows):
+        parts.append(line(srow, row))
+    return "\n".join(parts)
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float],
+                *, width: int = 50, title: str = "", unit: str = "") -> str:
+    """Horizontal ASCII bar chart, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    vmax = max(values, default=0.0)
+    label_w = max((len(str(l)) for l in labels), default=0)
+    for label, v in zip(labels, values):
+        n = 0 if vmax <= 0 else round(width * v / vmax)
+        parts.append(f"{str(label).ljust(label_w)}  {'#' * n} {v:.3f}{unit}")
+    return "\n".join(parts)
+
+
+def render_stacked_pct(labels: Sequence[str],
+                       stacks: Sequence[Sequence[float]],
+                       legend: Sequence[str],
+                       *, width: int = 50, title: str = "") -> str:
+    """Stacked 100%% bars (the paper's Fig. 1 style) using distinct glyphs."""
+    glyphs = "#=+*o"
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append("legend: " + "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(legend)
+    ))
+    label_w = max((len(str(l)) for l in labels), default=0)
+    for label, stack in zip(labels, stacks):
+        total = sum(stack)
+        bar = ""
+        if total > 0:
+            for i, v in enumerate(stack):
+                bar += glyphs[i % len(glyphs)] * round(width * v / total)
+        pcts = "/".join(f"{(v / total if total else 0):4.0%}" for v in stack)
+        parts.append(f"{str(label).ljust(label_w)}  |{bar.ljust(width)}| {pcts}")
+    return "\n".join(parts)
+
+
+def render_gantt(rows: Sequence[tuple], *, width: int = 72, title: str = "") -> str:
+    """ASCII Gantt chart for TB execution intervals (paper Fig. 2 style).
+
+    ``rows`` are (label, start, finish) tuples in simulation cycles.
+    """
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    if not rows:
+        parts.append("(no intervals)")
+        return "\n".join(parts)
+    tmax = max(r[2] for r in rows)
+    label_w = max(len(str(r[0])) for r in rows)
+    for label, start, finish in rows:
+        a = round(width * start / tmax) if tmax else 0
+        z = max(a + 1, round(width * finish / tmax)) if tmax else 1
+        bar = " " * a + "#" * (z - a)
+        parts.append(
+            f"{str(label).ljust(label_w)} |{bar.ljust(width)}| "
+            f"[{start}..{finish}]"
+        )
+    parts.append(f"{''.ljust(label_w)}  0{'cycles'.center(width - 1)}{tmax}")
+    return "\n".join(parts)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate); raises on empty input."""
+    import math
+
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,141 @@
+"""Timeline recorders for the paper's Fig. 2 and Table IV.
+
+* :class:`TimelineRecorder` captures, per SM, the [start, finish] cycle
+  interval of every thread block — the data behind Fig. 2's bars showing
+  batched TB completion under LRR vs staggered completion under PRO.
+* :class:`SortTraceRecorder` captures PRO's periodically re-sorted TB
+  priority order on one SM — the data behind Table IV.
+
+Both recorders are optional: the simulator only pays their cost when the
+caller attaches them to a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TbInterval:
+    """Execution interval of one thread block on one SM."""
+
+    tb_index: int
+    sm_id: int
+    start_cycle: int
+    finish_cycle: int
+
+    @property
+    def duration(self) -> int:
+        return self.finish_cycle - self.start_cycle
+
+
+class TimelineRecorder:
+    """Records TB start/finish events (Fig. 2 source data)."""
+
+    def __init__(self) -> None:
+        self._starts: Dict[Tuple[int, int], int] = {}
+        self.intervals: List[TbInterval] = []
+
+    # -- hooks called by the simulator ------------------------------------
+
+    def tb_started(self, sm_id: int, tb_index: int, cycle: int) -> None:
+        self._starts[(sm_id, tb_index)] = cycle
+
+    def tb_finished(self, sm_id: int, tb_index: int, cycle: int) -> None:
+        start = self._starts.pop((sm_id, tb_index), 0)
+        self.intervals.append(
+            TbInterval(tb_index=tb_index, sm_id=sm_id, start_cycle=start,
+                       finish_cycle=cycle)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def for_sm(self, sm_id: int) -> List[TbInterval]:
+        """Intervals of TBs that ran on ``sm_id``, in start order."""
+        out = [iv for iv in self.intervals if iv.sm_id == sm_id]
+        out.sort(key=lambda iv: (iv.start_cycle, iv.tb_index))
+        return out
+
+    def overlap_score(self, sm_id: int) -> float:
+        """Mean pairwise start-stagger of consecutive TBs on one SM.
+
+        Under batched execution (LRR) many TBs start together, giving small
+        stagger; under PRO starts spread out. Used by tests to check the
+        Fig. 2 *shape* without pinning absolute cycles.
+        """
+        ivs = self.for_sm(sm_id)
+        if len(ivs) < 2:
+            return 0.0
+        gaps = [
+            ivs[i + 1].start_cycle - ivs[i].start_cycle
+            for i in range(len(ivs) - 1)
+        ]
+        return sum(gaps) / len(gaps)
+
+
+@dataclass
+class SortSnapshot:
+    """One re-sort event: PRO's TB priority order at ``cycle`` on ``sm_id``."""
+
+    cycle: int
+    sm_id: int
+    #: Global TB indices, highest priority first.
+    order: Tuple[int, ...]
+
+
+class SortTraceRecorder:
+    """Records PRO's sorted TB order over time (Table IV source data).
+
+    Parameters
+    ----------
+    sm_id:
+        Which SM to trace (the paper traces SM 0).
+    limit:
+        Stop recording after this many snapshots (keeps long runs cheap).
+    """
+
+    def __init__(self, sm_id: int = 0, limit: int = 10_000) -> None:
+        self.sm_id = sm_id
+        self.limit = limit
+        self.snapshots: List[SortSnapshot] = []
+
+    def record(self, sm_id: int, cycle: int, order: List[int]) -> None:
+        """Hook called by the PRO scheduler after each periodic sort."""
+        if sm_id != self.sm_id or len(self.snapshots) >= self.limit:
+            return
+        self.snapshots.append(
+            SortSnapshot(cycle=cycle, sm_id=sm_id, order=tuple(order))
+        )
+
+    def order_changes(self) -> int:
+        """How many consecutive snapshots differ (Table IV discussion)."""
+        changes = 0
+        for a, b in zip(self.snapshots, self.snapshots[1:]):
+            if a.order != b.order:
+                changes += 1
+        return changes
+
+    def first_batch_table(self, n_tbs: int = 0) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Rows of (cycle, order restricted to the traced SM's first batch).
+
+        Reproduces Table IV's framing: the sorted order of the first batch
+        of TBs that executed on the traced SM, one row per sort period
+        while all of them are still resident. The Thread Block Scheduler
+        deals TBs round-robin, so SM 0's first batch is e.g. {0, 4, 8, 12}
+        on a 4-SM GPU — the batch is taken from the first snapshot rather
+        than assumed to be global indices 0..n-1. ``n_tbs`` optionally
+        restricts to the first ``n_tbs`` members of that batch (0 = all).
+        """
+        if not self.snapshots:
+            return []
+        batch = list(self.snapshots[0].order)
+        if n_tbs:
+            batch = sorted(batch)[:n_tbs]
+        wanted = set(batch)
+        rows: List[Tuple[int, Tuple[int, ...]]] = []
+        for snap in self.snapshots:
+            subset = tuple(t for t in snap.order if t in wanted)
+            if len(subset) == len(wanted):
+                rows.append((snap.cycle, subset))
+        return rows

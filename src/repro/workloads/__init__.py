@@ -1,0 +1,27 @@
+"""Synthetic models of the paper's 25 benchmark kernels (Table II).
+
+Each :class:`~repro.workloads.base.KernelModel` encodes the *scheduling-
+relevant* structure of one real CUDA kernel: grid geometry (threads/TB and
+TB count from Table II), occupancy-limiting resources, instruction mix,
+memory access patterns, barrier placement and warp-level divergence. The
+actual arithmetic is not simulated — warp schedulers cannot see data
+values, only the dependence/latency/synchronization structure, which is
+what these models reproduce (DESIGN.md §2).
+
+Kernels are looked up by their Table II kernel name::
+
+    from repro.workloads import get_kernel, all_kernels
+    model = get_kernel("scalarProdGPU")
+    launch = model.build_launch(scale=1.0)
+"""
+
+from .base import KernelModel, all_kernels, applications, get_kernel, kernels_of_app
+from . import gpgpusim, rodinia, cudasdk  # noqa: F401  (populate registry)
+
+__all__ = [
+    "KernelModel",
+    "all_kernels",
+    "applications",
+    "get_kernel",
+    "kernels_of_app",
+]

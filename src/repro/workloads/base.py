@@ -1,0 +1,175 @@
+"""Workload model base: per-kernel specs, divergence helpers, registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import WorkloadError
+from ..gpu.launch import KernelLaunch
+from ..isa.patterns import Coalesced
+from ..isa.program import Program
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    """SplitMix64 finalizer (same family as repro.isa.patterns)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def divergent_trips(base: int, spread: int, *, seed: int = 0) -> Callable[[int, int], int]:
+    """Per-warp loop trip counts in ``[base, base + spread)``.
+
+    Deterministic pseudo-random function of (tb_index, warp_in_tb) — the
+    standard way these models inject *warp-level divergence* (paper §II-B:
+    warps of a TB taking different amounts of time due to unequal work).
+    ``spread == 1`` yields uniform (divergence-free) trips.
+    """
+    if base < 1 or spread < 1:
+        raise WorkloadError("divergent_trips requires base >= 1, spread >= 1")
+
+    def trips(tb: int, w: int) -> int:
+        return base + _mix(seed * 0x9E3779B9 + tb * 64 + w) % spread
+
+    return trips
+
+
+def divergent_active(lo: int, hi: int, *, seed: int = 0) -> Callable[[int, int], int]:
+    """Per-warp active-thread counts in ``[lo, hi]`` (branch divergence)."""
+    if not 1 <= lo <= hi <= 32:
+        raise WorkloadError("divergent_active requires 1 <= lo <= hi <= 32")
+    span = hi - lo + 1
+
+    def active(tb: int, w: int) -> int:
+        return lo + _mix(seed * 0x85EBCA6B + tb * 64 + w) % span
+
+    return active
+
+
+def tb_skewed_trips(base: int, spread: int, *, period: int = 7, seed: int = 0) -> Callable[[int, int], int]:
+    """Trip counts that vary per *TB* (inter-TB runtime variance).
+
+    All warps of a TB share the count, so this creates unequal TB
+    durations (the paper's SM-residency discussion, §II-C) without
+    intra-TB divergence.
+    """
+    if base < 1 or spread < 1 or period < 1:
+        raise WorkloadError("tb_skewed_trips requires positive parameters")
+
+    def trips(tb: int, w: int) -> int:
+        return base + _mix(seed * 0xC2B2AE35 + (tb % period)) % spread
+
+    return trips
+
+
+def stream(base: int, iters: int, *, line: int = 128) -> Coalesced:
+    """Coalesced *streaming* pattern: each warp walks its own contiguous
+    block of ``iters`` lines.
+
+    This is the blocked data layout real streaming kernels use (each warp
+    owns a contiguous slice): consecutive iterations of one warp are
+    row-buffer friendly, and different warps/TBs touch disjoint lines (no
+    accidental cross-TB cache aliasing). The per-warp region is rounded up
+    to the 2 KB DRAM row so warps do not split rows.
+    """
+    if iters < 1:
+        raise WorkloadError("stream iters must be >= 1")
+    region = ((iters * line + 2047) // 2048) * 2048
+    return Coalesced(base=base, iter_stride=line, warp_region=region)
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """One Table II kernel: metadata plus a program factory.
+
+    Attributes
+    ----------
+    name:
+        Kernel name exactly as in Table II (e.g. ``"scalarProdGPU"``).
+    app:
+        Application the kernel belongs to (Table II column 1) — the unit
+        at which the paper reports stall statistics (Fig. 5, Table III).
+    suite:
+        ``"gpgpusim"``, ``"rodinia"`` or ``"cudasdk"``.
+    paper_tbs:
+        Grid size in the paper (Table II column 3).
+    model_tbs:
+        Grid size used by the scaled experiments (scale=1.0). Chosen to
+        preserve the paper ratio of grid size to resident capacity on the
+        4-SM experiment config; documented per kernel.
+    builder:
+        Zero-argument factory returning a fresh :class:`Program`.
+    notes:
+        What the real kernel does and which characteristics the model
+        preserves (docs + DESIGN inventory).
+    """
+
+    name: str
+    app: str
+    suite: str
+    paper_tbs: int
+    model_tbs: int
+    builder: Callable[[], Program]
+    notes: str = ""
+
+    def build_program(self) -> Program:
+        """Fresh program instance (programs hold resolved latencies, so
+        each launch gets its own)."""
+        return self.builder()
+
+    def scaled_tbs(self, scale: float = 1.0) -> int:
+        """TB count at the given scale (>= 4 so every run is meaningful)."""
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        return max(4, round(self.model_tbs * scale))
+
+    def build_launch(self, scale: float = 1.0) -> KernelLaunch:
+        """A ready-to-run :class:`KernelLaunch` at the given scale."""
+        return KernelLaunch(self.build_program(), self.scaled_tbs(scale))
+
+
+_REGISTRY: Dict[str, KernelModel] = {}
+
+
+def register_kernel(model: KernelModel) -> KernelModel:
+    """Add a kernel model to the global registry (name must be unique)."""
+    if model.name in _REGISTRY:
+        raise WorkloadError(f"kernel {model.name!r} already registered")
+    _REGISTRY[model.name] = model
+    return model
+
+
+def get_kernel(name: str) -> KernelModel:
+    """Look up a kernel by its Table II name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_kernels() -> List[KernelModel]:
+    """All 25 kernel models in Table II order (registration order)."""
+    return list(_REGISTRY.values())
+
+
+def applications() -> List[str]:
+    """Distinct application names, in Table II order."""
+    seen: List[str] = []
+    for m in _REGISTRY.values():
+        if m.app not in seen:
+            seen.append(m.app)
+    return seen
+
+
+def kernels_of_app(app: str) -> List[KernelModel]:
+    """All kernels belonging to one application."""
+    out = [m for m in _REGISTRY.values() if m.app == app]
+    if not out:
+        raise WorkloadError(f"unknown application {app!r}")
+    return out

@@ -1,0 +1,211 @@
+"""Rodinia benchmark suite models (Table II rows 11-16).
+
+backprop (2 kernels), b+tree (2 kernels), hotspot, pathfinder.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.patterns import Chase, Coalesced, Random, Strided
+from .base import (
+    KernelModel,
+    divergent_active,
+    divergent_trips,
+    register_kernel,
+    stream,
+    tb_skewed_trips,
+)
+
+MB = 1 << 20
+
+
+def _build_bpnn_layerforward():
+    """backprop bpnn_layerforward: input-to-hidden with shared reduction.
+
+    Real kernel: stages inputs/weights in shared memory, multiplies, then
+    a log-step __syncthreads reduction ladder. Barrier-dense tail after a
+    memory-heavy head; the paper sees one of PRO's larger stall wins here
+    (8.15x fewer Idle stalls vs TL).
+    """
+    b = ProgramBuilder(
+        "bpnn_layerforward", threads_per_tb=256, regs_per_thread=18,
+        shared_mem_per_tb=9 * 1024,
+    )
+    b.load_global(1, pattern=Coalesced(base=0))
+    b.load_global(2, pattern=Coalesced(base=16 * MB))
+    b.store_shared((1,))
+    b.store_shared((2,))
+    b.barrier()
+    # k-loop of the tile multiply: shared loads + FMA accumulation. Per-TB
+    # trip skew models the input-dependent tile sizes of the 4096-TB grid.
+    with b.loop(times=tb_skewed_trips(10, 6, seed=52)):
+        b.load_shared(3, conflict_ways=1)
+        b.fma(4, (3, 4))
+        b.fma(4, (4,))
+    b.store_shared((4,))
+    for _ in range(3):  # log-step reduction ladder
+        b.barrier()
+        b.load_shared(5, conflict_ways=2,
+                      active=divergent_active(16, 32, seed=51))
+        b.fma(4, (4, 5))
+        b.fma(4, (4,))
+        b.store_shared((4,))
+    b.barrier()
+    b.store_global((4,), pattern=Coalesced(base=64 * MB))
+    return b.build()
+
+
+register_kernel(KernelModel(
+    name="bpnn_layerforward", app="backprop", suite="rodinia",
+    paper_tbs=4096, model_tbs=144, builder=_build_bpnn_layerforward,
+    notes="Stage + multiply + 4-step barrier reduction; huge grid (4096 "
+          "TBs) gives a long fastTBPhase with continuous TB turnover.",
+))
+
+
+def _build_bpnn_adjust():
+    """backprop bpnn_adjust_weights: streaming weight update.
+
+    Real kernel: pure streaming — coalesced loads of weights/deltas, a
+    couple of FMAs, coalesced stores back. No barriers, no divergence;
+    DRAM bandwidth bound.
+    """
+    b = ProgramBuilder(
+        "bpnn_adjust_weights_cuda", threads_per_tb=256, regs_per_thread=14,
+        shared_mem_per_tb=0,
+    )
+    with b.loop(times=4):
+        b.load_global(1, pattern=stream(0, 4))
+        b.load_global(2, pattern=stream(32 * MB, 4))
+        b.fma(3, (1, 2))
+        b.falu(3, (3,))
+        b.store_global((3,), pattern=stream(64 * MB, 4))
+    return b.build()
+
+
+register_kernel(KernelModel(
+    name="bpnn_adjust_weights_cuda", app="backprop", suite="rodinia",
+    paper_tbs=4096, model_tbs=144, builder=_build_bpnn_adjust,
+    notes="Streaming read-modify-write, no synchronization; bandwidth "
+          "bound, so scheduler choice matters mostly at the grid tail.",
+))
+
+
+def _btree_kernel(name: str, paper_tbs: int, model_tbs: int, depth_base: int,
+                  depth_spread: int, notes: str):
+    """b+tree lookups: serial pointer chases through node levels.
+
+    Real kernels (findK / findRangeK): each thread walks the tree root to
+    leaf — one dependent uncoalesced load per level, key-comparison ALU in
+    between, no barriers. Query-dependent depth/fan-out gives warp-level
+    divergence; the dependent-load chain is unhideable per warp, so
+    scheduling lives off having *other* warps ready.
+    """
+
+    def build():
+        b = ProgramBuilder(
+            name, threads_per_tb=256, regs_per_thread=16,
+            shared_mem_per_tb=0,
+        )
+        b.load_global(1, pattern=Coalesced(base=0))  # keys
+        with b.loop(times=divergent_trips(depth_base, depth_spread, seed=61)):
+            b.load_global(2, pattern=Chase(4 * MB, seed=19, base=16 * MB),
+                          srcs=(1,))  # node fetch depends on previous
+            b.ialu(3, (2, 1))
+            b.ialu(1, (3,))
+        b.store_global((1,), pattern=Coalesced(base=64 * MB))
+        return b.build()
+
+    register_kernel(KernelModel(
+        name=name, app="b+tree", suite="rodinia",
+        paper_tbs=paper_tbs, model_tbs=model_tbs, builder=build, notes=notes,
+    ))
+
+
+_btree_kernel("findRangeK", 6000, 160, 4, 4,
+              "Range queries: deeper, more divergent walks (6000 TBs).")
+_btree_kernel("findK", 10000, 192, 4, 3,
+              "Point queries: slightly shallower walks; largest grid in "
+              "the suite after convolutionRows (10000 TBs).")
+
+
+def _build_hotspot():
+    """hotspot calculate_temp: pyramidal 2D stencil in shared memory.
+
+    Real kernel: loads a tile (with halo) to shared memory, then several
+    barrier-separated relaxation steps where the active tile shrinks each
+    step (boundary threads drop out -> intra-warp divergence), then one
+    coalesced store. The paper's biggest total-stall win vs both TL
+    (2.18x) and LRR (2.13x).
+    """
+    b = ProgramBuilder(
+        "calculate_temp", threads_per_tb=256, regs_per_thread=24,
+        shared_mem_per_tb=12 * 1024,
+    )
+    b.load_global(1, pattern=Coalesced(base=0))
+    b.load_global(2, pattern=Strided(base=32 * MB, stride=16),
+                  active=divergent_active(20, 32, seed=71))  # halo rows
+    b.store_shared((1,))
+    b.store_shared((2,))
+    with b.loop(times=tb_skewed_trips(4, 3, seed=73)):  # pyramid steps
+        b.barrier()
+        b.load_shared(3, conflict_ways=1, active=divergent_active(16, 32, seed=74))
+        b.load_shared(4, conflict_ways=2, active=divergent_active(16, 32, seed=75))
+        # 5-point stencil arithmetic between syncs (divergent trip counts:
+        # border warps do less relaxation work than interior warps).
+        with b.loop(times=divergent_trips(2, 4, seed=76)):
+            b.fma(5, (3, 4))
+            b.fma(5, (5, 1))
+            b.fma(5, (5,))
+            b.falu(1, (5,))
+        b.store_shared((1,))
+    b.barrier()
+    b.store_global((1,), pattern=Coalesced(base=64 * MB))
+    return b.build()
+
+
+register_kernel(KernelModel(
+    name="calculate_temp", app="hotspot", suite="rodinia",
+    paper_tbs=1849, model_tbs=120, builder=_build_hotspot,
+    notes="Barrier ladder with shrinking active masks and per-TB step-"
+          "count skew; the strongest barrierWait + finishWait test case.",
+))
+
+
+def _build_pathfinder():
+    """pathfinder dynproc_kernel: wavefront dynamic programming.
+
+    Real kernel: iterates rows of a DP table; each iteration reads
+    neighbours from shared memory, relaxes, and synchronizes. Boundary
+    columns retire early (divergence); one barrier per iteration.
+    """
+    b = ProgramBuilder(
+        "dynproc_kernel", threads_per_tb=256, regs_per_thread=18,
+        shared_mem_per_tb=8 * 1024,
+    )
+    b.load_global(1, pattern=Coalesced(base=0))
+    b.store_shared((1,))
+    with b.loop(times=6):  # DP rows per kernel call
+        b.barrier()
+        b.load_shared(2, conflict_ways=1,
+                      active=divergent_active(20, 32, seed=81))
+        b.load_shared(3, conflict_ways=1,
+                      active=divergent_active(20, 32, seed=82))
+        # min/relax arithmetic; boundary warps iterate fewer times.
+        with b.loop(times=divergent_trips(2, 3, seed=83)):
+            b.ialu(4, (2, 3))
+            b.ialu(4, (4,))
+            b.ialu(1, (4, 1))
+        b.store_shared((1,))
+    b.barrier()
+    b.load_global(5, pattern=Coalesced(base=32 * MB))
+    b.ialu(1, (1, 5))
+    b.store_global((1,), pattern=Coalesced(base=64 * MB))
+    return b.build()
+
+
+register_kernel(KernelModel(
+    name="dynproc_kernel", app="pathfinder", suite="rodinia",
+    paper_tbs=463, model_tbs=96, builder=_build_pathfinder,
+    notes="One barrier per DP row with boundary divergence; medium grid.",
+))

@@ -1,0 +1,82 @@
+"""Tests for the analysis sweep utilities."""
+
+import pytest
+
+from repro.analysis import (
+    Sweep,
+    grid_sweep,
+    latency_sweep,
+    occupancy_sweep,
+    sm_count_sweep,
+)
+from repro.config import GPUConfig
+
+
+class TestLatencySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return latency_sweep("executeFirstLayer", factors=(0.5, 2.0),
+                             num_sms=2, scale=0.2,
+                             schedulers=("lrr", "pro"))
+
+    def test_all_points_run(self, result):
+        assert result.values == [0.5, 2.0]
+        for v in result.values:
+            for s in ("lrr", "pro"):
+                assert result.cycles(v, s) > 0
+
+    def test_latency_monotone(self, result):
+        """Doubling memory latency cannot make a memory-bound kernel
+        faster."""
+        for s in ("lrr", "pro"):
+            assert result.cycles(2.0, s) > result.cycles(0.5, s)
+
+    def test_speedup_helpers(self, result):
+        sp = result.speedup(2.0, "pro", "lrr")
+        assert sp == result.cycles(2.0, "lrr") / result.cycles(2.0, "pro")
+        assert len(result.speedup_series("pro", "lrr")) == 2
+
+    def test_render(self, result):
+        out = result.render()
+        assert "latency x" in out and "pro/lrr" in out
+
+
+class TestOccupancySweep:
+    def test_tb_cap_respected(self):
+        r = occupancy_sweep("cenergy", tb_limits=(1, 4), num_sms=2,
+                            scale=0.2, schedulers=("lrr", "pro"))
+        # 1 resident TB per SM is slower than 4 (less latency hiding)
+        assert r.cycles(1, "lrr") > r.cycles(4, "lrr")
+
+
+class TestSmCountSweep:
+    def test_weak_scaling(self):
+        r = sm_count_sweep("cenergy", counts=(1, 2), scale_per_sm=0.2,
+                           schedulers=("lrr",))
+        # weak scaling: similar cycles per point (work grows with SMs)
+        a, b = r.cycles(1, "lrr"), r.cycles(2, "lrr")
+        assert 0.5 < a / b < 2.0
+
+
+class TestGridSweep:
+    def test_more_tbs_more_cycles(self):
+        r = grid_sweep("cenergy", scales=(0.25, 1.0), num_sms=2,
+                       schedulers=("lrr",))
+        assert r.cycles(1.0, "lrr") > r.cycles(0.25, "lrr")
+
+
+class TestGenericSweep:
+    def test_custom_knob(self):
+        sweep = Sweep(
+            name="branch bubble",
+            knob="bubble",
+            values=[1, 12],
+            configure=lambda b: GPUConfig.scaled(1).with_(
+                latency=GPUConfig.scaled(1).latency.__class__(branch_bubble=b)
+            ),
+            schedulers=("lrr",),
+            scale=0.2,
+        )
+        r = sweep.run("sha1_overlap")
+        # bigger refetch bubbles -> more idle time -> more cycles
+        assert r.cycles(12, "lrr") > r.cycles(1, "lrr")

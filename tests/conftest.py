@@ -1,0 +1,71 @@
+"""Shared fixtures and program factories for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Coalesced,
+    GPUConfig,
+    Gpu,
+    KernelLaunch,
+    ProgramBuilder,
+)
+from repro.memory.subsystem import MemorySubsystem
+from repro.simt.sm import StreamingMultiprocessor
+
+
+@pytest.fixture
+def cfg():
+    """Small, fast configuration: 2 SMs, default Fermi per-SM parameters."""
+    return GPUConfig.scaled(2)
+
+
+@pytest.fixture
+def cfg1():
+    """Single-SM configuration for SM-level unit tests."""
+    return GPUConfig.scaled(1)
+
+
+def tiny_program(name="tiny", *, threads_per_tb=64, loops=2, barrier=False,
+                 regs_per_thread=8, shared_mem_per_tb=0, mem=True):
+    """A minimal well-formed kernel: short loop, optional barrier, store."""
+    b = ProgramBuilder(
+        name,
+        threads_per_tb=threads_per_tb,
+        regs_per_thread=regs_per_thread,
+        shared_mem_per_tb=shared_mem_per_tb,
+    )
+    with b.loop(times=loops):
+        if mem:
+            b.load_global(1, pattern=Coalesced(base=0, iter_stride=128,
+                                               warp_region=2048))
+        b.ialu(2, (1, 2) if mem else (2,))
+    if barrier:
+        b.barrier()
+        b.ialu(2, (2,))
+    b.store_global((2,), pattern=Coalesced(base=1 << 30))
+    return b.build()
+
+
+def compute_program(name="compute", *, threads_per_tb=64, chain=6):
+    """A pure-ALU kernel (no memory) for pipeline/latency tests."""
+    b = ProgramBuilder(name, threads_per_tb=threads_per_tb, regs_per_thread=8)
+    b.alu_chain(chain, dst=1)
+    return b.build()
+
+
+def run_tiny(cfg, scheduler="lrr", num_tbs=6, **prog_kwargs):
+    """Build + run a tiny kernel end to end; returns the RunResult."""
+    prog = tiny_program(**prog_kwargs)
+    return Gpu(cfg, scheduler=scheduler).run(KernelLaunch(prog, num_tbs))
+
+
+def bare_sm(cfg, scheduler="lrr"):
+    """A standalone SM (no GPU) with schedulers attached, for unit tests."""
+    from repro.core.scheduler import build_schedulers
+
+    memory = MemorySubsystem(cfg)
+    sm = StreamingMultiprocessor(0, cfg, memory, gpu=None)
+    sm.attach_schedulers(build_schedulers(scheduler, sm, cfg))
+    return sm

@@ -1,0 +1,193 @@
+"""Unit tests for the LRR, GTO and TL baseline schedulers.
+
+These drive the scheduler objects directly (no simulation) through the
+listener API, checking the orderings each policy promises.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.gto import GtoScheduler
+from repro.core.lrr import LrrScheduler
+from repro.core.scheduler import (
+    SchedulerError,
+    available_schedulers,
+    build_schedulers,
+)
+from repro.core.tl import TwoLevelScheduler
+from repro.isa.builder import ProgramBuilder
+from repro.simt.threadblock import ThreadBlock
+
+CFG = GPUConfig.scaled(1).with_(num_schedulers=1)
+
+
+def make_tb(idx, n_warps=4, launch_seq=None):
+    prog = ProgramBuilder("p", threads_per_tb=32 * n_warps).ialu(1).build()
+    tb = ThreadBlock(idx, prog)
+    tb.materialize(sm_id=0, launch_seq=launch_seq if launch_seq is not None
+                   else idx, num_schedulers=1)
+    return tb
+
+
+def make_sched(cls):
+    return cls(sm=None, sched_id=0, cfg=CFG)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_schedulers()
+        for name in ("lrr", "gto", "tl", "pro", "pro-nb", "pro-nf"):
+            assert name in names
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(SchedulerError):
+            build_schedulers("nope", None, CFG)
+
+    def test_build_creates_per_scheduler_instances(self):
+        cfg = GPUConfig.scaled(1)
+        scheds = build_schedulers("lrr", None, cfg)
+        assert len(scheds) == cfg.num_schedulers
+
+
+class TestLrr:
+    def test_initial_order_is_assignment_order(self):
+        s = make_sched(LrrScheduler)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        assert list(s.order(0)) == tb.warps
+
+    def test_rotation_after_issue(self):
+        s = make_sched(LrrScheduler)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.note_issued(tb.warps[1], 0)
+        order = list(s.order(1))
+        assert order[0] is tb.warps[2]
+        assert order[-1] is tb.warps[1]
+
+    def test_wraparound(self):
+        s = make_sched(LrrScheduler)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.note_issued(tb.warps[-1], 0)
+        assert list(s.order(1))[0] is tb.warps[0]
+
+    def test_finished_warp_removed(self):
+        s = make_sched(LrrScheduler)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.on_warp_finished(tb.warps[2], 5)
+        assert tb.warps[2] not in s.order(6)
+        assert len(s.warps) == 3
+
+    def test_rotation_point_stable_across_removal(self):
+        s = make_sched(LrrScheduler)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.note_issued(tb.warps[3], 0)  # start -> index 4 (wraps to 0)
+        s.on_warp_finished(tb.warps[0], 1)
+        order = list(s.order(1))
+        assert order  # no crash, warps intact
+        assert len(order) == 3
+
+    def test_empty_order(self):
+        s = make_sched(LrrScheduler)
+        assert list(s.order(0)) == []
+
+
+class TestGto:
+    def test_default_is_oldest_first(self):
+        s = make_sched(GtoScheduler)
+        a, b = make_tb(0, launch_seq=0), make_tb(1, launch_seq=1)
+        s.on_tb_assigned(a, 0)
+        s.on_tb_assigned(b, 0)
+        order = list(s.order(0))
+        assert order[:4] == a.warps
+
+    def test_greedy_warp_first(self):
+        s = make_sched(GtoScheduler)
+        a = make_tb(0)
+        s.on_tb_assigned(a, 0)
+        s.note_issued(a.warps[2], 0)
+        assert list(s.order(1))[0] is a.warps[2]
+
+    def test_greedy_does_not_duplicate(self):
+        s = make_sched(GtoScheduler)
+        a = make_tb(0)
+        s.on_tb_assigned(a, 0)
+        s.note_issued(a.warps[2], 0)
+        order = list(s.order(1))
+        assert len(order) == len(a.warps)
+        assert len(set(id(w) for w in order)) == len(order)
+
+    def test_greedy_cleared_on_finish(self):
+        s = make_sched(GtoScheduler)
+        a = make_tb(0)
+        s.on_tb_assigned(a, 0)
+        s.note_issued(a.warps[2], 0)
+        a.warps[2].finished = True
+        s.on_warp_finished(a.warps[2], 1)
+        order = list(s.order(2))
+        assert order[0] is a.warps[0]
+        assert a.warps[2] not in order
+
+    def test_greedy_already_oldest(self):
+        s = make_sched(GtoScheduler)
+        a = make_tb(0)
+        s.on_tb_assigned(a, 0)
+        s.note_issued(a.warps[0], 0)
+        assert list(s.order(1)) == a.warps
+
+
+class TestTwoLevel:
+    def make(self, group_size=2):
+        cfg = CFG.with_(tl_fetch_group_size=group_size)
+        return TwoLevelScheduler(sm=None, sched_id=0, cfg=cfg)
+
+    def test_groups_formed_by_size(self):
+        s = self.make(group_size=2)
+        tb = make_tb(0, n_warps=5)
+        s.on_tb_assigned(tb, 0)
+        assert [len(g.warps) for g in s._groups] == [2, 2, 1]
+
+    def test_order_concatenates_groups(self):
+        s = self.make(group_size=2)
+        tb = make_tb(0, n_warps=4)
+        s.on_tb_assigned(tb, 0)
+        assert list(s.order(0)) == tb.warps
+
+    def test_group_rotation_on_lower_group_issue(self):
+        s = self.make(group_size=2)
+        tb = make_tb(0, n_warps=4)
+        s.on_tb_assigned(tb, 0)
+        # a warp from group 1 issued -> group 0 rotates behind
+        s.note_issued(tb.warps[2], 0)
+        order = list(s.order(1))
+        assert order[0] is tb.warps[3]  # group1 continues (rr after w2)
+        assert tb.warps[0] in order[2:]
+
+    def test_intragroup_round_robin(self):
+        s = self.make(group_size=4)
+        tb = make_tb(0, n_warps=4)
+        s.on_tb_assigned(tb, 0)
+        s.note_issued(tb.warps[1], 0)
+        assert list(s.order(1))[0] is tb.warps[2]
+
+    def test_finished_warp_removed_and_groups_compacted(self):
+        s = self.make(group_size=2)
+        tb = make_tb(0, n_warps=4)
+        s.on_tb_assigned(tb, 0)
+        for w in tb.warps[:2]:
+            w.finished = True
+            s.on_warp_finished(w, 1)
+        assert len(s._groups) == 1
+        assert list(s.order(2)) == tb.warps[2:]
+
+    def test_new_tb_fills_partial_group(self):
+        s = self.make(group_size=4)
+        a = make_tb(0, n_warps=2)
+        b = make_tb(1, n_warps=2, launch_seq=1)
+        s.on_tb_assigned(a, 0)
+        s.on_tb_assigned(b, 0)
+        assert len(s._groups) == 1
+        assert len(s._groups[0].warps) == 4

@@ -1,0 +1,324 @@
+"""Tests for the PRO scheduler (Algorithm 1) — manager-level behaviour.
+
+A bare single-SM rig drives the real issue loop; the ProManager's lists,
+states and orderings are then inspected directly.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.pro import ProManager, ProScheduler, make_pro_factory
+from repro.core.scheduler import build_schedulers
+from repro.core.tb_state import TbState
+from repro.isa.builder import ProgramBuilder
+from repro.isa.patterns import Coalesced
+from repro.memory.subsystem import MemorySubsystem
+from repro.simt.sm import StreamingMultiprocessor
+from repro.simt.threadblock import ThreadBlock
+
+
+def make_cfg(**kw):
+    base = dict(tb_launch_latency=0)
+    base.update(kw)
+    return GPUConfig.scaled(1).with_(**base)
+
+
+def make_sm(cfg, scheduler="pro"):
+    memory = MemorySubsystem(cfg)
+    sm = StreamingMultiprocessor(0, cfg, memory, gpu=None)
+    sm.attach_schedulers(build_schedulers(scheduler, sm, cfg))
+    return sm
+
+
+def manager_of(sm) -> ProManager:
+    return sm.schedulers[0].manager
+
+
+def assign(sm, prog, tb_index=0, cycle=0):
+    prog.finalize(sm.cfg.latency)
+    tb = ThreadBlock(tb_index, prog)
+    sm.assign_tb(tb, cycle)
+    return tb
+
+
+def drive(sm, max_cycles=1_000_000):
+    cycle = 0
+    while sm.resident_tbs:
+        cycle = max(cycle, sm.sleep_until)
+        assert cycle <= max_cycles, "SM did not drain"
+        sm.step(cycle)
+        cycle += 1
+    return cycle
+
+
+def simple_prog(n_alu=3, threads=64, name="p"):
+    b = ProgramBuilder(name, threads_per_tb=threads)
+    for _ in range(n_alu):
+        b.ialu(1)
+    return b.build()
+
+
+class TestManagerWiring:
+    def test_shared_manager_between_schedulers(self):
+        sm = make_sm(make_cfg())
+        assert sm.schedulers[0].manager is sm.schedulers[1].manager
+
+    def test_single_listener(self):
+        sm = make_sm(make_cfg())
+        assert len(sm.listeners) == 1
+        assert isinstance(sm.listeners[0], ProManager)
+
+    def test_tb_assignment_creates_record(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, simple_prog())
+        mgr = manager_of(sm)
+        assert tb.tb_index in mgr.records
+        assert mgr.records[tb.tb_index].state is TbState.NO_WAIT
+        assert mgr.no_wait[0].tb is tb
+
+    def test_tb_finish_removes_record(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, simple_prog())
+        drive(sm)
+        mgr = manager_of(sm)
+        assert tb.tb_index not in mgr.records
+        assert not mgr.no_wait and not mgr.finish_wait
+
+    def test_order_partitioned_by_scheduler(self):
+        sm = make_sm(make_cfg())
+        assign(sm, simple_prog(threads=128))
+        mgr = manager_of(sm)
+        for sid in (0, 1):
+            assert all(w.sched_id == sid for w in mgr.order(sid, 0))
+
+
+class TestNoWaitPriority:
+    def test_fast_phase_descending_progress(self):
+        sm = make_sm(make_cfg())
+        a = assign(sm, simple_prog(name="a"), tb_index=0)
+        b = assign(sm, simple_prog(name="b"), tb_index=1)
+        # manufacture unequal progress
+        a.warps[0].progress = 10
+        b.warps[0].progress = 500
+        mgr = manager_of(sm)
+        mgr._sort_rem(mgr.no_wait)
+        assert mgr.no_wait[0].tb is b  # more progress first (SRTF)
+
+    def test_tie_broken_by_index(self):
+        sm = make_sm(make_cfg())
+        a = assign(sm, simple_prog(name="a"), tb_index=3)
+        b = assign(sm, simple_prog(name="b"), tb_index=1)
+        mgr = manager_of(sm)
+        mgr._sort_rem(mgr.no_wait)
+        assert mgr.no_wait[0].tb is b
+
+    def test_threshold_sort_period(self):
+        cfg = make_cfg(pro_sort_threshold=100)
+        sm = make_sm(cfg)
+        a = assign(sm, simple_prog(name="a"), tb_index=0)
+        b = assign(sm, simple_prog(name="b"), tb_index=1)
+        mgr = manager_of(sm)
+        b.warps[0].progress = 999
+        mgr.order(0, cycle=50)       # below threshold: no resort
+        assert mgr.no_wait[0].tb is a
+        mgr.order(0, cycle=150)      # above: resort happens
+        assert mgr.no_wait[0].tb is b
+
+
+class TestFinishWait:
+    def divergent_prog(self):
+        # warp 0 exits after 1 pass; warp 1 after 12 passes
+        b = ProgramBuilder("div", threads_per_tb=64)
+        with b.loop(times=lambda tb, w: 1 + 11 * w):
+            b.ialu(1)
+        return b.build()
+
+    def test_promotion_on_first_finish(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, self.divergent_prog())
+        mgr = manager_of(sm)
+        cycle = 0
+        while tb.n_finished == 0:
+            cycle = max(cycle, sm.sleep_until)
+            sm.step(cycle)
+            cycle += 1
+        rec = mgr.records[tb.tb_index]
+        assert rec.state is TbState.FINISH_WAIT
+        assert mgr.finish_wait and mgr.finish_wait[0] is rec
+        # remaining warps sorted ascending progress
+        warps = rec.warp_order[1] + rec.warp_order[0]
+        drive(sm)
+
+    def test_finish_wait_has_top_priority(self):
+        sm = make_sm(make_cfg())
+        fast = assign(sm, self.divergent_prog(), tb_index=0)
+        slow = assign(sm, simple_prog(n_alu=40, name="s"), tb_index=1)
+        mgr = manager_of(sm)
+        cycle = 0
+        while fast.n_finished == 0 and sm.resident_tbs:
+            cycle = max(cycle, sm.sleep_until)
+            sm.step(cycle)
+            cycle += 1
+        if fast.n_finished and not fast.all_finished:
+            order = mgr.order(1, cycle)
+            live_fast = [w for w in fast.warps if not w.finished
+                         and w.sched_id == 1]
+            if live_fast and order:
+                assert order[0].tb is fast
+
+
+class TestBarrierWait:
+    def barrier_prog(self):
+        b = ProgramBuilder("bar", threads_per_tb=64)
+        with b.loop(times=lambda tb, w: 1 + 14 * w):  # w1 is much slower
+            b.ialu(1)
+        b.barrier()
+        b.ialu(2)
+        return b.build()
+
+    def test_promotion_on_first_barrier_arrival(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, self.barrier_prog())
+        mgr = manager_of(sm)
+        cycle = 0
+        while tb.n_at_barrier == 0 and not tb.all_finished:
+            cycle = max(cycle, sm.sleep_until)
+            sm.step(cycle)
+            cycle += 1
+        rec = mgr.records[tb.tb_index]
+        assert rec.state is TbState.BARRIER_WAIT
+        assert mgr.barrier_wait[0] is rec
+        drive(sm)
+        assert tb.all_finished
+
+    def test_release_returns_to_nowait_in_fast_phase(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, self.barrier_prog())
+        mgr = manager_of(sm)
+        drive(sm)
+        # after completion the record is gone; but mid-run transitions were
+        # legal (no SchedulerError raised) and lists are empty again
+        assert not mgr.barrier_wait
+
+    def test_barrier_wait_sorted_by_waiting_warps(self):
+        sm = make_sm(make_cfg(max_tbs_per_sm=4))
+        a = assign(sm, self.barrier_prog(), tb_index=0)
+        b = assign(sm, self.barrier_prog(), tb_index=1)
+        mgr = manager_of(sm)
+        ra, rb = mgr.records[0], mgr.records[1]
+        ra.state = TbState.BARRIER_WAIT
+        rb.state = TbState.BARRIER_WAIT
+        mgr.barrier_wait = [ra, rb]
+        a.n_at_barrier = 1
+        b.n_at_barrier = 2
+        mgr._sort_barrier_wait()
+        assert mgr.barrier_wait[0] is rb  # more warps at barrier first
+
+
+class TestPhaseTransition:
+    class FakeTbScheduler:
+        def __init__(self):
+            self.pending = True
+
+        def has_pending(self):
+            return self.pending
+
+    class FakeGpu:
+        def __init__(self):
+            self.tb_scheduler = TestPhaseTransition.FakeTbScheduler()
+
+        def on_tb_finished(self, sm, cycle):
+            pass
+
+    def test_merge_on_fast_to_slow(self):
+        sm = make_sm(make_cfg())
+        gpu = self.FakeGpu()
+        sm.gpu = gpu
+        a = assign(sm, simple_prog(name="a"), tb_index=0)
+        mgr = manager_of(sm)
+        assert mgr.fast_phase
+        gpu.tb_scheduler.pending = False
+        mgr.order(0, cycle=10)
+        assert not mgr.fast_phase
+        rec = mgr.records[a.tb_index]
+        assert rec.state is TbState.FINISH_NO_WAIT
+        assert mgr.finish_no_wait and not mgr.no_wait
+
+    def test_slow_phase_ascending_progress(self):
+        sm = make_sm(make_cfg())
+        gpu = self.FakeGpu()
+        gpu.tb_scheduler.pending = False
+        sm.gpu = gpu
+        a = assign(sm, simple_prog(name="a"), tb_index=0)
+        b = assign(sm, simple_prog(name="b"), tb_index=1)
+        mgr = manager_of(sm)
+        mgr.order(0, cycle=1)  # trigger transition
+        a.warps[0].progress = 500
+        b.warps[0].progress = 10
+        mgr._sort_rem(mgr.finish_no_wait)
+        assert mgr.finish_no_wait[0].tb is b  # least progress first
+
+    def test_new_tb_in_slow_phase_lands_in_finish_no_wait(self):
+        sm = make_sm(make_cfg())
+        gpu = self.FakeGpu()
+        gpu.tb_scheduler.pending = False
+        sm.gpu = gpu
+        mgr = manager_of(sm)
+        mgr.order(0, cycle=1)
+        tb = assign(sm, simple_prog(), tb_index=5)
+        assert mgr.records[5].state is TbState.FINISH_NO_WAIT
+
+
+class TestAblationVariants:
+    def test_pro_nb_ignores_barriers(self):
+        sm = make_sm(make_cfg(), scheduler="pro-nb")
+        b = ProgramBuilder("bar", threads_per_tb=64)
+        with b.loop(times=lambda tb, w: 1 + 9 * w):
+            b.ialu(1)
+        b.barrier()
+        b.ialu(2)
+        tb = assign(sm, b.build())
+        mgr = manager_of(sm)
+        cycle = 0
+        saw_barrier_state = False
+        while sm.resident_tbs:
+            cycle = max(cycle, sm.sleep_until)
+            sm.step(cycle)
+            if mgr.barrier_wait:
+                saw_barrier_state = True
+            cycle += 1
+        assert not saw_barrier_state
+        assert tb.all_finished  # physical barrier still enforced
+
+    def test_pro_nf_ignores_finishes(self):
+        sm = make_sm(make_cfg(), scheduler="pro-nf")
+        b = ProgramBuilder("div", threads_per_tb=64)
+        with b.loop(times=lambda tb, w: 1 + 11 * w):
+            b.ialu(1)
+        tb = assign(sm, b.build())
+        mgr = manager_of(sm)
+        cycle = 0
+        saw_finish_state = False
+        while sm.resident_tbs:
+            cycle = max(cycle, sm.sleep_until)
+            sm.step(cycle)
+            if mgr.finish_wait:
+                saw_finish_state = True
+            cycle += 1
+        assert not saw_finish_state
+        assert tb.all_finished
+
+    def test_custom_threshold_factory(self):
+        from repro.core.variants import pro_with_threshold
+
+        name = pro_with_threshold(12345)
+        assert name == "pro-t12345"
+        sm = make_sm(make_cfg(), scheduler=name)
+        assert manager_of(sm).threshold == 12345
+
+    def test_factory_flags(self):
+        cfg = make_cfg()
+        sm0 = StreamingMultiprocessor(0, cfg, MemorySubsystem(cfg), gpu=None)
+        scheds = make_pro_factory(handle_barrier=False)(sm0, cfg)
+        assert scheds[0].manager.handle_barrier is False
+        assert scheds[0].manager.handle_finish is True

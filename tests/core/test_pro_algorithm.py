@@ -1,0 +1,165 @@
+"""Algorithm 1 conformance: PRO's full priority order, observed end to end.
+
+These tests drive real simulations with an IssueTrace attached and check
+that the issue stream is consistent with the algorithm's promises —
+complementing the manager-level unit tests in test_pro.py.
+"""
+
+import pytest
+
+from repro import Gpu, GPUConfig, IssueTrace, KernelLaunch, ProgramBuilder
+from repro.core.pro import ProManager
+from repro.core.scheduler import build_schedulers
+from repro.core.tb_state import TbState
+from repro.memory.subsystem import MemorySubsystem
+from repro.simt.sm import StreamingMultiprocessor
+from repro.simt.threadblock import ThreadBlock
+
+CFG1 = GPUConfig.scaled(1).with_(tb_launch_latency=0)
+
+
+def make_sm(scheduler="pro", cfg=CFG1):
+    sm = StreamingMultiprocessor(0, cfg, MemorySubsystem(cfg), gpu=None)
+    sm.attach_schedulers(build_schedulers(scheduler, sm, cfg))
+    return sm
+
+
+def assign(sm, prog, idx):
+    prog.finalize(sm.cfg.latency)
+    tb = ThreadBlock(idx, prog)
+    sm.assign_tb(tb, 0)
+    return tb
+
+
+def compute_prog(n=20, threads=64):
+    b = ProgramBuilder("c", threads_per_tb=threads)
+    for _ in range(n):
+        b.ialu(1)
+    return b.build()
+
+
+class TestPriorityOrderInOrderList:
+    """The concatenation order of Algorithm 1 lines 41-62."""
+
+    def test_finish_wait_before_barrier_wait_before_no_wait(self):
+        sm = make_sm()
+        mgr: ProManager = sm.schedulers[0].manager
+        a = assign(sm, compute_prog(), 0)
+        b = assign(sm, compute_prog(), 1)
+        c = assign(sm, compute_prog(), 2)
+        ra, rb, rc = (mgr.records[i] for i in (0, 1, 2))
+        # Force states directly (unit-style) and check concatenation.
+        mgr.no_wait.remove(ra)
+        ra.state = TbState.FINISH_WAIT
+        mgr.finish_wait.append(ra)
+        mgr.no_wait.remove(rb)
+        rb.state = TbState.BARRIER_WAIT
+        mgr.barrier_wait.append(rb)
+        order = mgr.order(0, cycle=1)
+        tb_sequence = [w.tb.tb_index for w in order]
+        # all of a's warps, then b's, then c's
+        first_a = tb_sequence.index(0)
+        first_b = tb_sequence.index(1)
+        first_c = tb_sequence.index(2)
+        assert first_a < first_b < first_c
+
+    def test_slow_phase_uses_finish_no_wait_when_no_wait_empty(self):
+        sm = make_sm()
+        mgr = sm.schedulers[0].manager
+        a = assign(sm, compute_prog(), 0)
+        rec = mgr.records[0]
+        mgr.no_wait.remove(rec)
+        rec.state = TbState.FINISH_NO_WAIT
+        mgr.finish_no_wait.append(rec)
+        order = mgr.order(0, cycle=1)
+        assert order, "finishNoWait TBs must be schedulable"
+
+
+class TestWarpOrderDirections:
+    def test_no_wait_descending(self):
+        sm = make_sm()
+        mgr = sm.schedulers[0].manager
+        tb = assign(sm, compute_prog(threads=128), 0)
+        for i, w in enumerate(tb.warps):
+            w.progress = 10 * (i + 1)
+        rec = mgr.records[0]
+        rec.sort_warps(descending=True)
+        for lst in rec.warp_order:
+            progresses = [w.progress for w in lst]
+            assert progresses == sorted(progresses, reverse=True)
+
+    def test_barrier_wait_ascending(self):
+        sm = make_sm()
+        mgr = sm.schedulers[0].manager
+        tb = assign(sm, compute_prog(threads=128), 0)
+        for i, w in enumerate(tb.warps):
+            w.progress = 10 * (i + 1)
+        rec = mgr.records[0]
+        rec.sort_warps(descending=False)
+        for lst in rec.warp_order:
+            progresses = [w.progress for w in lst]
+            assert progresses == sorted(progresses)
+
+
+class TestSrtfBehaviourEndToEnd:
+    def test_pro_concentrates_early_slots_on_leading_tb(self):
+        """PRO's noWait policy is SRTF-like: once progress diverges, the
+        leading TB should win a larger share of issue slots than under
+        LRR (observed via IssueTrace)."""
+        cfg = GPUConfig.scaled(1)
+        b = ProgramBuilder("w", threads_per_tb=256, regs_per_thread=32)
+        with b.loop(times=20):
+            b.ialu(1)
+            b.ialu(2)
+        prog = b.build()  # register-limited to 4 TBs
+
+        def max_share(sched):
+            trace = IssueTrace(limit=1500, sm_id=0)
+            Gpu(cfg, sched).run(KernelLaunch(prog, 8), trace=trace)
+            from collections import Counter
+
+            counts = Counter(ev.tb_index for ev in trace.events[200:1200])
+            total = sum(counts.values())
+            return max(counts.values()) / total
+
+        assert max_share("pro") > max_share("lrr")
+
+    def test_finish_divergent_tb_completes_early_under_pro(self):
+        """finishWait promotion: a TB with one finished warp gets High
+        priority, so its remaining warps finish sooner than the same TB
+        does under LRR (measured by TB 0 finish order)."""
+        from repro import TimelineRecorder
+
+        cfg = GPUConfig.scaled(1)
+        b = ProgramBuilder("d", threads_per_tb=256, regs_per_thread=32)
+        with b.loop(times=lambda tb, w: 2 + 6 * (w % 8)):
+            b.ialu(1)
+            b.ialu(2)
+        prog = b.build()
+
+        def finish_rank(sched):
+            tl = TimelineRecorder()
+            Gpu(cfg, sched).run(KernelLaunch(prog, 8), timeline=tl)
+            ordered = sorted(tl.intervals, key=lambda iv: iv.finish_cycle)
+            return [iv.tb_index for iv in ordered].index(0)
+
+        # not asserting a strict inequality (workload-dependent), but PRO
+        # must not leave TB 0 finishing last
+        assert finish_rank("pro") < 7
+
+
+class TestSortTraceHook:
+    def test_manager_records_via_hook(self):
+        from repro.stats.timeline import SortTraceRecorder
+
+        cfg = GPUConfig.scaled(1).with_(pro_sort_threshold=50)
+        sm = make_sm(cfg=cfg.with_(tb_launch_latency=0))
+        mgr = sm.schedulers[0].manager
+        mgr.threshold = 50
+        trace = SortTraceRecorder(sm_id=0)
+        mgr.sort_trace = trace
+        assign(sm, compute_prog(), 0)
+        assign(sm, compute_prog(), 1)
+        mgr.order(0, cycle=100)
+        assert len(trace.snapshots) == 1
+        assert set(trace.snapshots[0].order) == {0, 1}

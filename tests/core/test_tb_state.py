@@ -1,0 +1,147 @@
+"""Tests for the Fig. 3 TB state machine (structural reproduction of the
+paper's diagram)."""
+
+import pytest
+
+from repro.core.tb_state import (
+    FAST_PHASE_STATES,
+    SLOW_PHASE_STATES,
+    TbEvent,
+    TbState,
+    allowed_transitions,
+    check_transition,
+    transition,
+)
+from repro.errors import SchedulerError
+
+
+class TestPaperEdges:
+    """Every edge drawn in Fig. 3, checked explicitly."""
+
+    def test_nowait_to_barrierwait(self):
+        assert transition(TbState.NO_WAIT, TbEvent.WARP_AT_BARRIER, True) \
+            is TbState.BARRIER_WAIT
+
+    def test_barrierwait_release_fast(self):
+        assert transition(TbState.BARRIER_WAIT, TbEvent.ALL_AT_BARRIER, True) \
+            is TbState.NO_WAIT
+
+    def test_barrierwait_release_slow(self):
+        assert transition(TbState.BARRIER_WAIT, TbEvent.ALL_AT_BARRIER, False) \
+            is TbState.FINISH_NO_WAIT
+
+    def test_nowait_to_finishwait_fast(self):
+        assert transition(TbState.NO_WAIT, TbEvent.WARP_FINISHED, True) \
+            is TbState.FINISH_WAIT
+
+    def test_finishwait_terminal_transition(self):
+        assert transition(TbState.FINISH_WAIT, TbEvent.ALL_FINISHED, True) \
+            is TbState.FINISH
+
+    def test_phase_change_nowait(self):
+        assert transition(TbState.NO_WAIT, TbEvent.PHASE_TO_SLOW, False) \
+            is TbState.FINISH_NO_WAIT
+
+    def test_phase_change_finishwait(self):
+        assert transition(TbState.FINISH_WAIT, TbEvent.PHASE_TO_SLOW, False) \
+            is TbState.FINISH_NO_WAIT
+
+    def test_phase_change_barrierwait(self):
+        assert transition(TbState.BARRIER_WAIT, TbEvent.PHASE_TO_SLOW, False) \
+            is TbState.BARRIER_WAIT1
+
+    def test_barrierwait1_release(self):
+        assert transition(TbState.BARRIER_WAIT1, TbEvent.ALL_AT_BARRIER, False) \
+            is TbState.FINISH_NO_WAIT
+
+    def test_finishnowait_barrier_arrival(self):
+        assert transition(TbState.FINISH_NO_WAIT, TbEvent.WARP_AT_BARRIER,
+                          False) is TbState.BARRIER_WAIT1
+
+    def test_finishnowait_warp_finished_stays(self):
+        assert transition(TbState.FINISH_NO_WAIT, TbEvent.WARP_FINISHED,
+                          False) is TbState.FINISH_NO_WAIT
+
+    def test_all_finished_from_anywhere(self):
+        for state in TbState:
+            if state is TbState.FINISH:
+                continue
+            assert transition(state, TbEvent.ALL_FINISHED, True) \
+                is TbState.FINISH
+
+
+class TestIllegalEdges:
+    def test_finish_is_terminal(self):
+        for event in TbEvent:
+            with pytest.raises(SchedulerError):
+                transition(TbState.FINISH, event, True)
+
+    def test_release_requires_barrier_state(self):
+        for state in (TbState.NO_WAIT, TbState.FINISH_WAIT,
+                      TbState.FINISH_NO_WAIT):
+            with pytest.raises(SchedulerError):
+                transition(state, TbEvent.ALL_AT_BARRIER, True)
+
+    def test_finish_during_barrier_wait_rejected(self):
+        # well-formed CUDA never mixes unreleased barriers and exits
+        with pytest.raises(SchedulerError):
+            transition(TbState.BARRIER_WAIT, TbEvent.WARP_FINISHED, True)
+
+    def test_barrier_during_finish_wait_rejected(self):
+        with pytest.raises(SchedulerError):
+            transition(TbState.FINISH_WAIT, TbEvent.WARP_AT_BARRIER, True)
+
+    def test_check_transition_helper(self):
+        assert check_transition(TbState.NO_WAIT, TbEvent.WARP_AT_BARRIER, True)
+        assert not check_transition(TbState.FINISH_WAIT,
+                                    TbEvent.WARP_AT_BARRIER, True)
+
+
+class TestStructure:
+    def test_phase_partitions_disjoint(self):
+        assert not (SLOW_PHASE_STATES & FAST_PHASE_STATES)
+
+    def test_slow_states_match_figure(self):
+        # Fig. 3's red (slow-phase) states
+        assert SLOW_PHASE_STATES == {TbState.BARRIER_WAIT1,
+                                     TbState.FINISH_NO_WAIT}
+
+    def test_table_is_consistent_with_transition(self):
+        table = allowed_transitions()
+        for (state, event, fast), target in table.items():
+            assert transition(state, event, fast) is target
+
+    def test_no_transition_into_fast_states_during_slow_phase(self):
+        """Fig. 3: once the slow phase starts, noWait/finishWait are dead.
+
+        Rows whose *source* state is fast-phase-only are skipped: a TB
+        cannot be in such a state during the slow phase (the PHASE_TO_SLOW
+        merge runs before any slow-phase event can fire), so those table
+        entries are unreachable.
+        """
+        table = allowed_transitions()
+        for (state, event, fast), target in table.items():
+            if fast or event is TbEvent.PHASE_TO_SLOW:
+                continue
+            if state in FAST_PHASE_STATES:
+                continue  # unreachable premise
+            assert target not in FAST_PHASE_STATES, (state, event, target)
+
+    def test_finish_reachable_from_every_state(self):
+        """Every live state can eventually reach FINISH."""
+        table = allowed_transitions()
+        # build adjacency ignoring phase
+        adj = {}
+        for (state, _, _), target in table.items():
+            adj.setdefault(state, set()).add(target)
+        for start in TbState:
+            if start is TbState.FINISH:
+                continue
+            seen, frontier = {start}, [start]
+            while frontier:
+                s = frontier.pop()
+                for t in adj.get(s, ()):
+                    if t not in seen:
+                        seen.add(t)
+                        frontier.append(t)
+            assert TbState.FINISH in seen, start

@@ -1,0 +1,138 @@
+"""Tests for PRO variants (pro-norm, thresholds) and extra schedulers."""
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch, ProgramBuilder
+from repro.core import available_schedulers
+from repro.core.pro import ProManager
+from repro.core.scheduler import build_schedulers
+from repro.core.variants import pro_with_threshold
+from repro.memory.subsystem import MemorySubsystem
+from repro.simt.sm import StreamingMultiprocessor
+from repro.simt.threadblock import ThreadBlock
+
+CFG = GPUConfig.scaled(2)
+
+
+def divergent_prog():
+    b = ProgramBuilder("div", threads_per_tb=128, regs_per_thread=10)
+    with b.loop(times=lambda tb, w: 2 + 5 * (w % 3)):
+        b.ialu(1)
+        b.ialu(1, (1,))
+    return b.build()
+
+
+class TestProNorm:
+    def test_registered(self):
+        assert "pro-norm" in available_schedulers()
+
+    def test_runs_to_completion(self):
+        res = Gpu(CFG, "pro-norm").run(KernelLaunch(divergent_prog(), 10))
+        assert res.counters.tbs_completed == 10
+
+    def test_same_work_as_pro(self):
+        a = Gpu(CFG, "pro").run(KernelLaunch(divergent_prog(), 10))
+        b = Gpu(CFG, "pro-norm").run(KernelLaunch(divergent_prog(), 10))
+        assert a.counters.instructions == b.counters.instructions
+
+    def test_estimates_computed(self):
+        cfg = GPUConfig.scaled(1).with_(tb_launch_latency=0)
+        sm = StreamingMultiprocessor(0, cfg, MemorySubsystem(cfg), gpu=None)
+        sm.attach_schedulers(build_schedulers("pro-norm", sm, cfg))
+        prog = divergent_prog()
+        prog.finalize(cfg.latency)
+        tb = ThreadBlock(0, prog)
+        sm.assign_tb(tb, 0)
+        mgr = sm.schedulers[0].manager
+        rec = mgr.records[0]
+        assert mgr.normalize is True
+        assert rec.total_estimate > 1
+        # warp 1 does more loop trips than warp 0 -> larger estimate
+        assert rec.warp_estimates[1] > rec.warp_estimates[0]
+
+    def test_normalized_key_is_fraction(self):
+        cfg = GPUConfig.scaled(1).with_(tb_launch_latency=0)
+        sm = StreamingMultiprocessor(0, cfg, MemorySubsystem(cfg), gpu=None)
+        sm.attach_schedulers(build_schedulers("pro-norm", sm, cfg))
+        prog = divergent_prog()
+        prog.finalize(cfg.latency)
+        tb = ThreadBlock(0, prog)
+        sm.assign_tb(tb, 0)
+        rec = sm.schedulers[0].manager.records[0]
+        assert rec.progress_key() == 0.0
+        tb.warps[0].progress = rec.warp_estimates[0]
+        assert 0.0 < rec.progress_key() <= 1.0
+
+    def test_plain_pro_key_is_raw(self):
+        cfg = GPUConfig.scaled(1).with_(tb_launch_latency=0)
+        sm = StreamingMultiprocessor(0, cfg, MemorySubsystem(cfg), gpu=None)
+        sm.attach_schedulers(build_schedulers("pro", sm, cfg))
+        prog = divergent_prog()
+        prog.finalize(cfg.latency)
+        tb = ThreadBlock(0, prog)
+        sm.assign_tb(tb, 0)
+        rec = sm.schedulers[0].manager.records[0]
+        tb.warps[0].progress = 77
+        assert rec.progress_key() == 77.0
+
+
+class TestThresholdVariants:
+    def test_idempotent_registration(self):
+        a = pro_with_threshold(777)
+        b = pro_with_threshold(777)
+        assert a == b == "pro-t777"
+
+    def test_variant_runs(self):
+        res = Gpu(CFG, pro_with_threshold(250)).run(
+            KernelLaunch(divergent_prog(), 6)
+        )
+        assert res.counters.tbs_completed == 6
+
+
+class TestExtraSchedulers:
+    @pytest.mark.parametrize("sched", ["of", "rand"])
+    def test_registered_and_runs(self, sched):
+        res = Gpu(CFG, sched).run(KernelLaunch(divergent_prog(), 8))
+        assert res.counters.tbs_completed == 8
+
+    @pytest.mark.parametrize("sched", ["of", "rand"])
+    def test_deterministic(self, sched):
+        r1 = Gpu(CFG, sched).run(KernelLaunch(divergent_prog(), 8))
+        r2 = Gpu(CFG, sched).run(KernelLaunch(divergent_prog(), 8))
+        assert r1.cycles == r2.cycles
+
+    def test_of_is_strict_age_order(self):
+        from repro.core.extra import OldestFirstScheduler
+
+        cfg = GPUConfig.scaled(1).with_(num_schedulers=1,
+                                        tb_launch_latency=0)
+        s = OldestFirstScheduler(sm=None, sched_id=0, cfg=cfg)
+        prog = ProgramBuilder("p", threads_per_tb=64).ialu(1).build()
+        a, b = ThreadBlock(0, prog), ThreadBlock(1, prog)
+        a.materialize(0, 0, 1)
+        b.materialize(0, 1, 1)
+        s.on_tb_assigned(a, 0)
+        s.on_tb_assigned(b, 0)
+        order = list(s.order(0))
+        assert order == a.warps + b.warps
+        # issuing does not reorder (no greedy component)
+        s.note_issued(b.warps[0], 0)
+        assert list(s.order(1)) == a.warps + b.warps
+
+    def test_rand_order_is_permutation(self):
+        from repro.core.extra import RandomScheduler
+
+        cfg = GPUConfig.scaled(1).with_(num_schedulers=1,
+                                        tb_launch_latency=0)
+        s = RandomScheduler(sm=None, sched_id=0, cfg=cfg)
+        prog = ProgramBuilder("p", threads_per_tb=256).ialu(1).build()
+        tb = ThreadBlock(0, prog)
+        tb.materialize(0, 0, 1)
+        s.on_tb_assigned(tb, 0)
+        orders = set()
+        for cycle in range(16):
+            order = list(s.order(cycle))
+            assert sorted(id(w) for w in order) == \
+                sorted(id(w) for w in tb.warps)
+            orders.add(tuple(w.warp_in_tb for w in order))
+        assert len(orders) > 1  # the order actually varies by cycle

@@ -1,0 +1,125 @@
+"""Integration-grade unit tests for the top-level Gpu.run loop."""
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch, TimelineRecorder
+from repro.errors import LaunchError, SimulationError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.patterns import Coalesced
+from tests.conftest import compute_program, tiny_program
+
+
+CFG = GPUConfig.scaled(2)
+
+
+class TestRunBasics:
+    def test_all_tbs_complete(self):
+        res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 6))
+        assert res.counters.tbs_completed == 6
+        assert res.cycles > 0
+
+    def test_instruction_conservation(self):
+        prog = tiny_program(loops=3, threads_per_tb=96)
+        n_tbs = 5
+        res = Gpu(CFG, "lrr").run(KernelLaunch(prog, n_tbs))
+        expected = sum(
+            prog.dynamic_count(t, w)
+            for t in range(n_tbs)
+            for w in range(3)
+        )
+        assert res.counters.instructions == expected
+
+    def test_single_tb_grid(self):
+        res = Gpu(CFG, "pro").run(KernelLaunch(compute_program(), 1))
+        assert res.counters.tbs_completed == 1
+
+    def test_grid_smaller_than_gpu(self):
+        cfg = GPUConfig.scaled(4)
+        res = Gpu(cfg, "lrr").run(KernelLaunch(compute_program(), 2))
+        assert res.counters.tbs_completed == 2
+        # SMs 2 and 3 never ran: their cycles are all idle
+        idle_sms = [s for s in res.counters.per_sm if s.active_cycles == 0]
+        assert len(idle_sms) == 2
+        for s in idle_sms:
+            assert s.stall_idle == res.cycles
+
+    def test_invalid_launch_rejected(self):
+        with pytest.raises(LaunchError):
+            KernelLaunch(tiny_program(), 0)
+
+    def test_oversized_tb_rejected(self):
+        prog = tiny_program(threads_per_tb=2048)
+        with pytest.raises(LaunchError):
+            Gpu(CFG, "lrr").run(KernelLaunch(prog, 2))
+
+    def test_max_cycles_guard(self):
+        cfg = CFG.with_(max_cycles=10)
+        prog = tiny_program(loops=50)
+        with pytest.raises(SimulationError):
+            Gpu(cfg, "lrr").run(KernelLaunch(prog, 8))
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro"])
+    def test_per_sm_cycle_conservation(self, sched):
+        res = Gpu(CFG, sched).run(
+            KernelLaunch(tiny_program(loops=4, barrier=True), 10)
+        )
+        for s in res.counters.per_sm:
+            assert s.active_cycles + s.stall_cycles == res.cycles, s.sm_id
+
+    def test_gpu_totals_sum_sms(self):
+        res = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 6))
+        c = res.counters
+        assert c.stall_cycles == sum(s.stall_cycles for s in c.per_sm)
+        assert c.instructions == sum(s.instructions for s in c.per_sm)
+
+    def test_ipc_definition(self):
+        res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 4))
+        assert res.ipc == pytest.approx(
+            res.counters.instructions / res.cycles
+        )
+
+
+class TestSequentialLaunches:
+    def test_gpu_reusable(self):
+        gpu = Gpu(CFG, "pro")
+        r1 = gpu.run(KernelLaunch(tiny_program(), 4))
+        r2 = gpu.run(KernelLaunch(tiny_program(), 4))
+        assert r1.cycles == r2.cycles  # cold caches both times
+
+    def test_different_kernels_back_to_back(self):
+        gpu = Gpu(CFG, "lrr")
+        r1 = gpu.run(KernelLaunch(compute_program(), 3))
+        r2 = gpu.run(KernelLaunch(tiny_program(), 3))
+        assert r1.counters.tbs_completed == 3
+        assert r2.counters.tbs_completed == 3
+
+
+class TestTimelineIntegration:
+    def test_every_tb_recorded(self):
+        tl = TimelineRecorder()
+        res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 7),
+                                  timeline=tl)
+        assert len(tl.intervals) == 7
+        assert {iv.tb_index for iv in tl.intervals} == set(range(7))
+
+    def test_intervals_well_formed(self):
+        tl = TimelineRecorder()
+        res = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 7),
+                                  timeline=tl)
+        for iv in tl.intervals:
+            assert 0 <= iv.start_cycle < iv.finish_cycle <= res.cycles
+            assert iv.sm_id in (0, 1)
+
+
+class TestSpeedupHelper:
+    def test_speedup_over(self):
+        a = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 6))
+        b = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 6))
+        assert b.speedup_over(a) == pytest.approx(a.cycles / b.cycles)
+
+    def test_summary_contains_key_fields(self):
+        r = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4))
+        s = r.summary()
+        assert "tiny" in s and "pro" in s and str(r.cycles) in s

@@ -1,0 +1,61 @@
+"""Unit tests for KernelLaunch and RunResult."""
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.errors import LaunchError
+from repro.gpu.launch import RunResult
+from repro.stats.counters import GpuCounters
+from tests.conftest import tiny_program
+
+
+class TestKernelLaunch:
+    def test_fields(self):
+        prog = tiny_program()
+        launch = KernelLaunch(prog, 7)
+        assert launch.program is prog
+        assert launch.num_tbs == 7
+
+    def test_zero_tbs_rejected(self):
+        with pytest.raises(LaunchError):
+            KernelLaunch(tiny_program(), 0)
+
+    def test_negative_tbs_rejected(self):
+        with pytest.raises(LaunchError):
+            KernelLaunch(tiny_program(), -3)
+
+    def test_frozen(self):
+        launch = KernelLaunch(tiny_program(), 2)
+        with pytest.raises(Exception):
+            launch.num_tbs = 5
+
+
+class TestRunResult:
+    def make(self, cycles=100):
+        return RunResult(kernel_name="k", scheduler="pro", num_tbs=4,
+                         cycles=cycles, counters=GpuCounters(
+                             total_cycles=cycles))
+
+    def test_speedup_over(self):
+        fast, slow = self.make(100), self.make(150)
+        assert fast.speedup_over(slow) == pytest.approx(1.5)
+        assert slow.speedup_over(fast) == pytest.approx(100 / 150)
+
+    def test_speedup_zero_cycles_raises(self):
+        broken = self.make(0)
+        with pytest.raises(ZeroDivisionError):
+            broken.speedup_over(self.make(10))
+
+    def test_summary_format(self):
+        s = self.make().summary()
+        assert "k" in s and "pro" in s and "cycles=" in s
+
+    def test_real_run_populates_everything(self):
+        res = Gpu(GPUConfig.scaled(2), "gto").run(
+            KernelLaunch(tiny_program(), 5)
+        )
+        assert res.kernel_name == "tiny"
+        assert res.scheduler == "gto"
+        assert res.num_tbs == 5
+        assert res.cycles == res.counters.total_cycles
+        assert res.timeline is None and res.sort_trace is None

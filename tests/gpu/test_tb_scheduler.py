@@ -1,0 +1,99 @@
+"""Unit tests for the GPU-level Thread Block Scheduler."""
+
+from repro.config import GPUConfig
+from repro.core.scheduler import build_schedulers
+from repro.gpu.tb_scheduler import ThreadBlockScheduler
+from repro.isa.builder import ProgramBuilder
+from repro.memory.subsystem import MemorySubsystem
+from repro.simt.sm import StreamingMultiprocessor
+from repro.simt.threadblock import ThreadBlock
+
+
+def make_sms(n, cfg=None):
+    cfg = cfg or GPUConfig.scaled(2).with_(tb_launch_latency=0)
+    memory = MemorySubsystem(cfg)
+    sms = []
+    for i in range(min(n, cfg.num_sms)):
+        sm = StreamingMultiprocessor(i, cfg, memory, gpu=None)
+        sm.attach_schedulers(build_schedulers("lrr", sm, cfg))
+        sms.append(sm)
+    return sms
+
+
+def make_tbs(n, threads=256):
+    prog = ProgramBuilder("p", threads_per_tb=threads).ialu(1).build()
+    prog.finalize(GPUConfig.scaled(1).latency)
+    return [ThreadBlock(i, prog) for i in range(n)]
+
+
+class TestQueueState:
+    def test_initial_state(self):
+        s = ThreadBlockScheduler(make_tbs(5))
+        assert s.has_pending()
+        assert s.pending_count == 5
+        assert s.total == 5
+        assert not s.all_finished
+
+    def test_empty_grid(self):
+        s = ThreadBlockScheduler([])
+        assert not s.has_pending()
+        assert s.all_finished
+
+    def test_finish_bookkeeping(self):
+        s = ThreadBlockScheduler(make_tbs(2))
+        s.note_tb_finished()
+        assert s.finished_count == 1
+        s.note_tb_finished()
+        assert s.all_finished
+
+
+class TestInitialFill:
+    def test_round_robin_across_sms(self):
+        sms = make_sms(2)
+        s = ThreadBlockScheduler(make_tbs(4))
+        placed = s.initial_fill(sms)
+        assert placed == 4
+        # dealt alternately: SM0 gets 0 and 2, SM1 gets 1 and 3
+        assert [tb.tb_index for tb in sms[0].resident_tbs] == [0, 2]
+        assert [tb.tb_index for tb in sms[1].resident_tbs] == [1, 3]
+
+    def test_fill_stops_at_capacity(self):
+        sms = make_sms(2)
+        # 256 threads/TB -> 6 fit per SM (1536/256)
+        s = ThreadBlockScheduler(make_tbs(40))
+        placed = s.initial_fill(sms)
+        assert placed == 12
+        assert s.pending_count == 28
+
+    def test_fill_drains_small_grid(self):
+        sms = make_sms(2)
+        s = ThreadBlockScheduler(make_tbs(3))
+        assert s.initial_fill(sms) == 3
+        assert not s.has_pending()
+
+
+class TestRefill:
+    def test_refill_after_finish(self):
+        sms = make_sms(1)
+        s = ThreadBlockScheduler(make_tbs(8, threads=1024))
+        s.initial_fill(sms)  # only 1 fits (1536/1024)
+        assert len(sms[0].resident_tbs) == 1
+        # free it manually and refill
+        tb = sms[0].resident_tbs[0]
+        sms[0]._release_tb(tb, cycle=100)
+        placed = s.refill(sms[0], cycle=100)
+        assert placed == 1
+        assert sms[0].resident_tbs[0].tb_index == 1
+
+    def test_refill_respects_capacity(self):
+        sms = make_sms(1)
+        s = ThreadBlockScheduler(make_tbs(8, threads=1024))
+        s.initial_fill(sms)
+        assert s.refill(sms[0], cycle=5) == 0  # still full
+
+    def test_fast_phase_predicate(self):
+        sms = make_sms(2)
+        s = ThreadBlockScheduler(make_tbs(4))
+        assert s.has_pending()
+        s.initial_fill(sms)
+        assert not s.has_pending()  # slowTBPhase begins

@@ -1,0 +1,81 @@
+"""Tests for the pro-sim command-line interface."""
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig4", "--sms", "2", "--scale", "0.5", "--out", "x.txt"]
+        )
+        assert args.sms == 2
+        assert args.scale == 0.5
+        assert args.out == "x.txt"
+
+    def test_experiment_registry_complete(self):
+        for name in ("table1", "table2", "fig1", "fig2", "fig4", "fig5",
+                     "table3", "table4", "ablation-barrier",
+                     "ablation-threshold"):
+            assert name in EXPERIMENTS
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "scalarProdGPU" in capsys.readouterr().out
+
+    def test_run_single_kernel(self, capsys):
+        assert main(["run", "cenergy", "--sms", "2", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "cenergy" in out and "stall breakdown" in out
+
+    def test_run_without_kernel_errors(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_out_file(self, tmp_path, capsys):
+        path = tmp_path / "report.txt"
+        assert main(["table1", "--out", str(path)]) == 0
+        assert "Table I" in path.read_text()
+
+    def test_table4_small(self, capsys):
+        assert main(["table4", "--sms", "2", "--scale", "0.2"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_table4_custom_threshold(self, capsys):
+        assert main(["table4", "--sms", "2", "--scale", "0.2",
+                     "--threshold", "1000"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fig2.json"
+        assert main(["fig2", "--sms", "2", "--scale", "0.15",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert set(data) >= {"kernel", "intervals", "cycles"}
+        assert data["cycles"]["lrr"] > 0
+
+    def test_json_export_table2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t2.json"
+        assert main(["table2", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert len(data["rows"]) == 25

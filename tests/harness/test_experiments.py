@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (small scale for speed)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness import (
+    ExperimentSetup,
+    ablation_barrier_handling,
+    ablation_threshold,
+    fig1_stall_breakdown,
+    fig2_tb_timeline,
+    fig4_speedups,
+    fig5_stall_improvement,
+    table1_config,
+    table2_benchmarks,
+    table3_stall_ratios,
+    table4_sort_trace,
+)
+from repro.workloads import applications
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Tiny shared setup: 2 SMs, 15%% grids; cache shared across tests."""
+    return ExperimentSetup(config=GPUConfig.scaled(2), scale=0.15)
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        r = table1_config()
+        keys = [k for k, _ in r.rows]
+        assert "Number of SMs" in keys
+        assert "DRAM Scheduler" in keys
+        assert "Table I" in r.render()
+
+    def test_table2_all_kernels(self):
+        r = table2_benchmarks()
+        assert len(r.rows) == 25
+        assert r.rows[0][0] == "AES"
+        out = r.render()
+        assert "scalarProdGPU" in out and "18432" in out
+
+
+class TestFig1(object):
+    def test_breakdown_structure(self, setup):
+        r = fig1_stall_breakdown(setup)
+        assert set(r.breakdown) == set(applications())
+        for app, per_sched in r.breakdown.items():
+            for sched in ("tl", "lrr", "gto"):
+                b = per_sched[sched]
+                assert sum(b.values()) == pytest.approx(1.0, abs=1e-9) or \
+                    sum(b.values()) == 0.0
+
+    def test_render_contains_all_schedulers(self, setup):
+        out = fig1_stall_breakdown(setup).render()
+        for s in ("TL", "LRR", "GTO"):
+            assert s in out
+
+    def test_mean_idle_share(self, setup):
+        r = fig1_stall_breakdown(setup)
+        assert 0.0 <= r.mean_idle_share("lrr") <= 1.0
+
+
+class TestFig2:
+    def test_intervals_for_both_schedulers(self, setup):
+        r = fig2_tb_timeline(setup)
+        assert set(r.intervals) == {"lrr", "pro"}
+        assert r.intervals["lrr"]
+        assert "Fig. 2" in r.render()
+
+    def test_finish_spread_helper(self, setup):
+        r = fig2_tb_timeline(setup)
+        assert r.finish_spread("lrr") >= 0.0
+
+
+class TestFig4:
+    def test_speedups_all_kernels(self, setup):
+        r = fig4_speedups(setup)
+        assert len(r.speedups) == 25
+        for v in r.speedups.values():
+            assert set(v) == {"tl", "lrr", "gto"}
+            for s in v.values():
+                assert 0.5 < s < 3.0  # sane range
+        assert set(r.geomeans) == {"tl", "lrr", "gto"}
+
+    def test_render(self, setup):
+        out = fig4_speedups(setup).render()
+        assert "GEOMEAN" in out and "PRO/LRR" in out
+
+
+class TestFig5AndTable3:
+    def test_ratios_structure(self, setup):
+        r = fig5_stall_improvement(setup)
+        assert set(r.ratios) == set(applications())
+        for app in r.ratios:
+            for b in ("tl", "lrr", "gto"):
+                assert set(r.ratios[app][b]) == {
+                    "pipeline", "idle", "scoreboard", "total"
+                }
+
+    def test_geomeans_positive(self, setup):
+        r = fig5_stall_improvement(setup)
+        for b in ("tl", "lrr", "gto"):
+            for kind, v in r.geomeans[b].items():
+                assert v > 0
+
+    def test_table3_render(self, setup):
+        out = table3_stall_ratios(setup).render_table3()
+        assert "Table III" in out and "GEOMEAN" in out
+
+    def test_fig5_render(self, setup):
+        out = fig5_stall_improvement(setup).render_fig5()
+        assert "Fig. 5" in out
+
+    def test_cache_shared_between_experiments(self, setup):
+        before = len(setup.cache)
+        fig5_stall_improvement(setup)
+        table3_stall_ratios(setup)
+        # second experiment reused every run of the first
+        assert len(setup.cache) == before or len(setup.cache) > 0
+
+
+class TestTable4:
+    def test_rows_present(self, setup):
+        r = table4_sort_trace(setup, threshold=64)
+        assert r.rows, "expected at least one sort snapshot row"
+        out = r.render()
+        assert "Table IV" in out
+
+    def test_literal_threshold(self, setup):
+        r = table4_sort_trace(setup, threshold=1000)
+        assert "Table IV" in r.render()
+
+
+class TestAblations:
+    def test_barrier_ablation(self, setup):
+        r = ablation_barrier_handling(setup, kernels=("scalarProdGPU",))
+        assert set(r.cycles["scalarProdGPU"]) == {"pro", "pro-nb", "pro-nf"}
+        assert "Ablation" in r.render()
+
+    def test_threshold_ablation(self, setup):
+        r = ablation_threshold(setup, kernels=("aesEncrypt128",),
+                               thresholds=(100, 1000))
+        assert set(r.cycles["aesEncrypt128"]) == {"t=100", "t=1000"}
+        assert "THRESHOLD" in r.render()

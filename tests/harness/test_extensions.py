@@ -1,0 +1,56 @@
+"""Tests for the extension experiments (A3 + reference schedulers)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness import (
+    ExperimentSetup,
+    ablation_progress_normalization,
+    extra_scheduler_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(config=GPUConfig.scaled(2), scale=0.15)
+
+
+class TestProgressNormalizationAblation:
+    def test_structure(self, setup):
+        r = ablation_progress_normalization(setup,
+                                            kernels=("render", "findK"))
+        for k in ("render", "findK"):
+            assert set(r.cycles[k]) == {"pro", "pro-norm"}
+            assert all(v > 0 for v in r.cycles[k].values())
+
+    def test_render_output(self, setup):
+        out = ablation_progress_normalization(
+            setup, kernels=("render",)
+        ).render()
+        assert "normalized" in out and "render" in out
+
+
+class TestExtraSchedulerComparison:
+    def test_structure(self, setup):
+        r = extra_scheduler_comparison(setup, kernels=("sha1_overlap",))
+        per = r.cycles["sha1_overlap"]
+        assert set(per) == {"pro", "of", "rand", "lrr"}
+
+    def test_render(self, setup):
+        out = extra_scheduler_comparison(setup,
+                                         kernels=("sha1_overlap",)).render()
+        assert "oldest-first" in out or "Reference" in out
+
+
+class TestCliIntegration:
+    def test_new_experiments_in_cli(self):
+        from repro.harness.cli import EXPERIMENTS
+
+        assert "ablation-norm" in EXPERIMENTS
+        assert "extra-schedulers" in EXPERIMENTS
+
+    def test_cli_runs_extra_schedulers(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["extra-schedulers", "--sms", "2", "--scale", "0.1"]) == 0
+        assert "pro" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Tests for the runner / result cache."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness.runner import ExperimentSetup, ResultCache, run_kernel
+from repro.workloads import get_kernel
+
+
+CFG = GPUConfig.scaled(2)
+
+
+class TestResultCache:
+    def test_cache_hit_returns_same_object(self):
+        cache = ResultCache()
+        a = cache.run("cenergy", "lrr", CFG, 0.1)
+        b = cache.run("cenergy", "lrr", CFG, 0.1)
+        assert a is b
+        assert len(cache) == 1
+
+    def test_distinct_schedulers_distinct_entries(self):
+        cache = ResultCache()
+        cache.run("cenergy", "lrr", CFG, 0.1)
+        cache.run("cenergy", "pro", CFG, 0.1)
+        assert len(cache) == 2
+
+    def test_distinct_scale_distinct_entries(self):
+        cache = ResultCache()
+        cache.run("cenergy", "lrr", CFG, 0.1)
+        cache.run("cenergy", "lrr", CFG, 0.2)
+        assert len(cache) == 2
+
+    def test_recorder_runs_cached_separately(self):
+        cache = ResultCache()
+        plain = cache.run("cenergy", "pro", CFG, 0.1)
+        traced = cache.run("cenergy", "pro", CFG, 0.1, with_timeline=True)
+        assert plain is not traced
+        assert plain.timeline is None
+        assert traced.timeline is not None
+
+    def test_model_object_and_name_equivalent(self):
+        cache = ResultCache()
+        a = cache.run("cenergy", "lrr", CFG, 0.1)
+        b = cache.run(get_kernel("cenergy"), "lrr", CFG, 0.1)
+        assert a is b
+
+
+class TestExperimentSetup:
+    def test_defaults(self):
+        s = ExperimentSetup()
+        assert s.config.num_sms == 4
+        assert s.scale == 1.0
+
+    def test_run_uses_cache(self):
+        s = ExperimentSetup(config=CFG, scale=0.1)
+        a = s.run("cenergy", "lrr")
+        b = s.run("cenergy", "lrr")
+        assert a is b
+
+
+class TestRunKernel:
+    def test_one_shot(self):
+        r = run_kernel("cenergy", "pro", CFG, 0.1)
+        assert r.kernel_name == "cenergy"
+        assert r.scheduler == "pro"
+        assert r.cycles > 0
+
+    def test_default_config(self):
+        r = run_kernel("mergeHistogram64Kernel", scale=0.2)
+        assert r.counters.tbs_completed == r.num_tbs

@@ -1,0 +1,70 @@
+"""Determinism: identical inputs must produce bit-identical simulations.
+
+Reproducibility is a hard requirement for a simulator used in scheduling
+studies — any hidden nondeterminism would make Fig. 4-style comparisons
+meaningless.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.workloads import get_kernel
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+
+SAMPLE_KERNELS = ["scalarProdGPU", "bfs_kernel", "calculate_temp",
+                  "sha1_overlap"]
+
+
+def snapshot(res):
+    c = res.counters
+    return (
+        res.cycles,
+        c.active_cycles,
+        c.stall_idle,
+        c.stall_scoreboard,
+        c.stall_pipeline,
+        c.instructions,
+        c.thread_instructions,
+        c.l1_miss_rate,
+        c.l2_miss_rate,
+        c.dram_row_hit_rate,
+        tuple((s.active_cycles, s.stall_cycles, s.instructions)
+              for s in c.per_sm),
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro"])
+    def test_repeat_run_identical(self, sched):
+        r1 = Gpu(CFG, sched).run(KernelLaunch(tiny_program(barrier=True), 8))
+        r2 = Gpu(CFG, sched).run(KernelLaunch(tiny_program(barrier=True), 8))
+        assert snapshot(r1) == snapshot(r2)
+
+    @pytest.mark.parametrize("kernel", SAMPLE_KERNELS)
+    def test_workload_models_deterministic(self, kernel):
+        m = get_kernel(kernel)
+        r1 = Gpu(CFG, "pro").run(m.build_launch(0.25))
+        r2 = Gpu(CFG, "pro").run(m.build_launch(0.25))
+        assert snapshot(r1) == snapshot(r2)
+
+    def test_fresh_gpu_equals_reused_gpu(self):
+        gpu = Gpu(CFG, "gto")
+        launch = KernelLaunch(tiny_program(), 6)
+        r1 = gpu.run(launch)
+        r2 = gpu.run(KernelLaunch(tiny_program(), 6))
+        r3 = Gpu(CFG, "gto").run(KernelLaunch(tiny_program(), 6))
+        assert snapshot(r1) == snapshot(r2) == snapshot(r3)
+
+    def test_timeline_deterministic(self):
+        from repro import TimelineRecorder
+
+        out = []
+        for _ in range(2):
+            tl = TimelineRecorder()
+            Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 8), timeline=tl)
+            out.append([dataclasses.astuple(iv) for iv in tl.intervals])
+        assert out[0] == out[1]

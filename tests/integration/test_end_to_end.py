@@ -1,0 +1,81 @@
+"""Cross-module integration invariants over kernels x schedulers."""
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.workloads import all_kernels, get_kernel
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+SCHEDULERS = ["lrr", "tl", "gto", "pro", "pro-nb", "pro-nf"]
+
+#: A structurally diverse subset kept small enough for CI speed.
+SAMPLE = ["aesEncrypt128", "bfs_kernel", "GPU_laplace3d", "sha1_overlap",
+          "calculate_temp", "scalarProdGPU", "histogram64Kernel",
+          "executeFirstLayer"]
+
+
+class TestAllSchedulersAllSampleKernels:
+    @pytest.mark.parametrize("kernel", SAMPLE)
+    @pytest.mark.parametrize("sched", SCHEDULERS)
+    def test_runs_to_completion_with_invariants(self, kernel, sched):
+        m = get_kernel(kernel)
+        launch = m.build_launch(0.2)
+        res = Gpu(CFG, sched).run(launch)
+        c = res.counters
+        # every TB completed
+        assert c.tbs_completed == launch.num_tbs
+        # cycle conservation per SM
+        for s in c.per_sm:
+            assert s.active_cycles + s.stall_cycles == res.cycles
+        # work conservation: same kernel executes the same instruction
+        # stream under every scheduler
+        assert c.instructions > 0
+        assert 0.0 <= c.l1_miss_rate <= 1.0
+        assert 0.0 <= c.dram_row_hit_rate <= 1.0
+
+    @pytest.mark.parametrize("kernel", SAMPLE)
+    def test_instruction_count_scheduler_invariant(self, kernel):
+        """Schedulers reorder work; they must not change its amount."""
+        m = get_kernel(kernel)
+        counts = set()
+        progress = set()
+        for sched in ("lrr", "gto", "pro"):
+            c = Gpu(CFG, sched).run(m.build_launch(0.2)).counters
+            counts.add(c.instructions)
+            progress.add(c.thread_instructions)
+        assert len(counts) == 1
+        assert len(progress) == 1
+
+
+class TestFullSuiteSmoke:
+    def test_every_kernel_runs_under_pro(self):
+        """All 25 models complete at reduced scale under PRO."""
+        for m in all_kernels():
+            res = Gpu(CFG, "pro").run(m.build_launch(0.15))
+            assert res.counters.tbs_completed == res.num_tbs, m.name
+
+
+class TestBarrierKernelsSynchronize:
+    @pytest.mark.parametrize("sched", SCHEDULERS)
+    def test_barrier_program_completes(self, sched):
+        prog = tiny_program(loops=3, barrier=True, threads_per_tb=128)
+        res = Gpu(CFG, sched).run(KernelLaunch(prog, 10))
+        assert res.counters.tbs_completed == 10
+
+
+class TestOccupancyBoundsResidency:
+    def test_low_occupancy_run(self):
+        prog = tiny_program(shared_mem_per_tb=24 * 1024, threads_per_tb=256)
+        res = Gpu(CFG, "pro").run(KernelLaunch(prog, 8))
+        assert res.counters.tbs_completed == 8
+
+    def test_single_warp_tbs(self):
+        prog = tiny_program(threads_per_tb=32)
+        res = Gpu(CFG, "pro").run(KernelLaunch(prog, 20))
+        assert res.counters.tbs_completed == 20
+
+    def test_partial_warp_tb(self):
+        prog = tiny_program(threads_per_tb=48)  # 1.5 warps
+        res = Gpu(CFG, "lrr").run(KernelLaunch(prog, 6))
+        assert res.counters.tbs_completed == 6

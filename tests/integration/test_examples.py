@@ -1,0 +1,58 @@
+"""The bundled examples must run end to end (they are part of the API
+contract: anything they use is public)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "cenergy")
+        assert "PRO speedup" in out
+        assert "cenergy" in out
+
+    def test_custom_kernel(self):
+        out = run_example("custom_kernel.py")
+        assert "smem/TB" in out
+        assert "PRO speedup".lower() in out.lower()
+
+    def test_timeline_visualization(self):
+        out = run_example("timeline_visualization.py", "cenergy")
+        assert "LRR" in out and "PRO" in out
+        assert "#" in out  # gantt bars rendered
+
+    def test_scheduler_comparison(self):
+        out = run_example("scheduler_comparison.py", "cenergy",
+                          "sha1_overlap")
+        assert "GEOMEAN" in out
+
+    def test_memory_hierarchy_study(self):
+        out = run_example("memory_hierarchy_study.py")
+        assert "pointer chase" in out
+        assert "coalesced" in out
+
+    def test_issue_trace_debugging(self):
+        out = run_example("issue_trace_debugging.py")
+        assert "Opcode histogram" in out
+        assert "Issue-slot share" in out
+
+    def test_sensitivity_sweeps(self):
+        out = run_example("sensitivity_sweeps.py", "cenergy")
+        assert "latency" in out.lower()
+        assert "speedup" in out.lower()

@@ -1,0 +1,152 @@
+"""Unit tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.patterns import Coalesced
+
+
+class TestBasics:
+    def test_auto_exit(self):
+        p = ProgramBuilder("k").ialu(1).build()
+        assert p.instructions[-1].op is Opcode.EXIT
+
+    def test_explicit_exit_not_duplicated(self):
+        p = ProgramBuilder("k").ialu(1).exit().build()
+        assert sum(1 for i in p if i.op is Opcode.EXIT) == 1
+
+    def test_build_once(self):
+        b = ProgramBuilder("k").ialu(1)
+        b.build()
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_append_after_build_rejected(self):
+        b = ProgramBuilder("k").ialu(1)
+        b.build()
+        with pytest.raises(ProgramError):
+            b.ialu(2)
+
+    def test_resources_forwarded(self):
+        p = ProgramBuilder("k", threads_per_tb=96, regs_per_thread=11,
+                           shared_mem_per_tb=3000).build()
+        assert p.threads_per_tb == 96
+        assert p.regs_per_thread == 11
+        assert p.shared_mem_per_tb == 3000
+
+    def test_fluent_chaining(self):
+        p = (ProgramBuilder("k")
+             .ialu(1).falu(2, (1,)).fma(3, (1, 2)).sfu(4, (3,))
+             .build())
+        ops = [i.op for i in p.instructions[:-1]]
+        assert ops == [Opcode.IALU, Opcode.FALU, Opcode.FMA, Opcode.SFU]
+
+    def test_len(self):
+        b = ProgramBuilder("k")
+        assert len(b) == 0
+        b.ialu(1)
+        assert len(b) == 1
+
+
+class TestMemoryOps:
+    def test_load_global(self):
+        p = ProgramBuilder("k").load_global(1, pattern=Coalesced()).build()
+        assert p.instructions[0].op is Opcode.LDG
+        assert p.instructions[0].dst == 1
+
+    def test_store_global(self):
+        p = ProgramBuilder("k").store_global((2,), pattern=Coalesced()).build()
+        i = p.instructions[0]
+        assert i.op is Opcode.STG and i.srcs == (2,) and i.dst is None
+
+    def test_shared_conflicts(self):
+        p = (ProgramBuilder("k")
+             .load_shared(1, conflict_ways=4)
+             .store_shared((1,), conflict_ways=2)
+             .build())
+        assert p.instructions[0].conflict_ways == 4
+        assert p.instructions[1].conflict_ways == 2
+
+
+class TestLoops:
+    def test_loop_unrolls_to_times(self):
+        b = ProgramBuilder("k")
+        with b.loop(times=5):
+            b.ialu(1)
+        p = b.build()
+        # body + bra executed 5 times, + exit
+        assert p.dynamic_count(0, 0) == 5 * 2 + 1
+
+    def test_loop_once(self):
+        b = ProgramBuilder("k")
+        with b.loop(times=1):
+            b.ialu(1)
+        p = b.build()
+        assert p.dynamic_count(0, 0) == 2 + 1
+
+    def test_loop_zero_rejected(self):
+        b = ProgramBuilder("k")
+        with pytest.raises(ProgramError):
+            with b.loop(times=0):
+                b.ialu(1)
+
+    def test_empty_loop_rejected(self):
+        b = ProgramBuilder("k")
+        with pytest.raises(ProgramError):
+            with b.loop(times=3):
+                pass
+
+    def test_callable_times(self):
+        b = ProgramBuilder("k")
+        with b.loop(times=lambda tb, w: 2 + w):
+            b.ialu(1)
+        p = b.build()
+        assert p.dynamic_count(0, 0) == 2 * 2 + 1
+        assert p.dynamic_count(0, 3) == 5 * 2 + 1
+
+    def test_callable_times_below_one_rejected_at_resolution(self):
+        b = ProgramBuilder("k")
+        with b.loop(times=lambda tb, w: 0):
+            b.ialu(1)
+        p = b.build()
+        with pytest.raises(ProgramError):
+            p.dynamic_count(0, 0)
+
+    def test_nested_loops(self):
+        b = ProgramBuilder("k")
+        with b.loop(times=3):
+            b.ialu(1)
+            with b.loop(times=2):
+                b.ialu(2)
+        p = b.build()
+        # outer pass: ialu + inner(2*(ialu+bra)) + outer bra = 1+4+1 = 6
+        assert p.dynamic_count(0, 0) == 3 * 6 + 1
+
+    def test_build_inside_loop_rejected(self):
+        b = ProgramBuilder("k")
+        with pytest.raises(ProgramError):
+            with b.loop(times=2):
+                b.ialu(1)
+                b.build()
+
+    def test_alu_chain(self):
+        p = ProgramBuilder("k").alu_chain(4, dst=2).build()
+        assert sum(1 for i in p if i.op is Opcode.IALU) == 4
+        assert all(i.srcs == (2,) for i in p.instructions[:4])
+
+    def test_alu_chain_independent(self):
+        p = ProgramBuilder("k").alu_chain(3, dst=2, dep=False).build()
+        assert all(i.srcs == () for i in p.instructions[:3])
+
+    def test_alu_chain_negative_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder("k").alu_chain(-1)
+
+
+class TestBarrier:
+    def test_barrier_emitted(self):
+        p = ProgramBuilder("k").barrier().build()
+        assert p.instructions[0].op is Opcode.BAR
+        assert p.has_barrier()

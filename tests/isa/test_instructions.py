@@ -1,0 +1,140 @@
+"""Unit tests for Instruction construction and launch-time resolution."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.instructions import (
+    ExecUnit,
+    Instruction,
+    MEMORY_OPCODES,
+    OPCODE_UNIT,
+    Opcode,
+    WRITING_OPCODES,
+)
+from repro.isa.patterns import Coalesced
+
+
+class TestConstruction:
+    def test_alu_requires_dst(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.IALU)
+
+    def test_alu_with_dst_ok(self):
+        i = Instruction(Opcode.IALU, dst=3, srcs=(1, 2))
+        assert i.dst == 3
+        assert i.srcs == (1, 2)
+        assert i.unit is ExecUnit.SP
+
+    def test_store_cannot_write_register(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.STG, dst=1, pattern=Coalesced())
+
+    def test_barrier_has_no_operands(self):
+        i = Instruction(Opcode.BAR)
+        assert i.dst is None
+        assert i.unit is ExecUnit.NONE
+
+    def test_exit_has_no_unit(self):
+        assert Instruction(Opcode.EXIT).unit is ExecUnit.NONE
+
+    def test_ldg_requires_pattern(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.LDG, dst=1)
+
+    def test_stg_requires_pattern(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.STG, srcs=(1,))
+
+    def test_alu_rejects_pattern(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.IALU, dst=1, pattern=Coalesced())
+
+    def test_bra_requires_target_and_trips(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.BRA, target=0)
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.BRA, trips=3)
+
+    def test_bra_ok(self):
+        i = Instruction(Opcode.BRA, target=0, trips=3)
+        assert i.target == 0
+
+    def test_non_branch_rejects_branch_fields(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.IALU, dst=1, target=0)
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.IALU, dst=-1)
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.IALU, dst=1, srcs=(-2,))
+
+    def test_lds_conflict_ways_validated(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.LDS, dst=1, conflict_ways=0)
+
+    def test_constant_active_must_be_positive(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.IALU, dst=1, active=0)
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_a_unit(self):
+        for op in Opcode:
+            assert op in OPCODE_UNIT
+
+    def test_memory_opcodes(self):
+        assert MEMORY_OPCODES == {Opcode.LDG, Opcode.STG, Opcode.LDS, Opcode.STS}
+
+    def test_writing_opcodes_write(self):
+        for op in WRITING_OPCODES:
+            assert op in (Opcode.IALU, Opcode.FALU, Opcode.FMA, Opcode.SFU,
+                          Opcode.LDG, Opcode.LDS)
+
+    def test_unit_classes(self):
+        assert OPCODE_UNIT[Opcode.SFU] is ExecUnit.SFU
+        assert OPCODE_UNIT[Opcode.LDG] is ExecUnit.LSU
+        assert OPCODE_UNIT[Opcode.LDS] is ExecUnit.LSU
+        assert OPCODE_UNIT[Opcode.BRA] is ExecUnit.SP
+
+
+class TestResolution:
+    def test_resolve_constant_trips(self):
+        i = Instruction(Opcode.BRA, target=0, trips=5)
+        assert i.resolve_trips(0, 0) == 5
+        assert i.resolve_trips(9, 3) == 5
+
+    def test_resolve_callable_trips(self):
+        i = Instruction(Opcode.BRA, target=0, trips=lambda tb, w: tb + w)
+        assert i.resolve_trips(2, 3) == 5
+
+    def test_negative_trips_rejected(self):
+        i = Instruction(Opcode.BRA, target=0, trips=lambda tb, w: -1)
+        with pytest.raises(ProgramError):
+            i.resolve_trips(0, 0)
+
+    def test_default_active_is_full_warp(self):
+        i = Instruction(Opcode.IALU, dst=1)
+        assert i.resolve_active(0, 0, 32) == 32
+
+    def test_constant_active(self):
+        i = Instruction(Opcode.IALU, dst=1, active=7)
+        assert i.resolve_active(4, 2, 32) == 7
+
+    def test_callable_active(self):
+        i = Instruction(Opcode.IALU, dst=1, active=lambda tb, w: 1 + w)
+        assert i.resolve_active(0, 3, 32) == 4
+
+    def test_active_out_of_range_rejected(self):
+        i = Instruction(Opcode.IALU, dst=1, active=lambda tb, w: 40)
+        with pytest.raises(ProgramError):
+            i.resolve_active(0, 0, 32)
+        j = Instruction(Opcode.IALU, dst=1, active=lambda tb, w: 0)
+        with pytest.raises(ProgramError):
+            j.resolve_active(0, 0, 32)
+
+    def test_properties(self):
+        ldg = Instruction(Opcode.LDG, dst=1, pattern=Coalesced())
+        assert ldg.is_memory and ldg.writes_register
+        bar = Instruction(Opcode.BAR)
+        assert not bar.is_memory and not bar.writes_register

@@ -1,0 +1,160 @@
+"""Unit tests for the memory address pattern generators."""
+
+import pytest
+
+from repro.config import LINE_SIZE
+from repro.errors import ProgramError
+from repro.isa.patterns import (
+    AccessContext,
+    Broadcast,
+    Chase,
+    Coalesced,
+    Random,
+    Strided,
+)
+
+
+def ctx(tb=0, w=0, it=0, active=32):
+    return AccessContext(tb_index=tb, warp_in_tb=w, iteration=it, active=active)
+
+
+class TestCoalesced:
+    def test_single_transaction(self):
+        assert len(Coalesced().lines(ctx())) == 1
+
+    def test_lines_are_aligned(self):
+        for pattern in (Coalesced(base=5), Coalesced(base=130)):
+            (line,) = pattern.lines(ctx())
+            assert line % LINE_SIZE == 0
+
+    def test_distinct_warps_distinct_lines(self):
+        p = Coalesced()
+        lines = {p.lines(ctx(w=w))[0] for w in range(8)}
+        assert len(lines) == 8
+
+    def test_distinct_tbs_distinct_lines(self):
+        p = Coalesced()
+        lines = {p.lines(ctx(tb=t))[0] for t in range(8)}
+        assert len(lines) == 8
+
+    def test_iter_stride_advances(self):
+        p = Coalesced(iter_stride=LINE_SIZE)
+        a = p.lines(ctx(it=0))[0]
+        b = p.lines(ctx(it=1))[0]
+        assert b - a == LINE_SIZE
+
+    def test_zero_iter_stride_repeats(self):
+        p = Coalesced()
+        assert p.lines(ctx(it=0)) == p.lines(ctx(it=5))
+
+    def test_warp_region_spacing(self):
+        p = Coalesced(warp_region=4096)
+        a = p.lines(ctx(w=0))[0]
+        b = p.lines(ctx(w=1))[0]
+        assert b - a == 4096
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ProgramError):
+            Coalesced(base=-1)
+
+
+class TestStrided:
+    def test_small_stride_one_line(self):
+        # 32 lanes x 4 B = 128 B = exactly one line
+        assert len(Strided(stride=4).lines(ctx())) == 1
+
+    def test_stride_16_four_lines(self):
+        # 32 lanes x 16 B = 512 B = 4 lines
+        assert len(Strided(stride=16).lines(ctx())) == 4
+
+    def test_huge_stride_one_line_per_lane(self):
+        assert len(Strided(stride=LINE_SIZE).lines(ctx())) == 32
+
+    def test_active_limits_lines(self):
+        assert len(Strided(stride=LINE_SIZE).lines(ctx(active=5))) == 5
+
+    def test_lines_aligned(self):
+        for line in Strided(stride=48, base=7).lines(ctx()):
+            assert line % LINE_SIZE == 0
+
+    def test_invalid_stride(self):
+        with pytest.raises(ProgramError):
+            Strided(stride=0)
+
+
+class TestRandom:
+    def test_deterministic(self):
+        p = Random(1 << 20, txns=8, seed=3)
+        assert p.lines(ctx(tb=2, w=1, it=4)) == p.lines(ctx(tb=2, w=1, it=4))
+
+    def test_contexts_differ(self):
+        p = Random(1 << 20, txns=8, seed=3)
+        assert p.lines(ctx(tb=0)) != p.lines(ctx(tb=1))
+
+    def test_txn_cap(self):
+        p = Random(1 << 24, txns=16)
+        assert len(p.lines(ctx())) <= 16
+
+    def test_active_caps_txns(self):
+        p = Random(1 << 24, txns=32)
+        assert len(p.lines(ctx(active=4))) <= 4
+
+    def test_lines_within_footprint(self):
+        fp = 1 << 16
+        p = Random(fp, txns=32, base=1 << 20)
+        for line in p.lines(ctx()):
+            assert (1 << 20) <= line < (1 << 20) + fp
+
+    def test_lines_distinct(self):
+        p = Random(1 << 24, txns=32)
+        lines = p.lines(ctx())
+        assert len(lines) == len(set(lines))
+
+    def test_footprint_too_small_rejected(self):
+        with pytest.raises(ProgramError):
+            Random(64)
+
+    def test_txns_out_of_range(self):
+        with pytest.raises(ProgramError):
+            Random(1 << 20, txns=0)
+        with pytest.raises(ProgramError):
+            Random(1 << 20, txns=33)
+
+
+class TestChase:
+    def test_single_transaction(self):
+        assert len(Chase(1 << 20).lines(ctx())) == 1
+
+    def test_iteration_dependent(self):
+        p = Chase(1 << 24, seed=9)
+        hops = [p.lines(ctx(it=i))[0] for i in range(8)]
+        assert len(set(hops)) > 1  # the walk moves
+
+    def test_deterministic(self):
+        p = Chase(1 << 20, seed=1)
+        assert p.lines(ctx(tb=3, w=2, it=7)) == p.lines(ctx(tb=3, w=2, it=7))
+
+    def test_within_footprint(self):
+        p = Chase(1 << 16, base=1 << 26)
+        for i in range(32):
+            (line,) = p.lines(ctx(it=i))
+            assert (1 << 26) <= line < (1 << 26) + (1 << 16)
+
+
+class TestBroadcast:
+    def test_single_transaction(self):
+        assert len(Broadcast().lines(ctx())) == 1
+
+    def test_confined_to_table(self):
+        p = Broadcast(base=4096, table_lines=4)
+        for i in range(16):
+            (line,) = p.lines(ctx(it=i))
+            assert 4096 <= line < 4096 + 4 * LINE_SIZE
+
+    def test_same_for_all_warps(self):
+        p = Broadcast(table_lines=8)
+        assert p.lines(ctx(tb=0, w=0)) == p.lines(ctx(tb=9, w=5))
+
+    def test_invalid_table(self):
+        with pytest.raises(ProgramError):
+            Broadcast(table_lines=0)

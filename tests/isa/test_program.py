@@ -1,0 +1,151 @@
+"""Unit tests for Program validation, latency resolution, dynamic counts."""
+
+import pytest
+
+from repro.config import LatencyConfig
+from repro.errors import ProgramError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.patterns import Coalesced
+from repro.isa.program import Program
+
+
+def make(instrs, **kw):
+    return Program("t", instrs, **kw)
+
+
+def I(op, **kw):  # noqa: E743 - terse test helper
+    return Instruction(op, **kw)
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            make([])
+
+    def test_must_end_with_exit(self):
+        with pytest.raises(ProgramError):
+            make([I(Opcode.IALU, dst=1)])
+
+    def test_minimal_ok(self):
+        p = make([I(Opcode.EXIT)])
+        assert p.static_count() == 1
+
+    def test_exit_only_at_end(self):
+        with pytest.raises(ProgramError):
+            make([I(Opcode.EXIT), I(Opcode.IALU, dst=1), I(Opcode.EXIT)])
+
+    def test_forward_branch_rejected(self):
+        with pytest.raises(ProgramError):
+            make([
+                I(Opcode.BRA, target=1, trips=1),
+                I(Opcode.IALU, dst=1),
+                I(Opcode.EXIT),
+            ])
+
+    def test_self_branch_rejected(self):
+        with pytest.raises(ProgramError):
+            make([I(Opcode.IALU, dst=1),
+                  I(Opcode.BRA, target=1, trips=1),
+                  I(Opcode.EXIT)])
+
+    def test_backward_branch_ok(self):
+        p = make([I(Opcode.IALU, dst=1),
+                  I(Opcode.BRA, target=0, trips=2),
+                  I(Opcode.EXIT)])
+        assert p.instructions[1].target == 0
+
+    def test_pc_assignment(self):
+        p = make([I(Opcode.IALU, dst=1), I(Opcode.EXIT)])
+        assert [i.pc for i in p.instructions] == [0, 1]
+
+    def test_resource_fields_validated(self):
+        with pytest.raises(ProgramError):
+            make([I(Opcode.EXIT)], threads_per_tb=0)
+        with pytest.raises(ProgramError):
+            make([I(Opcode.EXIT)], regs_per_thread=0)
+        with pytest.raises(ProgramError):
+            make([I(Opcode.EXIT)], shared_mem_per_tb=-1)
+
+
+class TestLatencyResolution:
+    def test_alu_latency(self):
+        p = make([I(Opcode.IALU, dst=1), I(Opcode.EXIT)])
+        lat = LatencyConfig()
+        p.finalize(lat)
+        assert p.instructions[0].latency == lat.alu
+
+    def test_sfu_and_fma(self):
+        p = make([I(Opcode.SFU, dst=1), I(Opcode.FMA, dst=2), I(Opcode.EXIT)])
+        lat = LatencyConfig()
+        p.finalize(lat)
+        assert p.instructions[0].latency == lat.sfu
+        assert p.instructions[1].latency == lat.mad
+
+    def test_shared_conflicts_add_latency(self):
+        p = make([
+            I(Opcode.LDS, dst=1, conflict_ways=1),
+            I(Opcode.LDS, dst=2, conflict_ways=4),
+            I(Opcode.EXIT),
+        ])
+        lat = LatencyConfig()
+        p.finalize(lat)
+        assert p.instructions[0].latency == lat.shared
+        assert p.instructions[1].latency == lat.shared + 3 * lat.shared_conflict
+
+    def test_memory_latency_left_dynamic(self):
+        p = make([I(Opcode.LDG, dst=1, pattern=Coalesced()), I(Opcode.EXIT)])
+        p.finalize(LatencyConfig())
+        assert p.instructions[0].latency == 0
+
+    def test_finalize_idempotent(self):
+        p = make([I(Opcode.IALU, dst=1), I(Opcode.EXIT)])
+        lat = LatencyConfig()
+        p.finalize(lat)
+        first = p.instructions[0].latency
+        p.finalize(lat)
+        assert p.instructions[0].latency == first
+
+
+class TestDynamicCount:
+    def test_straight_line(self):
+        p = make([I(Opcode.IALU, dst=1), I(Opcode.EXIT)])
+        assert p.dynamic_count(0, 0) == 2
+
+    def test_simple_loop(self):
+        # body (1 instr) + branch, taken twice -> 3 executions of both + EXIT
+        p = make([I(Opcode.IALU, dst=1),
+                  I(Opcode.BRA, target=0, trips=2),
+                  I(Opcode.EXIT)])
+        assert p.dynamic_count(0, 0) == 3 * 2 + 1
+
+    def test_per_warp_trips(self):
+        p = make([I(Opcode.IALU, dst=1),
+                  I(Opcode.BRA, target=0, trips=lambda tb, w: w),
+                  I(Opcode.EXIT)])
+        assert p.dynamic_count(0, 0) == 3   # 1 pass
+        assert p.dynamic_count(0, 2) == 7   # 3 passes
+
+    def test_nested_loops(self):
+        # inner loop (1 instr + bra, 2 trips), wrapped by outer (2 trips)
+        p = make([
+            I(Opcode.IALU, dst=1),            # pc0 inner body
+            I(Opcode.BRA, target=0, trips=2),  # pc1 inner: 3 passes
+            I(Opcode.BRA, target=0, trips=2),  # pc2 outer: 3 passes
+            I(Opcode.EXIT),
+        ])
+        # per outer pass: inner runs 3x(body+bra)=6, plus outer bra = 7
+        assert p.dynamic_count(0, 0) == 3 * 7 + 1
+
+    def test_max_register(self):
+        p = make([I(Opcode.IALU, dst=9, srcs=(3, 17)), I(Opcode.EXIT)])
+        assert p.max_register() == 17
+
+    def test_has_barrier(self):
+        assert make([I(Opcode.BAR), I(Opcode.EXIT)]).has_barrier()
+        assert not make([I(Opcode.EXIT)]).has_barrier()
+
+    def test_dunder_helpers(self):
+        p = make([I(Opcode.IALU, dst=1), I(Opcode.EXIT)])
+        assert len(p) == 2
+        assert p[0].op is Opcode.IALU
+        assert [i.op for i in p] == [Opcode.IALU, Opcode.EXIT]

@@ -1,0 +1,159 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.cache import Cache, CacheStats
+
+LINE = 128
+
+
+def make(size=4 * 1024, ways=4, **kw):
+    return Cache(size, ways, LINE, **kw)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        c = make(size=4 * 1024, ways=4)
+        assert c.num_sets == 4 * 1024 // (LINE * 4)
+
+    def test_invalid_line_size(self):
+        with pytest.raises(ConfigError):
+            Cache(1024, 2, 100)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            Cache(0, 2, LINE)
+
+    def test_size_not_multiple(self):
+        with pytest.raises(ConfigError):
+            Cache(1000, 4, LINE)
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses(self):
+        c = make()
+        assert c.access(0) is False
+
+    def test_second_access_hits(self):
+        c = make()
+        c.access(0)
+        assert c.access(0) is True
+
+    def test_distinct_lines_independent(self):
+        c = make()
+        c.access(0)
+        assert c.access(LINE) is False
+        assert c.access(0) is True
+
+    def test_stats_counted(self):
+        c = make()
+        c.access(0)
+        c.access(0)
+        c.access(LINE)
+        assert c.stats.read_misses == 2
+        assert c.stats.read_hits == 1
+
+    def test_probe_does_not_modify(self):
+        c = make()
+        assert c.probe(0) is False
+        c.access(0)
+        assert c.probe(0) is True
+        assert c.stats.accesses == 1  # probes uncounted
+
+    def test_invalidate_all(self):
+        c = make()
+        c.access(0)
+        c.invalidate_all()
+        assert c.probe(0) is False
+        assert c.resident_lines == 0
+
+    def test_resident_lines(self):
+        c = make()
+        for i in range(5):
+            c.access(i * LINE)
+        assert c.resident_lines == 5
+
+
+class TestLru:
+    def _fill_one_set(self, c):
+        """Addresses mapping to set 0: line index multiples of num_sets."""
+        stride = c.num_sets * LINE
+        return [i * stride for i in range(c.ways + 1)]
+
+    def test_eviction_on_overflow(self):
+        c = make(ways=2)
+        a, b, d = self._fill_one_set(c)[:3]
+        c.access(a)
+        c.access(b)
+        c.access(d)  # evicts a (LRU)
+        assert c.probe(a) is False
+        assert c.probe(b) is True
+        assert c.probe(d) is True
+        assert c.stats.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        c = make(ways=2)
+        a, b, d = self._fill_one_set(c)[:3]
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a is now MRU
+        c.access(d)  # evicts b
+        assert c.probe(a) is True
+        assert c.probe(b) is False
+
+    def test_capacity_respected(self):
+        c = make(ways=4)
+        stride = c.num_sets * LINE
+        for i in range(16):
+            c.access(i * stride)
+        # only `ways` lines of that set survive
+        resident = sum(c.probe(i * stride) for i in range(16))
+        assert resident == 4
+
+
+class TestWritePolicy:
+    def test_write_no_allocate_default(self):
+        c = make(write_allocate=False)
+        c.access(0, is_write=True)
+        assert c.probe(0) is False
+        assert c.stats.write_misses == 1
+
+    def test_write_allocate(self):
+        c = make(write_allocate=True)
+        c.access(0, is_write=True)
+        assert c.probe(0) is True
+
+    def test_write_hit_updates_lru(self):
+        c = make(ways=2, write_allocate=False)
+        stride = c.num_sets * LINE
+        a, b, d = 0, stride, 2 * stride
+        c.access(a)
+        c.access(b)
+        c.access(a, is_write=True)  # write hit refreshes a
+        c.access(d)                  # evicts b
+        assert c.probe(a) is True
+        assert c.probe(b) is False
+        assert c.stats.write_hits == 1
+
+
+class TestStats:
+    def test_miss_rate(self):
+        s = CacheStats(read_hits=3, read_misses=1)
+        assert s.miss_rate == 0.25
+
+    def test_miss_rate_empty(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(read_hits=1, read_misses=2, write_hits=3,
+                       write_misses=4, evictions=5)
+        b = CacheStats(read_hits=10, read_misses=20, write_hits=30,
+                       write_misses=40, evictions=50)
+        a.merge(b)
+        assert (a.read_hits, a.read_misses, a.write_hits, a.write_misses,
+                a.evictions) == (11, 22, 33, 44, 55)
+
+    def test_totals(self):
+        s = CacheStats(read_hits=1, read_misses=2, write_hits=3, write_misses=4)
+        assert s.reads == 3 and s.writes == 7 and s.accesses == 10

@@ -1,0 +1,49 @@
+"""Unit tests for the reference coalescer."""
+
+import pytest
+
+from repro.memory.coalescer import coalesce_addresses
+
+
+class TestCoalescing:
+    def test_empty_input(self):
+        assert coalesce_addresses([]) == []
+
+    def test_single_address(self):
+        assert coalesce_addresses([5]) == [0]
+
+    def test_same_line_collapses(self):
+        assert coalesce_addresses([0, 4, 8, 127]) == [0]
+
+    def test_two_lines(self):
+        assert coalesce_addresses([0, 128]) == [0, 128]
+
+    def test_fully_coalesced_warp(self):
+        # 32 lanes x 4 bytes = exactly one 128B transaction
+        addrs = [i * 4 for i in range(32)]
+        assert coalesce_addresses(addrs) == [0]
+
+    def test_strided_warp(self):
+        # 32 lanes x 16B stride = 4 transactions
+        addrs = [i * 16 for i in range(32)]
+        assert coalesce_addresses(addrs) == [0, 128, 256, 384]
+
+    def test_first_touch_order_preserved(self):
+        assert coalesce_addresses([300, 0, 200]) == [256, 0, 128]
+
+    def test_custom_line_size(self):
+        assert coalesce_addresses([0, 40, 70], line_size=64) == [0, 64]
+
+    def test_scattered_worst_case(self):
+        addrs = [i * 128 for i in range(32)]
+        assert len(coalesce_addresses(addrs)) == 32
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_addresses([-1])
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_addresses([0], line_size=100)
+        with pytest.raises(ValueError):
+            coalesce_addresses([0], line_size=0)

@@ -1,0 +1,107 @@
+"""Unit tests for the banked open-row DRAM model."""
+
+from repro.config import LatencyConfig, MemoryConfig
+from repro.memory.dram import Dram
+
+LINE = 128
+
+
+def make(**mem_kw):
+    mem = MemoryConfig(**mem_kw)
+    return Dram(mem, LatencyConfig()), mem, LatencyConfig()
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        d, _, lat = make()
+        done = d.service(0, arrive=0)
+        assert d.stats.row_misses == 1
+        assert done >= lat.dram_row_miss
+
+    def test_same_row_hits(self):
+        d, mem, lat = make()
+        d.service(0, 0)
+        # the next line on the same channel within the row: stride by
+        # channels lines
+        same_row_line = mem.dram_channels * LINE
+        d.service(same_row_line, 0)
+        assert d.stats.row_hits == 1
+
+    def test_hit_faster_than_miss(self):
+        d, mem, lat = make()
+        t_miss = d.service(0, 0)
+        t_hit = d.service(mem.dram_channels * LINE, t_miss) - t_miss
+        assert t_hit < t_miss
+
+    def test_row_conflict_reopens(self):
+        d, mem, _ = make()
+        rows_apart = mem.dram_channels * mem.dram_banks * (
+            mem.dram_row_size // LINE) * LINE
+        d.service(0, 0)
+        d.service(rows_apart, 0)  # same bank, different row
+        assert d.stats.row_misses == 2
+
+    def test_row_hit_rate(self):
+        d, mem, _ = make()
+        for i in range(4):
+            d.service(i * mem.dram_channels * LINE, 0)
+        assert d.stats.row_hit_rate == 0.75  # 1 miss + 3 hits
+
+
+class TestQueueing:
+    def test_same_bank_serializes(self):
+        d, mem, lat = make()
+        t1 = d.service(0, 0)
+        row_line = mem.dram_channels * LINE
+        t2 = d.service(row_line, 0)  # same bank, same row, arrives together
+        assert t2 > t1  # must wait for the bank/bus
+
+    def test_different_channels_parallel(self):
+        d, _, _ = make()
+        t1 = d.service(0, 0)
+        t2 = d.service(LINE, 0)  # next line -> next channel
+        # independent channel: same latency, not serialized
+        assert t2 == t1
+
+    def test_bank_occupancy_shorter_than_latency(self):
+        d, mem, lat = make()
+        d.service(0, 0)
+        # second access to the same bank can *start* after the occupancy,
+        # well before the first access's data was delivered
+        row_line = mem.dram_channels * LINE
+        t2 = d.service(row_line, 0)
+        assert t2 < 2 * (lat.dram_row_miss + mem.dram_bus_cycles)
+
+    def test_reads_and_writes_counted(self):
+        d, _, _ = make()
+        d.service(0, 0, is_write=False)
+        d.service(LINE, 0, is_write=True)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        d, mem, _ = make()
+        d.service(0, 0)
+        d.reset()
+        d.service(mem.dram_channels * LINE, 0)
+        # after reset the open row is forgotten -> miss again
+        assert d.stats.row_misses == 2
+
+    def test_reset_clears_timing(self):
+        d, _, _ = make()
+        t1 = d.service(0, 0)
+        d.reset()
+        t2 = d.service(0, 0)
+        assert t2 == t1
+
+
+class TestDeterminism:
+    def test_service_sequence_deterministic(self):
+        seq = [(i * 13 % 64) * LINE for i in range(100)]
+        d1, _, _ = make()
+        d2, _, _ = make()
+        out1 = [d1.service(a, t) for t, a in enumerate(seq)]
+        out2 = [d2.service(a, t) for t, a in enumerate(seq)]
+        assert out1 == out2

@@ -1,0 +1,92 @@
+"""Unit tests for the MSHR table."""
+
+import pytest
+
+from repro.memory.mshr import Mshr
+
+
+class TestAllocationAndMerge:
+    def test_lookup_unknown_line(self):
+        m = Mshr(4)
+        assert m.lookup(0, 0) is None
+
+    def test_merge_returns_completion(self):
+        m = Mshr(4)
+        m.allocate(0, 100)
+        assert m.lookup(0, 10) == 100
+        assert m.stats.merges == 1
+
+    def test_merge_limit_exhausted(self):
+        m = Mshr(4, merge_limit=2)
+        m.allocate(0, 100)
+        assert m.lookup(0, 1) == 100
+        assert m.lookup(0, 2) == 100
+        assert m.lookup(0, 3) is None  # merge fields exhausted
+
+    def test_retirement_frees_entry(self):
+        m = Mshr(1)
+        m.allocate(0, 50)
+        assert m.lookup(0, 51) is None  # retired at cycle 50
+        assert m.in_flight == 0
+
+    def test_in_flight_counts(self):
+        m = Mshr(8)
+        m.allocate(0, 100)
+        m.allocate(128, 200)
+        m.retire_until(0)
+        assert m.in_flight == 2
+        m.retire_until(150)
+        assert m.in_flight == 1
+
+
+class TestCapacity:
+    def test_not_full_start_is_now(self):
+        m = Mshr(2)
+        m.allocate(0, 100)
+        assert m.earliest_start(5) == 5
+
+    def test_full_start_delayed_to_retirement(self):
+        m = Mshr(2)
+        m.allocate(0, 100)
+        m.allocate(128, 200)
+        assert m.earliest_start(10) == 100
+        assert m.stats.stalls == 1
+
+    def test_full_then_retire(self):
+        m = Mshr(1)
+        m.allocate(0, 100)
+        assert m.earliest_start(150) == 150  # entry retired by 150
+
+    def test_is_full(self):
+        m = Mshr(2)
+        assert not m.is_full(0)
+        m.allocate(0, 100)
+        m.allocate(128, 120)
+        assert m.is_full(50)
+        assert not m.is_full(101)
+
+    def test_next_retirement(self):
+        m = Mshr(4)
+        assert m.next_retirement() is None
+        m.allocate(0, 300)
+        m.allocate(128, 100)
+        assert m.next_retirement() == 100
+
+    def test_next_retirement_skips_stale(self):
+        m = Mshr(4)
+        m.allocate(0, 100)
+        m.retire_until(150)
+        assert m.next_retirement() is None
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Mshr(0)
+        with pytest.raises(ValueError):
+            Mshr(4, merge_limit=0)
+
+    def test_reallocation_after_retirement(self):
+        m = Mshr(1)
+        m.allocate(0, 100)
+        m.retire_until(100)
+        m.allocate(0, 300)
+        assert m.lookup(0, 150) == 300

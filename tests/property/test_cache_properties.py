@@ -1,0 +1,85 @@
+"""Property-based tests for the cache (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache
+
+LINE = 128
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 22).map(lambda a: a & ~(LINE - 1)),
+    min_size=1,
+    max_size=200,
+)
+
+
+def make(ways=2, size=2 * 1024):
+    return Cache(size, ways, LINE)
+
+
+class TestCacheProperties:
+    @given(addresses)
+    @settings(max_examples=60)
+    def test_capacity_never_exceeded(self, addrs):
+        c = make()
+        for a in addrs:
+            c.access(a)
+        assert c.resident_lines <= c.num_sets * c.ways
+
+    @given(addresses)
+    @settings(max_examples=60)
+    def test_stats_sum_to_accesses(self, addrs):
+        c = make()
+        for a in addrs:
+            c.access(a)
+        assert c.stats.accesses == len(addrs)
+        assert c.stats.read_hits + c.stats.read_misses == len(addrs)
+
+    @given(addresses)
+    @settings(max_examples=60)
+    def test_immediate_reaccess_always_hits(self, addrs):
+        c = make()
+        for a in addrs:
+            c.access(a)
+            assert c.access(a) is True
+
+    @given(addresses)
+    @settings(max_examples=60)
+    def test_probe_agrees_with_next_access(self, addrs):
+        c = make()
+        for a in addrs:
+            expected = c.probe(a)
+            assert c.access(a) is expected
+
+    @given(addresses)
+    @settings(max_examples=40)
+    def test_working_set_within_one_way_never_evicts(self, addrs):
+        """If at most `ways` distinct lines map to each set, everything
+        stays resident (conflict-free working set)."""
+        c = make(ways=4)
+        # restrict the address stream to lines all mapping to set 0,
+        # at most `ways` distinct
+        distinct = sorted({a for a in addrs})[:4]
+        stream = [d * c.num_sets for d in distinct] * 3
+        for a in stream:
+            c.access(a)
+        assert c.stats.evictions == 0
+
+    @given(addresses, addresses)
+    @settings(max_examples=40)
+    def test_deterministic(self, a1, a2):
+        addrs = a1 + a2
+        c1, c2 = make(), make()
+        r1 = [c1.access(a) for a in addrs]
+        r2 = [c2.access(a) for a in addrs]
+        assert r1 == r2
+
+    @given(addresses)
+    @settings(max_examples=40)
+    def test_invalidate_resets(self, addrs):
+        c = make()
+        for a in addrs:
+            c.access(a)
+        c.invalidate_all()
+        assert c.resident_lines == 0
+        assert all(not c.probe(a) for a in addrs)

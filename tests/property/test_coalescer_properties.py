@@ -1,0 +1,91 @@
+"""Property-based tests for coalescing and the address patterns."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LINE_SIZE
+from repro.isa.patterns import (
+    AccessContext,
+    Broadcast,
+    Chase,
+    Coalesced,
+    Random,
+    Strided,
+)
+from repro.memory.coalescer import coalesce_addresses
+
+lane_addrs = st.lists(st.integers(min_value=0, max_value=1 << 30),
+                      min_size=0, max_size=32)
+
+ctxs = st.builds(
+    AccessContext,
+    tb_index=st.integers(0, 4096),
+    warp_in_tb=st.integers(0, 63),
+    iteration=st.integers(0, 256),
+    active=st.integers(1, 32),
+)
+
+patterns = st.one_of(
+    st.builds(Coalesced,
+              base=st.integers(0, 1 << 20),
+              iter_stride=st.integers(0, 4096),
+              warp_region=st.integers(0, 1 << 16)),
+    st.builds(Strided,
+              base=st.integers(0, 1 << 20),
+              stride=st.integers(1, 512)),
+    st.builds(Random,
+              footprint=st.integers(LINE_SIZE, 1 << 22),
+              txns=st.integers(1, 32),
+              seed=st.integers(0, 1 << 16)),
+    st.builds(Chase,
+              footprint=st.integers(LINE_SIZE, 1 << 22),
+              seed=st.integers(0, 1 << 16)),
+    st.builds(Broadcast, table_lines=st.integers(1, 64)),
+)
+
+
+class TestCoalescerProperties:
+    @given(lane_addrs)
+    @settings(max_examples=80)
+    def test_output_aligned_and_distinct(self, addrs):
+        lines = coalesce_addresses(addrs)
+        assert all(l % LINE_SIZE == 0 for l in lines)
+        assert len(lines) == len(set(lines))
+
+    @given(lane_addrs)
+    @settings(max_examples=80)
+    def test_count_bounded_by_input(self, addrs):
+        assert len(coalesce_addresses(addrs)) <= len(addrs)
+
+    @given(lane_addrs)
+    @settings(max_examples=80)
+    def test_covers_every_input(self, addrs):
+        lines = set(coalesce_addresses(addrs))
+        for a in addrs:
+            assert (a & ~(LINE_SIZE - 1)) in lines
+
+    @given(lane_addrs)
+    @settings(max_examples=50)
+    def test_idempotent(self, addrs):
+        once = coalesce_addresses(addrs)
+        twice = coalesce_addresses(once)
+        assert once == twice
+
+
+class TestPatternProperties:
+    @given(patterns, ctxs)
+    @settings(max_examples=150)
+    def test_lines_aligned_distinct_nonempty(self, pattern, ctx):
+        lines = pattern.lines(ctx)
+        assert len(lines) >= 1
+        assert all(l >= 0 and l % LINE_SIZE == 0 for l in lines)
+        assert len(lines) == len(set(lines))
+
+    @given(patterns, ctxs)
+    @settings(max_examples=100)
+    def test_deterministic(self, pattern, ctx):
+        assert pattern.lines(ctx) == pattern.lines(ctx)
+
+    @given(patterns, ctxs)
+    @settings(max_examples=100)
+    def test_at_most_one_txn_per_lane(self, pattern, ctx):
+        assert len(pattern.lines(ctx)) <= max(1, ctx.active)

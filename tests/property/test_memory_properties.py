@@ -1,0 +1,120 @@
+"""Property-based tests for the DRAM and MSHR timing models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LatencyConfig, MemoryConfig
+from repro.memory.dram import Dram
+from repro.memory.mshr import Mshr
+
+LINE = 128
+
+#: Streams of (line index, inter-arrival gap).
+request_streams = st.lists(
+    st.tuples(st.integers(0, 2047), st.integers(0, 50)),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestDramProperties:
+    @given(request_streams)
+    @settings(max_examples=80)
+    def test_completion_after_arrival_with_minimum_latency(self, stream):
+        d = Dram(MemoryConfig(), LatencyConfig())
+        lat = LatencyConfig()
+        t = 0
+        for line_idx, gap in stream:
+            t += gap
+            done = d.service(line_idx * LINE, t)
+            assert done >= t + lat.dram_row_hit + 1
+
+    @given(request_streams)
+    @settings(max_examples=60)
+    def test_row_stats_partition_accesses(self, stream):
+        d = Dram(MemoryConfig(), LatencyConfig())
+        for i, (line_idx, _) in enumerate(stream):
+            d.service(line_idx * LINE, i)
+        assert d.stats.row_hits + d.stats.row_misses == len(stream)
+
+    @given(request_streams)
+    @settings(max_examples=60)
+    def test_channel_bus_monotone(self, stream):
+        """Per channel, completion times are non-decreasing in arrival
+        order (the bus serializes bursts)."""
+        d = Dram(MemoryConfig(), LatencyConfig())
+        per_channel: dict[int, list[int]] = {}
+        t = 0
+        for line_idx, gap in stream:
+            t += gap
+            done = d.service(line_idx * LINE, t)
+            ch = line_idx % d.channels
+            per_channel.setdefault(ch, []).append(done)
+        for dones in per_channel.values():
+            assert dones == sorted(dones)
+
+    @given(request_streams)
+    @settings(max_examples=40)
+    def test_first_access_per_bank_is_always_a_miss(self, stream):
+        d = Dram(MemoryConfig(), LatencyConfig())
+        seen_banks: set[int] = set()
+        for i, (line_idx, _) in enumerate(stream):
+            before = d.stats.row_misses
+            d.service(line_idx * LINE, i)
+            local = line_idx // d.channels
+            row = local // d.lines_per_row
+            bank = (line_idx % d.channels) * d.banks + row % d.banks
+            if bank not in seen_banks:
+                assert d.stats.row_misses == before + 1
+                seen_banks.add(bank)
+
+
+class TestMshrProperties:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 400)),
+                    min_size=1, max_size=100))
+    @settings(max_examples=80)
+    def test_concurrent_misses_never_exceed_capacity(self, ops):
+        """The real capacity invariant: at no instant do more than
+        ``capacity`` misses occupy the table, counting each miss as
+        occupying [service start, completion). This is the property that
+        caught the shared-freed-slot bug in the original design."""
+        m = Mshr(capacity=4, merge_limit=4)
+        intervals = []
+        t = 0
+        for line, dur in ops:
+            t += 1
+            if m.lookup(line, t) is not None:
+                continue
+            start = m.earliest_start(t)
+            completion = start + dur
+            m.allocate(line, completion)
+            intervals.append((start, completion))
+        # max overlap over all interval endpoints
+        for probe, _ in intervals:
+            overlap = sum(1 for s, c in intervals if s <= probe < c)
+            assert overlap <= 4
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_merge_returns_original_completion(self, lines):
+        m = Mshr(capacity=16, merge_limit=64)
+        completions: dict[int, int] = {}
+        for i, line in enumerate(lines):
+            merged = m.lookup(line, 0)
+            if merged is None:
+                done = 10_000 + i
+                m.allocate(line, done)
+                completions[line] = done
+            else:
+                assert merged == completions[line]
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_earliest_start_never_before_now(self, lines):
+        m = Mshr(capacity=2, merge_limit=2)
+        t = 0
+        for line in lines:
+            t += 3
+            start = m.earliest_start(t)
+            assert start >= t
+            if m.lookup(line, t) is None and not m.is_full(t):
+                m.allocate(line, start + 100)

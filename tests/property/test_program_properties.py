@@ -1,0 +1,68 @@
+"""Property-based tests for program construction and execution counts."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+
+#: Recipe for a random (but well-formed) program: a list of segments,
+#: each segment = (loop trips, body length).
+segments = st.lists(
+    st.tuples(st.integers(1, 5), st.integers(1, 4)),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_from(recipe):
+    b = ProgramBuilder("prop", threads_per_tb=64)
+    for trips, body in recipe:
+        with b.loop(times=trips):
+            for _ in range(body):
+                b.ialu(1)
+    return b.build()
+
+
+def expected_dynamic(recipe):
+    # each segment: trips * (body + 1 branch); plus the final EXIT
+    return sum(t * (body + 1) for t, body in recipe) + 1
+
+
+class TestProgramProperties:
+    @given(segments)
+    @settings(max_examples=150)
+    def test_dynamic_count_matches_closed_form(self, recipe):
+        prog = build_from(recipe)
+        assert prog.dynamic_count(0, 0) == expected_dynamic(recipe)
+
+    @given(segments)
+    @settings(max_examples=100)
+    def test_static_count(self, recipe):
+        prog = build_from(recipe)
+        # per segment: body + 1 BRA; plus EXIT
+        assert prog.static_count() == sum(b + 1 for _, b in recipe) + 1
+
+    @given(segments)
+    @settings(max_examples=100)
+    def test_branches_always_backward(self, recipe):
+        prog = build_from(recipe)
+        for i in prog:
+            if i.op is Opcode.BRA:
+                assert i.target < i.pc
+
+    @given(segments, st.integers(0, 100), st.integers(0, 47))
+    @settings(max_examples=100)
+    def test_dynamic_count_warp_independent_for_constant_trips(
+        self, recipe, tb, w
+    ):
+        prog = build_from(recipe)
+        assert prog.dynamic_count(tb, w) == prog.dynamic_count(0, 0)
+
+    @given(st.integers(1, 20), st.integers(1, 10))
+    @settings(max_examples=50)
+    def test_single_loop_linear_in_trips(self, trips, body):
+        prog = build_from([(trips, body)])
+        base = build_from([(1, body)])
+        per_pass = prog.dynamic_count(0, 0) - 1
+        base_pass = base.dynamic_count(0, 0) - 1
+        assert per_pass == trips * base_pass

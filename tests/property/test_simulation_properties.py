@@ -1,0 +1,96 @@
+"""Property-based end-to-end simulation invariants.
+
+Random small kernels are generated and run under randomly chosen
+schedulers; the conservation laws of the simulator must hold for all of
+them:
+
+* every TB completes;
+* per-SM cycle accounting is exact (active + stalls == total);
+* instruction and progress counts match the programs' closed-form
+  dynamic counts, independent of scheduler;
+* simulations are deterministic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Gpu, GPUConfig, KernelLaunch, ProgramBuilder
+from repro.isa.patterns import Coalesced, Random as RandomPattern
+
+CFG = GPUConfig.scaled(2)
+SCHEDULERS = ("lrr", "tl", "gto", "pro", "pro-nb", "pro-nf")
+
+kernel_recipes = st.fixed_dictionaries({
+    "threads": st.sampled_from([32, 64, 96, 128]),
+    "loops": st.integers(1, 4),
+    "body_alu": st.integers(0, 3),
+    "with_mem": st.booleans(),
+    "with_barrier": st.booleans(),
+    "divergent": st.booleans(),
+    "num_tbs": st.integers(1, 8),
+    "scheduler": st.sampled_from(SCHEDULERS),
+})
+
+
+def build_kernel(recipe):
+    b = ProgramBuilder("prop", threads_per_tb=recipe["threads"],
+                       regs_per_thread=10)
+    trips = (
+        (lambda tb, w: 1 + (tb + w) % 3) if recipe["divergent"]
+        else recipe["loops"]
+    )
+    with b.loop(times=trips):
+        if recipe["with_mem"]:
+            b.load_global(1, pattern=Coalesced(base=0, iter_stride=128,
+                                               warp_region=1024))
+        b.ialu(2, (1, 2) if recipe["with_mem"] else (2,))
+        for _ in range(recipe["body_alu"]):
+            b.ialu(2, (2,))
+    if recipe["with_barrier"]:
+        b.barrier()
+        b.ialu(3, (2,))
+    b.store_global((2,), pattern=Coalesced(base=1 << 30))
+    return b.build()
+
+
+def expected_instructions(prog, num_tbs):
+    warps = (prog.threads_per_tb + 31) // 32
+    return sum(
+        prog.dynamic_count(tb, w) for tb in range(num_tbs)
+        for w in range(warps)
+    )
+
+
+class TestSimulationProperties:
+    @given(kernel_recipes)
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_laws(self, recipe):
+        prog = build_kernel(recipe)
+        res = Gpu(CFG, recipe["scheduler"]).run(
+            KernelLaunch(prog, recipe["num_tbs"])
+        )
+        c = res.counters
+        assert c.tbs_completed == recipe["num_tbs"]
+        assert c.instructions == expected_instructions(prog, recipe["num_tbs"])
+        for s in c.per_sm:
+            assert s.active_cycles + s.stall_cycles == res.cycles
+
+    @given(kernel_recipes)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, recipe):
+        launch = KernelLaunch(build_kernel(recipe), recipe["num_tbs"])
+        launch2 = KernelLaunch(build_kernel(recipe), recipe["num_tbs"])
+        r1 = Gpu(CFG, recipe["scheduler"]).run(launch)
+        r2 = Gpu(CFG, recipe["scheduler"]).run(launch2)
+        assert r1.cycles == r2.cycles
+        assert r1.counters.stall_cycles == r2.counters.stall_cycles
+
+    @given(kernel_recipes)
+    @settings(max_examples=15, deadline=None)
+    def test_work_is_scheduler_invariant(self, recipe):
+        counts = set()
+        for sched in ("lrr", "pro"):
+            prog = build_kernel(recipe)
+            res = Gpu(CFG, sched).run(KernelLaunch(prog, recipe["num_tbs"]))
+            counts.add((res.counters.instructions,
+                        res.counters.thread_instructions))
+        assert len(counts) == 1

@@ -1,0 +1,78 @@
+"""Property-based tests for the Fig. 3 TB state machine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tb_state import (
+    FAST_PHASE_STATES,
+    SLOW_PHASE_STATES,
+    TbEvent,
+    TbState,
+    check_transition,
+    transition,
+)
+
+live_states = st.sampled_from([s for s in TbState if s is not TbState.FINISH])
+events = st.sampled_from(list(TbEvent))
+bools = st.booleans()
+
+#: Random event traces a well-formed TB could plausibly emit.
+event_traces = st.lists(
+    st.sampled_from([
+        TbEvent.WARP_AT_BARRIER,
+        TbEvent.ALL_AT_BARRIER,
+        TbEvent.WARP_FINISHED,
+        TbEvent.PHASE_TO_SLOW,
+    ]),
+    max_size=30,
+)
+
+
+class TestTransitionProperties:
+    @given(live_states, events, bools)
+    @settings(max_examples=300)
+    def test_total_or_rejected(self, state, event, fast):
+        """Every (state, event, phase) either transitions or raises the
+        documented SchedulerError — never anything else."""
+        if check_transition(state, event, fast):
+            out = transition(state, event, fast)
+            assert isinstance(out, TbState)
+
+    @given(live_states, bools)
+    @settings(max_examples=100)
+    def test_all_finished_always_terminal(self, state, fast):
+        assert transition(state, TbEvent.ALL_FINISHED, fast) is TbState.FINISH
+
+    @given(live_states)
+    @settings(max_examples=50)
+    def test_phase_change_lands_in_slow_states(self, state):
+        out = transition(state, TbEvent.PHASE_TO_SLOW, False)
+        assert out in SLOW_PHASE_STATES or out is TbState.BARRIER_WAIT1 \
+            or out not in FAST_PHASE_STATES
+
+    @given(live_states, events, bools)
+    @settings(max_examples=200)
+    def test_never_transitions_to_finish_without_all_finished(
+        self, state, event, fast
+    ):
+        if event is TbEvent.ALL_FINISHED:
+            return
+        if check_transition(state, event, fast):
+            assert transition(state, event, fast) is not TbState.FINISH
+
+    @given(event_traces)
+    @settings(max_examples=200)
+    def test_random_walk_never_escapes_the_machine(self, trace):
+        """Follow any legal prefix of a random trace: the state stays in
+        the defined set and the phase discipline holds."""
+        state = TbState.NO_WAIT
+        fast = True
+        for event in trace:
+            if event is TbEvent.PHASE_TO_SLOW:
+                fast = False
+            if not check_transition(state, event, fast):
+                continue  # illegal for this TB shape; skip
+            state = transition(state, event, fast)
+            assert state in TbState
+            if not fast:
+                # after the phase flip, fast-only states are unreachable
+                assert state not in FAST_PHASE_STATES or event is None

@@ -1,0 +1,85 @@
+"""Unit tests for execution-port tracking."""
+
+from repro.config import GPUConfig
+from repro.isa.instructions import ExecUnit
+from repro.simt.exec_units import ExecUnitPool
+
+
+def pool(**kw):
+    return ExecUnitPool(GPUConfig.scaled(1).with_(**kw))
+
+
+class TestAvailability:
+    def test_fresh_pool_all_free(self):
+        p = pool()
+        for unit in (ExecUnit.SP, ExecUnit.SFU, ExecUnit.LSU):
+            assert p.port_available(unit, 0)
+
+    def test_none_unit_always_available(self):
+        p = pool()
+        assert p.port_available(ExecUnit.NONE, 0)
+
+    def test_occupy_blocks_port(self):
+        p = pool(lsu_units=1)
+        p.occupy(ExecUnit.LSU, 0, 4)
+        assert not p.port_available(ExecUnit.LSU, 3)
+        assert p.port_available(ExecUnit.LSU, 4)
+
+    def test_second_sp_port(self):
+        p = pool(sp_units=2)
+        p.occupy(ExecUnit.SP, 0, 10)
+        assert p.port_available(ExecUnit.SP, 0)  # second port
+        p.occupy(ExecUnit.SP, 0, 10)
+        assert not p.port_available(ExecUnit.SP, 5)
+
+    def test_occupy_none_is_noop(self):
+        p = pool()
+        p.occupy(ExecUnit.NONE, 0, 100)
+        assert p.port_available(ExecUnit.SP, 0)
+
+    def test_minimum_interval_one(self):
+        p = pool(lsu_units=1)
+        p.occupy(ExecUnit.LSU, 5, 0)
+        assert not p.port_available(ExecUnit.LSU, 5)
+        assert p.port_available(ExecUnit.LSU, 6)
+
+
+class TestInitiationInterval:
+    def test_sp_single_cycle(self):
+        assert pool().initiation_interval(ExecUnit.SP) == 1
+
+    def test_sfu_quarter_rate(self):
+        assert pool().initiation_interval(ExecUnit.SFU) == 4
+
+    def test_lsu_scales_with_transactions(self):
+        p = pool()
+        assert p.initiation_interval(ExecUnit.LSU, 1) == 1
+        assert p.initiation_interval(ExecUnit.LSU, 8) == 8
+        assert p.initiation_interval(ExecUnit.LSU, 0) == 1
+
+
+class TestNextFree:
+    def test_all_free_returns_none(self):
+        assert pool().next_free(0) is None
+
+    def test_earliest_busy_port(self):
+        p = pool()
+        p.occupy(ExecUnit.SP, 0, 7)
+        p.occupy(ExecUnit.LSU, 0, 3)
+        assert p.next_free(0) == 3
+
+    def test_past_ports_ignored(self):
+        p = pool()
+        p.occupy(ExecUnit.SP, 0, 3)
+        assert p.next_free(10) is None
+
+
+class TestReset:
+    def test_reset_frees_all(self):
+        p = pool()
+        p.occupy(ExecUnit.SP, 0, 100)
+        p.occupy(ExecUnit.SFU, 0, 100)
+        p.reset()
+        assert p.port_available(ExecUnit.SP, 0)
+        assert p.port_available(ExecUnit.SFU, 0)
+        assert p.next_free(0) is None

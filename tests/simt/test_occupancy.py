@@ -1,0 +1,67 @@
+"""Unit tests for the occupancy calculator."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import LaunchError
+from repro.isa.builder import ProgramBuilder
+from repro.simt.occupancy import max_resident_tbs, occupancy_report
+
+
+def prog(threads=256, regs=16, smem=0):
+    return ProgramBuilder("p", threads_per_tb=threads, regs_per_thread=regs,
+                          shared_mem_per_tb=smem).ialu(1).build()
+
+
+CFG = GPUConfig.scaled(1)
+
+
+class TestLimits:
+    def test_tb_slot_limit(self):
+        # tiny TBs: bounded by the 8-TB slot limit
+        assert max_resident_tbs(prog(threads=32, regs=8), CFG) == 8
+
+    def test_thread_limit(self):
+        # 512 threads/TB -> 1536/512 = 3 TBs
+        assert max_resident_tbs(prog(threads=512, regs=8), CFG) == 3
+
+    def test_register_limit(self):
+        # 256 threads x 32 regs = 8192 regs/TB -> 32768/8192 = 4
+        assert max_resident_tbs(prog(threads=256, regs=32), CFG) == 4
+
+    def test_shared_memory_limit(self):
+        # 48KB / 20KB = 2
+        assert max_resident_tbs(prog(smem=20 * 1024), CFG) == 2
+
+    def test_binding_constraint_is_minimum(self):
+        p = prog(threads=256, regs=32, smem=20 * 1024)
+        assert max_resident_tbs(p, CFG) == 2  # smem binds tighter than regs
+
+
+class TestLaunchErrors:
+    def test_too_many_threads(self):
+        with pytest.raises(LaunchError):
+            max_resident_tbs(prog(threads=2048), CFG)
+
+    def test_too_many_registers(self):
+        with pytest.raises(LaunchError):
+            max_resident_tbs(prog(threads=1536, regs=64), CFG)
+
+    def test_too_much_shared_memory(self):
+        with pytest.raises(LaunchError):
+            max_resident_tbs(prog(smem=64 * 1024), CFG)
+
+
+class TestReport:
+    def test_report_fields(self):
+        rep = occupancy_report(prog(threads=256, regs=16, smem=8 * 1024), CFG)
+        assert rep["tb_slot_limit"] == 8
+        assert rep["thread_limit"] == 6
+        assert rep["register_limit"] == 8
+        assert rep["shared_mem_limit"] == 6
+        assert rep["resident_tbs"] == 6
+        assert rep["resident_warps"] == 6 * 8
+
+    def test_report_without_smem(self):
+        rep = occupancy_report(prog(), CFG)
+        assert rep["shared_mem_limit"] is None

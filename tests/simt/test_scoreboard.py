@@ -1,0 +1,63 @@
+"""Unit tests for the per-warp scoreboard."""
+
+import pytest
+
+from repro.simt.scoreboard import Scoreboard
+
+
+class TestScoreboard:
+    def test_empty_allows_everything(self):
+        sb = Scoreboard()
+        assert sb.can_issue(1, (2, 3))
+        assert sb.can_issue(None, ())
+
+    def test_raw_hazard(self):
+        sb = Scoreboard()
+        sb.reserve(5)
+        assert not sb.can_issue(7, (5,))
+
+    def test_waw_hazard(self):
+        sb = Scoreboard()
+        sb.reserve(5)
+        assert not sb.can_issue(5, ())
+
+    def test_independent_registers_ok(self):
+        sb = Scoreboard()
+        sb.reserve(5)
+        assert sb.can_issue(6, (7, 8))
+
+    def test_release_clears(self):
+        sb = Scoreboard()
+        sb.reserve(5)
+        sb.release(5)
+        assert sb.can_issue(5, (5,))
+
+    def test_release_unreserved_raises(self):
+        sb = Scoreboard()
+        with pytest.raises(KeyError):
+            sb.release(3)
+
+    def test_pending_snapshot(self):
+        sb = Scoreboard()
+        sb.reserve(1)
+        sb.reserve(2)
+        assert sb.pending() == frozenset({1, 2})
+
+    def test_busy_and_len(self):
+        sb = Scoreboard()
+        assert not sb.busy and len(sb) == 0
+        sb.reserve(9)
+        assert sb.busy and len(sb) == 1
+
+    def test_release_all(self):
+        sb = Scoreboard()
+        sb.reserve(1)
+        sb.reserve(2)
+        sb.release_all([1, 2])
+        assert not sb.busy
+
+    def test_no_read_hazard_between_sources(self):
+        sb = Scoreboard()
+        sb.reserve(4)
+        # reading non-pending regs while 4 is pending is fine
+        assert sb.can_issue(9, (1, 2, 3))

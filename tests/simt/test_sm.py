@@ -1,0 +1,276 @@
+"""Unit tests for the SM: issue rules, stall classification, barriers,
+finish semantics, event-driven fast-forward."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.scheduler import build_schedulers
+from repro.errors import SimulationError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.patterns import Coalesced
+from repro.memory.subsystem import MemorySubsystem
+from repro.simt.sm import NEVER, StreamingMultiprocessor
+from repro.simt.threadblock import ThreadBlock
+from repro.stats.counters import StallKind
+
+
+def make_cfg(**kw):
+    base = dict(tb_launch_latency=0)
+    base.update(kw)
+    return GPUConfig.scaled(1).with_(**base)
+
+
+def make_sm(cfg, scheduler="lrr"):
+    memory = MemorySubsystem(cfg)
+    sm = StreamingMultiprocessor(0, cfg, memory, gpu=None)
+    sm.attach_schedulers(build_schedulers(scheduler, sm, cfg))
+    return sm
+
+
+def assign(sm, prog, tb_index=0, cycle=0):
+    tb = ThreadBlock(tb_index, prog)
+    prog.finalize(sm.cfg.latency)
+    sm.assign_tb(tb, cycle)
+    return tb
+
+
+def drive(sm, max_cycles=1_000_000):
+    """Step the SM until it drains; returns the last stepped cycle."""
+    cycle = 0
+    last = 0
+    while sm.resident_tbs:
+        cycle = max(cycle, sm.sleep_until)
+        if cycle > max_cycles:
+            raise AssertionError("SM did not drain")
+        sm.step(cycle)
+        last = cycle
+        cycle += 1
+    return last
+
+
+def simple_prog(n_alu=3, threads=32):
+    b = ProgramBuilder("p", threads_per_tb=threads)
+    for _ in range(n_alu):
+        b.ialu(1)
+    return b.build()
+
+
+class TestIssueBasics:
+    def test_tb_runs_to_completion(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, simple_prog())
+        drive(sm)
+        assert tb.all_finished
+        assert sm.counters.tbs_completed == 1
+
+    def test_instruction_count(self):
+        sm = make_sm(make_cfg())
+        prog = simple_prog(n_alu=5)
+        assign(sm, prog)
+        drive(sm)
+        # 1 warp x (5 alu + exit)
+        assert sm.counters.instructions == 6
+
+    def test_thread_weighted_progress(self):
+        sm = make_sm(make_cfg())
+        prog = simple_prog(n_alu=2, threads=48)  # warps of 32 + 16
+        assign(sm, prog)
+        drive(sm)
+        # (2 alu + exit) x (32 + 16) active threads
+        assert sm.counters.thread_instructions == 3 * 48
+
+    def test_dual_issue(self):
+        # two schedulers issue two independent warps in one cycle
+        cfg = make_cfg()
+        sm = make_sm(cfg)
+        assign(sm, simple_prog(n_alu=1, threads=64))
+        issued = sm.step(0)
+        assert issued == 2
+
+    def test_single_scheduler_config(self):
+        cfg = make_cfg(num_schedulers=1)
+        sm = make_sm(cfg)
+        assign(sm, simple_prog(n_alu=1, threads=64))
+        assert sm.step(0) == 1
+
+
+class TestScoreboardStalls:
+    def test_dependent_chain_stalls(self):
+        cfg = make_cfg()
+        sm = make_sm(cfg)
+        b = ProgramBuilder("dep", threads_per_tb=32)
+        b.ialu(1)
+        b.ialu(2, (1,))  # depends on previous result (latency 4)
+        prog = b.build()
+        assign(sm, prog)
+        sm.step(0)  # issues first alu
+        assert sm.step(1) == 0  # dependent op blocked
+        drive(sm)
+        assert sm.counters.stall_scoreboard > 0
+
+    def test_memory_dependency_stalls(self):
+        cfg = make_cfg()
+        sm = make_sm(cfg)
+        b = ProgramBuilder("mem", threads_per_tb=32)
+        b.load_global(1, pattern=Coalesced())
+        b.ialu(2, (1,))
+        prog = b.build()
+        assign(sm, prog)
+        drive(sm)
+        # one cold DRAM access exposes hundreds of scoreboard cycles
+        assert sm.counters.stall_scoreboard > 100
+
+
+class TestPipelineStalls:
+    def test_lsu_contention(self):
+        cfg = make_cfg(lsu_units=1)
+        sm = make_sm(cfg)
+        b = ProgramBuilder("lds", threads_per_tb=256, shared_mem_per_tb=1024)
+        for _ in range(4):
+            b.load_shared(1, conflict_ways=8)  # 8-cycle LSU occupancy
+        prog = b.build()
+        assign(sm, prog)
+        drive(sm)
+        assert sm.counters.stall_pipeline > 0
+
+    def test_mshr_full_blocks_loads(self):
+        cfg = make_cfg()
+        cfg = cfg.with_(memory=cfg.memory.__class__(mshr_entries=1))
+        sm = make_sm(cfg)
+        b = ProgramBuilder("many", threads_per_tb=256)
+        b.load_global(1, pattern=Coalesced())
+        b.load_global(2, pattern=Coalesced(base=1 << 24))
+        prog = b.build()
+        assign(sm, prog)
+        drive(sm)
+        assert sm.counters.stall_pipeline > 0
+
+
+class TestIdleStalls:
+    def test_branch_bubble_idle(self):
+        cfg = make_cfg(latency=make_cfg().latency.__class__(branch_bubble=8))
+        sm = make_sm(cfg)
+        b = ProgramBuilder("loop", threads_per_tb=32)
+        with b.loop(times=4):
+            b.ialu(1)
+        prog = b.build()
+        assign(sm, prog)
+        drive(sm)
+        # single warp: each taken branch leaves the SM with nothing valid
+        assert sm.counters.stall_idle > 0
+
+    def test_tb_launch_latency_idle(self):
+        cfg = make_cfg(tb_launch_latency=64)
+        sm = make_sm(cfg)
+        assign(sm, simple_prog())
+        drive(sm)
+        assert sm.counters.stall_idle >= 64
+
+
+class TestBarriers:
+    def barrier_prog(self, threads=64):
+        b = ProgramBuilder("bar", threads_per_tb=threads)
+        b.ialu(1)
+        b.barrier()
+        b.ialu(2)
+        return b.build()
+
+    def test_barrier_synchronizes(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, self.barrier_prog())
+        drive(sm)
+        assert tb.all_finished
+        assert tb.n_at_barrier == 0
+
+    def test_single_warp_barrier_is_immediate(self):
+        sm = make_sm(make_cfg())
+        tb = assign(sm, self.barrier_prog(threads=32))
+        drive(sm)
+        assert tb.all_finished
+
+    def test_warp_waits_for_sibling(self):
+        # Warp 0's path to the barrier is longer; warp 1 must wait.
+        cfg = make_cfg()
+        sm = make_sm(cfg)
+        b = ProgramBuilder("div", threads_per_tb=64)
+        with b.loop(times=lambda tb, w: 1 + 9 * (1 - w)):  # w0: 10, w1: 1
+            b.ialu(1)
+        b.barrier()
+        b.ialu(2)
+        prog = b.build()
+        tb = assign(sm, prog)
+        # run a handful of cycles: warp 1 should reach the barrier early
+        for c in range(0, 30):
+            if sm.sleep_until <= c:
+                sm.step(c)
+        w1 = tb.warps[1]
+        assert w1.at_barrier or tb.n_at_barrier in (0, 1)
+        drive(sm)
+        assert tb.all_finished
+
+
+class TestFinishSemantics:
+    def test_resources_released(self):
+        cfg = make_cfg()
+        sm = make_sm(cfg)
+        prog = simple_prog(threads=128)
+        assign(sm, prog)
+        assert sm.used_threads == 128
+        drive(sm)
+        assert sm.used_threads == 0
+        assert sm.used_regs == 0
+        assert not sm.resident_tbs
+
+    def test_can_accept_respects_resources(self):
+        cfg = make_cfg()
+        sm = make_sm(cfg)
+        prog = simple_prog(threads=1024)
+        tb1 = ThreadBlock(0, prog)
+        tb2 = ThreadBlock(1, prog)
+        prog.finalize(cfg.latency)
+        assert sm.can_accept(tb1)
+        sm.assign_tb(tb1, 0)
+        assert not sm.can_accept(tb2)  # 2048 threads > 1536
+
+    def test_tb_slot_cap(self):
+        cfg = make_cfg(max_tbs_per_sm=2)
+        sm = make_sm(cfg)
+        prog = simple_prog(threads=32)
+        prog.finalize(cfg.latency)
+        for i in range(2):
+            sm.assign_tb(ThreadBlock(i, prog), 0)
+        assert not sm.can_accept(ThreadBlock(2, prog))
+
+    def test_warp_count_tracks_finishes(self):
+        sm = make_sm(make_cfg())
+        assign(sm, simple_prog(threads=64))
+        assert sm.resident_warp_count == 2
+        drive(sm)
+        assert sm.resident_warp_count == 0
+
+
+class TestSleepAndEvents:
+    def test_sleep_until_advances(self):
+        sm = make_sm(make_cfg())
+        b = ProgramBuilder("mem", threads_per_tb=32)
+        b.load_global(1, pattern=Coalesced())
+        b.ialu(2, (1,))
+        prog = b.build()
+        assign(sm, prog)
+        sm.step(0)   # issue load
+        sm.step(1)   # blocked -> sleeps until the memory completion
+        assert sm.sleep_until > 2
+
+    def test_empty_sm_sleeps_forever(self):
+        sm = make_sm(make_cfg())
+        assign(sm, simple_prog())
+        drive(sm)
+        assert sm.sleep_until == NEVER
+
+    def test_accounting_invariant(self):
+        sm = make_sm(make_cfg())
+        assign(sm, simple_prog(n_alu=8, threads=128))
+        last = drive(sm)
+        sm.finalize_accounting(last + 1)
+        c = sm.counters
+        assert c.active_cycles + c.stall_cycles == last + 1

@@ -1,0 +1,153 @@
+"""Unit tests for warp state and launch-time resolution."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.patterns import Coalesced
+from repro.simt.threadblock import ThreadBlock
+
+
+def make_tb(prog, tb_index=0, num_scheds=2):
+    tb = ThreadBlock(tb_index, prog)
+    tb.materialize(sm_id=0, launch_seq=0, num_schedulers=num_scheds)
+    return tb
+
+
+def looped_program(trips=3, threads=64):
+    b = ProgramBuilder("w", threads_per_tb=threads)
+    with b.loop(times=trips):
+        b.ialu(1)
+    return b.build()
+
+
+class TestLaunchResolution:
+    def test_warp_count(self):
+        tb = make_tb(looped_program(threads=96))
+        assert tb.n_warps == 3
+        assert len(tb.warps) == 3
+
+    def test_partial_last_warp(self):
+        tb = make_tb(looped_program(threads=40))
+        assert tb.warps[0].n_threads == 32
+        assert tb.warps[1].n_threads == 8
+
+    def test_scheduler_partition(self):
+        tb = make_tb(looped_program(threads=128), num_scheds=2)
+        assert [w.sched_id for w in tb.warps] == [0, 1, 0, 1]
+
+    def test_progress_starts_zero(self):
+        tb = make_tb(looped_program())
+        assert all(w.progress == 0 for w in tb.warps)
+        assert tb.progress == 0
+
+    def test_global_id_unique(self):
+        a = make_tb(looped_program(), tb_index=0)
+        b = make_tb(looped_program(), tb_index=1)
+        ids = [w.global_id for w in a.warps + b.warps]
+        assert len(set(ids)) == len(ids)
+
+
+class TestBranchTake:
+    def test_trips_consumed(self):
+        prog = looped_program(trips=3)
+        tb = make_tb(prog)
+        w = tb.warps[0]
+        bra_pc = next(i.pc for i in prog if i.op.value == "bra")
+        # 3 loop passes = branch taken twice then fall through
+        assert w.branch_take(bra_pc) is True
+        assert w.branch_take(bra_pc) is True
+        assert w.branch_take(bra_pc) is False
+
+    def test_rearm_after_exhaustion(self):
+        prog = looped_program(trips=2)
+        w = make_tb(prog).warps[0]
+        bra_pc = next(i.pc for i in prog if i.op.value == "bra")
+        assert w.branch_take(bra_pc) is True
+        assert w.branch_take(bra_pc) is False
+        # re-armed (nested-loop semantics)
+        assert w.branch_take(bra_pc) is True
+
+    def test_per_warp_divergent_trips(self):
+        b = ProgramBuilder("w", threads_per_tb=128)
+        with b.loop(times=lambda tb, w: 1 + w):
+            b.ialu(1)
+        prog = b.build()
+        tb = make_tb(prog)
+        bra_pc = next(i.pc for i in prog if i.op.value == "bra")
+        # warp 0: 1 pass -> never taken; warp 3: 4 passes -> taken 3x
+        assert tb.warps[0].branch_take(bra_pc) is False
+        takes = sum(tb.warps[3].branch_take(bra_pc) for _ in range(3))
+        assert takes == 3
+
+
+class TestActiveThreads:
+    def test_default_full(self):
+        w = make_tb(looped_program()).warps[0]
+        assert w.active_threads(0) == 32
+
+    def test_partial_warp_caps_active(self):
+        tb = make_tb(looped_program(threads=40))
+        assert tb.warps[1].active_threads(0) == 8
+
+    def test_divergent_active(self):
+        b = ProgramBuilder("w", threads_per_tb=64)
+        b.ialu(1, active=lambda tb, w: 4 + w)
+        prog = b.build()
+        tb = make_tb(prog)
+        assert tb.warps[0].active_threads(0) == 4
+        assert tb.warps[1].active_threads(0) == 5
+
+
+class TestMemIteration:
+    def test_counts_up(self):
+        b = ProgramBuilder("w", threads_per_tb=32)
+        b.load_global(1, pattern=Coalesced())
+        prog = b.build()
+        w = make_tb(prog).warps[0]
+        assert w.next_mem_iteration(0) == 0
+        assert w.next_mem_iteration(0) == 1
+        assert w.next_mem_iteration(0) == 2
+
+    def test_independent_pcs(self):
+        b = ProgramBuilder("w", threads_per_tb=32)
+        b.load_global(1, pattern=Coalesced())
+        b.load_global(2, pattern=Coalesced(base=1 << 20))
+        prog = b.build()
+        w = make_tb(prog).warps[0]
+        w.next_mem_iteration(0)
+        assert w.next_mem_iteration(1) == 0
+
+
+class TestSchedulable:
+    def test_fresh_warp_schedulable(self):
+        w = make_tb(looped_program()).warps[0]
+        assert w.schedulable
+
+    def test_barrier_blocks(self):
+        w = make_tb(looped_program()).warps[0]
+        w.at_barrier = True
+        assert not w.schedulable
+
+    def test_finished_blocks(self):
+        w = make_tb(looped_program()).warps[0]
+        w.finished = True
+        assert not w.schedulable
+
+
+class TestTbCounters:
+    def test_all_finished(self):
+        tb = make_tb(looped_program(threads=64))
+        assert not tb.all_finished
+        tb.n_finished = tb.n_warps
+        assert tb.all_finished
+
+    def test_all_at_barrier_includes_finished(self):
+        tb = make_tb(looped_program(threads=96))
+        tb.n_finished = 1
+        tb.n_at_barrier = 2
+        assert tb.all_at_barrier
+
+    def test_warps_for_scheduler(self):
+        tb = make_tb(looped_program(threads=128))
+        assert len(tb.warps_for_scheduler(0)) == 2
+        assert all(w.sched_id == 0 for w in tb.warps_for_scheduler(0))

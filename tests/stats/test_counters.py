@@ -1,0 +1,74 @@
+"""Unit tests for counters and stall classification accounting."""
+
+import pytest
+
+from repro.stats.counters import GpuCounters, SmCounters, StallKind
+
+
+class TestSmCounters:
+    def test_add_stall_by_kind(self):
+        c = SmCounters()
+        c.add_stall(StallKind.IDLE, 3)
+        c.add_stall(StallKind.SCOREBOARD, 5)
+        c.add_stall(StallKind.PIPELINE)
+        assert c.stall_idle == 3
+        assert c.stall_scoreboard == 5
+        assert c.stall_pipeline == 1
+        assert c.stall_cycles == 9
+
+    def test_busy_cycles(self):
+        c = SmCounters(active_cycles=10)
+        c.add_stall(StallKind.IDLE, 5)
+        assert c.busy_cycles == 15
+
+    def test_breakdown_sums_to_one(self):
+        c = SmCounters()
+        c.add_stall(StallKind.IDLE, 1)
+        c.add_stall(StallKind.SCOREBOARD, 2)
+        c.add_stall(StallKind.PIPELINE, 1)
+        b = c.stall_breakdown()
+        assert sum(b.values()) == pytest.approx(1.0)
+        assert b["scoreboard"] == pytest.approx(0.5)
+
+    def test_breakdown_empty(self):
+        b = SmCounters().stall_breakdown()
+        assert b == {"idle": 0.0, "scoreboard": 0.0, "pipeline": 0.0}
+
+
+class TestGpuCounters:
+    def make(self):
+        a = SmCounters(sm_id=0, active_cycles=10, instructions=20,
+                       thread_instructions=600, tbs_completed=2)
+        a.add_stall(StallKind.IDLE, 4)
+        b = SmCounters(sm_id=1, active_cycles=6, instructions=12,
+                       thread_instructions=300, tbs_completed=1)
+        b.add_stall(StallKind.SCOREBOARD, 8)
+        return GpuCounters(total_cycles=100, per_sm=[a, b])
+
+    def test_aggregates(self):
+        g = self.make()
+        assert g.stall_idle == 4
+        assert g.stall_scoreboard == 8
+        assert g.stall_pipeline == 0
+        assert g.stall_cycles == 12
+        assert g.active_cycles == 16
+        assert g.instructions == 32
+        assert g.thread_instructions == 900
+        assert g.tbs_completed == 3
+
+    def test_ipc(self):
+        g = self.make()
+        assert g.ipc == pytest.approx(32 / 100)
+
+    def test_ipc_zero_cycles(self):
+        assert GpuCounters().ipc == 0.0
+
+    def test_breakdown(self):
+        g = self.make()
+        b = g.stall_breakdown()
+        assert b["idle"] == pytest.approx(4 / 12)
+        assert b["scoreboard"] == pytest.approx(8 / 12)
+
+    def test_breakdown_no_stalls(self):
+        g = GpuCounters(total_cycles=5, per_sm=[SmCounters()])
+        assert g.stall_breakdown()["idle"] == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the text renderers."""
+
+import pytest
+
+from repro.stats.report import (
+    geomean,
+    render_bars,
+    render_gantt,
+    render_stacked_pct,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        out = render_table(("A", "B"), [("x", 1), ("y", 2)])
+        assert "A" in out and "B" in out
+        assert "x" in out and "2" in out
+
+    def test_float_formatting(self):
+        out = render_table(("V",), [(1.23456,)])
+        assert "1.235" in out
+
+    def test_title(self):
+        out = render_table(("A",), [("x",)], title="My Table")
+        assert out.startswith("My Table\n========")
+
+    def test_alignment(self):
+        out = render_table(("Name", "N"), [("a", 5), ("bbbb", 123)])
+        lines = out.splitlines()
+        # numeric column right-aligned: '5' under the ones digit of 123
+        assert lines[-1].endswith("123")
+        assert lines[-2].endswith("  5")
+
+    def test_empty_rows(self):
+        out = render_table(("A",), [])
+        assert "A" in out
+
+
+class TestRenderBars:
+    def test_scaling(self):
+        out = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        out = render_bars(["a"], [0.0])
+        assert "#" not in out
+
+    def test_unit_suffix(self):
+        assert "1.500x" in render_bars(["a"], [1.5], unit="x")
+
+
+class TestRenderStacked:
+    def test_percentages_shown(self):
+        out = render_stacked_pct(["app"], [[1.0, 1.0, 2.0]],
+                                 ("i", "s", "p"))
+        assert "25%" in out and "50%" in out
+
+    def test_legend(self):
+        out = render_stacked_pct(["app"], [[1.0]], ("only",))
+        assert "legend" in out and "only" in out
+
+    def test_zero_stack(self):
+        out = render_stacked_pct(["app"], [[0.0, 0.0]], ("a", "b"))
+        assert "app" in out
+
+
+class TestRenderGantt:
+    def test_bars_positioned(self):
+        out = render_gantt([("tb0", 0, 50), ("tb1", 50, 100)], width=20)
+        lines = out.splitlines()
+        assert lines[0].index("#") < lines[1].index("#")
+
+    def test_empty(self):
+        assert "no intervals" in render_gantt([])
+
+    def test_bounds_annotated(self):
+        out = render_gantt([("a", 10, 90)], width=10)
+        assert "[10..90]" in out
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,87 @@
+"""Unit tests for the timeline and sort-trace recorders."""
+
+from repro.stats.timeline import SortTraceRecorder, TimelineRecorder
+
+
+class TestTimelineRecorder:
+    def test_interval_recorded(self):
+        t = TimelineRecorder()
+        t.tb_started(0, 7, 100)
+        t.tb_finished(0, 7, 250)
+        (iv,) = t.intervals
+        assert (iv.sm_id, iv.tb_index, iv.start_cycle, iv.finish_cycle) == \
+            (0, 7, 100, 250)
+        assert iv.duration == 150
+
+    def test_for_sm_filters_and_sorts(self):
+        t = TimelineRecorder()
+        t.tb_started(0, 1, 50)
+        t.tb_started(1, 2, 0)
+        t.tb_started(0, 3, 10)
+        t.tb_finished(0, 1, 100)
+        t.tb_finished(1, 2, 90)
+        t.tb_finished(0, 3, 95)
+        sm0 = t.for_sm(0)
+        assert [iv.tb_index for iv in sm0] == [3, 1]
+
+    def test_overlap_score(self):
+        t = TimelineRecorder()
+        for i, start in enumerate((0, 100, 300)):
+            t.tb_started(0, i, start)
+            t.tb_finished(0, i, start + 50)
+        assert t.overlap_score(0) == 150.0  # mean of (100, 200)
+
+    def test_overlap_score_single_tb(self):
+        t = TimelineRecorder()
+        t.tb_started(0, 0, 0)
+        t.tb_finished(0, 0, 10)
+        assert t.overlap_score(0) == 0.0
+
+    def test_finish_without_start_defaults_to_zero(self):
+        t = TimelineRecorder()
+        t.tb_finished(0, 9, 42)
+        assert t.intervals[0].start_cycle == 0
+
+
+class TestSortTraceRecorder:
+    def test_records_only_traced_sm(self):
+        s = SortTraceRecorder(sm_id=1)
+        s.record(0, 100, [1, 2])
+        s.record(1, 100, [3, 4])
+        assert len(s.snapshots) == 1
+        assert s.snapshots[0].order == (3, 4)
+
+    def test_limit(self):
+        s = SortTraceRecorder(sm_id=0, limit=2)
+        for i in range(5):
+            s.record(0, i, [i])
+        assert len(s.snapshots) == 2
+
+    def test_order_changes(self):
+        s = SortTraceRecorder(sm_id=0)
+        s.record(0, 0, [1, 2, 3])
+        s.record(0, 1, [1, 2, 3])
+        s.record(0, 2, [2, 1, 3])
+        s.record(0, 3, [2, 1, 3])
+        assert s.order_changes() == 1
+
+    def test_first_batch_table_uses_first_snapshot(self):
+        s = SortTraceRecorder(sm_id=0)
+        s.record(0, 0, [0, 4, 8])
+        s.record(0, 1, [8, 0, 4])
+        s.record(0, 2, [8, 4])          # one TB finished: row dropped
+        s.record(0, 3, [8, 4, 16])      # replacement TB: still dropped
+        rows = s.first_batch_table()
+        assert rows == [(0, (0, 4, 8)), (1, (8, 0, 4))]
+
+    def test_first_batch_table_restriction(self):
+        s = SortTraceRecorder(sm_id=0)
+        s.record(0, 0, [0, 4, 8, 12])
+        s.record(0, 5, [12, 8, 4, 0])
+        rows = s.first_batch_table(n_tbs=2)
+        assert rows == [(0, (0, 4)), (5, (4, 0))]
+
+    def test_empty_trace(self):
+        s = SortTraceRecorder()
+        assert s.first_batch_table() == []
+        assert s.order_changes() == 0

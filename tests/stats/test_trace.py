@@ -1,0 +1,93 @@
+"""Tests for the IssueTrace recorder."""
+
+import pytest
+
+from repro import Gpu, GPUConfig, IssueTrace, KernelLaunch
+from repro.stats.trace import IssueEvent
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+
+
+class TestRecorder:
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            IssueTrace(limit=0)
+
+    def test_record_and_query(self):
+        t = IssueTrace(limit=10)
+        t.record(5, 0, 1, 2, 3, "ialu", 32)
+        assert len(t) == 1
+        ev = t.events[0]
+        assert (ev.cycle, ev.sm_id, ev.tb_index, ev.warp_in_tb, ev.pc,
+                ev.opcode, ev.active) == (5, 0, 1, 2, 3, "ialu", 32)
+
+    def test_limit_enforced(self):
+        t = IssueTrace(limit=3)
+        for i in range(10):
+            t.record(i, 0, 0, 0, 0, "ialu", 32)
+        assert len(t) == 3 and t.full
+
+    def test_sm_filter(self):
+        t = IssueTrace(sm_id=1)
+        t.record(0, 0, 0, 0, 0, "ialu", 32)
+        t.record(0, 1, 0, 0, 0, "ialu", 32)
+        assert len(t) == 1
+        assert t.events[0].sm_id == 1
+
+    def test_opcode_histogram(self):
+        t = IssueTrace()
+        for op in ("ialu", "ialu", "ldg"):
+            t.record(0, 0, 0, 0, 0, op, 32)
+        assert t.opcode_histogram() == {"ialu": 2, "ldg": 1}
+
+    def test_warp_slice_and_gaps(self):
+        t = IssueTrace()
+        for c in (10, 14, 30):
+            t.record(c, 0, 2, 1, 0, "ialu", 32)
+        t.record(12, 0, 3, 1, 0, "ialu", 32)  # different warp
+        assert len(t.warp_slice(2, 1)) == 3
+        assert t.issue_gaps(2, 1) == [4, 16]
+
+    def test_winners_per_cycle(self):
+        t = IssueTrace()
+        t.record(7, 0, 0, 0, 0, "ialu", 32)
+        t.record(7, 0, 1, 2, 0, "ialu", 32)
+        winners = t.winners_per_cycle()
+        assert winners[(7, 0)] == [(0, 0), (1, 2)]
+
+
+class TestSimulationIntegration:
+    def test_trace_attached_to_run(self):
+        t = IssueTrace(limit=100)
+        res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 4), trace=t)
+        assert 0 < len(t) <= 100
+        # all events within the run's window and monotone non-decreasing
+        cycles = [ev.cycle for ev in t.events]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] <= res.cycles
+
+    def test_trace_contains_program_opcodes(self):
+        t = IssueTrace()
+        Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4), trace=t)
+        hist = t.opcode_histogram()
+        assert "ldg" in hist and "exit" in hist and "bra" in hist
+
+    def test_exit_count_matches_warps(self):
+        t = IssueTrace()
+        prog = tiny_program(threads_per_tb=96)  # 3 warps
+        Gpu(CFG, "lrr").run(KernelLaunch(prog, 5), trace=t)
+        assert t.opcode_histogram()["exit"] == 5 * 3
+
+    def test_dual_scheduler_dual_issue_visible(self):
+        t = IssueTrace()
+        prog = tiny_program(threads_per_tb=128, mem=False)
+        Gpu(CFG, "lrr").run(KernelLaunch(prog, 4), trace=t)
+        winners = t.winners_per_cycle()
+        assert any(len(v) == 2 for v in winners.values())
+
+    def test_untraced_run_unaffected(self):
+        a = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4))
+        t = IssueTrace()
+        b = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4), trace=t)
+        assert a.cycles == b.cycles

@@ -1,0 +1,126 @@
+"""Validation tests for the configuration layer (paper Table I)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GPUConfig, LatencyConfig, MemoryConfig
+from repro.errors import ConfigError
+
+
+class TestGpuConfigDefaults:
+    def test_table1_values(self):
+        cfg = GPUConfig.gtx480()
+        assert cfg.num_sms == 14
+        assert cfg.max_tbs_per_sm == 8
+        assert cfg.max_threads_per_sm == 1536
+        assert cfg.shared_mem_per_sm == 48 * 1024
+        assert cfg.memory.l1_size == 16 * 1024
+        assert cfg.memory.l2_size == 768 * 1024
+        assert cfg.registers_per_sm == 32768
+        assert cfg.num_schedulers == 2
+
+    def test_max_warps(self):
+        assert GPUConfig.gtx480().max_warps_per_sm == 48
+
+    def test_scaled_changes_only_sms(self):
+        a, b = GPUConfig.gtx480(), GPUConfig.scaled(4)
+        assert b.num_sms == 4
+        assert b.max_threads_per_sm == a.max_threads_per_sm
+        assert b.memory == a.memory
+
+    def test_with_helper(self):
+        cfg = GPUConfig.scaled(2).with_(sp_units=4)
+        assert cfg.sp_units == 4
+        assert cfg.num_sms == 2
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GPUConfig.scaled(2).num_sms = 9
+
+    def test_paper_pro_threshold(self):
+        assert GPUConfig.gtx480().pro_sort_threshold == 1000
+
+    def test_paper_tl_group_size(self):
+        assert GPUConfig.gtx480().tl_fetch_group_size == 8
+
+
+class TestGpuConfigValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("num_sms", 0),
+        ("max_tbs_per_sm", 0),
+        ("max_threads_per_sm", 16),    # below one warp
+        ("max_threads_per_sm", 100),   # not a warp multiple
+        ("warp_size", 0),
+        ("num_schedulers", 0),
+        ("sp_units", 0),
+        ("sfu_units", 0),
+        ("lsu_units", 0),
+        ("registers_per_sm", 0),
+        ("shared_mem_per_sm", -1),
+        ("pro_sort_threshold", 0),
+        ("tl_fetch_group_size", 0),
+        ("tb_launch_latency", -1),
+        ("max_cycles", 0),
+    ])
+    def test_invalid_field_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            GPUConfig.scaled(2).with_(**{field: value})
+
+
+class TestLatencyValidation:
+    @pytest.mark.parametrize("field", [
+        "alu", "mad", "sfu", "shared", "l1_hit", "l2_hit",
+        "dram_row_hit", "dram_row_miss", "noc",
+    ])
+    def test_nonpositive_latency_rejected(self, field):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(LatencyConfig(), **{field: 0}).validate()
+
+    def test_negative_extras_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(LatencyConfig(),
+                                shared_conflict=-1).validate()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(LatencyConfig(), branch_bubble=-1).validate()
+
+    def test_defaults_valid(self):
+        LatencyConfig().validate()
+
+
+class TestMemoryValidation:
+    def test_defaults_valid(self):
+        MemoryConfig().validate()
+
+    @pytest.mark.parametrize("kw", [
+        dict(line_size=100),
+        dict(line_size=0),
+        dict(l1_size=0),
+        dict(l1_size=1000),                 # not divisible
+        dict(l2_size=1000),                 # not divisible by banks*ways*line
+        dict(mshr_entries=0),
+        dict(mshr_merge=0),
+        dict(dram_channels=0),
+        dict(dram_banks=0),
+        dict(dram_row_size=64),             # < line size
+        dict(dram_hit_occupancy=0),
+        dict(dram_miss_occupancy=0),
+        dict(dram_bus_cycles=0),
+    ])
+    def test_invalid_geometry_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(MemoryConfig(), **kw).validate()
+
+    def test_config_validates_nested(self):
+        bad_mem = dataclasses.replace(MemoryConfig(), mshr_entries=0)
+        with pytest.raises(ConfigError):
+            GPUConfig.scaled(2).with_(memory=bad_mem)
+
+
+class TestErrorsHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in ("ConfigError", "ProgramError", "LaunchError",
+                     "SchedulerError", "SimulationError", "WorkloadError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)

@@ -1,0 +1,152 @@
+"""Structural checks: each kernel model exhibits the characteristics its
+Table II original is known for (barriers, divergence, memory shape).
+
+These pin the *modeling decisions* so a refactor cannot silently turn,
+say, the barrier-ladder scalarProd into a barrier-free streaming kernel
+without a test noticing.
+"""
+
+import pytest
+
+from repro.isa.instructions import ExecUnit, Opcode
+from repro.isa.patterns import Broadcast, Chase, Coalesced, Random, Strided
+from repro.workloads import get_kernel
+
+BARRIER_KERNELS = [
+    "aesEncrypt128", "GPU_laplace3d", "sha1_overlap", "bpnn_layerforward",
+    "calculate_temp", "dynproc_kernel", "convolutionRowsKernel",
+    "convolutionColumnsKernel", "histogram64Kernel", "histogram256Kernel",
+    "mergeHistogram64Kernel", "mergeHistogram256Kernel",
+    "MonteCarloOneBlockPerOption", "scalarProdGPU",
+]
+
+BARRIER_FREE_KERNELS = [
+    "bfs_kernel", "cenergy", "executeFirstLayer", "executeSecondLayer",
+    "executeThirdLayer", "executeFourthLayer", "render",
+    "bpnn_adjust_weights_cuda", "findRangeK", "findK", "inverseCNDKernel",
+]
+
+
+def ops(name):
+    return [i.op for i in get_kernel(name).build_program()]
+
+
+def patterns(name):
+    return [i.pattern for i in get_kernel(name).build_program()
+            if i.pattern is not None]
+
+
+class TestBarrierPlacement:
+    @pytest.mark.parametrize("name", BARRIER_KERNELS)
+    def test_barrier_kernels_have_barriers(self, name):
+        assert Opcode.BAR in ops(name), name
+
+    @pytest.mark.parametrize("name", BARRIER_FREE_KERNELS)
+    def test_barrier_free_kernels_have_none(self, name):
+        assert Opcode.BAR not in ops(name), name
+
+    def test_partition_is_complete(self):
+        assert len(BARRIER_KERNELS) + len(BARRIER_FREE_KERNELS) == 25
+
+
+class TestDivergenceStructure:
+    @pytest.mark.parametrize("name", [
+        "bfs_kernel", "render", "findRangeK", "findK", "scalarProdGPU",
+    ])
+    def test_warp_divergent_trip_counts(self, name):
+        """These kernels model warp-level divergence: different warps of
+        the same TB execute different dynamic instruction counts."""
+        prog = get_kernel(name).build_program()
+        counts = {prog.dynamic_count(0, w) for w in range(4)}
+        assert len(counts) > 1, name
+
+    @pytest.mark.parametrize("name", [
+        "cenergy", "bpnn_adjust_weights_cuda", "inverseCNDKernel",
+    ])
+    def test_uniform_kernels_are_uniform(self, name):
+        prog = get_kernel(name).build_program()
+        counts = {prog.dynamic_count(t, w) for t in range(3)
+                  for w in range(4)}
+        assert len(counts) == 1, name
+
+    @pytest.mark.parametrize("name", [
+        "aesEncrypt128", "sha1_overlap", "MonteCarloOneBlockPerOption",
+    ])
+    def test_tb_skewed_kernels_vary_across_tbs(self, name):
+        """Per-TB runtime skew (the §II-C residency driver): warps agree
+        within a TB but TBs differ."""
+        prog = get_kernel(name).build_program()
+        within = {prog.dynamic_count(0, w) for w in range(4)}
+        across = {prog.dynamic_count(t, 0) for t in range(8)}
+        assert len(within) == 1, name
+        assert len(across) > 1, name
+
+    def test_hotspot_has_both_divergence_axes(self):
+        """hotspot combines per-TB pyramid skew with intra-TB boundary
+        divergence — both of PRO's §II motivations at once."""
+        prog = get_kernel("calculate_temp").build_program()
+        within = {prog.dynamic_count(0, w) for w in range(4)}
+        across = {prog.dynamic_count(t, 0) for t in range(8)}
+        assert len(within) > 1
+        assert len(across) > 1
+
+
+class TestMemoryShape:
+    def test_bfs_uses_scattered_gathers(self):
+        kinds = {type(p) for p in patterns("bfs_kernel")}
+        assert Random in kinds
+
+    def test_btree_uses_pointer_chase(self):
+        for name in ("findK", "findRangeK"):
+            assert Chase in {type(p) for p in patterns(name)}
+
+    def test_nn_uses_broadcast_inputs(self):
+        assert Broadcast in {type(p) for p in patterns("executeFirstLayer")}
+
+    def test_conv_columns_strided_rows_not(self):
+        assert Strided in {type(p) for p in patterns("convolutionColumnsKernel")}
+        assert Strided not in {type(p) for p in patterns("convolutionRowsKernel")}
+
+    def test_streaming_kernels_coalesced(self):
+        for name in ("bpnn_adjust_weights_cuda", "scalarProdGPU"):
+            kinds = {type(p) for p in patterns(name)}
+            assert kinds == {Coalesced}, name
+
+
+class TestComputeShape:
+    @pytest.mark.parametrize("name,unit", [
+        ("inverseCNDKernel", ExecUnit.SFU),   # SFU-heavy math
+        ("render", ExecUnit.SFU),
+        ("cenergy", ExecUnit.SFU),
+    ])
+    def test_sfu_usage(self, name, unit):
+        prog = get_kernel(name).build_program()
+        assert any(i.unit is unit for i in prog), name
+
+    def test_sha1_is_integer_dominated(self):
+        prog = get_kernel("sha1_overlap").build_program()
+        n_ialu = sum(1 for i in prog if i.op is Opcode.IALU)
+        n_f = sum(1 for i in prog if i.op in (Opcode.FMA, Opcode.FALU))
+        assert n_ialu > n_f
+
+    def test_histogram_counter_conflicts(self):
+        prog = get_kernel("histogram256Kernel").build_program()
+        conflict_ops = [i for i in prog
+                        if i.op in (Opcode.LDS, Opcode.STS)
+                        and i.conflict_ways > 1]
+        assert conflict_ops, "histogram must model conflict-serialized counters"
+
+
+class TestOccupancyDecisions:
+    @pytest.mark.parametrize("name,expected", [
+        ("sha1_overlap", 3),        # shared-memory limited
+        ("scalarProdGPU", 3),       # shared-memory limited
+        ("aesEncrypt128", 4),       # register limited
+        ("cenergy", 8),             # full residency
+    ])
+    def test_resident_tbs(self, name, expected):
+        from repro.config import GPUConfig
+        from repro.simt.occupancy import max_resident_tbs
+
+        prog = get_kernel(name).build_program()
+        assert max_resident_tbs(prog, GPUConfig.gtx480()) == expected, name

@@ -1,0 +1,192 @@
+"""Tests for the 25 Table II kernel models."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import WorkloadError
+from repro.simt.occupancy import max_resident_tbs
+from repro.workloads import (
+    all_kernels,
+    applications,
+    get_kernel,
+    kernels_of_app,
+)
+
+#: Table II ground truth: (kernel, application, paper TB count).
+TABLE_II = [
+    ("aesEncrypt128", "AES", 257),
+    ("bfs_kernel", "BFS", 256),
+    ("cenergy", "CP", 256),
+    ("GPU_laplace3d", "LPS", 100),
+    ("executeFirstLayer", "NN", 168),
+    ("executeSecondLayer", "NN", 1400),
+    ("executeThirdLayer", "NN", 2800),
+    ("executeFourthLayer", "NN", 280),
+    ("render", "RAY", 512),
+    ("sha1_overlap", "STO", 384),
+    ("bpnn_layerforward", "backprop", 4096),
+    ("bpnn_adjust_weights_cuda", "backprop", 4096),
+    ("findRangeK", "b+tree", 6000),
+    ("findK", "b+tree", 10000),
+    ("calculate_temp", "hotspot", 1849),
+    ("dynproc_kernel", "pathfinder", 463),
+    ("convolutionRowsKernel", "convSep", 18432),
+    ("convolutionColumnsKernel", "convSep", 9216),
+    ("histogram64Kernel", "histogram", 4370),
+    ("mergeHistogram64Kernel", "histogram", 64),
+    ("histogram256Kernel", "histogram", 240),
+    ("mergeHistogram256Kernel", "histogram", 256),
+    ("inverseCNDKernel", "MonteCarlo", 128),
+    ("MonteCarloOneBlockPerOption", "MonteCarlo", 256),
+    ("scalarProdGPU", "ScalarProd", 128),
+]
+
+
+class TestRegistryMatchesTableII:
+    def test_all_25_kernels_present(self):
+        assert len(all_kernels()) == 25
+
+    @pytest.mark.parametrize("name,app,paper_tbs", TABLE_II)
+    def test_kernel_metadata(self, name, app, paper_tbs):
+        m = get_kernel(name)
+        assert m.app == app
+        assert m.paper_tbs == paper_tbs
+
+    def test_fifteen_applications(self):
+        assert len(applications()) == 15
+
+    def test_kernels_of_app(self):
+        assert len(kernels_of_app("NN")) == 4
+        assert len(kernels_of_app("histogram")) == 4
+        assert len(kernels_of_app("AES")) == 1
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(WorkloadError):
+            get_kernel("nope")
+        with pytest.raises(WorkloadError):
+            kernels_of_app("nope")
+
+    def test_every_kernel_has_notes(self):
+        for m in all_kernels():
+            assert len(m.notes) > 20, m.name
+
+
+class TestProgramsWellFormed:
+    @pytest.mark.parametrize("name", [row[0] for row in TABLE_II])
+    def test_program_builds_and_validates(self, name):
+        prog = get_kernel(name).build_program()
+        assert prog.instructions[-1].op.value == "exit"
+        assert prog.name == name
+
+    @pytest.mark.parametrize("name", [row[0] for row in TABLE_II])
+    def test_fits_on_paper_gpu(self, name):
+        prog = get_kernel(name).build_program()
+        resident = max_resident_tbs(prog, GPUConfig.gtx480())
+        assert 1 <= resident <= 8
+
+    @pytest.mark.parametrize("name", [row[0] for row in TABLE_II])
+    def test_dynamic_count_reasonable(self, name):
+        """Per-warp dynamic instruction counts stay in a simulable band."""
+        prog = get_kernel(name).build_program()
+        counts = [prog.dynamic_count(tb, w) for tb in (0, 3) for w in (0, 1)]
+        assert all(3 <= c <= 2000 for c in counts), counts
+
+    @pytest.mark.parametrize("name", [row[0] for row in TABLE_II])
+    def test_builder_returns_fresh_program(self, name):
+        m = get_kernel(name)
+        assert m.build_program() is not m.build_program()
+
+
+class TestScaling:
+    def test_scaled_tbs_default(self):
+        m = get_kernel("aesEncrypt128")
+        assert m.scaled_tbs() == m.model_tbs
+
+    def test_scaled_tbs_multiplier(self):
+        m = get_kernel("aesEncrypt128")
+        assert m.scaled_tbs(2.0) == 2 * m.model_tbs
+
+    def test_scaled_tbs_floor(self):
+        m = get_kernel("mergeHistogram64Kernel")
+        assert m.scaled_tbs(0.01) == 4
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            get_kernel("aesEncrypt128").scaled_tbs(0)
+
+    def test_grid_ordering_preserved(self):
+        """Relative grid sizes keep Table II's ordering (largest grids
+        stay largest after scaling)."""
+        conv = get_kernel("convolutionRowsKernel")
+        merge = get_kernel("mergeHistogram64Kernel")
+        assert conv.model_tbs > 5 * merge.model_tbs
+
+    def test_build_launch(self):
+        launch = get_kernel("cenergy").build_launch(0.5)
+        assert launch.num_tbs == get_kernel("cenergy").scaled_tbs(0.5)
+
+
+class TestDivergenceHelpers:
+    def test_divergent_trips_range(self):
+        from repro.workloads.base import divergent_trips
+
+        f = divergent_trips(3, 5, seed=1)
+        vals = {f(tb, w) for tb in range(10) for w in range(8)}
+        assert vals <= set(range(3, 8))
+        assert len(vals) > 1  # actually divergent
+
+    def test_divergent_trips_deterministic(self):
+        from repro.workloads.base import divergent_trips
+
+        f = divergent_trips(2, 4, seed=9)
+        g = divergent_trips(2, 4, seed=9)
+        assert [f(0, w) for w in range(8)] == [g(0, w) for w in range(8)]
+
+    def test_divergent_active_range(self):
+        from repro.workloads.base import divergent_active
+
+        f = divergent_active(8, 32, seed=2)
+        vals = {f(tb, w) for tb in range(10) for w in range(8)}
+        assert vals <= set(range(8, 33))
+
+    def test_tb_skewed_same_within_tb(self):
+        from repro.workloads.base import tb_skewed_trips
+
+        f = tb_skewed_trips(5, 4, seed=3)
+        for tb in range(6):
+            assert len({f(tb, w) for w in range(8)}) == 1
+
+    def test_helpers_validate(self):
+        from repro.workloads.base import (
+            divergent_active,
+            divergent_trips,
+            tb_skewed_trips,
+        )
+
+        with pytest.raises(WorkloadError):
+            divergent_trips(0, 1)
+        with pytest.raises(WorkloadError):
+            divergent_active(0, 5)
+        with pytest.raises(WorkloadError):
+            divergent_active(5, 40)
+        with pytest.raises(WorkloadError):
+            tb_skewed_trips(1, 0)
+
+    def test_stream_helper(self):
+        from repro.isa.patterns import AccessContext
+        from repro.workloads.base import stream
+
+        p = stream(0, 16)
+        # per-warp regions are row-aligned and big enough for all iters
+        assert p.warp_region % 2048 == 0
+        assert p.warp_region >= 16 * 128
+        # iterations of one warp never collide with another warp's region
+        last_of_w0 = p.lines(AccessContext(0, 0, 15))[0]
+        first_of_w1 = p.lines(AccessContext(0, 1, 0))[0]
+        assert last_of_w0 < first_of_w1
+
+    def test_stream_validates(self):
+        from repro.workloads.base import stream
+
+        with pytest.raises(WorkloadError):
+            stream(0, 0)
