@@ -195,8 +195,14 @@ class GPUConfig:
     pro_sort_threshold: int = 1000
     #: TL fetch group size in warps (Narasiman et al.: 8).
     tl_fetch_group_size: int = 8
-    #: Hard cap on simulated cycles; exceeded -> SimulationError (deadlock net).
+    #: Hard cap on simulated cycles; exceeded -> SimulationHang (deadlock net).
     max_cycles: int = 200_000_000
+    #: Forward-progress watchdog window: simulated cycles without a single
+    #: issued instruction GPU-wide before the run is declared hung
+    #: (SimulationHang with a DeadlockReport). 0 disables the watchdog.
+    #: Distinct from max_cycles: the window catches livelocks long before
+    #: the hard cap, with diagnostics instead of a bare overrun.
+    watchdog_window: int = 2_000_000
 
     def __post_init__(self) -> None:
         self.validate()
@@ -227,6 +233,8 @@ class GPUConfig:
             raise ConfigError("tl_fetch_group_size must be positive")
         if self.max_cycles <= 0:
             raise ConfigError("max_cycles must be positive")
+        if self.watchdog_window < 0:
+            raise ConfigError("watchdog_window must be >= 0 (0 disables)")
         self.latency.validate()
         self.memory.validate()
 

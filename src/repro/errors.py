@@ -34,7 +34,61 @@ class SchedulerError(ReproError):
 
 
 class SimulationError(ReproError):
-    """The simulator reached an impossible state (deadlock, lost warp, ...)."""
+    """The simulator reached an impossible state (deadlock, lost warp, ...).
+
+    Structured subclasses (:class:`DeadlockError`, :class:`SimulationHang`,
+    :class:`CellTimeoutError`) carry a
+    :class:`repro.robustness.diagnostics.DeadlockReport` snapshot of the
+    machine state at failure time; ``str(error)`` renders it so a bare
+    traceback already contains everything needed to debug the hang.
+    """
+
+    def __init__(self, message: str, *, report: object = None) -> None:
+        super().__init__(message)
+        self.message = message
+        #: Optional DeadlockReport (duck-typed: anything with ``render()``).
+        self.report = report
+
+    def __str__(self) -> str:
+        if self.report is not None:
+            return f"{self.message}\n{self.report.render()}"
+        return self.message
+
+    @property
+    def headline(self) -> str:
+        """The one-line failure summary (without the attached report)."""
+        return self.message
+
+
+class DeadlockError(SimulationError):
+    """No warp on any (or one) SM can ever make progress again.
+
+    Raised when every wake-up source is exhausted: no pending writeback or
+    memory-completion events, no port about to free, no refetch in flight —
+    yet unfinished warps remain (e.g. stuck at a barrier that will never
+    release).
+    """
+
+
+class SimulationHang(SimulationError):
+    """The simulation is still ticking but no longer making forward progress.
+
+    Raised by the forward-progress watchdog when zero instructions issue
+    GPU-wide across a whole heartbeat window, or when the simulated clock
+    exceeds ``GPUConfig.max_cycles``.
+    """
+
+
+class CellTimeoutError(SimulationError):
+    """A harness cell exceeded its wall-clock budget (``--cell-timeout``)."""
+
+
+class InjectedFault(SimulationError):
+    """A deterministic fault injected by :class:`repro.robustness.FaultPlan`.
+
+    Only ever raised when a test (or a chaos run) explicitly armed an
+    injector; production runs never see it.
+    """
 
 
 class WorkloadError(ReproError):

@@ -23,8 +23,10 @@ from typing import List, Optional
 
 from ..config import GPUConfig
 from ..core.scheduler import build_schedulers
-from ..errors import SimulationError
+from ..errors import DeadlockError, SimulationHang
 from ..memory.subsystem import MemorySubsystem
+from ..robustness.diagnostics import snapshot_gpu
+from ..robustness.watchdog import ProgressWatchdog
 from ..simt.occupancy import max_resident_tbs
 from ..simt.sm import NEVER, StreamingMultiprocessor
 from ..simt.threadblock import ThreadBlock
@@ -50,6 +52,19 @@ class Gpu:
             sm.attach_schedulers(build_schedulers(scheduler, sm, cfg))
         self.tb_scheduler: ThreadBlockScheduler = ThreadBlockScheduler([])
         self._cycle = 0
+        #: Optional repro.robustness.FaultPlan (tests / chaos runs only).
+        self.faults = None
+
+    # ------------------------------------------------------------------
+    def install_faults(self, plan) -> None:
+        """Arm a :class:`repro.robustness.FaultPlan` on this GPU.
+
+        The plan survives launch resets: ``_reset_for_launch`` re-applies
+        it to the freshly built SMs.
+        """
+        self.faults = plan
+        for sm in self.sms:
+            sm.faults = plan
 
     # ------------------------------------------------------------------
     def on_tb_finished(self, sm: StreamingMultiprocessor, cycle: int) -> None:
@@ -65,12 +80,20 @@ class Gpu:
         timeline: Optional[TimelineRecorder] = None,
         sort_trace: Optional[SortTraceRecorder] = None,
         trace: Optional["IssueTrace"] = None,
+        deadline: Optional[float] = None,
     ) -> RunResult:
         """Simulate one kernel launch to completion.
 
         ``timeline`` / ``sort_trace`` / ``trace`` are optional recorders
         (Fig. 2 data, Table IV data, per-issue debugging respectively);
         untraced runs pay nothing for them.
+
+        ``deadline`` is an absolute ``time.monotonic()`` wall-clock budget
+        (the harness's ``--cell-timeout``); exceeding it raises
+        :class:`~repro.errors.CellTimeoutError` with a diagnostic report.
+        Hangs and deadlocks raise :class:`~repro.errors.SimulationHang` /
+        :class:`~repro.errors.DeadlockError`, both carrying a
+        :class:`~repro.robustness.diagnostics.DeadlockReport` snapshot.
         """
         cfg = self.cfg
         program = launch.program
@@ -88,6 +111,10 @@ class Gpu:
 
         sms = self.sms
         max_cycles = cfg.max_cycles
+        if self.faults is not None:
+            max_cycles = self.faults.effective_max_cycles(max_cycles)
+        watchdog = ProgressWatchdog(self, window=cfg.watchdog_window,
+                                    deadline=deadline)
         cycle = 0
         while not self.tb_scheduler.all_finished:
             # Next cycle at which any SM can act.
@@ -97,16 +124,29 @@ class Gpu:
                 if su < nxt and sm.resident_tbs:
                     nxt = su
             if nxt >= NEVER:
-                raise SimulationError(
-                    f"global deadlock at cycle {cycle}: "
-                    f"{self.tb_scheduler.total - self.tb_scheduler.finished_count} "
-                    "TB(s) unfinished but no SM can progress"
+                unfinished = (
+                    self.tb_scheduler.total - self.tb_scheduler.finished_count
+                )
+                raise DeadlockError(
+                    f"global deadlock at cycle {cycle}: {unfinished} "
+                    "TB(s) unfinished but no SM can progress",
+                    report=snapshot_gpu(
+                        self, cycle,
+                        f"{unfinished} TB(s) unfinished, every SM asleep "
+                        "forever",
+                    ),
                 )
             if nxt > max_cycles:
-                raise SimulationError(
+                raise SimulationHang(
                     f"exceeded max_cycles={max_cycles}; "
-                    "likely runaway workload configuration"
+                    "likely runaway workload configuration",
+                    report=snapshot_gpu(
+                        self, cycle,
+                        f"simulated clock would advance to {nxt}, past "
+                        f"max_cycles={max_cycles}",
+                    ),
                 )
+            watchdog.beat(nxt)
             cycle = nxt
             for sm in sms:
                 if sm.sleep_until <= cycle and sm.resident_tbs:
@@ -142,6 +182,7 @@ class Gpu:
         for sm in self.sms:
             sm.attach_schedulers(build_schedulers(self.scheduler_name, sm, cfg))
             sm.timeline = timeline
+            sm.faults = self.faults
             if sort_trace is not None:
                 for listener in sm.listeners:
                     if hasattr(listener, "sort_trace"):

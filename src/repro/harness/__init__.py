@@ -8,7 +8,13 @@ See DESIGN.md §5 for the experiment index. Typical use::
     print(result.render())
 """
 
-from .runner import ExperimentSetup, ResultCache, run_kernel
+from .runner import (
+    CellFailure,
+    CellPolicy,
+    ExperimentSetup,
+    ResultCache,
+    run_kernel,
+)
 from .experiments import (
     ablation_barrier_handling,
     ablation_progress_normalization,
@@ -25,6 +31,8 @@ from .experiments import (
 )
 
 __all__ = [
+    "CellFailure",
+    "CellPolicy",
     "ExperimentSetup",
     "ResultCache",
     "ablation_barrier_handling",

@@ -7,6 +7,20 @@ Examples::
     pro-sim all --out results.txt  # every artifact, sharing runs
     pro-sim fig4 --json fig4.json  # machine-readable export
     pro-sim run scalarProdGPU --scheduler pro  # one simulation
+
+Long / paper-faithful sweeps get the resilient path::
+
+    pro-sim all --sms 14 --checkpoint ckpt/ --keep-going \\
+            --cell-timeout 600 --retries 1
+
+``--checkpoint`` persists every completed run-matrix cell to
+``ckpt/cells.jsonl``; killing the run and re-invoking the same command
+resumes with only the missing cells re-simulated. ``--keep-going`` turns
+a failed experiment into a FAILURES section (exit code 3, "partial
+success") instead of aborting everything.
+
+Exit codes: 0 = success, 1 = simulation failure, 2 = usage error,
+3 = partial success (``--keep-going`` with at least one failure).
 """
 
 from __future__ import annotations
@@ -16,12 +30,14 @@ import dataclasses
 import json
 import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
+from ..errors import ReproError
+from ..robustness.checkpoint import CheckpointStore
 from ..workloads import get_kernel
 from . import experiments
-from .runner import ExperimentSetup
+from .runner import CellFailure, CellPolicy, ExperimentSetup, ResultCache
 
 #: experiment name -> callable(setup) -> result object with .render()
 EXPERIMENTS: Dict[str, Callable] = {
@@ -38,6 +54,12 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-norm": experiments.ablation_progress_normalization,
     "extra-schedulers": experiments.extra_scheduler_comparison,
 }
+
+#: Process exit codes (EXIT_USAGE matches argparse's own).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,9 +89,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="also write the report to this file")
     p.add_argument("--json", default=None, dest="json_out",
-                   help="also dump the experiment's raw data as JSON "
-                        "(not supported for 'all'/'run')")
+                   help="also dump the experiment's raw data as JSON ('run' "
+                        "dumps its counters; not supported for 'all', whose "
+                        "sections have no common schema)")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="persist completed run-matrix cells to DIR and "
+                        "resume from them: an interrupted invocation "
+                        "re-simulates only the missing cells")
+    p.add_argument("--keep-going", action="store_true",
+                   help="for 'all': continue past failed experiments; "
+                        "failures become a FAILURES section and the exit "
+                        "code is 3 (partial success) instead of aborting")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget per simulated cell; exceeding it "
+                        "fails the cell with a diagnostic report")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry each failed cell up to N times before "
+                        "giving up (default 0)")
     return p
+
+
+def _validate_args(parser: argparse.ArgumentParser,
+                   args: argparse.Namespace) -> None:
+    """Friendly usage errors instead of deep ConfigError tracebacks."""
+    if args.sms <= 0:
+        parser.error(f"--sms must be positive (got {args.sms})")
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive (got {args.scale})")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(
+            f"--cell-timeout must be positive (got {args.cell_timeout})"
+        )
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0 (got {args.retries})")
+    if args.json_out and args.experiment == "all":
+        parser.error(
+            "--json is not supported for 'all' (its sections have no "
+            "common schema); export experiments individually"
+        )
 
 
 def to_jsonable(result) -> dict:
@@ -94,40 +152,102 @@ def to_jsonable(result) -> dict:
     return convert(result)
 
 
+def _dump_json(path: str, payload) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+
+
+def _render_failures(failed: List[Tuple[str, ReproError]],
+                     cells: List[CellFailure]) -> str:
+    """The FAILURES section appended to a --keep-going report."""
+    lines = ["### FAILURES", f"{len(failed)} experiment(s) failed:"]
+    for name, err in failed:
+        headline = getattr(err, "headline", None) or str(err)
+        lines.append(
+            f"  {name}: {type(err).__name__}: {headline.splitlines()[0]}"
+        )
+    if cells:
+        lines.append("Failed cells (after retries):")
+        # Two experiments needing the same cell both record its failure;
+        # list each cell once.
+        for desc in dict.fromkeys(cell.describe() for cell in cells):
+            lines.append(f"  {desc}")
+    lines.append("(re-run with --checkpoint to resume; completed cells are "
+                 "not re-simulated)")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[list] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_args(parser, args)
+
+    checkpoint = (
+        CheckpointStore(args.checkpoint) if args.checkpoint else None
+    )
+    policy = CellPolicy(retries=args.retries, cell_timeout=args.cell_timeout)
+    cache = ResultCache(checkpoint=checkpoint, policy=policy)
     setup = ExperimentSetup(config=GPUConfig.scaled(args.sms),
-                            scale=args.scale)
+                            scale=args.scale, cache=cache)
 
     chunks = []
+    failed: List[Tuple[str, ReproError]] = []
     t0 = time.time()
-    if args.experiment == "run":
-        if not args.kernel:
-            print("error: 'run' requires a kernel name", file=sys.stderr)
-            return 2
-        result = setup.run(get_kernel(args.kernel), args.scheduler)
-        chunks.append(result.summary())
-        b = result.counters.stall_breakdown()
-        chunks.append(
-            f"stall breakdown: idle={b['idle']:.1%} "
-            f"scoreboard={b['scoreboard']:.1%} pipeline={b['pipeline']:.1%}"
-        )
-    elif args.experiment == "all":
-        for name, fn in EXPERIMENTS.items():
-            chunks.append(f"### {name}")
-            chunks.append(fn(setup).render())
-            chunks.append("")
-    elif args.experiment == "table4" and args.threshold is not None:
-        chunks.append(
-            experiments.table4_sort_trace(setup,
-                                          threshold=args.threshold).render()
-        )
-    else:
-        result = EXPERIMENTS[args.experiment](setup)
-        chunks.append(result.render())
-        if args.json_out:
-            with open(args.json_out, "w") as f:
-                json.dump(to_jsonable(result), f, indent=2, default=str)
+    try:
+        if args.experiment == "run":
+            if not args.kernel:
+                print("error: 'run' requires a kernel name", file=sys.stderr)
+                return EXIT_USAGE
+            result = setup.run(get_kernel(args.kernel), args.scheduler)
+            chunks.append(result.summary())
+            b = result.counters.stall_breakdown()
+            chunks.append(
+                f"stall breakdown: idle={b['idle']:.1%} "
+                f"scoreboard={b['scoreboard']:.1%} pipeline={b['pipeline']:.1%}"
+            )
+            if args.json_out:
+                _dump_json(args.json_out, {
+                    "kernel": result.kernel_name,
+                    "scheduler": result.scheduler,
+                    "num_tbs": result.num_tbs,
+                    "cycles": result.cycles,
+                    "ipc": result.ipc,
+                    "counters": to_jsonable(result.counters),
+                })
+        elif args.experiment == "all":
+            for name, fn in EXPERIMENTS.items():
+                chunks.append(f"### {name}")
+                if args.keep_going:
+                    try:
+                        chunks.append(fn(setup).render())
+                    except ReproError as err:
+                        failed.append((name, err))
+                        headline = getattr(err, "headline", str(err))
+                        chunks.append(
+                            f"[FAILED: {type(err).__name__}: "
+                            f"{headline.splitlines()[0]}]"
+                        )
+                else:
+                    chunks.append(fn(setup).render())
+                chunks.append("")
+            if failed:
+                chunks.append(_render_failures(failed, cache.failures))
+        elif args.experiment == "table4" and args.threshold is not None:
+            result = experiments.table4_sort_trace(setup,
+                                                   threshold=args.threshold)
+            chunks.append(result.render())
+            if args.json_out:
+                _dump_json(args.json_out, to_jsonable(result))
+        else:
+            result = EXPERIMENTS[args.experiment](setup)
+            chunks.append(result.render())
+            if args.json_out:
+                _dump_json(args.json_out, to_jsonable(result))
+    except ReproError as err:
+        # Structured simulation errors carry their diagnostic report in
+        # str(); surface it instead of a raw traceback.
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_FAILURE
     chunks.append(f"\n[{time.time() - t0:.1f}s, {args.sms} SMs, "
                   f"scale {args.scale}]")
 
@@ -136,7 +256,7 @@ def main(argv: Optional[list] = None) -> int:
     if args.out:
         with open(args.out, "w") as f:
             f.write(report + "\n")
-    return 0
+    return EXIT_PARTIAL if failed else EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

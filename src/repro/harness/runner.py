@@ -1,24 +1,74 @@
-"""Simulation runner with cross-experiment result caching.
+"""Simulation runner with cross-experiment result caching + checkpointing.
 
 Fig. 4, Fig. 5 and Table III all consume the same 25-kernel x 4-scheduler
 run matrix; :class:`ResultCache` memoizes runs per (kernel, scheduler,
 config, scale) so a full `all` harness invocation simulates each cell
-exactly once.
+exactly once. Two reliability tiers sit under the memo dict:
+
+* a :class:`~repro.robustness.checkpoint.CheckpointStore` persists each
+  plain cell's counters to disk, so an interrupted sweep resumes with
+  only the missing cells re-simulated (``pro-sim ... --checkpoint DIR``);
+* a :class:`CellPolicy` wraps every simulation attempt with a wall-clock
+  budget and a retry loop; cells that still fail are recorded as
+  :class:`CellFailure` entries (the CLI's FAILURES section) before the
+  error propagates.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
+from ..errors import SimulationError
 from ..gpu.gpu import Gpu
 from ..gpu.launch import RunResult
+from ..robustness.checkpoint import CheckpointStore, cell_key, config_digest
+from ..robustness.faults import FaultPlan
 from ..stats.timeline import SortTraceRecorder, TimelineRecorder
 from ..workloads import KernelModel, get_kernel
 
 #: The scheduler set of the paper's evaluation.
 PAPER_SCHEDULERS = ("tl", "lrr", "gto", "pro")
+
+
+@dataclass(frozen=True)
+class CellPolicy:
+    """Per-cell execution budget for one harness session.
+
+    ``retries`` extra attempts are made after a failed simulation (fault
+    injectors with consumed budgets make retried cells succeed, modeling
+    transient faults); ``cell_timeout`` is a wall-clock budget in seconds
+    enforced by the GPU main loop's watchdog (None = unbounded).
+    """
+
+    retries: int = 0
+    cell_timeout: Optional[float] = None
+
+
+@dataclass
+class CellFailure:
+    """One run-matrix cell that failed all its attempts."""
+
+    kernel: str
+    scheduler: str
+    scale: float
+    attempts: int
+    error: SimulationError
+
+    @property
+    def headline(self) -> str:
+        """One-line summary (error message without the attached report)."""
+        msg = getattr(self.error, "headline", None) or str(self.error)
+        return msg.splitlines()[0]
+
+    def describe(self) -> str:
+        return (
+            f"{self.kernel}/{self.scheduler} scale={self.scale} "
+            f"({self.attempts} attempt(s)): "
+            f"{type(self.error).__name__}: {self.headline}"
+        )
 
 
 @dataclass
@@ -27,7 +77,12 @@ class ExperimentSetup:
 
     The default is the scaled 4-SM configuration (DESIGN.md §2); pass
     ``config=GPUConfig.gtx480()`` and a larger ``scale`` for a
-    paper-faithful (but much slower) run.
+    paper-faithful (but much slower) run. For long sweeps, construct the
+    cache with a checkpoint store and cell policy::
+
+        cache = ResultCache(checkpoint=CheckpointStore("ckpt/"),
+                            policy=CellPolicy(retries=1, cell_timeout=600))
+        setup = ExperimentSetup(config=GPUConfig.gtx480(), cache=cache)
     """
 
     config: GPUConfig = field(default_factory=lambda: GPUConfig.scaled(4))
@@ -46,11 +101,32 @@ class ResultCache:
     """Memoizes RunResults keyed by (kernel, scheduler, config, scale).
 
     Runs requesting recorders (timeline / sort trace) are cached under a
-    distinct key so plain runs never pay recording overhead.
+    distinct key so plain runs never pay recording overhead. Recorder
+    runs are memory-only; plain runs additionally hit the optional disk
+    ``checkpoint`` tier (read before simulating, write after), keyed by
+    the same content hash :func:`repro.robustness.checkpoint.cell_key`
+    uses, so checkpoints are valid across processes and config changes
+    invalidate exactly the cells they affect.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        checkpoint: Optional[CheckpointStore] = None,
+        policy: Optional[CellPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self._results: Dict[Tuple, RunResult] = {}
+        self.checkpoint = checkpoint
+        self.policy = policy or CellPolicy()
+        #: Fault plan installed on every GPU this cache builds (tests).
+        self.faults = faults
+        #: Cells answered from the disk checkpoint without simulating.
+        self.checkpoint_hits = 0
+        #: Actual Gpu.run invocations (attempts), for resume verification.
+        self.runs_executed = 0
+        #: Cells that exhausted every attempt (kept for the FAILURES
+        #: section even though the error also propagates).
+        self.failures: List[CellFailure] = []
 
     def run(
         self,
@@ -64,29 +140,89 @@ class ResultCache:
         trace_sm: int = 0,
     ) -> RunResult:
         model = kernel if isinstance(kernel, KernelModel) else get_kernel(kernel)
-        key = (model.name, scheduler, id_of(config), scale,
-               with_timeline, with_sort_trace, trace_sm)
+        ckey = cell_key(model.name, scheduler, config, scale)
+        key = (ckey, with_timeline, with_sort_trace, trace_sm)
         hit = self._results.get(key)
         if hit is not None:
             return hit
-        timeline = TimelineRecorder() if with_timeline else None
-        sort_trace = (
-            SortTraceRecorder(sm_id=trace_sm) if with_sort_trace else None
-        )
-        gpu = Gpu(config, scheduler=scheduler)
-        result = gpu.run(
-            model.build_launch(scale), timeline=timeline, sort_trace=sort_trace
-        )
+        plain = not (with_timeline or with_sort_trace)
+        if plain and self.checkpoint is not None:
+            cached = self.checkpoint.get(ckey)
+            if cached is not None:
+                self.checkpoint_hits += 1
+                self._results[key] = cached
+                return cached
+        result = self._simulate(model, scheduler, config, scale,
+                                with_timeline, with_sort_trace, trace_sm)
         self._results[key] = result
+        if plain and self.checkpoint is not None:
+            self.checkpoint.put(ckey, model.name, scheduler, scale, result)
         return result
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        model: KernelModel,
+        scheduler: str,
+        config: GPUConfig,
+        scale: float,
+        with_timeline: bool,
+        with_sort_trace: bool,
+        trace_sm: int,
+    ) -> RunResult:
+        """One cell through the retry/timeout policy; raises after the
+        last failed attempt (with the failure recorded)."""
+        policy = self.policy
+        attempts = policy.retries + 1
+        last_err: Optional[SimulationError] = None
+        for _ in range(attempts):
+            try:
+                if self.faults is not None:
+                    self.faults.check_cell(model.name, scheduler)
+                timeline = TimelineRecorder() if with_timeline else None
+                sort_trace = (
+                    SortTraceRecorder(sm_id=trace_sm)
+                    if with_sort_trace else None
+                )
+                gpu = Gpu(config, scheduler=scheduler)
+                if self.faults is not None:
+                    gpu.install_faults(self.faults)
+                deadline = (
+                    time.monotonic() + policy.cell_timeout
+                    if policy.cell_timeout is not None else None
+                )
+                self.runs_executed += 1
+                return gpu.run(
+                    model.build_launch(scale),
+                    timeline=timeline,
+                    sort_trace=sort_trace,
+                    deadline=deadline,
+                )
+            except SimulationError as err:
+                last_err = err
+        assert last_err is not None
+        self.failures.append(CellFailure(
+            kernel=model.name,
+            scheduler=scheduler,
+            scale=scale,
+            attempts=attempts,
+            error=last_err,
+        ))
+        raise last_err
 
     def __len__(self) -> int:
         return len(self._results)
 
 
-def id_of(config: GPUConfig) -> Tuple:
-    """Hashable identity of a config (frozen dataclasses hash by value)."""
-    return (config,)
+def id_of(config: GPUConfig) -> str:
+    """Stable content-hash identity of a config.
+
+    The same digest :func:`repro.robustness.checkpoint.cell_key` folds
+    into checkpoint keys: two configs share an identity iff every field
+    (including nested latency/memory geometry) is equal, and the digest
+    is stable across processes — unlike ``hash()``, which is salted.
+    """
+    return config_digest(config)
 
 
 def run_kernel(
@@ -96,7 +232,12 @@ def run_kernel(
     scale: float = 1.0,
     **kwargs,
 ) -> RunResult:
-    """One-shot convenience runner (no cache)."""
+    """One-shot convenience runner.
+
+    Builds a private, throwaway :class:`ResultCache` for the single run —
+    nothing is shared with (or leaked into) any other cache, but the run
+    itself goes through the exact same cell machinery as harness runs.
+    """
     cache = ResultCache()
     return cache.run(kernel, scheduler, config or GPUConfig.scaled(4),
                      scale, **kwargs)

@@ -132,6 +132,19 @@ class Dram:
         self._bank_free[bank] = start + occupancy
         return done
 
+    def queue_snapshot(self, cycle: int) -> dict:
+        """Bank/channel queue occupancy view for hang diagnostics."""
+        return {
+            "busy_banks": sum(1 for f in self._bank_free if f > cycle),
+            "total_banks": len(self._bank_free),
+            "busy_channels": sum(1 for f in self._bus_free if f > cycle),
+            "total_channels": self.channels,
+            "latest_bank_free": max(self._bank_free, default=0),
+            "latest_bus_free": max(self._bus_free, default=0),
+            "reads": self.stats.reads,
+            "writes": self.stats.writes,
+        }
+
     def reset(self) -> None:
         """Close all rows and clear timing state (between kernels)."""
         n = self.channels * self.banks

@@ -131,6 +131,16 @@ class Mshr:
         heapq.heappush(self._heap, (completion, line))
         self.stats.allocations += 1
 
+    def snapshot(self, cycle: int) -> dict:
+        """Occupancy view for hang diagnostics (retires lazily first, so
+        the in-flight count is exact as of ``cycle``)."""
+        self.retire_until(cycle)
+        return {
+            "in_flight": len(self._entries),
+            "capacity": self.capacity,
+            "next_retirement": self.next_retirement(),
+        }
+
     @property
     def in_flight(self) -> int:
         """Current number of outstanding miss lines (after lazy retirement

@@ -1,0 +1,54 @@
+"""Reliability layer: watchdog, diagnostics, checkpointing, fault injection.
+
+Long sweeps (the paper's 25-kernel x 4-scheduler matrix at 14 SMs) need
+the same machinery a production fleet does:
+
+* :mod:`~repro.robustness.watchdog` — forward-progress + wall-clock
+  watchdog beaten from the GPU main loop;
+* :mod:`~repro.robustness.diagnostics` — :class:`DeadlockReport`
+  machine-state snapshots attached to structured simulation errors;
+* :mod:`~repro.robustness.checkpoint` — disk-backed run-matrix cells so
+  an interrupted harness invocation resumes instead of restarting;
+* :mod:`~repro.robustness.faults` — deterministic, seeded fault injectors
+  that prove the above paths actually fire.
+"""
+
+from .checkpoint import (
+    CheckpointStore,
+    cell_key,
+    config_digest,
+    result_from_json,
+    result_to_json,
+)
+from .diagnostics import (
+    DeadlockReport,
+    DramSnapshot,
+    MshrSnapshot,
+    SmSnapshot,
+    WarpSnapshot,
+    report_for_sm,
+    snapshot_gpu,
+    snapshot_sm,
+    snapshot_warp,
+)
+from .faults import FaultPlan
+from .watchdog import ProgressWatchdog
+
+__all__ = [
+    "CheckpointStore",
+    "DeadlockReport",
+    "DramSnapshot",
+    "FaultPlan",
+    "MshrSnapshot",
+    "ProgressWatchdog",
+    "SmSnapshot",
+    "WarpSnapshot",
+    "cell_key",
+    "config_digest",
+    "report_for_sm",
+    "result_from_json",
+    "result_to_json",
+    "snapshot_gpu",
+    "snapshot_sm",
+    "snapshot_warp",
+]

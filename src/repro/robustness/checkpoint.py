@@ -1,0 +1,190 @@
+"""Disk-checkpointed run matrix: persist completed cells, resume the rest.
+
+A paper-faithful ``pro-sim all`` is a 25-kernel x 4-scheduler matrix whose
+cells each take real wall-clock time. :class:`CheckpointStore` gives the
+in-memory :class:`~repro.harness.runner.ResultCache` a durable tier: each
+completed cell's :class:`~repro.gpu.launch.RunResult` counters are
+appended to ``cells.jsonl`` under the checkpoint directory, fsynced per
+cell, and keyed by a *content* hash of (kernel, scheduler, config, scale).
+Kill the run at any point and the next invocation replays the finished
+cells from disk, re-simulating only what is missing.
+
+Design notes:
+
+* **Append-only JSONL** — a crash mid-write corrupts at most the final
+  line, which the loader skips (and counts in ``corrupt_lines``); every
+  previously fsynced cell survives.
+* **Content-hashed keys** — :func:`config_digest` hashes the full
+  ``GPUConfig`` field tree, so a checkpoint taken at 4 SMs can never leak
+  into a 14-SM run, and any config tweak invalidates exactly the cells it
+  affects. :func:`~repro.harness.runner.id_of` shares this digest.
+* **Plain runs only** — results carrying recorders (timeline/sort-trace)
+  hold non-serializable trace state and are never written to disk; they
+  stay memoized in memory as before.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from ..config import GPUConfig
+from ..gpu.launch import RunResult
+from ..stats.counters import GpuCounters, SmCounters
+
+#: Bump when the serialized cell schema changes; mismatched cells are
+#: ignored on load (re-simulated) rather than misparsed.
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# stable keys
+
+
+def config_digest(config: GPUConfig) -> str:
+    """Stable content hash of a full GPUConfig field tree."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def cell_key(kernel: str, scheduler: str, config: GPUConfig,
+             scale: float) -> str:
+    """Content hash identifying one run-matrix cell across processes."""
+    payload = f"{kernel}|{scheduler}|{config_digest(config)}|{scale!r}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# RunResult (de)serialization — counters only, no recorders
+
+
+def result_to_json(result: RunResult) -> dict:
+    """Flatten a plain RunResult to JSON-able counter data."""
+    c = result.counters
+    return {
+        "kernel_name": result.kernel_name,
+        "scheduler": result.scheduler,
+        "num_tbs": result.num_tbs,
+        "cycles": result.cycles,
+        "counters": {
+            "total_cycles": c.total_cycles,
+            "l1_miss_rate": c.l1_miss_rate,
+            "l2_miss_rate": c.l2_miss_rate,
+            "dram_row_hit_rate": c.dram_row_hit_rate,
+            "per_sm": [dataclasses.asdict(s) for s in c.per_sm],
+        },
+    }
+
+
+def result_from_json(data: dict) -> RunResult:
+    """Rebuild a RunResult (sans recorders) from checkpointed data."""
+    cd = data["counters"]
+    counters = GpuCounters(
+        total_cycles=cd["total_cycles"],
+        per_sm=[SmCounters(**s) for s in cd["per_sm"]],
+        l1_miss_rate=cd["l1_miss_rate"],
+        l2_miss_rate=cd["l2_miss_rate"],
+        dram_row_hit_rate=cd["dram_row_hit_rate"],
+    )
+    return RunResult(
+        kernel_name=data["kernel_name"],
+        scheduler=data["scheduler"],
+        num_tbs=data["num_tbs"],
+        cycles=data["cycles"],
+        counters=counters,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the store
+
+
+class CheckpointStore:
+    """Append-only JSONL store of completed run-matrix cells."""
+
+    FILENAME = "cells.jsonl"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / self.FILENAME
+        self._cells: Dict[str, dict] = {}
+        #: Unparseable lines skipped on load (a crash mid-append leaves at
+        #: most one).
+        self.corrupt_lines = 0
+        # A torn final line also lacks its newline; the next append must
+        # start a fresh line or it merges into (and corrupts) the new
+        # record too.
+        self._at_line_start = True
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as f:
+            text = f.read()
+        self._at_line_start = not text or text.endswith("\n")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("schema") != SCHEMA_VERSION:
+                    self.corrupt_lines += 1
+                    continue
+                key = record["key"]
+                record["result"]["counters"]["per_sm"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            # Last write wins (a re-run after a schema-safe retry).
+            self._cells[key] = record
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[RunResult]:
+        """Deserialize the checkpointed cell, or None if missing."""
+        record = self._cells.get(key)
+        if record is None:
+            return None
+        return result_from_json(record["result"])
+
+    def put(self, key: str, kernel: str, scheduler: str, scale: float,
+            result: RunResult) -> None:
+        """Persist one completed cell (fsynced before returning)."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "kernel": kernel,
+            "scheduler": scheduler,
+            "scale": scale,
+            "result": result_to_json(result),
+        }
+        self._cells[key] = record
+        with open(self.path, "a", encoding="utf-8") as f:
+            if not self._at_line_start:
+                f.write("\n")
+                self._at_line_start = True
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CheckpointStore {self.path} cells={len(self._cells)} "
+            f"corrupt={self.corrupt_lines}>"
+        )

@@ -1,0 +1,284 @@
+"""Machine-state snapshots for hang/deadlock post-mortems.
+
+When the simulator wedges — a barrier that never releases, a writeback
+that never arrives, a run that blows past ``max_cycles`` — a one-line
+exception string is useless: the state needed to diagnose it lives in a
+dozen per-SM structures that are gone by the time the traceback prints.
+:func:`snapshot_gpu` (and :func:`snapshot_sm` for SM-local failures)
+freeze that state into a :class:`DeadlockReport`:
+
+* per-SM warp tables: every resident warp's pc, state, and — crucially —
+  *what it is waiting on* (barrier arrival count, pending scoreboard
+  registers, refetch cycle, a full MSHR table);
+* MSHR occupancy and next retirement per SM;
+* DRAM bank/channel queue occupancy;
+* Thread Block Scheduler dispatch progress and per-SM last-issue cycles.
+
+The report is attached to the structured errors in :mod:`repro.errors`
+(``DeadlockError``, ``SimulationHang``, ``CellTimeoutError``) and rendered
+into their ``str()``, so the diagnosis ships inside the traceback.
+
+This module only *reads* simulator objects (duck-typed, imported nowhere
+in the hot path), so it can be imported from :mod:`repro.simt.sm` and
+:mod:`repro.gpu.gpu` without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..isa.instructions import ExecUnit, Opcode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gpu.gpu import Gpu
+    from ..simt.sm import StreamingMultiprocessor
+    from ..simt.warp import Warp
+
+
+@dataclass(frozen=True)
+class WarpSnapshot:
+    """One resident warp's state at snapshot time."""
+
+    sm_id: int
+    tb_index: int
+    warp_in_tb: int
+    pc: int
+    #: "finished" | "barrier" | "refetch" | "scoreboard" | "mshr" | "ready"
+    state: str
+    #: Human-readable wait cause ("barrier (1/2 arrived)", "scoreboard
+    #: regs [4]", ...).
+    wait_reason: str
+    #: Scoreboard registers still in flight for this warp.
+    pending_regs: Tuple[int, ...]
+    last_issue_cycle: int
+    progress: int
+
+    @property
+    def name(self) -> str:
+        """Stable warp label, e.g. ``tb3.w1``."""
+        return f"tb{self.tb_index}.w{self.warp_in_tb}"
+
+    @property
+    def blocked(self) -> bool:
+        """True unless the warp finished or could issue right now."""
+        return self.state not in ("finished", "ready")
+
+
+@dataclass(frozen=True)
+class MshrSnapshot:
+    """One SM's MSHR table occupancy."""
+
+    sm_id: int
+    in_flight: int
+    capacity: int
+    next_retirement: Optional[int]
+
+
+@dataclass(frozen=True)
+class DramSnapshot:
+    """Shared DRAM queue occupancy at snapshot time."""
+
+    busy_banks: int
+    total_banks: int
+    busy_channels: int
+    total_channels: int
+    latest_bank_free: int
+    latest_bus_free: int
+    reads: int
+    writes: int
+
+
+@dataclass(frozen=True)
+class SmSnapshot:
+    """One SM's scheduling state at snapshot time."""
+
+    sm_id: int
+    sleep_until: int
+    resident_tbs: int
+    pending_events: int
+    last_issue_cycle: int
+    mshr: MshrSnapshot
+    warps: Tuple[WarpSnapshot, ...]
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Full diagnostic snapshot attached to structured simulation errors."""
+
+    cycle: int
+    reason: str
+    sms: Tuple[SmSnapshot, ...]
+    dram: Optional[DramSnapshot] = None
+    #: Thread Block Scheduler progress (None when snapshotting a bare SM).
+    pending_tbs: Optional[int] = None
+    finished_tbs: Optional[int] = None
+    total_tbs: Optional[int] = None
+    #: Log of faults injected by a FaultPlan, if one was installed.
+    injected_faults: Tuple[str, ...] = field(default=())
+
+    def blocked_warps(self) -> List[WarpSnapshot]:
+        """Every unfinished warp that cannot issue (the deadlock set)."""
+        return [w for sm in self.sms for w in sm.warps if w.blocked]
+
+    def render(self) -> str:
+        """Human-readable multi-line report (what lands in the traceback)."""
+        lines = [f"DeadlockReport @ cycle {self.cycle}: {self.reason}"]
+        if self.total_tbs is not None:
+            lines.append(
+                f"  TBs: {self.finished_tbs}/{self.total_tbs} finished, "
+                f"{self.pending_tbs} awaiting dispatch"
+            )
+        if self.dram is not None:
+            d = self.dram
+            lines.append(
+                f"  DRAM: {d.busy_banks}/{d.total_banks} banks busy, "
+                f"{d.busy_channels}/{d.total_channels} channels busy, "
+                f"{d.reads} reads / {d.writes} writes serviced"
+            )
+        for sm in self.sms:
+            sleep = "NEVER" if sm.sleep_until >= _NEVER else str(sm.sleep_until)
+            lines.append(
+                f"  SM {sm.sm_id}: sleep_until={sleep}, "
+                f"{sm.resident_tbs} resident TB(s), "
+                f"{sm.pending_events} pending event(s), "
+                f"last issue @ {sm.last_issue_cycle}"
+            )
+            m = sm.mshr
+            ret = "-" if m.next_retirement is None else str(m.next_retirement)
+            lines.append(
+                f"    MSHR: {m.in_flight}/{m.capacity} in flight, "
+                f"next retirement @ {ret}"
+            )
+            for w in sm.warps:
+                lines.append(
+                    f"    {w.name:<10s} pc={w.pc:<4d} {w.state:<10s} "
+                    f"{w.wait_reason:<40s} last_issue={w.last_issue_cycle} "
+                    f"progress={w.progress}"
+                )
+        if self.injected_faults:
+            lines.append("  Injected faults:")
+            for entry in self.injected_faults:
+                lines.append(f"    {entry}")
+        return "\n".join(lines)
+
+
+#: Mirrors repro.simt.sm.NEVER without importing it (no cycle).
+_NEVER = 1 << 62
+
+
+# ---------------------------------------------------------------------------
+# snapshot builders
+
+
+def snapshot_warp(
+    warp: "Warp", sm: "StreamingMultiprocessor", cycle: int
+) -> WarpSnapshot:
+    """Classify one warp's wait state at ``cycle``."""
+    pending = tuple(sorted(warp.scoreboard.pending()))
+    tb = warp.tb
+    if warp.finished:
+        state, reason = "finished", "-"
+    elif warp.at_barrier:
+        state = "barrier"
+        reason = (
+            f"barrier ({tb.n_at_barrier}/{tb.n_warps} arrived, "
+            f"{tb.n_finished} finished)"
+        )
+    elif cycle < warp.next_valid_cycle:
+        state = "refetch"
+        reason = f"refetch until cycle {warp.next_valid_cycle}"
+    else:
+        instr = warp.program.instructions[warp.pc]
+        needed = tuple(instr.srcs) + (
+            (instr.dst,) if instr.dst is not None else ()
+        )
+        blocking = sorted({r for r in needed if r in pending})
+        if blocking:
+            state = "scoreboard"
+            reason = f"scoreboard regs {blocking}"
+        elif instr.op is Opcode.LDG and sm.memory.mshr[sm.sm_id].is_full(cycle):
+            state = "mshr"
+            cap = sm.memory.mshr[sm.sm_id].capacity
+            reason = f"MSHR full ({cap} slots reserved)"
+        elif instr.unit is not ExecUnit.NONE and not sm.units.port_available(
+            instr.unit, cycle
+        ):
+            state = "ready"
+            reason = f"ready: {instr.op.name}, {instr.unit.name} port busy"
+        else:
+            state = "ready"
+            reason = f"ready to issue {instr.op.name}"
+    return WarpSnapshot(
+        sm_id=sm.sm_id,
+        tb_index=tb.tb_index,
+        warp_in_tb=warp.warp_in_tb,
+        pc=warp.pc,
+        state=state,
+        wait_reason=reason,
+        pending_regs=pending,
+        last_issue_cycle=warp.last_issue_cycle,
+        progress=warp.progress,
+    )
+
+
+def snapshot_sm(sm: "StreamingMultiprocessor", cycle: int) -> SmSnapshot:
+    """Freeze one SM's warp table and MSHR occupancy."""
+    mshr = sm.memory.mshr[sm.sm_id]
+    occ = mshr.snapshot(cycle)
+    warps = tuple(
+        snapshot_warp(w, sm, cycle)
+        for tb in sm.resident_tbs
+        for w in tb.warps
+    )
+    return SmSnapshot(
+        sm_id=sm.sm_id,
+        sleep_until=sm.sleep_until,
+        resident_tbs=len(sm.resident_tbs),
+        pending_events=len(sm._events),
+        last_issue_cycle=sm.counters.last_issue_cycle,
+        mshr=MshrSnapshot(
+            sm_id=sm.sm_id,
+            in_flight=occ["in_flight"],
+            capacity=occ["capacity"],
+            next_retirement=occ["next_retirement"],
+        ),
+        warps=warps,
+    )
+
+
+def snapshot_gpu(gpu: "Gpu", cycle: int, reason: str) -> DeadlockReport:
+    """Freeze the whole GPU (all SMs + DRAM + TB scheduler) at ``cycle``."""
+    d = gpu.memory.dram.queue_snapshot(cycle)
+    tbs = gpu.tb_scheduler
+    faults = getattr(gpu, "faults", None)
+    return DeadlockReport(
+        cycle=cycle,
+        reason=reason,
+        sms=tuple(snapshot_sm(sm, cycle) for sm in gpu.sms),
+        dram=DramSnapshot(
+            busy_banks=d["busy_banks"],
+            total_banks=d["total_banks"],
+            busy_channels=d["busy_channels"],
+            total_channels=d["total_channels"],
+            latest_bank_free=d["latest_bank_free"],
+            latest_bus_free=d["latest_bus_free"],
+            reads=d["reads"],
+            writes=d["writes"],
+        ),
+        pending_tbs=tbs.pending_count,
+        finished_tbs=tbs.finished_count,
+        total_tbs=tbs.total,
+        injected_faults=tuple(faults.injected) if faults is not None else (),
+    )
+
+
+def report_for_sm(
+    sm: "StreamingMultiprocessor", cycle: int, reason: str
+) -> DeadlockReport:
+    """Best-available report from inside an SM: whole GPU when attached,
+    the lone SM otherwise (unit tests drive SMs without a Gpu)."""
+    if sm.gpu is not None:
+        return snapshot_gpu(sm.gpu, cycle, reason)
+    return DeadlockReport(cycle=cycle, reason=reason,
+                          sms=(snapshot_sm(sm, cycle),))

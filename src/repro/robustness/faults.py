@@ -1,0 +1,142 @@
+"""Deterministic fault injection for robustness testing.
+
+A :class:`FaultPlan` arms a small set of injectors modeled on the real
+failure shapes the watchdog/diagnostics layer exists to catch:
+
+* :meth:`drop_barrier_arrival` — the Nth barrier arrival GPU-wide is
+  swallowed: the warp parks at the barrier but the TB's arrival counter
+  never increments, so the barrier never releases (a classic lost-event
+  deadlock);
+* :meth:`swallow_mshr_fill` — the Nth global-load writeback event is
+  dropped after the destination register is reserved: the fill never
+  lands and the warp scoreboard-blocks forever;
+* :meth:`clamp_max_cycles` — overrides ``GPUConfig.max_cycles`` downward,
+  forcing the runaway-workload guard to fire on an otherwise healthy run;
+* :meth:`fail_cell` — makes the harness-level simulation of one
+  (kernel, scheduler) cell raise :class:`~repro.errors.InjectedFault` for
+  its first N attempts, exercising the retry / ``--keep-going`` paths.
+
+Injection is *deterministic*: Nth-occurrence counters fire exactly once at
+a reproducible point. Probabilistic modes (``probability=``) draw from a
+``random.Random(seed)`` owned by the plan, so a given seed always injects
+the same faults. Counters are plan-global (not reset between launches),
+which is what makes the transient-fault story work: a cell that deadlocks
+on its first attempt because injector N fired will succeed on retry, since
+the injector has already been consumed.
+
+Hooks are only consulted when an SM's ``faults`` attribute is non-None,
+so production runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..errors import InjectedFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simt.warp import Warp
+
+
+class FaultPlan:
+    """A seeded, deterministic set of armed fault injectors."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: Human-readable log of every fault that actually fired.
+        self.injected: List[str] = []
+        self._barrier_nth: Optional[int] = None
+        self._barrier_prob = 0.0
+        self._barrier_seen = 0
+        self._fill_nth: Optional[int] = None
+        self._fill_prob = 0.0
+        self._fill_seen = 0
+        #: Optional override lowering GPUConfig.max_cycles for the run.
+        self.max_cycles_clamp: Optional[int] = None
+        self._cell_failures: Dict[Tuple[str, str], int] = {}
+
+    # -- arming --------------------------------------------------------------
+
+    def drop_barrier_arrival(self, nth: int = 1,
+                             probability: float = 0.0) -> "FaultPlan":
+        """Swallow the ``nth`` barrier arrival (and/or each with
+        ``probability``); the TB's barrier can then never release."""
+        self._barrier_nth = nth
+        self._barrier_prob = probability
+        return self
+
+    def swallow_mshr_fill(self, nth: int = 1,
+                          probability: float = 0.0) -> "FaultPlan":
+        """Drop the ``nth`` global-load fill completion event; the loading
+        warp blocks on its scoreboard forever."""
+        self._fill_nth = nth
+        self._fill_prob = probability
+        return self
+
+    def clamp_max_cycles(self, cycles: int) -> "FaultPlan":
+        """Lower the run's ``max_cycles`` guard to ``cycles``."""
+        self.max_cycles_clamp = cycles
+        return self
+
+    def fail_cell(self, kernel: str, scheduler: str,
+                  times: int = 1) -> "FaultPlan":
+        """Make the first ``times`` simulation attempts of one harness cell
+        raise :class:`~repro.errors.InjectedFault` (then succeed)."""
+        self._cell_failures[(kernel, scheduler)] = times
+        return self
+
+    # -- hooks (consulted by the simulator) ----------------------------------
+
+    def should_drop_barrier(self, sm_id: int, warp: "Warp",
+                            cycle: int) -> bool:
+        """SM hook: True to swallow this barrier arrival."""
+        if self._barrier_nth is None and not self._barrier_prob:
+            return False
+        self._barrier_seen += 1
+        hit = self._barrier_seen == self._barrier_nth or (
+            self._barrier_prob > 0.0
+            and self.rng.random() < self._barrier_prob
+        )
+        if hit:
+            self.injected.append(
+                f"barrier arrival dropped: sm{sm_id} "
+                f"tb{warp.tb.tb_index}.w{warp.warp_in_tb} @ cycle {cycle}"
+            )
+        return hit
+
+    def should_swallow_fill(self, sm_id: int, warp: "Warp",
+                            cycle: int) -> bool:
+        """SM hook: True to drop this load's writeback completion event."""
+        if self._fill_nth is None and not self._fill_prob:
+            return False
+        self._fill_seen += 1
+        hit = self._fill_seen == self._fill_nth or (
+            self._fill_prob > 0.0 and self.rng.random() < self._fill_prob
+        )
+        if hit:
+            self.injected.append(
+                f"mshr fill swallowed: sm{sm_id} "
+                f"tb{warp.tb.tb_index}.w{warp.warp_in_tb} @ cycle {cycle}"
+            )
+        return hit
+
+    def effective_max_cycles(self, max_cycles: int) -> int:
+        """Apply the max_cycles clamp (identity when unarmed)."""
+        if self.max_cycles_clamp is not None:
+            return min(max_cycles, self.max_cycles_clamp)
+        return max_cycles
+
+    def check_cell(self, kernel: str, scheduler: str) -> None:
+        """Harness hook: raise while the cell's failure budget lasts."""
+        left = self._cell_failures.get((kernel, scheduler), 0)
+        if left > 0:
+            self._cell_failures[(kernel, scheduler)] = left - 1
+            self.injected.append(
+                f"cell failure injected: ({kernel}, {scheduler}), "
+                f"{left - 1} remaining"
+            )
+            raise InjectedFault(
+                f"injected failure for cell ({kernel}, {scheduler})"
+            )

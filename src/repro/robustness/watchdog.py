@@ -1,0 +1,94 @@
+"""Forward-progress watchdog for the :meth:`repro.gpu.gpu.Gpu.run` loop.
+
+The event-driven main loop cannot spin silently on a *true* deadlock —
+the SMs raise — but two failure shapes slip past structural detection:
+
+* **livelock**: events keep firing (so the clock advances) while no warp
+  ever issues — e.g. a scheduler bug re-arming wake-ups without progress;
+* **wall-clock overrun**: a paper-faithful 14-SM cell is simply taking
+  longer than the harness is willing to wait (``--cell-timeout``).
+
+:class:`ProgressWatchdog` is beaten once per loop iteration. It keeps the
+hot path at two integer compares: the issued-instruction sum is only
+re-read every ``window / 4`` simulated cycles, and the wall clock only
+every :data:`WALL_CHECK_EVERY` beats. On a tripped check it raises
+:class:`~repro.errors.SimulationHang` / :class:`~repro.errors.CellTimeoutError`
+carrying a full :class:`~repro.robustness.diagnostics.DeadlockReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import CellTimeoutError, SimulationHang
+from .diagnostics import snapshot_gpu
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gpu.gpu import Gpu
+
+#: Beats between wall-clock reads (time.monotonic is ~100x a loop tick).
+WALL_CHECK_EVERY = 1024
+
+
+class ProgressWatchdog:
+    """Issued-instruction heartbeat + optional wall-clock deadline."""
+
+    __slots__ = (
+        "gpu",
+        "window",
+        "deadline",
+        "_next_check",
+        "_last_instr",
+        "_last_progress_cycle",
+        "_ticks",
+    )
+
+    def __init__(
+        self,
+        gpu: "Gpu",
+        window: int = 0,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.gpu = gpu
+        #: Simulated cycles without a single issued instruction before the
+        #: run is declared hung (0 disables the progress check).
+        self.window = window
+        #: Absolute ``time.monotonic()`` budget (None = no wall-clock cap).
+        self.deadline = deadline
+        self._next_check = max(1, window // 4) if window else 1 << 62
+        self._last_instr = 0
+        self._last_progress_cycle = 0
+        # First beat checks the wall clock, so an already-expired deadline
+        # fails fast even on tiny runs.
+        self._ticks = WALL_CHECK_EVERY - 1
+
+    # ------------------------------------------------------------------
+    def beat(self, cycle: int) -> None:
+        """One heartbeat from the main loop; raises on stall or timeout."""
+        if self.deadline is not None:
+            self._ticks += 1
+            if self._ticks >= WALL_CHECK_EVERY:
+                self._ticks = 0
+                if time.monotonic() > self.deadline:
+                    raise CellTimeoutError(
+                        f"cell exceeded its wall-clock budget at simulated "
+                        f"cycle {cycle}",
+                        report=snapshot_gpu(self.gpu, cycle,
+                                            "wall-clock budget exhausted"),
+                    )
+        if cycle >= self._next_check:
+            total = sum(sm.counters.instructions for sm in self.gpu.sms)
+            if total != self._last_instr:
+                self._last_instr = total
+                self._last_progress_cycle = cycle
+            elif cycle - self._last_progress_cycle >= self.window:
+                raise SimulationHang(
+                    f"no instruction issued for "
+                    f"{cycle - self._last_progress_cycle} cycles "
+                    f"(watchdog window {self.window}); "
+                    f"{total} instructions total",
+                    report=snapshot_gpu(self.gpu, cycle,
+                                        "forward progress stalled"),
+                )
+            self._next_check = cycle + max(1, self.window // 4)

@@ -21,7 +21,7 @@ import itertools
 from typing import TYPE_CHECKING, List, Optional
 
 from ..config import GPUConfig
-from ..errors import SimulationError
+from ..errors import DeadlockError
 from ..isa.instructions import ExecUnit, Opcode
 from ..isa.patterns import AccessContext
 from ..memory.subsystem import MemorySubsystem
@@ -75,6 +75,7 @@ class StreamingMultiprocessor:
         "used_smem",
         "timeline",
         "trace",
+        "faults",
         "_min_refetch",
         "_stall_since",
         "_stall_kind",
@@ -107,6 +108,7 @@ class StreamingMultiprocessor:
         self.used_smem = 0
         self.timeline = None  # optional TimelineRecorder
         self.trace = None  # optional IssueTrace
+        self.faults = None  # optional repro.robustness.FaultPlan
         self._min_refetch = NEVER
         # Lazy stall attribution: when the SM goes to sleep without issuing,
         # it records (since, kind); the cycles are credited when it actually
@@ -241,9 +243,17 @@ class StreamingMultiprocessor:
             if ret is not None and cycle < ret < wake:
                 wake = ret
         if wake >= NEVER:
-            raise SimulationError(
+            # Cold path: import here to keep simt free of package cycles.
+            from ..robustness.diagnostics import report_for_sm
+
+            reason = (
+                f"SM {self.sm_id}: {len(self.resident_tbs)} resident TB(s) "
+                "but no pending events, free ports or refetches to wake on"
+            )
+            raise DeadlockError(
                 f"SM {self.sm_id} deadlocked at cycle {cycle}: "
-                f"{len(self.resident_tbs)} resident TB(s), no pending events"
+                f"{len(self.resident_tbs)} resident TB(s), no pending events",
+                report=report_for_sm(self, cycle, reason),
             )
         if wake <= cycle:  # pragma: no cover - defensive
             wake = cycle + 1
@@ -289,6 +299,7 @@ class StreamingMultiprocessor:
         warp.last_issue_cycle = cycle
         counters.instructions += 1
         counters.thread_instructions += active
+        counters.last_issue_cycle = cycle
 
         # Execution-port occupancy + destination-register lifetime.
         if op is Opcode.LDG or op is Opcode.STG:
@@ -310,10 +321,16 @@ class StreamingMultiprocessor:
             )
             if instr.dst is not None:
                 warp.scoreboard.reserve(instr.dst)
-                heapq.heappush(
-                    self._events,
-                    (result.completion, next(self._event_seq), warp, instr.dst),
-                )
+                if self.faults is not None and self.faults.should_swallow_fill(
+                    self.sm_id, warp, cycle
+                ):
+                    pass  # injected fault: the fill completion is lost
+                else:
+                    heapq.heappush(
+                        self._events,
+                        (result.completion, next(self._event_seq), warp,
+                         instr.dst),
+                    )
         elif op is Opcode.LDS or op is Opcode.STS:
             self.units.occupy(ExecUnit.LSU, cycle, instr.conflict_ways)
             if instr.dst is not None:
@@ -352,6 +369,13 @@ class StreamingMultiprocessor:
     def _warp_reached_barrier(self, warp: Warp, cycle: int) -> None:
         tb = warp.tb
         warp.at_barrier = True
+        if self.faults is not None and self.faults.should_drop_barrier(
+            self.sm_id, warp, cycle
+        ):
+            # Injected fault: the arrival is lost — the warp parks at the
+            # barrier but the TB's arrival count never reflects it, so the
+            # barrier can never release (lost-event deadlock).
+            return
         tb.n_at_barrier += 1
         for listener in self.listeners:
             listener.on_warp_barrier(warp, cycle)

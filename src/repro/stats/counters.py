@@ -49,6 +49,9 @@ class SmCounters:
     tbs_completed: int = 0
     #: Memory line transactions issued by this SM's warps.
     mem_transactions: int = 0
+    #: Cycle of this SM's most recent instruction issue (-1 = never).
+    #: Cheap to maintain and the first thing a hang diagnosis looks at.
+    last_issue_cycle: int = -1
 
     def add_stall(self, kind: StallKind, cycles: int = 1) -> None:
         """Attribute ``cycles`` stall cycles of the given kind."""

@@ -1,7 +1,11 @@
 """Tests for the pro-sim command-line interface."""
 
+import json
+
 import pytest
 
+from repro.errors import SimulationError
+from repro.harness import cli
 from repro.harness.cli import EXPERIMENTS, build_parser, main
 
 
@@ -73,9 +77,112 @@ class TestMain:
         assert data["cycles"]["lrr"] > 0
 
     def test_json_export_table2(self, tmp_path, capsys):
-        import json
-
         path = tmp_path / "t2.json"
         assert main(["table2", "--json", str(path)]) == 0
         data = json.loads(path.read_text())
         assert len(data["rows"]) == 25
+
+    def test_json_export_run(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert main(["run", "cenergy", "--sms", "2", "--scale", "0.1",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["kernel"] == "cenergy"
+        assert data["scheduler"] == "pro"
+        assert data["cycles"] > 0
+        assert data["counters"]["total_cycles"] == data["cycles"]
+
+    def test_json_export_table4_with_threshold(self, tmp_path, capsys):
+        """--json used to be silently dropped on the --threshold branch."""
+        path = tmp_path / "t4.json"
+        assert main(["table4", "--sms", "2", "--scale", "0.2",
+                     "--threshold", "1000", "--json", str(path)]) == 0
+        assert path.exists()
+        assert json.loads(path.read_text())
+
+
+class TestValidation:
+    @pytest.mark.parametrize("argv", [
+        ["fig4", "--sms", "0"],
+        ["fig4", "--sms", "-3"],
+        ["fig4", "--scale", "-1"],
+        ["fig4", "--scale", "0"],
+        ["fig4", "--cell-timeout", "0"],
+        ["fig4", "--cell-timeout", "-5"],
+        ["fig4", "--retries", "-2"],
+        ["all", "--json", "out.json"],
+    ])
+    def test_bad_arguments_exit_usage(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_validation_message_names_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--sms", "0"])
+        assert "--sms must be positive" in capsys.readouterr().err
+
+
+class _FakeResult:
+    def render(self):
+        return "fake report body"
+
+
+def _fake_registry():
+    def ok(setup):
+        return _FakeResult()
+
+    def boom(setup):
+        raise SimulationError("injected experiment failure")
+
+    return {"good-a": ok, "bad": boom, "good-b": ok}
+
+
+class TestKeepGoing:
+    def test_all_keep_going_reports_failures_and_exits_3(
+            self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "EXPERIMENTS", _fake_registry())
+        rc = main(["all", "--keep-going", "--sms", "2", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert rc == 3
+        # surviving experiments still rendered
+        assert out.count("fake report body") == 2
+        assert "[FAILED: SimulationError: injected experiment failure]" in out
+        assert "### FAILURES" in out
+        assert "bad: SimulationError" in out
+
+    def test_all_without_keep_going_aborts_with_exit_1(
+            self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "EXPERIMENTS", _fake_registry())
+        rc = main(["all", "--sms", "2", "--scale", "0.1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error: injected experiment failure" in captured.err
+        assert "FAILURES" not in captured.out
+
+    def test_all_keep_going_clean_run_exits_0(self, monkeypatch, capsys):
+        def ok(setup):
+            return _FakeResult()
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"only": ok})
+        rc = main(["all", "--keep-going", "--sms", "2", "--scale", "0.1"])
+        assert rc == 0
+        assert "FAILURES" not in capsys.readouterr().out
+
+
+class TestCheckpointFlag:
+    def test_run_persists_one_cell_and_resumes_from_it(
+            self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        argv = ["run", "cenergy", "--sms", "2", "--scale", "0.1",
+                "--checkpoint", str(ckpt)]
+        assert main(argv) == 0
+        cells = (ckpt / "cells.jsonl").read_text().strip().splitlines()
+        assert len(cells) == 1
+        first = capsys.readouterr().out
+        # second invocation replays the checkpoint: no new line appended
+        assert main(argv) == 0
+        again = (ckpt / "cells.jsonl").read_text().strip().splitlines()
+        assert len(again) == 1
+        assert capsys.readouterr().out.splitlines()[0] == first.splitlines()[0]

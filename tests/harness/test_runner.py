@@ -3,7 +3,15 @@
 import pytest
 
 from repro.config import GPUConfig
-from repro.harness.runner import ExperimentSetup, ResultCache, run_kernel
+from repro.errors import InjectedFault
+from repro.harness.runner import (
+    CellPolicy,
+    ExperimentSetup,
+    ResultCache,
+    id_of,
+    run_kernel,
+)
+from repro.robustness import FaultPlan
 from repro.workloads import get_kernel
 
 
@@ -56,6 +64,59 @@ class TestExperimentSetup:
         a = s.run("cenergy", "lrr")
         b = s.run("cenergy", "lrr")
         assert a is b
+
+
+class TestIdOf:
+    def test_equal_configs_share_an_identity(self):
+        assert id_of(CFG) == id_of(GPUConfig.scaled(2))
+
+    def test_identity_is_content_sensitive(self):
+        assert id_of(CFG) != id_of(GPUConfig.scaled(4))
+        assert id_of(CFG) != id_of(CFG.with_(max_cycles=CFG.max_cycles + 1))
+
+    def test_identity_is_a_stable_hex_string(self):
+        digest = id_of(CFG)
+        assert isinstance(digest, str)
+        assert digest == id_of(CFG)
+        int(digest, 16)  # pure hex, safe for filenames / cache keys
+
+
+class TestCellPolicy:
+    def test_retry_recovers_a_transiently_failing_cell(self):
+        faults = FaultPlan().fail_cell("cenergy", "lrr", times=1)
+        cache = ResultCache(policy=CellPolicy(retries=1), faults=faults)
+        result = cache.run("cenergy", "lrr", CFG, 0.1)
+        assert result.cycles > 0
+        assert cache.failures == []
+
+    def test_exhausted_retries_record_a_failure_and_raise(self):
+        faults = FaultPlan().fail_cell("cenergy", "lrr", times=5)
+        cache = ResultCache(policy=CellPolicy(retries=1), faults=faults)
+        with pytest.raises(InjectedFault):
+            cache.run("cenergy", "lrr", CFG, 0.1)
+        assert len(cache.failures) == 1
+        failure = cache.failures[0]
+        assert (failure.kernel, failure.scheduler) == ("cenergy", "lrr")
+        assert failure.attempts == 2
+        assert "injected failure" in failure.headline
+        assert "cenergy/lrr" in failure.describe()
+
+    def test_no_retries_by_default(self):
+        faults = FaultPlan().fail_cell("cenergy", "lrr", times=1)
+        cache = ResultCache(faults=faults)
+        with pytest.raises(InjectedFault):
+            cache.run("cenergy", "lrr", CFG, 0.1)
+        assert cache.failures[0].attempts == 1
+
+    def test_failed_cell_is_not_memoized(self):
+        """A failure must not poison the cache: the next call re-runs."""
+        faults = FaultPlan().fail_cell("cenergy", "lrr", times=1)
+        cache = ResultCache(faults=faults)
+        with pytest.raises(InjectedFault):
+            cache.run("cenergy", "lrr", CFG, 0.1)
+        result = cache.run("cenergy", "lrr", CFG, 0.1)  # budget consumed
+        assert result.cycles > 0
+        assert len(cache) == 1
 
 
 class TestRunKernel:

@@ -1,0 +1,142 @@
+"""CheckpointStore: durability, keys, and resume-without-resimulation."""
+
+import json
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness.runner import ResultCache, id_of
+from repro.robustness import (
+    CheckpointStore,
+    cell_key,
+    config_digest,
+    result_from_json,
+    result_to_json,
+)
+from repro.robustness.checkpoint import SCHEMA_VERSION
+
+CFG = GPUConfig.scaled(2)
+
+
+class TestKeys:
+    def test_config_digest_stable_and_content_based(self):
+        assert config_digest(CFG) == config_digest(GPUConfig.scaled(2))
+        assert config_digest(CFG) != config_digest(GPUConfig.scaled(4))
+        # nested field changes are seen too
+        tweaked = CFG.with_(memory=CFG.memory.__class__(mshr_entries=16))
+        assert config_digest(CFG) != config_digest(tweaked)
+
+    def test_id_of_shares_the_digest(self):
+        assert id_of(CFG) == config_digest(CFG)
+
+    def test_cell_key_distinguishes_every_axis(self):
+        base = cell_key("cenergy", "lrr", CFG, 0.1)
+        assert cell_key("cenergy", "lrr", CFG, 0.1) == base
+        assert cell_key("findK", "lrr", CFG, 0.1) != base
+        assert cell_key("cenergy", "pro", CFG, 0.1) != base
+        assert cell_key("cenergy", "lrr", GPUConfig.scaled(4), 0.1) != base
+        assert cell_key("cenergy", "lrr", CFG, 0.2) != base
+
+
+class TestSerialization:
+    def test_runresult_roundtrip(self):
+        result = ResultCache().run("cenergy", "lrr", CFG, 0.1)
+        back = result_from_json(result_to_json(result))
+        assert back.cycles == result.cycles
+        assert back.kernel_name == result.kernel_name
+        assert back.scheduler == result.scheduler
+        assert back.num_tbs == result.num_tbs
+        c0, c1 = result.counters, back.counters
+        assert c1.instructions == c0.instructions
+        assert c1.stall_idle == c0.stall_idle
+        assert c1.ipc == pytest.approx(c0.ipc)
+        assert [s.sm_id for s in c1.per_sm] == [s.sm_id for s in c0.per_sm]
+
+
+class TestStoreDurability:
+    def test_put_get_across_store_instances(self, tmp_path):
+        result = ResultCache().run("cenergy", "lrr", CFG, 0.1)
+        key = cell_key("cenergy", "lrr", CFG, 0.1)
+        CheckpointStore(tmp_path).put(key, "cenergy", "lrr", 0.1, result)
+        reopened = CheckpointStore(tmp_path)
+        assert key in reopened
+        assert reopened.get(key).cycles == result.cycles
+
+    def test_corrupt_trailing_line_is_skipped(self, tmp_path):
+        """A crash mid-append corrupts at most the last line."""
+        result = ResultCache().run("cenergy", "lrr", CFG, 0.1)
+        key = cell_key("cenergy", "lrr", CFG, 0.1)
+        store = CheckpointStore(tmp_path)
+        store.put(key, "cenergy", "lrr", 0.1, result)
+        with open(store.path, "a") as f:
+            f.write('{"schema": 1, "key": "abc", "resu')  # torn write
+        reopened = CheckpointStore(tmp_path)
+        assert reopened.corrupt_lines == 1
+        assert len(reopened) == 1
+        assert reopened.get(key).cycles == result.cycles
+
+    def test_append_after_torn_line_starts_a_fresh_line(self, tmp_path):
+        """A torn line has no newline; the next put must not merge into
+        it (which would corrupt the freshly re-simulated cell too)."""
+        result = ResultCache().run("cenergy", "lrr", CFG, 0.1)
+        key_a = cell_key("cenergy", "lrr", CFG, 0.1)
+        key_b = cell_key("cenergy", "pro", CFG, 0.1)
+        store = CheckpointStore(tmp_path)
+        store.put(key_a, "cenergy", "lrr", 0.1, result)
+        with open(store.path, "a") as f:
+            f.write('{"schema": 1, "key": "torn')  # no trailing newline
+        recovered = CheckpointStore(tmp_path)
+        recovered.put(key_b, "cenergy", "pro", 0.1, result)
+        final = CheckpointStore(tmp_path)
+        assert final.corrupt_lines == 1
+        assert key_a in final and key_b in final
+
+    def test_schema_mismatch_cells_are_resimulated_not_misparsed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with open(store.path, "a") as f:
+            f.write(json.dumps({"schema": SCHEMA_VERSION + 1,
+                                "key": "zzz", "result": {}}) + "\n")
+        reopened = CheckpointStore(tmp_path)
+        assert "zzz" not in reopened
+        assert reopened.corrupt_lines == 1
+
+
+class TestResume:
+    def test_interrupted_matrix_resumes_with_missing_cells_only(self, tmp_path):
+        cells = [(k, s) for k in ("cenergy", "findK") for s in ("lrr", "pro")]
+        # First session dies after 2 of 4 cells.
+        first = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        for kernel, sched in cells[:2]:
+            first.run(kernel, sched, CFG, 0.1)
+        assert first.runs_executed == 2
+        # Second session (fresh process): only the 2 missing cells run.
+        second = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        results = [second.run(k, s, CFG, 0.1) for k, s in cells]
+        assert second.runs_executed == 2
+        assert second.checkpoint_hits == 2
+        # Third session: everything from disk, zero simulations.
+        third = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        replayed = [third.run(k, s, CFG, 0.1) for k, s in cells]
+        assert third.runs_executed == 0
+        assert third.checkpoint_hits == 4
+        assert [r.cycles for r in replayed] == [r.cycles for r in results]
+
+    def test_recorder_runs_bypass_the_disk_tier(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store)
+        traced = cache.run("cenergy", "pro", CFG, 0.1, with_timeline=True)
+        assert traced.timeline is not None
+        assert len(store) == 0  # nothing persisted for recorder runs
+        plain = cache.run("cenergy", "pro", CFG, 0.1)
+        assert len(store) == 1
+        assert plain is not traced
+
+    def test_checkpointed_result_matches_fresh_simulation(self, tmp_path):
+        fresh = ResultCache().run("cenergy", "lrr", CFG, 0.1)
+        cache = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        cache.run("cenergy", "lrr", CFG, 0.1)
+        replay = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        from_disk = replay.run("cenergy", "lrr", CFG, 0.1)
+        assert from_disk.cycles == fresh.cycles
+        assert from_disk.counters.instructions == fresh.counters.instructions
+        assert from_disk.counters.stall_cycles == fresh.counters.stall_cycles

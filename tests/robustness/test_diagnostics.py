@@ -1,0 +1,113 @@
+"""Fault-injected deadlocks must produce actionable DeadlockReports."""
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.errors import DeadlockError, SimulationError
+from repro.robustness import DeadlockReport, FaultPlan, report_for_sm
+from tests.conftest import bare_sm, tiny_program
+
+CFG1 = GPUConfig.scaled(1)
+
+
+def run_with_faults(plan, *, num_tbs=1, **prog_kwargs):
+    gpu = Gpu(CFG1, scheduler="lrr")
+    gpu.install_faults(plan)
+    return gpu, gpu.run(KernelLaunch(tiny_program(**prog_kwargs), num_tbs))
+
+
+class TestBarrierDropDeadlock:
+    def test_raises_deadlock_error_with_report(self):
+        plan = FaultPlan(seed=7).drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True)
+        report = exc.value.report
+        assert isinstance(report, DeadlockReport)
+        assert report.cycle > 0
+
+    def test_report_names_every_blocked_warp_and_wait_reason(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True, threads_per_tb=64)
+        report = exc.value.report
+        blocked = report.blocked_warps()
+        # both warps of the 64-thread TB are parked at the barrier
+        assert {w.name for w in blocked} == {"tb0.w0", "tb0.w1"}
+        assert all(w.state == "barrier" for w in blocked)
+        assert all("barrier" in w.wait_reason for w in blocked)
+        # the swallowed arrival is visible: 1/2 arrived, never 2/2
+        assert any("1/2 arrived" in w.wait_reason for w in blocked)
+
+    def test_report_logs_the_injected_fault(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True)
+        assert any("barrier arrival dropped" in entry
+                   for entry in exc.value.report.injected_faults)
+
+    def test_str_includes_rendered_report(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True)
+        text = str(exc.value)
+        assert "DeadlockReport @ cycle" in text
+        assert "tb0.w0" in text and "MSHR" in text
+        # headline stays one-line for log scrapers / FAILURES sections
+        assert "\n" not in exc.value.headline
+
+
+class TestSwallowedFillDeadlock:
+    def test_warp_reported_scoreboard_blocked(self):
+        plan = FaultPlan().swallow_mshr_fill(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan)
+        report = exc.value.report
+        stuck = [w for w in report.blocked_warps() if w.state == "scoreboard"]
+        assert stuck, report.render()
+        # the lost fill's destination register is named
+        assert all(w.pending_regs for w in stuck)
+        assert all("scoreboard regs" in w.wait_reason for w in stuck)
+        assert any("mshr fill swallowed" in entry
+                   for entry in report.injected_faults)
+
+
+class TestReportStructure:
+    def test_gpu_level_report_carries_dram_and_tb_state(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True)
+        report = exc.value.report
+        assert report.dram is not None
+        assert report.dram.total_banks > 0
+        assert report.total_tbs == 1 and report.finished_tbs == 0
+        assert report.sms[0].mshr.capacity == CFG1.memory.mshr_entries
+        assert report.sms[0].last_issue_cycle > 0
+
+    def test_render_is_multiline_and_self_describing(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True)
+        text = exc.value.report.render()
+        for needle in ("DeadlockReport", "TBs:", "DRAM:", "SM 0:",
+                       "Injected faults:"):
+            assert needle in text, text
+
+    def test_report_for_bare_sm_without_gpu(self, cfg1):
+        """SM unit-test setups (no Gpu) still get a single-SM report."""
+        sm = bare_sm(cfg1)
+        report = report_for_sm(sm, cycle=0, reason="unit test")
+        assert report.total_tbs is None and report.dram is None
+        assert len(report.sms) == 1
+        assert "DeadlockReport" in report.render()
+
+
+class TestUninjectedRunsUnchanged:
+    def test_fault_free_plan_does_not_perturb_results(self):
+        """An armed-but-never-firing plan must not change cycle counts."""
+        prog = tiny_program(barrier=True)
+        base = Gpu(CFG1, "lrr").run(KernelLaunch(prog, 2))
+        gpu = Gpu(CFG1, "lrr")
+        gpu.install_faults(FaultPlan(seed=3))  # nothing armed
+        faulted = gpu.run(KernelLaunch(tiny_program(barrier=True), 2))
+        assert base.cycles == faulted.cycles
+        assert base.counters.instructions == faulted.counters.instructions

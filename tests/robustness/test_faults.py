@@ -1,0 +1,102 @@
+"""FaultPlan: deterministic injectors and their bookkeeping."""
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.robustness import FaultPlan
+
+
+class _FakeTb:
+    tb_index = 0
+
+
+class _FakeWarp:
+    tb = _FakeTb()
+    warp_in_tb = 0
+
+
+WARP = _FakeWarp()
+
+
+class TestNthCounters:
+    def test_barrier_injector_fires_exactly_on_the_nth_call(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=3)
+        hits = [plan.should_drop_barrier(0, WARP, c) for c in range(5)]
+        assert hits == [False, False, True, False, False]
+        assert len(plan.injected) == 1
+
+    def test_fill_injector_fires_exactly_on_the_nth_call(self):
+        plan = FaultPlan().swallow_mshr_fill(nth=2)
+        hits = [plan.should_swallow_fill(0, WARP, c) for c in range(4)]
+        assert hits == [False, True, False, False]
+
+    def test_unarmed_hooks_never_fire_and_never_count(self):
+        plan = FaultPlan()
+        assert not any(plan.should_drop_barrier(0, WARP, c) for c in range(10))
+        assert not any(plan.should_swallow_fill(0, WARP, c) for c in range(10))
+        assert plan.injected == []
+
+    def test_injectors_are_independent(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1).swallow_mshr_fill(nth=1)
+        assert plan.should_drop_barrier(0, WARP, 5)
+        assert plan.should_swallow_fill(0, WARP, 9)
+        assert len(plan.injected) == 2
+
+
+class TestSeededProbability:
+    def test_same_seed_injects_identically(self):
+        def pattern(seed):
+            plan = FaultPlan(seed=seed).drop_barrier_arrival(
+                nth=0, probability=0.3)
+            return [plan.should_drop_barrier(0, WARP, c) for c in range(64)]
+
+        assert pattern(11) == pattern(11)
+
+    def test_different_seeds_diverge(self):
+        def pattern(seed):
+            plan = FaultPlan(seed=seed).swallow_mshr_fill(
+                nth=0, probability=0.5)
+            return [plan.should_swallow_fill(0, WARP, c) for c in range(64)]
+
+        assert pattern(1) != pattern(2)
+
+
+class TestMaxCyclesClamp:
+    def test_identity_when_unarmed(self):
+        assert FaultPlan().effective_max_cycles(1_000) == 1_000
+
+    def test_clamp_only_lowers(self):
+        plan = FaultPlan().clamp_max_cycles(50)
+        assert plan.effective_max_cycles(1_000) == 50
+        assert plan.effective_max_cycles(10) == 10
+
+
+class TestCellFailureBudget:
+    def test_budget_decrements_then_cell_succeeds(self):
+        plan = FaultPlan().fail_cell("cenergy", "lrr", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.check_cell("cenergy", "lrr")
+        plan.check_cell("cenergy", "lrr")  # budget spent: no raise
+
+    def test_other_cells_unaffected(self):
+        plan = FaultPlan().fail_cell("cenergy", "lrr", times=1)
+        plan.check_cell("cenergy", "pro")
+        plan.check_cell("findK", "lrr")
+        with pytest.raises(InjectedFault):
+            plan.check_cell("cenergy", "lrr")
+
+    def test_fired_cell_failures_are_logged(self):
+        plan = FaultPlan().fail_cell("cenergy", "lrr", times=1)
+        with pytest.raises(InjectedFault):
+            plan.check_cell("cenergy", "lrr")
+        assert any("cell failure injected" in e for e in plan.injected)
+
+
+class TestChaining:
+    def test_arming_methods_return_the_plan(self):
+        plan = FaultPlan(seed=4)
+        assert (plan.drop_barrier_arrival()
+                    .swallow_mshr_fill()
+                    .clamp_max_cycles(10)
+                    .fail_cell("k", "s")) is plan

@@ -1,0 +1,88 @@
+"""Watchdog: progress-stall, wall-clock and max_cycles guard paths."""
+
+import time
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.errors import CellTimeoutError, SimulationError, SimulationHang
+from repro.robustness import FaultPlan, ProgressWatchdog
+from tests.conftest import tiny_program
+
+CFG1 = GPUConfig.scaled(1)
+
+
+class TestProgressWindow:
+    def test_raises_after_window_without_issues(self):
+        gpu = Gpu(CFG1)  # idle GPU: instruction counters never move
+        wd = ProgressWatchdog(gpu, window=100)
+        wd.beat(30)  # first check: no progress yet, but window not elapsed
+        with pytest.raises(SimulationHang) as exc:
+            wd.beat(150)
+        assert "watchdog window 100" in exc.value.headline
+        assert exc.value.report is not None
+
+    def test_progress_resets_the_window(self):
+        gpu = Gpu(CFG1)
+        wd = ProgressWatchdog(gpu, window=100)
+        wd.beat(30)
+        gpu.sms[0].counters.instructions = 5  # forward progress
+        wd.beat(150)  # would have tripped without the progress
+        gpu.sms[0].counters.instructions = 9
+        wd.beat(260)
+        with pytest.raises(SimulationHang):
+            wd.beat(500)  # 500 - 260 >= 100 with no further progress
+
+    def test_window_zero_disables_the_check(self):
+        gpu = Gpu(CFG1)
+        wd = ProgressWatchdog(gpu, window=0)
+        for cycle in (10, 10_000, 10_000_000):
+            wd.beat(cycle)  # never raises
+
+    def test_healthy_run_with_tight_window_completes(self):
+        """A real kernel issues often enough for any sane window."""
+        cfg = CFG1.with_(watchdog_window=5_000)
+        res = Gpu(cfg, "lrr").run(KernelLaunch(tiny_program(), 2))
+        assert res.counters.tbs_completed == 2
+
+
+class TestWallClockDeadline:
+    def test_expired_deadline_raises_cell_timeout(self):
+        gpu = Gpu(CFG1)
+        wd = ProgressWatchdog(gpu, deadline=time.monotonic() - 1.0)
+        with pytest.raises(CellTimeoutError) as exc:
+            wd.beat(0)  # first beat checks the wall clock
+        assert "wall-clock" in exc.value.headline
+        assert exc.value.report is not None
+
+    def test_generous_deadline_does_not_fire(self):
+        gpu = Gpu(CFG1, "lrr")
+        res = gpu.run(KernelLaunch(tiny_program(), 2),
+                      deadline=time.monotonic() + 3600)
+        assert res.cycles > 0
+
+    def test_run_deadline_in_the_past_fails_fast(self):
+        gpu = Gpu(CFG1, "lrr")
+        with pytest.raises(CellTimeoutError):
+            gpu.run(KernelLaunch(tiny_program(), 2),
+                    deadline=time.monotonic() - 1.0)
+
+
+class TestMaxCyclesGuard:
+    def test_clamped_max_cycles_raises_hang_with_report(self):
+        gpu = Gpu(CFG1, "lrr")
+        gpu.install_faults(FaultPlan().clamp_max_cycles(50))
+        with pytest.raises(SimulationHang) as exc:
+            gpu.run(KernelLaunch(tiny_program(), 2))
+        assert "max_cycles=50" in exc.value.headline
+        report = exc.value.report
+        assert report is not None
+        # the snapshot shows live, non-deadlocked machine state
+        assert report.sms[0].resident_tbs > 0
+
+    def test_hang_is_still_a_simulation_error(self):
+        """Existing `except SimulationError` callers keep working."""
+        cfg = CFG1.with_(max_cycles=10)
+        gpu = Gpu(cfg, "lrr")
+        with pytest.raises(SimulationError):
+            gpu.run(KernelLaunch(tiny_program(), 2))
