@@ -27,8 +27,8 @@ from .lrr import LrrScheduler
 from .gto import GtoScheduler
 from .tl import TwoLevelScheduler
 from .pro import ProManager, ProScheduler
-from . import variants as _variants  # registers pro-nb / pro-nf / pro-norm
-from . import extra as _extra  # registers of / rand
+from . import variants as _variants  # noqa: F401  (registers pro-nb / pro-nf / pro-norm)
+from . import extra as _extra  # noqa: F401  (registers of / rand)
 
 __all__ = [
     "GtoScheduler",

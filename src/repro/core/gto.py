@@ -11,7 +11,7 @@ wins come from.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Iterator, List, Sequence
 
 from .scheduler import WarpScheduler, register_scheduler, simple_factory
 
@@ -19,6 +19,19 @@ from .scheduler import WarpScheduler, register_scheduler, simple_factory
 def _age_key(warp) -> tuple:
     """Oldest-first sort key: TB assignment order, then warp index."""
     return (warp.tb.launch_seq, warp.warp_in_tb)
+
+
+def _greedy_first(greedy, aged) -> Iterator:
+    """Greedy warp, then the aged list minus the greedy warp — lazily.
+
+    The SM's issue scan stops at the first issuable warp, so building the
+    full priority list every cycle (the old behaviour) wasted an O(n) copy
+    whenever the greedy warp issued again immediately.
+    """
+    yield greedy
+    for w in aged:
+        if w is not greedy:
+            yield w
 
 
 class GtoScheduler(WarpScheduler):
@@ -52,9 +65,7 @@ class GtoScheduler(WarpScheduler):
             return aged
         if not aged or aged[0] is greedy:
             return aged
-        out = [greedy]
-        out.extend(w for w in aged if w is not greedy)
-        return out
+        return _greedy_first(greedy, aged)
 
     def note_issued(self, warp, cycle: int) -> None:
         self._greedy = warp

@@ -5,11 +5,19 @@ last warp that issued, skipping non-ready warps ("loose"). The paper's
 motivating observation (§II-A): under LRR all warps make near-equal
 progress and reach long-latency instructions together, draining the ready
 pool at the same time and inflating Idle stalls.
+
+Hot-path notes: ``order`` runs every cycle, so the rotated view is built
+lazily (``chain`` of two ``islice`` windows) instead of slicing and
+concatenating a fresh list; ``note_issued`` runs once per issued cycle,
+so the issued warp's index comes from a maintained position map instead
+of an O(n) ``list.index`` scan. The map is rebuilt from the removal point
+only on the rare warp-finish event.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from itertools import chain, islice
+from typing import Dict, Sequence
 
 from .scheduler import WarpScheduler, register_scheduler, simple_factory
 
@@ -22,6 +30,17 @@ class LrrScheduler(WarpScheduler):
     def __init__(self, sm, sched_id, cfg) -> None:
         super().__init__(sm, sched_id, cfg)
         self._start = 0
+        #: id(warp) -> index in ``self.warps`` (identity semantics, same
+        #: as ``list.index`` on warps, which have no custom ``__eq__``).
+        self._pos: Dict[int, int] = {}
+
+    def on_tb_assigned(self, tb, cycle: int) -> None:
+        warps = self.warps
+        first_new = len(warps)
+        super().on_tb_assigned(tb, cycle)
+        pos = self._pos
+        for i in range(first_new, len(warps)):
+            pos[id(warps[i])] = i
 
     def order(self, cycle: int) -> Sequence:
         warps = self.warps
@@ -31,21 +50,28 @@ class LrrScheduler(WarpScheduler):
         start = self._start % n
         if start == 0:
             return warps
-        return warps[start:] + warps[:start]
+        return chain(islice(warps, start, None), islice(warps, start))
 
     def note_issued(self, warp, cycle: int) -> None:
-        # Next scan begins after the warp that just issued.
-        try:
-            self._start = self.warps.index(warp) + 1
-        except ValueError:  # pragma: no cover - defensive
-            self._start = 0
+        # Next scan begins after the warp that just issued. A warp that
+        # finished on this very issue (EXIT) was already removed from the
+        # pool; the rotation restarts at the front, as before.
+        idx = self._pos.get(id(warp))
+        self._start = 0 if idx is None else idx + 1
 
     def on_warp_finished(self, warp, cycle: int) -> None:
         if warp.sched_id != self.sched_id:
             return
-        # Keep the rotation point stable across removals.
-        idx = self.warps.index(warp)
+        idx = self._pos.pop(id(warp), None)
         super().on_warp_finished(warp, cycle)
+        if idx is None:  # pragma: no cover - defensive
+            return
+        # Reindex the warps shifted down by the removal.
+        warps = self.warps
+        pos = self._pos
+        for i in range(idx, len(warps)):
+            pos[id(warps[i])] = i
+        # Keep the rotation point stable across removals.
         if idx < self._start:
             self._start -= 1
 

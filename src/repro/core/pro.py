@@ -324,12 +324,22 @@ class ProManager:
         return out
 
     def order(self, sched_id: int, cycle: int) -> List["Warp"]:
-        """Priority-ordered warps owned by scheduler ``sched_id``."""
+        """Priority-ordered warps owned by scheduler ``sched_id``.
+
+        Same concatenation as :meth:`_priority_records`, but built in one
+        pass — this runs once per scheduler per cycle, so the intermediate
+        record list is worth skipping.
+        """
         self._maybe_phase_transition(cycle)
         self._maybe_threshold_sort(cycle)
         out: List["Warp"] = []
-        for rec in self._priority_records():
-            out.extend(rec.warp_order[sched_id])
+        ext = out.extend
+        for rec in self.finish_wait:
+            ext(rec.warp_order[sched_id])
+        for rec in self.barrier_wait:
+            ext(rec.warp_order[sched_id])
+        for rec in (self.no_wait if self.no_wait else self.finish_no_wait):
+            ext(rec.warp_order[sched_id])
         return out
 
 

@@ -6,6 +6,15 @@ cycle at which *any* SM can make progress (each SM maintains its own
 ``sleep_until``, see :mod:`repro.simt.sm`), steps every due SM in id order
 (determinism), and finishes when the last TB completes.
 
+For wide configurations the next-wake instant comes from a
+lazily-invalidated min-heap of ``(sleep_until, sm_id)`` entries rather
+than an O(num_SMs) scan per loop iteration. Entries whose SM has since
+been re-scheduled (its ``sleep_until`` no longer matches) or drained are
+discarded on pop; ties pop in ``sm_id`` order, preserving the sequential
+stepping order exactly. Below :data:`HEAP_MIN_SMS` SMs the plain scan is
+measurably cheaper than heap maintenance and is used instead — both
+paths step the same SMs at the same instants in the same order.
+
 Typical use::
 
     gpu = Gpu(GPUConfig.scaled(), scheduler="pro")
@@ -19,6 +28,7 @@ simulates each kernel independently).
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional
 
 from ..config import GPUConfig
@@ -30,11 +40,17 @@ from ..robustness.watchdog import ProgressWatchdog
 from ..simt.occupancy import max_resident_tbs
 from ..simt.sm import NEVER, StreamingMultiprocessor
 from ..simt.threadblock import ThreadBlock
-from ..stats.counters import GpuCounters, SmCounters
+from ..stats.counters import GpuCounters
 from ..stats.timeline import SortTraceRecorder, TimelineRecorder
 from ..stats.trace import IssueTrace
 from .launch import KernelLaunch, RunResult
 from .tb_scheduler import ThreadBlockScheduler
+
+#: SM count at which the wake min-heap beats the linear min-scan. Small
+#: configurations (unit tests, scaled-down sweeps) scan a handful of SMs
+#: faster than they can maintain a heap; the paper's 14-SM Table I config
+#: and anything wider benefits from O(log n) wake-ups.
+HEAP_MIN_SMS = 8
 
 
 class Gpu:
@@ -115,42 +131,10 @@ class Gpu:
             max_cycles = self.faults.effective_max_cycles(max_cycles)
         watchdog = ProgressWatchdog(self, window=cfg.watchdog_window,
                                     deadline=deadline)
-        cycle = 0
-        while not self.tb_scheduler.all_finished:
-            # Next cycle at which any SM can act.
-            nxt = NEVER
-            for sm in sms:
-                su = sm.sleep_until
-                if su < nxt and sm.resident_tbs:
-                    nxt = su
-            if nxt >= NEVER:
-                unfinished = (
-                    self.tb_scheduler.total - self.tb_scheduler.finished_count
-                )
-                raise DeadlockError(
-                    f"global deadlock at cycle {cycle}: {unfinished} "
-                    "TB(s) unfinished but no SM can progress",
-                    report=snapshot_gpu(
-                        self, cycle,
-                        f"{unfinished} TB(s) unfinished, every SM asleep "
-                        "forever",
-                    ),
-                )
-            if nxt > max_cycles:
-                raise SimulationHang(
-                    f"exceeded max_cycles={max_cycles}; "
-                    "likely runaway workload configuration",
-                    report=snapshot_gpu(
-                        self, cycle,
-                        f"simulated clock would advance to {nxt}, past "
-                        f"max_cycles={max_cycles}",
-                    ),
-                )
-            watchdog.beat(nxt)
-            cycle = nxt
-            for sm in sms:
-                if sm.sleep_until <= cycle and sm.resident_tbs:
-                    sm.step(cycle)
+        if len(sms) >= HEAP_MIN_SMS:
+            cycle = self._run_loop_heap(sms, max_cycles, watchdog)
+        else:
+            cycle = self._run_loop_scan(sms, max_cycles, watchdog)
         # Cycles are 0-indexed step instants; the elapsed duration includes
         # the final instant, so every SM's accounting sums exactly to it.
         duration = cycle + 1
@@ -165,6 +149,113 @@ class Gpu:
             counters=counters,
             timeline=timeline,
             sort_trace=sort_trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_loop_scan(
+        self,
+        sms: List[StreamingMultiprocessor],
+        max_cycles: int,
+        watchdog: ProgressWatchdog,
+    ) -> int:
+        """Main loop, linear min-scan variant (cheapest for few SMs)."""
+        tb_scheduler = self.tb_scheduler
+        cycle = 0
+        while not tb_scheduler.all_finished:
+            # Next cycle at which any SM can act.
+            nxt = NEVER
+            for sm in sms:
+                su = sm.sleep_until
+                if su < nxt and sm.resident_tbs:
+                    nxt = su
+            if nxt >= NEVER:
+                self._raise_deadlock(cycle)
+            if nxt > max_cycles:
+                self._raise_hang(cycle, nxt, max_cycles)
+            watchdog.beat(nxt)
+            cycle = nxt
+            for sm in sms:
+                if sm.sleep_until <= cycle and sm.resident_tbs:
+                    sm.step(cycle)
+        return cycle
+
+    def _run_loop_heap(
+        self,
+        sms: List[StreamingMultiprocessor],
+        max_cycles: int,
+        watchdog: ProgressWatchdog,
+    ) -> int:
+        """Main loop, lazily-invalidated wake-heap variant.
+
+        One ``(sleep_until, sm_id)`` entry per pending wake-up. Invariant:
+        every SM with resident TBs and a finite sleep_until has a current
+        entry; stale entries are dropped lazily on pop. During the loop
+        only the SM being stepped can change its own sleep_until /
+        residency (the TB scheduler refills exactly the SM that finished a
+        TB), so re-pushing after each step suffices.
+        """
+        tb_scheduler = self.tb_scheduler
+        heappush, heappop = heapq.heappush, heapq.heappop
+        wake = [
+            (sm.sleep_until, sm.sm_id)
+            for sm in sms
+            if sm.resident_tbs and sm.sleep_until < NEVER
+        ]
+        heapq.heapify(wake)
+        due: List[StreamingMultiprocessor] = []
+        cycle = 0
+        while not tb_scheduler.all_finished:
+            # Discard stale entries until the top is a live wake-up.
+            while wake:
+                nxt, sid = wake[0]
+                sm = sms[sid]
+                if sm.resident_tbs and sm.sleep_until == nxt:
+                    break
+                heappop(wake)
+            if not wake:
+                self._raise_deadlock(cycle)
+            if nxt > max_cycles:
+                self._raise_hang(cycle, nxt, max_cycles)
+            watchdog.beat(nxt)
+            cycle = nxt
+            # Collect every SM due at this instant. Equal-cycle entries pop
+            # in sm_id order (tuple comparison), matching the sequential
+            # id-order scan; duplicates of one SM pop adjacently.
+            due.clear()
+            while wake and wake[0][0] == cycle:
+                _, sid = heappop(wake)
+                sm = sms[sid]
+                if sm.sleep_until == cycle and sm.resident_tbs and (
+                    not due or due[-1] is not sm
+                ):
+                    due.append(sm)
+            for sm in due:
+                sm.step(cycle)
+                su = sm.sleep_until
+                if su < NEVER and sm.resident_tbs:
+                    heappush(wake, (su, sm.sm_id))
+        return cycle
+
+    def _raise_deadlock(self, cycle: int) -> None:
+        unfinished = self.tb_scheduler.total - self.tb_scheduler.finished_count
+        raise DeadlockError(
+            f"global deadlock at cycle {cycle}: {unfinished} "
+            "TB(s) unfinished but no SM can progress",
+            report=snapshot_gpu(
+                self, cycle,
+                f"{unfinished} TB(s) unfinished, every SM asleep forever",
+            ),
+        )
+
+    def _raise_hang(self, cycle: int, nxt: int, max_cycles: int) -> None:
+        raise SimulationHang(
+            f"exceeded max_cycles={max_cycles}; "
+            "likely runaway workload configuration",
+            report=snapshot_gpu(
+                self, cycle,
+                f"simulated clock would advance to {nxt}, past "
+                f"max_cycles={max_cycles}",
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -8,6 +8,8 @@ See DESIGN.md §5 for the experiment index. Typical use::
     print(result.render())
 """
 
+from .bench import BenchReport, run_bench
+from .parallel import resolve_jobs, run_matrix_parallel
 from .runner import (
     CellFailure,
     CellPolicy,
@@ -31,6 +33,7 @@ from .experiments import (
 )
 
 __all__ = [
+    "BenchReport",
     "CellFailure",
     "CellPolicy",
     "ExperimentSetup",
@@ -43,7 +46,10 @@ __all__ = [
     "fig2_tb_timeline",
     "fig4_speedups",
     "fig5_stall_improvement",
+    "resolve_jobs",
+    "run_bench",
     "run_kernel",
+    "run_matrix_parallel",
     "table1_config",
     "table2_benchmarks",
     "table3_stall_ratios",

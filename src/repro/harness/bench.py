@@ -1,0 +1,240 @@
+"""``pro-sim bench`` — simulator throughput measurement harness.
+
+Two phases, mirroring the two things this project optimizes:
+
+1. **Micro phase (sequential).** Each cell of a small fixed
+   kernel x scheduler set simulates in-process on a fresh
+   :class:`~repro.gpu.gpu.Gpu`, timed individually. The aggregate
+   cycles/sec and instr/sec are the single-process hot-path throughput —
+   the number the simulator-core optimizations move.
+2. **Matrix phase (parallel).** The same cells run as a run matrix
+   through :func:`~repro.harness.parallel.run_matrix_parallel`, once
+   with the requested ``--jobs`` and once with ``--jobs 1`` (fresh
+   caches both times), giving the sweep-level parallel speedup. On a
+   single-core machine this is expectedly ~1.0 or below (process
+   overhead with no cores to spread over); the report says so rather
+   than hiding it.
+
+``run_bench`` writes a machine-readable ``BENCH_<timestamp>.json`` next
+to the human-readable report so CI can archive throughput history.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..config import GPUConfig
+from ..gpu.gpu import Gpu
+from ..stats.report import render_table
+from ..workloads import get_kernel
+from .parallel import run_matrix_parallel
+from .runner import ResultCache
+
+#: The micro-workload set: two compute-regular kernels, one barrier-heavy
+#: kernel and one memory-divergent kernel, under the paper's main
+#: schedulers — small enough to finish in seconds, varied enough to
+#: exercise every hot path (issue scan, scoreboard, ports, PRO sorting).
+MICRO_KERNELS = (
+    "scalarProdGPU", "cenergy", "aesEncrypt128", "calculate_temp",
+)
+MICRO_SCHEDULERS = ("lrr", "gto", "pro")
+
+#: ``--smoke`` subset for CI: one short cell per scheduler.
+SMOKE_KERNELS = ("scalarProdGPU", "cenergy")
+SMOKE_SCHEDULERS = ("lrr", "pro")
+
+#: Reduced simulation size (matches benchmarks/conftest.py).
+BENCH_SMS = 2
+BENCH_SCALE = 0.35
+SMOKE_SCALE = 0.15
+
+
+@dataclass
+class CellTiming:
+    """One timed micro-phase cell."""
+
+    kernel: str
+    scheduler: str
+    cycles: int
+    instructions: int
+    wall_seconds: float
+
+    @property
+    def cycles_per_sec(self) -> float:
+        return self.cycles / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def instr_per_sec(self) -> float:
+        return (
+            self.instructions / self.wall_seconds if self.wall_seconds
+            else 0.0
+        )
+
+
+@dataclass
+class BenchReport:
+    """Full bench result: per-cell timings + aggregate throughput."""
+
+    sms: int
+    scale: float
+    jobs: int
+    smoke: bool
+    micro: List[CellTiming] = field(default_factory=list)
+    matrix_seconds_parallel: float = 0.0
+    matrix_seconds_serial: float = 0.0
+    #: Where the machine-readable JSON landed (set by :func:`run_bench`).
+    json_path: Optional[str] = None
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(c.cycles for c in self.micro)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.micro)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(c.wall_seconds for c in self.micro)
+
+    @property
+    def cycles_per_sec(self) -> float:
+        return (
+            self.total_cycles / self.total_seconds if self.total_seconds
+            else 0.0
+        )
+
+    @property
+    def instr_per_sec(self) -> float:
+        return (
+            self.total_instructions / self.total_seconds
+            if self.total_seconds else 0.0
+        )
+
+    @property
+    def parallel_speedup(self) -> float:
+        if not self.matrix_seconds_parallel:
+            return 0.0
+        return self.matrix_seconds_serial / self.matrix_seconds_parallel
+
+    def to_json(self) -> dict:
+        return {
+            "schema": 1,
+            "sms": self.sms,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "smoke": self.smoke,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "micro": [
+                {**asdict(c), "cycles_per_sec": c.cycles_per_sec,
+                 "instr_per_sec": c.instr_per_sec}
+                for c in self.micro
+            ],
+            "totals": {
+                "cycles": self.total_cycles,
+                "instructions": self.total_instructions,
+                "wall_seconds": self.total_seconds,
+                "cycles_per_sec": self.cycles_per_sec,
+                "instr_per_sec": self.instr_per_sec,
+            },
+            "matrix": {
+                "seconds_parallel": self.matrix_seconds_parallel,
+                "seconds_serial": self.matrix_seconds_serial,
+                "parallel_speedup": self.parallel_speedup,
+            },
+        }
+
+    def render(self) -> str:
+        rows = [
+            (c.kernel, c.scheduler, c.cycles, f"{c.wall_seconds:.3f}",
+             f"{c.cycles_per_sec:,.0f}", f"{c.instr_per_sec:,.0f}")
+            for c in self.micro
+        ]
+        table = render_table(
+            ("Kernel", "Sched", "Cycles", "Wall s", "Cycles/s", "Instr/s"),
+            rows,
+            title="Bench: micro-workload throughput (sequential, "
+                  "in-process)",
+        )
+        lines = [
+            table,
+            "",
+            f"aggregate: {self.cycles_per_sec:,.0f} cycles/s, "
+            f"{self.instr_per_sec:,.0f} instr/s "
+            f"({self.total_seconds:.2f}s over {len(self.micro)} cells)",
+            f"matrix sweep: jobs={self.jobs} {self.matrix_seconds_parallel:.2f}s "
+            f"vs jobs=1 {self.matrix_seconds_serial:.2f}s "
+            f"-> {self.parallel_speedup:.2f}x parallel speedup",
+        ]
+        if self.jobs > 1 and self.parallel_speedup < 1.1:
+            lines.append(
+                "(speedup near or below 1.0 usually means too few CPU "
+                "cores for the requested --jobs)"
+            )
+        if self.json_path:
+            lines.append(f"bench JSON: {self.json_path}")
+        return "\n".join(lines)
+
+
+def run_bench(
+    *,
+    jobs: int = 1,
+    smoke: bool = False,
+    sms: int = BENCH_SMS,
+    scale: Optional[float] = None,
+    out_dir: str | Path = ".",
+    out_path: Optional[str] = None,
+) -> BenchReport:
+    """Run both bench phases and write ``BENCH_<timestamp>.json``.
+
+    ``smoke`` shrinks the cell set and scale for CI. ``out_path``
+    overrides the default timestamped filename (in ``out_dir``).
+    """
+    kernels = SMOKE_KERNELS if smoke else MICRO_KERNELS
+    schedulers = SMOKE_SCHEDULERS if smoke else MICRO_SCHEDULERS
+    if scale is None:
+        scale = SMOKE_SCALE if smoke else BENCH_SCALE
+    config = GPUConfig.scaled(sms)
+    report = BenchReport(sms=sms, scale=scale, jobs=jobs, smoke=smoke)
+
+    # Phase 1: sequential micro cells, each on a fresh Gpu.
+    for kernel in kernels:
+        model = get_kernel(kernel)
+        for scheduler in schedulers:
+            launch = model.build_launch(scale)
+            gpu = Gpu(config, scheduler=scheduler)
+            t0 = time.perf_counter()
+            result = gpu.run(launch)
+            dt = time.perf_counter() - t0
+            report.micro.append(CellTiming(
+                kernel=kernel,
+                scheduler=scheduler,
+                cycles=result.cycles,
+                instructions=result.counters.instructions,
+                wall_seconds=dt,
+            ))
+
+    # Phase 2: the same matrix as a sweep, parallel vs sequential
+    # (fresh caches so both sides do full work).
+    cells = [(k, s) for k in kernels for s in schedulers]
+    t0 = time.perf_counter()
+    run_matrix_parallel(ResultCache(), cells, config, scale, jobs=jobs)
+    report.matrix_seconds_parallel = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_matrix_parallel(ResultCache(), cells, config, scale, jobs=1)
+    report.matrix_seconds_serial = time.perf_counter() - t0
+
+    if out_path is None:
+        stamp = time.strftime("%Y%m%dT%H%M%S")
+        out_path = str(Path(out_dir) / f"BENCH_{stamp}.json")
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report.to_json(), f, indent=2, sort_keys=True)
+    report.json_path = out_path
+    return report

@@ -8,10 +8,17 @@ Examples::
     pro-sim fig4 --json fig4.json  # machine-readable export
     pro-sim run scalarProdGPU --scheduler pro  # one simulation
 
-Long / paper-faithful sweeps get the resilient path::
+Long / paper-faithful sweeps get the resilient path, and multi-core
+machines the parallel one::
 
     pro-sim all --sms 14 --checkpoint ckpt/ --keep-going \\
-            --cell-timeout 600 --retries 1
+            --cell-timeout 600 --retries 1 --jobs auto
+
+``--jobs N`` (or ``auto`` = CPU count) fans independent run-matrix cells
+out to N worker processes before the experiments render; results are
+bit-identical to a sequential run. ``pro-sim bench`` measures the
+simulator's own throughput (``--smoke`` for the quick CI variant) and
+writes a machine-readable ``BENCH_<timestamp>.json``.
 
 ``--checkpoint`` persists every completed run-matrix cell to
 ``ckpt/cells.jsonl``; killing the run and re-invoking the same command
@@ -37,7 +44,15 @@ from ..errors import ReproError
 from ..robustness.checkpoint import CheckpointStore
 from ..workloads import get_kernel
 from . import experiments
-from .runner import CellFailure, CellPolicy, ExperimentSetup, ResultCache
+from .bench import run_bench
+from .parallel import resolve_jobs
+from .runner import (
+    PAPER_SCHEDULERS,
+    CellFailure,
+    CellPolicy,
+    ExperimentSetup,
+    ResultCache,
+)
 
 #: experiment name -> callable(setup) -> result object with .render()
 EXPERIMENTS: Dict[str, Callable] = {
@@ -61,6 +76,17 @@ EXIT_FAILURE = 1
 EXIT_USAGE = 2
 EXIT_PARTIAL = 3
 
+#: Experiments whose plain cells form a (kernels x schedulers) matrix
+#: worth prewarming in parallel under --jobs. Recorder-carrying
+#: experiments (fig2/table4) and static tables gain nothing from it.
+_MATRIX_SCHEDULERS: Dict[str, Tuple[str, ...]] = {
+    "all": PAPER_SCHEDULERS,
+    "fig1": experiments.BASELINES,
+    "fig4": PAPER_SCHEDULERS,
+    "fig5": PAPER_SCHEDULERS,
+    "table3": PAPER_SCHEDULERS,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -70,9 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "run"],
+        choices=sorted(EXPERIMENTS) + ["all", "run", "bench"],
         help="which artifact to regenerate ('all' = every one; 'run' = a "
-             "single kernel simulation)",
+             "single kernel simulation; 'bench' = simulator throughput "
+             "measurement)",
     )
     p.add_argument("kernel", nargs="?", default=None,
                    help="kernel name (only for 'run')")
@@ -107,6 +134,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=0, metavar="N",
                    help="retry each failed cell up to N times before "
                         "giving up (default 0)")
+    p.add_argument("--jobs", default="1", metavar="N",
+                   help="worker processes for run-matrix cells: a positive "
+                        "integer or 'auto' (= CPU count; default 1 = "
+                        "sequential). Results are bit-identical either way")
+    p.add_argument("--smoke", action="store_true",
+                   help="for 'bench': the quick CI variant (fewer, smaller "
+                        "cells)")
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="for 'bench': write the machine-readable JSON to "
+                        "PATH instead of ./BENCH_<timestamp>.json")
     return p
 
 
@@ -123,6 +160,14 @@ def _validate_args(parser: argparse.ArgumentParser,
         )
     if args.retries < 0:
         parser.error(f"--retries must be >= 0 (got {args.retries})")
+    try:
+        args.jobs = resolve_jobs(args.jobs)
+    except ValueError as err:
+        parser.error(f"--{err}")
+    if args.smoke and args.experiment != "bench":
+        parser.error("--smoke only applies to 'bench'")
+    if args.bench_out and args.experiment != "bench":
+        parser.error("--bench-out only applies to 'bench'")
     if args.json_out and args.experiment == "all":
         parser.error(
             "--json is not supported for 'all' (its sections have no "
@@ -177,6 +222,20 @@ def _render_failures(failed: List[Tuple[str, ReproError]],
     return "\n".join(lines)
 
 
+def _prewarm_matrix(setup: ExperimentSetup, args: argparse.Namespace) -> None:
+    """Fill the cache's run matrix in parallel before experiments render.
+
+    Only fires for matrix-shaped experiments with ``--jobs > 1``; the
+    experiments then answer every plain cell from the memo. Failed cells
+    under ``--keep-going`` are left missing — the sequential experiment
+    path re-encounters (and re-reports) them as before.
+    """
+    schedulers = _MATRIX_SCHEDULERS.get(args.experiment)
+    if schedulers is None or setup.jobs <= 1:
+        return
+    setup.prewarm(schedulers=schedulers, keep_going=args.keep_going)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -188,13 +247,19 @@ def main(argv: Optional[list] = None) -> int:
     policy = CellPolicy(retries=args.retries, cell_timeout=args.cell_timeout)
     cache = ResultCache(checkpoint=checkpoint, policy=policy)
     setup = ExperimentSetup(config=GPUConfig.scaled(args.sms),
-                            scale=args.scale, cache=cache)
+                            scale=args.scale, cache=cache, jobs=args.jobs)
 
     chunks = []
     failed: List[Tuple[str, ReproError]] = []
     t0 = time.time()
     try:
-        if args.experiment == "run":
+        if args.experiment == "bench":
+            report = run_bench(jobs=args.jobs, smoke=args.smoke,
+                               sms=args.sms, out_path=args.bench_out)
+            chunks.append(report.render())
+            if args.json_out:
+                _dump_json(args.json_out, report.to_json())
+        elif args.experiment == "run":
             if not args.kernel:
                 print("error: 'run' requires a kernel name", file=sys.stderr)
                 return EXIT_USAGE
@@ -215,6 +280,7 @@ def main(argv: Optional[list] = None) -> int:
                     "counters": to_jsonable(result.counters),
                 })
         elif args.experiment == "all":
+            _prewarm_matrix(setup, args)
             for name, fn in EXPERIMENTS.items():
                 chunks.append(f"### {name}")
                 if args.keep_going:
@@ -239,6 +305,7 @@ def main(argv: Optional[list] = None) -> int:
             if args.json_out:
                 _dump_json(args.json_out, to_jsonable(result))
         else:
+            _prewarm_matrix(setup, args)
             result = EXPERIMENTS[args.experiment](setup)
             chunks.append(result.render())
             if args.json_out:

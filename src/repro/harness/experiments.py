@@ -9,11 +9,9 @@ lives in DESIGN.md §5; measured-vs-paper commentary in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import GPUConfig
 from ..core.variants import pro_with_threshold
 from ..stats.report import (
     geomean,
@@ -23,7 +21,7 @@ from ..stats.report import (
     render_table,
 )
 from ..workloads import all_kernels, applications, kernels_of_app
-from .runner import PAPER_SCHEDULERS, ExperimentSetup
+from .runner import ExperimentSetup
 
 #: Baselines PRO is compared against throughout the evaluation.
 BASELINES = ("tl", "lrr", "gto")

@@ -1,0 +1,267 @@
+"""Parallel run-matrix execution: fan cells out to worker processes.
+
+The paper's evaluation is a 25-kernel x 4-scheduler matrix of mutually
+independent simulations — embarrassingly parallel work that the harness
+previously ran strictly sequentially. :func:`run_matrix_parallel` fans
+the missing cells of a matrix out to a ``concurrent.futures`` process
+pool and streams completed counters back into the parent's
+:class:`~repro.harness.runner.ResultCache`:
+
+* **Workers are pure.** Each worker process simulates one cell inside a
+  private throwaway cache (honouring the parent's
+  :class:`~repro.harness.runner.CellPolicy` retry/timeout budget) and
+  returns the flattened counters of
+  :func:`repro.robustness.checkpoint.result_to_json` — no shared state,
+  no ordering sensitivity, so parallel results are bit-identical to a
+  sequential sweep (asserted by ``tests/harness/test_parallel.py``).
+* **The parent is the single checkpoint writer.** Completed cells are
+  adopted into the parent cache (and its optional
+  :class:`~repro.robustness.checkpoint.CheckpointStore`) as they stream
+  in, so the on-disk checkpoint sees exactly one writer per file. (The
+  store itself also supports per-writer shard files for the rare case of
+  genuinely concurrent writer processes; see ``CheckpointStore(shard=)``.)
+* **Failures aggregate.** A failed cell is recorded as a
+  :class:`~repro.harness.runner.CellFailure` on the parent cache; under
+  ``keep_going`` the sweep continues and the cell's slot is ``None``,
+  otherwise the reconstructed :class:`~repro.errors.SimulationError`
+  propagates after in-flight cells are drained.
+
+Fault injection (``ResultCache.faults``) holds process-local mutable
+budgets that cannot be shared with workers; such caches transparently
+fall back to the sequential path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import errors as _errors
+from ..config import GPUConfig
+from ..errors import SimulationError
+from ..gpu.launch import RunResult
+from ..robustness.checkpoint import result_from_json, result_to_json
+from .runner import CellFailure, CellPolicy, ResultCache
+
+#: (kernel, scheduler) -> RunResult (or None for a failed cell under
+#: ``keep_going``).
+MatrixResults = Dict[Tuple[str, str], Optional[RunResult]]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Wall-clock accounting of one simulated cell (bench reporting)."""
+
+    kernel: str
+    scheduler: str
+    seconds: float
+    from_cache: bool
+
+
+def resolve_jobs(spec: object) -> int:
+    """Parse a ``--jobs`` value: a positive integer or ``"auto"``.
+
+    ``auto`` resolves to the machine's CPU count (at least 1). Raises
+    :class:`ValueError` with a usage-style message otherwise.
+    """
+    if spec is None:
+        return 1
+    if isinstance(spec, int):
+        jobs = spec
+    else:
+        text = str(spec).strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"jobs must be a positive integer or 'auto' (got {spec!r})"
+            ) from None
+    if jobs <= 0:
+        raise ValueError(f"jobs must be a positive integer (got {jobs})")
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+
+def _ensure_scheduler_registered(scheduler: str) -> None:
+    """Make dynamically-registered scheduler names resolvable in a fresh
+    worker process.
+
+    Static variants (``pro-nb``/``pro-nf``/``pro-norm``) register on
+    import; threshold variants (``pro-t<N>``) are registered lazily by
+    the parent and must be re-registered here.
+    """
+    from ..core import variants
+
+    if scheduler.startswith("pro-t"):
+        try:
+            variants.pro_with_threshold(int(scheduler[len("pro-t"):]))
+        except ValueError:
+            pass  # not a threshold variant; let the registry reject it
+
+
+def _worker_cell(
+    kernel: str,
+    scheduler: str,
+    config: GPUConfig,
+    scale: float,
+    policy: CellPolicy,
+) -> Tuple[str, str, Optional[dict], Optional[Tuple[str, str, int]], float]:
+    """Simulate one cell in a worker process.
+
+    Returns ``(kernel, scheduler, result_json | None,
+    (error_type, headline, attempts) | None, wall_seconds)``. Exceptions
+    never cross the process boundary as live objects — diagnostic reports
+    attached to simulation errors are not reliably picklable.
+    """
+    _ensure_scheduler_registered(scheduler)
+    cache = ResultCache(policy=policy)
+    t0 = time.perf_counter()
+    try:
+        result = cache.run(kernel, scheduler, config, scale)
+    except SimulationError as err:
+        attempts = (
+            cache.failures[-1].attempts if cache.failures
+            else policy.retries + 1
+        )
+        return (
+            kernel, scheduler, None,
+            (type(err).__name__, err.headline, attempts),
+            time.perf_counter() - t0,
+        )
+    return (
+        kernel, scheduler, result_to_json(result), None,
+        time.perf_counter() - t0,
+    )
+
+
+def _rebuild_error(error_type: str, headline: str) -> SimulationError:
+    """Reconstruct a worker-side simulation error in the parent.
+
+    The diagnostic report is lost at the process boundary; the error type
+    and headline survive, which is what the FAILURES section renders.
+    """
+    cls = getattr(_errors, error_type, SimulationError)
+    if not (isinstance(cls, type) and issubclass(cls, SimulationError)):
+        cls = SimulationError
+    return cls(headline)
+
+
+# ---------------------------------------------------------------------------
+# parent side
+
+
+def run_matrix_parallel(
+    cache: ResultCache,
+    cells: Sequence[Tuple[str, str]],
+    config: GPUConfig,
+    scale: float = 1.0,
+    *,
+    jobs: int = 1,
+    keep_going: bool = False,
+    outcomes: Optional[List[CellOutcome]] = None,
+) -> MatrixResults:
+    """Fill ``cache`` with every ``(kernel, scheduler)`` cell of a matrix.
+
+    Cells already answered by the cache's memo or checkpoint tiers are
+    never re-simulated; the rest fan out across ``jobs`` worker processes
+    (sequentially in-process when ``jobs == 1`` or fault injection is
+    armed). Completed counters stream back into the parent cache — and
+    its checkpoint, with the parent as the single writer — as they
+    finish, so an interrupted parallel sweep resumes exactly like a
+    sequential one.
+
+    Returns the per-cell results. A failed cell raises the reconstructed
+    error unless ``keep_going``, in which case it is recorded in
+    ``cache.failures`` and mapped to ``None``. ``outcomes``, when given,
+    receives one :class:`CellOutcome` per cell for bench reporting.
+    """
+    results: MatrixResults = {}
+    missing: List[Tuple[str, str]] = []
+    for kernel, scheduler in cells:
+        key = (kernel, scheduler)
+        if key in results:
+            continue
+        hit = cache.lookup(kernel, scheduler, config, scale)
+        results[key] = hit
+        if hit is None:
+            missing.append(key)
+        elif outcomes is not None:
+            outcomes.append(CellOutcome(kernel, scheduler, 0.0, True))
+
+    if not missing:
+        return results
+    if jobs <= 1 or cache.faults is not None:
+        # Fault plans hold process-local mutable budgets (consumed as
+        # faults fire) that cannot be mirrored across workers.
+        _run_sequential(cache, missing, config, scale,
+                        keep_going=keep_going, results=results,
+                        outcomes=outcomes)
+        return results
+
+    first_error: Optional[SimulationError] = None
+    with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
+        futures = [
+            pool.submit(_worker_cell, kernel, scheduler, config, scale,
+                        cache.policy)
+            for kernel, scheduler in missing
+        ]
+        for future in futures:
+            kernel, scheduler, payload, failure, seconds = future.result()
+            cache.runs_executed += 1
+            if outcomes is not None:
+                outcomes.append(
+                    CellOutcome(kernel, scheduler, seconds, False)
+                )
+            if failure is not None:
+                error_type, headline, attempts = failure
+                err = _rebuild_error(error_type, headline)
+                cache.failures.append(CellFailure(
+                    kernel=kernel, scheduler=scheduler, scale=scale,
+                    attempts=attempts, error=err,
+                ))
+                results[(kernel, scheduler)] = None
+                if first_error is None:
+                    first_error = err
+                continue
+            result = result_from_json(payload)
+            cache.adopt(kernel, scheduler, config, scale, result)
+            results[(kernel, scheduler)] = result
+    if first_error is not None and not keep_going:
+        raise first_error
+    return results
+
+
+def _run_sequential(
+    cache: ResultCache,
+    missing: Sequence[Tuple[str, str]],
+    config: GPUConfig,
+    scale: float,
+    *,
+    keep_going: bool,
+    results: MatrixResults,
+    outcomes: Optional[List[CellOutcome]],
+) -> None:
+    """In-process fallback with the same keep-going semantics."""
+    for kernel, scheduler in missing:
+        t0 = time.perf_counter()
+        try:
+            result: Optional[RunResult] = cache.run(
+                kernel, scheduler, config, scale
+            )
+        except SimulationError:
+            if not keep_going:
+                raise
+            result = None
+        results[(kernel, scheduler)] = result
+        if outcomes is not None:
+            outcomes.append(CellOutcome(
+                kernel, scheduler, time.perf_counter() - t0, False
+            ))

@@ -89,12 +89,42 @@ class ExperimentSetup:
     #: Workload grid-size multiplier (1.0 = the models' scaled defaults).
     scale: float = 1.0
     cache: "ResultCache" = field(default_factory=lambda: ResultCache())
+    #: Worker processes for matrix prewarming (1 = fully sequential).
+    jobs: int = 1
 
     def run(self, kernel: str | KernelModel, scheduler: str,
             **kwargs) -> RunResult:
         """Run (or fetch from cache) one kernel under one scheduler."""
         return self.cache.run(kernel, scheduler, self.config, self.scale,
                               **kwargs)
+
+    def prewarm(
+        self,
+        kernels: Optional[List[str]] = None,
+        schedulers: Tuple[str, ...] = PAPER_SCHEDULERS,
+        *,
+        keep_going: bool = False,
+    ):
+        """Populate the cache with a (kernels x schedulers) matrix using
+        ``self.jobs`` worker processes.
+
+        Experiments then answer every plain cell from the memo. Defaults
+        to the full paper matrix. Returns the per-cell results dict of
+        :func:`repro.harness.parallel.run_matrix_parallel`.
+        """
+        # Local import: parallel imports this module.
+        from ..workloads import all_kernels
+        from .parallel import run_matrix_parallel
+
+        names = (
+            kernels if kernels is not None
+            else [m.name for m in all_kernels()]
+        )
+        cells = [(k, s) for k in names for s in schedulers]
+        return run_matrix_parallel(
+            self.cache, cells, self.config, self.scale,
+            jobs=self.jobs, keep_going=keep_going,
+        )
 
 
 class ResultCache:
@@ -158,6 +188,52 @@ class ResultCache:
         if plain and self.checkpoint is not None:
             self.checkpoint.put(ckey, model.name, scheduler, scale, result)
         return result
+
+    def lookup(
+        self,
+        kernel: str | KernelModel,
+        scheduler: str,
+        config: GPUConfig,
+        scale: float = 1.0,
+    ) -> Optional[RunResult]:
+        """Answer a plain cell from the memo or checkpoint tiers only.
+
+        Never simulates. Used by the parallel executor to decide which
+        cells actually need a worker.
+        """
+        model = kernel if isinstance(kernel, KernelModel) else get_kernel(kernel)
+        ckey = cell_key(model.name, scheduler, config, scale)
+        key = (ckey, False, False, 0)
+        hit = self._results.get(key)
+        if hit is not None:
+            return hit
+        if self.checkpoint is not None:
+            cached = self.checkpoint.get(ckey)
+            if cached is not None:
+                self.checkpoint_hits += 1
+                self._results[key] = cached
+                return cached
+        return None
+
+    def adopt(
+        self,
+        kernel: str | KernelModel,
+        scheduler: str,
+        config: GPUConfig,
+        scale: float,
+        result: RunResult,
+    ) -> None:
+        """Insert an externally simulated plain result (a parallel
+        worker's counters) into the memo and checkpoint tiers.
+
+        The adopting process is the only checkpoint writer, keeping the
+        on-disk file single-writer even under ``--jobs N``.
+        """
+        model = kernel if isinstance(kernel, KernelModel) else get_kernel(kernel)
+        ckey = cell_key(model.name, scheduler, config, scale)
+        self._results[(ckey, False, False, 0)] = result
+        if self.checkpoint is not None:
+            self.checkpoint.put(ckey, model.name, scheduler, scale, result)
 
     # ------------------------------------------------------------------
     def _simulate(

@@ -104,30 +104,59 @@ def result_from_json(data: dict) -> RunResult:
 
 
 class CheckpointStore:
-    """Append-only JSONL store of completed run-matrix cells."""
+    """Append-only JSONL store of completed run-matrix cells.
+
+    Concurrency: each store instance appends to exactly one file — the
+    default ``cells.jsonl``, or ``cells-<shard>.jsonl`` when a ``shard``
+    name is given — so multiple *writer* processes sharing a checkpoint
+    directory stay safe by each taking a distinct shard. Every store
+    *reads* the union of all ``cells*.jsonl`` files in the directory, so
+    a resuming parent sees the cells of every past writer. (The parallel
+    executor does not need shards: its workers return counters to the
+    parent, which is the single writer.)
+    """
 
     FILENAME = "cells.jsonl"
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(self, directory: str | os.PathLike,
+                 shard: Optional[str] = None) -> None:
+        if shard is not None and not shard.replace("-", "").isalnum():
+            raise ValueError(
+                f"shard must be alphanumeric (with dashes), got {shard!r}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self.path = self.directory / self.FILENAME
+        self.shard = shard
+        self.path = self.directory / (
+            self.FILENAME if shard is None else f"cells-{shard}.jsonl"
+        )
         self._cells: Dict[str, dict] = {}
         #: Unparseable lines skipped on load (a crash mid-append leaves at
-        #: most one).
+        #: most one per writer file).
         self.corrupt_lines = 0
         # A torn final line also lacks its newline; the next append must
         # start a fresh line or it merges into (and corrupts) the new
-        # record too.
+        # record too. Only this store's own file is ever appended to.
         self._at_line_start = True
         self._load()
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with open(self.path, "r", encoding="utf-8") as f:
-            text = f.read()
-        self._at_line_start = not text or text.endswith("\n")
+        # Union of every writer's file; this store's own file is parsed
+        # last so its records win ties (last write wins within a file
+        # already).
+        others = sorted(
+            p for p in self.directory.glob("cells*.jsonl") if p != self.path
+        )
+        for path in others + [self.path]:
+            if not path.exists():
+                continue
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+            if path == self.path:
+                self._at_line_start = not text or text.endswith("\n")
+            self._parse(text)
+
+    def _parse(self, text: str) -> None:
         for line in text.splitlines():
             line = line.strip()
             if not line:

@@ -37,6 +37,17 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Sentinel "never": an SM with nothing to do sleeps here until woken.
 NEVER = 1 << 62
 
+# Hoisted enum members: repeated class-attribute loads are measurable in
+# the issue scan, which runs once per warp per cycle.
+_EU_NONE = ExecUnit.NONE
+_OP_LDG = Opcode.LDG
+_OP_STG = Opcode.STG
+_OP_LDS = Opcode.LDS
+_OP_STS = Opcode.STS
+_OP_BRA = Opcode.BRA
+_OP_BAR = Opcode.BAR
+_OP_EXIT = Opcode.EXIT
+
 # Issue attempt outcomes (bit flags for aggregation; ISSUED is exclusive).
 _ST_NONE = 0  # warp not schedulable (barrier/finished) -> Idle contribution
 _ST_SB = 1  # valid instruction, operands not ready -> Scoreboard
@@ -186,30 +197,69 @@ class StreamingMultiprocessor:
 
         Updates ``sleep_until`` to the next cycle at which stepping this SM
         can have any effect.
+
+        The issue-attempt checks of :meth:`_try_issue` are inlined into the
+        scan loop below (same checks, same order): the scan visits roughly
+        ten warps per issued instruction, so per-attempt function-call and
+        attribute-lookup overhead dominates the simulator's hot path.
         """
         # 0. Credit the stall period that just ended (if any).
         if self._stall_kind is not None:
             self.counters.add_stall(self._stall_kind, cycle - self._stall_since)
             self._stall_kind = None
 
-        # 1. Retire writeback / memory-completion events due by now.
+        # 1. Retire writeback / memory-completion events due by now
+        #    (batched: one guarded loop with hoisted heappop).
         events = self._events
-        while events and events[0][0] <= cycle:
-            _, _, warp, reg = heapq.heappop(events)
-            warp.scoreboard.release(reg)
+        if events and events[0][0] <= cycle:
+            pop = heapq.heappop
+            while events and events[0][0] <= cycle:
+                _, _, warp, reg = pop(events)
+                warp.scoreboard.release(reg)
 
         # 2. Each scheduler issues at most one warp instruction.
         issued = 0
         agg = _ST_NONE
-        self._min_refetch = NEVER
+        min_refetch = NEVER
+        units = self.units
+        free_at = units._free_at
+        mshr = self.memory.mshr[self.sm_id]
         for sched in self.schedulers:
             for warp in sched.order(cycle):
-                st = self._try_issue(warp, cycle)
-                if st == _ST_ISSUED:
-                    issued += 1
-                    sched.note_issued(warp, cycle)
-                    break
-                agg |= st
+                # -- inlined _try_issue (keep both in sync) --
+                if warp.finished or warp.at_barrier:
+                    continue  # _ST_NONE
+                nvc = warp.next_valid_cycle
+                if cycle < nvc:
+                    if nvc < min_refetch:
+                        min_refetch = nvc
+                    continue  # _ST_NONE
+                instr = warp.instructions[warp.pc]
+                pending = warp.scoreboard._pending
+                if pending:
+                    dst = instr.dst
+                    if (dst is not None and dst in pending) or not (
+                        pending.isdisjoint(instr.srcs)
+                    ):
+                        agg |= _ST_SB
+                        continue
+                unit = instr.unit
+                if unit is not _EU_NONE:
+                    for t in free_at[unit]:
+                        if t <= cycle:
+                            break
+                    else:
+                        agg |= _ST_PIPE
+                        continue
+                if instr.op is _OP_LDG and mshr.is_full(cycle):
+                    # MSHR reservation would fail; hardware replays the load.
+                    agg |= _ST_PIPE
+                    continue
+                self._do_issue(warp, instr, cycle)
+                issued += 1
+                sched.note_issued(warp, cycle)
+                break
+        self._min_refetch = min_refetch
 
         # 3. Accounting + sleep computation.
         if issued:
@@ -232,14 +282,14 @@ class StreamingMultiprocessor:
             else StallKind.IDLE
         )
         wake = events[0][0] if events else NEVER
-        port_free = self.units.next_free(cycle)
+        port_free = units.next_free(cycle)
         if port_free is not None and port_free < wake:
             wake = port_free
-        if self._min_refetch < wake:
-            wake = self._min_refetch
+        if min_refetch < wake:
+            wake = min_refetch
         if kind == StallKind.PIPELINE:
             # A load blocked on a full MSHR unwedges at the next retirement.
-            ret = self.memory.mshr[self.sm_id].next_retirement()
+            ret = mshr.next_retirement()
             if ret is not None and cycle < ret < wake:
                 wake = ret
         if wake >= NEVER:
@@ -265,7 +315,12 @@ class StreamingMultiprocessor:
     # -- issue path ----------------------------------------------------------
 
     def _try_issue(self, warp: Warp, cycle: int) -> int:
-        """Attempt to issue ``warp``'s next instruction; returns a status."""
+        """Attempt to issue ``warp``'s next instruction; returns a status.
+
+        Reference implementation of one issue attempt. :meth:`step` inlines
+        these exact checks (in this order) on its hot path — any change
+        here must be mirrored there.
+        """
         if warp.finished or warp.at_barrier:
             return _ST_NONE
         if cycle < warp.next_valid_cycle:
@@ -290,6 +345,8 @@ class StreamingMultiprocessor:
         active = warp.active_threads(pc)
         op = instr.op
         counters = self.counters
+        units = self.units
+        dst = instr.dst
 
         if self.trace is not None:
             self.trace.record(cycle, self.sm_id, warp.tb.tb_index,
@@ -302,7 +359,7 @@ class StreamingMultiprocessor:
         counters.last_issue_cycle = cycle
 
         # Execution-port occupancy + destination-register lifetime.
-        if op is Opcode.LDG or op is Opcode.STG:
+        if op is _OP_LDG or op is _OP_STG:
             it = warp.next_mem_iteration(pc)
             ctx = AccessContext(
                 tb_index=warp.tb.tb_index,
@@ -312,15 +369,15 @@ class StreamingMultiprocessor:
             )
             lines = instr.pattern.lines(ctx)
             n_txn = len(lines) if lines else 1
-            self.units.occupy(
-                ExecUnit.LSU, cycle, self.units.initiation_interval(ExecUnit.LSU, n_txn)
+            units.occupy(
+                ExecUnit.LSU, cycle, units.initiation_interval(ExecUnit.LSU, n_txn)
             )
             counters.mem_transactions += n_txn
             result = self.memory.access(
-                self.sm_id, lines, cycle, is_write=(op is Opcode.STG)
+                self.sm_id, lines, cycle, is_write=(op is _OP_STG)
             )
-            if instr.dst is not None:
-                warp.scoreboard.reserve(instr.dst)
+            if dst is not None:
+                warp.scoreboard.reserve(dst)
                 if self.faults is not None and self.faults.should_swallow_fill(
                     self.sm_id, warp, cycle
                 ):
@@ -328,38 +385,37 @@ class StreamingMultiprocessor:
                 else:
                     heapq.heappush(
                         self._events,
-                        (result.completion, next(self._event_seq), warp,
-                         instr.dst),
+                        (result.completion, next(self._event_seq), warp, dst),
                     )
-        elif op is Opcode.LDS or op is Opcode.STS:
-            self.units.occupy(ExecUnit.LSU, cycle, instr.conflict_ways)
-            if instr.dst is not None:
-                warp.scoreboard.reserve(instr.dst)
+        elif op is _OP_LDS or op is _OP_STS:
+            units.occupy(ExecUnit.LSU, cycle, instr.conflict_ways)
+            if dst is not None:
+                warp.scoreboard.reserve(dst)
                 heapq.heappush(
                     self._events,
-                    (cycle + instr.latency, next(self._event_seq), warp, instr.dst),
+                    (cycle + instr.latency, next(self._event_seq), warp, dst),
                 )
-        elif instr.unit is not ExecUnit.NONE:
-            self.units.occupy(
-                instr.unit, cycle, self.units.initiation_interval(instr.unit)
+        elif instr.unit is not _EU_NONE:
+            units.occupy(
+                instr.unit, cycle, units.initiation_interval(instr.unit)
             )
-            if instr.dst is not None:
-                warp.scoreboard.reserve(instr.dst)
+            if dst is not None:
+                warp.scoreboard.reserve(dst)
                 heapq.heappush(
                     self._events,
-                    (cycle + instr.latency, next(self._event_seq), warp, instr.dst),
+                    (cycle + instr.latency, next(self._event_seq), warp, dst),
                 )
 
         # Control flow.
-        if op is Opcode.BRA:
+        if op is _OP_BRA:
             warp.pc = instr.target if warp.branch_take(pc) else pc + 1
             # No speculation on GPUs: the i-buffer refills after the branch
             # resolves, leaving the warp without a valid instruction.
             warp.next_valid_cycle = cycle + self.cfg.latency.branch_bubble
-        elif op is Opcode.BAR:
+        elif op is _OP_BAR:
             warp.pc = pc + 1
             self._warp_reached_barrier(warp, cycle)
-        elif op is Opcode.EXIT:
+        elif op is _OP_EXIT:
             self._warp_finished(warp, cycle)
         else:
             warp.pc = pc + 1

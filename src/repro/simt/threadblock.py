@@ -9,7 +9,7 @@ held until *all* warps finish — the paper's "SM residency" effect.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..config import WARP_SIZE
 from ..isa.program import Program

@@ -7,7 +7,7 @@ kernels), MonteCarlo (2 kernels), scalarProd.
 from __future__ import annotations
 
 from ..isa.builder import ProgramBuilder
-from ..isa.patterns import Coalesced, Random, Strided
+from ..isa.patterns import Coalesced, Strided
 from .base import (
     KernelModel,
     divergent_active,

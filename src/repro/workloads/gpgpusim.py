@@ -9,7 +9,7 @@ grid size to resident capacity on the 4-SM experiment configuration.
 from __future__ import annotations
 
 from ..isa.builder import ProgramBuilder
-from ..isa.patterns import Broadcast, Chase, Coalesced, Random, Strided
+from ..isa.patterns import Broadcast, Coalesced, Random, Strided
 from .base import (
     KernelModel,
     divergent_active,

@@ -6,7 +6,7 @@ backprop (2 kernels), b+tree (2 kernels), hotspot, pathfinder.
 from __future__ import annotations
 
 from ..isa.builder import ProgramBuilder
-from ..isa.patterns import Chase, Coalesced, Random, Strided
+from ..isa.patterns import Chase, Coalesced, Strided
 from .base import (
     KernelModel,
     divergent_active,

@@ -123,3 +123,36 @@ class TestSpeedupHelper:
         r = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4))
         s = r.summary()
         assert "tiny" in s and "pro" in s and str(r.cycles) in s
+
+
+class TestMainLoopVariants:
+    """The adaptive run loop (linear scan below HEAP_MIN_SMS, wake-heap
+    above) must be an invisible implementation detail: both variants
+    produce bit-identical counters on the same launch."""
+
+    @pytest.mark.parametrize("scheduler", ["lrr", "gto", "pro"])
+    def test_scan_and_heap_bit_identical(self, monkeypatch, scheduler):
+        from dataclasses import asdict
+
+        import repro.gpu.gpu as gpumod
+        from repro.workloads import get_kernel
+
+        launch_args = ("cenergy", 0.1)
+
+        def run_once():
+            model = get_kernel(launch_args[0])
+            gpu = Gpu(GPUConfig.scaled(4), scheduler)
+            return gpu.run(model.build_launch(launch_args[1]))
+
+        monkeypatch.setattr(gpumod, "HEAP_MIN_SMS", 999)  # force scan
+        scan = run_once()
+        monkeypatch.setattr(gpumod, "HEAP_MIN_SMS", 0)  # force heap
+        heap = run_once()
+
+        assert scan.cycles == heap.cycles
+        assert asdict(scan.counters) == asdict(heap.counters)
+
+    def test_default_threshold_picks_heap_for_large_gpus(self):
+        import repro.gpu.gpu as gpumod
+
+        assert 1 < gpumod.HEAP_MIN_SMS <= 16

@@ -1,0 +1,115 @@
+"""Tests for the ``pro-sim bench`` throughput harness."""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    BenchReport,
+    CellTiming,
+    SMOKE_KERNELS,
+    SMOKE_SCHEDULERS,
+    run_bench,
+)
+from repro.harness.cli import main
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def smoke_report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "bench.json"
+        return run_bench(jobs=2, smoke=True, out_path=str(out))
+
+    def test_micro_phase_covers_every_cell(self, smoke_report):
+        have = {(c.kernel, c.scheduler) for c in smoke_report.micro}
+        want = {(k, s) for k in SMOKE_KERNELS for s in SMOKE_SCHEDULERS}
+        assert have == want
+        for cell in smoke_report.micro:
+            assert cell.cycles > 0
+            assert cell.instructions > 0
+            assert cell.wall_seconds > 0
+
+    def test_aggregates(self, smoke_report):
+        assert smoke_report.total_cycles == sum(
+            c.cycles for c in smoke_report.micro
+        )
+        assert smoke_report.cycles_per_sec > 0
+        assert smoke_report.instr_per_sec > 0
+        assert smoke_report.matrix_seconds_serial > 0
+        assert smoke_report.matrix_seconds_parallel > 0
+        assert smoke_report.parallel_speedup > 0
+
+    def test_json_written_and_valid(self, smoke_report):
+        assert smoke_report.json_path is not None
+        data = json.loads(open(smoke_report.json_path).read())
+        assert data["schema"] == 1
+        assert data["smoke"] is True
+        assert data["jobs"] == 2
+        assert len(data["micro"]) == len(smoke_report.micro)
+        assert data["totals"]["cycles"] == smoke_report.total_cycles
+        assert data["matrix"]["parallel_speedup"] == pytest.approx(
+            smoke_report.parallel_speedup
+        )
+
+    def test_render_reports_speedup(self, smoke_report):
+        text = smoke_report.render()
+        assert "Cycles/s" in text
+        assert "parallel speedup" in text
+        assert "bench JSON" in text
+
+    def test_default_filename_is_timestamped(self, tmp_path):
+        report = run_bench(smoke=True, out_dir=str(tmp_path))
+        produced = list(tmp_path.glob("BENCH_*.json"))
+        assert len(produced) == 1
+        assert report.json_path == str(produced[0])
+
+
+class TestRenderFootnote:
+    def _report(self, jobs, par, ser):
+        report = BenchReport(sms=2, scale=0.15, jobs=jobs, smoke=True)
+        report.micro.append(
+            CellTiming("scalarProdGPU", "lrr", 100, 50, 0.01)
+        )
+        report.matrix_seconds_parallel = par
+        report.matrix_seconds_serial = ser
+        return report
+
+    def test_low_speedup_footnote(self):
+        text = self._report(jobs=4, par=1.0, ser=1.0).render()
+        assert "too few CPU" in text
+
+    def test_no_footnote_when_scaling(self):
+        text = self._report(jobs=4, par=1.0, ser=2.0).render()
+        assert "too few CPU" not in text
+
+
+class TestCli:
+    def test_bench_smoke(self, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        code = main(["bench", "--smoke", "--jobs", "2",
+                     "--bench-out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "parallel speedup" in capsys.readouterr().out
+
+    def test_jobs_auto_accepted(self, tmp_path):
+        out = tmp_path / "b.json"
+        assert main(["bench", "--smoke", "--jobs", "auto",
+                     "--bench-out", str(out)]) == 0
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "nope", "1.5"])
+    def test_jobs_validation(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig4", "--jobs", bad])
+        assert exc.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_smoke_outside_bench_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--smoke"])
+        assert "--smoke" in capsys.readouterr().err
+
+    def test_bench_out_outside_bench_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--bench-out", "x.json"])
+        assert "--bench-out" in capsys.readouterr().err

@@ -1,0 +1,204 @@
+"""Tests for the parallel run-matrix executor.
+
+The load-bearing property is *bit-identical equivalence*: a parallel
+sweep must produce exactly the counters a sequential sweep produces,
+cell for cell, and leave the same checkpoint behind.
+"""
+
+import json
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import DeadlockError, SimulationError
+from repro.harness.parallel import (
+    CellOutcome,
+    resolve_jobs,
+    run_matrix_parallel,
+)
+from repro.harness.runner import CellPolicy, ExperimentSetup, ResultCache
+from repro.robustness.checkpoint import CheckpointStore, result_to_json
+from repro.robustness.faults import FaultPlan
+
+#: Small fast matrix: every scheduler family, two contrasting kernels.
+CONFIG = GPUConfig.scaled(2)
+SCALE = 0.1
+CELLS = [
+    (k, s)
+    for k in ("scalarProdGPU", "cenergy")
+    for s in ("lrr", "gto", "pro")
+]
+
+
+def _flatten(results):
+    return {k: result_to_json(v) for k, v in results.items() if v is not None}
+
+
+class TestResolveJobs:
+    def test_int_and_str(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("5") == 5
+        assert resolve_jobs(None) == 1
+
+    def test_auto_is_positive(self):
+        assert resolve_jobs("auto") >= 1
+        assert resolve_jobs("AUTO") >= 1
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "nope", "1.5", ""])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            resolve_jobs(bad)
+
+
+class TestEquivalence:
+    def test_parallel_matches_sequential_bit_for_bit(self):
+        seq = run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE,
+                                  jobs=1)
+        par = run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE,
+                                  jobs=2)
+        assert _flatten(seq) == _flatten(par)
+        # Same stall breakdowns per cell, not just the same cycles.
+        for key in CELLS:
+            assert (seq[key].counters.stall_breakdown()
+                    == par[key].counters.stall_breakdown())
+
+    def test_results_land_in_cache_memo(self):
+        cache = ResultCache()
+        par = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2)
+        assert cache.runs_executed == len(CELLS)
+        for kernel, sched in CELLS:
+            hit = cache.lookup(kernel, sched, CONFIG, SCALE)
+            assert hit is not None
+            assert result_to_json(hit) == result_to_json(par[(kernel, sched)])
+        # A second sweep is answered entirely from the memo.
+        before = cache.runs_executed
+        run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2)
+        assert cache.runs_executed == before
+
+    def test_parallel_checkpoint_matches_sequential(self, tmp_path):
+        caches = {}
+        for label, jobs in (("seq", 1), ("par", 2)):
+            store = CheckpointStore(tmp_path / label)
+            caches[label] = ResultCache(checkpoint=store)
+            run_matrix_parallel(caches[label], CELLS, CONFIG, SCALE,
+                                jobs=jobs)
+
+        def cells_on_disk(directory):
+            out = {}
+            for line in (directory / "cells.jsonl").read_text().splitlines():
+                record = json.loads(line)
+                out[record["key"]] = record["result"]
+            return out
+
+        assert cells_on_disk(tmp_path / "seq") == cells_on_disk(tmp_path / "par")
+
+    def test_checkpoint_hits_skip_workers(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store)
+        run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2)
+        resumed = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        run_matrix_parallel(resumed, CELLS, CONFIG, SCALE, jobs=2)
+        assert resumed.runs_executed == 0
+        assert resumed.checkpoint_hits == len(CELLS)
+
+    def test_outcomes_record_every_cell(self):
+        outcomes = []
+        run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE, jobs=2,
+                            outcomes=outcomes)
+        assert sorted((o.kernel, o.scheduler) for o in outcomes) == sorted(CELLS)
+        assert all(isinstance(o, CellOutcome) and not o.from_cache
+                   for o in outcomes)
+
+
+class TestFailures:
+    def test_worker_failure_raises_without_keep_going(self):
+        # An instantly-expired wall-clock budget makes every worker cell
+        # fail with CellTimeoutError (a SimulationError).
+        cache = ResultCache(policy=CellPolicy(cell_timeout=1e-9))
+        with pytest.raises(SimulationError):
+            run_matrix_parallel(cache, CELLS[:2], CONFIG, SCALE, jobs=2)
+        assert cache.failures  # recorded before raising
+
+    def test_keep_going_aggregates_worker_failures(self):
+        cache = ResultCache(policy=CellPolicy(cell_timeout=1e-9))
+        results = run_matrix_parallel(cache, CELLS[:2], CONFIG, SCALE,
+                                      jobs=2, keep_going=True)
+        assert all(v is None for v in results.values())
+        assert len(cache.failures) == 2
+        for failure in cache.failures:
+            assert isinstance(failure.error, SimulationError)
+            assert failure.attempts == 1
+
+    def test_retries_counted_in_worker_failures(self):
+        cache = ResultCache(
+            policy=CellPolicy(retries=1, cell_timeout=1e-9)
+        )
+        run_matrix_parallel(cache, CELLS[:1], CONFIG, SCALE, jobs=2,
+                            keep_going=True)
+        assert cache.failures[0].attempts == 2
+
+    def test_fault_plans_fall_back_to_sequential(self):
+        # Fault budgets are process-local mutable state: the executor
+        # must not fork them to workers. A poisoned cell still fails
+        # (via the in-process path) and healthy cells still complete.
+        plan = FaultPlan().fail_cell("cenergy", "lrr", times=99)
+        cache = ResultCache(faults=plan)
+        results = run_matrix_parallel(
+            cache, [("cenergy", "lrr"), ("scalarProdGPU", "pro")],
+            CONFIG, SCALE, jobs=4, keep_going=True,
+        )
+        assert results[("cenergy", "lrr")] is None
+        assert results[("scalarProdGPU", "pro")] is not None
+        assert len(cache.failures) == 1
+        assert cache.failures[0].kernel == "cenergy"
+
+
+class TestConcurrentCheckpointShards:
+    def test_two_shard_writers_one_reader(self, tmp_path):
+        """Two writer processes each append to their own shard; a fresh
+        parent store sees the union."""
+        a = CheckpointStore(tmp_path, shard="w1")
+        b = CheckpointStore(tmp_path, shard="w2")
+        cache_a = ResultCache(checkpoint=a)
+        cache_b = ResultCache(checkpoint=b)
+        cache_a.run("scalarProdGPU", "lrr", CONFIG, SCALE)
+        cache_b.run("cenergy", "pro", CONFIG, SCALE)
+        assert a.path != b.path
+        assert a.path.name == "cells-w1.jsonl"
+
+        parent = CheckpointStore(tmp_path)
+        assert len(parent) == 2
+        resumed = ResultCache(checkpoint=parent)
+        resumed.run("scalarProdGPU", "lrr", CONFIG, SCALE)
+        resumed.run("cenergy", "pro", CONFIG, SCALE)
+        assert resumed.runs_executed == 0
+        assert resumed.checkpoint_hits == 2
+
+    def test_shard_sees_other_shards_on_load(self, tmp_path):
+        a = CheckpointStore(tmp_path, shard="w1")
+        ResultCache(checkpoint=a).run("scalarProdGPU", "lrr", CONFIG, SCALE)
+        late = CheckpointStore(tmp_path, shard="w2")
+        assert len(late) == 1
+
+    def test_bad_shard_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, shard="../evil")
+
+
+class TestExperimentSetupPrewarm:
+    def test_prewarm_fills_cache(self):
+        setup = ExperimentSetup(config=CONFIG, scale=SCALE, jobs=2)
+        results = setup.prewarm(kernels=["scalarProdGPU", "cenergy"],
+                                schedulers=("lrr", "pro"))
+        assert len(results) == 4
+        assert setup.cache.lookup("cenergy", "pro", CONFIG, SCALE) is not None
+        # The experiment-facing path answers from the memo now.
+        before = setup.cache.runs_executed
+        setup.run("cenergy", "pro")
+        assert setup.cache.runs_executed == before
+
+    def test_policy_travels_to_workers(self):
+        cache = ResultCache(policy=CellPolicy(retries=0, cell_timeout=60.0))
+        results = run_matrix_parallel(cache, CELLS[:2], CONFIG, SCALE,
+                                      jobs=2)
+        assert all(v is not None for v in results.values())
