@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Debug scheduler decisions with the IssueTrace recorder.
+"""Debug scheduler decisions with the IssueTrace probe.
 
-Attaches an IssueTrace to LRR and PRO runs of the same kernel and shows:
+Attaches an IssueTrace to LRR and PRO runs of the same kernel (via the
+``probes=`` list of :func:`repro.simulate`) and shows:
   * the opcode mix the SM actually issued,
   * per-warp issue gaps (where a warp's time went),
   * how differently the two schedulers distribute early issue slots
@@ -11,7 +12,8 @@ Attaches an IssueTrace to LRR and PRO runs of the same kernel and shows:
 
 from collections import Counter
 
-from repro import Gpu, GPUConfig, IssueTrace
+import repro
+from repro import GPUConfig, IssueTrace
 from repro.workloads import get_kernel
 
 
@@ -29,7 +31,7 @@ def main() -> None:
     traces = {}
     for sched in ("lrr", "pro"):
         trace = IssueTrace(limit=5000, sm_id=0)
-        Gpu(cfg, sched).run(model.build_launch(0.5), trace=trace)
+        repro.simulate(model, sched, cfg=cfg, probes=[trace], scale=0.5)
         traces[sched] = trace
 
     print("Opcode histogram (SM 0, first 5000 issues, PRO):")

@@ -2,8 +2,10 @@
 """Quickstart: simulate one kernel under every scheduler and compare.
 
 Runs the paper's headline kernel (scalarProdGPU) on a 4-SM GPU under
-LRR, TL, GTO and PRO, printing cycles, IPC and the stall breakdown —
-the minimal end-to-end tour of the public API.
+LRR, TL, GTO and PRO via :func:`repro.simulate` — the one-call entry
+point — printing cycles, IPC and the stall breakdown, then attaches a
+:class:`repro.obs.MetricsSampler` probe to the PRO run to show windowed
+IPC over time.
 
 Usage::
 
@@ -12,8 +14,8 @@ Usage::
 
 import sys
 
-from repro import Gpu, GPUConfig
-from repro.core import available_schedulers
+import repro
+from repro.obs import MetricsSampler
 from repro.workloads import all_kernels, get_kernel
 
 
@@ -25,10 +27,10 @@ def main() -> None:
           f"{model.model_tbs} TBs")
     print(f"  {model.notes}\n")
 
-    cfg = GPUConfig.scaled(4)
+    cfg = repro.GPUConfig.scaled(4)
     results = {}
     for sched in ("lrr", "tl", "gto", "pro"):
-        results[sched] = Gpu(cfg, scheduler=sched).run(model.build_launch())
+        results[sched] = repro.simulate(model, sched, cfg=cfg)
 
     print(f"{'scheduler':<10} {'cycles':>9} {'IPC':>6} "
           f"{'idle':>9} {'scoreboard':>11} {'pipeline':>9}")
@@ -43,7 +45,19 @@ def main() -> None:
         f"vs {s}: {results[s].cycles / pro.cycles:.3f}x"
         for s in ("lrr", "tl", "gto")
     ))
-    print(f"\n(all registered schedulers: {available_schedulers()})")
+
+    # Re-run PRO with a metrics probe: windowed IPC shows execution phases
+    # (ramp-up, steady state, tail) that the aggregate number hides.
+    sampler = MetricsSampler(window=1000)
+    repro.simulate(model, "pro", cfg=cfg, probes=[sampler])
+    series = sampler.ipc_series(sm_id=0)
+    print("\nPRO windowed IPC on SM 0 (one '#' per 0.05 IPC):")
+    for start, ipc in series[:20]:
+        print(f"  [{start:>7d}) {'#' * int(ipc / 0.05):<20s} {ipc:.2f}")
+    if len(series) > 20:
+        print(f"  ... {len(series) - 20} more windows")
+
+    print(f"\n(all registered schedulers: {repro.available_schedulers()})")
     print(f"(all kernels: {[m.name for m in all_kernels()]})")
 
 

@@ -7,17 +7,23 @@ every table and figure of the evaluation (see DESIGN.md / EXPERIMENTS.md).
 
 Quickstart::
 
-    from repro import Gpu, GPUConfig, KernelLaunch
-    from repro.workloads import get_kernel
+    import repro
+    from repro.obs import MetricsSampler
 
-    model = get_kernel("scalarProdGPU")
-    launch = model.build_launch(scale=1.0)
-    result = Gpu(GPUConfig.scaled(), scheduler="pro").run(launch)
+    sampler = MetricsSampler()
+    result = repro.simulate("scalarProdGPU", "pro", probes=[sampler])
     print(result.summary())
+
+:func:`simulate` is the one-call entry point; :mod:`repro.obs` is the
+observability layer (probes, windowed metrics, JSONL/CSV/Perfetto export).
+The underlying :class:`Gpu` / :class:`KernelLaunch` objects remain public
+for callers that need more control.
 """
 
+from .api import simulate
 from .config import GPUConfig, LatencyConfig, MemoryConfig, LINE_SIZE, WARP_SIZE
 from .core import available_schedulers
+from .core.scheduler import WarpScheduler, register_scheduler
 from .errors import (
     ConfigError,
     LaunchError,
@@ -37,6 +43,7 @@ from .isa import (
     Random,
     Strided,
 )
+from .obs import ChromeTraceProbe, MetricsSampler, Probe, ProbeBus
 from .simt.occupancy import max_resident_tbs, occupancy_report
 from .stats import IssueTrace, SortTraceRecorder, TimelineRecorder
 
@@ -45,6 +52,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Broadcast",
     "Chase",
+    "ChromeTraceProbe",
     "Coalesced",
     "ConfigError",
     "GPUConfig",
@@ -55,6 +63,9 @@ __all__ = [
     "LatencyConfig",
     "LaunchError",
     "MemoryConfig",
+    "MetricsSampler",
+    "Probe",
+    "ProbeBus",
     "Program",
     "ProgramBuilder",
     "ProgramError",
@@ -67,9 +78,12 @@ __all__ = [
     "Strided",
     "TimelineRecorder",
     "WARP_SIZE",
+    "WarpScheduler",
     "WorkloadError",
     "available_schedulers",
     "max_resident_tbs",
     "occupancy_report",
+    "register_scheduler",
+    "simulate",
     "__version__",
 ]

@@ -1,0 +1,105 @@
+"""Top-level convenience API: one call from kernel name to RunResult.
+
+:func:`simulate` is the recommended entry point for scripts, notebooks and
+examples — it hides the ``KernelModel -> KernelLaunch -> Gpu.run`` plumbing
+behind a single call and is where observability probes attach::
+
+    import repro
+    from repro.obs import MetricsSampler
+
+    sampler = MetricsSampler(window=500)
+    result = repro.simulate("scalarProdGPU", "pro", probes=[sampler])
+    print(result.summary())
+    sampler.write_csv("metrics.csv")
+
+Power users who need to reuse a :class:`~repro.gpu.gpu.Gpu` across launches
+or build custom :class:`~repro.isa.program.Program` objects can keep using
+the underlying classes directly; ``simulate`` is sugar, not a new layer of
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .config import GPUConfig
+from .errors import WorkloadError
+from .gpu.gpu import Gpu
+from .gpu.launch import KernelLaunch, RunResult
+from .isa.program import Program
+from .workloads import get_kernel
+from .workloads.base import KernelModel
+
+
+def simulate(
+    kernel: Union[str, KernelModel, KernelLaunch, Program],
+    scheduler: str = "pro",
+    *,
+    cfg: Optional[GPUConfig] = None,
+    probes: Sequence[object] = (),
+    scale: float = 1.0,
+    num_tbs: Optional[int] = None,
+    deadline: Optional[int] = None,
+) -> RunResult:
+    """Simulate one kernel under one warp scheduler.
+
+    Parameters
+    ----------
+    kernel:
+        What to run. A workload name (``"scalarProdGPU"`` — see
+        :func:`repro.workloads.get_kernel`), a :class:`KernelModel`, a
+        ready :class:`KernelLaunch`, or a raw :class:`Program` (requires
+        ``num_tbs``).
+    scheduler:
+        Registry name: ``"lrr"``, ``"tl"``, ``"gto"``, ``"pro"``, or any
+        name registered via :func:`repro.core.scheduler.register_scheduler`.
+    cfg:
+        GPU configuration; defaults to ``GPUConfig.scaled()`` (the scaled
+        model used throughout the reproduction).
+    probes:
+        Observability probes (see :mod:`repro.obs`) attached for this run
+        only. Pass e.g. ``[MetricsSampler(), ChromeTraceProbe()]``.
+    scale:
+        Grid-size scale factor forwarded to
+        :meth:`KernelModel.build_launch` (ignored when ``kernel`` is
+        already a launch or program).
+    num_tbs:
+        Grid size when ``kernel`` is a raw :class:`Program`.
+    deadline:
+        Optional max simulated cycles (watchdog), forwarded to
+        :meth:`Gpu.run`.
+
+    Returns
+    -------
+    RunResult
+        With ``result.probes`` holding the attached probes.
+    """
+    if cfg is None:
+        cfg = GPUConfig.scaled()
+    launch = _as_launch(kernel, scale=scale, num_tbs=num_tbs)
+    gpu = Gpu(cfg, scheduler)
+    return gpu.run(launch, probes=probes, deadline=deadline)
+
+
+def _as_launch(
+    kernel: Union[str, KernelModel, KernelLaunch, Program],
+    *,
+    scale: float,
+    num_tbs: Optional[int],
+) -> KernelLaunch:
+    if isinstance(kernel, KernelLaunch):
+        return kernel
+    if isinstance(kernel, Program):
+        if num_tbs is None:
+            raise WorkloadError(
+                "simulate(Program, ...) requires num_tbs= (grid size)"
+            )
+        return KernelLaunch(program=kernel, num_tbs=num_tbs)
+    if isinstance(kernel, str):
+        kernel = get_kernel(kernel)
+    if isinstance(kernel, KernelModel):
+        return kernel.build_launch(scale=scale)
+    raise WorkloadError(
+        f"cannot build a launch from {type(kernel).__name__!r}; pass a "
+        "kernel name, KernelModel, KernelLaunch, or Program"
+    )

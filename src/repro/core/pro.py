@@ -150,8 +150,6 @@ class ProManager:
         self.barrier_wait: List[_TbRecord] = []
         self.no_wait: List[_TbRecord] = []
         self.finish_no_wait: List[_TbRecord] = []
-        #: Optional SortTraceRecorder (Table IV); set by the harness.
-        self.sort_trace = None
 
     # -- phase -----------------------------------------------------------
 
@@ -211,10 +209,12 @@ class ProManager:
         descending = self.fast_phase and rem is self.no_wait
         for rec in rem:
             rec.sort_warps(descending=descending)
-        if self.sort_trace is not None:
-            self.sort_trace.record(
-                self.sm.sm_id, cycle, [r.tb.tb_index for r in self._priority_records()]
-            )
+        bus = self.sm.bus
+        if bus is not None and bus.resort_subs:
+            # Building the order list is itself O(TBs); skip it unless a
+            # probe actually listens for resort events.
+            bus.resort(self.sm.sm_id, cycle,
+                       [r.tb.tb_index for r in self._priority_records()])
 
     # -- listener callbacks (SM events) ---------------------------------------
 

@@ -92,11 +92,40 @@ _REGISTRY: Dict[str, Callable[["StreamingMultiprocessor", GPUConfig], List[WarpS
 
 def register_scheduler(
     name: str,
-    factory: Callable[["StreamingMultiprocessor", GPUConfig], List[WarpScheduler]],
-) -> None:
-    """Register a scheduler factory under ``name`` (overwrites allowed for
-    user experimentation, but the built-in names are claimed at import)."""
-    _REGISTRY[name] = factory
+    factory: Callable[["StreamingMultiprocessor", GPUConfig], List[WarpScheduler]] = None,
+):
+    """Register a scheduler factory under ``name``.
+
+    Two spellings (overwrites allowed for user experimentation, but the
+    built-in names are claimed at import):
+
+    Direct call with a factory::
+
+        register_scheduler("pro", make_pro_factory())
+
+    Decorator on a :class:`WarpScheduler` subclass (wrapped in
+    :func:`simple_factory`) or on a factory function::
+
+        @register_scheduler("mine")
+        class MyScheduler(WarpScheduler):
+            def order(self, cycle):
+                ...
+
+    The decorator returns the decorated object unchanged, so the class
+    stays importable under its own name.
+    """
+    if factory is not None:
+        _REGISTRY[name] = factory
+        return factory
+
+    def decorate(obj):
+        if isinstance(obj, type) and issubclass(obj, WarpScheduler):
+            _REGISTRY[name] = simple_factory(obj)
+        else:
+            _REGISTRY[name] = obj
+        return obj
+
+    return decorate
 
 
 def simple_factory(cls) -> Callable:

@@ -29,12 +29,14 @@ simulates each kernel independently).
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+import warnings
+from typing import List, Optional, Sequence
 
 from ..config import GPUConfig
 from ..core.scheduler import build_schedulers
 from ..errors import DeadlockError, SimulationHang
 from ..memory.subsystem import MemorySubsystem
+from ..obs.bus import ProbeBus
 from ..robustness.diagnostics import snapshot_gpu
 from ..robustness.watchdog import ProgressWatchdog
 from ..simt.occupancy import max_resident_tbs
@@ -51,6 +53,14 @@ from .tb_scheduler import ThreadBlockScheduler
 #: faster than they can maintain a heap; the paper's 14-SM Table I config
 #: and anything wider benefits from O(log n) wake-ups.
 HEAP_MIN_SMS = 8
+
+
+def _first_of(probes: Sequence[object], cls: type):
+    """First probe of the given recorder type (fills RunResult shortcuts)."""
+    for p in probes:
+        if isinstance(p, cls):
+            return p
+    return None
 
 
 class Gpu:
@@ -93,6 +103,7 @@ class Gpu:
         self,
         launch: KernelLaunch,
         *,
+        probes: Sequence[object] = (),
         timeline: Optional[TimelineRecorder] = None,
         sort_trace: Optional[SortTraceRecorder] = None,
         trace: Optional["IssueTrace"] = None,
@@ -100,9 +111,17 @@ class Gpu:
     ) -> RunResult:
         """Simulate one kernel launch to completion.
 
-        ``timeline`` / ``sort_trace`` / ``trace`` are optional recorders
-        (Fig. 2 data, Table IV data, per-issue debugging respectively);
-        untraced runs pay nothing for them.
+        ``probes`` is the single instrumentation entry point: any objects
+        implementing (a subset of) the :class:`repro.obs.Probe` protocol —
+        recorders such as :class:`~repro.stats.timeline.TimelineRecorder`,
+        a :class:`~repro.obs.MetricsSampler`, exporters, or your own. They
+        are attached to a :class:`~repro.obs.ProbeBus` for exactly this
+        run and detached afterwards; untraced runs pay nothing (every
+        emit site is guarded by one ``bus is None`` check).
+
+        ``timeline`` / ``sort_trace`` / ``trace`` are **deprecated**
+        aliases that forward the given recorder to ``probes``; they emit
+        a :class:`DeprecationWarning` and will be removed.
 
         ``deadline`` is an absolute ``time.monotonic()`` wall-clock budget
         (the harness's ``--cell-timeout``); exceeding it raises
@@ -111,45 +130,71 @@ class Gpu:
         :class:`~repro.errors.DeadlockError`, both carrying a
         :class:`~repro.robustness.diagnostics.DeadlockReport` snapshot.
         """
+        probe_list = list(probes)
+        for name, recorder in (("timeline", timeline),
+                               ("sort_trace", sort_trace),
+                               ("trace", trace)):
+            if recorder is not None:
+                warnings.warn(
+                    f"Gpu.run({name}=...) is deprecated; pass the recorder "
+                    "in the probes= list instead "
+                    f"(Gpu.run(probes=[{type(recorder).__name__}(...)]))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                probe_list.append(recorder)
+        bus = ProbeBus(probe_list) if probe_list else None
+
         cfg = self.cfg
         program = launch.program
         program.finalize(cfg.latency)
         # Raises LaunchError if a single TB cannot fit.
         max_resident_tbs(program, cfg)
 
-        self._reset_for_launch(timeline, sort_trace)
-        if trace is not None:
-            for sm in self.sms:
-                sm.trace = trace
-        tbs = [ThreadBlock(i, program) for i in range(launch.num_tbs)]
-        self.tb_scheduler = ThreadBlockScheduler(tbs)
-        self.tb_scheduler.initial_fill(self.sms, cycle=0)
+        self._reset_for_launch(bus)
+        try:
+            tbs = [ThreadBlock(i, program) for i in range(launch.num_tbs)]
+            self.tb_scheduler = ThreadBlockScheduler(tbs)
+            if bus is not None:
+                bus.run_start(self, launch)
+            self.tb_scheduler.initial_fill(self.sms, cycle=0)
 
-        sms = self.sms
-        max_cycles = cfg.max_cycles
-        if self.faults is not None:
-            max_cycles = self.faults.effective_max_cycles(max_cycles)
-        watchdog = ProgressWatchdog(self, window=cfg.watchdog_window,
-                                    deadline=deadline)
-        if len(sms) >= HEAP_MIN_SMS:
-            cycle = self._run_loop_heap(sms, max_cycles, watchdog)
-        else:
-            cycle = self._run_loop_scan(sms, max_cycles, watchdog)
-        # Cycles are 0-indexed step instants; the elapsed duration includes
-        # the final instant, so every SM's accounting sums exactly to it.
-        duration = cycle + 1
-        self._cycle = duration
+            sms = self.sms
+            max_cycles = cfg.max_cycles
+            if self.faults is not None:
+                max_cycles = self.faults.effective_max_cycles(max_cycles)
+            watchdog = ProgressWatchdog(self, window=cfg.watchdog_window,
+                                        deadline=deadline)
+            if len(sms) >= HEAP_MIN_SMS:
+                cycle = self._run_loop_heap(sms, max_cycles, watchdog)
+            else:
+                cycle = self._run_loop_scan(sms, max_cycles, watchdog)
+            # Cycles are 0-indexed step instants; the elapsed duration
+            # includes the final instant, so every SM's accounting sums
+            # exactly to it.
+            duration = cycle + 1
+            self._cycle = duration
 
-        counters = self._collect_counters(duration)
-        return RunResult(
-            kernel_name=program.name,
-            scheduler=self.scheduler_name,
-            num_tbs=launch.num_tbs,
-            cycles=duration,
-            counters=counters,
-            timeline=timeline,
-            sort_trace=sort_trace,
-        )
+            counters = self._collect_counters(duration)
+            result = RunResult(
+                kernel_name=program.name,
+                scheduler=self.scheduler_name,
+                num_tbs=launch.num_tbs,
+                cycles=duration,
+                counters=counters,
+                timeline=_first_of(probe_list, TimelineRecorder),
+                sort_trace=_first_of(probe_list, SortTraceRecorder),
+                probes=tuple(probe_list),
+            )
+            if bus is not None:
+                bus.run_end(result)
+            return result
+        finally:
+            # Detach unconditionally so a reused Gpu (or one abandoned
+            # mid-exception) never leaks this run's probes into the next
+            # launch — the regression tests run launches back-to-back.
+            if bus is not None:
+                self._detach_probes()
 
     # ------------------------------------------------------------------
     def _run_loop_scan(
@@ -259,25 +304,28 @@ class Gpu:
         )
 
     # ------------------------------------------------------------------
-    def _reset_for_launch(
-        self,
-        timeline: Optional[TimelineRecorder],
-        sort_trace: Optional[SortTraceRecorder],
-    ) -> None:
+    def _reset_for_launch(self, bus: Optional[ProbeBus]) -> None:
         cfg = self.cfg
         self.memory.reset()
+        # The bus is (re)assigned unconditionally — including to None —
+        # so probes from an earlier launch can never leak into this one.
+        self.memory.bus = bus
+        self.memory.dram.bus = bus
         self.sms = [
             StreamingMultiprocessor(i, cfg, self.memory, gpu=self)
             for i in range(cfg.num_sms)
         ]
         for sm in self.sms:
             sm.attach_schedulers(build_schedulers(self.scheduler_name, sm, cfg))
-            sm.timeline = timeline
+            sm.bus = bus
             sm.faults = self.faults
-            if sort_trace is not None:
-                for listener in sm.listeners:
-                    if hasattr(listener, "sort_trace"):
-                        listener.sort_trace = sort_trace
+
+    def _detach_probes(self) -> None:
+        """Drop every component's bus reference (end of a probed run)."""
+        self.memory.bus = None
+        self.memory.dram.bus = None
+        for sm in self.sms:
+            sm.bus = None
 
     def _collect_counters(self, cycle: int) -> GpuCounters:
         for sm in self.sms:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..errors import LaunchError
 from ..isa.program import Program
@@ -40,8 +40,12 @@ class RunResult:
     #: Total simulation cycles (the paper's performance metric).
     cycles: int
     counters: GpuCounters
+    #: First TimelineRecorder / SortTraceRecorder among the run's probes
+    #: (convenience shortcuts; also filled by the deprecated kwargs).
     timeline: Optional[TimelineRecorder] = None
     sort_trace: Optional[SortTraceRecorder] = None
+    #: Every probe that observed this run, in attachment order.
+    probes: Tuple[object, ...] = ()
 
     @property
     def ipc(self) -> float:

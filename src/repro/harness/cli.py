@@ -7,6 +7,10 @@ Examples::
     pro-sim all --out results.txt  # every artifact, sharing runs
     pro-sim fig4 --json fig4.json  # machine-readable export
     pro-sim run scalarProdGPU --scheduler pro  # one simulation
+    pro-sim trace cenergy --metrics-out m.jsonl --trace-out t.json
+                                   # instrumented run: windowed metrics +
+                                   # a Perfetto-loadable trace (--smoke
+                                   # for the quick CI variant)
 
 Long / paper-faithful sweeps get the resilient path, and multi-core
 machines the parallel one::
@@ -96,13 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "run", "bench"],
+        choices=sorted(EXPERIMENTS) + ["all", "run", "bench", "trace"],
         help="which artifact to regenerate ('all' = every one; 'run' = a "
              "single kernel simulation; 'bench' = simulator throughput "
-             "measurement)",
+             "measurement; 'trace' = one instrumented run exporting "
+             "windowed metrics + a Perfetto-loadable trace)",
     )
     p.add_argument("kernel", nargs="?", default=None,
-                   help="kernel name (only for 'run')")
+                   help="kernel name (for 'run' and 'trace'; 'trace' "
+                        "defaults to scalarProdGPU)")
     p.add_argument("--sms", type=int, default=4,
                    help="number of SMs (default 4; 14 = paper Table I)")
     p.add_argument("--scale", type=float, default=1.0,
@@ -139,11 +145,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "integer or 'auto' (= CPU count; default 1 = "
                         "sequential). Results are bit-identical either way")
     p.add_argument("--smoke", action="store_true",
-                   help="for 'bench': the quick CI variant (fewer, smaller "
-                        "cells)")
+                   help="for 'bench'/'trace': the quick CI variant (fewer, "
+                        "smaller cells; 'trace' drops to 2 SMs at scale "
+                        "0.25)")
     p.add_argument("--bench-out", default=None, metavar="PATH",
                    help="for 'bench': write the machine-readable JSON to "
                         "PATH instead of ./BENCH_<timestamp>.json")
+    p.add_argument("--metrics-out", default="metrics.jsonl", metavar="PATH",
+                   help="for 'trace': windowed per-SM metrics stream "
+                        "(.csv extension switches to CSV; default "
+                        "metrics.jsonl)")
+    p.add_argument("--trace-out", default="trace.json", metavar="PATH",
+                   help="for 'trace': Chrome trace-event JSON, loadable at "
+                        "https://ui.perfetto.dev (default trace.json)")
+    p.add_argument("--window", type=int, default=500, metavar="CYCLES",
+                   help="for 'trace': metrics window width in cycles "
+                        "(default 500)")
     return p
 
 
@@ -164,8 +181,10 @@ def _validate_args(parser: argparse.ArgumentParser,
         args.jobs = resolve_jobs(args.jobs)
     except ValueError as err:
         parser.error(f"--{err}")
-    if args.smoke and args.experiment != "bench":
-        parser.error("--smoke only applies to 'bench'")
+    if args.smoke and args.experiment not in ("bench", "trace"):
+        parser.error("--smoke only applies to 'bench' and 'trace'")
+    if args.window <= 0:
+        parser.error(f"--window must be positive (got {args.window})")
     if args.bench_out and args.experiment != "bench":
         parser.error("--bench-out only applies to 'bench'")
     if args.json_out and args.experiment == "all":
@@ -236,6 +255,41 @@ def _prewarm_matrix(setup: ExperimentSetup, args: argparse.Namespace) -> None:
     setup.prewarm(schedulers=schedulers, keep_going=args.keep_going)
 
 
+def _run_trace(cache: ResultCache, args: argparse.Namespace) -> List[str]:
+    """One instrumented run: metrics JSONL/CSV + Perfetto trace JSON."""
+    from ..obs import ChromeTraceProbe, MetricsSampler
+
+    kernel = args.kernel or "scalarProdGPU"
+    if args.smoke:
+        # Quick CI variant; write back so the report footer tells the truth.
+        args.sms, args.scale = 2, 0.25
+    cfg = GPUConfig.scaled(args.sms)
+    scale = args.scale
+    sampler = MetricsSampler(window=args.window)
+    chrome = ChromeTraceProbe()
+    result = cache.run(get_kernel(kernel), args.scheduler, cfg, scale,
+                       probes=(sampler, chrome))
+    chrome.write(args.trace_out)
+    if args.metrics_out.endswith(".csv"):
+        sampler.write_csv(args.metrics_out)
+    else:
+        sampler.write_jsonl(args.metrics_out)
+    totals = sampler.stall_totals()
+    c = result.counters
+    return [
+        result.summary(),
+        f"windows sampled: {len(sampler.rows())} "
+        f"(width {args.window} cycles)",
+        f"trace events: {len(chrome.events)} -> {args.trace_out} "
+        "(open at https://ui.perfetto.dev)",
+        f"metrics stream -> {args.metrics_out}",
+        "stall cycles (windowed == counters): "
+        f"idle {totals['idle']}=={c.stall_idle} "
+        f"scoreboard {totals['scoreboard']}=={c.stall_scoreboard} "
+        f"pipeline {totals['pipeline']}=={c.stall_pipeline}",
+    ]
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -259,6 +313,8 @@ def main(argv: Optional[list] = None) -> int:
             chunks.append(report.render())
             if args.json_out:
                 _dump_json(args.json_out, report.to_json())
+        elif args.experiment == "trace":
+            chunks.extend(_run_trace(cache, args))
         elif args.experiment == "run":
             if not args.kernel:
                 print("error: 'run' requires a kernel name", file=sys.stderr)

@@ -131,7 +131,9 @@ class ResultCache:
     """Memoizes RunResults keyed by (kernel, scheduler, config, scale).
 
     Runs requesting recorders (timeline / sort trace) are cached under a
-    distinct key so plain runs never pay recording overhead. Recorder
+    distinct key so plain runs never pay recording overhead, and runs
+    carrying caller-supplied ``probes`` (see :mod:`repro.obs`) bypass the
+    cache entirely — the probes must observe a real simulation. Recorder
     runs are memory-only; plain runs additionally hit the optional disk
     ``checkpoint`` tier (read before simulating, write after), keyed by
     the same content hash :func:`repro.robustness.checkpoint.cell_key`
@@ -168,8 +170,16 @@ class ResultCache:
         with_timeline: bool = False,
         with_sort_trace: bool = False,
         trace_sm: int = 0,
+        probes: Tuple = (),
     ) -> RunResult:
         model = kernel if isinstance(kernel, KernelModel) else get_kernel(kernel)
+        if probes:
+            # Probe-carrying runs bypass both cache tiers: the caller's
+            # probe objects must observe an actual simulation, and a
+            # memoized result would leave them silently empty.
+            return self._simulate(model, scheduler, config, scale,
+                                  with_timeline, with_sort_trace, trace_sm,
+                                  probes)
         ckey = cell_key(model.name, scheduler, config, scale)
         key = (ckey, with_timeline, with_sort_trace, trace_sm)
         hit = self._results.get(key)
@@ -245,6 +255,7 @@ class ResultCache:
         with_timeline: bool,
         with_sort_trace: bool,
         trace_sm: int,
+        probes: Tuple = (),
     ) -> RunResult:
         """One cell through the retry/timeout policy; raises after the
         last failed attempt (with the failure recorded)."""
@@ -255,11 +266,11 @@ class ResultCache:
             try:
                 if self.faults is not None:
                     self.faults.check_cell(model.name, scheduler)
-                timeline = TimelineRecorder() if with_timeline else None
-                sort_trace = (
-                    SortTraceRecorder(sm_id=trace_sm)
-                    if with_sort_trace else None
-                )
+                probe_list = list(probes)
+                if with_timeline:
+                    probe_list.append(TimelineRecorder())
+                if with_sort_trace:
+                    probe_list.append(SortTraceRecorder(sm_id=trace_sm))
                 gpu = Gpu(config, scheduler=scheduler)
                 if self.faults is not None:
                     gpu.install_faults(self.faults)
@@ -270,8 +281,7 @@ class ResultCache:
                 self.runs_executed += 1
                 return gpu.run(
                     model.build_launch(scale),
-                    timeline=timeline,
-                    sort_trace=sort_trace,
+                    probes=probe_list,
                     deadline=deadline,
                 )
             except SimulationError as err:

@@ -71,6 +71,7 @@ class Dram:
         "_bank_free",
         "_bus_free",
         "stats",
+        "bus",
     )
 
     def __init__(self, mem: MemoryConfig, lat: LatencyConfig) -> None:
@@ -88,6 +89,8 @@ class Dram:
         self._bank_free = [0] * n
         self._bus_free = [0] * self.channels
         self.stats = DramStats()
+        #: Optional repro.obs.ProbeBus, attached by the GPU per run.
+        self.bus = None
 
     # ------------------------------------------------------------------
     def service(self, line_addr: int, arrive: int, is_write: bool = False) -> int:
@@ -116,11 +119,16 @@ class Dram:
             stats.row_hits += 1
             ready = start + self.row_hit_lat
             occupancy = self.hit_occupancy
+            row_hit = True
         else:
             stats.row_misses += 1
             self._open_row[bank] = bank_row
             ready = start + self.row_miss_lat
             occupancy = self.miss_occupancy
+            row_hit = False
+        if self.bus is not None:
+            self.bus.dram_access(channel, bank_in_ch, row_hit, is_write,
+                                 start)
         # Data transfer serializes on the channel bus.
         bus_free = self._bus_free[channel]
         xfer = ready if ready > bus_free else bus_free

@@ -36,10 +36,12 @@ class MemorySubsystem:
 
     __slots__ = ("cfg", "l1", "mshr", "l2_banks", "_l2_port_free",
                  "l2_port_cycles", "l2_tag_cycles", "dram",
-                 "_l2_bank_count", "_line_shift")
+                 "_l2_bank_count", "_line_shift", "bus")
 
     def __init__(self, cfg: GPUConfig) -> None:
         self.cfg = cfg
+        #: Optional repro.obs.ProbeBus, attached by the GPU per run.
+        self.bus = None
         mem = cfg.memory
         self.l1: List[Cache] = [
             Cache(
@@ -94,6 +96,7 @@ class MemorySubsystem:
         lat = self.cfg.latency
         l1 = self.l1[sm_id]
         mshr = self.mshr[sm_id]
+        bus = self.bus
         worst = cycle
         l1_hits = 0
         for line in lines:
@@ -103,10 +106,15 @@ class MemorySubsystem:
                 # merges and completes with the original miss.
                 merged = mshr.lookup(line, cycle)
                 if merged is not None:
+                    if bus is not None:
+                        bus.mshr_merge(sm_id, line, cycle)
                     if merged > worst:
                         worst = merged
                     continue
-            if l1.access(line, is_write):
+            hit = l1.access(line, is_write)
+            if bus is not None:
+                bus.l1_access(sm_id, line, hit, is_write, cycle)
+            if hit:
                 # L1 hit: fixed load-to-use latency. (Write hits also update
                 # the line and then write through below.)
                 done = cycle + lat.l1_hit
@@ -138,7 +146,10 @@ class MemorySubsystem:
         port_free = self._l2_port_free[bank_idx]
         start = arrive if arrive > port_free else port_free
         self._l2_port_free[bank_idx] = start + self.l2_port_cycles
-        if self.l2_banks[bank_idx].access(line, is_write):
+        hit = self.l2_banks[bank_idx].access(line, is_write)
+        if self.bus is not None:
+            self.bus.l2_access(bank_idx, line, hit, is_write, start)
+        if hit:
             return start + lat.l2_hit
         if is_write:
             # Write-allocate at L2; the DRAM write drains in the background

@@ -1,0 +1,32 @@
+"""repro.obs — unified observability: probes, event bus, metrics, exporters.
+
+The one instrumentation story for the simulator (see
+docs/observability.md):
+
+* :class:`Probe` — the typed hook protocol third-party probes implement;
+* :class:`ProbeBus` — dispatches simulator events to attached probes
+  (built automatically by ``Gpu.run(probes=[...])``);
+* :class:`MetricsSampler` — windowed per-SM IPC / occupancy / stall
+  breakdown, exportable to JSONL and CSV;
+* :class:`ChromeTraceProbe` — records a run as Chrome trace-event JSON,
+  loadable in Perfetto / ``chrome://tracing``;
+* the existing recorders (:class:`~repro.stats.timeline.TimelineRecorder`,
+  :class:`~repro.stats.timeline.SortTraceRecorder`,
+  :class:`~repro.stats.trace.IssueTrace`) are probes too — pass them in
+  the same ``probes=`` list.
+"""
+
+from .bus import EVENTS, Probe, ProbeBus
+from .export import ChromeTraceProbe, write_csv, write_jsonl
+from .metrics import MetricsSampler, MetricsWindow
+
+__all__ = [
+    "EVENTS",
+    "ChromeTraceProbe",
+    "MetricsSampler",
+    "MetricsWindow",
+    "Probe",
+    "ProbeBus",
+    "write_csv",
+    "write_jsonl",
+]

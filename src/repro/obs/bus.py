@@ -1,0 +1,212 @@
+"""ProbeBus — the simulator's unified instrumentation fabric.
+
+Every observable simulator event flows through one :class:`ProbeBus`
+attached for the duration of a single :meth:`Gpu.run`. Components (the
+SM issue loop, the memory hierarchy, DRAM, the PRO manager) each hold a
+``bus`` attribute that is ``None`` on untraced runs — a single identity
+check per emit site, so simulation with no probes pays nothing.
+
+A *probe* is any object implementing a subset of the :class:`Probe`
+protocol's ``on_*`` methods. At bus construction time each probe is
+inspected once: only the methods it actually defines (i.e. overrides,
+for :class:`Probe` subclasses) are subscribed, so a probe that only
+cares about issue events never sees memory traffic.
+
+Event taxonomy (cycle values are simulated cycles):
+
+===================  =======================================================
+hook                 fires when / arguments
+===================  =======================================================
+``on_run_start``     a kernel launch begins: ``(gpu, launch)``
+``on_run_end``       the launch completed: ``(result)`` (counters final)
+``on_issue``         a warp instruction issues: ``(cycle, sm_id, tb_index,
+                     warp_in_tb, pc, opcode, active)``
+``on_stall``         an SM closes a no-issue period: ``(sm_id, start, end,
+                     kind)`` — ``[start, end)`` span, ``kind`` a
+                     :class:`~repro.stats.counters.StallKind`. Spans are
+                     emitted exactly when the counters credit them, so a
+                     probe summing spans reproduces ``SmCounters`` totals
+                     bit-exactly.
+``on_l1_access``     one L1 line lookup: ``(sm_id, line, hit, is_write,
+                     cycle)``
+``on_mshr_merge``    a load merged into an in-flight miss: ``(sm_id, line,
+                     cycle)``
+``on_l2_access``     one L2-bank line lookup: ``(bank, line, hit, is_write,
+                     cycle)``
+``on_dram_access``   one DRAM transaction: ``(channel, bank, row_hit,
+                     is_write, cycle)`` — ``row_hit`` False = row
+                     precharge/activate (row conflict)
+``on_barrier_arrive``a warp reached a barrier: ``(sm_id, tb_index,
+                     warp_in_tb, cycle)``
+``on_barrier_release``all warps of a TB crossed it: ``(sm_id, tb_index,
+                     cycle)``
+``on_tb_start``      a TB was placed on an SM: ``(sm_id, tb_index, cycle)``
+``on_tb_finish``     a TB completed: ``(sm_id, tb_index, cycle)``
+``on_resort``        a scheduler re-sorted its TB priority order:
+                     ``(sm_id, cycle, order)`` — ``order`` is the TB-index
+                     list, highest priority first
+===================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+#: Every hook name of the probe protocol, in taxonomy order.
+EVENTS = (
+    "on_run_start",
+    "on_run_end",
+    "on_issue",
+    "on_stall",
+    "on_l1_access",
+    "on_mshr_merge",
+    "on_l2_access",
+    "on_dram_access",
+    "on_barrier_arrive",
+    "on_barrier_release",
+    "on_tb_start",
+    "on_tb_finish",
+    "on_resort",
+)
+
+
+class Probe:
+    """Typed no-op base class / protocol for bus subscribers.
+
+    Subclass and override the hooks you need — only overridden methods
+    are subscribed (the bus compares against these very definitions).
+    Plain duck-typed objects work too: any object defining some of the
+    ``on_*`` methods can be passed to ``Gpu.run(probes=[...])``.
+    """
+
+    # -- run lifecycle ---------------------------------------------------
+    def on_run_start(self, gpu, launch) -> None: ...
+    def on_run_end(self, result) -> None: ...
+
+    # -- SM issue loop ---------------------------------------------------
+    def on_issue(self, cycle: int, sm_id: int, tb_index: int,
+                 warp_in_tb: int, pc: int, opcode: str, active: int) -> None: ...
+    def on_stall(self, sm_id: int, start: int, end: int, kind) -> None: ...
+
+    # -- memory hierarchy ------------------------------------------------
+    def on_l1_access(self, sm_id: int, line: int, hit: bool,
+                     is_write: bool, cycle: int) -> None: ...
+    def on_mshr_merge(self, sm_id: int, line: int, cycle: int) -> None: ...
+    def on_l2_access(self, bank: int, line: int, hit: bool,
+                     is_write: bool, cycle: int) -> None: ...
+    def on_dram_access(self, channel: int, bank: int, row_hit: bool,
+                       is_write: bool, cycle: int) -> None: ...
+
+    # -- thread blocks / barriers ---------------------------------------
+    def on_barrier_arrive(self, sm_id: int, tb_index: int,
+                          warp_in_tb: int, cycle: int) -> None: ...
+    def on_barrier_release(self, sm_id: int, tb_index: int,
+                           cycle: int) -> None: ...
+    def on_tb_start(self, sm_id: int, tb_index: int, cycle: int) -> None: ...
+    def on_tb_finish(self, sm_id: int, tb_index: int, cycle: int) -> None: ...
+
+    # -- schedulers ------------------------------------------------------
+    def on_resort(self, sm_id: int, cycle: int,
+                  order: Sequence[int]) -> None: ...
+
+
+def _subscription(probe: object, name: str) -> Callable | None:
+    """The probe's bound hook for ``name``, or None if not subscribed.
+
+    A :class:`Probe` subclass subscribes only to the hooks it overrides;
+    a duck-typed object subscribes to every callable ``on_*`` it defines.
+    """
+    fn = getattr(type(probe), name, None)
+    if fn is None or fn is getattr(Probe, name, None):
+        return None
+    bound = getattr(probe, name)
+    return bound if callable(bound) else None
+
+
+class ProbeBus:
+    """Dispatches typed simulator events to the subscribed probes.
+
+    One bus serves exactly one :meth:`Gpu.run`; the GPU attaches it to
+    every component before the main loop and detaches it afterwards.
+    Emit methods loop over precomputed per-event subscriber lists, so an
+    event nobody listens to costs one empty-list iteration.
+    """
+
+    __slots__ = tuple(f"{name[3:]}_subs" for name in EVENTS) + ("probes",)
+
+    def __init__(self, probes: Sequence[object]) -> None:
+        self.probes: tuple = tuple(probes)
+        for name in EVENTS:
+            subs: List[Callable] = []
+            for p in self.probes:
+                fn = _subscription(p, name)
+                if fn is not None:
+                    subs.append(fn)
+            setattr(self, f"{name[3:]}_subs", subs)
+
+    # -- emit methods (one per event; names = hook names sans "on_") -----
+
+    def run_start(self, gpu, launch) -> None:
+        for fn in self.run_start_subs:
+            fn(gpu, launch)
+
+    def run_end(self, result) -> None:
+        for fn in self.run_end_subs:
+            fn(result)
+
+    def issue(self, cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+              active) -> None:
+        for fn in self.issue_subs:
+            fn(cycle, sm_id, tb_index, warp_in_tb, pc, opcode, active)
+
+    def stall(self, sm_id, start, end, kind) -> None:
+        for fn in self.stall_subs:
+            fn(sm_id, start, end, kind)
+
+    def l1_access(self, sm_id, line, hit, is_write, cycle) -> None:
+        for fn in self.l1_access_subs:
+            fn(sm_id, line, hit, is_write, cycle)
+
+    def mshr_merge(self, sm_id, line, cycle) -> None:
+        for fn in self.mshr_merge_subs:
+            fn(sm_id, line, cycle)
+
+    def l2_access(self, bank, line, hit, is_write, cycle) -> None:
+        for fn in self.l2_access_subs:
+            fn(bank, line, hit, is_write, cycle)
+
+    def dram_access(self, channel, bank, row_hit, is_write, cycle) -> None:
+        for fn in self.dram_access_subs:
+            fn(channel, bank, row_hit, is_write, cycle)
+
+    def barrier_arrive(self, sm_id, tb_index, warp_in_tb, cycle) -> None:
+        for fn in self.barrier_arrive_subs:
+            fn(sm_id, tb_index, warp_in_tb, cycle)
+
+    def barrier_release(self, sm_id, tb_index, cycle) -> None:
+        for fn in self.barrier_release_subs:
+            fn(sm_id, tb_index, cycle)
+
+    def tb_start(self, sm_id, tb_index, cycle) -> None:
+        for fn in self.tb_start_subs:
+            fn(sm_id, tb_index, cycle)
+
+    def tb_finish(self, sm_id, tb_index, cycle) -> None:
+        for fn in self.tb_finish_subs:
+            fn(sm_id, tb_index, cycle)
+
+    def resort(self, sm_id, cycle, order) -> None:
+        for fn in self.resort_subs:
+            fn(sm_id, cycle, order)
+
+    # -- introspection ---------------------------------------------------
+
+    def subscriptions(self) -> dict:
+        """Event name -> subscriber count (diagnostics / tests)."""
+        return {
+            name: len(getattr(self, f"{name[3:]}_subs")) for name in EVENTS
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = {k: v for k, v in self.subscriptions().items() if v}
+        return f"<ProbeBus {len(self.probes)} probe(s), {live}>"

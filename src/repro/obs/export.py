@@ -1,0 +1,189 @@
+"""Exporters: JSONL / CSV row streams and Chrome trace-event JSON.
+
+:func:`write_jsonl` and :func:`write_csv` serialize any iterable of flat
+dict rows (the :class:`~repro.obs.metrics.MetricsSampler` produces
+them). :class:`ChromeTraceProbe` records a run directly into the Chrome
+trace-event format, loadable in `Perfetto <https://ui.perfetto.dev>`_ or
+``chrome://tracing``:
+
+* each SM is a *process* (``pid`` = SM id, named "SM <i>");
+* thread 0 carries thread-block slices (one ``X`` slice per TB
+  residency interval, barrier releases as instant events);
+* thread 1 carries stall slices (idle / scoreboard / pipeline);
+* thread 2 carries scheduler re-sort instants;
+* an ``instructions`` counter track per SM plots windowed issue counts.
+
+Timestamps are simulated cycles written as microseconds (1 cycle = 1 us)
+— trace viewers require a time unit, and this keeps cycle numbers
+readable verbatim in the UI.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .bus import Probe
+
+#: Per-SM thread (track) ids in the exported trace.
+TID_TB = 0
+TID_STALL = 1
+TID_SCHED = 2
+
+_STALL_NAMES = ("idle", "scoreboard", "pipeline")
+
+
+def write_jsonl(rows: Iterable[dict], path) -> None:
+    """Write one JSON object per row, newline-delimited."""
+    with open(path, "w", encoding="utf-8") as f:
+        for row in rows:
+            f.write(json.dumps(row, sort_keys=False) + "\n")
+
+
+def write_csv(rows: Iterable[dict], path) -> None:
+    """Write rows as CSV; the header comes from the first row's keys."""
+    it = iter(rows)
+    try:
+        first = next(it)
+    except StopIteration:
+        Path(path).write_text("", encoding="utf-8")
+        return
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=list(first.keys()))
+        writer.writeheader()
+        writer.writerow(first)
+        for row in it:
+            writer.writerow(row)
+
+
+class ChromeTraceProbe(Probe):
+    """Records a run as Chrome trace events (Perfetto-loadable JSON).
+
+    Parameters
+    ----------
+    window:
+        Width in cycles of the ``instructions`` counter-track buckets.
+    """
+
+    def __init__(self, window: int = 500) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.events: List[dict] = []
+        self._tb_open: Dict[Tuple[int, int], int] = {}
+        self._issue_counts: Dict[Tuple[int, int], int] = {}
+        self._sms_seen: set = set()
+        self._meta: dict = {}
+
+    # -- bus hooks -------------------------------------------------------
+
+    def on_run_start(self, gpu, launch) -> None:
+        self._meta = {
+            "kernel": launch.program.name,
+            "scheduler": gpu.scheduler_name,
+            "num_tbs": launch.num_tbs,
+            "num_sms": gpu.cfg.num_sms,
+        }
+
+    def on_tb_start(self, sm_id, tb_index, cycle) -> None:
+        self._sms_seen.add(sm_id)
+        self._tb_open[(sm_id, tb_index)] = cycle
+
+    def on_tb_finish(self, sm_id, tb_index, cycle) -> None:
+        start = self._tb_open.pop((sm_id, tb_index), 0)
+        self.events.append({
+            "name": f"TB {tb_index}",
+            "cat": "tb",
+            "ph": "X",
+            "ts": start,
+            "dur": cycle - start,
+            "pid": sm_id,
+            "tid": TID_TB,
+        })
+
+    def on_stall(self, sm_id, start, end, kind) -> None:
+        self._sms_seen.add(sm_id)
+        self.events.append({
+            "name": _STALL_NAMES[int(kind)],
+            "cat": "stall",
+            "ph": "X",
+            "ts": start,
+            "dur": end - start,
+            "pid": sm_id,
+            "tid": TID_STALL,
+        })
+
+    def on_barrier_release(self, sm_id, tb_index, cycle) -> None:
+        self.events.append({
+            "name": f"barrier TB {tb_index}",
+            "cat": "barrier",
+            "ph": "i",
+            "s": "t",
+            "ts": cycle,
+            "pid": sm_id,
+            "tid": TID_TB,
+        })
+
+    def on_resort(self, sm_id, cycle, order) -> None:
+        self.events.append({
+            "name": "resort",
+            "cat": "scheduler",
+            "ph": "i",
+            "s": "t",
+            "ts": cycle,
+            "pid": sm_id,
+            "tid": TID_SCHED,
+            "args": {"order": list(order)},
+        })
+
+    def on_issue(self, cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+                 active) -> None:
+        key = (sm_id, cycle // self.window)
+        self._issue_counts[key] = self._issue_counts.get(key, 0) + 1
+
+    def on_run_end(self, result) -> None:
+        self._meta["cycles"] = result.cycles
+
+    # -- export ----------------------------------------------------------
+
+    def trace_events(self) -> List[dict]:
+        """The complete event list: metadata + slices + counters."""
+        out: List[dict] = []
+        for sm_id in sorted(self._sms_seen):
+            out.append({
+                "name": "process_name", "ph": "M", "pid": sm_id,
+                "args": {"name": f"SM {sm_id}"},
+            })
+            for tid, label in ((TID_TB, "thread blocks"),
+                               (TID_STALL, "stalls"),
+                               (TID_SCHED, "scheduler")):
+                out.append({
+                    "name": "thread_name", "ph": "M", "pid": sm_id,
+                    "tid": tid, "args": {"name": label},
+                })
+        out.extend(self.events)
+        for (sm_id, index), count in sorted(self._issue_counts.items()):
+            out.append({
+                "name": "instructions", "cat": "ipc", "ph": "C",
+                "ts": index * self.window, "pid": sm_id,
+                "args": {"instructions": count},
+            })
+        return out
+
+    def to_json(self) -> dict:
+        """The full trace document (``traceEvents`` + run metadata)."""
+        return {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+            "otherData": dict(self._meta),
+        }
+
+    def write(self, path) -> None:
+        """Write the trace JSON; open the file in Perfetto to view it."""
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_json(), f, indent=None, separators=(",", ":"))
+
+    def __len__(self) -> int:
+        return len(self.events)

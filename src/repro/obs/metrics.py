@@ -1,0 +1,247 @@
+"""MetricsSampler — windowed per-SM performance metrics as a probe.
+
+Attaching a :class:`MetricsSampler` to a run chops the simulated clock
+into fixed-width windows and accumulates, per (window, SM):
+
+* instructions issued and active cycles (windowed IPC / issue rate),
+* distinct warps that issued (a liveness/occupancy signal),
+* resident thread blocks (as of the window's last TB event),
+* the stall breakdown (idle / scoreboard / pipeline cycles).
+
+Stall spans arrive from the bus exactly when the SM counters credit
+them, and the sampler splits each span across window boundaries without
+losing a cycle — so per-window stall totals sum to the run's
+:class:`~repro.stats.counters.SmCounters` totals *bit-exactly* (the
+test suite asserts this). The one placement caveat: the post-run
+"accounting gap" (cycles an SM sat empty between busy periods, credited
+as Idle at finalization) is attributed to the tail of the run, where
+most of it genuinely lives.
+
+Example::
+
+    from repro import simulate
+    from repro.obs import MetricsSampler
+
+    sampler = MetricsSampler(window=500)
+    result = simulate("scalarProdGPU", "pro", probes=[sampler])
+    for row in sampler.rows():
+        print(row.start, row.sm_id, f"ipc={row.ipc:.2f}", row.stall_idle)
+    sampler.write_jsonl("metrics.jsonl")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..stats.counters import StallKind
+from .bus import Probe
+
+
+@dataclass
+class MetricsWindow:
+    """One (window, SM) row of sampled metrics."""
+
+    #: Window index (``start // window_size``).
+    index: int
+    #: Window bounds in cycles; ``end`` is exclusive and the final
+    #: window is clipped to the run length.
+    start: int
+    end: int
+    sm_id: int
+    instructions: int = 0
+    #: Cycles in this window with >= 1 issue on this SM.
+    active_cycles: int = 0
+    #: Distinct (tb, warp) pairs that issued in this window.
+    warps_issued: int = 0
+    #: Resident TBs as of the window's last TB assign/finish event
+    #: (-1 = no TB event fell in this window).
+    tbs_resident: int = -1
+    stall_idle: int = 0
+    stall_scoreboard: int = 0
+    stall_pipeline: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions per cycle over this window on this SM."""
+        n = self.cycles
+        return self.instructions / n if n else 0.0
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.stall_idle + self.stall_scoreboard + self.stall_pipeline
+
+    def to_dict(self) -> dict:
+        """Flat JSON-able row (stable key order for the exporters)."""
+        return {
+            "window": self.index,
+            "start": self.start,
+            "end": self.end,
+            "sm": self.sm_id,
+            "instructions": self.instructions,
+            "active_cycles": self.active_cycles,
+            "warps_issued": self.warps_issued,
+            "tbs_resident": self.tbs_resident,
+            "stall_idle": self.stall_idle,
+            "stall_scoreboard": self.stall_scoreboard,
+            "stall_pipeline": self.stall_pipeline,
+            "ipc": round(self.ipc, 6),
+        }
+
+
+class _Cell:
+    """Mutable per-(window, SM) accumulator."""
+
+    __slots__ = ("instructions", "active_cycles", "warps", "tbs_resident",
+                 "stalls")
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.active_cycles = 0
+        self.warps: Set[Tuple[int, int]] = set()
+        self.tbs_resident = -1
+        self.stalls = [0, 0, 0]  # indexed by StallKind value
+
+
+class MetricsSampler(Probe):
+    """Windowed per-SM IPC / occupancy / stall-breakdown probe.
+
+    Parameters
+    ----------
+    window:
+        Window width in cycles (default 500).
+    """
+
+    def __init__(self, window: int = 500) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._cells: Dict[Tuple[int, int], _Cell] = {}
+        self._last_issue: Dict[int, int] = {}
+        self._resident: Dict[int, int] = {}
+        #: Run length in cycles (set by on_run_end; clips the last window).
+        self.total_cycles = 0
+        #: The finished run's RunResult (set by on_run_end).
+        self.result = None
+
+    # -- bus hooks -------------------------------------------------------
+
+    def _cell(self, sm_id: int, index: int) -> _Cell:
+        key = (index, sm_id)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = _Cell()
+        return cell
+
+    def on_issue(self, cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+                 active) -> None:
+        cell = self._cell(sm_id, cycle // self.window)
+        cell.instructions += 1
+        cell.warps.add((tb_index, warp_in_tb))
+        # Two schedulers can issue in the same cycle; count the cycle once.
+        if self._last_issue.get(sm_id) != cycle:
+            self._last_issue[sm_id] = cycle
+            cell.active_cycles += 1
+
+    def on_stall(self, sm_id, start, end, kind) -> None:
+        # Split the span across window boundaries, exactly.
+        w = self.window
+        k = int(kind)
+        index = start // w
+        while start < end:
+            bound = (index + 1) * w
+            span_end = end if end < bound else bound
+            self._cell(sm_id, index).stalls[k] += span_end - start
+            start = span_end
+            index += 1
+
+    def on_tb_start(self, sm_id, tb_index, cycle) -> None:
+        n = self._resident.get(sm_id, 0) + 1
+        self._resident[sm_id] = n
+        self._cell(sm_id, cycle // self.window).tbs_resident = n
+
+    def on_tb_finish(self, sm_id, tb_index, cycle) -> None:
+        n = self._resident.get(sm_id, 0) - 1
+        self._resident[sm_id] = n
+        self._cell(sm_id, cycle // self.window).tbs_resident = n
+
+    def on_run_end(self, result) -> None:
+        self.total_cycles = result.cycles
+        self.result = result
+
+    # -- queries ---------------------------------------------------------
+
+    def rows(self) -> List[MetricsWindow]:
+        """All sampled windows, sorted by (window index, SM id).
+
+        Windows in which nothing happened on an SM are omitted (the
+        stream is sparse by construction).
+        """
+        w = self.window
+        total = self.total_cycles
+        out: List[MetricsWindow] = []
+        for (index, sm_id), cell in sorted(self._cells.items()):
+            end = (index + 1) * w
+            if total and end > total:
+                end = total
+            out.append(MetricsWindow(
+                index=index,
+                start=index * w,
+                end=end,
+                sm_id=sm_id,
+                instructions=cell.instructions,
+                active_cycles=cell.active_cycles,
+                warps_issued=len(cell.warps),
+                tbs_resident=cell.tbs_resident,
+                stall_idle=cell.stalls[StallKind.IDLE],
+                stall_scoreboard=cell.stalls[StallKind.SCOREBOARD],
+                stall_pipeline=cell.stalls[StallKind.PIPELINE],
+            ))
+        return out
+
+    def stall_totals(self, sm_id: Optional[int] = None) -> Dict[str, int]:
+        """Summed stall cycles across windows (one SM, or all)."""
+        totals = {"idle": 0, "scoreboard": 0, "pipeline": 0}
+        for (_, sid), cell in self._cells.items():
+            if sm_id is not None and sid != sm_id:
+                continue
+            totals["idle"] += cell.stalls[StallKind.IDLE]
+            totals["scoreboard"] += cell.stalls[StallKind.SCOREBOARD]
+            totals["pipeline"] += cell.stalls[StallKind.PIPELINE]
+        return totals
+
+    def ipc_series(self, sm_id: Optional[int] = None) -> List[Tuple[int, float]]:
+        """(window start, IPC) pairs — GPU-wide when ``sm_id`` is None."""
+        if sm_id is not None:
+            return [(r.start, r.ipc) for r in self.rows() if r.sm_id == sm_id]
+        per_win: Dict[int, List[MetricsWindow]] = {}
+        for r in self.rows():
+            per_win.setdefault(r.index, []).append(r)
+        out = []
+        for index in sorted(per_win):
+            rs = per_win[index]
+            cycles = max(r.cycles for r in rs)
+            instr = sum(r.instructions for r in rs)
+            out.append((rs[0].start, instr / cycles if cycles else 0.0))
+        return out
+
+    # -- exports ---------------------------------------------------------
+
+    def write_jsonl(self, path) -> None:
+        """One JSON object per (window, SM) row."""
+        from .export import write_jsonl
+
+        write_jsonl((r.to_dict() for r in self.rows()), path)
+
+    def write_csv(self, path) -> None:
+        """CSV with a header row, same columns as the JSONL stream."""
+        from .export import write_csv
+
+        write_csv((r.to_dict() for r in self.rows()), path)
+
+    def __len__(self) -> int:
+        return len(self._cells)

@@ -84,8 +84,7 @@ class StreamingMultiprocessor:
         "used_threads",
         "used_regs",
         "used_smem",
-        "timeline",
-        "trace",
+        "bus",
         "faults",
         "_min_refetch",
         "_stall_since",
@@ -117,8 +116,7 @@ class StreamingMultiprocessor:
         self.used_threads = 0
         self.used_regs = 0
         self.used_smem = 0
-        self.timeline = None  # optional TimelineRecorder
-        self.trace = None  # optional IssueTrace
+        self.bus = None  # optional repro.obs.ProbeBus (attached per run)
         self.faults = None  # optional repro.robustness.FaultPlan
         self._min_refetch = NEVER
         # Lazy stall attribution: when the SM goes to sleep without issuing,
@@ -167,8 +165,8 @@ class StreamingMultiprocessor:
         self.used_threads += prog.threads_per_tb
         self.used_regs += prog.regs_per_thread * prog.threads_per_tb
         self.used_smem += prog.shared_mem_per_tb
-        if self.timeline is not None:
-            self.timeline.tb_started(self.sm_id, tb.tb_index, cycle)
+        if self.bus is not None:
+            self.bus.tb_start(self.sm_id, tb.tb_index, cycle)
         for listener in self.listeners:
             listener.on_tb_assigned(tb, cycle)
         # New warps are issuable from the next cycle.
@@ -183,8 +181,8 @@ class StreamingMultiprocessor:
         self.used_regs -= prog.regs_per_thread * prog.threads_per_tb
         self.used_smem -= prog.shared_mem_per_tb
         self.counters.tbs_completed += 1
-        if self.timeline is not None:
-            self.timeline.tb_finished(self.sm_id, tb.tb_index, cycle)
+        if self.bus is not None:
+            self.bus.tb_finish(self.sm_id, tb.tb_index, cycle)
         for listener in self.listeners:
             listener.on_tb_finished(tb, cycle)
         if self.gpu is not None:
@@ -206,6 +204,9 @@ class StreamingMultiprocessor:
         # 0. Credit the stall period that just ended (if any).
         if self._stall_kind is not None:
             self.counters.add_stall(self._stall_kind, cycle - self._stall_since)
+            if self.bus is not None:
+                self.bus.stall(self.sm_id, self._stall_since, cycle,
+                               self._stall_kind)
             self._stall_kind = None
 
         # 1. Retire writeback / memory-completion events due by now
@@ -348,9 +349,9 @@ class StreamingMultiprocessor:
         units = self.units
         dst = instr.dst
 
-        if self.trace is not None:
-            self.trace.record(cycle, self.sm_id, warp.tb.tb_index,
-                              warp.warp_in_tb, pc, op.value, active)
+        if self.bus is not None:
+            self.bus.issue(cycle, self.sm_id, warp.tb.tb_index,
+                           warp.warp_in_tb, pc, op.value, active)
         # Progress accounting (the quantity PRO schedules on).
         warp.progress += active
         warp.last_issue_cycle = cycle
@@ -433,6 +434,9 @@ class StreamingMultiprocessor:
             # barrier can never release (lost-event deadlock).
             return
         tb.n_at_barrier += 1
+        if self.bus is not None:
+            self.bus.barrier_arrive(self.sm_id, tb.tb_index,
+                                    warp.warp_in_tb, cycle)
         for listener in self.listeners:
             listener.on_warp_barrier(warp, cycle)
         if tb.all_at_barrier:
@@ -446,6 +450,8 @@ class StreamingMultiprocessor:
                         w.next_valid_cycle = refetch
             for listener in self.listeners:
                 listener.on_barrier_release(tb, cycle)
+            if self.bus is not None:
+                self.bus.barrier_release(self.sm_id, tb.tb_index, cycle)
 
     def _warp_finished(self, warp: Warp, cycle: int) -> None:
         tb = warp.tb
@@ -470,10 +476,18 @@ class StreamingMultiprocessor:
             span = final_cycle - self._stall_since
             if span > 0:
                 self.counters.add_stall(self._stall_kind, span)
+                if self.bus is not None:
+                    self.bus.stall(self.sm_id, self._stall_since,
+                                   final_cycle, self._stall_kind)
             self._stall_kind = None
         gap = final_cycle - self.counters.busy_cycles
         if gap > 0:
             self.counters.add_stall(StallKind.IDLE, gap)
+            # The gap is the sum of this SM's empty periods; attribute it
+            # to the run tail, where (TB-allocation skew) most of it lives.
+            if self.bus is not None:
+                self.bus.stall(self.sm_id, final_cycle - gap, final_cycle,
+                               StallKind.IDLE)
 
     # -- introspection -----------------------------------------------------------
 

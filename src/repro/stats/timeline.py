@@ -49,6 +49,12 @@ class TimelineRecorder:
                        finish_cycle=cycle)
         )
 
+    # Probe-protocol spellings (repro.obs): the bus emits tb_start/tb_finish
+    # with the same (sm_id, tb_index, cycle) argument order these hooks
+    # already use, so the recorder doubles as a probe via aliases.
+    on_tb_start = tb_started
+    on_tb_finish = tb_finished
+
     # -- queries -----------------------------------------------------------
 
     def for_sm(self, sm_id: int) -> List[TbInterval]:
@@ -107,6 +113,10 @@ class SortTraceRecorder:
         self.snapshots.append(
             SortSnapshot(cycle=cycle, sm_id=sm_id, order=tuple(order))
         )
+
+    #: Probe-protocol spelling (repro.obs): the bus's resort event carries
+    #: the same (sm_id, cycle, order) arguments.
+    on_resort = record
 
     def order_changes(self) -> int:
         """How many consecutive snapshots differ (Table IV discussion)."""

@@ -9,7 +9,7 @@ any cost on untraced runs.
 Example::
 
     trace = IssueTrace(limit=2000, sm_id=0)
-    Gpu(cfg, "pro").run(launch, trace=trace)
+    Gpu(cfg, "pro").run(launch, probes=[trace])
     for ev in trace.events[:10]:
         print(ev)
     print(trace.opcode_histogram())
@@ -65,6 +65,10 @@ class IssueTrace:
             cycle=cycle, sm_id=sm_id, tb_index=tb_index,
             warp_in_tb=warp_in_tb, pc=pc, opcode=opcode, active=active,
         ))
+
+    #: Probe-protocol spelling (repro.obs): the bus's issue event carries
+    #: the same argument order.
+    on_issue = record
 
     # -- queries -----------------------------------------------------------
 

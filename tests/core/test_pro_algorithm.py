@@ -115,7 +115,7 @@ class TestSrtfBehaviourEndToEnd:
 
         def max_share(sched):
             trace = IssueTrace(limit=1500, sm_id=0)
-            Gpu(cfg, sched).run(KernelLaunch(prog, 8), trace=trace)
+            Gpu(cfg, sched).run(KernelLaunch(prog, 8), probes=[trace])
             from collections import Counter
 
             counts = Counter(ev.tb_index for ev in trace.events[200:1200])
@@ -139,7 +139,7 @@ class TestSrtfBehaviourEndToEnd:
 
         def finish_rank(sched):
             tl = TimelineRecorder()
-            Gpu(cfg, sched).run(KernelLaunch(prog, 8), timeline=tl)
+            Gpu(cfg, sched).run(KernelLaunch(prog, 8), probes=[tl])
             ordered = sorted(tl.intervals, key=lambda iv: iv.finish_cycle)
             return [iv.tb_index for iv in ordered].index(0)
 
@@ -150,6 +150,7 @@ class TestSrtfBehaviourEndToEnd:
 
 class TestSortTraceHook:
     def test_manager_records_via_hook(self):
+        from repro.obs import ProbeBus
         from repro.stats.timeline import SortTraceRecorder
 
         cfg = GPUConfig.scaled(1).with_(pro_sort_threshold=50)
@@ -157,7 +158,7 @@ class TestSortTraceHook:
         mgr = sm.schedulers[0].manager
         mgr.threshold = 50
         trace = SortTraceRecorder(sm_id=0)
-        mgr.sort_trace = trace
+        sm.bus = ProbeBus([trace])
         assign(sm, compute_prog(), 0)
         assign(sm, compute_prog(), 1)
         mgr.order(0, cycle=100)

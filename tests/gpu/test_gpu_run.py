@@ -100,14 +100,14 @@ class TestTimelineIntegration:
     def test_every_tb_recorded(self):
         tl = TimelineRecorder()
         res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 7),
-                                  timeline=tl)
+                                  probes=[tl])
         assert len(tl.intervals) == 7
         assert {iv.tb_index for iv in tl.intervals} == set(range(7))
 
     def test_intervals_well_formed(self):
         tl = TimelineRecorder()
         res = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 7),
-                                  timeline=tl)
+                                  probes=[tl])
         for iv in tl.intervals:
             assert 0 <= iv.start_cycle < iv.finish_cycle <= res.cycles
             assert iv.sm_id in (0, 1)

@@ -52,6 +52,42 @@ class TestMain:
     def test_run_without_kernel_errors(self, capsys):
         assert main(["run"]) == 2
 
+    def test_trace_smoke_writes_metrics_and_perfetto_json(
+            self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.json"
+        assert main(["trace", "--smoke",
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["kernel"] == "scalarProdGPU"
+        rows = [json.loads(line)
+                for line in metrics.read_text().splitlines()]
+        assert rows and "stall_idle" in rows[0]
+        # The report asserts windowed == counter stall totals inline.
+        assert "windowed == counters" in out
+
+    def test_trace_metrics_out_csv_extension_switches_format(
+            self, tmp_path, capsys):
+        metrics = tmp_path / "m.csv"
+        trace = tmp_path / "t.json"
+        assert main(["trace", "cenergy", "--smoke", "--window", "1000",
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)]) == 0
+        header = metrics.read_text().splitlines()[0]
+        assert header.startswith("window,start,end,sm")
+
+    def test_trace_rejects_bad_window(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "--window", "0"])
+
+    def test_smoke_rejected_outside_bench_and_trace(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--smoke"])
+
     def test_out_file(self, tmp_path, capsys):
         path = tmp_path / "report.txt"
         assert main(["table1", "--out", str(path)]) == 0

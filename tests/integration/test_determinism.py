@@ -65,6 +65,6 @@ class TestDeterminism:
         out = []
         for _ in range(2):
             tl = TimelineRecorder()
-            Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 8), timeline=tl)
+            Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 8), probes=[tl])
             out.append([dataclasses.astuple(iv) for iv in tl.intervals])
         assert out[0] == out[1]

@@ -93,7 +93,7 @@ class TestFig2Shape:
         spread = {}
         for sched in ("lrr", "pro"):
             tl = TimelineRecorder()
-            Gpu(CFG, sched).run(m.build_launch(), timeline=tl)
+            Gpu(CFG, sched).run(m.build_launch(), probes=[tl])
             first_batch = tl.for_sm(0)[:4]
             finals = [iv.finish_cycle for iv in first_batch]
             spread[sched] = statistics.pstdev(finals)
@@ -109,7 +109,7 @@ class TestTable4Shape:
         m = get_kernel("aesEncrypt128")
         trace = SortTraceRecorder(sm_id=0)
         Gpu(CFG, pro_with_threshold(128)).run(
-            m.build_launch(), sort_trace=trace
+            m.build_launch(), probes=[trace]
         )
         assert len(trace.snapshots) >= 5
         assert trace.order_changes() >= 1

@@ -1,0 +1,53 @@
+"""Zero-overhead guarantee: uninstrumented runs are bit-identical to the
+pre-observability simulator.
+
+``tests/golden/micro_cells.jsonl`` holds the full counter state of an
+8-kernel x 4-scheduler micro matrix (2 SMs, scale 0.25) captured from the
+simulator *before* the probe bus existed. Every cell re-simulated with
+``probes=()`` must reproduce those counters exactly — any divergence means
+instrumentation changed simulation behaviour, not just observed it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import GPUConfig
+from repro.harness.runner import ResultCache
+from repro.robustness.checkpoint import cell_key, result_to_json
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+CFG = GPUConfig.scaled(2)
+SCALE = 0.25
+
+
+def _golden_cells():
+    records = [json.loads(line)
+               for line in (GOLDEN / "micro_cells.jsonl").read_text().splitlines()]
+    return {(r["kernel"], r["scheduler"]): r for r in records}
+
+_CELLS = _golden_cells()
+
+
+@pytest.mark.parametrize(
+    ("kernel", "scheduler"), sorted(_CELLS),
+    ids=[f"{k}-{s}" for k, s in sorted(_CELLS)],
+)
+def test_plain_run_bit_identical_to_pre_probe_golden(kernel, scheduler):
+    record = _CELLS[(kernel, scheduler)]
+    # The key hashes the full config tree: a mismatch means the test setup
+    # drifted from the one the golden was captured under, not a real diff.
+    assert cell_key(kernel, scheduler, CFG, SCALE) == record["key"], (
+        "config/scale drift — regenerate tests/golden/micro_cells.jsonl"
+    )
+    result = ResultCache().run(kernel, scheduler, CFG, SCALE)
+    assert result_to_json(result) == record["result"]
+
+
+def test_golden_matrix_covers_expected_shape():
+    kernels = {k for k, _ in _CELLS}
+    schedulers = {s for _, s in _CELLS}
+    assert len(kernels) == 8
+    assert schedulers == {"tl", "lrr", "gto", "pro"}
+    assert len(_CELLS) == 32

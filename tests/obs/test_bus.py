@@ -1,0 +1,101 @@
+"""ProbeBus unit tests: subscription detection and dispatch."""
+
+from repro.obs import EVENTS, Probe, ProbeBus
+from repro.obs.bus import _subscription
+
+
+class OnlyIssue(Probe):
+    def __init__(self):
+        self.seen = []
+
+    def on_issue(self, cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+                 active):
+        self.seen.append((cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+                          active))
+
+
+class DuckTyped:
+    """Not a Probe subclass; defines two hooks by name only."""
+
+    def __init__(self):
+        self.tbs = []
+        self.stalls = []
+
+    def on_tb_start(self, sm_id, tb_index, cycle):
+        self.tbs.append((sm_id, tb_index, cycle))
+
+    def on_stall(self, sm_id, start, end, kind):
+        self.stalls.append((sm_id, start, end, kind))
+
+
+class TestEventTaxonomy:
+    def test_every_event_has_probe_hook_and_emit_method(self):
+        bus = ProbeBus([])
+        for name in EVENTS:
+            assert name.startswith("on_")
+            assert callable(getattr(Probe, name))
+            assert callable(getattr(bus, name[3:]))
+
+    def test_probe_base_hooks_are_noops(self):
+        p = Probe()
+        p.on_issue(0, 0, 0, 0, 0, "ialu", 32)
+        p.on_stall(0, 0, 5, 0)
+        p.on_run_end(None)
+
+
+class TestSubscriptionDetection:
+    def test_probe_subclass_subscribes_only_overridden_hooks(self):
+        bus = ProbeBus([OnlyIssue()])
+        subs = bus.subscriptions()
+        assert subs["on_issue"] == 1
+        assert all(n == 0 for name, n in subs.items() if name != "on_issue")
+
+    def test_duck_typed_object_subscribes_defined_hooks(self):
+        bus = ProbeBus([DuckTyped()])
+        subs = bus.subscriptions()
+        assert subs["on_tb_start"] == 1
+        assert subs["on_stall"] == 1
+        assert subs["on_issue"] == 0
+
+    def test_non_callable_attribute_is_not_subscribed(self):
+        class Bogus:
+            on_issue = 42
+
+        assert _subscription(Bogus(), "on_issue") is None
+        assert ProbeBus([Bogus()]).subscriptions()["on_issue"] == 0
+
+    def test_object_with_no_hooks_subscribes_nothing(self):
+        bus = ProbeBus([object()])
+        assert all(n == 0 for n in bus.subscriptions().values())
+
+
+class TestDispatch:
+    def test_issue_event_reaches_subscriber_with_argument_order(self):
+        probe = OnlyIssue()
+        bus = ProbeBus([probe])
+        bus.issue(17, 1, 3, 2, 40, "ldg", 32)
+        assert probe.seen == [(17, 1, 3, 2, 40, "ldg", 32)]
+
+    def test_unsubscribed_event_is_a_noop(self):
+        probe = OnlyIssue()
+        bus = ProbeBus([probe])
+        bus.tb_start(0, 0, 0)  # nobody listens
+        assert probe.seen == []
+
+    def test_multiple_probes_all_receive(self):
+        a, b = DuckTyped(), DuckTyped()
+        bus = ProbeBus([a, b])
+        bus.stall(0, 10, 20, 1)
+        assert a.stalls == b.stalls == [(0, 10, 20, 1)]
+
+    def test_mixed_probe_styles_coexist(self):
+        issue, duck = OnlyIssue(), DuckTyped()
+        bus = ProbeBus([issue, duck])
+        bus.issue(1, 0, 0, 0, 0, "ialu", 32)
+        bus.tb_start(0, 5, 2)
+        assert len(issue.seen) == 1
+        assert duck.tbs == [(0, 5, 2)]
+
+    def test_probes_tuple_preserves_attachment_order(self):
+        a, b = OnlyIssue(), DuckTyped()
+        assert ProbeBus([a, b]).probes == (a, b)

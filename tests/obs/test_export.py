@@ -1,0 +1,123 @@
+"""Exporter tests: JSONL/CSV writers, Chrome trace structure, goldens.
+
+The golden files under ``tests/golden/`` pin the exporter *schemas*: the
+simulator is deterministic, so the instrumented micro-run here must
+reproduce the committed bytes exactly. Regenerate them (after a
+deliberate schema change) with::
+
+    PYTHONPATH=src python tests/obs/test_export.py --regen
+"""
+
+import json
+from pathlib import Path
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.obs import ChromeTraceProbe, MetricsSampler
+from repro.obs.export import write_csv, write_jsonl
+from tests.conftest import tiny_program
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+CFG = GPUConfig.scaled(2)
+
+
+def _golden_run():
+    """The fixed micro-run both golden files were generated from."""
+    sampler = MetricsSampler(window=250)
+    chrome = ChromeTraceProbe(window=250)
+    result = Gpu(CFG, "pro").run(
+        KernelLaunch(tiny_program(barrier=True), 6),
+        probes=[sampler, chrome],
+    )
+    return sampler, chrome, result
+
+
+class TestRowWriters:
+    ROWS = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(self.ROWS, path)
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == self.ROWS
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv(self.ROWS, path)
+        assert path.read_text().splitlines() == ["a,b", "1,x", "2,y"]
+
+    def test_write_csv_empty_rows_gives_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestChromeTraceStructure:
+    def test_document_shape(self):
+        _, chrome, result = _golden_run()
+        doc = chrome.to_json()
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        meta = doc["otherData"]
+        assert meta["kernel"] == "tiny"
+        assert meta["scheduler"] == "pro"
+        assert meta["cycles"] == result.cycles
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i", "C"}
+
+    def test_every_event_is_well_formed(self):
+        _, chrome, result = _golden_run()
+        for e in chrome.trace_events():
+            assert isinstance(e["pid"], int)
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+                assert 0 <= e["ts"] <= result.cycles
+            if e["ph"] in ("X", "i"):
+                assert e["tid"] in (0, 1, 2)
+
+    def test_one_tb_slice_per_thread_block(self):
+        _, chrome, result = _golden_run()
+        tb_slices = [e for e in chrome.events
+                     if e["ph"] == "X" and e["cat"] == "tb"]
+        assert len(tb_slices) == result.num_tbs
+
+    def test_stall_slices_sum_to_counter_totals(self):
+        _, chrome, result = _golden_run()
+        for sm in result.counters.per_sm:
+            by_kind = {"idle": 0, "scoreboard": 0, "pipeline": 0}
+            for e in chrome.events:
+                if (e["ph"] == "X" and e["cat"] == "stall"
+                        and e["pid"] == sm.sm_id):
+                    by_kind[e["name"]] += e["dur"]
+            assert by_kind["idle"] == sm.stall_idle
+            assert by_kind["scoreboard"] == sm.stall_scoreboard
+            assert by_kind["pipeline"] == sm.stall_pipeline
+
+    def test_barrier_release_instants_present(self):
+        _, chrome, _ = _golden_run()
+        instants = [e for e in chrome.events if e["cat"] == "barrier"]
+        assert len(instants) == 6  # one release per TB of the barrier kernel
+
+
+class TestGoldenSchemas:
+    """The committed exporter outputs must reproduce byte-for-byte."""
+
+    def test_metrics_jsonl_matches_golden(self, tmp_path):
+        sampler, _, _ = _golden_run()
+        out = tmp_path / "metrics.jsonl"
+        sampler.write_jsonl(out)
+        assert out.read_text() == (GOLDEN / "metrics_tiny.jsonl").read_text()
+
+    def test_chrome_trace_matches_golden(self, tmp_path):
+        _, chrome, _ = _golden_run()
+        out = tmp_path / "trace.json"
+        chrome.write(out)
+        assert out.read_text() == (GOLDEN / "trace_tiny.json").read_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - golden regeneration
+    import sys
+
+    if "--regen" in sys.argv:
+        sampler, chrome, _ = _golden_run()
+        sampler.write_jsonl(GOLDEN / "metrics_tiny.jsonl")
+        chrome.write(GOLDEN / "trace_tiny.json")
+        print(f"regenerated goldens under {GOLDEN}")

@@ -1,0 +1,137 @@
+"""MetricsSampler tests: window arithmetic and run-level exactness."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.obs import MetricsSampler
+from repro.stats.counters import StallKind
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+
+
+class TestWindowArithmetic:
+    def test_stall_span_split_across_windows_is_lossless(self):
+        s = MetricsSampler(window=10)
+        s.on_stall(0, 5, 25, StallKind.IDLE)
+        per_window = {
+            (i, sm): cell.stalls[StallKind.IDLE]
+            for (i, sm), cell in s._cells.items()
+        }
+        assert per_window == {(0, 0): 5, (1, 0): 10, (2, 0): 5}
+        assert s.stall_totals()["idle"] == 20
+
+    def test_span_within_one_window_stays_whole(self):
+        s = MetricsSampler(window=100)
+        s.on_stall(1, 10, 40, StallKind.PIPELINE)
+        assert s.stall_totals(sm_id=1)["pipeline"] == 30
+
+    def test_same_cycle_dual_issue_counts_one_active_cycle(self):
+        s = MetricsSampler(window=100)
+        s.on_issue(7, 0, 0, 0, 0, "ialu", 32)
+        s.on_issue(7, 0, 1, 2, 4, "fma", 32)  # second scheduler, same cycle
+        s.on_issue(8, 0, 0, 0, 1, "ialu", 32)
+        cell = s._cells[(0, 0)]
+        assert cell.instructions == 3
+        assert cell.active_cycles == 2
+        assert len(cell.warps) == 2  # (0,0) and (1,2)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(window=0)
+
+    def test_last_window_clipped_to_run_length(self):
+        s = MetricsSampler(window=100)
+        s.on_issue(250, 0, 0, 0, 0, "ialu", 32)
+        s.on_run_end(SimpleNamespace(cycles=260))
+        row = s.rows()[0]
+        assert (row.start, row.end) == (200, 260)
+        assert row.cycles == 60
+
+    def test_tb_residency_tracks_assign_and_finish(self):
+        s = MetricsSampler(window=100)
+        s.on_tb_start(0, 0, 10)
+        s.on_tb_start(0, 1, 20)
+        s.on_tb_finish(0, 0, 150)
+        assert s._cells[(0, 0)].tbs_resident == 2
+        assert s._cells[(1, 0)].tbs_resident == 1
+
+
+class TestRunExactness:
+    @pytest.fixture(scope="class")
+    def sampled(self):
+        sampler = MetricsSampler(window=137)  # deliberately awkward width
+        result = Gpu(CFG, "pro").run(
+            KernelLaunch(tiny_program(barrier=True), 8),
+            probes=[sampler],
+        )
+        return sampler, result
+
+    def test_per_sm_stall_totals_match_counters_bit_exactly(self, sampled):
+        sampler, result = sampled
+        for sm in result.counters.per_sm:
+            totals = sampler.stall_totals(sm_id=sm.sm_id)
+            assert totals["idle"] == sm.stall_idle
+            assert totals["scoreboard"] == sm.stall_scoreboard
+            assert totals["pipeline"] == sm.stall_pipeline
+
+    def test_instruction_totals_match_counters(self, sampled):
+        sampler, result = sampled
+        assert (sum(r.instructions for r in sampler.rows())
+                == result.counters.instructions)
+
+    def test_active_cycle_totals_match_counters(self, sampled):
+        sampler, result = sampled
+        for sm in result.counters.per_sm:
+            sampled_active = sum(r.active_cycles for r in sampler.rows()
+                                 if r.sm_id == sm.sm_id)
+            assert sampled_active == sm.active_cycles
+
+    def test_rows_are_sorted_and_bounded(self, sampled):
+        sampler, result = sampled
+        rows = sampler.rows()
+        assert rows == sorted(rows, key=lambda r: (r.index, r.sm_id))
+        for r in rows:
+            assert 0 <= r.start < r.end <= result.cycles
+            assert r.stall_cycles <= r.cycles * 2  # two schedulers max
+
+    def test_run_end_captured_result(self, sampled):
+        sampler, result = sampled
+        assert sampler.result is result
+        assert sampler.total_cycles == result.cycles
+
+    def test_ipc_series_gpu_wide_and_per_sm(self, sampled):
+        sampler, _ = sampled
+        whole = sampler.ipc_series()
+        sm0 = sampler.ipc_series(sm_id=0)
+        assert whole and sm0
+        assert all(ipc >= 0 for _, ipc in whole)
+        starts = [s for s, _ in whole]
+        assert starts == sorted(starts)
+
+
+class TestExports:
+    def test_jsonl_roundtrip(self, tmp_path):
+        sampler = MetricsSampler(window=200)
+        Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 4),
+                            probes=[sampler])
+        path = tmp_path / "metrics.jsonl"
+        sampler.write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == len(sampler.rows())
+        assert rows[0]["window"] == sampler.rows()[0].index
+        assert (sum(r["stall_idle"] for r in rows)
+                == sampler.stall_totals()["idle"])
+
+    def test_csv_has_header_and_same_rows(self, tmp_path):
+        sampler = MetricsSampler(window=200)
+        Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 4),
+                            probes=[sampler])
+        path = tmp_path / "metrics.csv"
+        sampler.write_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0].split(",")[:4] == ["window", "start", "end", "sm"]
+        assert len(lines) == 1 + len(sampler.rows())

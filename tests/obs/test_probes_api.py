@@ -1,0 +1,216 @@
+"""The redesigned probes= API: facade, shims, leak fix, registration."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import Gpu, GPUConfig, KernelLaunch, simulate
+from repro.core.scheduler import _REGISTRY, WarpScheduler, register_scheduler
+from repro.errors import WorkloadError
+from repro.harness.runner import ResultCache
+from repro.obs import MetricsSampler, Probe
+from repro.stats.timeline import SortTraceRecorder, TimelineRecorder
+from repro.stats.trace import IssueTrace
+from repro.workloads import get_kernel
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+
+
+def _launch(num_tbs=4, **kwargs):
+    return KernelLaunch(tiny_program(**kwargs), num_tbs)
+
+
+class TestSimulateFacade:
+    def test_by_kernel_name(self):
+        r = simulate("scalarProdGPU", "pro", cfg=CFG, scale=0.25)
+        assert r.kernel_name == "scalarProdGPU"
+        assert r.scheduler == "pro"
+        assert r.cycles > 0
+
+    def test_by_model_and_launch_and_program(self):
+        model = get_kernel("scalarProdGPU")
+        by_model = simulate(model, "lrr", cfg=CFG, scale=0.25)
+        by_launch = simulate(model.build_launch(scale=0.25), "lrr", cfg=CFG)
+        assert by_model.cycles == by_launch.cycles
+        prog = tiny_program()
+        by_prog = simulate(prog, "lrr", cfg=CFG, num_tbs=4)
+        assert by_prog.num_tbs == 4
+
+    def test_program_without_num_tbs_rejected(self):
+        with pytest.raises(WorkloadError):
+            simulate(tiny_program(), "lrr", cfg=CFG)
+
+    def test_unsupported_kernel_type_rejected(self):
+        with pytest.raises(WorkloadError):
+            simulate(123, "lrr", cfg=CFG)
+
+    def test_probes_attach_and_land_in_result(self):
+        sampler = MetricsSampler()
+        trace = IssueTrace(limit=100)
+        r = simulate("scalarProdGPU", "pro", cfg=CFG, scale=0.25,
+                     probes=[sampler, trace])
+        assert r.probes == (sampler, trace)
+        assert sampler.result is r
+        assert len(trace.events) == 100
+
+
+class TestDeprecatedKwargShims:
+    """Old-style kwargs still work, warn, and match the probes= path."""
+
+    def test_timeline_kwarg_equivalent_to_probe(self):
+        new = TimelineRecorder()
+        Gpu(CFG, "lrr").run(_launch(), probes=[new])
+        old = TimelineRecorder()
+        with pytest.warns(DeprecationWarning, match="timeline"):
+            r = Gpu(CFG, "lrr").run(_launch(), timeline=old)
+        assert old.intervals == new.intervals
+        assert r.timeline is old
+
+    def test_sort_trace_kwarg_equivalent_to_probe(self):
+        new = SortTraceRecorder(sm_id=0)
+        Gpu(CFG, "pro").run(_launch(num_tbs=8), probes=[new])
+        old = SortTraceRecorder(sm_id=0)
+        with pytest.warns(DeprecationWarning, match="sort_trace"):
+            r = Gpu(CFG, "pro").run(_launch(num_tbs=8), sort_trace=old)
+        assert old.snapshots == new.snapshots
+        assert r.sort_trace is old
+
+    def test_trace_kwarg_equivalent_to_probe(self):
+        new = IssueTrace(limit=500)
+        Gpu(CFG, "lrr").run(_launch(), probes=[new])
+        old = IssueTrace(limit=500)
+        with pytest.warns(DeprecationWarning, match="trace"):
+            Gpu(CFG, "lrr").run(_launch(), trace=old)
+        assert old.events == new.events
+
+    def test_new_style_run_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Gpu(CFG, "lrr").run(_launch(), probes=[TimelineRecorder()])
+
+
+class TestProbeLifecycle:
+    def test_reused_gpu_does_not_leak_probes_across_launches(self):
+        gpu = Gpu(CFG, "pro")
+        tl = TimelineRecorder()
+        trace = IssueTrace()
+        gpu.run(_launch(num_tbs=4), probes=[tl, trace])
+        intervals, events = len(tl.intervals), len(trace.events)
+        assert intervals and events
+        # A later plain run on the same Gpu must not feed the old probes.
+        gpu.run(_launch(num_tbs=4))
+        assert len(tl.intervals) == intervals
+        assert len(trace.events) == events
+
+    def test_second_launch_probes_see_only_their_run(self):
+        gpu = Gpu(CFG, "pro")
+        first, second = TimelineRecorder(), TimelineRecorder()
+        gpu.run(_launch(num_tbs=4), probes=[first])
+        gpu.run(_launch(num_tbs=6), probes=[second])
+        assert len(first.intervals) == 4
+        assert len(second.intervals) == 6
+
+    def test_components_detached_after_run(self):
+        gpu = Gpu(CFG, "pro")
+        gpu.run(_launch(), probes=[TimelineRecorder()])
+        assert gpu.memory.bus is None
+        assert gpu.memory.dram.bus is None
+        assert all(sm.bus is None for sm in gpu.sms)
+
+    def test_run_start_and_run_end_hooks_fire(self):
+        class Lifecycle(Probe):
+            def __init__(self):
+                self.calls = []
+
+            def on_run_start(self, gpu, launch):
+                self.calls.append(("start", launch.num_tbs))
+
+            def on_run_end(self, result):
+                self.calls.append(("end", result.cycles))
+
+        probe = Lifecycle()
+        r = Gpu(CFG, "lrr").run(_launch(num_tbs=3), probes=[probe])
+        assert probe.calls == [("start", 3), ("end", r.cycles)]
+
+
+class TestRegisterSchedulerDecorator:
+    def test_class_decorator_registers_and_returns_class(self):
+        @register_scheduler("_test_sched")
+        class TestSched(WarpScheduler):
+            name = "_test_sched"
+
+            def order(self, cycle):
+                return self.warps
+
+        try:
+            assert "_test_sched" in repro.available_schedulers()
+            assert TestSched.__name__ == "TestSched"  # returned unchanged
+            r = simulate(tiny_program(), "_test_sched", cfg=CFG, num_tbs=2)
+            assert r.cycles > 0
+        finally:
+            _REGISTRY.pop("_test_sched", None)
+
+    def test_factory_decorator_form(self):
+        @register_scheduler("_test_factory")
+        def make(sm, cfg):
+            from repro.core.lrr import LrrScheduler
+            return [LrrScheduler(sm, i, cfg)
+                    for i in range(cfg.num_schedulers)]
+
+        try:
+            assert "_test_factory" in repro.available_schedulers()
+        finally:
+            _REGISTRY.pop("_test_factory", None)
+
+    def test_direct_call_form_still_works(self):
+        def factory(sm, cfg):  # pragma: no cover - registration only
+            return []
+
+        register_scheduler("_test_direct", factory)
+        try:
+            assert _REGISTRY["_test_direct"] is factory
+        finally:
+            _REGISTRY.pop("_test_direct", None)
+
+
+class TestResultCacheProbePassthrough:
+    def test_probe_runs_bypass_memoization(self):
+        cache = ResultCache()
+        model = get_kernel("scalarProdGPU")
+        cache.run(model, "lrr", CFG, 0.25)
+        cache.run(model, "lrr", CFG, 0.25)  # memo hit
+        assert cache.runs_executed == 1
+        s1, s2 = MetricsSampler(), MetricsSampler()
+        r1 = cache.run(model, "lrr", CFG, 0.25, probes=(s1,))
+        r2 = cache.run(model, "lrr", CFG, 0.25, probes=(s2,))
+        assert cache.runs_executed == 3  # probe runs always simulate
+        assert s1.result is r1 and s2.result is r2
+        assert len(s1.rows()) == len(s2.rows())
+
+    def test_probe_runs_not_checkpointed(self, tmp_path):
+        from repro.robustness.checkpoint import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store)
+        model = get_kernel("scalarProdGPU")
+        cache.run(model, "lrr", CFG, 0.25, probes=(MetricsSampler(),))
+        assert len(store) == 0
+        cache.run(model, "lrr", CFG, 0.25)
+        assert len(store) == 1
+
+
+class TestPublicExports:
+    def test_top_level_names(self):
+        for name in ("simulate", "Probe", "ProbeBus", "MetricsSampler",
+                     "ChromeTraceProbe", "register_scheduler",
+                     "WarpScheduler"):
+            assert hasattr(repro, name), name
+
+    def test_obs_package_exports(self):
+        from repro import obs
+        for name in ("EVENTS", "Probe", "ProbeBus", "MetricsSampler",
+                     "MetricsWindow", "ChromeTraceProbe", "write_jsonl",
+                     "write_csv"):
+            assert hasattr(obs, name), name

@@ -60,7 +60,7 @@ class TestRecorder:
 class TestSimulationIntegration:
     def test_trace_attached_to_run(self):
         t = IssueTrace(limit=100)
-        res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 4), trace=t)
+        res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 4), probes=[t])
         assert 0 < len(t) <= 100
         # all events within the run's window and monotone non-decreasing
         cycles = [ev.cycle for ev in t.events]
@@ -69,25 +69,25 @@ class TestSimulationIntegration:
 
     def test_trace_contains_program_opcodes(self):
         t = IssueTrace()
-        Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4), trace=t)
+        Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4), probes=[t])
         hist = t.opcode_histogram()
         assert "ldg" in hist and "exit" in hist and "bra" in hist
 
     def test_exit_count_matches_warps(self):
         t = IssueTrace()
         prog = tiny_program(threads_per_tb=96)  # 3 warps
-        Gpu(CFG, "lrr").run(KernelLaunch(prog, 5), trace=t)
+        Gpu(CFG, "lrr").run(KernelLaunch(prog, 5), probes=[t])
         assert t.opcode_histogram()["exit"] == 5 * 3
 
     def test_dual_scheduler_dual_issue_visible(self):
         t = IssueTrace()
         prog = tiny_program(threads_per_tb=128, mem=False)
-        Gpu(CFG, "lrr").run(KernelLaunch(prog, 4), trace=t)
+        Gpu(CFG, "lrr").run(KernelLaunch(prog, 4), probes=[t])
         winners = t.winners_per_cycle()
         assert any(len(v) == 2 for v in winners.values())
 
     def test_untraced_run_unaffected(self):
         a = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4))
         t = IssueTrace()
-        b = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4), trace=t)
+        b = Gpu(CFG, "pro").run(KernelLaunch(tiny_program(), 4), probes=[t])
         assert a.cycles == b.cycles
