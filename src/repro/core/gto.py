@@ -70,5 +70,26 @@ class GtoScheduler(WarpScheduler):
     def note_issued(self, warp, cycle: int) -> None:
         self._greedy = warp
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        g = self._greedy
+        # A finished greedy warp (its TB may even be evicted already) is
+        # behaviourally identical to None: order() skips it and the next
+        # issue overwrites it. Serializing it as None keeps the reference
+        # resolvable against the resident warps on restore.
+        data["greedy"] = (
+            None if g is None or g.finished else self.warp_ref(g)
+        )
+        data["aged"] = [self.warp_ref(w) for w in self._aged]
+        return data
+
+    def restore(self, data: dict, warp_map) -> None:
+        super().restore(data, warp_map)
+        g = data["greedy"]
+        self._greedy = None if g is None else warp_map[tuple(g)]
+        self._aged = [warp_map[tuple(r)] for r in data["aged"]]
+
 
 register_scheduler("gto", simple_factory(GtoScheduler))

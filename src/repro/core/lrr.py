@@ -75,5 +75,18 @@ class LrrScheduler(WarpScheduler):
         if idx < self._start:
             self._start -= 1
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        data["start"] = self._start
+        return data
+
+    def restore(self, data: dict, warp_map) -> None:
+        super().restore(data, warp_map)
+        self._start = data["start"]
+        # _pos is an id() map — derive it from the rebuilt warp objects.
+        self._pos = {id(w): i for i, w in enumerate(self.warps)}
+
 
 register_scheduler("lrr", simple_factory(LrrScheduler))

@@ -342,6 +342,68 @@ class ProManager:
             ext(rec.warp_order[sched_id])
         return out
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable manager state.
+
+        Records are keyed by ``tb_index``; the four state lists store
+        ``tb_index`` in their exact priority order. Warp order is stored
+        as ``warp_in_tb`` lists per scheduler partition (all warps of a
+        record belong to its TB).
+        """
+        return {
+            "fast_phase": self.fast_phase,
+            "last_sort_cycle": self.last_sort_cycle,
+            "records": [
+                {
+                    "tb_index": idx,
+                    "state": rec.state.value,
+                    "progress_cache": rec.progress_cache,
+                    "warp_order": [
+                        [w.warp_in_tb for w in lst] for lst in rec.warp_order
+                    ],
+                }
+                for idx, rec in sorted(self.records.items())
+            ],
+            "finish_wait": [r.tb.tb_index for r in self.finish_wait],
+            "barrier_wait": [r.tb.tb_index for r in self.barrier_wait],
+            "no_wait": [r.tb.tb_index for r in self.no_wait],
+            "finish_no_wait": [r.tb.tb_index for r in self.finish_no_wait],
+        }
+
+    def restore(self, data: dict, warp_map: Dict[tuple, "Warp"]) -> None:
+        """Rebuild records against the restoring SM's TBs.
+
+        Does NOT fire listener callbacks (``on_tb_assigned`` would
+        re-sort and corrupt the snapshotted priority order). Estimates
+        (normalized mode) are recomputed deterministically from the
+        program; everything order-dependent comes from the snapshot.
+        """
+        self.fast_phase = data["fast_phase"]
+        self.last_sort_cycle = data["last_sort_cycle"]
+        tb_map = {w.tb.tb_index: w.tb for w in warp_map.values()}
+        self.records = {}
+        for rdata in data["records"]:
+            tb = tb_map[rdata["tb_index"]]
+            rec = _TbRecord(
+                tb,
+                TbState(rdata["state"]),
+                self.cfg.num_schedulers,
+                normalize=self.normalize,
+            )
+            rec.progress_cache = rdata["progress_cache"]
+            rec.warp_order = [
+                [warp_map[(tb.tb_index, wid)] for wid in lst]
+                for lst in rdata["warp_order"]
+            ]
+            self.records[tb.tb_index] = rec
+        recs = self.records
+        self.finish_wait = [recs[i] for i in data["finish_wait"]]
+        self.barrier_wait = [recs[i] for i in data["barrier_wait"]]
+        self.no_wait = [recs[i] for i in data["no_wait"]]
+        self.finish_no_wait = [recs[i] for i in data["finish_no_wait"]]
+
 
 class ProScheduler(WarpScheduler):
     """Thin per-scheduler view over the shared :class:`ProManager`."""

@@ -82,6 +82,27 @@ class WarpScheduler:
     def note_issued(self, warp: "Warp", cycle: int) -> None:
         """Called when ``warp`` (from this scheduler) issued at ``cycle``."""
 
+    # -- state serialization -------------------------------------------
+
+    @staticmethod
+    def warp_ref(warp: "Warp") -> list:
+        """Stable cross-snapshot warp identity: ``[tb_index, warp_in_tb]``."""
+        return [warp.tb.tb_index, warp.warp_in_tb]
+
+    def snapshot(self) -> dict:
+        """Serializable scheduler state. Warps are encoded as
+        ``[tb_index, warp_in_tb]`` references resolved on restore against
+        the rebuilt resident TBs."""
+        return {"warps": [self.warp_ref(w) for w in self.warps]}
+
+    def restore(self, data: dict, warp_map: Dict[tuple, "Warp"]) -> None:
+        """Apply snapshotted state without firing listener callbacks.
+
+        ``warp_map`` maps ``(tb_index, warp_in_tb)`` to the rebuilt Warp
+        objects of the restoring SM.
+        """
+        self.warps = [warp_map[(t, w)] for t, w in data["warps"]]
+
 
 # ---------------------------------------------------------------------------
 # Registry

@@ -94,5 +94,24 @@ class TwoLevelScheduler(WarpScheduler):
                     self._groups = groups[gi:] + groups[:gi]
                 return
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        data["groups"] = [
+            {"warps": [self.warp_ref(w) for w in g.warps], "rr": g.rr}
+            for g in self._groups
+        ]
+        return data
+
+    def restore(self, data: dict, warp_map) -> None:
+        super().restore(data, warp_map)
+        self._groups = []
+        for gdata in data["groups"]:
+            g = _FetchGroup()
+            g.warps = [warp_map[tuple(r)] for r in gdata["warps"]]
+            g.rr = gdata["rr"]
+            self._groups.append(g)
+
 
 register_scheduler("tl", simple_factory(TwoLevelScheduler))

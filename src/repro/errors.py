@@ -91,5 +91,49 @@ class InjectedFault(SimulationError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A conservation law the simulator must uphold was broken mid-run.
+
+    Raised by :class:`repro.robustness.sanitizer.InvariantSanitizer` when
+    a windowed consistency check fails (scoreboard entry without a pending
+    writeback, barrier arrival count out of range, resource accounting
+    drift, ...). Carries the machine-state report plus the canonical
+    ``name`` of the violated invariant, which the fault-injection
+    acceptance tests match against.
+    """
+
+    def __init__(self, message: str, *, name: str = "unknown",
+                 report: object = None) -> None:
+        super().__init__(message, report=report)
+        #: Canonical invariant name, e.g. ``"barrier-arrival-lost"``.
+        self.name = name
+
+
+class SimulationInterrupted(SimulationError):
+    """A run was stopped cooperatively (SIGINT/SIGTERM via
+    :meth:`repro.gpu.gpu.Gpu.request_stop`).
+
+    When the run was configured with a snapshot path, ``snapshot_path``
+    points at the cycle-consistent snapshot written just before raising,
+    and ``cycle`` is the loop boundary it captures — resuming from it
+    continues the simulation bit-identically.
+    """
+
+    def __init__(self, message: str, *, snapshot_path: object = None,
+                 cycle: int = 0) -> None:
+        super().__init__(message)
+        self.snapshot_path = snapshot_path
+        self.cycle = cycle
+
+
+class SnapshotError(ReproError):
+    """A simulator snapshot could not be written, read, or applied.
+
+    Raised on schema-version mismatches, on resuming with a launch whose
+    program structure differs from the snapshotted one, and on corrupt
+    snapshot files.
+    """
+
+
 class WorkloadError(ReproError):
     """Unknown benchmark kernel or invalid workload parameters."""

@@ -34,7 +34,12 @@ from typing import List, Optional, Sequence
 
 from ..config import GPUConfig
 from ..core.scheduler import build_schedulers
-from ..errors import DeadlockError, SimulationHang
+from ..errors import (
+    DeadlockError,
+    SimulationHang,
+    SimulationInterrupted,
+    SnapshotError,
+)
 from ..memory.subsystem import MemorySubsystem
 from ..obs.bus import ProbeBus
 from ..robustness.diagnostics import snapshot_gpu
@@ -80,6 +85,19 @@ class Gpu:
         self._cycle = 0
         #: Optional repro.robustness.FaultPlan (tests / chaos runs only).
         self.faults = None
+        # Cooperative-stop flag: set (signal-safely) by request_stop(),
+        # honoured at the next main-loop cycle boundary.
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Stop the running simulation at the next cycle boundary.
+
+        Safe to call from a signal handler: it only sets a flag. The main
+        loop then writes a snapshot (when one is configured) and raises
+        :class:`~repro.errors.SimulationInterrupted`.
+        """
+        self._stop_requested = True
 
     # ------------------------------------------------------------------
     def install_faults(self, plan) -> None:
@@ -108,6 +126,9 @@ class Gpu:
         sort_trace: Optional[SortTraceRecorder] = None,
         trace: Optional["IssueTrace"] = None,
         deadline: Optional[float] = None,
+        snapshot_every: Optional[int] = None,
+        snapshot_path: Optional[str] = None,
+        launch_ref: Optional[dict] = None,
     ) -> RunResult:
         """Simulate one kernel launch to completion.
 
@@ -129,6 +150,16 @@ class Gpu:
         Hangs and deadlocks raise :class:`~repro.errors.SimulationHang` /
         :class:`~repro.errors.DeadlockError`, both carrying a
         :class:`~repro.robustness.diagnostics.DeadlockReport` snapshot.
+
+        ``snapshot_every`` / ``snapshot_path`` enable cycle-level state
+        snapshots: every ``snapshot_every`` simulated cycles (and on a
+        :meth:`request_stop`) the full simulator state is atomically
+        written to ``snapshot_path``, from which :meth:`Gpu.resume`
+        continues bit-identically. ``launch_ref`` (e.g. ``{"kernel":
+        "hotspot", "scale": 0.25}``) is stored in the snapshot so resume
+        can rebuild the launch from the workload registry; without it,
+        resume requires an explicit ``launch=``. ``snapshot_every=None``
+        with no path leaves the run entirely uninstrumented.
         """
         probe_list = list(probes)
         for name, recorder in (("timeline", timeline),
@@ -151,6 +182,18 @@ class Gpu:
         # Raises LaunchError if a single TB cannot fit.
         max_resident_tbs(program, cfg)
 
+        ctl = None
+        if snapshot_path is not None or snapshot_every is not None:
+            from ..robustness.snapshot import SnapshotControl
+
+            ctl = SnapshotControl(
+                snapshot_path,
+                every=snapshot_every,
+                program=program,
+                num_tbs=launch.num_tbs,
+                launch_ref=launch_ref,
+            )
+
         self._reset_for_launch(bus)
         try:
             tbs = [ThreadBlock(i, program) for i in range(launch.num_tbs)]
@@ -158,37 +201,9 @@ class Gpu:
             if bus is not None:
                 bus.run_start(self, launch)
             self.tb_scheduler.initial_fill(self.sms, cycle=0)
-
-            sms = self.sms
-            max_cycles = cfg.max_cycles
-            if self.faults is not None:
-                max_cycles = self.faults.effective_max_cycles(max_cycles)
-            watchdog = ProgressWatchdog(self, window=cfg.watchdog_window,
-                                        deadline=deadline)
-            if len(sms) >= HEAP_MIN_SMS:
-                cycle = self._run_loop_heap(sms, max_cycles, watchdog)
-            else:
-                cycle = self._run_loop_scan(sms, max_cycles, watchdog)
-            # Cycles are 0-indexed step instants; the elapsed duration
-            # includes the final instant, so every SM's accounting sums
-            # exactly to it.
-            duration = cycle + 1
-            self._cycle = duration
-
-            counters = self._collect_counters(duration)
-            result = RunResult(
-                kernel_name=program.name,
-                scheduler=self.scheduler_name,
-                num_tbs=launch.num_tbs,
-                cycles=duration,
-                counters=counters,
-                timeline=_first_of(probe_list, TimelineRecorder),
-                sort_trace=_first_of(probe_list, SortTraceRecorder),
-                probes=tuple(probe_list),
+            return self._drive(
+                program, launch.num_tbs, probe_list, bus, deadline, ctl
             )
-            if bus is not None:
-                bus.run_end(result)
-            return result
         finally:
             # Detach unconditionally so a reused Gpu (or one abandoned
             # mid-exception) never leaks this run's probes into the next
@@ -197,11 +212,181 @@ class Gpu:
                 self._detach_probes()
 
     # ------------------------------------------------------------------
+    def _drive(
+        self,
+        program,
+        num_tbs: int,
+        probe_list: List[object],
+        bus: Optional[ProbeBus],
+        deadline: Optional[float],
+        ctl,
+    ) -> RunResult:
+        """Run the main loop to completion and package the result.
+
+        Shared tail of :meth:`run` and :meth:`resume`: both bring the
+        machine to a consistent cycle boundary (fresh launch after
+        ``initial_fill``, or restored snapshot state) and then drive it
+        identically from there.
+        """
+        cfg = self.cfg
+        sms = self.sms
+        max_cycles = cfg.max_cycles
+        if self.faults is not None:
+            max_cycles = self.faults.effective_max_cycles(max_cycles)
+        watchdog = ProgressWatchdog(self, window=cfg.watchdog_window,
+                                    deadline=deadline)
+        if len(sms) >= HEAP_MIN_SMS:
+            cycle = self._run_loop_heap(sms, max_cycles, watchdog, ctl)
+        else:
+            cycle = self._run_loop_scan(sms, max_cycles, watchdog, ctl)
+        # Cycles are 0-indexed step instants; the elapsed duration
+        # includes the final instant, so every SM's accounting sums
+        # exactly to it.
+        duration = cycle + 1
+        self._cycle = duration
+
+        counters = self._collect_counters(duration)
+        result = RunResult(
+            kernel_name=program.name,
+            scheduler=self.scheduler_name,
+            num_tbs=num_tbs,
+            cycles=duration,
+            counters=counters,
+            timeline=_first_of(probe_list, TimelineRecorder),
+            sort_trace=_first_of(probe_list, SortTraceRecorder),
+            probes=tuple(probe_list),
+        )
+        if bus is not None:
+            bus.run_end(result)
+        return result
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        path,
+        *,
+        launch: Optional[KernelLaunch] = None,
+        probes: Sequence[object] = (),
+        deadline: Optional[float] = None,
+        snapshot_every: Optional[int] = None,
+        snapshot_path: Optional[str] = None,
+        register=None,
+    ) -> RunResult:
+        """Rebuild a Gpu from a snapshot file and run it to completion.
+
+        The returned :class:`RunResult` is bit-identical (cycles and every
+        counter) to the one the uninterrupted run would have produced.
+
+        ``launch`` may be omitted when the snapshot carries a
+        ``launch_ref`` (kernel name + scale): the launch is then rebuilt
+        from the workload registry. Either way the program's structural
+        digest must match the snapshotted one, otherwise
+        :class:`~repro.errors.SnapshotError` is raised.
+
+        ``snapshot_every`` re-arms periodic snapshotting on the resumed
+        run; ``snapshot_path`` defaults to overwriting ``path`` itself.
+        ``register``, when given, is called with the rebuilt Gpu before
+        driving, so a harness can reach :meth:`request_stop` on it.
+        """
+        from ..robustness.snapshot import (
+            SnapshotControl,
+            config_from_snapshot,
+            load_snapshot,
+            program_digest,
+        )
+
+        data = load_snapshot(path)
+        cfg = config_from_snapshot(data)
+        gpu = cls(cfg, scheduler=data["scheduler"])
+        if launch is None:
+            ref = data.get("launch_ref")
+            if not ref:
+                raise SnapshotError(
+                    f"snapshot {path} carries no launch_ref; pass launch= "
+                    "with the original program to resume"
+                )
+            from ..workloads.base import get_kernel
+
+            launch = get_kernel(ref["kernel"]).build_launch(ref["scale"])
+        if launch.num_tbs != data["num_tbs"]:
+            raise SnapshotError(
+                f"launch has {launch.num_tbs} TBs but the snapshot was "
+                f"taken with {data['num_tbs']}"
+            )
+        program = launch.program
+        program.finalize(cfg.latency)
+        if program_digest(program) != data["program_digest"]:
+            raise SnapshotError(
+                "program structure differs from the snapshotted run; "
+                "resuming would not be bit-identical"
+            )
+
+        probe_list = list(probes)
+        bus = ProbeBus(probe_list) if probe_list else None
+        ctl = None
+        if snapshot_path is not None or snapshot_every is not None:
+            ctl = SnapshotControl(
+                snapshot_path if snapshot_path is not None else path,
+                every=snapshot_every,
+                program=program,
+                num_tbs=data["num_tbs"],
+                launch_ref=data.get("launch_ref"),
+                start_cycle=data["cycle"],
+            )
+        gpu._reset_for_launch(bus)
+        try:
+            gpu.tb_scheduler = ThreadBlockScheduler([])
+            gpu.tb_scheduler.restore(data["tb_scheduler"], program)
+            gpu.memory.restore(data["memory"])
+            for sm, smdata in zip(gpu.sms, data["sms"]):
+                sm.restore(smdata, program)
+            gpu._cycle = data["cycle"]
+            if register is not None:
+                register(gpu)
+            if bus is not None:
+                bus.run_start(gpu, launch)
+            return gpu._drive(
+                program, data["num_tbs"], probe_list, bus, deadline, ctl
+            )
+        finally:
+            if bus is not None:
+                gpu._detach_probes()
+
+    # ------------------------------------------------------------------
+    def _snapshot_boundary(self, ctl, nxt: int) -> None:
+        """Cycle-boundary snapshot/stop hook (both loop variants).
+
+        Called before any SM steps at ``nxt``, so a snapshot taken here
+        captures a state from which resume recomputes the same ``nxt``
+        and proceeds bit-identically. Only invoked when a SnapshotControl
+        is armed or a stop was requested — uninstrumented runs pay a
+        single comparison per loop iteration.
+        """
+        if self._stop_requested:
+            if ctl is None:
+                raise SimulationInterrupted(
+                    "simulation stopped on request (no snapshot configured)",
+                    cycle=nxt,
+                )
+            path = ctl.write(self, nxt)
+            raise SimulationInterrupted(
+                f"simulation stopped on request at cycle {nxt}; "
+                f"snapshot written to {path}",
+                snapshot_path=str(path),
+                cycle=nxt,
+            )
+        if ctl.next_at is not None and nxt >= ctl.next_at:
+            ctl.write(self, nxt)
+            ctl.next_at = nxt + ctl.every
+
+    # ------------------------------------------------------------------
     def _run_loop_scan(
         self,
         sms: List[StreamingMultiprocessor],
         max_cycles: int,
         watchdog: ProgressWatchdog,
+        ctl=None,
     ) -> int:
         """Main loop, linear min-scan variant (cheapest for few SMs)."""
         tb_scheduler = self.tb_scheduler
@@ -217,6 +402,8 @@ class Gpu:
                 self._raise_deadlock(cycle)
             if nxt > max_cycles:
                 self._raise_hang(cycle, nxt, max_cycles)
+            if ctl is not None or self._stop_requested:
+                self._snapshot_boundary(ctl, nxt)
             watchdog.beat(nxt)
             cycle = nxt
             for sm in sms:
@@ -229,6 +416,7 @@ class Gpu:
         sms: List[StreamingMultiprocessor],
         max_cycles: int,
         watchdog: ProgressWatchdog,
+        ctl=None,
     ) -> int:
         """Main loop, lazily-invalidated wake-heap variant.
 
@@ -261,6 +449,8 @@ class Gpu:
                 self._raise_deadlock(cycle)
             if nxt > max_cycles:
                 self._raise_hang(cycle, nxt, max_cycles)
+            if ctl is not None or self._stop_requested:
+                self._snapshot_boundary(ctl, nxt)
             watchdog.beat(nxt)
             cycle = nxt
             # Collect every SM due at this instant. Equal-cycle entries pop
@@ -306,6 +496,7 @@ class Gpu:
     # ------------------------------------------------------------------
     def _reset_for_launch(self, bus: Optional[ProbeBus]) -> None:
         cfg = self.cfg
+        self._stop_requested = False
         self.memory.reset()
         # The bus is (re)assigned unconditionally — including to None —
         # so probes from an earlier launch can never leak into this one.

@@ -83,3 +83,25 @@ class ThreadBlockScheduler:
     def note_tb_finished(self) -> None:
         """Bookkeeping hook called by the GPU for each completed TB."""
         self._finished += 1
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable dispatch state (pending TBs by grid index)."""
+        return {
+            "pending": [tb.tb_index for tb in self._pending],
+            "total": self._total,
+            "finished": self._finished,
+        }
+
+    def restore(self, data: dict, program) -> None:
+        """Rebuild the pending queue against ``program``.
+
+        Pending TBs are pre-materialization (no warps yet), so a fresh
+        :class:`ThreadBlock` per stored index reproduces them exactly.
+        """
+        self._pending = deque(
+            ThreadBlock(i, program) for i in data["pending"]
+        )
+        self._total = data["total"]
+        self._finished = data["finished"]

@@ -26,17 +26,24 @@ writes a machine-readable ``BENCH_<timestamp>.json``.
 
 ``--checkpoint`` persists every completed run-matrix cell to
 ``ckpt/cells.jsonl``; killing the run and re-invoking the same command
-resumes with only the missing cells re-simulated. ``--keep-going`` turns
-a failed experiment into a FAILURES section (exit code 3, "partial
-success") instead of aborting everything.
+resumes with only the missing cells re-simulated. With ``--snapshot-every
+N`` the in-flight cell additionally writes a cycle-level simulator
+snapshot every N cycles (and on SIGINT/SIGTERM, at the exact stop cycle),
+so resuming continues that cell mid-run, bit-identically, instead of
+restarting it. ``pro-sim run --resume SNAP`` resumes a standalone
+snapshot file directly. ``--keep-going`` turns a failed experiment into a
+FAILURES section (exit code 3, "partial success") instead of aborting
+everything.
 
 Exit codes: 0 = success, 1 = simulation failure, 2 = usage error,
-3 = partial success (``--keep-going`` with at least one failure).
+3 = partial success (``--keep-going`` with at least one failure) or an
+interrupted sweep (SIGINT/SIGTERM; state saved, re-run to resume).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import sys
@@ -44,7 +51,8 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
-from ..errors import ReproError
+from ..errors import ReproError, SimulationInterrupted
+from ..gpu.gpu import Gpu
 from ..robustness.checkpoint import CheckpointStore
 from ..workloads import get_kernel
 from . import experiments
@@ -56,6 +64,7 @@ from .runner import (
     CellPolicy,
     ExperimentSetup,
     ResultCache,
+    graceful_interrupts,
 )
 
 #: experiment name -> callable(setup) -> result object with .render()
@@ -79,6 +88,9 @@ EXIT_OK = 0
 EXIT_FAILURE = 1
 EXIT_USAGE = 2
 EXIT_PARTIAL = 3
+#: Interrupted sweeps share code 3: in both cases the report is partial
+#: and re-running the same command completes it.
+EXIT_INTERRUPTED = 3
 
 #: Experiments whose plain cells form a (kernels x schedulers) matrix
 #: worth prewarming in parallel under --jobs. Recorder-carrying
@@ -140,6 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=0, metavar="N",
                    help="retry each failed cell up to N times before "
                         "giving up (default 0)")
+    p.add_argument("--snapshot-every", type=int, default=None,
+                   metavar="CYCLES",
+                   help="with --checkpoint: write a cycle-level simulator "
+                        "snapshot of the in-flight cell every CYCLES "
+                        "cycles; an interrupted invocation resumes the "
+                        "cell mid-run, bit-identically")
+    p.add_argument("--resume", default=None, metavar="SNAPSHOT",
+                   help="for 'run': resume a simulator snapshot file "
+                        "(written by --snapshot-every or a SIGINT/SIGTERM "
+                        "stop) instead of starting a fresh simulation")
     p.add_argument("--jobs", default="1", metavar="N",
                    help="worker processes for run-matrix cells: a positive "
                         "integer or 'auto' (= CPU count; default 1 = "
@@ -177,6 +199,16 @@ def _validate_args(parser: argparse.ArgumentParser,
         )
     if args.retries < 0:
         parser.error(f"--retries must be >= 0 (got {args.retries})")
+    if args.snapshot_every is not None:
+        if args.snapshot_every <= 0:
+            parser.error(
+                f"--snapshot-every must be positive (got {args.snapshot_every})"
+            )
+        if not args.checkpoint:
+            parser.error("--snapshot-every requires --checkpoint (snapshots "
+                         "live under the checkpoint directory)")
+    if args.resume and args.experiment != "run":
+        parser.error("--resume only applies to 'run'")
     try:
         args.jobs = resolve_jobs(args.jobs)
     except ValueError as err:
@@ -298,7 +330,8 @@ def main(argv: Optional[list] = None) -> int:
     checkpoint = (
         CheckpointStore(args.checkpoint) if args.checkpoint else None
     )
-    policy = CellPolicy(retries=args.retries, cell_timeout=args.cell_timeout)
+    policy = CellPolicy(retries=args.retries, cell_timeout=args.cell_timeout,
+                        snapshot_every=args.snapshot_every)
     cache = ResultCache(checkpoint=checkpoint, policy=policy)
     setup = ExperimentSetup(config=GPUConfig.scaled(args.sms),
                             scale=args.scale, cache=cache, jobs=args.jobs)
@@ -306,6 +339,10 @@ def main(argv: Optional[list] = None) -> int:
     chunks = []
     failed: List[Tuple[str, ReproError]] = []
     t0 = time.time()
+    # One SIGINT/SIGTERM = cooperative stop (snapshot the in-flight cell,
+    # unwind as SimulationInterrupted); a second one kills the process.
+    interrupt_guard = contextlib.ExitStack()
+    interrupt_guard.enter_context(graceful_interrupts(cache))
     try:
         if args.experiment == "bench":
             report = run_bench(jobs=args.jobs, smoke=args.smoke,
@@ -316,10 +353,15 @@ def main(argv: Optional[list] = None) -> int:
         elif args.experiment == "trace":
             chunks.extend(_run_trace(cache, args))
         elif args.experiment == "run":
-            if not args.kernel:
-                print("error: 'run' requires a kernel name", file=sys.stderr)
+            if args.resume:
+                result = Gpu.resume(args.resume,
+                                    register=cache._register_gpu)
+            elif not args.kernel:
+                print("error: 'run' requires a kernel name (or --resume)",
+                      file=sys.stderr)
                 return EXIT_USAGE
-            result = setup.run(get_kernel(args.kernel), args.scheduler)
+            else:
+                result = setup.run(get_kernel(args.kernel), args.scheduler)
             chunks.append(result.summary())
             b = result.counters.stall_breakdown()
             chunks.append(
@@ -366,11 +408,21 @@ def main(argv: Optional[list] = None) -> int:
             chunks.append(result.render())
             if args.json_out:
                 _dump_json(args.json_out, to_jsonable(result))
+    except SimulationInterrupted as err:
+        note = (f" (snapshot: {err.snapshot_path})"
+                if err.snapshot_path else "")
+        print(f"interrupted: {err.headline}{note}", file=sys.stderr)
+        if args.checkpoint:
+            print("re-run the same command to resume from the checkpoint",
+                  file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as err:
         # Structured simulation errors carry their diagnostic report in
         # str(); surface it instead of a raw traceback.
         print(f"error: {err}", file=sys.stderr)
         return EXIT_FAILURE
+    finally:
+        interrupt_guard.close()
     chunks.append(f"\n[{time.time() - t0:.1f}s, {args.sms} SMs, "
                   f"scale {args.scale}]")
 

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import errors as _errors
 from ..config import GPUConfig
-from ..errors import SimulationError
+from ..errors import SimulationError, SimulationInterrupted
 from ..gpu.launch import RunResult
 from ..robustness.checkpoint import result_from_json, result_to_json
 from .runner import CellFailure, CellPolicy, ResultCache
@@ -207,33 +207,61 @@ def run_matrix_parallel(
         return results
 
     first_error: Optional[SimulationError] = None
+    completed = 0
+    interrupted = False
     with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
         futures = [
             pool.submit(_worker_cell, kernel, scheduler, config, scale,
                         cache.policy)
             for kernel, scheduler in missing
         ]
-        for future in futures:
-            kernel, scheduler, payload, failure, seconds = future.result()
-            cache.runs_executed += 1
-            if outcomes is not None:
-                outcomes.append(
-                    CellOutcome(kernel, scheduler, seconds, False)
+        try:
+            for future in futures:
+                if getattr(cache, "interrupted", False):
+                    # A graceful_interrupts handler fired: stop consuming
+                    # and tear the pool down below.
+                    interrupted = True
+                    break
+                kernel, scheduler, payload, failure, seconds = (
+                    future.result()
                 )
-            if failure is not None:
-                error_type, headline, attempts = failure
-                err = _rebuild_error(error_type, headline)
-                cache.failures.append(CellFailure(
-                    kernel=kernel, scheduler=scheduler, scale=scale,
-                    attempts=attempts, error=err,
-                ))
-                results[(kernel, scheduler)] = None
-                if first_error is None:
-                    first_error = err
-                continue
-            result = result_from_json(payload)
-            cache.adopt(kernel, scheduler, config, scale, result)
-            results[(kernel, scheduler)] = result
+                cache.runs_executed += 1
+                completed += 1
+                if outcomes is not None:
+                    outcomes.append(
+                        CellOutcome(kernel, scheduler, seconds, False)
+                    )
+                if failure is not None:
+                    error_type, headline, attempts = failure
+                    err = _rebuild_error(error_type, headline)
+                    cache.failures.append(CellFailure(
+                        kernel=kernel, scheduler=scheduler, scale=scale,
+                        attempts=attempts, error=err,
+                    ))
+                    results[(kernel, scheduler)] = None
+                    if first_error is None:
+                        first_error = err
+                    continue
+                result = result_from_json(payload)
+                cache.adopt(kernel, scheduler, config, scale, result)
+                results[(kernel, scheduler)] = result
+        except KeyboardInterrupt:
+            # Raw Ctrl-C without the graceful handler (or a worker dying
+            # of the same process-group SIGINT).
+            interrupted = True
+        if interrupted:
+            # Cancel every not-yet-started cell; the `with` exit then
+            # joins (reaps) the worker processes, waiting only for cells
+            # already executing. Adopted cells stay checkpointed.
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+    if interrupted:
+        raise SimulationInterrupted(
+            f"parallel sweep interrupted: {completed}/{len(missing)} "
+            "outstanding cell(s) completed (checkpointed cells are kept; "
+            "re-run the same command to resume)"
+        )
     if first_error is not None and not keep_going:
         raise first_error
     return results
@@ -256,6 +284,8 @@ def _run_sequential(
             result: Optional[RunResult] = cache.run(
                 kernel, scheduler, config, scale
             )
+        except SimulationInterrupted:
+            raise  # an interrupt ends the sweep even under keep_going
         except SimulationError:
             if not keep_going:
                 raise

@@ -16,12 +16,15 @@ exactly once. Two reliability tiers sit under the memo dict:
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
-from ..errors import SimulationError
+from ..errors import SimulationError, SimulationInterrupted, SnapshotError
 from ..gpu.gpu import Gpu
 from ..gpu.launch import RunResult
 from ..robustness.checkpoint import CheckpointStore, cell_key, config_digest
@@ -40,11 +43,16 @@ class CellPolicy:
     ``retries`` extra attempts are made after a failed simulation (fault
     injectors with consumed budgets make retried cells succeed, modeling
     transient faults); ``cell_timeout`` is a wall-clock budget in seconds
-    enforced by the GPU main loop's watchdog (None = unbounded).
+    enforced by the GPU main loop's watchdog (None = unbounded);
+    ``snapshot_every`` arms periodic cycle-level snapshots on every
+    checkpointed plain cell, so even a hard kill loses at most that many
+    simulated cycles of the in-flight cell (a graceful SIGINT/SIGTERM
+    snapshots the exact stop cycle regardless).
     """
 
     retries: int = 0
     cell_timeout: Optional[float] = None
+    snapshot_every: Optional[int] = None
 
 
 @dataclass
@@ -156,9 +164,32 @@ class ResultCache:
         self.checkpoint_hits = 0
         #: Actual Gpu.run invocations (attempts), for resume verification.
         self.runs_executed = 0
+        #: Cells continued from a mid-run snapshot instead of restarting.
+        self.snapshot_resumes = 0
+        #: Set by :meth:`request_stop`; the active and all future cells
+        #: raise :class:`~repro.errors.SimulationInterrupted`.
+        self.interrupted = False
         #: Cells that exhausted every attempt (kept for the FAILURES
         #: section even though the error also propagates).
         self.failures: List[CellFailure] = []
+        self._active_gpu: Optional[Gpu] = None
+
+    def request_stop(self) -> None:
+        """Cooperatively stop the in-flight cell (signal-handler safe).
+
+        The active simulation stops at its next cycle boundary — writing
+        a resumable snapshot when the cell is checkpointed — and every
+        subsequent :meth:`run` raises immediately, so the sweep unwinds.
+        """
+        self.interrupted = True
+        gpu = self._active_gpu
+        if gpu is not None:
+            gpu.request_stop()
+
+    def _register_gpu(self, gpu: Gpu) -> None:
+        self._active_gpu = gpu
+        if self.interrupted:  # signal landed before the gpu existed
+            gpu.request_stop()
 
     def run(
         self,
@@ -258,11 +289,30 @@ class ResultCache:
         probes: Tuple = (),
     ) -> RunResult:
         """One cell through the retry/timeout policy; raises after the
-        last failed attempt (with the failure recorded)."""
+        last failed attempt (with the failure recorded).
+
+        Checkpointed plain cells get the mid-run snapshot tier: an
+        interrupted cell's snapshot (written by :meth:`request_stop` or
+        a periodic ``CellPolicy.snapshot_every`` schedule) is resumed
+        bit-identically instead of restarting the cell from cycle 0; a
+        stale or mismatched snapshot is discarded and the cell restarts.
+        """
         policy = self.policy
         attempts = policy.retries + 1
+        # Snapshots only apply to plain checkpointed cells: recorder or
+        # probe runs carry state a snapshot file cannot represent.
+        snap_path = None
+        if (self.checkpoint is not None and not probes
+                and not (with_timeline or with_sort_trace)):
+            snap_path = self.checkpoint.snapshot_path(
+                cell_key(model.name, scheduler, config, scale)
+            )
         last_err: Optional[SimulationError] = None
         for _ in range(attempts):
+            if self.interrupted:
+                raise SimulationInterrupted(
+                    f"sweep interrupted before {model.name}/{scheduler}"
+                )
             try:
                 if self.faults is not None:
                     self.faults.check_cell(model.name, scheduler)
@@ -271,19 +321,55 @@ class ResultCache:
                     probe_list.append(TimelineRecorder())
                 if with_sort_trace:
                     probe_list.append(SortTraceRecorder(sm_id=trace_sm))
-                gpu = Gpu(config, scheduler=scheduler)
-                if self.faults is not None:
-                    gpu.install_faults(self.faults)
                 deadline = (
                     time.monotonic() + policy.cell_timeout
                     if policy.cell_timeout is not None else None
                 )
-                self.runs_executed += 1
-                return gpu.run(
-                    model.build_launch(scale),
-                    probes=probe_list,
-                    deadline=deadline,
-                )
+                try:
+                    if snap_path is not None and snap_path.exists():
+                        try:
+                            self.runs_executed += 1
+                            self.snapshot_resumes += 1
+                            return Gpu.resume(
+                                snap_path,
+                                probes=probe_list,
+                                deadline=deadline,
+                                snapshot_every=policy.snapshot_every,
+                                snapshot_path=snap_path,
+                                register=self._register_gpu,
+                            )
+                        except SnapshotError:
+                            # Stale (schema/config/program drift): drop
+                            # it and restart the cell from cycle 0.
+                            self.snapshot_resumes -= 1
+                            self.runs_executed -= 1
+                            snap_path.unlink(missing_ok=True)
+                    gpu = Gpu(config, scheduler=scheduler)
+                    if self.faults is not None:
+                        gpu.install_faults(self.faults)
+                    self._register_gpu(gpu)
+                    self.runs_executed += 1
+                    return gpu.run(
+                        model.build_launch(scale),
+                        probes=probe_list,
+                        deadline=deadline,
+                        snapshot_every=(
+                            policy.snapshot_every if snap_path is not None
+                            else None
+                        ),
+                        snapshot_path=snap_path,
+                        launch_ref=(
+                            {"kernel": model.name, "scale": scale}
+                            if snap_path is not None else None
+                        ),
+                    )
+                finally:
+                    self._active_gpu = None
+            except SimulationInterrupted:
+                # Not a failure: never retried, never recorded. The
+                # snapshot (if any) was already written at the stop
+                # cycle; the next checkpointed invocation resumes it.
+                raise
             except SimulationError as err:
                 last_err = err
         assert last_err is not None
@@ -298,6 +384,40 @@ class ResultCache:
 
     def __len__(self) -> int:
         return len(self._results)
+
+
+@contextlib.contextmanager
+def graceful_interrupts(cache: ResultCache):
+    """Turn SIGINT/SIGTERM into a cooperative, snapshotting stop.
+
+    While active, the first signal calls :meth:`ResultCache.request_stop`:
+    the in-flight cell stops at its next cycle boundary (writing a
+    resumable snapshot when checkpointed) and the sweep unwinds with
+    :class:`~repro.errors.SimulationInterrupted` instead of dying
+    mid-write. The original handlers are restored immediately, so a
+    *second* signal kills the process the ordinary way (escape hatch for
+    a wedged run). No-op outside the main thread, where Python forbids
+    installing signal handlers.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield cache
+        return
+    originals = {}
+
+    def _handler(signum, frame):
+        cache.request_stop()
+        for sig, old in originals.items():
+            signal.signal(sig, old)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        originals[sig] = signal.signal(sig, _handler)
+    try:
+        yield cache
+    finally:
+        for sig, old in originals.items():
+            # Only restore what we still own (a first signal already did).
+            if signal.getsignal(sig) is _handler:
+                signal.signal(sig, old)
 
 
 def id_of(config: GPUConfig) -> str:

@@ -147,6 +147,29 @@ class Cache:
         for cset in self._sets:
             cset.clear()
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable tag state. Each set is its tag list in insertion
+        order — which *is* the LRU order, so restoring the list restores
+        replacement behaviour exactly."""
+        return {
+            "sets": [list(cset) for cset in self._sets],
+            "stats": {
+                "read_hits": self.stats.read_hits,
+                "read_misses": self.stats.read_misses,
+                "write_hits": self.stats.write_hits,
+                "write_misses": self.stats.write_misses,
+                "evictions": self.stats.evictions,
+            },
+        }
+
+    def restore(self, data: dict) -> None:
+        """Apply snapshotted tags (LRU order preserved) and stats."""
+        self._sets = [dict.fromkeys(int(t) for t in tags)
+                      for tags in data["sets"]]
+        self.stats = CacheStats(**data["stats"])
+
     @property
     def resident_lines(self) -> int:
         """Number of lines currently cached."""

@@ -159,3 +159,26 @@ class Dram:
         self._open_row = [-1] * n
         self._bank_free = [0] * n
         self._bus_free = [0] * self.channels
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable row/bank/bus timing state and counters."""
+        return {
+            "open_row": list(self._open_row),
+            "bank_free": list(self._bank_free),
+            "bus_free": list(self._bus_free),
+            "stats": {
+                "reads": self.stats.reads,
+                "writes": self.stats.writes,
+                "row_hits": self.stats.row_hits,
+                "row_misses": self.stats.row_misses,
+            },
+        }
+
+    def restore(self, data: dict) -> None:
+        """Apply a snapshotted DRAM state."""
+        self._open_row = list(data["open_row"])
+        self._bank_free = list(data["bank_free"])
+        self._bus_free = list(data["bus_free"])
+        self.stats = DramStats(**data["stats"])

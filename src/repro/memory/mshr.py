@@ -131,7 +131,7 @@ class Mshr:
         heapq.heappush(self._heap, (completion, line))
         self.stats.allocations += 1
 
-    def snapshot(self, cycle: int) -> dict:
+    def occupancy(self, cycle: int) -> dict:
         """Occupancy view for hang diagnostics (retires lazily first, so
         the in-flight count is exact as of ``cycle``)."""
         self.retire_until(cycle)
@@ -140,6 +140,42 @@ class Mshr:
             "capacity": self.capacity,
             "next_retirement": self.next_retirement(),
         }
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Full serializable state (entries, retirement heap, slots, stats).
+
+        The heaps are stored in their exact internal order — a heap is a
+        list whose layout depends on insertion history, and bit-identical
+        resume requires reproducing that layout, not just the set.
+        """
+        return {
+            "entries": sorted(
+                (line, done, merges)
+                for line, (done, merges) in self._entries.items()
+            ),
+            "heap": [list(e) for e in self._heap],
+            "slots": list(self._slots),
+            "stats": {
+                "allocations": self.stats.allocations,
+                "merges": self.stats.merges,
+                "stalls": self.stats.stalls,
+            },
+        }
+
+    def restore(self, data: dict) -> None:
+        """Apply a snapshotted MSHR state."""
+        self._entries = {
+            int(line): (done, merges) for line, done, merges in data["entries"]
+        }
+        self._heap = [(done, int(line)) for done, line in data["heap"]]
+        self._slots = list(data["slots"])
+        s = data["stats"]
+        self.stats = MshrStats(
+            allocations=s["allocations"], merges=s["merges"],
+            stalls=s["stalls"],
+        )
 
     @property
     def in_flight(self) -> int:

@@ -172,6 +172,31 @@ class MemorySubsystem:
             total.merge(c.stats)
         return total
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable state of the whole hierarchy (L1s, MSHRs, L2
+        banks, L2 ports, DRAM)."""
+        return {
+            "l1": [c.snapshot() for c in self.l1],
+            "mshr": [m.snapshot() for m in self.mshr],
+            "l2_banks": [c.snapshot() for c in self.l2_banks],
+            "l2_port_free": list(self._l2_port_free),
+            "dram": self.dram.snapshot(),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Apply a snapshotted hierarchy state (geometry must match the
+        config this subsystem was built from)."""
+        for cache, cdata in zip(self.l1, data["l1"]):
+            cache.restore(cdata)
+        for mshr, mdata in zip(self.mshr, data["mshr"]):
+            mshr.restore(mdata)
+        for bank, bdata in zip(self.l2_banks, data["l2_banks"]):
+            bank.restore(bdata)
+        self._l2_port_free = list(data["l2_port_free"])
+        self.dram.restore(data["dram"])
+
     def reset(self) -> None:
         """Clear all cache/MSHR/DRAM state (between kernel launches)."""
         for c in self.l1:

@@ -10,7 +10,11 @@ the same machinery a production fleet does:
 * :mod:`~repro.robustness.checkpoint` — disk-backed run-matrix cells so
   an interrupted harness invocation resumes instead of restarting;
 * :mod:`~repro.robustness.faults` — deterministic, seeded fault injectors
-  that prove the above paths actually fire.
+  that prove the above paths actually fire;
+* :mod:`~repro.robustness.snapshot` — cycle-level full-state snapshots
+  with atomic writes and bit-exact resume (:meth:`repro.gpu.gpu.Gpu.resume`);
+* :mod:`~repro.robustness.sanitizer` — windowed conservation-law checks
+  (:class:`InvariantSanitizer`) that name state corruption at its origin.
 """
 
 from .checkpoint import (
@@ -32,10 +36,23 @@ from .diagnostics import (
     snapshot_warp,
 )
 from .faults import FaultPlan
+from .sanitizer import InvariantSanitizer, classify_failure
+from .snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotControl,
+    build_snapshot,
+    config_from_snapshot,
+    load_snapshot,
+    program_digest,
+    write_snapshot,
+)
 from .watchdog import ProgressWatchdog
 
 __all__ = [
     "CheckpointStore",
+    "InvariantSanitizer",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotControl",
     "DeadlockReport",
     "DramSnapshot",
     "FaultPlan",
@@ -43,12 +60,18 @@ __all__ = [
     "ProgressWatchdog",
     "SmSnapshot",
     "WarpSnapshot",
+    "build_snapshot",
     "cell_key",
+    "classify_failure",
     "config_digest",
+    "config_from_snapshot",
+    "load_snapshot",
+    "program_digest",
     "report_for_sm",
     "result_from_json",
     "result_to_json",
     "snapshot_gpu",
     "snapshot_sm",
     "snapshot_warp",
+    "write_snapshot",
 ]

@@ -11,9 +11,12 @@ cells from disk, re-simulating only what is missing.
 
 Design notes:
 
-* **Append-only JSONL** — a crash mid-write corrupts at most the final
-  line, which the loader skips (and counts in ``corrupt_lines``); every
-  previously fsynced cell survives.
+* **Atomic JSONL rewrites** — each ``put`` serializes the store's own
+  records to a temp file, fsyncs, and ``os.replace``\\ s it over the shard,
+  so a crash can never tear the file mid-record. The *reader* still
+  tolerates a torn trailing line (from files written by older builds, or
+  a crashed copy): it is skipped and counted in ``corrupt_lines``, and the
+  next ``put`` rewrites the file whole, leaving no trace of the tear.
 * **Content-hashed keys** — :func:`config_digest` hashes the full
   ``GPUConfig`` field tree, so a checkpoint taken at 4 SMs can never leak
   into a 14-SM run, and any config tweak invalidates exactly the cells it
@@ -131,13 +134,13 @@ class CheckpointStore:
             self.FILENAME if shard is None else f"cells-{shard}.jsonl"
         )
         self._cells: Dict[str, dict] = {}
-        #: Unparseable lines skipped on load (a crash mid-append leaves at
-        #: most one per writer file).
+        #: Records this store's own shard file holds (the only file it
+        #: writes); kept separately so rewrites never copy other shards'
+        #: cells into this one.
+        self._own: Dict[str, dict] = {}
+        #: Unparseable lines skipped on load (e.g. a line torn by a crash
+        #: mid-write under an older, append-based build).
         self.corrupt_lines = 0
-        # A torn final line also lacks its newline; the next append must
-        # start a fresh line or it merges into (and corrupts) the new
-        # record too. Only this store's own file is ever appended to.
-        self._at_line_start = True
         self._load()
 
     def _load(self) -> None:
@@ -152,11 +155,9 @@ class CheckpointStore:
                 continue
             with open(path, "r", encoding="utf-8") as f:
                 text = f.read()
-            if path == self.path:
-                self._at_line_start = not text or text.endswith("\n")
-            self._parse(text)
+            self._parse(text, own=(path == self.path))
 
-    def _parse(self, text: str) -> None:
+    def _parse(self, text: str, own: bool = False) -> None:
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -173,6 +174,8 @@ class CheckpointStore:
                 continue
             # Last write wins (a re-run after a schema-safe retry).
             self._cells[key] = record
+            if own:
+                self._own[key] = record
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[RunResult]:
@@ -184,7 +187,14 @@ class CheckpointStore:
 
     def put(self, key: str, kernel: str, scheduler: str, scale: float,
             result: RunResult) -> None:
-        """Persist one completed cell (fsynced before returning)."""
+        """Persist one completed cell (atomically, fsynced).
+
+        The whole shard is rewritten through a temp file + ``os.replace``:
+        a reader (or a crash) never observes a half-written record, and a
+        torn line inherited from an interrupted older write is healed by
+        the rewrite. Any mid-run snapshot for the cell is deleted — the
+        finished counters supersede it.
+        """
         record = {
             "schema": SCHEMA_VERSION,
             "key": key,
@@ -194,13 +204,36 @@ class CheckpointStore:
             "result": result_to_json(result),
         }
         self._cells[key] = record
-        with open(self.path, "a", encoding="utf-8") as f:
-            if not self._at_line_start:
-                f.write("\n")
-                self._at_line_start = True
-            f.write(json.dumps(record, sort_keys=True) + "\n")
+        self._own[key] = record
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            for rec in self._own.values():
+                f.write(json.dumps(rec, sort_keys=True) + "\n")
             f.flush()
             os.fsync(f.fileno())
+        os.replace(tmp, self.path)
+        self.clear_snapshot(key)
+
+    # ------------------------------------------------------------------
+    # mid-run snapshot tier (see repro.robustness.snapshot)
+
+    SNAPSHOT_DIR = "snapshots"
+
+    def snapshot_path(self, key: str) -> Path:
+        """Where a mid-run simulator snapshot for this cell lives."""
+        return self.directory / self.SNAPSHOT_DIR / f"{key}.snap"
+
+    def get_snapshot(self, key: str) -> Optional[Path]:
+        """Path of an interrupted cell's snapshot, or None."""
+        path = self.snapshot_path(key)
+        return path if path.exists() else None
+
+    def clear_snapshot(self, key: str) -> None:
+        """Drop a cell's mid-run snapshot (it completed or went stale)."""
+        try:
+            self.snapshot_path(key).unlink()
+        except FileNotFoundError:
+            pass
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:

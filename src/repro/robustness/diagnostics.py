@@ -100,6 +100,14 @@ class SmSnapshot:
     last_issue_cycle: int
     mshr: MshrSnapshot
     warps: Tuple[WarpSnapshot, ...]
+    #: Resident-TB occupancy vs the SM's limits:
+    #: (used, limit) for threads / registers / shared memory / TB slots.
+    occupancy: Optional[dict] = None
+    #: PRO per-TB progress table, when a ProManager drives this SM:
+    #: one ``(tb_index, state_name, progress_cache)`` row per resident TB.
+    pro_progress: Tuple[Tuple[int, str, int], ...] = field(default=())
+    #: ``"fast"`` / ``"slow"`` when a ProManager drives this SM.
+    pro_phase: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -150,6 +158,23 @@ class DeadlockReport:
                 f"    MSHR: {m.in_flight}/{m.capacity} in flight, "
                 f"next retirement @ {ret}"
             )
+            if sm.occupancy is not None:
+                o = sm.occupancy
+                lines.append(
+                    "    occupancy: "
+                    f"threads {o['threads'][0]}/{o['threads'][1]}, "
+                    f"regs {o['regs'][0]}/{o['regs'][1]}, "
+                    f"smem {o['smem'][0]}/{o['smem'][1]}, "
+                    f"TB slots {o['tbs'][0]}/{o['tbs'][1]}"
+                )
+            if sm.pro_phase is not None:
+                rows = " | ".join(
+                    f"tb{idx} {state} progress={prog}"
+                    for idx, state, prog in sm.pro_progress
+                ) or "(no resident TBs)"
+                lines.append(
+                    f"    PRO ({sm.pro_phase} phase): {rows}"
+                )
             for w in sm.warps:
                 lines.append(
                     f"    {w.name:<10s} pc={w.pc:<4d} {w.state:<10s} "
@@ -222,15 +247,39 @@ def snapshot_warp(
     )
 
 
+def _pro_manager_of(sm: "StreamingMultiprocessor"):
+    """The SM's shared ProManager, if one drives it (duck-typed)."""
+    for listener in sm.listeners:
+        if hasattr(listener, "records") and hasattr(listener, "fast_phase"):
+            return listener
+    return None
+
+
 def snapshot_sm(sm: "StreamingMultiprocessor", cycle: int) -> SmSnapshot:
-    """Freeze one SM's warp table and MSHR occupancy."""
+    """Freeze one SM's warp table, occupancy and MSHR state."""
     mshr = sm.memory.mshr[sm.sm_id]
-    occ = mshr.snapshot(cycle)
+    occ = mshr.occupancy(cycle)
     warps = tuple(
         snapshot_warp(w, sm, cycle)
         for tb in sm.resident_tbs
         for w in tb.warps
     )
+    cfg = sm.cfg
+    occupancy = {
+        "threads": (sm.used_threads, cfg.max_threads_per_sm),
+        "regs": (sm.used_regs, cfg.registers_per_sm),
+        "smem": (sm.used_smem, cfg.shared_mem_per_sm),
+        "tbs": (len(sm.resident_tbs), cfg.max_tbs_per_sm),
+    }
+    manager = _pro_manager_of(sm)
+    pro_progress: Tuple[Tuple[int, str, int], ...] = ()
+    pro_phase = None
+    if manager is not None:
+        pro_phase = "fast" if manager.fast_phase else "slow"
+        pro_progress = tuple(
+            (idx, rec.state.name, rec.progress_cache)
+            for idx, rec in sorted(manager.records.items())
+        )
     return SmSnapshot(
         sm_id=sm.sm_id,
         sleep_until=sm.sleep_until,
@@ -244,6 +293,9 @@ def snapshot_sm(sm: "StreamingMultiprocessor", cycle: int) -> SmSnapshot:
             next_retirement=occ["next_retirement"],
         ),
         warps=warps,
+        occupancy=occupancy,
+        pro_progress=pro_progress,
+        pro_phase=pro_phase,
     )
 
 

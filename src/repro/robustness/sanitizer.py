@@ -1,0 +1,275 @@
+"""Runtime invariant sanitizer: conservation laws checked while running.
+
+Hangs and deadlocks are *symptoms*; the state corruption that causes them
+(a lost barrier arrival, a swallowed writeback, counter drift) happens many
+cycles earlier and is invisible by the time the watchdog fires.
+:class:`InvariantSanitizer` is a :class:`~repro.obs.Probe` that re-derives
+the simulator's conservation laws from first principles every *window*
+issued instructions and raises a structured
+:class:`~repro.errors.InvariantViolation` — with the machine-state report
+and a canonical invariant ``name`` — at the first sign of drift:
+
+* **barrier-arrival-lost** — a TB's ``n_at_barrier`` counter disagrees
+  with the number of warps actually parked at the barrier (or exceeds the
+  live warp count): an arrival was dropped and the barrier can never
+  release.
+* **mshr-fill-lost** — a warp's scoreboard holds a register with no
+  matching pending writeback event: the fill completion was swallowed and
+  the warp will scoreboard-block forever.
+* **sm-resource-accounting** — an SM's used threads/registers/shared
+  memory no longer equals the sum over its resident TBs.
+* **tb-accounting** — pending + resident + finished TBs no longer equals
+  the grid size, or per-SM completion counters disagree with the Thread
+  Block Scheduler.
+* **instruction-accounting** — per-SM issued-instruction counters drift
+  from the number of issue events the bus actually emitted.
+
+The sanitizer is white-box: it captures the :class:`~repro.gpu.gpu.Gpu`
+from ``on_run_start`` and walks live SM structures at check time. All
+checks run at bus emit points, which the simulator keeps state-consistent
+(no event is emitted between a counter update and the state it mirrors).
+
+:func:`classify_failure` names the failure classes that surface as
+exceptions rather than state drift — :class:`~repro.errors.SimulationHang`
+under a :meth:`~repro.robustness.FaultPlan.clamp_max_cycles` injector is
+``max-cycles-clamped``, :class:`~repro.errors.InjectedFault` is
+``injected-cell-failure`` — giving the fault-injection acceptance tests
+one oracle: every armed injector must produce its canonical name.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import (
+    CellTimeoutError,
+    DeadlockError,
+    InjectedFault,
+    InvariantViolation,
+    SimulationHang,
+)
+from ..obs.bus import Probe
+from .diagnostics import snapshot_gpu
+
+
+def classify_failure(error: BaseException, faults=None) -> str:
+    """Canonical name for a failed run's root cause.
+
+    ``faults`` is the run's :class:`~repro.robustness.FaultPlan` (or
+    None): a hang under an armed ``max_cycles`` clamp is the injector
+    firing, not a genuine runaway.
+    """
+    if isinstance(error, InvariantViolation):
+        return error.name
+    if isinstance(error, InjectedFault):
+        return "injected-cell-failure"
+    if isinstance(error, SimulationHang):
+        if faults is not None and getattr(faults, "max_cycles_clamp",
+                                          None) is not None:
+            return "max-cycles-clamped"
+        return "simulation-hang"
+    if isinstance(error, DeadlockError):
+        return "deadlock"
+    if isinstance(error, CellTimeoutError):
+        return "cell-timeout"
+    return "unclassified"
+
+
+class InvariantSanitizer(Probe):
+    """Windowed conservation-law checker (attach via ``Gpu.run(probes=)``).
+
+    Parameters
+    ----------
+    window:
+        Issued instructions between full checks. Smaller catches
+        corruption closer to its origin; larger costs less. The default
+        keeps sanitized runs within a few percent of uninstrumented time
+        on the harness workloads.
+    """
+
+    def __init__(self, window: int = 2000) -> None:
+        if window <= 0:
+            raise ValueError("sanitizer window must be positive")
+        self.window = window
+        self.gpu = None
+        #: Issue events observed this run.
+        self.issues_seen = 0
+        #: Full checks executed this run (tests assert coverage).
+        self.checks_run = 0
+        #: Names of violations raised (at most one per run — the first
+        #: raise unwinds the simulation).
+        self.violations: List[str] = []
+        self._next_check = window
+        self._last_cycle = 0
+
+    # -- probe hooks ---------------------------------------------------
+
+    def on_run_start(self, gpu, launch) -> None:
+        self.gpu = gpu
+        self.issues_seen = 0
+        self.checks_run = 0
+        self._next_check = self.window
+        self._last_cycle = 0
+
+    def on_issue(self, cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+                 active) -> None:
+        self.issues_seen += 1
+        self._last_cycle = cycle
+        if self.issues_seen >= self._next_check:
+            self._next_check = self.issues_seen + self.window
+            # The issue event fires before the issuing SM increments its
+            # own counters for this instruction.
+            self.check(cycle, counted_current=False)
+
+    def on_run_end(self, result) -> None:
+        self.check(result.cycles, counted_current=True)
+
+    # -- the checks ----------------------------------------------------
+
+    def check(self, cycle: int, *, counted_current: bool = True) -> None:
+        """Run every invariant check; raises InvariantViolation on drift.
+
+        ``counted_current`` is False when called from inside an issue
+        event, where the triggering instruction is observed by the bus
+        but not yet added to the SM's counters.
+        """
+        gpu = self.gpu
+        if gpu is None:
+            return
+        self.checks_run += 1
+        resident_total = 0
+        completed_total = 0
+        instr_total = 0
+        for sm in gpu.sms:
+            self._check_barriers(sm, cycle)
+            self._check_writebacks(sm, cycle)
+            self._check_resources(sm, cycle)
+            resident_total += len(sm.resident_tbs)
+            completed_total += sm.counters.tbs_completed
+            instr_total += sm.counters.instructions
+        self._check_tb_conservation(gpu, cycle, resident_total,
+                                    completed_total)
+        expected = self.issues_seen - (0 if counted_current else 1)
+        if instr_total != expected:
+            self._fail(
+                "instruction-accounting",
+                f"SM counters account for {instr_total} issued "
+                f"instructions but the bus observed {expected}",
+                cycle,
+            )
+
+    def _check_barriers(self, sm, cycle: int) -> None:
+        for tb in sm.resident_tbs:
+            parked = sum(1 for w in tb.warps if w.at_barrier)
+            if parked != tb.n_at_barrier:
+                self._fail(
+                    "barrier-arrival-lost",
+                    f"TB {tb.tb_index} on SM {sm.sm_id}: {parked} warp(s) "
+                    f"parked at the barrier but n_at_barrier="
+                    f"{tb.n_at_barrier} — an arrival was lost",
+                    cycle,
+                )
+            if tb.n_at_barrier + tb.n_finished > tb.n_warps:
+                self._fail(
+                    "barrier-arrival-lost",
+                    f"TB {tb.tb_index} on SM {sm.sm_id}: "
+                    f"{tb.n_at_barrier} arrivals + {tb.n_finished} "
+                    f"finished exceeds {tb.n_warps} warps",
+                    cycle,
+                )
+
+    def _check_writebacks(self, sm, cycle: int) -> None:
+        in_flight = {(id(warp), reg) for _, _, warp, reg in sm._events}
+        for tb in sm.resident_tbs:
+            for warp in tb.warps:
+                for reg in warp.scoreboard.pending():
+                    if (id(warp), reg) not in in_flight:
+                        self._fail(
+                            "mshr-fill-lost",
+                            f"warp tb{tb.tb_index}.w{warp.warp_in_tb} on "
+                            f"SM {sm.sm_id} waits on register {reg} with "
+                            "no pending writeback event — the fill "
+                            "completion was lost",
+                            cycle,
+                        )
+
+    def _check_resources(self, sm, cycle: int) -> None:
+        threads = regs = smem = 0
+        for tb in sm.resident_tbs:
+            prog = tb.program
+            threads += prog.threads_per_tb
+            regs += prog.regs_per_thread * prog.threads_per_tb
+            smem += prog.shared_mem_per_tb
+        if (threads, regs, smem) != (
+            sm.used_threads, sm.used_regs, sm.used_smem
+        ):
+            self._fail(
+                "sm-resource-accounting",
+                f"SM {sm.sm_id} accounts (threads={sm.used_threads}, "
+                f"regs={sm.used_regs}, smem={sm.used_smem}) but resident "
+                f"TBs sum to (threads={threads}, regs={regs}, "
+                f"smem={smem})",
+                cycle,
+            )
+        if len(sm.resident_tbs) > sm.cfg.max_tbs_per_sm:
+            self._fail(
+                "sm-resource-accounting",
+                f"SM {sm.sm_id} holds {len(sm.resident_tbs)} TBs, above "
+                f"the max_tbs_per_sm={sm.cfg.max_tbs_per_sm} limit",
+                cycle,
+            )
+
+    def _check_tb_conservation(self, gpu, cycle: int, resident: int,
+                               completed: int) -> None:
+        tbs = gpu.tb_scheduler
+        total = tbs.pending_count + resident + tbs.finished_count
+        if total != tbs.total:
+            self._fail(
+                "tb-accounting",
+                f"TB conservation broken: {tbs.pending_count} pending + "
+                f"{resident} resident + {tbs.finished_count} finished "
+                f"!= {tbs.total} total",
+                cycle,
+            )
+        if completed != tbs.finished_count:
+            self._fail(
+                "tb-accounting",
+                f"per-SM completion counters sum to {completed} but the "
+                f"Thread Block Scheduler recorded {tbs.finished_count}",
+                cycle,
+            )
+
+    # -- failure plumbing ----------------------------------------------
+
+    def _fail(self, name: str, message: str, cycle: int) -> None:
+        self.violations.append(name)
+        raise InvariantViolation(
+            f"[{name}] {message}",
+            name=name,
+            report=snapshot_gpu(self.gpu, cycle,
+                                f"invariant {name} violated"),
+        )
+
+    # -- oracle --------------------------------------------------------
+
+    def classify(self, error: BaseException) -> str:
+        """Name a failed run's root cause, re-examining the machine.
+
+        A corruption can wedge the simulator (DeadlockError /
+        SimulationHang) before the next windowed check runs; the wedged
+        state still holds the evidence, so re-run the checks on it and
+        prefer their verdict over the generic exception class.
+        """
+        if isinstance(error, InvariantViolation):
+            return error.name
+        if (
+            isinstance(error, (DeadlockError, SimulationHang,
+                               CellTimeoutError))
+            and self.gpu is not None
+        ):
+            try:
+                self.check(self._last_cycle)
+            except InvariantViolation as violation:
+                return violation.name
+        faults = getattr(self.gpu, "faults", None) if self.gpu else None
+        return classify_failure(error, faults)

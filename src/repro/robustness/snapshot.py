@@ -1,0 +1,260 @@
+"""Cycle-level simulator snapshots: capture, atomic write, bit-exact resume.
+
+A snapshot serializes *every* piece of mutable simulator state at a main-loop
+cycle boundary — resident TBs and warps, scoreboards, pending writeback
+events (in exact heap order), warp-scheduler internals (including PRO's
+per-TB progress tables and priority lists), execution-port timestamps, the
+TB dispatch queue, caches/MSHRs/DRAM, and per-SM counters. Restoring it and
+continuing produces the same final :class:`~repro.gpu.launch.RunResult`,
+counter for counter, as the uninterrupted run; the property tests in
+``tests/property/`` enforce this across all four schedulers at arbitrary
+snapshot cycles.
+
+Three guarantees shape the format:
+
+* **Schema-checked** — :data:`SNAPSHOT_SCHEMA_VERSION` plus a ``kind`` tag;
+  loading anything else raises :class:`~repro.errors.SnapshotError` instead
+  of misparsing.
+* **Atomic on disk** — :func:`write_snapshot` writes a temp file in the
+  target directory, fsyncs, then ``os.replace``\\ s it over the destination,
+  so a crash mid-write can never leave a torn snapshot behind.
+* **Self-describing** — the file embeds the full ``GPUConfig`` field tree
+  (plus its digest) and a structural :func:`program_digest`, so resume can
+  rebuild the exact machine and refuse a mismatched program. Programs whose
+  trip/active counts are callables cannot be pickled; instead the snapshot
+  stores a ``launch_ref`` (kernel name + scale) from which
+  :meth:`repro.gpu.gpu.Gpu.resume` rebuilds the launch via the workload
+  registry, with the digest guarding against drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..config import GPUConfig, LatencyConfig, MemoryConfig
+from ..errors import SnapshotError
+from .checkpoint import config_digest
+
+#: Bump when the snapshot layout changes; mismatched files are refused
+#: (a stale snapshot silently misapplied would corrupt results).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: File-type tag distinguishing snapshots from other JSON artifacts.
+SNAPSHOT_KIND = "repro-snapshot"
+
+
+# ---------------------------------------------------------------------------
+# program identity
+
+
+def _token(value) -> str:
+    """Digest token for a scalar-or-callable instruction field.
+
+    Callables (per-warp trip/active functions) are identified by qualname:
+    two builds of the same registered kernel produce the same qualnames,
+    while a structurally different program almost surely does not.
+    """
+    if value is None:
+        return "-"
+    if callable(value):
+        return getattr(value, "__qualname__", type(value).__qualname__)
+    return repr(value)
+
+
+def _pattern_token(pattern) -> str:
+    """Digest token for an AccessPattern (class + slot values)."""
+    if pattern is None:
+        return "-"
+    cls = type(pattern)
+    fields = ",".join(
+        f"{slot}={getattr(pattern, slot)!r}"
+        for slot in getattr(cls, "__slots__", ())
+    )
+    return f"{cls.__qualname__}({fields})"
+
+
+def program_digest(program) -> str:
+    """Structural content hash of a :class:`~repro.isa.program.Program`.
+
+    Covers everything that affects execution: per-TB resources and, per
+    instruction, opcode, registers, memory pattern, bank conflicts, branch
+    target and trip/active resolution. Latencies are excluded — they are
+    (re)finalized from the config, which has its own digest.
+    """
+    parts = [
+        program.name,
+        str(program.threads_per_tb),
+        str(program.regs_per_thread),
+        str(program.shared_mem_per_tb),
+    ]
+    for instr in program.instructions:
+        parts.append(
+            "|".join(
+                (
+                    instr.op.value,
+                    _token(instr.dst),
+                    ",".join(str(s) for s in instr.srcs),
+                    _pattern_token(instr.pattern),
+                    str(instr.conflict_ways),
+                    _token(instr.target),
+                    _token(instr.trips),
+                    _token(instr.active),
+                    instr.unit.name,
+                )
+            )
+        )
+    payload = "\n".join(parts)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# capture / file I/O
+
+
+def build_snapshot(gpu, cycle: int, *, program, num_tbs: int,
+                   launch_ref: Optional[dict] = None) -> dict:
+    """Serialize the full simulator state at a cycle boundary.
+
+    Must be called from the main loop *before* any SM steps at ``cycle``:
+    resume recomputes the same next-wake instant from the restored
+    ``sleep_until`` values and continues bit-identically.
+    """
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "kind": SNAPSHOT_KIND,
+        "cycle": cycle,
+        "scheduler": gpu.scheduler_name,
+        "num_tbs": num_tbs,
+        "config": dataclasses.asdict(gpu.cfg),
+        "config_digest": config_digest(gpu.cfg),
+        "program_digest": program_digest(program),
+        "launch_ref": launch_ref,
+        "tb_scheduler": gpu.tb_scheduler.snapshot(),
+        "sms": [sm.snapshot() for sm in gpu.sms],
+        "memory": gpu.memory.snapshot(),
+    }
+
+
+def write_snapshot(path, data: dict) -> Path:
+    """Atomically write a snapshot dict as JSON.
+
+    Write-temp + fsync + ``os.replace`` in the destination directory: a
+    reader never observes a partially written file, and a crash leaves at
+    worst a stale ``.tmp`` alongside an intact previous snapshot.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(data, f, sort_keys=True)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
+    finally:
+        if tmp.exists():  # replace failed part-way
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    return path
+
+
+_REQUIRED_FIELDS = (
+    "cycle", "scheduler", "num_tbs", "config", "program_digest",
+    "tb_scheduler", "sms", "memory",
+)
+
+
+def load_snapshot(path) -> dict:
+    """Read and schema-check a snapshot file; raises SnapshotError."""
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        raise SnapshotError(f"snapshot file not found: {path}") from None
+    except (json.JSONDecodeError, OSError) as exc:
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from None
+    if not isinstance(data, dict) or data.get("kind") != SNAPSHOT_KIND:
+        raise SnapshotError(f"{path} is not a simulator snapshot")
+    if data.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has schema {data.get('schema')!r}; this "
+            f"build reads schema {SNAPSHOT_SCHEMA_VERSION}"
+        )
+    missing = [k for k in _REQUIRED_FIELDS if k not in data]
+    if missing:
+        raise SnapshotError(f"snapshot {path} missing fields: {missing}")
+    return data
+
+
+def config_from_snapshot(data: dict) -> GPUConfig:
+    """Rebuild the exact GPUConfig a snapshot was taken under."""
+    cdata = dict(data["config"])
+    try:
+        latency = LatencyConfig(**cdata.pop("latency"))
+        memory = MemoryConfig(**cdata.pop("memory"))
+        cfg = GPUConfig(latency=latency, memory=memory, **cdata)
+    except (KeyError, TypeError) as exc:
+        raise SnapshotError(
+            f"snapshot config does not match this build's GPUConfig: {exc}"
+        ) from None
+    digest = data.get("config_digest")
+    if digest is not None and config_digest(cfg) != digest:
+        raise SnapshotError(
+            "rebuilt GPUConfig digest differs from the snapshotted one; "
+            "the config schema has drifted since the snapshot was taken"
+        )
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# per-run policy
+
+
+class SnapshotControl:
+    """Per-run snapshot policy the main loop consults at cycle boundaries.
+
+    Combines the periodic schedule (``every``) with the metadata needed to
+    build a resumable file. With ``every=None`` the control only serves
+    cooperative-stop capture (:meth:`repro.gpu.gpu.Gpu.request_stop`).
+    """
+
+    __slots__ = ("path", "every", "next_at", "program", "num_tbs",
+                 "launch_ref", "written")
+
+    def __init__(self, path, *, every: Optional[int] = None, program,
+                 num_tbs: int, launch_ref: Optional[dict] = None,
+                 start_cycle: int = 0) -> None:
+        if path is None:
+            raise SnapshotError(
+                "snapshot_every requires snapshot_path (nowhere to write)"
+            )
+        if every is not None and every <= 0:
+            raise SnapshotError("snapshot_every must be a positive cycle count")
+        self.path = Path(path)
+        self.every = every
+        self.next_at = (start_cycle + every) if every is not None else None
+        self.program = program
+        self.num_tbs = num_tbs
+        self.launch_ref = launch_ref
+        #: Snapshots written by this run (tests / progress reporting).
+        self.written = 0
+
+    def write(self, gpu, cycle: int) -> Path:
+        """Capture and atomically persist the current state."""
+        data = build_snapshot(
+            gpu, cycle, program=self.program, num_tbs=self.num_tbs,
+            launch_ref=self.launch_ref,
+        )
+        write_snapshot(self.path, data)
+        self.written += 1
+        return self.path

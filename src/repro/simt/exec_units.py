@@ -84,3 +84,15 @@ class ExecUnitPool:
         """Free all ports (between kernels)."""
         for unit, n in self._counts.items():
             self._free_at[unit] = [0] * n
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable per-port free-cycle stamps, keyed by unit name."""
+        return {unit.name: list(ports) for unit, ports in self._free_at.items()}
+
+    def restore(self, data: dict) -> None:
+        """Apply snapshotted port stamps (port order is significant:
+        :meth:`occupy` always takes the first free port)."""
+        for name, stamps in data.items():
+            self._free_at[ExecUnit[name]] = list(stamps)

@@ -57,5 +57,15 @@ class Scoreboard:
         for r in regs:
             self.release(r)
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> list:
+        """Serializable pending-register set (sorted for stable files)."""
+        return sorted(self._pending)
+
+    def restore(self, data: Iterable[int]) -> None:
+        """Replace the pending set with a snapshotted one."""
+        self._pending = set(data)
+
     def __len__(self) -> int:
         return len(self._pending)

@@ -17,7 +17,6 @@ is exact, not an approximation — nothing observable happens in between.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import TYPE_CHECKING, List, Optional
 
 from ..config import GPUConfig
@@ -27,6 +26,7 @@ from ..isa.patterns import AccessContext
 from ..memory.subsystem import MemorySubsystem
 from ..stats.counters import SmCounters, StallKind
 from .exec_units import ExecUnitPool
+from .scoreboard import Scoreboard
 from .threadblock import ThreadBlock
 from .warp import Warp
 
@@ -53,6 +53,30 @@ _ST_NONE = 0  # warp not schedulable (barrier/finished) -> Idle contribution
 _ST_SB = 1  # valid instruction, operands not ready -> Scoreboard
 _ST_PIPE = 2  # valid + ready operands, no free port -> Pipeline
 _ST_ISSUED = 4
+
+
+class _EvictedTb:
+    __slots__ = ("tb_index",)
+
+    def __init__(self, tb_index: int) -> None:
+        self.tb_index = tb_index
+
+
+class _EvictedWarp:
+    """Restore-time stand-in for a warp whose TB finished and was evicted
+    while a writeback of its final load was still in flight.
+
+    Carries just enough shape for the event heap: a scoreboard for the
+    eventual release and ``(tb.tb_index, warp_in_tb)`` so a later
+    re-snapshot can serialize the event again.
+    """
+
+    __slots__ = ("tb", "warp_in_tb", "scoreboard")
+
+    def __init__(self, tb_index: int, warp_in_tb: int) -> None:
+        self.tb = _EvictedTb(tb_index)
+        self.warp_in_tb = warp_in_tb
+        self.scoreboard = Scoreboard()
 
 
 class IssueStatus:
@@ -111,8 +135,10 @@ class StreamingMultiprocessor:
         self.sleep_until = 0
         #: Min-heap of (cycle, seq, warp, reg): scoreboard release events.
         self._events: List[tuple] = []
-        self._event_seq = itertools.count()
-        self._launch_seq = itertools.count()
+        # Plain ints (not itertools.count): their exact values are part of
+        # the event-heap ordering and must snapshot/restore losslessly.
+        self._event_seq = 0
+        self._launch_seq = 0
         self.used_threads = 0
         self.used_regs = 0
         self.used_smem = 0
@@ -155,7 +181,9 @@ class StreamingMultiprocessor:
     def assign_tb(self, tb: ThreadBlock, cycle: int) -> None:
         """Place a TB on this SM (the Thread Block Scheduler's action)."""
         prog = tb.program
-        tb.materialize(self.sm_id, next(self._launch_seq), self.cfg.num_schedulers)
+        launch_seq = self._launch_seq
+        self._launch_seq = launch_seq + 1
+        tb.materialize(self.sm_id, launch_seq, self.cfg.num_schedulers)
         tb.start_cycle = cycle
         # CTA launch latency: warps are not issuable until init completes.
         ready_at = cycle + self.cfg.tb_launch_latency
@@ -384,17 +412,19 @@ class StreamingMultiprocessor:
                 ):
                     pass  # injected fault: the fill completion is lost
                 else:
+                    seq = self._event_seq
+                    self._event_seq = seq + 1
                     heapq.heappush(
-                        self._events,
-                        (result.completion, next(self._event_seq), warp, dst),
+                        self._events, (result.completion, seq, warp, dst)
                     )
         elif op is _OP_LDS or op is _OP_STS:
             units.occupy(ExecUnit.LSU, cycle, instr.conflict_ways)
             if dst is not None:
                 warp.scoreboard.reserve(dst)
+                seq = self._event_seq
+                self._event_seq = seq + 1
                 heapq.heappush(
-                    self._events,
-                    (cycle + instr.latency, next(self._event_seq), warp, dst),
+                    self._events, (cycle + instr.latency, seq, warp, dst)
                 )
         elif instr.unit is not _EU_NONE:
             units.occupy(
@@ -402,9 +432,10 @@ class StreamingMultiprocessor:
             )
             if dst is not None:
                 warp.scoreboard.reserve(dst)
+                seq = self._event_seq
+                self._event_seq = seq + 1
                 heapq.heappush(
-                    self._events,
-                    (cycle + instr.latency, next(self._event_seq), warp, dst),
+                    self._events, (cycle + instr.latency, seq, warp, dst)
                 )
 
         # Control flow.
@@ -488,6 +519,104 @@ class StreamingMultiprocessor:
             if self.bus is not None:
                 self.bus.stall(self.sm_id, final_cycle - gap, final_cycle,
                                StallKind.IDLE)
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable SM state at a cycle boundary.
+
+        Pending scoreboard events encode their warp as
+        ``(tb_index, warp_in_tb)`` and are stored in the heap's exact
+        internal list order — heap layout depends on insertion history,
+        so restoring the list verbatim reproduces pop order bit-exactly.
+        ``managers`` holds listeners that are not schedulers (PRO's
+        shared per-SM manager); for the simple baselines it is empty.
+        """
+        sched_ids = {id(s) for s in self.schedulers}
+        return {
+            "sm_id": self.sm_id,
+            "resident_tbs": [tb.snapshot() for tb in self.resident_tbs],
+            "counters": self.counters.snapshot(),
+            "sleep_until": self.sleep_until,
+            "events": [
+                [cycle, seq, warp.tb.tb_index, warp.warp_in_tb, reg]
+                for cycle, seq, warp, reg in self._events
+            ],
+            "event_seq": self._event_seq,
+            "launch_seq": self._launch_seq,
+            "used_threads": self.used_threads,
+            "used_regs": self.used_regs,
+            "used_smem": self.used_smem,
+            "min_refetch": self._min_refetch,
+            "stall_since": self._stall_since,
+            "stall_kind": (
+                None if self._stall_kind is None else int(self._stall_kind)
+            ),
+            "units": self.units.snapshot(),
+            "schedulers": [s.snapshot() for s in self.schedulers],
+            "managers": [
+                lst.snapshot()
+                for lst in self.listeners
+                if id(lst) not in sched_ids
+            ],
+        }
+
+    def restore(self, data: dict, program) -> dict:
+        """Rebuild resident TBs/warps from ``program`` and apply state.
+
+        Schedulers must already be attached. No listener callbacks fire
+        (scheduler state is restored directly, not re-derived). Returns
+        the ``(tb_index, warp_in_tb) -> Warp`` map used to resolve
+        cross-references, for callers that need it.
+        """
+        num_scheds = self.cfg.num_schedulers
+        self.resident_tbs = []
+        warp_map: dict = {}
+        for tbdata in data["resident_tbs"]:
+            tb = ThreadBlock(tbdata["tb_index"], program)
+            tb.restore(tbdata, self.sm_id, num_scheds)
+            self.resident_tbs.append(tb)
+            for warp in tb.warps:
+                warp_map[(tb.tb_index, warp.warp_in_tb)] = warp
+        self.counters.restore(data["counters"])
+        self.sleep_until = data["sleep_until"]
+        # Stored in exact heap-list order: already a valid heap. An event
+        # may reference a warp whose TB finished and was evicted with the
+        # writeback of its final load still in flight; such events must
+        # survive the round trip — they still wake the SM at their due
+        # cycle — so they are re-targeted at a detached stand-in warp
+        # whose scoreboard absorbs the eventual release.
+        evicted: dict = {}
+        events = []
+        for cycle, seq, tb_idx, wid, reg in data["events"]:
+            warp = warp_map.get((tb_idx, wid))
+            if warp is None:
+                warp = evicted.get((tb_idx, wid))
+                if warp is None:
+                    warp = _EvictedWarp(tb_idx, wid)
+                    evicted[(tb_idx, wid)] = warp
+                warp.scoreboard.reserve(reg)
+            events.append((cycle, seq, warp, reg))
+        self._events = events
+        self._event_seq = data["event_seq"]
+        self._launch_seq = data["launch_seq"]
+        self.used_threads = data["used_threads"]
+        self.used_regs = data["used_regs"]
+        self.used_smem = data["used_smem"]
+        self._min_refetch = data["min_refetch"]
+        self._stall_since = data["stall_since"]
+        kind = data["stall_kind"]
+        self._stall_kind = None if kind is None else StallKind(kind)
+        self.units.restore(data["units"])
+        for sched, sdata in zip(self.schedulers, data["schedulers"]):
+            sched.restore(sdata, warp_map)
+        sched_ids = {id(s) for s in self.schedulers}
+        managers = [
+            lst for lst in self.listeners if id(lst) not in sched_ids
+        ]
+        for mgr, mdata in zip(managers, data["managers"]):
+            mgr.restore(mdata, warp_map)
+        return warp_map
 
     # -- introspection -----------------------------------------------------------
 

@@ -95,6 +95,34 @@ class ThreadBlock:
         """This TB's warps owned by one warp scheduler."""
         return [w for w in self.warps if w.sched_id == sched_id]
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable state of a resident TB (warps included)."""
+        return {
+            "tb_index": self.tb_index,
+            "launch_seq": self.launch_seq,
+            "n_at_barrier": self.n_at_barrier,
+            "n_finished": self.n_finished,
+            "start_cycle": self.start_cycle,
+            "finish_cycle": self.finish_cycle,
+            "warps": [w.snapshot() for w in self.warps],
+        }
+
+    def restore(self, data: dict, sm_id: int, num_schedulers: int) -> None:
+        """Rebuild warps via :meth:`materialize`, then apply their state.
+
+        The program must already be attached (the TB is constructed from
+        the launch's program before restore).
+        """
+        self.materialize(sm_id, data["launch_seq"], num_schedulers)
+        self.n_at_barrier = data["n_at_barrier"]
+        self.n_finished = data["n_finished"]
+        self.start_cycle = data["start_cycle"]
+        self.finish_cycle = data["finish_cycle"]
+        for warp, wdata in zip(self.warps, data["warps"]):
+            warp.restore(wdata)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<TB {self.tb_index} sm={self.sm_id} warps={self.n_warps} "

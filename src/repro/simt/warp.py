@@ -124,6 +124,41 @@ class Warp:
         """False for finished or barrier-blocked warps."""
         return not (self.finished or self.at_barrier)
 
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable mutable state.
+
+        Launch-time constants (``_trips_init``, ``_active``, ``n_threads``,
+        ``sched_id``) are re-derived deterministically by
+        :meth:`~repro.simt.threadblock.ThreadBlock.materialize` on restore
+        and are therefore not stored. Int-keyed dicts are encoded as pair
+        lists so the snapshot survives a JSON round trip.
+        """
+        return {
+            "pc": self.pc,
+            "at_barrier": self.at_barrier,
+            "finished": self.finished,
+            "progress": self.progress,
+            "trips_left": sorted(self._trips_left.items()),
+            "mem_iter": sorted(self.mem_iter.items()),
+            "scoreboard": self.scoreboard.snapshot(),
+            "last_issue_cycle": self.last_issue_cycle,
+            "next_valid_cycle": self.next_valid_cycle,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Apply snapshotted mutable state to a freshly materialized warp."""
+        self.pc = data["pc"]
+        self.at_barrier = data["at_barrier"]
+        self.finished = data["finished"]
+        self.progress = data["progress"]
+        self._trips_left = {int(k): v for k, v in data["trips_left"]}
+        self.mem_iter = {int(k): v for k, v in data["mem_iter"]}
+        self.scoreboard.restore(data["scoreboard"])
+        self.last_issue_cycle = data["last_issue_cycle"]
+        self.next_valid_cycle = data["next_valid_cycle"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
             "fin" if self.finished else "bar" if self.at_barrier else f"pc{self.pc}"

@@ -17,6 +17,7 @@ GPU level, which is how the paper's Fig. 5 / Table III report them.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List
@@ -82,6 +83,17 @@ class SmCounters:
             "scoreboard": self.stall_scoreboard / total,
             "pipeline": self.stall_pipeline / total,
         }
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """Serializable field dict (all fields are plain ints)."""
+        return dataclasses.asdict(self)
+
+    def restore(self, data: Dict[str, int]) -> None:
+        """Overwrite every counter field from a snapshot."""
+        for name, value in data.items():
+            setattr(self, name, value)
 
 
 @dataclass

@@ -1,0 +1,199 @@
+"""Gpu-level snapshot/resume: capture, schema checks, cooperative stop."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.errors import SimulationInterrupted, SnapshotError
+from repro.obs.bus import Probe
+from repro.robustness.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    build_snapshot,
+    load_snapshot,
+    program_digest,
+    write_snapshot,
+)
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+
+
+def _counters(result):
+    return dataclasses.asdict(result.counters)
+
+
+class _StopAt(Probe):
+    def __init__(self, cycle):
+        self.cycle = cycle
+        self._gpu = None
+
+    def on_run_start(self, gpu, launch):
+        self._gpu = gpu
+
+    def on_issue(self, cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+                 active):
+        if cycle >= self.cycle:
+            self._gpu.request_stop()
+
+
+def _interrupt_at(cfg, scheduler, snap, cycle, **prog_kwargs):
+    launch = KernelLaunch(tiny_program(**prog_kwargs), 6)
+    with pytest.raises(SimulationInterrupted) as exc:
+        Gpu(cfg, scheduler).run(launch, probes=[_StopAt(cycle)],
+                                snapshot_path=snap)
+    return exc.value
+
+
+class TestPeriodicSnapshots:
+    def test_snapshotting_does_not_perturb_the_run(self, tmp_path):
+        launch = KernelLaunch(tiny_program(barrier=True, loops=3), 6)
+        baseline = Gpu(CFG, "pro").run(launch)
+        launch2 = KernelLaunch(tiny_program(barrier=True, loops=3), 6)
+        snapped = Gpu(CFG, "pro").run(
+            launch2, snapshot_every=100, snapshot_path=tmp_path / "s.snap"
+        )
+        assert _counters(snapped) == _counters(baseline)
+        assert (tmp_path / "s.snap").exists()
+        assert not list(tmp_path.glob("*.tmp"))  # atomic write cleaned up
+
+    def test_snapshot_every_requires_a_path(self):
+        launch = KernelLaunch(tiny_program(), 2)
+        with pytest.raises(SnapshotError):
+            Gpu(CFG, "lrr").run(launch, snapshot_every=100)
+
+    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro"])
+    def test_resume_from_last_periodic_snapshot(self, tmp_path, sched):
+        launch = KernelLaunch(tiny_program(barrier=True, loops=3), 6)
+        baseline = Gpu(CFG, sched).run(launch)
+        snap = tmp_path / "cell.snap"
+        launch2 = KernelLaunch(tiny_program(barrier=True, loops=3), 6)
+        Gpu(CFG, sched).run(launch2, snapshot_every=baseline.cycles // 3,
+                            snapshot_path=snap)
+        launch3 = KernelLaunch(tiny_program(barrier=True, loops=3), 6)
+        resumed = Gpu.resume(snap, launch=launch3)
+        assert resumed.cycles == baseline.cycles
+        assert _counters(resumed) == _counters(baseline)
+
+
+class TestCooperativeStop:
+    def test_stop_without_snapshot_config_still_raises(self):
+        launch = KernelLaunch(tiny_program(), 6)
+        with pytest.raises(SimulationInterrupted) as exc:
+            Gpu(CFG, "lrr").run(launch, probes=[_StopAt(1)])
+        assert exc.value.snapshot_path is None
+
+    def test_stop_resume_on_the_heap_loop(self, tmp_path):
+        # >= 8 SMs selects the heap-based main loop; the snapshot boundary
+        # must behave identically there.
+        cfg = GPUConfig.scaled(8)
+        launch = KernelLaunch(tiny_program(barrier=True, loops=3), 24)
+        baseline = Gpu(cfg, "pro").run(launch)
+        snap = tmp_path / "heap.snap"
+        launch2 = KernelLaunch(tiny_program(barrier=True, loops=3), 24)
+        with pytest.raises(SimulationInterrupted):
+            Gpu(cfg, "pro").run(launch2,
+                                probes=[_StopAt(baseline.cycles // 2)],
+                                snapshot_path=snap)
+        launch3 = KernelLaunch(tiny_program(barrier=True, loops=3), 24)
+        resumed = Gpu.resume(snap, launch=launch3)
+        assert _counters(resumed) == _counters(baseline)
+
+    def test_interrupt_reports_cycle_and_path(self, tmp_path):
+        snap = tmp_path / "s.snap"
+        err = _interrupt_at(CFG, "lrr", snap, 50)
+        assert err.snapshot_path == str(snap)
+        assert err.cycle >= 50
+        assert snap.exists()
+
+
+class TestSchemaChecks:
+    def _snapshot(self, tmp_path):
+        snap = tmp_path / "s.snap"
+        _interrupt_at(CFG, "lrr", snap, 50)
+        return snap
+
+    def test_roundtrip_and_required_fields(self, tmp_path):
+        snap = self._snapshot(tmp_path)
+        data = load_snapshot(snap)
+        assert data["schema"] == SNAPSHOT_SCHEMA_VERSION
+        assert data["scheduler"] == "lrr"
+        assert len(data["sms"]) == CFG.num_sms
+
+    def test_non_snapshot_file_refused(self, tmp_path):
+        bogus = tmp_path / "x.snap"
+        bogus.write_text('{"kind": "something-else"}')
+        with pytest.raises(SnapshotError):
+            load_snapshot(bogus)
+
+    def test_schema_version_mismatch_refused(self, tmp_path):
+        snap = self._snapshot(tmp_path)
+        data = json.loads(snap.read_text())
+        data["schema"] = SNAPSHOT_SCHEMA_VERSION + 1
+        snap.write_text(json.dumps(data))
+        with pytest.raises(SnapshotError):
+            load_snapshot(snap)
+
+    def test_truncated_file_refused(self, tmp_path):
+        snap = self._snapshot(tmp_path)
+        snap.write_text(snap.read_text()[: len(snap.read_text()) // 2])
+        with pytest.raises(SnapshotError):
+            Gpu.resume(snap)
+
+    def test_mismatched_program_refused(self, tmp_path):
+        snap = self._snapshot(tmp_path)
+        other = KernelLaunch(tiny_program(loops=5), 6)  # different structure
+        with pytest.raises(SnapshotError):
+            Gpu.resume(snap, launch=other)
+
+    def test_mismatched_grid_refused(self, tmp_path):
+        snap = self._snapshot(tmp_path)
+        other = KernelLaunch(tiny_program(), 7)
+        with pytest.raises(SnapshotError):
+            Gpu.resume(snap, launch=other)
+
+    def test_resume_without_launch_needs_a_launch_ref(self, tmp_path):
+        snap = self._snapshot(tmp_path)  # ad-hoc program: no launch_ref
+        with pytest.raises(SnapshotError):
+            Gpu.resume(snap)
+
+    def test_program_digest_is_structural(self):
+        a = tiny_program()
+        b = tiny_program()
+        c = tiny_program(loops=5)
+        assert program_digest(a) == program_digest(b)
+        assert program_digest(a) != program_digest(c)
+
+    def test_build_snapshot_is_json_serializable(self):
+        prog = tiny_program()
+        launch = KernelLaunch(prog, 4)
+        gpu = Gpu(CFG, "pro")
+        gpu.run(launch)
+        data = build_snapshot(gpu, 0, program=prog, num_tbs=4)
+        json.dumps(data)  # must not raise
+
+    def test_write_snapshot_refuses_unwritable_path(self, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        with pytest.raises(SnapshotError):
+            write_snapshot(target, {"kind": "repro-snapshot"})
+
+
+class TestLaunchRefResume:
+    def test_registered_kernel_resumes_without_a_launch(self, tmp_path):
+        from repro.workloads import get_kernel
+
+        model = get_kernel("cenergy")
+        launch = model.build_launch(0.1)
+        baseline = Gpu(CFG, "gto").run(launch)
+        snap = tmp_path / "ref.snap"
+        launch2 = model.build_launch(0.1)
+        with pytest.raises(SimulationInterrupted):
+            Gpu(CFG, "gto").run(
+                launch2, probes=[_StopAt(baseline.cycles // 2)],
+                snapshot_path=snap,
+                launch_ref={"kernel": "cenergy", "scale": 0.1},
+            )
+        resumed = Gpu.resume(snap)  # launch rebuilt from the registry
+        assert _counters(resumed) == _counters(baseline)

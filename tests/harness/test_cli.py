@@ -147,6 +147,9 @@ class TestValidation:
         ["fig4", "--cell-timeout", "-5"],
         ["fig4", "--retries", "-2"],
         ["all", "--json", "out.json"],
+        ["fig4", "--snapshot-every", "0", "--checkpoint", "ckpt"],
+        ["fig4", "--snapshot-every", "100"],  # requires --checkpoint
+        ["fig4", "--resume", "x.snap"],  # --resume only applies to 'run'
     ])
     def test_bad_arguments_exit_usage(self, argv, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -222,3 +225,63 @@ class TestCheckpointFlag:
         again = (ckpt / "cells.jsonl").read_text().strip().splitlines()
         assert len(again) == 1
         assert capsys.readouterr().out.splitlines()[0] == first.splitlines()[0]
+
+
+class TestSnapshotResumeFlags:
+    def test_exit_code_3_is_shared_by_partial_and_interrupted(self):
+        assert cli.EXIT_INTERRUPTED == 3
+        assert cli.EXIT_PARTIAL == 3
+
+    def _snapshot_of_cenergy(self, tmp_path):
+        """A mid-run snapshot carrying a launch_ref (CLI-resumable)."""
+        from repro import Gpu, GPUConfig
+        from repro.errors import SimulationInterrupted
+        from repro.obs.bus import Probe
+        from repro.workloads import get_kernel
+
+        class StopEarly(Probe):
+            def on_run_start(self, gpu, launch):
+                self._gpu = gpu
+
+            def on_issue(self, cycle, sm_id, tb_index, warp_in_tb, pc,
+                         opcode, active):
+                if cycle >= 50:
+                    self._gpu.request_stop()
+
+        snap = tmp_path / "cell.snap"
+        launch = get_kernel("cenergy").build_launch(0.1)
+        with pytest.raises(SimulationInterrupted):
+            Gpu(GPUConfig.scaled(4), "pro").run(
+                launch, probes=[StopEarly()], snapshot_path=snap,
+                launch_ref={"kernel": "cenergy", "scale": 0.1},
+            )
+        return snap
+
+    def test_run_resume_finishes_a_snapshot_file(self, tmp_path, capsys):
+        snap = self._snapshot_of_cenergy(tmp_path)
+        assert main(["run", "--resume", str(snap)]) == 0
+        baseline = capsys.readouterr()
+        assert "cenergy" in baseline.out and "stall breakdown" in baseline.out
+        # matches the uninterrupted run's summary line
+        assert main(["run", "cenergy", "--sms", "4", "--scale", "0.1"]) == 0
+        fresh = capsys.readouterr()
+        assert baseline.out.splitlines()[0] == fresh.out.splitlines()[0]
+
+    def test_interrupted_run_exits_3_with_resume_hint(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.errors import SimulationInterrupted
+        from repro.harness.runner import ExperimentSetup
+
+        def interrupted(self, *a, **k):
+            raise SimulationInterrupted(
+                "simulation stopped on request at cycle 123",
+                snapshot_path=str(tmp_path / "x.snap"), cycle=123,
+            )
+
+        monkeypatch.setattr(ExperimentSetup, "run", interrupted)
+        rc = main(["run", "cenergy", "--sms", "2", "--scale", "0.1",
+                   "--checkpoint", str(tmp_path / "ckpt")])
+        err = capsys.readouterr().err
+        assert rc == 3
+        assert "interrupted:" in err and "x.snap" in err
+        assert "re-run the same command" in err

@@ -1,0 +1,169 @@
+"""Graceful interrupt + mid-run snapshot resume through the harness.
+
+The third checkpoint tier: an interrupted (or crashed-under-periodic-
+snapshots) cell leaves a ``snapshots/<key>.snap`` file under the
+checkpoint directory, and the next invocation *continues* the cell from
+that cycle — bit-identically — instead of restarting it from cycle 0.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import SimulationHang, SimulationInterrupted
+from repro.harness.parallel import run_matrix_parallel
+from repro.harness.runner import (
+    CellPolicy,
+    ResultCache,
+    graceful_interrupts,
+)
+from repro.robustness import CheckpointStore, FaultPlan, cell_key
+from repro.robustness.checkpoint import result_to_json
+
+CFG = GPUConfig.scaled(2)
+KERNEL, SCHED, SCALE = "cenergy", "lrr", 0.1
+
+
+def _key():
+    return cell_key(KERNEL, SCHED, CFG, SCALE)
+
+
+class _StopMidRun(FaultPlan):
+    """Requests a cooperative cache stop after N fill-hook calls.
+
+    The fill hook fires on every global load issue, so this deterministically
+    lands the stop mid-simulation without threads or timers.
+    """
+
+    def __init__(self, cache, after):
+        super().__init__()
+        self._cache = cache
+        self._after = after
+        self._calls = 0
+
+    def should_swallow_fill(self, sm_id, warp, cycle):
+        self._calls += 1
+        if self._calls == self._after:
+            self._cache.request_stop()
+        return False
+
+
+class TestMidRunSnapshotResume:
+    def test_cooperative_stop_writes_snapshot_and_resume_is_bit_identical(
+            self, tmp_path):
+        baseline = ResultCache().run(KERNEL, SCHED, CFG, SCALE)
+
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store)
+        cache.faults = _StopMidRun(cache, after=50)
+        with pytest.raises(SimulationInterrupted) as exc:
+            cache.run(KERNEL, SCHED, CFG, SCALE)
+        assert exc.value.snapshot_path is not None
+        assert 0 < exc.value.cycle < baseline.cycles
+        assert store.get_snapshot(_key()) is not None
+        assert _key() not in store  # cell is NOT checkpointed as done
+
+        resumed = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        result = resumed.run(KERNEL, SCHED, CFG, SCALE)
+        assert resumed.snapshot_resumes == 1
+        assert result_to_json(result) == result_to_json(baseline)
+        # completion promotes the cell to the durable tier and drops the
+        # now-superseded snapshot
+        final = CheckpointStore(tmp_path)
+        assert _key() in final
+        assert final.get_snapshot(_key()) is None
+
+    def test_periodic_snapshots_survive_a_crash_and_resume(self, tmp_path):
+        baseline = ResultCache().run(KERNEL, SCHED, CFG, SCALE)
+        clamp = baseline.cycles // 2
+        store = CheckpointStore(tmp_path)
+        crashed = ResultCache(
+            checkpoint=store,
+            policy=CellPolicy(snapshot_every=max(1, clamp // 4)),
+            faults=FaultPlan().clamp_max_cycles(clamp),
+        )
+        with pytest.raises(SimulationHang):
+            crashed.run(KERNEL, SCHED, CFG, SCALE)
+        assert store.get_snapshot(_key()) is not None
+
+        resumed = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        result = resumed.run(KERNEL, SCHED, CFG, SCALE)
+        assert resumed.snapshot_resumes == 1
+        assert result_to_json(result) == result_to_json(baseline)
+
+    def test_stale_snapshot_is_discarded_and_cell_restarts(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        snap = store.snapshot_path(_key())
+        snap.parent.mkdir(parents=True, exist_ok=True)
+        snap.write_text('{"not": "a snapshot"}')
+        cache = ResultCache(checkpoint=store)
+        result = cache.run(KERNEL, SCHED, CFG, SCALE)
+        assert cache.snapshot_resumes == 0
+        assert not snap.exists()  # dropped, not resumed
+        baseline = ResultCache().run(KERNEL, SCHED, CFG, SCALE)
+        assert result_to_json(result) == result_to_json(baseline)
+
+    def test_interrupted_cache_refuses_further_cells(self):
+        cache = ResultCache()
+        cache.request_stop()
+        with pytest.raises(SimulationInterrupted):
+            cache.run(KERNEL, SCHED, CFG, SCALE)
+
+
+class TestGracefulInterrupts:
+    def test_sigint_sets_the_stop_flag_and_restores_handlers(self):
+        cache = ResultCache()
+        before = signal.getsignal(signal.SIGINT)
+        with graceful_interrupts(cache):
+            os.kill(os.getpid(), signal.SIGINT)
+            # force delivery at a bytecode boundary
+            signal.getsignal(signal.SIGINT)
+        assert cache.interrupted
+        assert signal.getsignal(signal.SIGINT) == before
+
+    def test_sigterm_is_handled_too(self):
+        cache = ResultCache()
+        before = signal.getsignal(signal.SIGTERM)
+        with graceful_interrupts(cache):
+            os.kill(os.getpid(), signal.SIGTERM)
+            signal.getsignal(signal.SIGTERM)
+        assert cache.interrupted
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_noop_outside_main_thread(self):
+        cache = ResultCache()
+        seen = {}
+
+        def body():
+            with graceful_interrupts(cache):
+                seen["handler"] = signal.getsignal(signal.SIGINT)
+
+        before = signal.getsignal(signal.SIGINT)
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        assert seen["handler"] == before  # nothing was installed
+
+
+class TestParallelInterrupt:
+    def test_interrupted_parallel_sweep_cancels_and_raises(self, tmp_path):
+        cache = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        cache.interrupted = True  # as a signal handler would set it
+        cells = [("cenergy", s) for s in ("lrr", "gto", "tl", "pro")]
+        with pytest.raises(SimulationInterrupted) as exc:
+            run_matrix_parallel(cache, cells, CFG, SCALE, jobs=2)
+        assert "re-run the same command to resume" in str(exc.value)
+
+    def test_sequential_interrupt_propagates_even_with_keep_going(
+            self, tmp_path):
+        cache = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        cache.faults = _StopMidRun(cache, after=50)
+        cells = [("cenergy", s) for s in ("lrr", "gto")]
+        with pytest.raises(SimulationInterrupted):
+            # faults force the sequential path; keep_going must not
+            # swallow the interrupt
+            run_matrix_parallel(cache, cells, CFG, SCALE, jobs=2,
+                                keep_going=True)

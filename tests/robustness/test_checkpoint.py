@@ -75,9 +75,9 @@ class TestStoreDurability:
         assert len(reopened) == 1
         assert reopened.get(key).cycles == result.cycles
 
-    def test_append_after_torn_line_starts_a_fresh_line(self, tmp_path):
-        """A torn line has no newline; the next put must not merge into
-        it (which would corrupt the freshly re-simulated cell too)."""
+    def test_put_after_torn_line_heals_the_file(self, tmp_path):
+        """A torn line (no newline) must never merge into the next cell;
+        the atomic rewrite on the next put removes the tear entirely."""
         result = ResultCache().run("cenergy", "lrr", CFG, 0.1)
         key_a = cell_key("cenergy", "lrr", CFG, 0.1)
         key_b = cell_key("cenergy", "pro", CFG, 0.1)
@@ -86,10 +86,42 @@ class TestStoreDurability:
         with open(store.path, "a") as f:
             f.write('{"schema": 1, "key": "torn')  # no trailing newline
         recovered = CheckpointStore(tmp_path)
+        assert recovered.corrupt_lines == 1  # reader tolerates the tear
         recovered.put(key_b, "cenergy", "pro", 0.1, result)
         final = CheckpointStore(tmp_path)
-        assert final.corrupt_lines == 1
+        assert final.corrupt_lines == 0  # rewrite healed the shard
         assert key_a in final and key_b in final
+
+    def test_put_is_atomic_no_partial_file_visible(self, tmp_path):
+        """A put never leaves the shard without its previous cells: the
+        rewrite goes through a temp file and an atomic rename."""
+        result = ResultCache().run("cenergy", "lrr", CFG, 0.1)
+        key_a = cell_key("cenergy", "lrr", CFG, 0.1)
+        key_b = cell_key("cenergy", "pro", CFG, 0.1)
+        store = CheckpointStore(tmp_path)
+        store.put(key_a, "cenergy", "lrr", 0.1, result)
+        store.put(key_b, "cenergy", "pro", 0.1, result)
+        assert not list(tmp_path.glob("*.tmp"))
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 2
+        reopened = CheckpointStore(tmp_path)
+        assert key_a in reopened and key_b in reopened
+
+    def test_shards_rewrite_only_their_own_file(self, tmp_path):
+        """A sharded writer must not copy other shards' cells into its
+        own file when rewriting."""
+        result = ResultCache().run("cenergy", "lrr", CFG, 0.1)
+        key_a = cell_key("cenergy", "lrr", CFG, 0.1)
+        key_b = cell_key("cenergy", "pro", CFG, 0.1)
+        CheckpointStore(tmp_path, shard="w0").put(
+            key_a, "cenergy", "lrr", 0.1, result)
+        other = CheckpointStore(tmp_path, shard="w1")
+        assert key_a in other  # reads the union
+        other.put(key_b, "cenergy", "pro", 0.1, result)
+        w1_lines = (tmp_path / "cells-w1.jsonl").read_text().splitlines()
+        assert len(w1_lines) == 1  # only its own cell
+        union = CheckpointStore(tmp_path)
+        assert key_a in union and key_b in union
 
     def test_schema_mismatch_cells_are_resimulated_not_misparsed(self, tmp_path):
         store = CheckpointStore(tmp_path)

@@ -10,8 +10,8 @@ from tests.conftest import bare_sm, tiny_program
 CFG1 = GPUConfig.scaled(1)
 
 
-def run_with_faults(plan, *, num_tbs=1, **prog_kwargs):
-    gpu = Gpu(CFG1, scheduler="lrr")
+def run_with_faults(plan, *, num_tbs=1, scheduler="lrr", **prog_kwargs):
+    gpu = Gpu(CFG1, scheduler=scheduler)
     gpu.install_faults(plan)
     return gpu, gpu.run(KernelLaunch(tiny_program(**prog_kwargs), num_tbs))
 
@@ -99,6 +99,42 @@ class TestReportStructure:
         assert report.total_tbs is None and report.dram is None
         assert len(report.sms) == 1
         assert "DeadlockReport" in report.render()
+
+
+class TestOccupancyAndProgress:
+    def test_report_carries_resident_tb_occupancy(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True)
+        sm = exc.value.report.sms[0]
+        assert set(sm.occupancy) == {"threads", "regs", "smem", "tbs"}
+        for used, limit in sm.occupancy.values():
+            assert 0 <= used <= limit
+        # the deadlocked TB is still resident
+        assert sm.occupancy["tbs"][0] == 1
+        assert "occupancy:" in exc.value.report.render()
+
+    def test_report_carries_pro_progress_table_under_pro(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True, scheduler="pro")
+        sm = exc.value.report.sms[0]
+        assert sm.pro_phase in ("fast", "slow")
+        assert sm.pro_progress, "PRO per-TB progress table missing"
+        for tb_index, state, progress in sm.pro_progress:
+            assert tb_index == 0
+            assert isinstance(state, str) and state
+            assert progress >= 0
+        assert "PRO (" in exc.value.report.render()
+
+    def test_non_pro_schedulers_omit_the_progress_table(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True, scheduler="gto")
+        sm = exc.value.report.sms[0]
+        assert sm.pro_phase is None
+        assert sm.pro_progress == ()
+        assert "PRO (" not in exc.value.report.render()
 
 
 class TestUninjectedRunsUnchanged:

@@ -1,0 +1,161 @@
+"""InvariantSanitizer: fault injectors as the detection oracle.
+
+Every armed FaultPlan injector must be *detected and named* by the
+sanitizer (or, for injectors that surface as exceptions, by
+``classify_failure``); a clean run must report zero violations.
+"""
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.errors import (
+    CellTimeoutError,
+    DeadlockError,
+    InjectedFault,
+    InvariantViolation,
+    SimulationError,
+    SimulationHang,
+)
+from repro.obs.bus import Probe
+from repro.robustness import FaultPlan, InvariantSanitizer, classify_failure
+from tests.conftest import tiny_program
+
+CFG = GPUConfig.scaled(2)
+
+
+def _run_faulted(plan, *, barrier=True, window=5, num_tbs=6, cfg=CFG,
+                 scheduler="lrr"):
+    """Run a faulted kernel under the sanitizer; return its failure name."""
+    san = InvariantSanitizer(window=window)
+    gpu = Gpu(cfg, scheduler=scheduler)
+    gpu.install_faults(plan)
+    prog = tiny_program(barrier=barrier, loops=3)
+    try:
+        gpu.run(KernelLaunch(prog, num_tbs), probes=[san])
+    except SimulationError as err:
+        return san.classify(err)
+    return None
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro"])
+    def test_zero_violations_on_healthy_runs(self, sched):
+        san = InvariantSanitizer(window=50)
+        res = Gpu(CFG, sched).run(
+            KernelLaunch(tiny_program(barrier=True, loops=3), 8),
+            probes=[san],
+        )
+        assert res.counters.tbs_completed == 8
+        assert san.violations == []
+        # windowed checks plus the final run-end check actually ran
+        assert san.checks_run > 1
+        assert san.issues_seen == res.counters.instructions
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            InvariantSanitizer(window=0)
+
+
+class TestInjectorOracle:
+    def test_dropped_barrier_arrival_is_named(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        assert _run_faulted(plan) == "barrier-arrival-lost"
+
+    def test_swallowed_mshr_fill_is_named(self):
+        plan = FaultPlan().swallow_mshr_fill(nth=2)
+        assert _run_faulted(plan, barrier=False) == "mshr-fill-lost"
+
+    def test_max_cycles_clamp_is_named(self):
+        plan = FaultPlan().clamp_max_cycles(40)
+        assert _run_faulted(plan) == "max-cycles-clamped"
+
+    def test_injected_cell_failure_is_named(self):
+        plan = FaultPlan().fail_cell("tiny", "lrr", times=1)
+        with pytest.raises(InjectedFault) as exc:
+            plan.check_cell("tiny", "lrr")
+        assert classify_failure(exc.value) == "injected-cell-failure"
+
+    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro"])
+    def test_barrier_fault_detected_under_every_scheduler(self, sched):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        assert _run_faulted(plan, scheduler=sched) == "barrier-arrival-lost"
+
+    def test_violation_carries_machine_report(self):
+        san = InvariantSanitizer(window=5)
+        gpu = Gpu(CFG, "lrr")
+        gpu.install_faults(FaultPlan().drop_barrier_arrival(nth=1))
+        with pytest.raises(InvariantViolation) as exc:
+            gpu.run(KernelLaunch(tiny_program(barrier=True), 6),
+                    probes=[san])
+        assert exc.value.name == "barrier-arrival-lost"
+        assert exc.value.report is not None
+        assert "barrier-arrival-lost" in str(exc.value)
+        assert san.violations == ["barrier-arrival-lost"]
+
+
+class _Corrupter(Probe):
+    """Applies a state mutation once, at the Nth issue event."""
+
+    def __init__(self, at_issue, mutate):
+        self.at_issue = at_issue
+        self.mutate = mutate
+        self.gpu = None
+        self._n = 0
+
+    def on_run_start(self, gpu, launch):
+        self.gpu = gpu
+
+    def on_issue(self, cycle, sm_id, tb_index, warp_in_tb, pc, opcode,
+                 active):
+        self._n += 1
+        if self._n == self.at_issue:
+            self.mutate(self.gpu)
+
+
+def _run_corrupted(mutate):
+    san = InvariantSanitizer(window=5)
+    gpu = Gpu(CFG, "lrr")
+    with pytest.raises(InvariantViolation) as exc:
+        # corrupter subscribes first, so it mutates before the check runs
+        gpu.run(KernelLaunch(tiny_program(barrier=True, loops=3), 6),
+                probes=[_Corrupter(20, mutate), san])
+    return exc.value.name
+
+
+class TestWhiteBoxChecks:
+    def test_resource_accounting_drift_detected(self):
+        def leak_threads(gpu):
+            gpu.sms[0].used_threads += 32
+
+        assert _run_corrupted(leak_threads) == "sm-resource-accounting"
+
+    def test_instruction_counter_drift_detected(self):
+        def pad_counter(gpu):
+            gpu.sms[0].counters.instructions += 7
+
+        assert _run_corrupted(pad_counter) == "instruction-accounting"
+
+    def test_tb_conservation_drift_detected(self):
+        def phantom_finish(gpu):
+            gpu.tb_scheduler.note_tb_finished()
+
+        assert _run_corrupted(phantom_finish) == "tb-accounting"
+
+
+class TestClassifyFailure:
+    def test_invariant_violation_uses_its_own_name(self):
+        err = InvariantViolation("x", name="mshr-fill-lost")
+        assert classify_failure(err) == "mshr-fill-lost"
+
+    def test_hang_without_clamp_is_a_real_hang(self):
+        assert classify_failure(SimulationHang("h")) == "simulation-hang"
+
+    def test_hang_under_clamp_is_the_injector(self):
+        plan = FaultPlan().clamp_max_cycles(10)
+        assert classify_failure(SimulationHang("h"), plan) == \
+            "max-cycles-clamped"
+
+    def test_other_classes(self):
+        assert classify_failure(DeadlockError("d")) == "deadlock"
+        assert classify_failure(CellTimeoutError("t")) == "cell-timeout"
+        assert classify_failure(ValueError("v")) == "unclassified"
