@@ -1,11 +1,15 @@
 """Benchmarks: the paper's §IV ablations (barrier handling, THRESHOLD)."""
 
+import pytest
+
 from repro.harness.experiments import (
     ablation_barrier_handling,
     ablation_threshold,
 )
 
 from .conftest import fresh_setup, once
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_ablation_barrier_handling(benchmark):

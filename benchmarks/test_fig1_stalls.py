@@ -1,8 +1,12 @@
 """Benchmark: regenerate Fig. 1 (stall breakdown of TL / LRR / GTO)."""
 
+import pytest
+
 from repro.harness.experiments import fig1_stall_breakdown
 
 from .conftest import fresh_setup, once
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig1_stall_breakdown(benchmark):

@@ -1,8 +1,12 @@
 """Benchmark: regenerate Fig. 2 (TB execution timeline, LRR vs PRO)."""
 
+import pytest
+
 from repro.harness.experiments import fig2_tb_timeline
 
 from .conftest import fresh_setup, once
+
+pytestmark = pytest.mark.bench
 
 
 def test_fig2_timeline(benchmark):

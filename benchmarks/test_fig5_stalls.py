@@ -1,8 +1,18 @@
-"""Benchmark: regenerate Fig. 5 (stall-cycle improvement of PRO)."""
+"""Benchmark: regenerate Fig. 5 (stall-cycle improvement of PRO).
 
+Shape assertions come from the shared fidelity expectation data (the
+Fig. 5 stall-ratio bounds in paper_expectations.json) so this suite and
+``pro-sim fidelity`` gate on the same definition of reproduction.
+"""
+
+import pytest
+
+from repro.fidelity import verdicts_for_stalls
 from repro.harness.experiments import fig5_stall_improvement
 
 from .conftest import fresh_setup, once
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig5_stall_improvement(benchmark):
@@ -12,8 +22,13 @@ def test_fig5_stall_improvement(benchmark):
         benchmark.extra_info[f"geomean_total_ratio_{b}"] = (
             result.geomeans[b]["total"]
         )
-    # Paper shape: PRO has fewer total stalls than TL and LRR on geomean
-    # (1.32x / 1.19x in the paper; smaller but > 1 here).
-    assert result.geomeans["lrr"]["total"] > 1.0
-    assert result.geomeans["tl"]["total"] > 1.0
+    # Paper shape (1.32x / 1.19x / 1.04x there; compressed but same
+    # direction here), judged through the shared expectation bands.
+    verdicts = verdicts_for_stalls(result)
+    assert verdicts, "expected Fig. 5 shape expectations to apply"
+    failures = [v for v in verdicts if v.status == "fail"]
+    assert not failures, "\n".join(
+        f"{v.expectation_id}: measured {v.measured:.3f} outside {v.band} "
+        f"({v.anchor})" for v in failures
+    )
     assert "Fig. 5" in result.render_fig5()

@@ -5,6 +5,8 @@ for tracking the simulator's own performance across changes, per the
 optimization workflow the project follows (profile before optimizing).
 """
 
+import pytest
+
 from repro import Gpu, GPUConfig, KernelLaunch
 from repro.config import LatencyConfig, MemoryConfig
 from repro.isa.patterns import AccessContext, Coalesced, Random
@@ -12,6 +14,8 @@ from repro.memory.cache import Cache
 from repro.memory.dram import Dram
 from repro.memory.subsystem import MemorySubsystem
 from tests.conftest import tiny_program
+
+pytestmark = pytest.mark.bench
 
 CFG = GPUConfig.scaled(2)
 

@@ -1,8 +1,12 @@
 """Benchmark: regenerate Table IV (PRO's sorted TB order over time)."""
 
+import pytest
+
 from repro.harness.experiments import table4_sort_trace
 
 from .conftest import fresh_setup, once
+
+pytestmark = pytest.mark.bench
 
 
 def test_table4_sort_trace(benchmark):

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..config import GPUConfig
 from ..gpu.gpu import Gpu
 from ..gpu.launch import KernelLaunch, RunResult
-from ..stats.report import render_table
+from ..stats.report import geomean, render_table
 from ..workloads import KernelModel, get_kernel
 
 #: (value, scheduler) -> RunResult
@@ -53,6 +53,13 @@ class SweepResult:
                        over: str = "lrr") -> List[float]:
         """The speedup at every sweep point, in value order."""
         return [self.speedup(v, scheduler, over) for v in self.values]
+
+    def speedup_geomean(self, scheduler: str = "pro",
+                        over: str = "lrr") -> float:
+        """Geomean speedup across the sweep — the single-number summary
+        the fidelity scorer's aggregates use, so a sweep can be compared
+        against the Fig. 4 geomean expectations directly."""
+        return geomean(self.speedup_series(scheduler, over))
 
     def render(self) -> str:
         headers = [self.knob] + [f"{s} cycles" for s in self.schedulers]
@@ -150,7 +157,6 @@ def sm_count_sweep(
     schedulers: Tuple[str, ...] = ("lrr", "gto", "pro"),
 ) -> SweepResult:
     """Vary GPU width, scaling the grid proportionally (weak scaling)."""
-    model_holder: Dict[str, KernelModel] = {}
 
     def configure(n: int) -> GPUConfig:
         return GPUConfig.scaled(n)

@@ -1,0 +1,64 @@
+"""Paper-fidelity scoring: machine-checked reproduction gating.
+
+This package turns "does the repo still reproduce the paper?" into a
+verdict a CI job can gate on. Three layers:
+
+* :mod:`~repro.fidelity.expectations` — machine-readable expectations
+  distilled from the paper's evaluation (Fig. 4 speedups, Fig. 5 /
+  Table III stall ratios, Table III stall shares), each carrying a paper
+  citation anchor, the paper's value, a *shape* bound that must hold at
+  any simulation scale, and per-profile numeric targets with warn/fail
+  tolerance bands;
+* :mod:`~repro.fidelity.scorer` — measures a (kernels x schedulers)
+  profile through the harness cache and evaluates every expectation into
+  a verdict (``pass`` / ``warn`` / ``fail``);
+* :mod:`~repro.fidelity.baseline` — content-hashed goldens of per-cell
+  counters keyed by a sim-version digest, with an explicit
+  ``--accept-baseline`` promotion flow so intentional behavior changes
+  are one reviewed file diff instead of silent drift.
+
+The CLI entry points are ``pro-sim fidelity [--smoke|--full]`` and
+``pro-sim diff-baseline A B`` (docs/fidelity.md).
+"""
+
+from .baseline import BaselineDiff, BaselineStore, diff_baselines, sim_version_digest
+from .expectations import (
+    Band,
+    Expectation,
+    ExpectationError,
+    FidelityProfile,
+    PROFILES,
+    load_expectations,
+    resolve_profile,
+)
+from .report import FidelityReport, Verdict
+from .scorer import (
+    FidelityMeasurement,
+    evaluate,
+    measure,
+    score,
+    verdicts_for_fig4,
+    verdicts_for_stalls,
+)
+
+__all__ = [
+    "Band",
+    "BaselineDiff",
+    "BaselineStore",
+    "Expectation",
+    "ExpectationError",
+    "FidelityMeasurement",
+    "FidelityProfile",
+    "FidelityReport",
+    "PROFILES",
+    "Verdict",
+    "diff_baselines",
+    "evaluate",
+    "load_expectations",
+    "measure",
+    "resolve_profile",
+    "score",
+    "sim_version_digest",
+    "verdicts_for_fig4",
+    "verdicts_for_stalls",
+]

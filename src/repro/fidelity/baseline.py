@@ -1,0 +1,288 @@
+"""Content-hashed golden baselines of per-cell counters.
+
+A baseline file freezes the exact per-cell counters of one fidelity
+profile at one simulator version. The simulator is deterministic, so a
+cell that moves *at all* while the sim-version digest is unchanged is an
+unintended behavior change (or nondeterminism) and fails; a cell that
+moves together with the digest is an intentional change that must be
+promoted explicitly with ``pro-sim fidelity --accept-baseline`` — turning
+it into one reviewed file diff instead of silent drift.
+
+File layout (``baselines/<profile>-<geometry-digest>.json``): the
+filename embeds :meth:`FidelityProfile.key`, so changing the profile's
+geometry (kernels, schedulers, SMs, scale) can never be confused with a
+behavior change — it simply makes a *new* baseline file and strands the
+old one (reported as stale).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+SCHEMA_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """Unusable baseline file or store."""
+
+
+def sim_version_digest() -> str:
+    """Content hash of every simulator source file.
+
+    Hashes the whole ``repro`` package except this ``fidelity`` layer
+    (scoring changes must not invalidate the goldens they check). Any
+    edit to simulator/harness/workload code changes the digest, which is
+    the signal that counter drift *may* be intentional and needs an
+    explicit ``--accept-baseline``.
+    """
+    root = Path(__file__).resolve().parent.parent  # src/repro
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.parts[0] == "fidelity":
+            continue
+        h.update(str(rel).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class CellDrift:
+    """One golden cell whose counters moved."""
+
+    cell: str
+    field_name: str
+    baseline: int
+    measured: int
+
+    @property
+    def rel(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.measured else 0.0
+        return self.measured / self.baseline - 1.0
+
+    def describe(self) -> str:
+        return (f"{self.cell} {self.field_name}: {self.baseline} -> "
+                f"{self.measured} ({self.rel:+.2%})")
+
+
+@dataclass
+class BaselineDiff:
+    """Comparison of a measurement (or baseline) against a baseline."""
+
+    path: Optional[str]
+    #: None = no baseline on disk for this profile geometry.
+    found: bool = True
+    sim_digest_matches: bool = True
+    baseline_sim_digest: str = ""
+    current_sim_digest: str = ""
+    drifted: List[CellDrift] = field(default_factory=list)
+    missing_cells: List[str] = field(default_factory=list)
+    extra_cells: List[str] = field(default_factory=list)
+    #: Stranded baseline files whose geometry no longer matches.
+    stale_files: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drifted or self.missing_cells or self.extra_cells)
+
+    @property
+    def status(self) -> str:
+        """fail = counters moved (promotion required); warn = comparison
+        impossible or sim changed without counter movement; pass = clean."""
+        if not self.found:
+            return "warn"
+        if not self.clean:
+            return "fail"
+        if not self.sim_digest_matches:
+            return "warn"
+        return "pass"
+
+    def headline(self) -> str:
+        if not self.found:
+            return ("no baseline for this profile geometry "
+                    "(run with --accept-baseline to create one)")
+        if not self.clean:
+            n = len(self.drifted) + len(self.missing_cells) + len(self.extra_cells)
+            verb = ("intentional change? promote with --accept-baseline"
+                    if not self.sim_digest_matches
+                    else "sim sources unchanged — unintended drift!")
+            return f"{n} golden cell(s) moved vs {self.path} ({verb})"
+        if not self.sim_digest_matches:
+            return (f"sim sources changed ({self.baseline_sim_digest} -> "
+                    f"{self.current_sim_digest}) but all golden counters "
+                    "held — baseline still valid")
+        return f"all golden cells match {self.path}"
+
+
+def _compare_cells(base_cells: Dict[str, Dict[str, int]],
+                   new_cells: Dict[str, Dict[str, int]]) -> Tuple[
+                       List[CellDrift], List[str], List[str]]:
+    drifted = []
+    for cell in sorted(set(base_cells) & set(new_cells)):
+        b, n = base_cells[cell], new_cells[cell]
+        for fname in sorted(set(b) | set(n)):
+            bv, nv = b.get(fname, 0), n.get(fname, 0)
+            if bv != nv:
+                drifted.append(CellDrift(cell=cell, field_name=fname,
+                                         baseline=bv, measured=nv))
+    missing = sorted(set(base_cells) - set(new_cells))
+    extra = sorted(set(new_cells) - set(base_cells))
+    return drifted, missing, extra
+
+
+class BaselineStore:
+    """Directory of per-profile golden files."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, profile) -> Path:
+        return self.directory / f"{profile.name}-{profile.key()}.json"
+
+    def _stale_files(self, profile) -> List[str]:
+        """Baselines for the same profile name but another geometry."""
+        want = self.path_for(profile).name
+        return sorted(
+            p.name for p in self.directory.glob(f"{profile.name}-*.json")
+            if p.name != want
+        )
+
+    def load(self, profile) -> Optional[dict]:
+        path = self.path_for(profile)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            raise BaselineError(f"baseline {path} is not JSON: {err}") from None
+        if data.get("schema") != SCHEMA_VERSION:
+            raise BaselineError(
+                f"baseline {path} schema {data.get('schema')!r} != "
+                f"{SCHEMA_VERSION}"
+            )
+        return data
+
+    def accept(self, measurement) -> Path:
+        """Promote the measurement's counters to the profile's golden.
+
+        Returns the written path; committing that diff is the review
+        step that sanctions the behavior change.
+        """
+        profile = measurement.profile
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "profile": {
+                "name": profile.name,
+                "key": profile.key(),
+                "kernels": list(profile.kernels),
+                "schedulers": list(profile.schedulers),
+                "sms": profile.sms,
+                "scale": profile.scale,
+            },
+            "sim_digest": sim_version_digest(),
+            "config_digest": measurement.config_digest,
+            "cells": measurement.baseline_cells(),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(profile)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    def compare(self, measurement) -> BaselineDiff:
+        """Diff the measurement's cells against the stored golden."""
+        profile = measurement.profile
+        data = self.load(profile)
+        if data is None:
+            return BaselineDiff(path=None, found=False,
+                                stale_files=self._stale_files(profile))
+        current = sim_version_digest()
+        drifted, missing, extra = _compare_cells(
+            data.get("cells", {}), measurement.baseline_cells()
+        )
+        return BaselineDiff(
+            path=str(self.path_for(profile)),
+            found=True,
+            sim_digest_matches=data.get("sim_digest") == current,
+            baseline_sim_digest=data.get("sim_digest", ""),
+            current_sim_digest=current,
+            drifted=drifted,
+            missing_cells=missing,
+            extra_cells=extra,
+            stale_files=self._stale_files(profile),
+        )
+
+
+# ---------------------------------------------------------------------------
+# baseline-to-baseline diffing (``pro-sim diff-baseline A B``)
+
+
+def _load_baseline_file(path: Path) -> dict:
+    if not path.exists():
+        raise BaselineError(f"baseline file not found: {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as err:
+        raise BaselineError(f"baseline {path} is not JSON: {err}") from None
+    if data.get("schema") != SCHEMA_VERSION:
+        raise BaselineError(f"baseline {path} has unknown schema")
+    return data
+
+
+def diff_baselines(a: str | Path, b: str | Path) -> str:
+    """Human-readable diff of two baseline files (or directories).
+
+    Directories are matched by filename; files are compared directly
+    even when their geometry digests differ (the report says so).
+    """
+    a, b = Path(a), Path(b)
+    if a.is_dir() and b.is_dir():
+        names = sorted(
+            {p.name for p in a.glob("*.json")}
+            | {p.name for p in b.glob("*.json")}
+        )
+        if not names:
+            return f"no baseline files under {a} or {b}"
+        parts = []
+        for name in names:
+            if not (a / name).exists():
+                parts.append(f"{name}: only in {b}")
+            elif not (b / name).exists():
+                parts.append(f"{name}: only in {a}")
+            else:
+                parts.append(f"== {name} ==\n"
+                             + diff_baselines(a / name, b / name))
+        return "\n".join(parts)
+    da, db = _load_baseline_file(a), _load_baseline_file(b)
+    lines: List[str] = []
+    pa, pb = da.get("profile", {}), db.get("profile", {})
+    if pa.get("key") != pb.get("key"):
+        lines.append(
+            f"note: different profile geometries ({pa.get('key')} vs "
+            f"{pb.get('key')}); comparing shared cells only"
+        )
+    if da.get("sim_digest") != db.get("sim_digest"):
+        lines.append(f"sim digest: {da.get('sim_digest')} -> "
+                     f"{db.get('sim_digest')}")
+    drifted, missing, extra = _compare_cells(
+        da.get("cells", {}), db.get("cells", {})
+    )
+    for d in drifted:
+        lines.append(d.describe())
+    for cell in missing:
+        lines.append(f"{cell}: only in {a}")
+    for cell in extra:
+        lines.append(f"{cell}: only in {b}")
+    if not drifted and not missing and not extra:
+        lines.append(f"identical cells ({len(da.get('cells', {}))} golden "
+                     "cells)")
+    return "\n".join(lines)

@@ -1,0 +1,299 @@
+"""Machine-readable paper expectations with tolerance bands.
+
+The paper's evaluation claims live in ``data/paper_expectations.json`` as
+:class:`Expectation` records. Each record names the quantity it checks
+(a *kind* plus kind-specific parameters), cites the paper figure/table it
+reproduces, and carries two levels of bounds:
+
+* a **shape** band — an absolute min/max that must hold at *any*
+  simulation geometry (e.g. "PRO beats LRR on geometric mean"). Shape
+  bands are what the benchmark suite asserts and what the scorer falls
+  back to when the measurement was taken off the profile's canonical
+  configuration;
+* per-**profile** numeric targets — the value this reproduction measures
+  at the profile's canonical (SMs, scale, kernel set), with a relative
+  ``warn``/``fail`` tolerance band. Within ``warn`` passes, within
+  ``fail`` warns, outside fails. The simulator is deterministic, so any
+  movement at all is a real behavior change; the bands grade how much of
+  one.
+
+Expectations are data, not code: perturbing a band or target is a
+one-line JSON diff, which is exactly how the fidelity CLI is verified
+(see tests/fidelity/test_cli_fidelity.py).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Kinds the scorer knows how to evaluate.
+KINDS = (
+    "geomean_speedup",   # geomean over profile kernels of PRO/<over>
+    "kernel_speedup",    # one kernel's PRO/<over> speedup
+    "stall_ratio_geomean",  # Fig. 5: per-app geomean of <over>/PRO total stalls
+    "stall_share",       # Table III/Fig. 1: share of one stall class
+    "gto_closest",       # ordering: GTO is the closest baseline
+)
+
+DATA_PATH = Path(__file__).parent / "data" / "paper_expectations.json"
+
+SCHEMA_VERSION = 1
+
+
+class ExpectationError(ReproError):
+    """Malformed expectation data or an unsatisfiable lookup."""
+
+
+@dataclass(frozen=True)
+class Band:
+    """One expectation's bounds.
+
+    Numeric form: ``target`` with relative ``warn``/``fail`` tolerances.
+    Shape form: absolute ``lo``/``hi`` bounds (fail outside, no warn
+    region — shape violations mean the reproduction's direction broke).
+    """
+
+    target: Optional[float] = None
+    warn: Optional[float] = None
+    fail: Optional[float] = None
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        numeric = self.target is not None
+        shaped = self.lo is not None or self.hi is not None
+        if numeric == shaped:
+            raise ExpectationError(
+                "band needs either target+warn+fail or lo/hi bounds, "
+                f"got {self!r}"
+            )
+        if numeric and (self.warn is None or self.fail is None):
+            raise ExpectationError(f"numeric band missing warn/fail: {self!r}")
+        if numeric and not 0 < self.warn <= self.fail:
+            raise ExpectationError(
+                f"need 0 < warn <= fail, got warn={self.warn} fail={self.fail}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.target is not None
+
+    def judge(self, measured: float) -> Tuple[str, float]:
+        """Return (status, delta) for a measured value.
+
+        For numeric bands ``delta`` is the relative deviation from the
+        target; for shape bands it is the distance past the violated
+        bound (0.0 when inside).
+        """
+        if self.is_numeric:
+            delta = measured / self.target - 1.0 if self.target else 0.0
+            if abs(delta) <= self.warn:
+                return "pass", delta
+            if abs(delta) <= self.fail:
+                return "warn", delta
+            return "fail", delta
+        if self.lo is not None and measured < self.lo:
+            return "fail", measured - self.lo
+        if self.hi is not None and measured > self.hi:
+            return "fail", measured - self.hi
+        return "pass", 0.0
+
+    def describe(self) -> str:
+        if self.is_numeric:
+            return (f"target {self.target:.3f} "
+                    f"(warn ±{self.warn:.0%}, fail ±{self.fail:.0%})")
+        parts = []
+        if self.lo is not None:
+            parts.append(f">= {self.lo:.3f}")
+        if self.hi is not None:
+            parts.append(f"<= {self.hi:.3f}")
+        return " and ".join(parts)
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper claim the scorer checks."""
+
+    id: str
+    kind: str
+    #: Paper citation anchor, e.g. "Fig. 4" or "Table III, hotspot row".
+    anchor: str
+    #: The paper's own value for the quantity (context in reports; the
+    #: reproduction's compressed magnitudes are graded by the bands).
+    paper_value: Optional[float] = None
+    #: Scale-independent bound; evaluated when no profile target applies.
+    shape: Optional[Band] = None
+    #: Profile name -> numeric band at that profile's canonical config.
+    profiles: Dict[str, Band] = field(default_factory=dict)
+    #: Kind parameters.
+    scheduler: str = "pro"
+    over: Optional[str] = None
+    kernel: Optional[str] = None
+    stall: Optional[str] = None
+    margin: float = 0.0
+
+    def band_for(self, profile: str, canonical: bool) -> Optional[Band]:
+        """The band to judge with: the profile's numeric band when the
+        measurement sits on the profile's canonical configuration, else
+        the shape band (or None = not checkable)."""
+        if canonical and profile in self.profiles:
+            return self.profiles[profile]
+        return self.shape
+
+
+class Expectations:
+    """A validated expectation set with lookup helpers."""
+
+    def __init__(self, records: List[Expectation], source: str = "") -> None:
+        self.records = records
+        self.source = source
+        self.by_id = {r.id: r for r in records}
+        if len(self.by_id) != len(records):
+            raise ExpectationError("duplicate expectation ids")
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> List[Expectation]:
+        return [r for r in self.records if r.kind == kind]
+
+    def get(self, eid: str) -> Expectation:
+        try:
+            return self.by_id[eid]
+        except KeyError:
+            raise ExpectationError(
+                f"unknown expectation {eid!r}; have {sorted(self.by_id)}"
+            ) from None
+
+
+def _band(data: Optional[dict], where: str) -> Optional[Band]:
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise ExpectationError(f"{where}: band must be an object")
+    allowed = {"target", "warn", "fail", "lo", "hi"}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ExpectationError(f"{where}: unknown band keys {sorted(unknown)}")
+    return Band(**data)
+
+
+def load_expectations(path: Optional[str | Path] = None) -> Expectations:
+    """Load and validate an expectation file (default: the bundled one)."""
+    path = Path(path) if path is not None else DATA_PATH
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ExpectationError(f"expectation file not found: {path}") from None
+    except json.JSONDecodeError as err:
+        raise ExpectationError(f"expectation file {path} is not JSON: {err}") from None
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ExpectationError(
+            f"expectation schema {data.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    records = []
+    for rec in data.get("expectations", []):
+        where = rec.get("id", "<missing id>")
+        if rec.get("kind") not in KINDS:
+            raise ExpectationError(
+                f"{where}: unknown kind {rec.get('kind')!r} (known: {KINDS})"
+            )
+        paper = rec.get("paper", {})
+        records.append(Expectation(
+            id=rec["id"],
+            kind=rec["kind"],
+            anchor=paper.get("anchor", ""),
+            paper_value=paper.get("value"),
+            shape=_band(rec.get("shape"), where),
+            profiles={
+                name: _band(b, f"{where}.profiles.{name}")
+                for name, b in rec.get("profiles", {}).items()
+            },
+            scheduler=rec.get("scheduler", "pro"),
+            over=rec.get("over"),
+            kernel=rec.get("kernel"),
+            stall=rec.get("stall"),
+            margin=rec.get("margin", 0.0),
+        ))
+    if not records:
+        raise ExpectationError(f"expectation file {path} holds no expectations")
+    return Expectations(records, source=data.get("source", ""))
+
+
+# ---------------------------------------------------------------------------
+# profiles
+
+
+@dataclass(frozen=True)
+class FidelityProfile:
+    """One canonical fidelity measurement geometry.
+
+    ``smoke`` is the PR-gating subset (single-kernel applications, so
+    per-app stall aggregation degenerates to per-kernel — cheap and
+    unambiguous); ``full`` is the paper's whole Table II matrix at the
+    scaled 4-SM configuration EXPERIMENTS.md reports.
+    """
+
+    name: str
+    kernels: Tuple[str, ...]
+    sms: int
+    scale: float
+    schedulers: Tuple[str, ...] = ("tl", "lrr", "gto", "pro")
+
+    def key(self) -> str:
+        """Content digest identifying the profile geometry (baseline
+        filenames embed it, so geometry changes can never be confused
+        with behavior changes)."""
+        payload = json.dumps(
+            {"kernels": self.kernels, "schedulers": self.schedulers,
+             "sms": self.sms, "scale": self.scale},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+#: Single-kernel applications spanning the suite's behavior space:
+#: barrier-heavy (AES), cache-sensitive divergent (BFS — a kernel PRO
+#: loses, so regressions in *both* directions are visible), compute
+#: regular (CP), ray-divergent (STO), the paper's biggest stall win
+#: (hotspot), and the paper's headline kernel (ScalarProd).
+SMOKE_KERNELS = (
+    "aesEncrypt128", "bfs_kernel", "cenergy", "sha1_overlap",
+    "calculate_temp", "scalarProdGPU",
+)
+
+PROFILES: Dict[str, FidelityProfile] = {
+    "smoke": FidelityProfile(name="smoke", kernels=SMOKE_KERNELS,
+                             sms=2, scale=0.25),
+    "full": FidelityProfile(name="full", kernels=(), sms=4, scale=1.0),
+}
+
+
+def resolve_profile(name: str) -> FidelityProfile:
+    """PROFILES lookup, expanding full's kernel set from the registry."""
+    try:
+        profile = PROFILES[name]
+    except KeyError:
+        raise ExpectationError(
+            f"unknown fidelity profile {name!r}; have {sorted(PROFILES)}"
+        ) from None
+    if not profile.kernels:
+        from ..workloads import all_kernels
+
+        profile = FidelityProfile(
+            name=profile.name,
+            kernels=tuple(m.name for m in all_kernels()),
+            sms=profile.sms,
+            scale=profile.scale,
+            schedulers=profile.schedulers,
+        )
+    return profile

@@ -1,0 +1,223 @@
+"""Fidelity report: verdict rows plus three renderers.
+
+One :class:`FidelityReport` feeds all three consumers:
+
+* ``render()`` — the human terminal table (``pro-sim fidelity``);
+* ``to_json()`` — the machine-readable artifact CI archives;
+* ``render_markdown()`` — the GitHub Actions step-summary block the
+  ``fidelity-smoke`` job publishes on every PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..stats.report import render_markdown_table, render_table
+from .baseline import BaselineDiff
+from .expectations import FidelityProfile
+
+#: Severity order for aggregation.
+_SEVERITY = {"pass": 0, "warn": 1, "fail": 2}
+
+_STATUS_ICON = {"pass": "✅", "warn": "⚠️", "fail": "❌"}
+
+
+@dataclass
+class Verdict:
+    """One judged expectation."""
+
+    expectation_id: str
+    kind: str
+    status: str  # "pass" | "warn" | "fail"
+    measured: float
+    delta: float
+    band: str
+    anchor: str
+    paper_value: Optional[float] = None
+    #: True when judged against a numeric per-profile target (delta is a
+    #: relative deviation); False for shape bounds.
+    numeric: bool = False
+
+    def delta_str(self) -> str:
+        if self.numeric:
+            return f"{self.delta:+.2%}"
+        return "-" if self.delta == 0.0 else f"{self.delta:+.3f}"
+
+
+@dataclass
+class FidelityReport:
+    """Everything one fidelity run concluded."""
+
+    profile: FidelityProfile
+    sms: int
+    scale: float
+    canonical: bool
+    config_digest: str
+    verdicts: List[Verdict] = field(default_factory=list)
+    baseline: Optional[BaselineDiff] = None
+
+    # -- aggregation --------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {"pass": 0, "warn": 0, "fail": 0}
+        for v in self.verdicts:
+            out[v.status] += 1
+        return out
+
+    @property
+    def status(self) -> str:
+        worst = max(
+            (v.status for v in self.verdicts), key=_SEVERITY.get,
+            default="pass",
+        )
+        if self.baseline is not None:
+            worst = max(worst, self.baseline.status, key=_SEVERITY.get)
+        return worst
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: warnings pass, failures do not."""
+        return self.status != "fail"
+
+    def geomean_deltas(self) -> Dict[str, float]:
+        """Relative deviation of each aggregate-geomean expectation from
+        its target (the report's headline trend numbers)."""
+        return {
+            v.expectation_id: v.delta
+            for v in self.verdicts
+            if v.kind in ("geomean_speedup", "stall_ratio_geomean")
+            and v.numeric
+        }
+
+    def failures(self) -> List[Verdict]:
+        return [v for v in self.verdicts if v.status == "fail"]
+
+    # -- renderers ----------------------------------------------------
+    def _rows(self) -> List[tuple]:
+        rows = []
+        for v in self.verdicts:
+            paper = "" if v.paper_value is None else f"{v.paper_value:.3f}"
+            rows.append((v.status.upper(), v.expectation_id,
+                         f"{v.measured:.3f}", v.band, v.delta_str(),
+                         paper, v.anchor))
+        return rows
+
+    def _headline(self) -> str:
+        c = self.counts()
+        mode = "canonical" if self.canonical else "shape-only (off-canonical)"
+        return (f"fidelity [{self.profile.name}] {self.status.upper()}: "
+                f"{c['pass']} pass, {c['warn']} warn, {c['fail']} fail "
+                f"({len(self.profile.kernels)} kernels x "
+                f"{len(self.profile.schedulers)} schedulers, {self.sms} SMs, "
+                f"scale {self.scale}, {mode})")
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                ("Status", "Expectation", "Measured", "Band", "Delta",
+                 "Paper", "Anchor"),
+                self._rows(),
+                title=f"Fidelity report — profile '{self.profile.name}'",
+            ),
+            "",
+            self._headline(),
+        ]
+        if self.baseline is not None:
+            parts.append(f"baseline [{self.baseline.status}]: "
+                         f"{self.baseline.headline()}")
+            for d in self.baseline.drifted[:20]:
+                parts.append(f"  {d.describe()}")
+            if len(self.baseline.drifted) > 20:
+                parts.append(f"  ... and {len(self.baseline.drifted) - 20} "
+                             "more drifted cells")
+            for cell in self.baseline.missing_cells:
+                parts.append(f"  {cell}: in baseline only")
+            for cell in self.baseline.extra_cells:
+                parts.append(f"  {cell}: measured but not in baseline")
+            if self.baseline.stale_files:
+                parts.append("  stale baseline files (other geometry): "
+                             + ", ".join(self.baseline.stale_files))
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavored markdown for ``$GITHUB_STEP_SUMMARY``."""
+        lines = [
+            f"## Paper fidelity — `{self.profile.name}` "
+            f"{_STATUS_ICON[self.status]}",
+            "",
+            self._headline(),
+            "",
+            render_markdown_table(
+                ("", "Expectation", "Measured", "Band", "Delta", "Paper",
+                 "Anchor"),
+                [( _STATUS_ICON[v.status], f"`{v.expectation_id}`",
+                   f"{v.measured:.3f}", v.band, v.delta_str(),
+                   "" if v.paper_value is None else f"{v.paper_value:.3f}",
+                   v.anchor)
+                 for v in self.verdicts],
+            ),
+        ]
+        if self.baseline is not None:
+            lines += ["",
+                      f"**Baseline** {_STATUS_ICON[self.baseline.status]}: "
+                      f"{self.baseline.headline()}"]
+            if self.baseline.drifted:
+                lines += ["", render_markdown_table(
+                    ("Cell", "Counter", "Baseline", "Measured", "Δ"),
+                    [(d.cell, d.field_name, d.baseline, d.measured,
+                      f"{d.rel:+.2%}")
+                     for d in self.baseline.drifted[:50]],
+                )]
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict:
+        out = {
+            "schema": 1,
+            "profile": {
+                "name": self.profile.name,
+                "key": self.profile.key(),
+                "kernels": list(self.profile.kernels),
+                "schedulers": list(self.profile.schedulers),
+            },
+            "sms": self.sms,
+            "scale": self.scale,
+            "canonical": self.canonical,
+            "config_digest": self.config_digest,
+            "status": self.status,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "geomean_deltas": self.geomean_deltas(),
+            "verdicts": [
+                {
+                    "id": v.expectation_id,
+                    "kind": v.kind,
+                    "status": v.status,
+                    "measured": v.measured,
+                    "delta": v.delta,
+                    "band": v.band,
+                    "paper_value": v.paper_value,
+                    "anchor": v.anchor,
+                    "numeric": v.numeric,
+                }
+                for v in self.verdicts
+            ],
+        }
+        if self.baseline is not None:
+            b = self.baseline
+            out["baseline"] = {
+                "path": b.path,
+                "found": b.found,
+                "status": b.status,
+                "sim_digest_matches": b.sim_digest_matches,
+                "baseline_sim_digest": b.baseline_sim_digest,
+                "current_sim_digest": b.current_sim_digest,
+                "drifted": [
+                    {"cell": d.cell, "field": d.field_name,
+                     "baseline": d.baseline, "measured": d.measured}
+                    for d in b.drifted
+                ],
+                "missing_cells": b.missing_cells,
+                "extra_cells": b.extra_cells,
+                "stale_files": b.stale_files,
+            }
+        return out

@@ -11,6 +11,19 @@ Examples::
                                    # instrumented run: windowed metrics +
                                    # a Perfetto-loadable trace (--smoke
                                    # for the quick CI variant)
+    pro-sim fidelity --smoke --json report.json
+                                   # machine-check the reproduction against
+                                   # the paper expectations + goldens
+    pro-sim diff-baseline baselines/ other-baselines/
+                                   # per-cell counter diff of two goldens
+
+``pro-sim fidelity`` scores the measured (kernels x schedulers) matrix
+against the tolerance-banded paper expectations (docs/fidelity.md) and
+the content-hashed golden baselines under ``--baseline DIR`` (default
+``baselines/``); any ``fail`` verdict exits 1, making it a CI gate.
+``--accept-baseline`` promotes the measured counters to the golden file
+— the reviewed diff that sanctions an intentional behavior change. When
+``$GITHUB_STEP_SUMMARY`` is set, the markdown report is appended to it.
 
 Long / paper-faithful sweeps get the resilient path, and multi-core
 machines the parallel one::
@@ -46,6 +59,7 @@ import argparse
 import contextlib
 import dataclasses
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
@@ -112,19 +126,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "run", "bench", "trace"],
+        choices=sorted(EXPERIMENTS) + ["all", "run", "bench", "trace",
+                                       "fidelity", "diff-baseline"],
         help="which artifact to regenerate ('all' = every one; 'run' = a "
              "single kernel simulation; 'bench' = simulator throughput "
              "measurement; 'trace' = one instrumented run exporting "
-             "windowed metrics + a Perfetto-loadable trace)",
+             "windowed metrics + a Perfetto-loadable trace; 'fidelity' = "
+             "score the reproduction against the paper expectations; "
+             "'diff-baseline' = compare two golden baseline files/dirs)",
     )
     p.add_argument("kernel", nargs="?", default=None,
                    help="kernel name (for 'run' and 'trace'; 'trace' "
-                        "defaults to scalarProdGPU)")
-    p.add_argument("--sms", type=int, default=4,
-                   help="number of SMs (default 4; 14 = paper Table I)")
-    p.add_argument("--scale", type=float, default=1.0,
-                   help="workload grid-size multiplier (default 1.0)")
+                        "defaults to scalarProdGPU) or baseline A (for "
+                        "'diff-baseline')")
+    p.add_argument("arg2", nargs="?", default=None, metavar="B",
+                   help="baseline B (for 'diff-baseline')")
+    p.add_argument("--sms", type=int, default=None,
+                   help="number of SMs (default 4; 14 = paper Table I; "
+                        "'fidelity' defaults to its profile's geometry)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload grid-size multiplier (default 1.0; "
+                        "'fidelity' defaults to its profile's geometry)")
     p.add_argument("--scheduler", default="pro",
                    help="scheduler for 'run' (default pro)")
     p.add_argument("--threshold", type=int, default=None,
@@ -167,9 +189,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "integer or 'auto' (= CPU count; default 1 = "
                         "sequential). Results are bit-identical either way")
     p.add_argument("--smoke", action="store_true",
-                   help="for 'bench'/'trace': the quick CI variant (fewer, "
-                        "smaller cells; 'trace' drops to 2 SMs at scale "
-                        "0.25)")
+                   help="for 'bench'/'trace'/'fidelity': the quick CI "
+                        "variant (fewer, smaller cells; 'trace' drops to "
+                        "2 SMs at scale 0.25; 'fidelity' scores the smoke "
+                        "profile, which is also its default)")
+    p.add_argument("--full", action="store_true",
+                   help="for 'fidelity': score the full profile (all "
+                        "Table II kernels at the paper-faithful scaled "
+                        "geometry) instead of the smoke subset")
+    p.add_argument("--baseline", default="baselines", metavar="DIR",
+                   help="for 'fidelity': golden baseline directory "
+                        "(default baselines/)")
+    p.add_argument("--accept-baseline", action="store_true",
+                   help="for 'fidelity': promote the measured per-cell "
+                        "counters to the golden baseline file before "
+                        "scoring (the reviewed diff that sanctions an "
+                        "intentional behavior change)")
+    p.add_argument("--expectations", default=None, metavar="PATH",
+                   help="for 'fidelity': alternate paper-expectations JSON "
+                        "(default: the packaged data file)")
+    p.add_argument("--force", action="store_true",
+                   help="overwrite existing --json / --bench-out output "
+                        "files instead of refusing")
     p.add_argument("--bench-out", default=None, metavar="PATH",
                    help="for 'bench': write the machine-readable JSON to "
                         "PATH instead of ./BENCH_<timestamp>.json")
@@ -186,9 +227,55 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _resolve_geometry(args: argparse.Namespace) -> None:
+    """Fill in the --sms/--scale defaults.
+
+    'fidelity' defaults to its profile's canonical geometry (where the
+    numeric targets apply); everything else keeps the historical 4 SMs at
+    scale 1.0. Explicit flags always win — for fidelity that flips the
+    measurement off-canonical, restricting scoring to shape bands.
+    """
+    if args.experiment == "fidelity":
+        from ..fidelity import expectations as _exp
+
+        profile = _exp.resolve_profile("full" if args.full else "smoke")
+        if args.sms is None:
+            args.sms = profile.sms
+        if args.scale is None:
+            args.scale = profile.scale
+    else:
+        if args.sms is None:
+            args.sms = 4
+        if args.scale is None:
+            args.scale = 1.0
+
+
+def _guard_overwrite(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> None:
+    """Refuse to clobber existing output files unless --force.
+
+    Applies to the machine-readable artifacts CI archives (bench JSON,
+    fidelity JSON) where a silent overwrite can mask a previous run's
+    evidence.
+    """
+    if args.force:
+        return
+    targets = []
+    if args.experiment == "bench" and args.bench_out:
+        targets.append(("--bench-out", args.bench_out))
+    if args.experiment == "fidelity" and args.json_out:
+        targets.append(("--json", args.json_out))
+    for flag, path in targets:
+        if os.path.exists(path):
+            parser.error(
+                f"{flag} target exists: {path} (pass --force to overwrite)"
+            )
+
+
 def _validate_args(parser: argparse.ArgumentParser,
                    args: argparse.Namespace) -> None:
     """Friendly usage errors instead of deep ConfigError tracebacks."""
+    _resolve_geometry(args)
     if args.sms <= 0:
         parser.error(f"--sms must be positive (got {args.sms})")
     if args.scale <= 0:
@@ -213,8 +300,9 @@ def _validate_args(parser: argparse.ArgumentParser,
         args.jobs = resolve_jobs(args.jobs)
     except ValueError as err:
         parser.error(f"--{err}")
-    if args.smoke and args.experiment not in ("bench", "trace"):
-        parser.error("--smoke only applies to 'bench' and 'trace'")
+    if args.smoke and args.experiment not in ("bench", "trace", "fidelity"):
+        parser.error("--smoke only applies to 'bench', 'trace' and "
+                     "'fidelity'")
     if args.window <= 0:
         parser.error(f"--window must be positive (got {args.window})")
     if args.bench_out and args.experiment != "bench":
@@ -224,6 +312,20 @@ def _validate_args(parser: argparse.ArgumentParser,
             "--json is not supported for 'all' (its sections have no "
             "common schema); export experiments individually"
         )
+    if args.experiment == "fidelity":
+        if args.smoke and args.full:
+            parser.error("--smoke and --full are mutually exclusive")
+    else:
+        for flag, on in (("--full", args.full),
+                         ("--accept-baseline", args.accept_baseline),
+                         ("--expectations", args.expectations is not None)):
+            if on:
+                parser.error(f"{flag} only applies to 'fidelity'")
+    if args.experiment == "diff-baseline" and (
+            not args.kernel or not args.arg2):
+        parser.error("diff-baseline requires two baseline files or "
+                     "directories: pro-sim diff-baseline A B")
+    _guard_overwrite(parser, args)
 
 
 def to_jsonable(result) -> dict:
@@ -322,10 +424,45 @@ def _run_trace(cache: ResultCache, args: argparse.Namespace) -> List[str]:
     ]
 
 
+def _run_fidelity(setup: ExperimentSetup, args: argparse.Namespace,
+                  chunks: List[str]) -> bool:
+    """Score the reproduction; returns the gate verdict (False = fail)."""
+    from ..fidelity import (
+        BaselineStore,
+        load_expectations,
+        measure,
+        resolve_profile,
+        score,
+    )
+
+    profile = resolve_profile("full" if args.full else "smoke")
+    expectations = load_expectations(args.expectations)
+    store = BaselineStore(args.baseline)
+    measurement = measure(profile, setup=setup)
+    if args.accept_baseline:
+        path = store.accept(measurement)
+        chunks.append(f"baseline promoted: {path}")
+    report = score(measurement, expectations, baseline=store)
+    chunks.append(report.render())
+    if args.json_out:
+        _dump_json(args.json_out, report.to_json())
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(report.render_markdown())
+    return report.ok
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate_args(parser, args)
+
+    if args.experiment == "diff-baseline":
+        from ..fidelity import diff_baselines
+
+        print(diff_baselines(args.kernel, args.arg2))
+        return EXIT_OK
 
     checkpoint = (
         CheckpointStore(args.checkpoint) if args.checkpoint else None
@@ -338,6 +475,7 @@ def main(argv: Optional[list] = None) -> int:
 
     chunks = []
     failed: List[Tuple[str, ReproError]] = []
+    fidelity_ok = True
     t0 = time.time()
     # One SIGINT/SIGTERM = cooperative stop (snapshot the in-flight cell,
     # unwind as SimulationInterrupted); a second one kills the process.
@@ -352,6 +490,8 @@ def main(argv: Optional[list] = None) -> int:
                 _dump_json(args.json_out, report.to_json())
         elif args.experiment == "trace":
             chunks.extend(_run_trace(cache, args))
+        elif args.experiment == "fidelity":
+            fidelity_ok = _run_fidelity(setup, args, chunks)
         elif args.experiment == "run":
             if args.resume:
                 result = Gpu.resume(args.resume,
@@ -431,7 +571,9 @@ def main(argv: Optional[list] = None) -> int:
     if args.out:
         with open(args.out, "w") as f:
             f.write(report + "\n")
-    return EXIT_PARTIAL if failed else EXIT_OK
+    if failed:
+        return EXIT_PARTIAL
+    return EXIT_OK if fidelity_ok else EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

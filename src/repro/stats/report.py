@@ -115,6 +115,26 @@ def render_gantt(rows: Sequence[tuple], *, width: int = 72, title: str = "") -> 
     return "\n".join(parts)
 
 
+def render_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavored markdown table.
+
+    Used by reports that land in CI step summaries; same float precision
+    as :func:`render_table`. Pipe characters in cells are escaped so a
+    cell can never break the table grid.
+    """
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v).replace("|", "\\|")
+
+    parts = ["| " + " | ".join(fmt(h) for h in headers) + " |",
+             "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        parts.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(parts)
+
+
 def geomean(values: Iterable[float]) -> float:
     """Geometric mean (the paper's aggregate); raises on empty input."""
     import math

@@ -15,7 +15,14 @@ Kernels are looked up by their Table II kernel name::
     launch = model.build_launch(scale=1.0)
 """
 
-from .base import KernelModel, all_kernels, applications, get_kernel, kernels_of_app
+from .base import (
+    KernelModel,
+    all_kernels,
+    applications,
+    get_kernel,
+    kernels_of_app,
+    validate_registry,
+)
 from . import gpgpusim, rodinia, cudasdk  # noqa: F401  (populate registry)
 
 __all__ = [
@@ -24,4 +31,5 @@ __all__ = [
     "applications",
     "get_kernel",
     "kernels_of_app",
+    "validate_registry",
 ]

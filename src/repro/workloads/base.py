@@ -173,3 +173,66 @@ def kernels_of_app(app: str) -> List[KernelModel]:
     if not out:
         raise WorkloadError(f"unknown application {app!r}")
     return out
+
+
+#: Fermi (GTX 480, paper Table I) per-TB thread limit — distinct from
+#: the per-SM thread limit the occupancy calculation enforces.
+FERMI_MAX_THREADS_PER_TB = 1024
+
+
+def validate_registry() -> List[str]:
+    """Cross-kernel invariants of the Table II registry.
+
+    Returns a list of violation descriptions (empty = healthy). The
+    fidelity expectations anchor to kernels by name, so the registry's
+    integrity — unique resolvable names, app partitioning, launchable
+    resource specs on the paper's GPU — is itself a checked artifact
+    rather than an assumption.
+    """
+    from ..config import GPUConfig
+    from ..simt.occupancy import max_resident_tbs
+
+    problems: List[str] = []
+    models = all_kernels()
+    cfg = GPUConfig.gtx480()
+
+    for key, m in _REGISTRY.items():
+        if key != m.name:
+            problems.append(f"registry key {key!r} != model name {m.name!r}")
+        if get_kernel(m.name) is not m:
+            problems.append(f"{m.name}: get_kernel resolves a different model")
+        if m.paper_tbs < 1 or m.model_tbs < 1:
+            problems.append(
+                f"{m.name}: grid sizes must be positive "
+                f"(paper_tbs={m.paper_tbs}, model_tbs={m.model_tbs})"
+            )
+        try:
+            prog = m.build_program()
+        except Exception as err:  # noqa: BLE001 — collected, not raised
+            problems.append(f"{m.name}: builder failed: {err}")
+            continue
+        if prog.name != m.name:
+            problems.append(
+                f"{m.name}: program is named {prog.name!r}"
+            )
+        if prog.threads_per_tb > FERMI_MAX_THREADS_PER_TB:
+            problems.append(
+                f"{m.name}: {prog.threads_per_tb} threads/TB exceeds the "
+                f"Fermi per-TB limit of {FERMI_MAX_THREADS_PER_TB}"
+            )
+        try:
+            max_resident_tbs(prog, cfg)
+        except Exception as err:  # noqa: BLE001
+            problems.append(f"{m.name}: does not fit the paper GPU: {err}")
+
+    # applications() / kernels_of_app must partition the registry.
+    covered: List[str] = []
+    for app in applications():
+        covered.extend(m.name for m in kernels_of_app(app))
+    if sorted(covered) != sorted(m.name for m in models):
+        problems.append(
+            "kernels_of_app over applications() does not partition "
+            f"all_kernels(): {sorted(covered)} vs "
+            f"{sorted(m.name for m in models)}"
+        )
+    return problems

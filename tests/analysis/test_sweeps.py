@@ -36,6 +36,14 @@ class TestLatencySweep:
         assert sp == result.cycles(2.0, "lrr") / result.cycles(2.0, "pro")
         assert len(result.speedup_series("pro", "lrr")) == 2
 
+    def test_speedup_geomean(self, result):
+        from repro.stats.report import geomean
+
+        series = result.speedup_series("pro", "lrr")
+        assert result.speedup_geomean("pro", "lrr") == geomean(series)
+        # geomean sits between the per-point extremes
+        assert min(series) <= result.speedup_geomean() <= max(series)
+
     def test_render(self, result):
         out = result.render()
         assert "latency x" in out and "pro/lrr" in out

@@ -4,14 +4,11 @@ A bare single-SM rig drives the real issue loop; the ProManager's lists,
 states and orderings are then inspected directly.
 """
 
-import pytest
-
 from repro.config import GPUConfig
-from repro.core.pro import ProManager, ProScheduler, make_pro_factory
+from repro.core.pro import ProManager, make_pro_factory
 from repro.core.scheduler import build_schedulers
 from repro.core.tb_state import TbState
 from repro.isa.builder import ProgramBuilder
-from repro.isa.patterns import Coalesced
 from repro.memory.subsystem import MemorySubsystem
 from repro.simt.sm import StreamingMultiprocessor
 from repro.simt.threadblock import ThreadBlock
@@ -106,7 +103,7 @@ class TestNoWaitPriority:
 
     def test_tie_broken_by_index(self):
         sm = make_sm(make_cfg())
-        a = assign(sm, simple_prog(name="a"), tb_index=3)
+        assign(sm, simple_prog(name="a"), tb_index=3)
         b = assign(sm, simple_prog(name="b"), tb_index=1)
         mgr = manager_of(sm)
         mgr._sort_rem(mgr.no_wait)
@@ -145,14 +142,12 @@ class TestFinishWait:
         rec = mgr.records[tb.tb_index]
         assert rec.state is TbState.FINISH_WAIT
         assert mgr.finish_wait and mgr.finish_wait[0] is rec
-        # remaining warps sorted ascending progress
-        warps = rec.warp_order[1] + rec.warp_order[0]
         drive(sm)
 
     def test_finish_wait_has_top_priority(self):
         sm = make_sm(make_cfg())
         fast = assign(sm, self.divergent_prog(), tb_index=0)
-        slow = assign(sm, simple_prog(n_alu=40, name="s"), tb_index=1)
+        assign(sm, simple_prog(n_alu=40, name="s"), tb_index=1)
         mgr = manager_of(sm)
         cycle = 0
         while fast.n_finished == 0 and sm.resident_tbs:
@@ -193,7 +188,7 @@ class TestBarrierWait:
 
     def test_release_returns_to_nowait_in_fast_phase(self):
         sm = make_sm(make_cfg())
-        tb = assign(sm, self.barrier_prog())
+        assign(sm, self.barrier_prog())
         mgr = manager_of(sm)
         drive(sm)
         # after completion the record is gone; but mid-run transitions were
@@ -265,7 +260,7 @@ class TestPhaseTransition:
         sm.gpu = gpu
         mgr = manager_of(sm)
         mgr.order(0, cycle=1)
-        tb = assign(sm, simple_prog(), tb_index=5)
+        assign(sm, simple_prog(), tb_index=5)
         assert mgr.records[5].state is TbState.FINISH_NO_WAIT
 
 

@@ -5,8 +5,6 @@ that the issue stream is consistent with the algorithm's promises —
 complementing the manager-level unit tests in test_pro.py.
 """
 
-import pytest
-
 from repro import Gpu, GPUConfig, IssueTrace, KernelLaunch, ProgramBuilder
 from repro.core.pro import ProManager
 from repro.core.scheduler import build_schedulers
@@ -44,9 +42,8 @@ class TestPriorityOrderInOrderList:
     def test_finish_wait_before_barrier_wait_before_no_wait(self):
         sm = make_sm()
         mgr: ProManager = sm.schedulers[0].manager
-        a = assign(sm, compute_prog(), 0)
-        b = assign(sm, compute_prog(), 1)
-        c = assign(sm, compute_prog(), 2)
+        for i in (0, 1, 2):
+            assign(sm, compute_prog(), i)
         ra, rb, rc = (mgr.records[i] for i in (0, 1, 2))
         # Force states directly (unit-style) and check concatenation.
         mgr.no_wait.remove(ra)
@@ -66,7 +63,7 @@ class TestPriorityOrderInOrderList:
     def test_slow_phase_uses_finish_no_wait_when_no_wait_empty(self):
         sm = make_sm()
         mgr = sm.schedulers[0].manager
-        a = assign(sm, compute_prog(), 0)
+        assign(sm, compute_prog(), 0)
         rec = mgr.records[0]
         mgr.no_wait.remove(rec)
         rec.state = TbState.FINISH_NO_WAIT

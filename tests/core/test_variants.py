@@ -4,7 +4,6 @@ import pytest
 
 from repro import Gpu, GPUConfig, KernelLaunch, ProgramBuilder
 from repro.core import available_schedulers
-from repro.core.pro import ProManager
 from repro.core.scheduler import build_schedulers
 from repro.core.variants import pro_with_threshold
 from repro.memory.subsystem import MemorySubsystem

@@ -1,0 +1,144 @@
+"""Tests for the golden baseline store and baseline diffing."""
+
+import json
+
+import pytest
+
+from repro.fidelity import BaselineStore, diff_baselines, sim_version_digest
+from repro.fidelity.baseline import BaselineError
+
+from .test_scorer import toy_measurement
+
+
+class TestSimVersionDigest:
+    def test_shape_and_determinism(self):
+        d = sim_version_digest()
+        assert len(d) == 16
+        assert int(d, 16) >= 0  # hex
+        assert d == sim_version_digest()
+
+
+class TestStoreRoundTrip:
+    def test_accept_then_compare_clean(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        m = toy_measurement()
+        path = store.accept(m)
+        assert path.name == f"toy-{m.profile.key()}.json"
+        data = store.load(m.profile)
+        assert data["schema"] == 1
+        assert data["sim_digest"] == sim_version_digest()
+        diff = store.compare(m)
+        assert diff.status == "pass"
+        assert diff.clean and diff.sim_digest_matches
+        assert "match" in diff.headline()
+
+    def test_missing_baseline_warns(self, tmp_path):
+        diff = BaselineStore(tmp_path).compare(toy_measurement())
+        assert diff.status == "warn"
+        assert not diff.found
+        assert "--accept-baseline" in diff.headline()
+
+    def test_drift_fails_with_same_sim_digest(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        m = toy_measurement()
+        path = store.accept(m)
+        data = json.loads(path.read_text())
+        data["cells"]["aesEncrypt128/pro"]["cycles"] += 7
+        path.write_text(json.dumps(data))
+        diff = store.compare(m)
+        assert diff.status == "fail"
+        assert len(diff.drifted) == 1
+        d = diff.drifted[0]
+        assert (d.cell, d.field_name) == ("aesEncrypt128/pro", "cycles")
+        assert "unintended drift" in diff.headline()
+
+    def test_drift_with_changed_sim_digest_suggests_promotion(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        m = toy_measurement()
+        path = store.accept(m)
+        data = json.loads(path.read_text())
+        data["sim_digest"] = "0" * 16
+        data["cells"]["cenergy/lrr"]["stall_idle"] = 1
+        path.write_text(json.dumps(data))
+        diff = store.compare(m)
+        assert diff.status == "fail"
+        assert "--accept-baseline" in diff.headline()
+
+    def test_digest_change_without_drift_warns(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        m = toy_measurement()
+        path = store.accept(m)
+        data = json.loads(path.read_text())
+        data["sim_digest"] = "0" * 16
+        path.write_text(json.dumps(data))
+        diff = store.compare(m)
+        assert diff.status == "warn"
+        assert "still valid" in diff.headline()
+
+    def test_missing_and_extra_cells(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        m = toy_measurement()
+        path = store.accept(m)
+        data = json.loads(path.read_text())
+        data["cells"]["ghost/pro"] = {"cycles": 1}
+        del data["cells"]["cenergy/gto"]
+        path.write_text(json.dumps(data))
+        diff = store.compare(m)
+        assert diff.missing_cells == ["ghost/pro"]
+        assert diff.extra_cells == ["cenergy/gto"]
+        assert diff.status == "fail"
+
+    def test_stale_geometry_files_reported(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        m = toy_measurement()
+        store.accept(m)
+        (tmp_path / "toy-feedfeedfeed.json").write_text("{}")
+        diff = store.compare(m)
+        assert diff.stale_files == ["toy-feedfeedfeed.json"]
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        m = toy_measurement()
+        store.path_for(m.profile).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(m.profile).write_text("{nope")
+        with pytest.raises(BaselineError):
+            store.compare(m)
+
+
+class TestDiffBaselines:
+    def _two_files(self, tmp_path):
+        store_a = BaselineStore(tmp_path / "a")
+        store_b = BaselineStore(tmp_path / "b")
+        m = toy_measurement()
+        pa = store_a.accept(m)
+        pb = store_b.accept(m)
+        return pa, pb
+
+    def test_identical(self, tmp_path):
+        pa, pb = self._two_files(tmp_path)
+        assert "identical cells" in diff_baselines(pa, pb)
+
+    def test_drifted_cell(self, tmp_path):
+        pa, pb = self._two_files(tmp_path)
+        data = json.loads(pb.read_text())
+        data["cells"]["aesEncrypt128/lrr"]["cycles"] = 9999
+        pb.write_text(json.dumps(data))
+        out = diff_baselines(pa, pb)
+        assert "aesEncrypt128/lrr cycles: 150 -> 9999" in out
+
+    def test_directories(self, tmp_path):
+        pa, pb = self._two_files(tmp_path)
+        (tmp_path / "b" / "other-abc.json").write_text("{}")
+        out = diff_baselines(tmp_path / "a", tmp_path / "b")
+        assert f"== {pa.name} ==" in out
+        assert "other-abc.json: only in" in out
+
+    def test_empty_dirs(self, tmp_path):
+        (tmp_path / "x").mkdir()
+        (tmp_path / "y").mkdir()
+        assert "no baseline files" in diff_baselines(tmp_path / "x",
+                                                     tmp_path / "y")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BaselineError):
+            diff_baselines(tmp_path / "nope.json", tmp_path / "nope2.json")

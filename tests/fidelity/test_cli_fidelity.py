@@ -1,0 +1,144 @@
+"""End-to-end CLI tests for ``pro-sim fidelity`` / ``diff-baseline``.
+
+These run real smoke-profile simulations (~3 s each), so the number of
+full CLI invocations is kept small; flag-validation paths exit before
+any simulation and are cheap.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cli import EXIT_FAILURE, EXIT_OK, main
+
+DATA = (Path(__file__).parents[2]
+        / "src/repro/fidelity/data/paper_expectations.json")
+
+
+class TestFidelityVerb:
+    def test_smoke_accept_json_and_step_summary(self, tmp_path, capsys,
+                                                monkeypatch):
+        """One real smoke run covering: exit 0, --accept-baseline
+        promotion, --json export, and the step-summary append."""
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        json_out = tmp_path / "report.json"
+        code = main(["fidelity", "--smoke", "--accept-baseline",
+                     "--baseline", str(tmp_path / "goldens"),
+                     "--json", str(json_out)])
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "baseline promoted:" in out
+        assert "Fidelity report" in out
+
+        report = json.loads(json_out.read_text())
+        assert report["ok"] is True
+        assert report["profile"]["name"] == "smoke"
+        assert report["counts"]["fail"] == 0
+        # promotion happened before scoring, so the baseline is clean
+        assert report["baseline"]["status"] == "pass"
+        goldens = list((tmp_path / "goldens").glob("smoke-*.json"))
+        assert len(goldens) == 1
+
+        assert summary.exists()
+        assert "## Paper fidelity" in summary.read_text()
+
+    def test_perturbed_expectation_fails(self, tmp_path, capsys):
+        """Acceptance criterion: a seeded expectation perturbed outside
+        its tolerance band makes the smoke run exit non-zero."""
+        data = json.loads(DATA.read_text())
+        for rec in data["expectations"]:
+            if rec["id"] == "fig4.geomean.lrr":
+                rec["profiles"]["smoke"]["target"] = 2.0  # way off
+        perturbed = tmp_path / "perturbed.json"
+        perturbed.write_text(json.dumps(data))
+        code = main(["fidelity", "--smoke",
+                     "--baseline", str(tmp_path / "none"),
+                     "--expectations", str(perturbed)])
+        out = capsys.readouterr().out
+        assert code == EXIT_FAILURE
+        assert "FAIL" in out
+        assert "fig4.geomean.lrr" in out
+
+
+class TestOverwriteGuard:
+    def test_fidelity_json_refuses_overwrite(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        target.write_text("{}")
+        with pytest.raises(SystemExit) as exc:
+            main(["fidelity", "--smoke", "--json", str(target)])
+        assert exc.value.code == 2
+        assert "--force" in capsys.readouterr().err
+
+    def test_bench_out_refuses_overwrite(self, tmp_path, capsys):
+        target = tmp_path / "bench.json"
+        target.write_text("{}")
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--smoke", "--bench-out", str(target)])
+        assert exc.value.code == 2
+        assert "--force" in capsys.readouterr().err
+
+    def test_missing_target_passes_guard(self, tmp_path):
+        """The guard only fires on existing files (parse-time check:
+        verified through the validator, not a full run)."""
+        import argparse
+
+        from repro.harness.cli import _guard_overwrite, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["fidelity", "--json",
+                                  str(tmp_path / "new.json")])
+        _guard_overwrite(parser, args)  # no SystemExit
+
+        args = parser.parse_args(["fidelity", "--force", "--json",
+                                  str(tmp_path / "new.json")])
+        (tmp_path / "new.json").write_text("{}")
+        _guard_overwrite(parser, args)  # --force bypasses
+        assert isinstance(args, argparse.Namespace)
+
+
+class TestFlagValidation:
+    @pytest.mark.parametrize("argv", [
+        ["fidelity", "--smoke", "--full"],
+        ["fig4", "--full"],
+        ["fig4", "--accept-baseline"],
+        ["fig4", "--expectations", "x.json"],
+        ["diff-baseline", "only-one"],
+        ["diff-baseline"],
+    ])
+    def test_usage_errors(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+    def test_fidelity_defaults_to_profile_geometry(self):
+        from repro.harness.cli import _validate_args, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["fidelity", "--smoke"])
+        _validate_args(parser, args)
+        assert (args.sms, args.scale) == (2, 0.25)
+
+        args = parser.parse_args(["fidelity", "--full"])
+        _validate_args(parser, args)
+        assert (args.sms, args.scale) == (4, 1.0)
+
+        args = parser.parse_args(["fig4"])
+        _validate_args(parser, args)
+        assert (args.sms, args.scale) == (4, 1.0)
+
+
+class TestDiffBaselineVerb:
+    def test_diff_two_stores(self, tmp_path, capsys):
+        from repro.fidelity import BaselineStore
+
+        from .test_scorer import toy_measurement
+
+        BaselineStore(tmp_path / "a").accept(toy_measurement())
+        BaselineStore(tmp_path / "b").accept(toy_measurement())
+        code = main(["diff-baseline", str(tmp_path / "a"),
+                     str(tmp_path / "b")])
+        assert code == EXIT_OK
+        assert "identical cells" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Tests for the expectation data model and the packaged paper data."""
+
+import json
+
+import pytest
+
+from repro.fidelity import (
+    Band,
+    ExpectationError,
+    PROFILES,
+    load_expectations,
+)
+from repro.fidelity.expectations import (
+    KINDS,
+    Expectations,
+    SMOKE_KERNELS,
+    resolve_profile,
+)
+
+
+class TestBand:
+    def test_numeric_judging(self):
+        b = Band(target=1.0, warn=0.02, fail=0.05)
+        assert b.judge(1.01) == ("pass", pytest.approx(0.01))
+        status, delta = b.judge(0.96)
+        assert status == "warn" and delta == pytest.approx(-0.04)
+        assert b.judge(1.10)[0] == "fail"
+        assert b.is_numeric
+
+    def test_shape_judging(self):
+        b = Band(lo=1.0, hi=1.5)
+        assert b.judge(1.2) == ("pass", 0.0)
+        status, delta = b.judge(0.9)
+        assert status == "fail" and delta == pytest.approx(-0.1)
+        status, delta = b.judge(1.6)
+        assert status == "fail" and delta == pytest.approx(0.1)
+        assert not b.is_numeric
+
+    def test_one_sided_shape(self):
+        assert Band(lo=1.0).judge(99.0)[0] == "pass"
+        assert Band(hi=0.0).judge(-1.0)[0] == "pass"
+
+    def test_band_form_is_exclusive(self):
+        with pytest.raises(ExpectationError):
+            Band(target=1.0, warn=0.1, fail=0.2, lo=0.5)  # both forms
+        with pytest.raises(ExpectationError):
+            Band()  # neither form
+
+    def test_numeric_band_needs_tolerances(self):
+        with pytest.raises(ExpectationError):
+            Band(target=1.0)
+        with pytest.raises(ExpectationError):
+            Band(target=1.0, warn=0.2, fail=0.1)  # warn > fail
+
+    def test_describe(self):
+        assert "target" in Band(target=1.0, warn=0.02, fail=0.05).describe()
+        assert ">=" in Band(lo=1.0).describe()
+        assert "<=" in Band(hi=2.0).describe()
+
+
+class TestPackagedData:
+    def test_loads_and_validates(self):
+        exp = load_expectations()
+        assert len(exp) >= 15
+        assert all(e.kind in KINDS for e in exp)
+
+    def test_every_expectation_has_shape_and_anchor(self):
+        for e in load_expectations():
+            assert e.shape is not None, e.id
+            assert e.anchor, e.id
+
+    def test_profile_targets_are_numeric(self):
+        for e in load_expectations():
+            for name, band in e.profiles.items():
+                assert name in PROFILES, e.id
+                assert band.is_numeric, e.id
+
+    def test_band_for_prefers_profile_when_canonical(self):
+        e = load_expectations().get("fig4.geomean.lrr")
+        assert e.band_for("smoke", canonical=True).is_numeric
+        assert not e.band_for("smoke", canonical=False).is_numeric
+        # unknown profile falls back to shape
+        assert not e.band_for("bench", canonical=True).is_numeric
+
+    def test_lookup_helpers(self):
+        exp = load_expectations()
+        assert exp.get("fig4.geomean.tl").over == "tl"
+        assert exp.of_kind("stall_share")
+        with pytest.raises(ExpectationError):
+            exp.get("nope")
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExpectationError, match="not found"):
+            load_expectations(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{nope")
+        with pytest.raises(ExpectationError, match="not JSON"):
+            load_expectations(p)
+
+    def test_wrong_schema(self, tmp_path):
+        p = tmp_path / "v2.json"
+        p.write_text(json.dumps({"schema": 99, "expectations": []}))
+        with pytest.raises(ExpectationError, match="schema"):
+            load_expectations(p)
+
+    def test_unknown_kind(self, tmp_path):
+        p = tmp_path / "kind.json"
+        p.write_text(json.dumps({
+            "schema": 1,
+            "expectations": [{"id": "x", "kind": "nope"}],
+        }))
+        with pytest.raises(ExpectationError, match="unknown kind"):
+            load_expectations(p)
+
+    def test_unknown_band_key(self, tmp_path):
+        p = tmp_path / "band.json"
+        p.write_text(json.dumps({
+            "schema": 1,
+            "expectations": [{"id": "x", "kind": "geomean_speedup",
+                              "over": "lrr", "shape": {"low": 1.0}}],
+        }))
+        with pytest.raises(ExpectationError, match="unknown band keys"):
+            load_expectations(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.json"
+        p.write_text(json.dumps({"schema": 1, "expectations": []}))
+        with pytest.raises(ExpectationError, match="no expectations"):
+            load_expectations(p)
+
+    def test_duplicate_ids(self):
+        e = load_expectations().get("fig4.geomean.tl")
+        with pytest.raises(ExpectationError, match="duplicate"):
+            Expectations([e, e])
+
+
+class TestProfiles:
+    def test_smoke_profile(self):
+        p = resolve_profile("smoke")
+        assert p.kernels == SMOKE_KERNELS
+        assert (p.sms, p.scale) == (2, 0.25)
+
+    def test_full_profile_expands_registry(self):
+        p = resolve_profile("full")
+        assert len(p.kernels) == 25
+
+    def test_unknown_profile(self):
+        with pytest.raises(ExpectationError):
+            resolve_profile("nope")
+
+    def test_key_tracks_geometry(self):
+        import dataclasses
+
+        p = resolve_profile("smoke")
+        assert len(p.key()) == 12
+        assert p.key() != dataclasses.replace(p, sms=4).key()
+        assert p.key() == resolve_profile("smoke").key()
+
+    def test_smoke_kernels_are_single_kernel_apps(self):
+        """Per-app stall aggregation must degenerate to per-kernel for
+        the smoke subset (the profile's documented property)."""
+        from repro.workloads import get_kernel, kernels_of_app
+
+        for k in SMOKE_KERNELS:
+            assert len(kernels_of_app(get_kernel(k).app)) == 1

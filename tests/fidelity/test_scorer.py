@@ -1,0 +1,179 @@
+"""Scorer tests on hand-built measurements (no simulation)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.fidelity import FidelityMeasurement, evaluate
+from repro.fidelity.expectations import Band, Expectation, Expectations, FidelityProfile
+from repro.gpu.launch import RunResult
+from repro.stats.counters import GpuCounters, SmCounters
+
+#: Two single-kernel applications (AES, CP) so per-app == per-kernel.
+PROFILE = FidelityProfile(name="toy", kernels=("aesEncrypt128", "cenergy"),
+                          sms=2, scale=0.25)
+
+
+def rr(kernel, sched, cycles, idle=100, sb=200, pipe=300, instr=1000):
+    counters = GpuCounters(total_cycles=cycles, per_sm=[SmCounters(
+        stall_idle=idle, stall_scoreboard=sb, stall_pipeline=pipe,
+        instructions=instr,
+    )])
+    return RunResult(kernel_name=kernel, scheduler=sched, num_tbs=4,
+                     cycles=cycles, counters=counters)
+
+
+def toy_measurement(canonical=True):
+    # PRO: 100/200 cycles; TL: 160/230; LRR: 150/220; GTO: 110/210.
+    cells = {
+        ("aesEncrypt128", "pro"): rr("aesEncrypt128", "pro", 100,
+                                     idle=10, sb=40, pipe=50),
+        ("aesEncrypt128", "tl"): rr("aesEncrypt128", "tl", 160,
+                                    idle=35, sb=65, pipe=95),
+        ("aesEncrypt128", "lrr"): rr("aesEncrypt128", "lrr", 150,
+                                     idle=30, sb=60, pipe=90),
+        ("aesEncrypt128", "gto"): rr("aesEncrypt128", "gto", 110,
+                                     idle=15, sb=45, pipe=55),
+        ("cenergy", "pro"): rr("cenergy", "pro", 200,
+                               idle=20, sb=80, pipe=100),
+        ("cenergy", "tl"): rr("cenergy", "tl", 230,
+                              idle=45, sb=105, pipe=165),
+        ("cenergy", "lrr"): rr("cenergy", "lrr", 220,
+                               idle=40, sb=100, pipe=160),
+        ("cenergy", "gto"): rr("cenergy", "gto", 210,
+                               idle=25, sb=85, pipe=105),
+    }
+    return FidelityMeasurement(profile=PROFILE, config=GPUConfig.scaled(2),
+                               scale=0.25, cells=cells, canonical=canonical)
+
+
+class TestDerivedMetrics:
+    def test_speedup(self):
+        m = toy_measurement()
+        assert m.speedup("aesEncrypt128", "lrr") == pytest.approx(1.5)
+        assert m.speedup("cenergy", "gto") == pytest.approx(210 / 200)
+
+    def test_geomean_speedup(self):
+        m = toy_measurement()
+        expected = (1.5 * 1.1) ** 0.5
+        assert m.geomean_speedup("lrr") == pytest.approx(expected)
+
+    def test_stall_ratio_geomean(self):
+        m = toy_measurement()
+        # per-app total stall ratios: AES 180/100, CP 300/200
+        assert m.stall_ratio_geomean("lrr") == pytest.approx(
+            (1.8 * 1.5) ** 0.5
+        )
+
+    def test_stall_share(self):
+        m = toy_measurement()
+        # PRO totals: idle 30, sb 120, pipe 150 -> denom 300
+        assert m.stall_share("pro", "idle") == pytest.approx(0.1)
+        assert m.stall_share("pro", "scoreboard") == pytest.approx(0.4)
+        assert m.stall_share("pro", "pipeline") == pytest.approx(0.5)
+
+    def test_baseline_cells_layout(self):
+        cells = toy_measurement().baseline_cells()
+        assert set(cells) == {
+            f"{k}/{s}" for k in PROFILE.kernels for s in PROFILE.schedulers
+        }
+        aes = cells["aesEncrypt128/pro"]
+        assert aes == {"cycles": 100, "instructions": 1000,
+                       "stall_idle": 10, "stall_scoreboard": 40,
+                       "stall_pipeline": 50}
+
+    def test_apps_grouping(self):
+        assert toy_measurement().apps() == {"AES": ["aesEncrypt128"],
+                                            "CP": ["cenergy"]}
+
+
+def toy_expectations():
+    return Expectations([
+        Expectation(id="geo.lrr", kind="geomean_speedup", anchor="Fig. 4",
+                    over="lrr", shape=Band(lo=1.0),
+                    profiles={"toy": Band(target=(1.5 * 1.1) ** 0.5,
+                                          warn=0.02, fail=0.05)}),
+        Expectation(id="k.aes", kind="kernel_speedup", anchor="Fig. 4",
+                    over="lrr", kernel="aesEncrypt128", shape=Band(lo=1.0)),
+        Expectation(id="k.absent", kind="kernel_speedup", anchor="Fig. 4",
+                    over="lrr", kernel="bfs_kernel", shape=Band(lo=0.5)),
+        Expectation(id="ordering", kind="gto_closest", anchor="Fig. 4",
+                    margin=0.05, shape=Band(hi=0.0)),
+    ])
+
+
+class TestEvaluate:
+    def test_canonical_uses_profile_targets(self):
+        verdicts = {v.expectation_id: v
+                    for v in evaluate(toy_measurement(), toy_expectations())}
+        assert verdicts["geo.lrr"].numeric
+        assert verdicts["geo.lrr"].status == "pass"
+        assert verdicts["geo.lrr"].delta == pytest.approx(0.0)
+
+    def test_off_canonical_falls_back_to_shape(self):
+        verdicts = {v.expectation_id: v
+                    for v in evaluate(toy_measurement(canonical=False),
+                                      toy_expectations())}
+        assert not verdicts["geo.lrr"].numeric
+        assert verdicts["geo.lrr"].status == "pass"
+
+    def test_absent_kernel_is_skipped(self):
+        ids = {v.expectation_id
+               for v in evaluate(toy_measurement(), toy_expectations())}
+        assert "k.absent" not in ids
+        assert "k.aes" in ids
+
+    def test_gto_closest_folds_margin_into_measured(self):
+        m = toy_measurement()
+        v = {x.expectation_id: x
+             for x in evaluate(m, toy_expectations())}["ordering"]
+        gap = m.geomean_speedup("gto") - min(m.geomean_speedup("tl"),
+                                             m.geomean_speedup("lrr"))
+        assert v.measured == pytest.approx(gap - 0.05)
+        # GTO geomean < TL/LRR geomeans here, so the ordering holds
+        assert v.status == "pass"
+
+    def test_perturbed_target_fails(self):
+        exps = Expectations([
+            Expectation(id="geo.lrr", kind="geomean_speedup", anchor="Fig. 4",
+                        over="lrr", shape=Band(lo=1.0),
+                        profiles={"toy": Band(target=2.0, warn=0.02,
+                                              fail=0.05)}),
+        ])
+        (v,) = evaluate(toy_measurement(), exps)
+        assert v.status == "fail"
+
+
+class TestReport:
+    def test_score_and_render(self, tmp_path):
+        from repro.fidelity import BaselineStore, score
+
+        report = score(toy_measurement(), toy_expectations(),
+                       baseline=BaselineStore(tmp_path))
+        assert report.status == "warn"  # no baseline yet
+        assert report.ok
+        assert "Fidelity report" in report.render()
+        assert "no baseline" in report.render()
+
+    def test_render_markdown_and_json(self):
+        from repro.fidelity import score
+
+        report = score(toy_measurement(), toy_expectations())
+        md = report.render_markdown()
+        assert md.startswith("## Paper fidelity")
+        assert "`geo.lrr`" in md
+        data = report.to_json()
+        assert data["schema"] == 1
+        assert data["ok"] is True
+        assert data["counts"]["fail"] == 0
+        assert {v["id"] for v in data["verdicts"]} >= {"geo.lrr", "k.aes"}
+
+    def test_failure_gates(self):
+        from repro.fidelity import score
+
+        exps = Expectations([
+            Expectation(id="x", kind="geomean_speedup", anchor="a",
+                        over="lrr", shape=Band(lo=5.0)),
+        ])
+        report = score(toy_measurement(), exps)
+        assert not report.ok
+        assert report.failures()[0].expectation_id == "x"

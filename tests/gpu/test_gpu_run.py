@@ -4,8 +4,6 @@ import pytest
 
 from repro import Gpu, GPUConfig, KernelLaunch, TimelineRecorder
 from repro.errors import LaunchError, SimulationError
-from repro.isa.builder import ProgramBuilder
-from repro.isa.patterns import Coalesced
 from tests.conftest import compute_program, tiny_program
 
 
@@ -99,8 +97,7 @@ class TestSequentialLaunches:
 class TestTimelineIntegration:
     def test_every_tb_recorded(self):
         tl = TimelineRecorder()
-        res = Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 7),
-                                  probes=[tl])
+        Gpu(CFG, "lrr").run(KernelLaunch(tiny_program(), 7), probes=[tl])
         assert len(tl.intervals) == 7
         assert {iv.tb_index for iv in tl.intervals} == set(range(7))
 

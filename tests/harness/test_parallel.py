@@ -10,7 +10,7 @@ import json
 import pytest
 
 from repro.config import GPUConfig
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import SimulationError
 from repro.harness.parallel import (
     CellOutcome,
     resolve_jobs,

@@ -12,6 +12,8 @@ from repro import Gpu, GPUConfig, TimelineRecorder
 from repro.stats.report import geomean
 from repro.workloads import get_kernel
 
+pytestmark = pytest.mark.slow
+
 CFG = GPUConfig.scaled(4)
 
 #: Kernels where PRO's mechanisms (residency stagger, barriers, finish

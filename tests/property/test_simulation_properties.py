@@ -14,7 +14,7 @@ them:
 from hypothesis import given, settings, strategies as st
 
 from repro import Gpu, GPUConfig, KernelLaunch, ProgramBuilder
-from repro.isa.patterns import Coalesced, Random as RandomPattern
+from repro.isa.patterns import Coalesced
 
 CFG = GPUConfig.scaled(2)
 SCHEDULERS = ("lrr", "tl", "gto", "pro", "pro-nb", "pro-nf")

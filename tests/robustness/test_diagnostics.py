@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Gpu, GPUConfig, KernelLaunch
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError
 from repro.robustness import DeadlockReport, FaultPlan, report_for_sm
 from tests.conftest import bare_sm, tiny_program
 

@@ -1,17 +1,13 @@
 """Unit tests for the SM: issue rules, stall classification, barriers,
 finish semantics, event-driven fast-forward."""
 
-import pytest
-
 from repro.config import GPUConfig
 from repro.core.scheduler import build_schedulers
-from repro.errors import SimulationError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.patterns import Coalesced
 from repro.memory.subsystem import MemorySubsystem
 from repro.simt.sm import NEVER, StreamingMultiprocessor
 from repro.simt.threadblock import ThreadBlock
-from repro.stats.counters import StallKind
 
 
 def make_cfg(**kw):

@@ -1,6 +1,5 @@
 """Unit tests for warp state and launch-time resolution."""
 
-import pytest
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.patterns import Coalesced

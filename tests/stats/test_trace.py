@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Gpu, GPUConfig, IssueTrace, KernelLaunch
-from repro.stats.trace import IssueEvent
 from tests.conftest import tiny_program
 
 CFG = GPUConfig.scaled(2)

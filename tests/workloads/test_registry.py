@@ -1,0 +1,100 @@
+"""Registry-integrity tests: the invariants the fidelity layer leans on.
+
+The paper expectations (src/repro/fidelity/data/paper_expectations.json)
+anchor to kernels by Table II name and aggregate stalls per application,
+so the registry must stay a clean partition of uniquely-named, launchable
+kernels. ``validate_registry`` checks this programmatically; the tests
+here pin each invariant individually so a violation names itself.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.simt.occupancy import max_resident_tbs
+from repro.workloads import (
+    all_kernels,
+    applications,
+    get_kernel,
+    kernels_of_app,
+    validate_registry,
+)
+from repro.workloads.base import FERMI_MAX_THREADS_PER_TB, KernelModel
+
+
+class TestValidateRegistry:
+    def test_registry_is_healthy(self):
+        assert validate_registry() == []
+
+    def test_detects_broken_entry(self):
+        """A corrupted registry entry is reported, not silently accepted."""
+        from repro.workloads import base
+
+        bad = dataclasses.replace(
+            get_kernel("scalarProdGPU"), name="scalarProdGPU",
+            paper_tbs=0,
+        )
+        original = base._REGISTRY["scalarProdGPU"]
+        base._REGISTRY["scalarProdGPU"] = bad
+        try:
+            problems = validate_registry()
+        finally:
+            base._REGISTRY["scalarProdGPU"] = original
+        assert any("grid sizes" in p for p in problems)
+
+    def test_detects_key_name_mismatch(self):
+        from repro.workloads import base
+
+        model = get_kernel("cenergy")
+        base._REGISTRY["__alias__"] = model
+        try:
+            problems = validate_registry()
+        finally:
+            del base._REGISTRY["__alias__"]
+        assert any("__alias__" in p for p in problems)
+
+
+class TestNamesResolvable:
+    def test_every_kernel_resolvable_by_name(self):
+        for m in all_kernels():
+            assert get_kernel(m.name) is m
+
+    def test_names_unique(self):
+        names = [m.name for m in all_kernels()]
+        assert len(names) == len(set(names)) == 25
+
+
+class TestAppPartition:
+    def test_apps_partition_all_kernels(self):
+        """kernels_of_app over applications() covers every kernel exactly
+        once (the fidelity stall aggregation sums per app)."""
+        seen = []
+        for app in applications():
+            seen.extend(m.name for m in kernels_of_app(app))
+        assert sorted(seen) == sorted(m.name for m in all_kernels())
+        assert len(seen) == len(set(seen))
+
+    def test_kernels_of_app_consistent_with_metadata(self):
+        for app in applications():
+            for m in kernels_of_app(app):
+                assert m.app == app
+
+
+class TestFermiResourceLimits:
+    @pytest.mark.parametrize("name", [m.name for m in all_kernels()])
+    def test_within_fermi_limits(self, name):
+        """Every model launches on the paper's GTX 480 (Table I)."""
+        prog = get_kernel(name).build_program()
+        cfg = GPUConfig.gtx480()
+        assert prog.threads_per_tb <= FERMI_MAX_THREADS_PER_TB
+        assert prog.shared_mem_per_tb <= cfg.shared_mem_per_sm
+        assert (prog.regs_per_thread * prog.threads_per_tb
+                <= cfg.registers_per_sm)
+        # and residency is in Fermi's 1..8 TB-slot range
+        assert 1 <= max_resident_tbs(prog, cfg) <= cfg.max_tbs_per_sm
+
+    def test_model_type(self):
+        for m in all_kernels():
+            assert isinstance(m, KernelModel)
+            assert m.suite in ("gpgpusim", "rodinia", "cudasdk")
