@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Bench gate: fail CI when the parallel sweep stops beating serial.
+
+Reads a ``BENCH_*.json`` written by ``pro-sim bench`` and checks
+``matrix.parallel_speedup`` against ``--min-speedup`` (default 1.2).
+The speedup is measured over warm workers (pool spawn excluded), so the
+gate holds the *steady-state* number a long sweep sees.
+
+The gate is honest about hardware: a machine with a single CPU core
+cannot run two simulations concurrently, so a speedup above 1.0 is
+physically impossible there and the check is reported as skipped
+(exit 0) rather than failed. CI runners have multiple cores and always
+enforce the real threshold.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_*.json from pro-sim bench")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="minimum matrix.parallel_speedup (default 1.2)")
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        report = json.load(f)
+    matrix = report.get("matrix", {})
+    jobs = int(report.get("jobs", 1))
+    speedup = float(matrix.get("parallel_speedup", 0.0))
+    spawn = float(matrix.get("seconds_spawn", 0.0))
+
+    print(f"bench gate: jobs={jobs} parallel_speedup={speedup:.2f}x "
+          f"(pool spawn {spawn:.2f}s, excluded) "
+          f"threshold={args.min_speedup:.2f}x")
+
+    if jobs < 2:
+        print("SKIP: bench ran with jobs < 2; no parallel speedup to gate")
+        return
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(f"SKIP: only {cores} CPU core available — parallel speedup "
+              ">1.0 is physically impossible here; gate enforced on "
+              "multi-core CI only")
+        return
+    if speedup < args.min_speedup:
+        print(f"FAIL: parallel_speedup {speedup:.2f}x < "
+              f"{args.min_speedup:.2f}x on a {cores}-core machine",
+              file=sys.stderr)
+        sys.exit(1)
+    print("OK: parallel sweep beats serial at the gated margin")
+
+
+if __name__ == "__main__":
+    main()

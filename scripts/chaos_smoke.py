@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Chaos smoke: one worker-level fault injector against a jobs=2 sweep.
+
+CI runs this once per injector (see .github/workflows/ci.yml). The
+contract under test, per injector kind:
+
+* ``kill_worker`` / ``hang_worker`` / ``corrupt_payload`` — a transient
+  fault: the supervised pool must detect it, name it in its lifecycle
+  telemetry, redispatch the cell, and finish the sweep with counters
+  bit-identical to a clean sequential run. No cell quarantined, no
+  failure recorded, no unhandled traceback.
+* ``poison`` — a persistent fault (the cell kills its worker on every
+  attempt): the pool must quarantine exactly that cell as a
+  :class:`~repro.errors.PoisonCellError`, keep every healthy cell's
+  counters bit-identical, and leave the sweep alive under keep_going.
+
+Exit code 0 = contract held; 1 = any violation (with a diagnostic).
+"""
+
+import argparse
+import sys
+
+from repro.config import GPUConfig
+from repro.errors import PoisonCellError
+from repro.harness.parallel import run_matrix_parallel
+from repro.harness.pool import PoolConfig, WorkerPool
+from repro.harness.runner import ResultCache
+from repro.robustness.checkpoint import result_to_json
+from repro.robustness.faults import FaultPlan
+
+CONFIG = GPUConfig.scaled(2)
+SCALE = 0.15
+CELLS = [
+    (k, s)
+    for k in ("scalarProdGPU", "cenergy")
+    for s in ("lrr", "pro")
+]
+#: The cell every injector targets.
+TARGET = ("cenergy", "pro")
+
+#: Pool-event kind each injector must surface in telemetry.
+EXPECTED_EVENT = {
+    "kill_worker": "worker-death",
+    "hang_worker": "deadline",
+    "corrupt_payload": "corrupt-payload",
+    "poison": "quarantine",
+}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("injector", choices=sorted(EXPECTED_EVENT))
+    args = parser.parse_args()
+
+    print(f"== chaos smoke: {args.injector} on {TARGET[0]}/{TARGET[1]} ==")
+    baseline = run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE,
+                                   jobs=1)
+
+    plan = FaultPlan()
+    if args.injector == "poison":
+        plan.kill_worker(*TARGET, times=99)
+    else:
+        getattr(plan, args.injector)(*TARGET, times=1)
+    cache = ResultCache(faults=plan)
+    pool = WorkerPool(2, pool_config=PoolConfig(
+        worker_deadline=15.0, max_respawns=8,
+    ))
+    with pool:
+        results = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                      pool=pool, keep_going=True)
+
+    kinds = [e.kind for e in pool.events]
+    expected = EXPECTED_EVENT[args.injector]
+    if expected not in kinds:
+        fail(f"expected a {expected!r} pool event, saw {kinds}")
+    print("telemetry:", *(e.describe() for e in pool.events
+                          if e.kind not in ("dispatch", "spawn")),
+          sep="\n  ")
+
+    if args.injector == "poison":
+        if results[TARGET] is not None:
+            fail("poison cell produced a result instead of quarantine")
+        if pool.quarantined != [TARGET]:
+            fail(f"quarantined={pool.quarantined}, expected [{TARGET}]")
+        if len(cache.failures) != 1 or not isinstance(
+                cache.failures[0].error, PoisonCellError):
+            fail(f"expected one PoisonCellError failure, got "
+                 f"{[f.describe() for f in cache.failures]}")
+        print("quarantine:", cache.failures[0].describe())
+        healthy = [c for c in CELLS if c != TARGET]
+    else:
+        if cache.failures:
+            fail("transient fault left recorded failures: "
+                 + "; ".join(f.describe() for f in cache.failures))
+        if not any(args.injector in entry for entry in plan.injected):
+            fail(f"fault plan log never named {args.injector}: "
+                 f"{plan.injected}")
+        healthy = CELLS
+
+    for cell in healthy:
+        if results[cell] is None:
+            fail(f"healthy cell {cell} produced no result")
+        if result_to_json(results[cell]) != result_to_json(baseline[cell]):
+            fail(f"cell {cell} diverged from the sequential baseline")
+    print(f"OK: {args.injector} survived; {len(healthy)} healthy cell(s) "
+          "bit-identical to sequential "
+          f"(respawns={pool.respawns}, redispatches={pool.redispatches})")
+
+
+if __name__ == "__main__":
+    main()

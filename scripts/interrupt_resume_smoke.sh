@@ -6,6 +6,10 @@
 #      mid-run; the harness must snapshot the in-flight cell and exit 3
 #   3. re-run the same command; it must resume the cell from the snapshot
 #      (not restart it) and produce counters identical to the golden run
+#   4. run a jobs=2 parallel sweep whose target cell kills its worker and
+#      SIGTERM the sweep the instant the pool respawns; the harness must
+#      exit 3 with every already-adopted cell checkpointed, and a re-run
+#      must complete the sweep bit-identical to an uninterrupted one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -62,4 +66,108 @@ if golden != resumed:
                      f"golden : {golden}\nresumed: {resumed}")
 print(f"OK: resumed run is bit-identical to the uninterrupted run "
       f"({golden['cycles']} cycles, ipc {golden['ipc']:.3f})")
+EOF
+
+# ---------------------------------------------------------------------------
+# Parallel-sweep leg: interrupt landing exactly mid-respawn.
+# ---------------------------------------------------------------------------
+cat > "$WORK/parallel_driver.py" <<'EOF'
+"""Parallel leg of the interrupt-resume smoke.
+
+Modes:
+  golden <ckpt> <out>  clean jobs=2 sweep, dump per-cell counters
+  chaos  <ckpt>        same sweep with kill_worker armed on the last
+                       cell; a pool-event probe SIGTERMs this process
+                       the moment the dead worker is respawned, so the
+                       signal lands mid-respawn. Must exit 3.
+  resume <ckpt> <out>  re-run over the same checkpoint; must finish.
+"""
+import json
+import os
+import signal
+import sys
+
+from repro.config import GPUConfig
+from repro.errors import SimulationInterrupted
+from repro.harness.parallel import run_matrix_parallel
+from repro.harness.runner import ResultCache, graceful_interrupts
+from repro.robustness.checkpoint import CheckpointStore, result_to_json
+from repro.robustness.faults import FaultPlan
+
+CELLS = [(k, s) for k in ("scalarProdGPU", "cenergy") for s in ("lrr", "pro")]
+CONFIG = GPUConfig.scaled(2)
+SCALE = 0.15
+
+mode, ckpt = sys.argv[1], sys.argv[2]
+out = sys.argv[3] if len(sys.argv) > 3 else None
+
+faults = None
+probes = []
+if mode == "chaos":
+    # The last cell only dispatches after earlier cells complete, so by
+    # the time it kills its worker at least one cell is checkpointed.
+    faults = FaultPlan().kill_worker(*CELLS[-1], times=1)
+
+    class SigtermOnRespawn:
+        def on_pool_event(self, event):
+            if event.kind == "respawn":
+                os.kill(os.getpid(), signal.SIGTERM)
+
+    probes = [SigtermOnRespawn()]
+
+cache = ResultCache(checkpoint=CheckpointStore(ckpt), faults=faults)
+try:
+    with graceful_interrupts(cache):
+        results = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                      probes=probes)
+except SimulationInterrupted as err:
+    print(f"interrupted: {err}")
+    sys.exit(3)
+
+if out:
+    payload = {f"{k}/{s}": result_to_json(r)
+               for (k, s), r in sorted(results.items())}
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(payload, f, sort_keys=True)
+print(f"completed {len(results)} cells (checkpoint hits "
+      f"{cache.checkpoint_hits}, fresh runs {cache.runs_executed})")
+EOF
+
+echo "== parallel sweep: golden reference (jobs=2) =="
+python "$WORK/parallel_driver.py" golden "$WORK/pgold-ckpt" "$WORK/pgold.json"
+
+echo "== parallel sweep interrupted mid-respawn (SIGTERM) =="
+rc=0
+python "$WORK/parallel_driver.py" chaos "$WORK/pckpt" \
+    >"$WORK/chaos.log" 2>&1 || rc=$?
+cat "$WORK/chaos.log"
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: interrupted parallel sweep exited $rc, expected 3" >&2
+    exit 1
+fi
+KEPT=$(wc -l < "$WORK/pckpt/cells.jsonl" 2>/dev/null || echo 0)
+if [ "$KEPT" -lt 1 ]; then
+    echo "FAIL: no checkpointed cells survived the parallel interrupt" >&2
+    exit 1
+fi
+echo "checkpointed cells kept across the interrupt: $KEPT"
+
+echo "== parallel sweep resumed =="
+python "$WORK/parallel_driver.py" resume "$WORK/pckpt" "$WORK/presumed.json" \
+    | tee "$WORK/presume.log"
+if ! grep -q "checkpoint hits $KEPT" "$WORK/presume.log"; then
+    echo "FAIL: resume did not reuse the $KEPT checkpointed cell(s)" >&2
+    exit 1
+fi
+
+python - "$WORK/pgold.json" "$WORK/presumed.json" <<'EOF'
+import json, sys
+
+golden, resumed = (json.load(open(p)) for p in sys.argv[1:3])
+if golden != resumed:
+    diff = {k for k in golden if golden[k] != resumed.get(k)}
+    raise SystemExit(
+        f"FAIL: resumed parallel sweep differs from golden in {sorted(diff)}")
+print(f"OK: resumed parallel sweep is bit-identical to the uninterrupted "
+      f"one across {len(golden)} cells")
 EOF

@@ -126,6 +126,53 @@ class SimulationInterrupted(SimulationError):
         self.cycle = cycle
 
 
+class WorkerPoolError(SimulationError):
+    """The parallel sweep lost worker processes it could not recover.
+
+    Raised by the legacy executor backend when the process pool breaks
+    mid-sweep (a worker segfaulted, was OOM-killed, or ``os._exit``-ed):
+    surviving results are kept in the parent cache, and ``lost_cells``
+    names every ``(kernel, scheduler)`` cell whose worker died without
+    returning. The supervised :class:`repro.harness.pool.WorkerPool`
+    backend respawns workers instead, so it only raises this when its
+    own recovery machinery is exhausted.
+    """
+
+    def __init__(self, message: str, *,
+                 lost_cells: tuple = ()) -> None:
+        super().__init__(message)
+        #: ``(kernel, scheduler)`` cells in flight when the pool broke.
+        self.lost_cells = tuple(lost_cells)
+
+
+class PoisonCellError(SimulationError):
+    """A run-matrix cell repeatedly destroyed the worker running it.
+
+    Raised (and recorded as a :class:`repro.harness.runner.CellFailure`)
+    when one cell kills, wedges or corrupts its worker
+    ``max_cell_attempts`` times in a row. The cell is quarantined — the
+    sweep continues under ``keep_going`` — and ``fault_kind`` names the
+    last observed failure class (``worker-death``, ``deadline``,
+    ``heartbeat-lost``, ``corrupt-payload``).
+    """
+
+    def __init__(self, message: str, *, fault_kind: str = "unknown",
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.fault_kind = fault_kind
+        self.attempts = attempts
+
+
+class PayloadError(SimulationError):
+    """A worker result payload failed schema or digest validation.
+
+    A truncated or corrupt payload must become a *retryable* cell
+    failure, never a poisoned checkpoint: the supervised pool redispatches
+    the cell, and :func:`repro.robustness.checkpoint.result_from_json`
+    raises this instead of a bare ``KeyError`` on malformed input.
+    """
+
+
 class SnapshotError(ReproError):
     """A simulator snapshot could not be written, read, or applied.
 

@@ -188,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for run-matrix cells: a positive "
                         "integer or 'auto' (= CPU count; default 1 = "
                         "sequential). Results are bit-identical either way")
+    p.add_argument("--worker-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="with --jobs > 1: parent-side wall-clock budget per "
+                        "dispatched cell; a worker exceeding it is reaped "
+                        "and the cell redispatched (default: unbounded). "
+                        "Catches wedged workers --cell-timeout cannot")
+    p.add_argument("--max-respawns", type=int, default=None, metavar="N",
+                   help="with --jobs > 1: replacement workers spawned after "
+                        "crashes/deadlines before the sweep degrades to "
+                        "in-process execution (default 4)")
     p.add_argument("--smoke", action="store_true",
                    help="for 'bench'/'trace'/'fidelity': the quick CI "
                         "variant (fewer, smaller cells; 'trace' drops to "
@@ -300,6 +310,14 @@ def _validate_args(parser: argparse.ArgumentParser,
         args.jobs = resolve_jobs(args.jobs)
     except ValueError as err:
         parser.error(f"--{err}")
+    if args.worker_deadline is not None and args.worker_deadline <= 0:
+        parser.error(
+            f"--worker-deadline must be positive (got {args.worker_deadline})"
+        )
+    if args.max_respawns is not None and args.max_respawns < 0:
+        parser.error(
+            f"--max-respawns must be >= 0 (got {args.max_respawns})"
+        )
     if args.smoke and args.experiment not in ("bench", "trace", "fidelity"):
         parser.error("--smoke only applies to 'bench', 'trace' and "
                      "'fidelity'")
@@ -470,8 +488,19 @@ def main(argv: Optional[list] = None) -> int:
     policy = CellPolicy(retries=args.retries, cell_timeout=args.cell_timeout,
                         snapshot_every=args.snapshot_every)
     cache = ResultCache(checkpoint=checkpoint, policy=policy)
+    pool_config = None
+    if args.worker_deadline is not None or args.max_respawns is not None:
+        from .pool import PoolConfig
+
+        overrides = {}
+        if args.worker_deadline is not None:
+            overrides["worker_deadline"] = args.worker_deadline
+        if args.max_respawns is not None:
+            overrides["max_respawns"] = args.max_respawns
+        pool_config = PoolConfig(**overrides)
     setup = ExperimentSetup(config=GPUConfig.scaled(args.sms),
-                            scale=args.scale, cache=cache, jobs=args.jobs)
+                            scale=args.scale, cache=cache, jobs=args.jobs,
+                            pool_config=pool_config)
 
     chunks = []
     failed: List[Tuple[str, ReproError]] = []
@@ -484,7 +513,8 @@ def main(argv: Optional[list] = None) -> int:
     try:
         if args.experiment == "bench":
             report = run_bench(jobs=args.jobs, smoke=args.smoke,
-                               sms=args.sms, out_path=args.bench_out)
+                               sms=args.sms, out_path=args.bench_out,
+                               pool_config=pool_config)
             chunks.append(report.render())
             if args.json_out:
                 _dump_json(args.json_out, report.to_json())

@@ -3,17 +3,17 @@
 The paper's evaluation is a 25-kernel x 4-scheduler matrix of mutually
 independent simulations — embarrassingly parallel work that the harness
 previously ran strictly sequentially. :func:`run_matrix_parallel` fans
-the missing cells of a matrix out to a ``concurrent.futures`` process
-pool and streams completed counters back into the parent's
+the missing cells of a matrix out to worker processes and streams
+completed counters back into the parent's
 :class:`~repro.harness.runner.ResultCache`:
 
 * **Workers are pure.** Each worker process simulates one cell inside a
   private throwaway cache (honouring the parent's
   :class:`~repro.harness.runner.CellPolicy` retry/timeout budget) and
-  returns the flattened counters of
-  :func:`repro.robustness.checkpoint.result_to_json` — no shared state,
-  no ordering sensitivity, so parallel results are bit-identical to a
-  sequential sweep (asserted by ``tests/harness/test_parallel.py``).
+  returns a JSON-able payload — counters plus a content digest, or a
+  fully serialized failure (diagnostic report included) — so parallel
+  results and FAILURES sections are bit-identical to a sequential
+  sweep's (asserted by ``tests/harness/test_parallel.py``).
 * **The parent is the single checkpoint writer.** Completed cells are
   adopted into the parent cache (and its optional
   :class:`~repro.robustness.checkpoint.CheckpointStore`) as they stream
@@ -26,9 +26,28 @@ pool and streams completed counters back into the parent's
   otherwise the reconstructed :class:`~repro.errors.SimulationError`
   propagates after in-flight cells are drained.
 
-Fault injection (``ResultCache.faults``) holds process-local mutable
-budgets that cannot be shared with workers; such caches transparently
-fall back to the sequential path.
+Two backends implement the fan-out:
+
+* ``backend="pool"`` (the default) — the supervised persistent
+  :class:`~repro.harness.pool.WorkerPool`: warm workers reused across
+  sweeps, heartbeat/deadline supervision, crash redispatch, poison-cell
+  quarantine, and graceful degradation to the sequential path when the
+  respawn budget runs out. Pass ``pool=`` to reuse one pool across many
+  sweeps (the bench harness does), or ``pool_config=`` to tune
+  supervision for a pool owned by this call.
+* ``backend="executor"`` — the legacy one-shot
+  ``concurrent.futures.ProcessPoolExecutor`` fan-out. Kept for A/B
+  comparison and as the regression surface for the structured
+  :class:`~repro.errors.WorkerPoolError` a broken pool now raises
+  (instead of a raw ``BrokenProcessPool`` traceback). It has no
+  supervision: a ``hang_worker`` injector hangs the sweep, which is
+  precisely why the pool backend exists.
+
+Fault plans with *simulator-level* injectors armed hold process-local
+mutable budgets that cannot be shared with workers; such caches
+transparently fall back to the sequential path. Purely *worker-level*
+plans (``kill_worker`` / ``hang_worker`` / ``corrupt_payload``) run
+parallel: their budgets are consumed parent-side at dispatch.
 """
 
 from __future__ import annotations
@@ -36,14 +55,27 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import errors as _errors
 from ..config import GPUConfig
-from ..errors import SimulationError, SimulationInterrupted
+from ..errors import (
+    PayloadError,
+    SimulationError,
+    SimulationInterrupted,
+    WorkerPoolError,
+)
 from ..gpu.launch import RunResult
-from ..robustness.checkpoint import result_from_json, result_to_json
+from ..robustness.checkpoint import payload_digest, result_from_json
+from .pool import (
+    KILL_EXIT_CODE,
+    PoolConfig,
+    WorkerPool,
+    corrupt_cell_payload,
+    rebuild_error,
+    simulate_cell_payload,
+)
 from .runner import CellFailure, CellPolicy, ResultCache
 
 #: (kernel, scheduler) -> RunResult (or None for a failed cell under
@@ -87,24 +119,8 @@ def resolve_jobs(spec: object) -> int:
 
 
 # ---------------------------------------------------------------------------
-# worker side
-
-
-def _ensure_scheduler_registered(scheduler: str) -> None:
-    """Make dynamically-registered scheduler names resolvable in a fresh
-    worker process.
-
-    Static variants (``pro-nb``/``pro-nf``/``pro-norm``) register on
-    import; threshold variants (``pro-t<N>``) are registered lazily by
-    the parent and must be re-registered here.
-    """
-    from ..core import variants
-
-    if scheduler.startswith("pro-t"):
-        try:
-            variants.pro_with_threshold(int(scheduler[len("pro-t"):]))
-        except ValueError:
-            pass  # not a threshold variant; let the registry reject it
+# worker side (executor backend; the pool backend's worker loop lives in
+# repro.harness.pool)
 
 
 def _worker_cell(
@@ -113,45 +129,37 @@ def _worker_cell(
     config: GPUConfig,
     scale: float,
     policy: CellPolicy,
-) -> Tuple[str, str, Optional[dict], Optional[Tuple[str, str, int]], float]:
-    """Simulate one cell in a worker process.
+    inject: Optional[str] = None,
+) -> dict:
+    """Simulate one cell in an executor worker process.
 
-    Returns ``(kernel, scheduler, result_json | None,
-    (error_type, headline, attempts) | None, wall_seconds)``. Exceptions
-    never cross the process boundary as live objects — diagnostic reports
-    attached to simulation errors are not reliably picklable.
+    Returns the :func:`~repro.harness.pool.simulate_cell_payload` dict:
+    counters + content digest on success, a serialized failure —
+    diagnostic report included — otherwise. Exceptions never cross the
+    process boundary as live objects. ``inject`` applies a worker-level
+    fault the parent popped at submit time.
     """
-    _ensure_scheduler_registered(scheduler)
-    cache = ResultCache(policy=policy)
-    t0 = time.perf_counter()
-    try:
-        result = cache.run(kernel, scheduler, config, scale)
-    except SimulationError as err:
-        attempts = (
-            cache.failures[-1].attempts if cache.failures
-            else policy.retries + 1
-        )
-        return (
-            kernel, scheduler, None,
-            (type(err).__name__, err.headline, attempts),
-            time.perf_counter() - t0,
-        )
-    return (
-        kernel, scheduler, result_to_json(result), None,
-        time.perf_counter() - t0,
-    )
+    if inject == "kill_worker":
+        os._exit(KILL_EXIT_CODE)
+    if inject == "hang_worker":  # pragma: no cover - hangs the executor
+        while True:
+            time.sleep(60.0)
+    payload = simulate_cell_payload(kernel, scheduler, config, scale,
+                                    policy)
+    if inject == "corrupt_payload":
+        payload = corrupt_cell_payload(payload)
+    return payload
 
 
-def _rebuild_error(error_type: str, headline: str) -> SimulationError:
+def _rebuild_error(failure: dict) -> SimulationError:
     """Reconstruct a worker-side simulation error in the parent.
 
-    The diagnostic report is lost at the process boundary; the error type
-    and headline survive, which is what the FAILURES section renders.
+    Delegates to :func:`~repro.harness.pool.rebuild_error`: the error
+    class is resolved by name and the serialized diagnostic report is
+    rehydrated, so a parallel FAILURES section renders the same
+    post-mortem a sequential sweep would have.
     """
-    cls = getattr(_errors, error_type, SimulationError)
-    if not (isinstance(cls, type) and issubclass(cls, SimulationError)):
-        cls = SimulationError
-    return cls(headline)
+    return rebuild_error(failure)
 
 
 # ---------------------------------------------------------------------------
@@ -167,21 +175,35 @@ def run_matrix_parallel(
     jobs: int = 1,
     keep_going: bool = False,
     outcomes: Optional[List[CellOutcome]] = None,
+    backend: str = "pool",
+    pool: Optional[WorkerPool] = None,
+    pool_config: Optional[PoolConfig] = None,
+    probes: Sequence[object] = (),
 ) -> MatrixResults:
     """Fill ``cache`` with every ``(kernel, scheduler)`` cell of a matrix.
 
     Cells already answered by the cache's memo or checkpoint tiers are
     never re-simulated; the rest fan out across ``jobs`` worker processes
-    (sequentially in-process when ``jobs == 1`` or fault injection is
-    armed). Completed counters stream back into the parent cache — and
-    its checkpoint, with the parent as the single writer — as they
-    finish, so an interrupted parallel sweep resumes exactly like a
-    sequential one.
+    (sequentially in-process when ``jobs == 1`` or simulator-level fault
+    injection is armed). Completed counters stream back into the parent
+    cache — and its checkpoint, with the parent as the single writer —
+    as they finish, so an interrupted parallel sweep resumes exactly
+    like a sequential one.
+
+    ``pool=`` reuses a caller-owned persistent
+    :class:`~repro.harness.pool.WorkerPool` (kept warm across sweeps;
+    the caller shuts it down); otherwise a pool is created and torn down
+    around this sweep, configured by ``pool_config`` and forwarding
+    ``probes`` for lifecycle telemetry. ``backend="executor"`` selects
+    the legacy unsupervised fan-out.
 
     Returns the per-cell results. A failed cell raises the reconstructed
     error unless ``keep_going``, in which case it is recorded in
     ``cache.failures`` and mapped to ``None``. ``outcomes``, when given,
     receives one :class:`CellOutcome` per cell for bench reporting.
+    Worker-pool infrastructure failures (the executor backend's broken
+    pool) raise :class:`~repro.errors.WorkerPoolError` regardless of
+    ``keep_going`` — losing workers is not a cell failure.
     """
     results: MatrixResults = {}
     missing: List[Tuple[str, str]] = []
@@ -198,53 +220,156 @@ def run_matrix_parallel(
 
     if not missing:
         return results
-    if jobs <= 1 or cache.faults is not None:
-        # Fault plans hold process-local mutable budgets (consumed as
-        # faults fire) that cannot be mirrored across workers.
+    faults = cache.faults
+    # Conservative routing: any fault plan forces the sequential path
+    # unless it is *purely* worker-level (those budgets are consumed
+    # parent-side at dispatch). Simulator-level budgets — including any
+    # duck-typed FaultPlan subclass, whose overridden hooks we cannot
+    # see — are process-local mutable state that must not fork.
+    faults_need_sequential = faults is not None and (
+        faults.has_simulation_faults() or not faults.has_worker_faults()
+    )
+    if (jobs <= 1 and pool is None) or faults_need_sequential:
         _run_sequential(cache, missing, config, scale,
                         keep_going=keep_going, results=results,
                         outcomes=outcomes)
         return results
 
+    if backend == "executor":
+        return _run_executor(cache, missing, config, scale,
+                             jobs=jobs, keep_going=keep_going,
+                             results=results, outcomes=outcomes)
+    if backend != "pool":
+        raise ValueError(
+            f"unknown parallel backend {backend!r} "
+            "(expected 'pool' or 'executor')"
+        )
+
+    owned = pool is None
+    worker_pool = pool if pool is not None else WorkerPool(
+        min(jobs, len(missing)), pool_config=pool_config, probes=probes,
+    )
+    try:
+        outcome = worker_pool.run_cells(cache, missing, config, scale,
+                                        outcomes=outcomes)
+    finally:
+        if owned:
+            worker_pool.shutdown()
+    results.update(outcome.results)
+    if outcome.leftover:
+        # The pool degraded (respawn budget exhausted): finish the
+        # remaining cells in-process rather than losing the sweep.
+        _run_sequential(cache, outcome.leftover, config, scale,
+                        keep_going=keep_going, results=results,
+                        outcomes=outcomes)
+    if outcome.first_error is not None and not keep_going:
+        raise outcome.first_error
+    return results
+
+
+def _run_executor(
+    cache: ResultCache,
+    missing: Sequence[Tuple[str, str]],
+    config: GPUConfig,
+    scale: float,
+    *,
+    jobs: int,
+    keep_going: bool,
+    results: MatrixResults,
+    outcomes: Optional[List[CellOutcome]],
+) -> MatrixResults:
+    """Legacy one-shot ``ProcessPoolExecutor`` fan-out (unsupervised)."""
+    faults = cache.faults
     first_error: Optional[SimulationError] = None
+    broken: Optional[WorkerPoolError] = None
     completed = 0
     interrupted = False
+
+    def consume(key: Tuple[str, str], payload: dict) -> None:
+        nonlocal first_error, completed
+        kernel, scheduler = key
+        seconds = float(payload.get("seconds") or 0.0)
+        cache.runs_executed += 1
+        completed += 1
+        if outcomes is not None:
+            outcomes.append(CellOutcome(kernel, scheduler, seconds, False))
+        if payload.get("failure") is not None:
+            err = _rebuild_error(payload["failure"])
+            cache.failures.append(CellFailure(
+                kernel=kernel, scheduler=scheduler, scale=scale,
+                attempts=int(payload["failure"].get("attempts", 1)),
+                error=err,
+            ))
+            results[key] = None
+            if first_error is None:
+                first_error = err
+            return
+        try:
+            result = result_from_json(payload.get("result"))
+            if payload.get("digest") != payload_digest(payload["result"]):
+                raise PayloadError(
+                    f"cell {kernel}/{scheduler}: payload digest mismatch "
+                    "(truncated or corrupt worker result)"
+                )
+        except PayloadError as err:
+            # The executor has no redispatch machinery: a corrupt payload
+            # is a recorded cell failure, never a poisoned checkpoint.
+            cache.failures.append(CellFailure(
+                kernel=kernel, scheduler=scheduler, scale=scale,
+                attempts=1, error=err,
+            ))
+            results[key] = None
+            if first_error is None:
+                first_error = err
+            return
+        cache.adopt(kernel, scheduler, config, scale, result,
+                    seconds=seconds)
+        results[key] = result
+
     with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
         futures = [
-            pool.submit(_worker_cell, kernel, scheduler, config, scale,
-                        cache.policy)
+            pool.submit(
+                _worker_cell, kernel, scheduler, config, scale,
+                cache.policy,
+                faults.pop_worker_fault(kernel, scheduler)
+                if faults is not None else None,
+            )
             for kernel, scheduler in missing
         ]
         try:
-            for future in futures:
+            for index, future in enumerate(futures):
                 if getattr(cache, "interrupted", False):
                     # A graceful_interrupts handler fired: stop consuming
                     # and tear the pool down below.
                     interrupted = True
                     break
-                kernel, scheduler, payload, failure, seconds = (
-                    future.result()
-                )
-                cache.runs_executed += 1
-                completed += 1
-                if outcomes is not None:
-                    outcomes.append(
-                        CellOutcome(kernel, scheduler, seconds, False)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    # A worker died (segfault, OOM kill, os._exit): the
+                    # executor poisons every pending future. Harvest the
+                    # cells that finished before the crash, then report
+                    # the lost ones structurally.
+                    lost = [missing[index]]
+                    for later in range(index + 1, len(futures)):
+                        try:
+                            survivor = futures[later].result(timeout=0)
+                        except Exception:
+                            lost.append(missing[later])
+                            continue
+                        consume(missing[later], survivor)
+                    broken = WorkerPoolError(
+                        f"worker pool broke mid-sweep: {len(lost)} "
+                        "cell(s) lost ("
+                        + ", ".join(f"{k}/{s}" for k, s in lost)
+                        + "); completed cells were kept (checkpointed "
+                        "when a store is attached) — re-run to retry "
+                        "the lost cells, or use the supervised pool "
+                        "backend, which survives worker loss",
+                        lost_cells=lost,
                     )
-                if failure is not None:
-                    error_type, headline, attempts = failure
-                    err = _rebuild_error(error_type, headline)
-                    cache.failures.append(CellFailure(
-                        kernel=kernel, scheduler=scheduler, scale=scale,
-                        attempts=attempts, error=err,
-                    ))
-                    results[(kernel, scheduler)] = None
-                    if first_error is None:
-                        first_error = err
-                    continue
-                result = result_from_json(payload)
-                cache.adopt(kernel, scheduler, config, scale, result)
-                results[(kernel, scheduler)] = result
+                    break
+                consume(missing[index], payload)
         except KeyboardInterrupt:
             # Raw Ctrl-C without the graceful handler (or a worker dying
             # of the same process-group SIGINT).
@@ -262,6 +387,8 @@ def run_matrix_parallel(
             "outstanding cell(s) completed (checkpointed cells are kept; "
             "re-run the same command to resume)"
         )
+    if broken is not None:
+        raise broken
     if first_error is not None and not keep_going:
         raise first_error
     return results

@@ -1,0 +1,882 @@
+"""Persistent, supervised worker pool for run-matrix sweeps.
+
+The per-sweep ``ProcessPoolExecutor`` fan-out paid cold spawn + prewarm
+for every sweep (losing to serial at jobs=2 — the recorded 0.87x of
+``benchmarks/BENCH_*.json``) and died un-structurally the moment a
+worker did: a segfault surfaced as a raw ``BrokenProcessPool`` traceback
+that aborted the whole matrix. :class:`WorkerPool` replaces it with a
+long-lived supervised pool:
+
+* **Workers spawn once and stay warm.** Each worker is a
+  ``multiprocessing.Process`` pulling cells off its own dispatch queue;
+  one pool can serve any number of sweeps (bench, fidelity, nightly
+  ``--full`` runs), so spawn + import cost is amortized instead of paid
+  per sweep. Tasks carry their own (config, scale, policy), so a single
+  pool serves heterogeneous sweeps.
+* **The parent supervises.** Every worker owns a heartbeat (a shared
+  double a worker-side daemon thread refreshes) and every dispatched
+  cell a wall-clock deadline (``PoolConfig.worker_deadline``). A dead
+  worker (``is_alive()`` false — segfault, OOM kill, ``os._exit``), a
+  deadline-blown cell or a stale heartbeat gets the worker reaped and a
+  replacement spawned (bounded by ``max_respawns``); the in-flight cell
+  is redispatched with exponential backoff.
+* **Poison cells are quarantined, not fatal.** A cell that destroys its
+  worker ``max_cell_attempts`` times becomes a
+  :class:`~repro.errors.PoisonCellError`
+  :class:`~repro.harness.runner.CellFailure`; the sweep continues under
+  ``keep_going`` exactly like any other failed cell.
+* **Exhaustion degrades, never aborts.** When the respawn budget runs
+  out and the last worker dies, the remaining cells are handed back for
+  the in-process sequential path — a slow sweep beats a dead one.
+* **Dispatch is longest-estimated-first.** Cell wall-clock history
+  (the :class:`~repro.robustness.checkpoint.CheckpointStore` durations
+  sidecar, falling back to what this pool has already observed) orders
+  the queue so the longest cells start first and stragglers don't
+  serialize the sweep's tail.
+* **Results are validated before adoption.** Worker payloads carry a
+  content digest; a truncated or corrupt payload (torn pipe, bit flip,
+  the ``corrupt_payload`` injector) is a *retryable* redispatch, never a
+  poisoned checkpoint.
+
+The parent remains the single checkpoint writer (``ResultCache.adopt``)
+and counters stay bit-identical to a sequential sweep — the pool only
+changes *where* cells run, never what they compute. Lifecycle telemetry
+(:class:`PoolEvent`) flows through the ordinary
+:class:`~repro.obs.ProbeBus` ``on_pool_event`` hook.
+
+Worker-level fault injection (``FaultPlan.kill_worker`` /
+``hang_worker`` / ``corrupt_payload``) is consumed parent-side at
+dispatch time and shipped to the worker as part of the task, which keeps
+budgets deterministic even though the faulted worker never returns.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import errors as _errors
+from ..config import GPUConfig
+from ..errors import (
+    InvariantViolation,
+    PayloadError,
+    PoisonCellError,
+    SimulationError,
+    SimulationInterrupted,
+)
+from ..obs.bus import ProbeBus
+from ..robustness.checkpoint import (
+    payload_digest,
+    result_from_json,
+    result_to_json,
+)
+from ..robustness.diagnostics import (
+    DeadlockReport,
+    TextReport,
+    report_from_json,
+    report_to_json,
+)
+from .runner import CellFailure, CellPolicy, ResultCache
+
+#: Exit code of a worker killed by the ``kill_worker`` injector —
+#: distinctive in pool telemetry, irrelevant to supervision (any death
+#: is handled identically).
+KILL_EXIT_CODE = 113
+
+#: Seconds between worker heartbeat refreshes.
+HEARTBEAT_INTERVAL = 0.25
+
+
+# ---------------------------------------------------------------------------
+# configuration and telemetry
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Supervision knobs of one :class:`WorkerPool`.
+
+    ``worker_deadline`` is the parent-side wall-clock budget per
+    *dispatched cell* (None = unbounded) — independent of the
+    worker-internal ``CellPolicy.cell_timeout``, which a wedged worker
+    may never get to enforce. ``heartbeat_timeout`` catches workers that
+    are alive to the OS but no longer scheduling Python (None disables).
+    ``max_respawns`` bounds replacement workers per pool lifetime;
+    ``max_cell_attempts`` bounds how often one cell may destroy a worker
+    before quarantine.
+    """
+
+    worker_deadline: Optional[float] = None
+    heartbeat_timeout: Optional[float] = 30.0
+    max_respawns: int = 4
+    max_cell_attempts: int = 3
+    #: Exponential redispatch backoff: base * 2^(attempt-1), capped.
+    backoff_base: float = 0.05
+    backoff_max: float = 1.0
+    #: Parent supervision poll period when nothing is happening.
+    poll_interval: float = 0.02
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One worker-pool lifecycle event (telemetry).
+
+    ``kind`` is one of ``spawn``, ``respawn``, ``dispatch``,
+    ``redispatch``, ``inject``, ``worker-death``, ``deadline``,
+    ``heartbeat-lost``, ``corrupt-payload``, ``quarantine``,
+    ``degrade``, ``shutdown``.
+    """
+
+    kind: str
+    worker_id: Optional[int] = None
+    kernel: Optional[str] = None
+    scheduler: Optional[str] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        cell = (
+            f" {self.kernel}/{self.scheduler}"
+            if self.kernel is not None else ""
+        )
+        who = f" worker {self.worker_id}" if self.worker_id is not None else ""
+        tail = f": {self.detail}" if self.detail else ""
+        return f"[pool] {self.kind}{who}{cell}{tail}"
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+
+def _ensure_scheduler_registered(scheduler: str) -> None:
+    """Make dynamically-registered scheduler names resolvable in a fresh
+    worker process.
+
+    Static variants (``pro-nb``/``pro-nf``/``pro-norm``) register on
+    import; threshold variants (``pro-t<N>``) are registered lazily by
+    the parent and must be re-registered here.
+    """
+    from ..core import variants
+
+    if scheduler.startswith("pro-t"):
+        try:
+            variants.pro_with_threshold(int(scheduler[len("pro-t"):]))
+        except ValueError:
+            pass  # not a threshold variant; let the registry reject it
+
+
+def failure_to_json(err: SimulationError, attempts: int) -> dict:
+    """Serialize a worker-side simulation failure, diagnostics included.
+
+    The attached :class:`~repro.robustness.diagnostics.DeadlockReport`
+    is flattened structurally (rendered-text fallback for duck-typed
+    reports) so the parent's FAILURES output matches a sequential
+    sweep's, not just its headline.
+    """
+    report = getattr(err, "report", None)
+    report_json: Optional[dict] = None
+    if isinstance(report, DeadlockReport):
+        report_json = report_to_json(report)
+    elif report is not None:
+        try:
+            report_json = {"text": report.render()}
+        except Exception:
+            report_json = None
+    return {
+        "type": type(err).__name__,
+        "headline": getattr(err, "headline", None) or str(err),
+        "attempts": attempts,
+        "report": report_json,
+        "invariant": getattr(err, "name", None),
+    }
+
+
+def rebuild_error(failure: dict) -> SimulationError:
+    """Rehydrate a :func:`failure_to_json` payload in the parent.
+
+    The error class is resolved by name against :mod:`repro.errors`
+    (unknown or non-SimulationError names degrade to the base class) and
+    the diagnostic report is rebuilt so ``str(error)`` renders the same
+    post-mortem a sequential sweep would have printed.
+    """
+    cls = getattr(_errors, failure.get("type", ""), SimulationError)
+    if not (isinstance(cls, type) and issubclass(cls, SimulationError)):
+        cls = SimulationError
+    headline = failure.get("headline", "worker-side simulation failure")
+    report = None
+    report_json = failure.get("report")
+    if isinstance(report_json, dict):
+        if "text" in report_json:
+            report = TextReport(report_json["text"])
+        else:
+            try:
+                report = report_from_json(report_json)
+            except (KeyError, TypeError):
+                report = None
+    kwargs = {}
+    if report is not None:
+        kwargs["report"] = report
+    if cls is InvariantViolation and failure.get("invariant"):
+        kwargs["name"] = failure["invariant"]
+    try:
+        return cls(headline, **kwargs)
+    except TypeError:
+        # A subclass with an incompatible signature (e.g. one that does
+        # not accept report=); the base class always does.
+        return SimulationError(headline, report=report)
+
+
+def simulate_cell_payload(
+    kernel: str,
+    scheduler: str,
+    config: GPUConfig,
+    scale: float,
+    policy: CellPolicy,
+) -> dict:
+    """Simulate one cell and package the outcome for the parent.
+
+    The payload is pure JSON-able data — results carry a content digest
+    the parent re-checks before adoption, failures carry their full
+    serialized diagnostics. Exceptions never cross the process boundary
+    as live objects.
+    """
+    _ensure_scheduler_registered(scheduler)
+    cache = ResultCache(policy=policy)
+    t0 = time.perf_counter()
+    try:
+        result = cache.run(kernel, scheduler, config, scale)
+    except SimulationError as err:
+        attempts = (
+            cache.failures[-1].attempts if cache.failures
+            else policy.retries + 1
+        )
+        return {
+            "kernel": kernel,
+            "scheduler": scheduler,
+            "seconds": time.perf_counter() - t0,
+            "result": None,
+            "digest": None,
+            "failure": failure_to_json(err, attempts),
+        }
+    result_json = result_to_json(result)
+    return {
+        "kernel": kernel,
+        "scheduler": scheduler,
+        "seconds": time.perf_counter() - t0,
+        "result": result_json,
+        "digest": payload_digest(result_json),
+        "failure": None,
+    }
+
+
+def corrupt_cell_payload(payload: dict) -> dict:
+    """Deterministically mangle a payload (the ``corrupt_payload``
+    injector): drop the per-SM counters, leaving the stale digest to
+    disagree with the truncated body — exactly what a torn write
+    produces."""
+    bad = dict(payload)
+    result = bad.get("result")
+    if isinstance(result, dict):
+        counters = dict(result.get("counters") or {})
+        counters.pop("per_sm", None)
+        bad["result"] = {**result, "counters": counters}
+    else:
+        bad["digest"] = "0" * 16
+    return bad
+
+
+def _worker_main(worker_id: int, task_q, result_q, heartbeat) -> None:
+    """Worker process loop: beat, pull a cell, simulate, answer.
+
+    A daemon thread refreshes ``heartbeat`` (a shared double) every
+    :data:`HEARTBEAT_INTERVAL` seconds — the simulation loop itself is
+    single-threaded and cannot. Injected faults arrive inside the task:
+    ``kill_worker`` exits before touching the simulator, ``hang_worker``
+    sleeps forever (the heartbeat keeps beating — deliberately: only the
+    parent's *deadline* can catch a wedged-but-scheduling worker), and
+    ``corrupt_payload`` mangles an otherwise honest result.
+    """
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(HEARTBEAT_INTERVAL)
+
+    threading.Thread(target=beat, daemon=True,
+                     name=f"heartbeat-{worker_id}").start()
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            seq, kernel, scheduler, config, scale, policy, inject = task
+            if inject == "kill_worker":
+                os._exit(KILL_EXIT_CODE)
+            if inject == "hang_worker":
+                while True:
+                    time.sleep(60.0)
+            payload = simulate_cell_payload(kernel, scheduler, config,
+                                            scale, policy)
+            if inject == "corrupt_payload":
+                payload = corrupt_cell_payload(payload)
+            result_q.put((seq, payload))
+    finally:
+        stop.set()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+
+
+@dataclass
+class _Task:
+    """One not-yet-adopted cell, with its pool-level retry state."""
+
+    seq: int
+    kernel: str
+    scheduler: str
+    #: Pool-level attempts consumed by worker loss / corrupt payloads
+    #: (worker-internal CellPolicy retries are a separate, inner budget).
+    attempts: int = 0
+    #: Earliest monotonic time the cell may be redispatched (backoff).
+    ready_at: float = 0.0
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    def __init__(self, ctx, worker_id: int) -> None:
+        self.id = worker_id
+        self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.heartbeat = ctx.Value("d", 0.0)
+        self.spawned_at = time.monotonic()
+        self.current: Optional[_Task] = None
+        self.dispatched_at = 0.0
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.task_q, self.result_q, self.heartbeat),
+            daemon=True,
+            name=f"pro-sim-worker-{worker_id}",
+        )
+        self.proc.start()
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def ready(self) -> bool:
+        """True once the worker booted far enough to beat (imports done)."""
+        return self.heartbeat.value > 0.0
+
+    def stalled(self, now: float, timeout: Optional[float]) -> bool:
+        """True when the heartbeat (or, pre-boot, the spawn clock) is
+        older than ``timeout``."""
+        if timeout is None:
+            return False
+        last = max(self.heartbeat.value, self.spawned_at)
+        return now - last > timeout
+
+    def reap(self) -> None:
+        """Terminate (escalating to SIGKILL) and join the process."""
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=2.0)
+        if self.proc.is_alive():  # pragma: no cover - stubborn process
+            self.proc.kill()
+            self.proc.join(timeout=2.0)
+        for q in (self.task_q, self.result_q):
+            try:
+                q.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+@dataclass
+class PoolRunOutcome:
+    """What one :meth:`WorkerPool.run_cells` sweep produced."""
+
+    #: (kernel, scheduler) -> RunResult, or None for a failed/quarantined
+    #: cell (recorded in ``cache.failures``).
+    results: Dict[Tuple[str, str], object] = field(default_factory=dict)
+    #: Cells never attempted because the pool degraded; the caller runs
+    #: them through the in-process sequential path.
+    leftover: List[Tuple[str, str]] = field(default_factory=list)
+    #: First non-quarantine simulation failure (raised by the caller
+    #: unless keep_going).
+    first_error: Optional[SimulationError] = None
+
+
+class WorkerPool:
+    """A persistent supervised pool of simulation worker processes.
+
+    Construct once, :meth:`start` (or use as a context manager), then
+    call :meth:`run_cells` any number of times — sweeps reuse the warm
+    workers. ``probes`` objects implementing ``on_pool_event`` receive
+    :class:`PoolEvent` telemetry synchronously from the supervision
+    loop; every event is also appended to :attr:`events`.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        pool_config: Optional[PoolConfig] = None,
+        probes: Sequence[object] = (),
+    ) -> None:
+        import multiprocessing
+
+        self.jobs = max(1, int(jobs))
+        self.cfg = pool_config or PoolConfig()
+        self._ctx = multiprocessing.get_context()
+        self._bus = ProbeBus(probes) if probes else None
+        #: Full lifecycle event log (tests, CLI failure reports).
+        self.events: List[PoolEvent] = []
+        #: Replacement workers spawned so far (<= cfg.max_respawns).
+        self.respawns = 0
+        self.redispatches = 0
+        #: Cells quarantined as PoisonCellError across this pool's life.
+        self.quarantined: List[Tuple[str, str]] = []
+        self._workers: Dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._started = False
+        #: (kernel, scheduler) -> last observed wall seconds (dispatch
+        #: ordering when no checkpoint history exists).
+        self._history: Dict[Tuple[str, str], float] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn the workers (idempotent)."""
+        if not self._started:
+            for _ in range(self.jobs):
+                self._spawn("spawn")
+            self._started = True
+        return self
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        """Block until every worker heartbeats (imports finished).
+
+        Lets callers separate spawn/prewarm cost from steady-state sweep
+        time — the bench harness times them apart. Returns False on
+        timeout (slow machine; the pool still works, just colder).
+        """
+        self.start()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(w.ready() for w in self._workers.values()):
+                return True
+            time.sleep(0.01)
+        return False  # pragma: no cover - only on pathological machines
+
+    def shutdown(self) -> None:
+        """Stop and reap every worker (idempotent)."""
+        if not self._workers and not self._started:
+            return
+        for worker in self._workers.values():
+            try:
+                worker.task_q.put_nowait(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers.values():
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in list(self._workers.values()):
+            worker.reap()
+        self._workers.clear()
+        self._started = False
+        self._emit("shutdown")
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- internals -----------------------------------------------------
+
+    def _emit(self, kind: str, *, worker_id: Optional[int] = None,
+              kernel: Optional[str] = None, scheduler: Optional[str] = None,
+              detail: str = "") -> None:
+        event = PoolEvent(kind=kind, worker_id=worker_id, kernel=kernel,
+                          scheduler=scheduler, detail=detail)
+        self.events.append(event)
+        if self._bus is not None:
+            self._bus.pool_event(event)
+
+    def _spawn(self, kind: str) -> _Worker:
+        worker = _Worker(self._ctx, self._next_worker_id)
+        self._next_worker_id += 1
+        self._workers[worker.id] = worker
+        self._emit(kind, worker_id=worker.id)
+        return worker
+
+    def _estimate(self, cache: ResultCache, task: _Task) -> float:
+        """Expected wall seconds of a cell; unknown cells rank first
+        (pessimistic — an unknown cell might be the sweep's longest)."""
+        seen = self._history.get((task.kernel, task.scheduler))
+        if seen is not None:
+            return seen
+        checkpoint = getattr(cache, "checkpoint", None)
+        if checkpoint is not None:
+            recorded = checkpoint.estimate_seconds(task.kernel,
+                                                   task.scheduler)
+            if recorded is not None:
+                return recorded
+        return float("inf")
+
+    # -- the sweep -----------------------------------------------------
+
+    def run_cells(
+        self,
+        cache: ResultCache,
+        cells: Sequence[Tuple[str, str]],
+        config: GPUConfig,
+        scale: float = 1.0,
+        *,
+        outcomes: Optional[list] = None,
+    ) -> PoolRunOutcome:
+        """Run every cell through the pool, adopting results into
+        ``cache`` (single writer) as they stream back.
+
+        Mirrors the executor path's contract: all cells are driven to an
+        outcome (result, recorded failure, or quarantine) before
+        returning; the caller decides whether ``first_error`` aborts the
+        sweep. Raises :class:`~repro.errors.SimulationInterrupted` when
+        ``cache.request_stop()`` fires mid-sweep — workers are torn down
+        and already-adopted cells stay checkpointed.
+        """
+        # Local import: parallel imports this module at top level.
+        from .parallel import CellOutcome
+
+        self.start()
+        run = _SweepState(self, cache, config, scale, outcomes,
+                          CellOutcome)
+        for index, (kernel, scheduler) in enumerate(cells):
+            run.pending.append(_Task(seq=index, kernel=kernel,
+                                     scheduler=scheduler))
+        # Longest-estimated-first; unknown (inf) cells lead, ties keep
+        # submission order.
+        run.pending.sort(
+            key=lambda t: (-self._estimate(cache, t), t.seq)
+        )
+        while run.pending or run.in_flight():
+            if getattr(cache, "interrupted", False):
+                self._interrupt(run)
+            progressed = run.drain()
+            progressed |= run.supervise()
+            if not self._workers:
+                # Respawn budget exhausted and the last worker is gone:
+                # degrade to the in-process path instead of aborting.
+                leftover = [
+                    (t.kernel, t.scheduler)
+                    for t in sorted(run.pending, key=lambda t: t.seq)
+                ]
+                run.pending.clear()
+                self._emit(
+                    "degrade",
+                    detail=(
+                        f"respawn budget exhausted "
+                        f"({self.cfg.max_respawns}); "
+                        f"{len(leftover)} cell(s) fall back to the "
+                        "in-process sequential path"
+                    ),
+                )
+                run.outcome.leftover = leftover
+                return run.outcome
+            progressed |= run.dispatch()
+            if not progressed:
+                self._wait_for_results(self.cfg.poll_interval)
+        return run.outcome
+
+    def _wait_for_results(self, timeout: float) -> None:
+        """Block until some worker result pipe is readable (or timeout).
+
+        Event-driven wakeup keeps per-cell latency at pipe speed instead
+        of poll granularity; the timeout bounds the wait so supervision
+        (deadlines, heartbeats, interrupts) still runs on schedule. Falls
+        back to a plain sleep if the queue internals ever change.
+        """
+        import multiprocessing.connection as mpc
+
+        try:
+            readers = [
+                w.result_q._reader for w in self._workers.values()
+                if w.current is not None
+            ]
+        except AttributeError:  # pragma: no cover - exotic mp backend
+            readers = []
+        if readers:
+            try:
+                mpc.wait(readers, timeout=timeout)
+                return
+            except OSError:  # pragma: no cover - pipe died under us
+                pass
+        time.sleep(timeout)
+
+    def _interrupt(self, run: "_SweepState") -> None:
+        """Tear the pool down after a cooperative stop and unwind."""
+        outstanding = len(run.pending) + sum(
+            1 for w in self._workers.values() if w.current is not None
+        )
+        for worker in list(self._workers.values()):
+            worker.reap()
+        self._workers.clear()
+        self._started = False
+        raise SimulationInterrupted(
+            f"parallel sweep interrupted: {run.completed} cell(s) "
+            f"completed, {outstanding} outstanding (checkpointed cells "
+            "are kept; re-run the same command to resume)"
+        )
+
+
+class _SweepState:
+    """Mutable state of one :meth:`WorkerPool.run_cells` sweep."""
+
+    def __init__(self, pool: WorkerPool, cache: ResultCache,
+                 config: GPUConfig, scale: float,
+                 outcomes: Optional[list], outcome_cls) -> None:
+        self.pool = pool
+        self.cache = cache
+        self.config = config
+        self.scale = scale
+        self.outcomes = outcomes
+        self.outcome_cls = outcome_cls
+        self.pending: List[_Task] = []
+        self.outcome = PoolRunOutcome()
+        self.completed = 0
+
+    def in_flight(self) -> bool:
+        return any(
+            w.current is not None for w in self.pool._workers.values()
+        )
+
+    # -- receiving results ---------------------------------------------
+
+    def drain(self) -> bool:
+        """Consume every ready worker result; True if any arrived."""
+        progressed = False
+        for worker in list(self.pool._workers.values()):
+            progressed |= self._drain_one(worker)
+        return progressed
+
+    def _drain_one(self, worker: _Worker) -> bool:
+        try:
+            seq, payload = worker.result_q.get_nowait()
+        except queue_mod.Empty:
+            return False
+        except Exception:
+            # A torn/unpicklable message: per-worker result queues keep
+            # the damage contained — treat the worker as corrupt.
+            self.pool._emit(
+                "corrupt-payload", worker_id=worker.id,
+                kernel=worker.current.kernel if worker.current else None,
+                scheduler=(worker.current.scheduler
+                           if worker.current else None),
+                detail="unreadable result stream",
+            )
+            self._lose_worker(worker, "worker-death",
+                              "result stream corrupt")
+            return True
+        task = worker.current
+        worker.current = None
+        if task is None or task.seq != seq:  # pragma: no cover - defensive
+            return True
+        problem = self._validate(payload)
+        if problem is not None:
+            self.pool._emit(
+                "corrupt-payload", worker_id=worker.id,
+                kernel=task.kernel, scheduler=task.scheduler,
+                detail=problem,
+            )
+            self._retry_or_quarantine(task, "corrupt-payload", problem)
+            return True
+        self._adopt(task, payload)
+        return True
+
+    def _validate(self, payload: object) -> Optional[str]:
+        """Schema + digest check; returns a defect description or None."""
+        if not isinstance(payload, dict):
+            return f"payload is {type(payload).__name__}, expected dict"
+        if payload.get("failure") is not None:
+            failure = payload["failure"]
+            if not isinstance(failure, dict) or "type" not in failure:
+                return "failure record malformed"
+            return None
+        result_json = payload.get("result")
+        try:
+            result_from_json(result_json)  # full structural validation
+        except PayloadError as err:
+            return err.headline
+        if payload.get("digest") != payload_digest(result_json):
+            return "payload digest mismatch (truncated or corrupt result)"
+        return None
+
+    def _adopt(self, task: _Task, payload: dict) -> None:
+        """Stream one validated worker outcome into the parent cache."""
+        cache, pool = self.cache, self.pool
+        seconds = float(payload.get("seconds") or 0.0)
+        pool._history[(task.kernel, task.scheduler)] = seconds
+        cache.runs_executed += 1
+        self.completed += 1
+        if self.outcomes is not None:
+            self.outcomes.append(self.outcome_cls(
+                task.kernel, task.scheduler, seconds, False
+            ))
+        key = (task.kernel, task.scheduler)
+        if payload["failure"] is not None:
+            error = rebuild_error(payload["failure"])
+            cache.failures.append(CellFailure(
+                kernel=task.kernel, scheduler=task.scheduler,
+                scale=self.scale,
+                attempts=int(payload["failure"].get("attempts", 1)),
+                error=error,
+            ))
+            self.outcome.results[key] = None
+            if self.outcome.first_error is None:
+                self.outcome.first_error = error
+            return
+        result = result_from_json(payload["result"])
+        cache.adopt(task.kernel, task.scheduler, self.config, self.scale,
+                    result, seconds=seconds)
+        self.outcome.results[key] = result
+
+    # -- supervision ----------------------------------------------------
+
+    def supervise(self) -> bool:
+        """Reap dead / deadline-blown / heartbeat-stale workers."""
+        cfg = self.pool.cfg
+        now = time.monotonic()
+        progressed = False
+        for worker in list(self.pool._workers.values()):
+            if not worker.alive():
+                # One last drain: the result may have been flushed just
+                # before death.
+                if self._drain_one(worker):
+                    progressed = True
+                code = worker.proc.exitcode
+                self._lose_worker(worker, "worker-death",
+                                  f"exit code {code}")
+                progressed = True
+            elif (worker.current is not None
+                  and cfg.worker_deadline is not None
+                  and now - worker.dispatched_at > cfg.worker_deadline):
+                if self._drain_one(worker):  # beat the reaper by a hair
+                    progressed = True
+                    continue
+                self._lose_worker(
+                    worker, "deadline",
+                    f"cell exceeded the {cfg.worker_deadline:g}s worker "
+                    "deadline",
+                )
+                progressed = True
+            elif worker.stalled(now, cfg.heartbeat_timeout):
+                self._lose_worker(
+                    worker, "heartbeat-lost",
+                    f"no heartbeat for {cfg.heartbeat_timeout:g}s",
+                )
+                progressed = True
+        return progressed
+
+    def _lose_worker(self, worker: _Worker, kind: str,
+                     detail: str) -> None:
+        """Reap one worker, respawn within budget, requeue its cell."""
+        pool = self.pool
+        task = worker.current
+        worker.current = None
+        pool._emit(
+            kind, worker_id=worker.id,
+            kernel=task.kernel if task else None,
+            scheduler=task.scheduler if task else None,
+            detail=detail,
+        )
+        worker.reap()
+        pool._workers.pop(worker.id, None)
+        if pool.respawns < pool.cfg.max_respawns:
+            pool.respawns += 1
+            pool._spawn("respawn")
+        if task is not None:
+            self._retry_or_quarantine(task, kind, detail)
+
+    def _retry_or_quarantine(self, task: _Task, kind: str,
+                             detail: str) -> None:
+        pool, cfg = self.pool, self.pool.cfg
+        task.attempts += 1
+        if task.attempts >= cfg.max_cell_attempts:
+            error = PoisonCellError(
+                f"cell {task.kernel}/{task.scheduler} destroyed its "
+                f"worker {task.attempts} time(s) (last: {kind}: {detail})"
+                "; quarantined",
+                fault_kind=kind, attempts=task.attempts,
+            )
+            self.cache.failures.append(CellFailure(
+                kernel=task.kernel, scheduler=task.scheduler,
+                scale=self.scale, attempts=task.attempts, error=error,
+            ))
+            self.outcome.results[(task.kernel, task.scheduler)] = None
+            pool.quarantined.append((task.kernel, task.scheduler))
+            pool._emit("quarantine", kernel=task.kernel,
+                       scheduler=task.scheduler,
+                       detail=f"after {task.attempts} attempt(s): {kind}")
+            if self.outcome.first_error is None:
+                self.outcome.first_error = error
+            return
+        delay = min(cfg.backoff_max,
+                    cfg.backoff_base * (2 ** (task.attempts - 1)))
+        task.ready_at = time.monotonic() + delay
+        pool.redispatches += 1
+        # Keep longest-first order: reinsert by estimate.
+        estimate = pool._estimate(self.cache, task)
+        position = 0
+        for position, queued in enumerate(self.pending):  # noqa: B007
+            if pool._estimate(self.cache, queued) <= estimate:
+                break
+        else:
+            position = len(self.pending)
+        self.pending.insert(position, task)
+        pool._emit("redispatch", kernel=task.kernel,
+                   scheduler=task.scheduler,
+                   detail=f"attempt {task.attempts + 1} in {delay:.2f}s "
+                          f"(after {kind})")
+
+    # -- dispatch --------------------------------------------------------
+
+    def dispatch(self) -> bool:
+        """Hand ready cells to idle workers; True if any were sent."""
+        pool = self.pool
+        now = time.monotonic()
+        progressed = False
+        for worker in pool._workers.values():
+            if worker.current is not None or not worker.alive():
+                continue
+            task = self._next_ready(now)
+            if task is None:
+                break
+            inject = None
+            faults = getattr(self.cache, "faults", None)
+            if faults is not None:
+                inject = faults.pop_worker_fault(task.kernel,
+                                                 task.scheduler)
+            worker.task_q.put((
+                task.seq, task.kernel, task.scheduler, self.config,
+                self.scale, self.cache.policy, inject,
+            ))
+            worker.current = task
+            worker.dispatched_at = now
+            if inject is not None:
+                pool._emit("inject", worker_id=worker.id,
+                           kernel=task.kernel, scheduler=task.scheduler,
+                           detail=inject)
+            pool._emit("dispatch", worker_id=worker.id,
+                       kernel=task.kernel, scheduler=task.scheduler)
+            progressed = True
+        return progressed
+
+    def _next_ready(self, now: float) -> Optional[_Task]:
+        """Pop the highest-priority cell whose backoff has elapsed."""
+        for index, task in enumerate(self.pending):
+            if task.ready_at <= now:
+                return self.pending.pop(index)
+        return None

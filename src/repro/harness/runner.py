@@ -99,6 +99,10 @@ class ExperimentSetup:
     cache: "ResultCache" = field(default_factory=lambda: ResultCache())
     #: Worker processes for matrix prewarming (1 = fully sequential).
     jobs: int = 1
+    #: Optional :class:`repro.harness.pool.PoolConfig` tuning the
+    #: supervised worker pool prewarming uses (typed loosely to avoid an
+    #: import cycle; None = pool defaults).
+    pool_config: Optional[object] = None
 
     def run(self, kernel: str | KernelModel, scheduler: str,
             **kwargs) -> RunResult:
@@ -112,12 +116,17 @@ class ExperimentSetup:
         schedulers: Tuple[str, ...] = PAPER_SCHEDULERS,
         *,
         keep_going: bool = False,
+        pool: Optional[object] = None,
     ):
         """Populate the cache with a (kernels x schedulers) matrix using
         ``self.jobs`` worker processes.
 
         Experiments then answer every plain cell from the memo. Defaults
-        to the full paper matrix. Returns the per-cell results dict of
+        to the full paper matrix. ``pool`` reuses a caller-owned
+        persistent :class:`repro.harness.pool.WorkerPool` (warm workers
+        across repeated prewarms — the bench harness does this);
+        otherwise one is created for the sweep, configured by
+        :attr:`pool_config`. Returns the per-cell results dict of
         :func:`repro.harness.parallel.run_matrix_parallel`.
         """
         # Local import: parallel imports this module.
@@ -132,6 +141,7 @@ class ExperimentSetup:
         return run_matrix_parallel(
             self.cache, cells, self.config, self.scale,
             jobs=self.jobs, keep_going=keep_going,
+            pool=pool, pool_config=self.pool_config,
         )
 
 
@@ -223,11 +233,16 @@ class ResultCache:
                 self.checkpoint_hits += 1
                 self._results[key] = cached
                 return cached
+        t0 = time.perf_counter()
         result = self._simulate(model, scheduler, config, scale,
                                 with_timeline, with_sort_trace, trace_sm)
         self._results[key] = result
         if plain and self.checkpoint is not None:
             self.checkpoint.put(ckey, model.name, scheduler, scale, result)
+            # Feed the durations sidecar so parallel sweeps can order
+            # cells longest-first even after a purely sequential warmup.
+            self.checkpoint.record_seconds(model.name, scheduler,
+                                           time.perf_counter() - t0)
         return result
 
     def lookup(
@@ -263,18 +278,25 @@ class ResultCache:
         config: GPUConfig,
         scale: float,
         result: RunResult,
+        seconds: Optional[float] = None,
     ) -> None:
         """Insert an externally simulated plain result (a parallel
         worker's counters) into the memo and checkpoint tiers.
 
         The adopting process is the only checkpoint writer, keeping the
-        on-disk file single-writer even under ``--jobs N``.
+        on-disk file single-writer even under ``--jobs N``. ``seconds``
+        (the worker-observed wall-clock time) feeds the checkpoint's
+        durations sidecar, which orders future parallel sweeps
+        longest-cell-first.
         """
         model = kernel if isinstance(kernel, KernelModel) else get_kernel(kernel)
         ckey = cell_key(model.name, scheduler, config, scale)
         self._results[(ckey, False, False, 0)] = result
         if self.checkpoint is not None:
             self.checkpoint.put(ckey, model.name, scheduler, scale, result)
+            if seconds is not None:
+                self.checkpoint.record_seconds(model.name, scheduler,
+                                               seconds)
 
     # ------------------------------------------------------------------
     def _simulate(

@@ -45,6 +45,13 @@ hook                 fires when / arguments
 ``on_resort``        a scheduler re-sorted its TB priority order:
                      ``(sm_id, cycle, order)`` — ``order`` is the TB-index
                      list, highest priority first
+``on_pool_event``    harness worker-pool lifecycle: ``(event)`` — a
+                     :class:`repro.harness.pool.PoolEvent` (spawn /
+                     respawn / dispatch / redispatch / worker-death /
+                     deadline / heartbeat-lost / corrupt-payload /
+                     quarantine / degrade / shutdown). Emitted by the
+                     parent process supervising a sweep, not by the
+                     simulator — wall-clock domain, no cycle stamp.
 ===================  =======================================================
 """
 
@@ -67,6 +74,7 @@ EVENTS = (
     "on_tb_start",
     "on_tb_finish",
     "on_resort",
+    "on_pool_event",
 )
 
 
@@ -108,6 +116,9 @@ class Probe:
     # -- schedulers ------------------------------------------------------
     def on_resort(self, sm_id: int, cycle: int,
                   order: Sequence[int]) -> None: ...
+
+    # -- harness worker pool (parent-side, wall-clock domain) ------------
+    def on_pool_event(self, event) -> None: ...
 
 
 def _subscription(probe: object, name: str) -> Callable | None:
@@ -198,6 +209,10 @@ class ProbeBus:
     def resort(self, sm_id, cycle, order) -> None:
         for fn in self.resort_subs:
             fn(sm_id, cycle, order)
+
+    def pool_event(self, event) -> None:
+        for fn in self.pool_event_subs:
+            fn(event)
 
     # -- introspection ---------------------------------------------------
 

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional
 
 from ..config import GPUConfig
+from ..errors import PayloadError
 from ..gpu.launch import RunResult
 from ..stats.counters import GpuCounters, SmCounters
 
@@ -83,16 +84,90 @@ def result_to_json(result: RunResult) -> dict:
     }
 
 
+#: Scalar fields every serialized result must carry, with their types.
+_RESULT_FIELDS = (
+    ("kernel_name", str),
+    ("scheduler", str),
+    ("num_tbs", int),
+    ("cycles", int),
+)
+_COUNTER_FIELDS = (
+    ("total_cycles", int),
+    ("l1_miss_rate", (int, float)),
+    ("l2_miss_rate", (int, float)),
+    ("dram_row_hit_rate", (int, float)),
+)
+
+
+def validate_result_payload(data: object) -> dict:
+    """Structural schema check of a serialized RunResult.
+
+    Returns ``data`` unchanged when it has the exact shape
+    :func:`result_to_json` produces; raises
+    :class:`~repro.errors.PayloadError` naming the first defect
+    otherwise. This is what turns a truncated or bit-flipped worker
+    payload into a retryable failure instead of a crash (or worse, a
+    silently poisoned checkpoint).
+    """
+    if not isinstance(data, dict):
+        raise PayloadError(
+            f"result payload is {type(data).__name__}, expected dict"
+        )
+    for name, types in _RESULT_FIELDS:
+        if name not in data:
+            raise PayloadError(f"result payload missing field {name!r}")
+        if not isinstance(data[name], types):
+            raise PayloadError(
+                f"result payload field {name!r} has type "
+                f"{type(data[name]).__name__}"
+            )
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        raise PayloadError("result payload missing 'counters' dict")
+    for name, types in _COUNTER_FIELDS:
+        if not isinstance(counters.get(name), types):
+            raise PayloadError(f"result payload counter {name!r} missing "
+                               "or mistyped")
+    per_sm = counters.get("per_sm")
+    if not isinstance(per_sm, list) or not per_sm:
+        raise PayloadError("result payload 'per_sm' missing or empty")
+    for i, sm in enumerate(per_sm):
+        if not isinstance(sm, dict):
+            raise PayloadError(f"result payload per_sm[{i}] is not a dict")
+    return data
+
+
+def payload_digest(result_json: dict) -> str:
+    """Content digest of a serialized result, computed worker-side and
+    re-checked by the pool parent before adoption.
+
+    Canonical-JSON hashing makes the digest independent of dict ordering
+    and of the pickling that carries the payload across the process
+    boundary.
+    """
+    payload = json.dumps(result_json, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 def result_from_json(data: dict) -> RunResult:
-    """Rebuild a RunResult (sans recorders) from checkpointed data."""
+    """Rebuild a RunResult (sans recorders) from checkpointed data.
+
+    Raises :class:`~repro.errors.PayloadError` on malformed input (the
+    schema check of :func:`validate_result_payload`) rather than a bare
+    ``KeyError`` deep in counter reconstruction.
+    """
+    validate_result_payload(data)
     cd = data["counters"]
-    counters = GpuCounters(
-        total_cycles=cd["total_cycles"],
-        per_sm=[SmCounters(**s) for s in cd["per_sm"]],
-        l1_miss_rate=cd["l1_miss_rate"],
-        l2_miss_rate=cd["l2_miss_rate"],
-        dram_row_hit_rate=cd["dram_row_hit_rate"],
-    )
+    try:
+        counters = GpuCounters(
+            total_cycles=cd["total_cycles"],
+            per_sm=[SmCounters(**s) for s in cd["per_sm"]],
+            l1_miss_rate=cd["l1_miss_rate"],
+            l2_miss_rate=cd["l2_miss_rate"],
+            dram_row_hit_rate=cd["dram_row_hit_rate"],
+        )
+    except TypeError as err:  # per-SM dict with unknown/missing fields
+        raise PayloadError(f"result payload per_sm fields invalid: {err}")
     return RunResult(
         kernel_name=data["kernel_name"],
         scheduler=data["scheduler"],
@@ -141,6 +216,8 @@ class CheckpointStore:
         #: Unparseable lines skipped on load (e.g. a line torn by a crash
         #: mid-write under an older, append-based build).
         self.corrupt_lines = 0
+        #: Lazy (kernel|scheduler) -> seconds history for dispatch order.
+        self._durations: Optional[Dict[str, float]] = None
         self._load()
 
     def _load(self) -> None:
@@ -168,8 +245,9 @@ class CheckpointStore:
                     self.corrupt_lines += 1
                     continue
                 key = record["key"]
-                record["result"]["counters"]["per_sm"]
-            except (json.JSONDecodeError, KeyError, TypeError):
+                validate_result_payload(record["result"])
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    PayloadError):
                 self.corrupt_lines += 1
                 continue
             # Last write wins (a re-run after a schema-safe retry).
@@ -213,6 +291,48 @@ class CheckpointStore:
             os.fsync(f.fileno())
         os.replace(tmp, self.path)
         self.clear_snapshot(key)
+
+    # ------------------------------------------------------------------
+    # wall-clock history (worker-pool dispatch ordering)
+
+    DURATIONS = "durations.json"
+
+    def _load_durations(self) -> Dict[str, float]:
+        if self._durations is None:
+            self._durations = {}
+            path = self.directory / self.DURATIONS
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                self._durations = {
+                    str(k): float(v) for k, v in data.items()
+                }
+            except (OSError, ValueError, TypeError, AttributeError):
+                pass  # missing or corrupt history is merely no history
+        return self._durations
+
+    def record_seconds(self, kernel: str, scheduler: str,
+                       seconds: float) -> None:
+        """Remember one cell's simulation wall-clock time.
+
+        Keyed by ``(kernel, scheduler)`` only — unlike result cells, a
+        duration is an *estimate*, and the relative ordering of cells is
+        stable across configs and scales, which is all the pool's
+        longest-estimated-first dispatch needs. Written atomically but
+        without per-cell fsync: losing the file costs nothing but a
+        slightly worse dispatch order on the next sweep.
+        """
+        durations = self._load_durations()
+        durations[f"{kernel}|{scheduler}"] = seconds
+        path = self.directory / self.DURATIONS
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(durations, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+
+    def estimate_seconds(self, kernel: str,
+                         scheduler: str) -> Optional[float]:
+        """Last recorded wall-clock time of ``(kernel, scheduler)``."""
+        return self._load_durations().get(f"{kernel}|{scheduler}")
 
     # ------------------------------------------------------------------
     # mid-run snapshot tier (see repro.robustness.snapshot)

@@ -25,6 +25,7 @@ in the hot path), so it can be imported from :mod:`repro.simt.sm` and
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -190,6 +191,74 @@ class DeadlockReport:
 
 #: Mirrors repro.simt.sm.NEVER without importing it (no cycle).
 _NEVER = 1 << 62
+
+
+# ---------------------------------------------------------------------------
+# (de)serialization — reports must survive the worker process boundary
+
+
+def report_to_json(report: DeadlockReport) -> dict:
+    """Flatten a DeadlockReport to JSON-able data.
+
+    Parallel workers attach these to their failure payloads so the
+    parent's FAILURES section carries the same diagnostics a sequential
+    sweep would have (live exception objects with report attributes are
+    not reliably picklable across the pool boundary).
+    """
+    return dataclasses.asdict(report)
+
+
+class TextReport:
+    """Fallback carrier for a report that only survived as rendered text
+    (a duck-typed report object the structured serializer cannot walk)."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def render(self) -> str:
+        return self.text
+
+
+def report_from_json(data: dict) -> DeadlockReport:
+    """Rebuild a :func:`report_to_json` payload into real dataclasses.
+
+    The rehydrated report renders identically to the original, so
+    ``str(error)`` in the parent matches what the worker would have
+    printed. Raises ``KeyError``/``TypeError`` on malformed payloads —
+    callers treat that as "no report survived".
+    """
+
+    def warp(w: dict) -> WarpSnapshot:
+        return WarpSnapshot(**{**w, "pending_regs": tuple(w["pending_regs"])})
+
+    def sm(s: dict) -> SmSnapshot:
+        occupancy = s["occupancy"]
+        if occupancy is not None:
+            occupancy = {k: tuple(v) for k, v in occupancy.items()}
+        return SmSnapshot(
+            sm_id=s["sm_id"],
+            sleep_until=s["sleep_until"],
+            resident_tbs=s["resident_tbs"],
+            pending_events=s["pending_events"],
+            last_issue_cycle=s["last_issue_cycle"],
+            mshr=MshrSnapshot(**s["mshr"]),
+            warps=tuple(warp(w) for w in s["warps"]),
+            occupancy=occupancy,
+            pro_progress=tuple(tuple(row) for row in s["pro_progress"]),
+            pro_phase=s["pro_phase"],
+        )
+
+    dram = DramSnapshot(**data["dram"]) if data.get("dram") else None
+    return DeadlockReport(
+        cycle=data["cycle"],
+        reason=data["reason"],
+        sms=tuple(sm(s) for s in data["sms"]),
+        dram=dram,
+        pending_tbs=data.get("pending_tbs"),
+        finished_tbs=data.get("finished_tbs"),
+        total_tbs=data.get("total_tbs"),
+        injected_faults=tuple(data.get("injected_faults", ())),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,23 @@ failure shapes the watchdog/diagnostics layer exists to catch:
   (kernel, scheduler) cell raise :class:`~repro.errors.InjectedFault` for
   its first N attempts, exercising the retry / ``--keep-going`` paths.
 
+A second injector family targets the *worker pool* rather than the
+simulator (the acceptance oracle of
+:class:`repro.harness.pool.WorkerPool` supervision):
+
+* :meth:`kill_worker` — the worker dispatched the cell ``os._exit``\\ s
+  immediately (models a segfault / OOM kill);
+* :meth:`hang_worker` — the worker wedges forever on the cell (models a
+  livelocked or D-state worker; only the parent's deadline can catch it);
+* :meth:`corrupt_payload` — the worker simulates normally but mangles the
+  result payload before returning it (models truncation at the process
+  boundary).
+
+Worker-fault budgets are consumed **parent-side at dispatch time** (the
+pool calls :meth:`pop_worker_fault`), never inside the worker — a worker
+that kills itself cannot persist a decremented budget, so parent-side
+accounting is what makes the transient-fault retry story deterministic.
+
 Injection is *deterministic*: Nth-occurrence counters fire exactly once at
 a reproducible point. Probabilistic modes (``probability=``) draw from a
 ``random.Random(seed)`` owned by the plan, so a given seed always injects
@@ -56,6 +73,9 @@ class FaultPlan:
         #: Optional override lowering GPUConfig.max_cycles for the run.
         self.max_cycles_clamp: Optional[int] = None
         self._cell_failures: Dict[Tuple[str, str], int] = {}
+        #: Per-cell FIFO of armed worker-level injector kinds.
+        self._worker_faults: Dict[Tuple[str, str], List[str]] = {}
+        self._worker_armed = False
 
     # -- arming --------------------------------------------------------------
 
@@ -86,6 +106,76 @@ class FaultPlan:
         raise :class:`~repro.errors.InjectedFault` (then succeed)."""
         self._cell_failures[(kernel, scheduler)] = times
         return self
+
+    def _arm_worker_fault(self, kind: str, kernel: str, scheduler: str,
+                          times: int) -> "FaultPlan":
+        queue = self._worker_faults.setdefault((kernel, scheduler), [])
+        queue.extend([kind] * times)
+        self._worker_armed = True
+        return self
+
+    def kill_worker(self, kernel: str, scheduler: str,
+                    times: int = 1) -> "FaultPlan":
+        """The worker dispatched this cell dies instantly (``os._exit``)
+        for its first ``times`` dispatches — then the cell succeeds."""
+        return self._arm_worker_fault("kill_worker", kernel, scheduler,
+                                      times)
+
+    def hang_worker(self, kernel: str, scheduler: str,
+                    times: int = 1) -> "FaultPlan":
+        """The worker dispatched this cell wedges forever for its first
+        ``times`` dispatches; only the pool's worker deadline frees it."""
+        return self._arm_worker_fault("hang_worker", kernel, scheduler,
+                                      times)
+
+    def corrupt_payload(self, kernel: str, scheduler: str,
+                        times: int = 1) -> "FaultPlan":
+        """The worker simulates this cell normally but returns a mangled
+        result payload for its first ``times`` dispatches."""
+        return self._arm_worker_fault("corrupt_payload", kernel, scheduler,
+                                      times)
+
+    # -- hooks (consulted by the worker pool) --------------------------------
+
+    def pop_worker_fault(self, kernel: str,
+                         scheduler: str) -> Optional[str]:
+        """Pool dispatch hook: consume and return the next armed worker
+        fault for this cell (None = dispatch cleanly).
+
+        The budget lives in the parent, so a redispatched cell whose
+        injector was already consumed runs clean — the transient-fault
+        retry story.
+        """
+        queue = self._worker_faults.get((kernel, scheduler))
+        if not queue:
+            return None
+        kind = queue.pop(0)
+        self.injected.append(
+            f"worker fault injected: {kind} for ({kernel}, {scheduler}), "
+            f"{len(queue)} remaining"
+        )
+        return kind
+
+    def has_worker_faults(self) -> bool:
+        """True if any worker-level injector was ever armed."""
+        return self._worker_armed
+
+    def has_simulation_faults(self) -> bool:
+        """True if any *simulator-level* injector is armed.
+
+        These hold process-local mutable budgets (consumed as faults
+        fire) that cannot be mirrored into workers, so sweeps carrying
+        them must run in-process; worker-level injectors alone are fine
+        — their budgets are consumed parent-side at dispatch.
+        """
+        return (
+            self._barrier_nth is not None
+            or self._barrier_prob > 0.0
+            or self._fill_nth is not None
+            or self._fill_prob > 0.0
+            or self.max_cycles_clamp is not None
+            or bool(self._cell_failures)
+        )
 
     # -- hooks (consulted by the simulator) ----------------------------------
 

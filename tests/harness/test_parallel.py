@@ -10,7 +10,7 @@ import json
 import pytest
 
 from repro.config import GPUConfig
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerPoolError
 from repro.harness.parallel import (
     CellOutcome,
     resolve_jobs,
@@ -137,6 +137,26 @@ class TestFailures:
                             keep_going=True)
         assert cache.failures[0].attempts == 2
 
+    def test_worker_diagnostics_survive_the_process_boundary(self):
+        """A worker-side CellTimeoutError carries a full DeadlockReport;
+        the parent's FAILURES section must render the same post-mortem a
+        sequential sweep would — not just the headline."""
+        cache = ResultCache(policy=CellPolicy(cell_timeout=1e-9))
+        run_matrix_parallel(cache, CELLS[:1], CONFIG, SCALE, jobs=2,
+                            keep_going=True)
+        sequential = ResultCache(policy=CellPolicy(cell_timeout=1e-9))
+        run_matrix_parallel(sequential, CELLS[:1], CONFIG, SCALE, jobs=1,
+                            keep_going=True)
+        (par_failure,), (seq_failure,) = cache.failures, sequential.failures
+        assert type(par_failure.error).__name__ == type(
+            seq_failure.error).__name__
+        # The rehydrated report renders the same diagnostic sections.
+        par_text, seq_text = str(par_failure.error), str(seq_failure.error)
+        assert "DeadlockReport @ cycle" in seq_text
+        assert "DeadlockReport @ cycle" in par_text
+        for marker in ("SM 0:", "MSHR:", "occupancy:"):
+            assert (marker in par_text) == (marker in seq_text)
+
     def test_fault_plans_fall_back_to_sequential(self):
         # Fault budgets are process-local mutable state: the executor
         # must not fork them to workers. A poisoned cell still fails
@@ -151,6 +171,49 @@ class TestFailures:
         assert results[("scalarProdGPU", "pro")] is not None
         assert len(cache.failures) == 1
         assert cache.failures[0].kernel == "cenergy"
+
+
+class TestExecutorBackend:
+    """Regression surface for the legacy unsupervised executor path."""
+
+    def test_dead_worker_raises_structured_pool_error(self):
+        # kill_worker makes the dispatched worker os._exit: the executor
+        # backend must surface a WorkerPoolError naming the lost cells,
+        # never a raw BrokenProcessPool traceback.
+        plan = FaultPlan().kill_worker("scalarProdGPU", "lrr")
+        cache = ResultCache(faults=plan)
+        with pytest.raises(WorkerPoolError) as exc:
+            run_matrix_parallel(cache, CELLS[:2], CONFIG, SCALE, jobs=2,
+                                backend="executor")
+        assert ("scalarProdGPU", "lrr") in exc.value.lost_cells
+        assert "lost" in str(exc.value)
+
+    def test_executor_matches_sequential(self):
+        seq = run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE,
+                                  jobs=1)
+        par = run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE,
+                                  jobs=2, backend="executor")
+        assert _flatten(seq) == _flatten(par)
+
+    def test_corrupt_payload_is_recorded_not_adopted(self, tmp_path):
+        # The executor has no redispatch: a mangled payload becomes a
+        # recorded CellFailure and must never reach the checkpoint.
+        plan = FaultPlan().corrupt_payload("scalarProdGPU", "lrr")
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store, faults=plan)
+        results = run_matrix_parallel(cache, CELLS[:1], CONFIG, SCALE,
+                                      jobs=2, backend="executor",
+                                      keep_going=True)
+        assert results[("scalarProdGPU", "lrr")] is None
+        assert len(cache.failures) == 1
+        assert "payload" in cache.failures[0].headline
+        fresh = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        assert fresh.lookup("scalarProdGPU", "lrr", CONFIG, SCALE) is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_matrix_parallel(ResultCache(), CELLS[:1], CONFIG, SCALE,
+                                jobs=2, backend="threads")
 
 
 class TestConcurrentCheckpointShards:

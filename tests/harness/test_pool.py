@@ -1,0 +1,270 @@
+"""Tests for the supervised persistent worker pool.
+
+The load-bearing properties: bit-identical equivalence with the
+sequential path, deterministic survival of every worker-level fault
+injector, poison-cell quarantine instead of sweep abortion, graceful
+degradation when the respawn budget runs out, and interrupt semantics
+that leave a resumable checkpoint even when the interrupt lands during
+a respawn.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import PoisonCellError, SimulationInterrupted
+from repro.harness.parallel import run_matrix_parallel
+from repro.harness.pool import (
+    PoolConfig,
+    PoolEvent,
+    WorkerPool,
+    corrupt_cell_payload,
+    rebuild_error,
+)
+from repro.harness.runner import ResultCache
+from repro.robustness.checkpoint import CheckpointStore, result_to_json
+from repro.robustness.faults import FaultPlan
+
+CONFIG = GPUConfig.scaled(2)
+SCALE = 0.1
+CELLS = [
+    (k, s)
+    for k in ("scalarProdGPU", "cenergy")
+    for s in ("lrr", "pro")
+]
+
+
+def _flatten(results):
+    return {k: result_to_json(v) for k, v in results.items() if v is not None}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Sequential ground truth for the test matrix."""
+    return run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE, jobs=1)
+
+
+class TestPoolEquivalence:
+    def test_pool_matches_sequential_bit_for_bit(self, baseline):
+        par = run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE,
+                                  jobs=2)
+        assert _flatten(par) == _flatten(baseline)
+        for key in CELLS:
+            assert (par[key].counters.stall_breakdown()
+                    == baseline[key].counters.stall_breakdown())
+
+    def test_persistent_pool_serves_multiple_sweeps(self, baseline):
+        with WorkerPool(2) as pool:
+            first = run_matrix_parallel(ResultCache(), CELLS, CONFIG, SCALE,
+                                        jobs=2, pool=pool)
+            second = run_matrix_parallel(ResultCache(), CELLS, CONFIG,
+                                         SCALE, jobs=2, pool=pool)
+            # Same warm workers, no respawns: the pool never lost one.
+            assert pool.respawns == 0
+            spawns = [e for e in pool.events if e.kind == "spawn"]
+            assert len(spawns) == 2
+        assert _flatten(first) == _flatten(baseline)
+        assert _flatten(second) == _flatten(baseline)
+
+    def test_pool_adopts_into_checkpoint(self, tmp_path, baseline):
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store)
+        run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2)
+        resumed = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        run_matrix_parallel(resumed, CELLS, CONFIG, SCALE, jobs=2)
+        assert resumed.runs_executed == 0
+        assert resumed.checkpoint_hits == len(CELLS)
+
+    def test_durations_sidecar_feeds_longest_first_ordering(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store)
+        run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2)
+        # Every adopted cell recorded its wall-clock time.
+        for kernel, scheduler in CELLS:
+            assert store.estimate_seconds(kernel, scheduler) is not None
+        # A fresh pool over a fresh store orders by those estimates:
+        # verify via the internal estimator (inf = unknown ranks first).
+        pool = WorkerPool(1)
+        fresh = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        from repro.harness.pool import _Task
+
+        known = pool._estimate(fresh, _Task(0, *CELLS[0]))
+        unknown = pool._estimate(fresh, _Task(1, "mri-q", "tl"))
+        assert known < unknown == float("inf")
+
+
+class TestWorkerFaultInjectors:
+    def test_kill_worker_is_survived_and_named(self, baseline):
+        plan = FaultPlan().kill_worker("cenergy", "pro", times=1)
+        cache = ResultCache(faults=plan)
+        pool = WorkerPool(2)
+        with pool:
+            res = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                      pool=pool)
+        assert _flatten(res) == _flatten(baseline)
+        assert not cache.failures  # transient: survived, not recorded
+        assert pool.respawns == 1
+        assert pool.redispatches == 1
+        kinds = [e.kind for e in pool.events]
+        assert "inject" in kinds and "worker-death" in kinds
+        assert any("kill_worker" in entry for entry in plan.injected)
+
+    def test_hang_worker_caught_by_deadline(self, baseline):
+        plan = FaultPlan().hang_worker("scalarProdGPU", "lrr", times=1)
+        cache = ResultCache(faults=plan)
+        pool = WorkerPool(2, pool_config=PoolConfig(worker_deadline=2.0))
+        with pool:
+            res = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                      pool=pool)
+        assert _flatten(res) == _flatten(baseline)
+        assert any(e.kind == "deadline" for e in pool.events)
+        assert pool.respawns == 1
+
+    def test_corrupt_payload_redispatched_never_adopted(
+            self, tmp_path, baseline):
+        plan = FaultPlan().corrupt_payload("cenergy", "lrr", times=1)
+        store = CheckpointStore(tmp_path)
+        cache = ResultCache(checkpoint=store, faults=plan)
+        pool = WorkerPool(2)
+        with pool:
+            res = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                      pool=pool)
+        assert _flatten(res) == _flatten(baseline)
+        assert any(e.kind == "corrupt-payload" for e in pool.events)
+        # The checkpoint holds only clean counters: reload and compare.
+        resumed = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        for key in CELLS:
+            hit = resumed.lookup(*key, CONFIG, SCALE)
+            assert result_to_json(hit) == result_to_json(baseline[key])
+
+    def test_worker_only_plans_run_parallel(self):
+        plan = FaultPlan().kill_worker("cenergy", "pro")
+        assert plan.has_worker_faults()
+        assert not plan.has_simulation_faults()
+        mixed = FaultPlan().kill_worker("cenergy", "pro").clamp_max_cycles(5)
+        assert mixed.has_simulation_faults()
+
+
+class TestQuarantineAndDegrade:
+    def test_poison_cell_quarantined_sweep_continues(self, baseline):
+        plan = FaultPlan().kill_worker("cenergy", "pro", times=99)
+        cache = ResultCache(faults=plan)
+        pool = WorkerPool(2, pool_config=PoolConfig(max_respawns=10,
+                                                    max_cell_attempts=3))
+        with pool:
+            res = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                      pool=pool, keep_going=True)
+        assert res[("cenergy", "pro")] is None
+        healthy = [k for k in CELLS if k != ("cenergy", "pro")]
+        for key in healthy:
+            assert result_to_json(res[key]) == result_to_json(baseline[key])
+        assert pool.quarantined == [("cenergy", "pro")]
+        assert len(cache.failures) == 1
+        failure = cache.failures[0]
+        assert isinstance(failure.error, PoisonCellError)
+        assert failure.error.fault_kind == "worker-death"
+        assert failure.attempts == 3
+
+    def test_poison_cell_raises_without_keep_going(self):
+        plan = FaultPlan().kill_worker("cenergy", "pro", times=99)
+        cache = ResultCache(faults=plan)
+        with pytest.raises(PoisonCellError):
+            run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                pool_config=PoolConfig(max_respawns=10))
+
+    def test_respawn_exhaustion_degrades_to_sequential(self, baseline):
+        plan = FaultPlan()
+        for kernel, scheduler in CELLS:
+            plan.kill_worker(kernel, scheduler, times=1)
+        cache = ResultCache(faults=plan)
+        pool = WorkerPool(2, pool_config=PoolConfig(max_respawns=0))
+        with pool:
+            res = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                      pool=pool)
+        # Both workers died, no respawn budget: every remaining cell
+        # still completed (in-process) and matches the baseline.
+        assert _flatten(res) == _flatten(baseline)
+        assert any(e.kind == "degrade" for e in pool.events)
+        assert pool.respawns == 0
+
+
+class TestPoolInterrupt:
+    def test_interrupt_during_respawn_is_resumable(self, tmp_path,
+                                                   baseline):
+        """An interrupt landing exactly on a respawn event unwinds as
+        SimulationInterrupted; checkpointed cells survive and the re-run
+        completes bit-identically."""
+        store = CheckpointStore(tmp_path)
+        plan = FaultPlan().kill_worker("cenergy", "pro", times=1)
+        cache = ResultCache(checkpoint=store, faults=plan)
+
+        class StopOnRespawn:
+            def __init__(self, cache):
+                self.cache = cache
+
+            def on_pool_event(self, event):
+                if event.kind == "respawn":
+                    self.cache.request_stop()
+
+        with pytest.raises(SimulationInterrupted) as exc:
+            run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2,
+                                probes=[StopOnRespawn(cache)])
+        assert "re-run the same command to resume" in str(exc.value)
+
+        resumed = ResultCache(checkpoint=CheckpointStore(tmp_path))
+        res = run_matrix_parallel(resumed, CELLS, CONFIG, SCALE, jobs=2)
+        assert _flatten(res) == _flatten(baseline)
+        # At least the cells adopted before the interrupt came from disk.
+        assert resumed.checkpoint_hits + resumed.runs_executed == len(CELLS)
+
+    def test_preinterrupted_cache_raises_immediately(self):
+        cache = ResultCache()
+        cache.interrupted = True
+        with pytest.raises(SimulationInterrupted):
+            run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2)
+
+
+class TestPoolTelemetry:
+    def test_lifecycle_events_reach_probes(self):
+        seen = []
+
+        class Recorder:
+            def on_pool_event(self, event):
+                seen.append(event)
+
+        cache = ResultCache()
+        run_matrix_parallel(cache, CELLS[:2], CONFIG, SCALE, jobs=2,
+                            probes=[Recorder()])
+        kinds = [e.kind for e in seen]
+        assert kinds.count("spawn") == 2
+        assert kinds.count("dispatch") == 2
+        assert kinds[-1] == "shutdown"
+        assert all(isinstance(e, PoolEvent) for e in seen)
+
+    def test_event_describe_is_readable(self):
+        event = PoolEvent(kind="quarantine", worker_id=3, kernel="cenergy",
+                          scheduler="pro", detail="after 3 attempt(s)")
+        text = event.describe()
+        assert "quarantine" in text and "cenergy/pro" in text
+        assert "worker 3" in text
+
+
+class TestPayloadHelpers:
+    def test_corrupt_cell_payload_breaks_digest(self):
+        from repro.harness.pool import simulate_cell_payload
+        from repro.harness.runner import CellPolicy
+        from repro.robustness.checkpoint import payload_digest
+
+        payload = simulate_cell_payload("scalarProdGPU", "lrr", CONFIG,
+                                        SCALE, CellPolicy())
+        assert payload["digest"] == payload_digest(payload["result"])
+        bad = corrupt_cell_payload(payload)
+        assert bad["digest"] != payload_digest(bad["result"]) or (
+            "per_sm" not in bad["result"]["counters"]
+        )
+
+    def test_rebuild_error_unknown_type_degrades_to_base(self):
+        from repro.errors import SimulationError
+
+        err = rebuild_error({"type": "NoSuchError", "headline": "boom"})
+        assert type(err) is SimulationError
+        assert err.headline == "boom"

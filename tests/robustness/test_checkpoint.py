@@ -172,3 +172,86 @@ class TestResume:
         assert from_disk.cycles == fresh.cycles
         assert from_disk.counters.instructions == fresh.counters.instructions
         assert from_disk.counters.stall_cycles == fresh.counters.stall_cycles
+
+
+class TestPayloadValidation:
+    """Schema + digest hardening of worker result payloads."""
+
+    def _payload(self):
+        return result_to_json(ResultCache().run("cenergy", "lrr", CFG, 0.1))
+
+    def test_valid_payload_passes_unchanged(self):
+        from repro.robustness.checkpoint import validate_result_payload
+
+        payload = self._payload()
+        assert validate_result_payload(payload) is payload
+
+    def test_defects_raise_payload_error_naming_the_field(self):
+        from repro.errors import PayloadError
+        from repro.robustness.checkpoint import validate_result_payload
+
+        cases = [
+            (None, "expected dict"),
+            ([], "expected dict"),
+            ({}, "kernel_name"),
+            ({**self._payload(), "cycles": "fast"}, "cycles"),
+        ]
+        truncated = self._payload()
+        truncated["counters"] = {
+            k: v for k, v in truncated["counters"].items() if k != "per_sm"
+        }
+        cases.append((truncated, "per_sm"))
+        for bad, needle in cases:
+            with pytest.raises(PayloadError) as exc:
+                validate_result_payload(bad)
+            assert needle in str(exc.value)
+
+    def test_result_from_json_raises_payload_error_not_key_error(self):
+        from repro.errors import PayloadError
+
+        with pytest.raises(PayloadError):
+            result_from_json({"kernel_name": "x"})
+        bad = self._payload()
+        bad["counters"]["per_sm"] = [{"not_a_field": 1}]
+        with pytest.raises(PayloadError):
+            result_from_json(bad)
+
+    def test_payload_digest_is_order_independent(self):
+        from repro.robustness.checkpoint import payload_digest
+
+        payload = self._payload()
+        reordered = dict(reversed(list(payload.items())))
+        assert payload_digest(payload) == payload_digest(reordered)
+        tweaked = {**payload, "cycles": payload["cycles"] + 1}
+        assert payload_digest(payload) != payload_digest(tweaked)
+
+
+class TestDurationsSidecar:
+    """Wall-clock history feeding the pool's longest-first dispatch."""
+
+    def test_record_and_estimate_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.estimate_seconds("cenergy", "lrr") is None
+        store.record_seconds("cenergy", "lrr", 1.25)
+        assert store.estimate_seconds("cenergy", "lrr") == 1.25
+        # Last write wins; other cells unaffected.
+        store.record_seconds("cenergy", "lrr", 0.5)
+        assert store.estimate_seconds("cenergy", "lrr") == 0.5
+        assert store.estimate_seconds("cenergy", "pro") is None
+
+    def test_durations_survive_reload(self, tmp_path):
+        CheckpointStore(tmp_path).record_seconds("a", "b", 2.0)
+        assert CheckpointStore(tmp_path).estimate_seconds("a", "b") == 2.0
+
+    def test_corrupt_sidecar_is_tolerated(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (store.directory / store.DURATIONS).write_text("{not json")
+        fresh = CheckpointStore(tmp_path)
+        assert fresh.estimate_seconds("a", "b") is None
+        fresh.record_seconds("a", "b", 1.0)  # recovers by rewriting
+        assert CheckpointStore(tmp_path).estimate_seconds("a", "b") == 1.0
+
+    def test_sequential_runs_feed_the_sidecar(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        ResultCache(checkpoint=store).run("cenergy", "lrr", CFG, 0.1)
+        assert store.estimate_seconds("cenergy", "lrr") is not None

@@ -147,3 +147,52 @@ class TestUninjectedRunsUnchanged:
         faulted = gpu.run(KernelLaunch(tiny_program(barrier=True), 2))
         assert base.cycles == faulted.cycles
         assert base.counters.instructions == faulted.counters.instructions
+
+
+class TestReportSerialization:
+    """Reports must survive the worker process boundary as JSON."""
+
+    def _report(self):
+        plan = FaultPlan().drop_barrier_arrival(nth=1)
+        with pytest.raises(DeadlockError) as exc:
+            run_with_faults(plan, barrier=True, threads_per_tb=64)
+        return exc.value.report
+
+    def test_roundtrip_renders_identically(self):
+        from repro.robustness.diagnostics import (
+            report_from_json,
+            report_to_json,
+        )
+
+        report = self._report()
+        back = report_from_json(report_to_json(report))
+        assert isinstance(back, DeadlockReport)
+        assert back == report  # frozen dataclass tree, full equality
+        assert back.render() == report.render()
+
+    def test_roundtrip_survives_json_text(self):
+        import json as _json
+
+        from repro.robustness.diagnostics import (
+            report_from_json,
+            report_to_json,
+        )
+
+        report = self._report()
+        wire = _json.dumps(report_to_json(report))
+        back = report_from_json(_json.loads(wire))
+        assert back.render() == report.render()
+        assert {w.name for w in back.blocked_warps()} == {
+            w.name for w in report.blocked_warps()
+        }
+
+    def test_text_report_fallback_renders(self):
+        from repro.robustness.diagnostics import TextReport
+
+        assert TextReport("frozen text").render() == "frozen text"
+
+    def test_malformed_payload_raises(self):
+        from repro.robustness.diagnostics import report_from_json
+
+        with pytest.raises((KeyError, TypeError)):
+            report_from_json({"cycle": 1})

@@ -100,3 +100,41 @@ class TestChaining:
                     .swallow_mshr_fill()
                     .clamp_max_cycles(10)
                     .fail_cell("k", "s")) is plan
+
+
+class TestWorkerFaults:
+    """The pool-level injector family: budgets consumed parent-side."""
+
+    def test_budgets_pop_fifo_and_log(self):
+        plan = FaultPlan().kill_worker("cenergy", "pro", times=2)
+        plan.hang_worker("cenergy", "pro", times=1)
+        kinds = [plan.pop_worker_fault("cenergy", "pro") for _ in range(4)]
+        assert kinds == ["kill_worker", "kill_worker", "hang_worker", None]
+        assert len(plan.injected) == 3
+        assert "kill_worker" in plan.injected[0]
+        assert "1 remaining" in plan.injected[1]
+
+    def test_pop_is_per_cell(self):
+        plan = FaultPlan().corrupt_payload("cenergy", "pro")
+        assert plan.pop_worker_fault("cenergy", "lrr") is None
+        assert plan.pop_worker_fault("cenergy", "pro") == "corrupt_payload"
+        assert plan.pop_worker_fault("cenergy", "pro") is None
+
+    def test_family_classification(self):
+        worker_only = FaultPlan().kill_worker("a", "b")
+        assert worker_only.has_worker_faults()
+        assert not worker_only.has_simulation_faults()
+        sim_only = FaultPlan().swallow_mshr_fill(nth=1)
+        assert sim_only.has_simulation_faults()
+        assert not sim_only.has_worker_faults()
+        cell = FaultPlan().fail_cell("a", "b")
+        assert cell.has_simulation_faults()
+        assert not FaultPlan().has_simulation_faults()
+
+    def test_consumed_budget_stays_consumed(self):
+        # The transient-fault story: once popped (even if the worker it
+        # was shipped to dies), the cell dispatches clean next time.
+        plan = FaultPlan().kill_worker("a", "b", times=1)
+        assert plan.pop_worker_fault("a", "b") == "kill_worker"
+        assert plan.pop_worker_fault("a", "b") is None
+        assert plan.has_worker_faults()  # armed-ever stays true
