@@ -1,33 +1,47 @@
 #!/usr/bin/env python
-"""Bench gate: fail CI when the parallel sweep stops beating serial.
+"""Bench gate: fail CI when the simulator gets slower.
 
-Reads a ``BENCH_*.json`` written by ``pro-sim bench`` and checks
-``matrix.parallel_speedup`` against ``--min-speedup`` (default 1.2).
-The speedup is measured over warm workers (pool spawn excluded), so the
-gate holds the *steady-state* number a long sweep sees.
+Reads a ``BENCH_*.json`` written by ``pro-sim bench`` and enforces two
+independent checks:
+
+1. ``matrix.parallel_speedup`` against ``--min-speedup`` (default 1.2).
+   The speedup is measured over warm workers (pool spawn excluded), so
+   the gate holds the *steady-state* number a long sweep sees.
+2. With ``--micro-reference REF.json``: the geomean micro cycles/sec of
+   the fresh report must not regress more than ``--max-regression``
+   (default 0.10 = 10%) below the committed reference report, over the
+   (kernel, scheduler) cells the two reports share.
 
 The gate is honest about hardware: a machine with a single CPU core
-cannot run two simulations concurrently, so a speedup above 1.0 is
-physically impossible there and the check is reported as skipped
-(exit 0) rather than failed. CI runners have multiple cores and always
-enforce the real threshold.
+cannot run two simulations concurrently, so a parallel speedup above
+1.0 is physically impossible there and that check is reported as
+skipped (exit 0) rather than failed. Likewise, absolute cycles/sec on a
+developer laptop is not comparable to the reference numbers measured on
+CI runners, so the micro-throughput check only enforces when the ``CI``
+environment variable is set — off-CI it prints the ratio and skips.
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("bench_json", help="BENCH_*.json from pro-sim bench")
-    parser.add_argument("--min-speedup", type=float, default=1.2,
-                        help="minimum matrix.parallel_speedup (default 1.2)")
-    args = parser.parse_args()
+def micro_geomean(report: dict, keys=None) -> float:
+    """Geomean micro cycles/sec, optionally restricted to matched keys."""
+    vals = [
+        c["cycles_per_sec"] for c in report.get("micro", [])
+        if c.get("cycles_per_sec")
+        and (keys is None or (c["kernel"], c["scheduler"]) in keys)
+    ]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
-    with open(args.bench_json, encoding="utf-8") as f:
-        report = json.load(f)
+
+def gate_parallel(report: dict, min_speedup: float) -> bool:
+    """Check the warm-worker parallel speedup; returns False on FAIL."""
     matrix = report.get("matrix", {})
     jobs = int(report.get("jobs", 1))
     speedup = float(matrix.get("parallel_speedup", 0.0))
@@ -35,23 +49,81 @@ def main() -> None:
 
     print(f"bench gate: jobs={jobs} parallel_speedup={speedup:.2f}x "
           f"(pool spawn {spawn:.2f}s, excluded) "
-          f"threshold={args.min_speedup:.2f}x")
+          f"threshold={min_speedup:.2f}x")
 
     if jobs < 2:
         print("SKIP: bench ran with jobs < 2; no parallel speedup to gate")
-        return
+        return True
     cores = os.cpu_count() or 1
     if cores < 2:
         print(f"SKIP: only {cores} CPU core available — parallel speedup "
               ">1.0 is physically impossible here; gate enforced on "
               "multi-core CI only")
-        return
-    if speedup < args.min_speedup:
+        return True
+    if speedup < min_speedup:
         print(f"FAIL: parallel_speedup {speedup:.2f}x < "
-              f"{args.min_speedup:.2f}x on a {cores}-core machine",
+              f"{min_speedup:.2f}x on a {cores}-core machine",
               file=sys.stderr)
-        sys.exit(1)
+        return False
     print("OK: parallel sweep beats serial at the gated margin")
+    return True
+
+
+def gate_micro(report: dict, reference_path: str,
+               max_regression: float) -> bool:
+    """Check geomean micro throughput vs a reference bench JSON."""
+    with open(reference_path, encoding="utf-8") as f:
+        reference = json.load(f)
+    shared = (
+        {(c["kernel"], c["scheduler"]) for c in report.get("micro", [])}
+        & {(c["kernel"], c["scheduler"]) for c in reference.get("micro", [])}
+    )
+    new = micro_geomean(report, shared)
+    ref = micro_geomean(reference, shared)
+    if not shared or not ref or not new:
+        print("SKIP: no matched micro cells between the report and the "
+              "reference; nothing to gate")
+        return True
+    ratio = new / ref
+    floor = 1.0 - max_regression
+    print(f"micro gate: geomean {new:,.0f} c/s vs reference {ref:,.0f} c/s "
+          f"({report.get('backend', 'reference')} vs "
+          f"{reference.get('backend', 'reference')}) over {len(shared)} "
+          f"matched cells -> {ratio:.2f}x (floor {floor:.2f}x)")
+    if not os.environ.get("CI"):
+        print("SKIP: CI env var unset — absolute cycles/sec is not "
+              "comparable across machines; micro gate enforced on CI only")
+        return True
+    if ratio < floor:
+        print(f"FAIL: micro throughput regressed to {ratio:.2f}x of the "
+              f"reference (allowed floor {floor:.2f}x)", file=sys.stderr)
+        return False
+    print("OK: micro throughput within the regression budget")
+    return True
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_*.json from pro-sim bench")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="minimum matrix.parallel_speedup (default 1.2)")
+    parser.add_argument("--micro-reference", default=None, metavar="REF.json",
+                        help="committed reference BENCH JSON; when given, "
+                             "gate geomean micro cycles/sec against it")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="allowed fractional geomean regression vs the "
+                             "micro reference (default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        report = json.load(f)
+
+    ok = gate_parallel(report, args.min_speedup)
+    if args.micro_reference is not None:
+        ok = gate_micro(report, args.micro_reference,
+                        args.max_regression) and ok
+    if not ok:
+        sys.exit(1)
 
 
 if __name__ == "__main__":

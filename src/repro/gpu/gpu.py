@@ -68,12 +68,27 @@ def _first_of(probes: Sequence[object], cls: type):
     return None
 
 
+#: Recognized simulation backends: the per-warp object interpreter and
+#: the struct-of-arrays core (see :mod:`repro.simt.vector`).
+BACKENDS = ("reference", "vector")
+
+
 class Gpu:
     """A configured GPU with a chosen warp scheduling algorithm."""
 
-    def __init__(self, cfg: GPUConfig, scheduler: str = "lrr") -> None:
+    def __init__(
+        self,
+        cfg: GPUConfig,
+        scheduler: str = "lrr",
+        backend: str = "reference",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.cfg = cfg
         self.scheduler_name = scheduler
+        self.backend = backend
         self.memory = MemorySubsystem(cfg)
         self.sms: List[StreamingMultiprocessor] = [
             StreamingMultiprocessor(i, cfg, self.memory, gpu=self)
@@ -194,7 +209,7 @@ class Gpu:
                 launch_ref=launch_ref,
             )
 
-        self._reset_for_launch(bus)
+        self._reset_for_launch(bus, program)
         try:
             tbs = [ThreadBlock(i, program) for i in range(launch.num_tbs)]
             self.tb_scheduler = ThreadBlockScheduler(tbs)
@@ -272,11 +287,15 @@ class Gpu:
         snapshot_every: Optional[int] = None,
         snapshot_path: Optional[str] = None,
         register=None,
+        backend: str = "reference",
     ) -> RunResult:
         """Rebuild a Gpu from a snapshot file and run it to completion.
 
         The returned :class:`RunResult` is bit-identical (cycles and every
         counter) to the one the uninterrupted run would have produced.
+        ``backend`` selects the stepping engine for the resumed portion;
+        snapshots are backend-agnostic, so a run snapshotted on one
+        backend resumes bit-identically on the other.
 
         ``launch`` may be omitted when the snapshot carries a
         ``launch_ref`` (kernel name + scale): the launch is then rebuilt
@@ -298,7 +317,7 @@ class Gpu:
 
         data = load_snapshot(path)
         cfg = config_from_snapshot(data)
-        gpu = cls(cfg, scheduler=data["scheduler"])
+        gpu = cls(cfg, scheduler=data["scheduler"], backend=backend)
         if launch is None:
             ref = data.get("launch_ref")
             if not ref:
@@ -334,7 +353,7 @@ class Gpu:
                 launch_ref=data.get("launch_ref"),
                 start_cycle=data["cycle"],
             )
-        gpu._reset_for_launch(bus)
+        gpu._reset_for_launch(bus, program)
         try:
             gpu.tb_scheduler = ThreadBlockScheduler([])
             gpu.tb_scheduler.restore(data["tb_scheduler"], program)
@@ -494,7 +513,9 @@ class Gpu:
         )
 
     # ------------------------------------------------------------------
-    def _reset_for_launch(self, bus: Optional[ProbeBus]) -> None:
+    def _reset_for_launch(
+        self, bus: Optional[ProbeBus], program=None
+    ) -> None:
         cfg = self.cfg
         self._stop_requested = False
         self.memory.reset()
@@ -502,6 +523,33 @@ class Gpu:
         # so probes from an earlier launch can never leak into this one.
         self.memory.bus = bus
         self.memory.dram.bus = bus
+        # Vector backend gating: the SoA core forgoes ProbeBus emit sites
+        # and fault-injection branches on its fast path, packs scoreboards
+        # into int64 lanes, and only carries selectors for the stock
+        # scheduler types — outside that envelope the run silently uses
+        # the (bit-identical) reference interpreter instead.
+        if (
+            self.backend == "vector"
+            and bus is None
+            and self.faults is None
+            and program is not None
+            and program.max_register() <= 62
+        ):
+            from ..simt.vector import VectorSM
+
+            sms = []
+            for i in range(cfg.num_sms):
+                sm = VectorSM(i, cfg, self.memory, gpu=self, program=program)
+                schedulers = build_schedulers(self.scheduler_name, sm, cfg)
+                if not VectorSM.supports(schedulers):
+                    break
+                sm.attach_schedulers(schedulers)
+                sm.bus = bus
+                sm.faults = self.faults
+                sms.append(sm)
+            else:
+                self.sms = sms
+                return
         self.sms = [
             StreamingMultiprocessor(i, cfg, self.memory, gpu=self)
             for i in range(cfg.num_sms)

@@ -39,7 +39,7 @@ from ..stats.report import render_table
 from ..workloads import get_kernel
 from .parallel import run_matrix_parallel
 from .pool import PoolConfig, WorkerPool
-from .runner import ResultCache
+from .runner import CellPolicy, ResultCache
 
 #: The micro-workload set: two compute-regular kernels, one barrier-heavy
 #: kernel and one memory-divergent kernel, under the paper's main
@@ -90,6 +90,7 @@ class BenchReport:
     scale: float
     jobs: int
     smoke: bool
+    backend: str = "reference"
     micro: List[CellTiming] = field(default_factory=list)
     matrix_seconds_parallel: float = 0.0
     matrix_seconds_serial: float = 0.0
@@ -139,6 +140,7 @@ class BenchReport:
             "scale": self.scale,
             "jobs": self.jobs,
             "smoke": self.smoke,
+            "backend": self.backend,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "micro": [
@@ -170,8 +172,8 @@ class BenchReport:
         table = render_table(
             ("Kernel", "Sched", "Cycles", "Wall s", "Cycles/s", "Instr/s"),
             rows,
-            title="Bench: micro-workload throughput (sequential, "
-                  "in-process)",
+            title=f"Bench: micro-workload throughput (sequential, "
+                  f"in-process, backend={self.backend})",
         )
         lines = [
             table,
@@ -204,27 +206,38 @@ def run_bench(
     out_dir: str | Path = ".",
     out_path: Optional[str] = None,
     pool_config: Optional[PoolConfig] = None,
+    backend: str = "reference",
 ) -> BenchReport:
     """Run both bench phases and write ``BENCH_<timestamp>.json``.
 
     ``smoke`` shrinks the cell set and scale for CI. ``out_path``
     overrides the default timestamped filename (in ``out_dir``).
     ``pool_config`` tunes the matrix phase's worker pool (CLI
-    ``--worker-deadline`` / ``--max-respawns``).
+    ``--worker-deadline`` / ``--max-respawns``). ``backend`` selects the
+    simulation core for both phases (micro cells directly, matrix cells
+    via the worker payload's :class:`CellPolicy`).
     """
     kernels = SMOKE_KERNELS if smoke else MICRO_KERNELS
     schedulers = SMOKE_SCHEDULERS if smoke else MICRO_SCHEDULERS
     if scale is None:
         scale = SMOKE_SCALE if smoke else BENCH_SCALE
     config = GPUConfig.scaled(sms)
-    report = BenchReport(sms=sms, scale=scale, jobs=jobs, smoke=smoke)
+    report = BenchReport(sms=sms, scale=scale, jobs=jobs, smoke=smoke,
+                         backend=backend)
+    policy = CellPolicy(backend=backend)
+
+    # Untimed warmup: the very first simulation pays one-time import and
+    # bytecode-cache costs that would otherwise be billed to whichever
+    # cell happens to run first (20%+ distortion at smoke scale).
+    warm = Gpu(config, scheduler=schedulers[0], backend=backend)
+    warm.run(get_kernel(kernels[0]).build_launch(min(scale, SMOKE_SCALE)))
 
     # Phase 1: sequential micro cells, each on a fresh Gpu.
     for kernel in kernels:
         model = get_kernel(kernel)
         for scheduler in schedulers:
             launch = model.build_launch(scale)
-            gpu = Gpu(config, scheduler=scheduler)
+            gpu = Gpu(config, scheduler=scheduler, backend=backend)
             t0 = time.perf_counter()
             result = gpu.run(launch)
             dt = time.perf_counter() - t0
@@ -249,15 +262,17 @@ def run_bench(
             pool.wait_ready()
             report.matrix_seconds_spawn = time.perf_counter() - t0
             t0 = time.perf_counter()
-            run_matrix_parallel(ResultCache(), cells, config, scale,
-                                jobs=jobs, pool=pool)
+            run_matrix_parallel(ResultCache(policy=policy), cells,
+                                config, scale, jobs=jobs, pool=pool)
             report.matrix_seconds_parallel = time.perf_counter() - t0
     else:
         t0 = time.perf_counter()
-        run_matrix_parallel(ResultCache(), cells, config, scale, jobs=jobs)
+        run_matrix_parallel(ResultCache(policy=policy), cells, config,
+                            scale, jobs=jobs)
         report.matrix_seconds_parallel = time.perf_counter() - t0
     t0 = time.perf_counter()
-    run_matrix_parallel(ResultCache(), cells, config, scale, jobs=1)
+    run_matrix_parallel(ResultCache(policy=policy), cells, config, scale,
+                        jobs=1)
     report.matrix_seconds_serial = time.perf_counter() - t0
 
     if out_path is None:
@@ -267,3 +282,71 @@ def run_bench(
         json.dump(report.to_json(), f, indent=2, sort_keys=True)
     report.json_path = out_path
     return report
+
+
+# ---------------------------------------------------------------------------
+# ``bench --compare``
+
+
+def micro_geomean(report: dict) -> float:
+    """Geometric-mean micro cycles/sec of a bench JSON (0.0 if empty)."""
+    import math
+
+    vals = [c["cycles_per_sec"] for c in report.get("micro", [])
+            if c.get("cycles_per_sec")]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def compare_bench(old: dict, new: dict) -> str:
+    """Render per-cell cycles/sec deltas between two bench JSONs.
+
+    Cells are matched on (kernel, scheduler); unmatched cells are listed
+    but excluded from the geomean speedup line, so comparing a smoke
+    report against a full one only scores the shared cells.
+    """
+    import math
+
+    old_cells = {(c["kernel"], c["scheduler"]): c for c in old.get("micro", [])}
+    new_cells = {(c["kernel"], c["scheduler"]): c for c in new.get("micro", [])}
+    rows = []
+    ratios = []
+    for key in new_cells:
+        kernel, scheduler = key
+        n = new_cells[key]["cycles_per_sec"]
+        o = old_cells.get(key, {}).get("cycles_per_sec")
+        if o:
+            ratios.append(n / o)
+            rows.append((kernel, scheduler, f"{o:,.0f}", f"{n:,.0f}",
+                         f"{n / o:.2f}x"))
+        else:
+            rows.append((kernel, scheduler, "-", f"{n:,.0f}", "new"))
+    for key in old_cells:
+        if key not in new_cells:
+            o = old_cells[key]["cycles_per_sec"]
+            rows.append((key[0], key[1], f"{o:,.0f}", "-", "dropped"))
+    title = (
+        f"Bench compare: {old.get('backend', 'reference')} "
+        f"(sms={old.get('sms')}, scale={old.get('scale')}) -> "
+        f"{new.get('backend', 'reference')} "
+        f"(sms={new.get('sms')}, scale={new.get('scale')})"
+    )
+    table = render_table(
+        ("Kernel", "Sched", "Old c/s", "New c/s", "Speedup"),
+        rows, title=title,
+    )
+    lines = [table, ""]
+    if ratios:
+        geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        lines.append(
+            f"geomean speedup over {len(ratios)} matched cells: {geo:.2f}x"
+        )
+    else:
+        lines.append("no matched cells: geomean speedup unavailable")
+    if old.get("sms") != new.get("sms") or old.get("scale") != new.get("scale"):
+        lines.append(
+            "warning: reports use different sms/scale geometry; per-cell "
+            "ratios mix simulator speed with problem-size effects"
+        )
+    return "\n".join(lines)

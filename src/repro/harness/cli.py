@@ -66,7 +66,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
 from ..errors import ReproError, SimulationInterrupted
-from ..gpu.gpu import Gpu
+from ..gpu.gpu import BACKENDS, Gpu
 from ..robustness.checkpoint import CheckpointStore
 from ..workloads import get_kernel
 from . import experiments
@@ -149,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "'fidelity' defaults to its profile's geometry)")
     p.add_argument("--scheduler", default="pro",
                    help="scheduler for 'run' (default pro)")
+    p.add_argument("--backend", default="reference", choices=BACKENDS,
+                   help="simulation core: 'reference' (per-warp "
+                        "interpreter) or 'vector' (struct-of-arrays core, "
+                        "bit-identical counters, faster). Threaded through "
+                        "worker payloads, so parallel sweeps honor it")
+    p.add_argument("--compare", nargs=2, default=None,
+                   metavar=("OLD.json", "NEW.json"),
+                   help="for 'bench': instead of running, diff two bench "
+                        "JSONs — per-cell cycles/sec deltas plus a geomean "
+                        "speedup line over the matched cells")
     p.add_argument("--threshold", type=int, default=None,
                    help="PRO sort period for 'table4' (default: a period "
                         "scaled to the model's TB lifetimes; pass 1000 for "
@@ -325,6 +335,12 @@ def _validate_args(parser: argparse.ArgumentParser,
         parser.error(f"--window must be positive (got {args.window})")
     if args.bench_out and args.experiment != "bench":
         parser.error("--bench-out only applies to 'bench'")
+    if args.compare is not None:
+        if args.experiment != "bench":
+            parser.error("--compare only applies to 'bench'")
+        for path in args.compare:
+            if not os.path.exists(path):
+                parser.error(f"--compare input does not exist: {path}")
     if args.json_out and args.experiment == "all":
         parser.error(
             "--json is not supported for 'all' (its sections have no "
@@ -482,11 +498,22 @@ def main(argv: Optional[list] = None) -> int:
         print(diff_baselines(args.kernel, args.arg2))
         return EXIT_OK
 
+    if args.experiment == "bench" and args.compare is not None:
+        from .bench import compare_bench
+
+        with open(args.compare[0]) as f:
+            old = json.load(f)
+        with open(args.compare[1]) as f:
+            new = json.load(f)
+        print(compare_bench(old, new))
+        return EXIT_OK
+
     checkpoint = (
         CheckpointStore(args.checkpoint) if args.checkpoint else None
     )
     policy = CellPolicy(retries=args.retries, cell_timeout=args.cell_timeout,
-                        snapshot_every=args.snapshot_every)
+                        snapshot_every=args.snapshot_every,
+                        backend=args.backend)
     cache = ResultCache(checkpoint=checkpoint, policy=policy)
     pool_config = None
     if args.worker_deadline is not None or args.max_respawns is not None:
@@ -514,7 +541,8 @@ def main(argv: Optional[list] = None) -> int:
         if args.experiment == "bench":
             report = run_bench(jobs=args.jobs, smoke=args.smoke,
                                sms=args.sms, out_path=args.bench_out,
-                               pool_config=pool_config)
+                               pool_config=pool_config,
+                               backend=args.backend)
             chunks.append(report.render())
             if args.json_out:
                 _dump_json(args.json_out, report.to_json())
@@ -525,7 +553,8 @@ def main(argv: Optional[list] = None) -> int:
         elif args.experiment == "run":
             if args.resume:
                 result = Gpu.resume(args.resume,
-                                    register=cache._register_gpu)
+                                    register=cache._register_gpu,
+                                    backend=args.backend)
             elif not args.kernel:
                 print("error: 'run' requires a kernel name (or --resume)",
                       file=sys.stderr)

@@ -47,12 +47,16 @@ class CellPolicy:
     ``snapshot_every`` arms periodic cycle-level snapshots on every
     checkpointed plain cell, so even a hard kill loses at most that many
     simulated cycles of the in-flight cell (a graceful SIGINT/SIGTERM
-    snapshots the exact stop cycle regardless).
+    snapshots the exact stop cycle regardless); ``backend`` selects the
+    simulation core (``"reference"`` or ``"vector"``) for every cell the
+    session runs — counters are bit-identical either way, so cache keys
+    and checkpoint digests deliberately ignore it.
     """
 
     retries: int = 0
     cell_timeout: Optional[float] = None
     snapshot_every: Optional[int] = None
+    backend: str = "reference"
 
 
 @dataclass
@@ -359,6 +363,7 @@ class ResultCache:
                                 snapshot_every=policy.snapshot_every,
                                 snapshot_path=snap_path,
                                 register=self._register_gpu,
+                                backend=policy.backend,
                             )
                         except SnapshotError:
                             # Stale (schema/config/program drift): drop
@@ -366,7 +371,8 @@ class ResultCache:
                             self.snapshot_resumes -= 1
                             self.runs_executed -= 1
                             snap_path.unlink(missing_ok=True)
-                    gpu = Gpu(config, scheduler=scheduler)
+                    gpu = Gpu(config, scheduler=scheduler,
+                              backend=policy.backend)
                     if self.faults is not None:
                         gpu.install_faults(self.faults)
                     self._register_gpu(gpu)

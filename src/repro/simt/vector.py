@@ -1,0 +1,1026 @@
+"""Vectorized struct-of-arrays SM core (``backend="vector"``).
+
+:class:`VectorSM` is a drop-in :class:`~repro.simt.sm.StreamingMultiprocessor`
+subclass that replaces the per-warp object scan of ``step()`` with
+struct-of-arrays state and incremental readiness tracking:
+
+* **Scoreboard SoA.** Per-warp pending-register *sets* become one flat
+  column of int64 bitmask lanes (``_pend``), one lane per warp slot, one
+  bit per architectural register (hence the ``max_register() <= 62``
+  backend gate in :meth:`~repro.gpu.gpu.Gpu._reset_for_launch`). A
+  hazard check is a single AND against the static instruction's
+  precompiled ``dst|srcs`` mask instead of two set probes.
+* **Status column.** ``_stat`` holds each slot's issue class — inactive
+  (finished / at barrier / waiting out a refetch bubble), ready, or
+  scoreboard-blocked — with running ready/blocked population counts.
+  The column is maintained *incrementally* at the events that can change
+  a warp's class (writeback retirement, issue, branch bubble, barrier
+  arrival/release, warp finish, TB assignment) instead of being
+  recomputed for every warp every cycle. A batched numpy
+  reclassification over all slots (:meth:`_classify_all`) runs at bulk
+  transitions (snapshot restore), where whole-column evaluation wins; at
+  the warp counts an SM holds per cycle (<= 48 resident warps, of which
+  almost none change state on a given cycle) the incremental updates
+  beat a full per-cycle array recompute. Zero-ready cycles skip the
+  scheduler walk entirely — the population count *is* the batched
+  readiness evaluation.
+* **Refetch heap.** Warps waiting out a branch bubble / barrier refetch /
+  TB launch latency sit in a ``(next_valid_cycle, slot)`` min-heap
+  (``_recheck``) and re-enter the status column when due — the reference
+  scan's ``min_refetch`` fold becomes a heap peek.
+* **Precompiled static tables.** Per-pc issue metadata (dispatch kind,
+  destination bit, writeback latency, initiation interval, and the
+  *next* instruction's hazard mask) collapses into one tuple row
+  (``_meta``), so the issue fast path does a single table load instead
+  of enum and attribute dispatch.
+
+Schedulers are *not* reimplemented: each policy (lrr/gto/pro/tl) gets a
+thin selector that renders its live priority structures into slot
+sequences, cached until a pool/priority mutation marks it dirty, and
+walks them with one status test per candidate. The issue attempt and
+each policy's ``note_issued`` bookkeeping are inlined into the walk
+(mirroring how the reference SM inlines its per-warp attempt), but every
+mutation lands on the real scheduler objects, so scheduler state (and
+its snapshot form) stays bit-identical to the reference.
+
+Bit-exactness contract: for any program with ``max_register() <= 62`` and
+no ProbeBus / fault plan attached, a :class:`VectorSM` run produces
+*identical* ``SmCounters``, event heaps, scheduler state and snapshots to
+the reference interpreter. The golden matrix and the cross-backend
+equivalence suite enforce this. Instrumented (bus) or fault-injected runs
+fall back to the reference SM in ``Gpu._reset_for_launch`` — the vector
+issue path therefore omits every ``bus is not None`` / ``faults`` branch
+by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.gto import GtoScheduler
+from ..core.lrr import LrrScheduler
+from ..core.pro import ProScheduler
+from ..core.tl import TwoLevelScheduler
+from ..errors import DeadlockError, SchedulerError
+from ..isa.instructions import ExecUnit, Opcode
+from ..stats.counters import StallKind
+from .sm import NEVER, StreamingMultiprocessor
+
+#: Highest register index the int64 scoreboard lane can hold (bit 63 is
+#: the sign bit; bit 62 is kept clear so lanes stay non-negative).
+MAX_VECTOR_REGISTER = 62
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+# Issue-kind dispatch codes (first field of a _meta row).
+_K_ALU = 0
+_K_MEM = 1
+_K_SHARED = 2
+_K_BRA = 3
+_K_BAR = 4
+_K_EXIT = 5
+
+# Slot status codes (the _stat column).
+_INACTIVE = 0  # finished, at barrier, or waiting out a refetch bubble
+_READY = 1     # valid pc, operands ready: issuable modulo ports/MSHR
+_BLOCKED = 2   # valid pc, scoreboard hazard
+
+
+class _FastCtx:
+    """Duck-typed :class:`~repro.isa.patterns.AccessContext` stand-in.
+
+    Access patterns only read the four attributes; skipping the frozen-
+    dataclass ``__init__`` machinery saves ~0.7us per memory issue.
+    """
+
+    __slots__ = ("tb_index", "warp_in_tb", "iteration", "active")
+
+    def __init__(self, tb_index, warp_in_tb, iteration, active):
+        self.tb_index = tb_index
+        self.warp_in_tb = warp_in_tb
+        self.iteration = iteration
+        self.active = active
+
+
+# ---------------------------------------------------------------------------
+# Per-policy slot selectors.
+#
+# Each selector renders its scheduler's live priority structure into a
+# cached sequence of warp slots (rebuilt lazily when `dirty`), then walks
+# it testing one status-column entry per candidate. A candidate that
+# passes the status test goes through the inlined issue-attempt checks
+# (free port of its unit class, MSHR admission for global loads) and, on
+# success, through `VectorSM._issue` plus the policy's own `note_issued`
+# bookkeeping inlined right here — each inline is derived line-by-line
+# from the scheduler classes and asserted by the cross-backend
+# equivalence suite. Failed attempts mutate nothing, so walking a cached
+# sequence while the scheduler's own lists are intact is safe; any
+# mutation (issue side effects included) re-marks the cache dirty via
+# the SM hooks before the next walk.
+
+
+class _LrrSel:
+    """Rotating-start scan over the LRR pool (mirrors LrrScheduler.order).
+
+    Inlined ``note_issued``: the rotation restarts after the issued
+    warp's pool index — which is exactly its position in the walked
+    sequence — or at the front when the warp finished on this issue
+    (``on_warp_finished`` already dropped it from ``_pos``, making the
+    reference's ``_pos.get`` return None).
+    """
+
+    needs_barrier_refresh = False
+    __slots__ = ("sm", "sched", "dirty", "seq")
+
+    def __init__(self, sm: "VectorSM", sched: LrrScheduler) -> None:
+        self.sm = sm
+        self.sched = sched
+        self.dirty = True
+        self.seq: List[int] = []
+
+    def refresh(self) -> None:
+        slot_of = self.sm._slot_of
+        self.seq = [slot_of[id(w)] for w in self.sched.warps]
+        self.dirty = False
+
+    def try_issue(self, cycle: int, mshr) -> int:
+        if self.dirty:
+            self.refresh()
+        seq = self.seq
+        n = len(seq)
+        if not n:
+            return 0
+        sm = self.sm
+        sched = self.sched
+        stat = sm._stat
+        slots = sm._slots
+        ports_tbl = sm._ports_tbl
+        isldg = sm._isldg
+        ucode = sm._ucode
+        avail = [-3, -3, -3]
+        mshr_full = None
+        i = sched._start % n
+        for _ in range(n):
+            s = seq[i]
+            if stat[s] == 1:
+                w = slots[s]
+                pc = w.pc
+                code = ucode[pc]
+                if code < 0:
+                    pi = -1  # no-unit control instruction: no port to claim
+                else:
+                    pi = avail[code]  # port index per unit class; -3 = not probed yet
+                    if pi == -3:
+                        pi = 0
+                        for t in ports_tbl[pc]:
+                            if t <= cycle:
+                                break
+                            pi += 1
+                        else:
+                            pi = -2  # every port of the class is busy
+                        avail[code] = pi
+                    if pi >= 0 and isldg[pc]:
+                        if mshr_full is None:  # one MSHR poll per walk: is_full is cycle-pure
+                            mshr_full = mshr.is_full(cycle)
+                        if mshr_full:
+                            pi = -2
+                if pi != -2:
+                    sm._issue(
+                        s, w, pc, cycle,
+                        ports_tbl[pc] if pi >= 0 else None, pi,
+                    )
+                    sched._start = 0 if w.finished else i + 1
+                    return 1
+            i += 1
+            if i == n:
+                i = 0
+        return 0
+
+
+class _GtoSel:
+    """Greedy-then-oldest scan (mirrors GtoScheduler.order).
+
+    Inlined ``note_issued``: ``_greedy = warp`` unconditionally — the
+    reference sets it even for a warp that finished on this very issue
+    (``on_warp_finished`` nulled it first, ``note_issued`` re-points it;
+    ``order`` then skips it as finished and the snapshot writes None).
+    """
+
+    needs_barrier_refresh = False
+    __slots__ = ("sm", "sched", "dirty", "seq")
+
+    def __init__(self, sm: "VectorSM", sched: GtoScheduler) -> None:
+        self.sm = sm
+        self.sched = sched
+        self.dirty = True
+        self.seq: List[int] = []
+
+    def refresh(self) -> None:
+        slot_of = self.sm._slot_of
+        self.seq = [slot_of[id(w)] for w in self.sched._aged]
+        self.dirty = False
+
+    def try_issue(self, cycle: int, mshr) -> int:
+        if self.dirty:
+            self.refresh()
+        sm = self.sm
+        sched = self.sched
+        stat = sm._stat
+        slots = sm._slots
+        ports_tbl = sm._ports_tbl
+        isldg = sm._isldg
+        ucode = sm._ucode
+        avail = [-3, -3, -3]
+        mshr_full = None
+        greedy_slot = -1
+        g = sched._greedy
+        if g is not None and not g.finished:
+            greedy_slot = sm._slot_of[id(g)]
+        first = True
+        for s in ((greedy_slot, *self.seq) if greedy_slot >= 0 else self.seq):
+            if greedy_slot >= 0:
+                if first:
+                    first = False
+                elif s == greedy_slot:
+                    continue  # aged copy of the greedy warp
+            if stat[s] == 1:
+                w = slots[s]
+                pc = w.pc
+                code = ucode[pc]
+                if code < 0:
+                    pi = -1  # no-unit control instruction: no port to claim
+                else:
+                    pi = avail[code]
+                    if pi == -3:
+                        pi = 0
+                        for t in ports_tbl[pc]:
+                            if t <= cycle:
+                                break
+                            pi += 1
+                        else:
+                            pi = -2  # every port of the class is busy
+                        avail[code] = pi
+                    if pi >= 0 and isldg[pc]:
+                        if mshr_full is None:
+                            mshr_full = mshr.is_full(cycle)
+                        if mshr_full:
+                            pi = -2
+                if pi != -2:
+                    sm._issue(
+                        s, w, pc, cycle,
+                        ports_tbl[pc] if pi >= 0 else None, pi,
+                    )
+                    sched._greedy = w
+                    return 1
+        return 0
+
+
+class _TlSel:
+    """Two-level fetch-group scan (mirrors TwoLevelScheduler.order).
+
+    Inlined ``note_issued``: set the group's round-robin pointer past
+    the issued warp and rotate lower-priority groups to the front —
+    except when the warp finished on this issue (``on_warp_finished``
+    already removed it from its group, so the reference's group scan
+    misses and ``note_issued`` is a no-op). The per-group slot cache is
+    keyed by ``id(group)``: rotation builds a new ``_groups`` *list* but
+    keeps the group objects.
+    """
+
+    needs_barrier_refresh = False
+    __slots__ = ("sm", "sched", "dirty", "group_slots")
+
+    def __init__(self, sm: "VectorSM", sched: TwoLevelScheduler) -> None:
+        self.sm = sm
+        self.sched = sched
+        self.dirty = True
+        self.group_slots: dict = {}
+
+    def refresh(self) -> None:
+        slot_of = self.sm._slot_of
+        self.group_slots = {
+            id(g): [slot_of[id(w)] for w in g.warps]
+            for g in self.sched._groups
+        }
+        self.dirty = False
+
+    def try_issue(self, cycle: int, mshr) -> int:
+        if self.dirty:
+            self.refresh()
+        sm = self.sm
+        sched = self.sched
+        stat = sm._stat
+        slots = sm._slots
+        ports_tbl = sm._ports_tbl
+        isldg = sm._isldg
+        ucode = sm._ucode
+        avail = [-3, -3, -3]
+        mshr_full = None
+        group_slots = self.group_slots
+        groups = sched._groups
+        for gi, g in enumerate(groups):
+            seq = group_slots[id(g)]
+            n = len(seq)
+            if not n:
+                continue
+            i = g.rr % n
+            for _ in range(n):
+                s = seq[i]
+                if stat[s] == 1:
+                    w = slots[s]
+                    pc = w.pc
+                    code = ucode[pc]
+                    if code < 0:
+                        pi = -1  # no-unit control instruction: no port to claim
+                    else:
+                        pi = avail[code]
+                        if pi == -3:
+                            pi = 0
+                            for t in ports_tbl[pc]:
+                                if t <= cycle:
+                                    break
+                                pi += 1
+                            else:
+                                pi = -2  # every port of the class is busy
+                            avail[code] = pi
+                        if pi >= 0 and isldg[pc]:
+                            if mshr_full is None:
+                                mshr_full = mshr.is_full(cycle)
+                            if mshr_full:
+                                pi = -2
+                    if pi != -2:
+                        sm._issue(
+                            s, w, pc, cycle,
+                            ports_tbl[pc] if pi >= 0 else None, pi,
+                        )
+                        if not w.finished:
+                            g.rr = i + 1
+                            if gi > 0:
+                                sched._groups = groups[gi:] + groups[:gi]
+                        return 1
+                i += 1
+                if i == n:
+                    i = 0
+        return 0
+
+
+class _ProSel:
+    """PRO priority walk (mirrors ProManager.order's concatenation).
+
+    ``ProScheduler.note_issued`` is a no-op, so nothing to inline.
+    """
+
+    needs_barrier_refresh = True
+    __slots__ = ("sm", "sched", "dirty", "seq")
+
+    def __init__(self, sm: "VectorSM", sched: ProScheduler) -> None:
+        self.sm = sm
+        self.sched = sched
+        self.dirty = True
+        self.seq: List[int] = []
+
+    def refresh(self) -> None:
+        slot_of = self.sm._slot_of
+        mgr = self.sched.manager
+        sid = self.sched.sched_id
+        seq: List[int] = []
+        for rec in mgr.finish_wait:
+            for w in rec.warp_order[sid]:
+                seq.append(slot_of[id(w)])
+        for rec in mgr.barrier_wait:
+            for w in rec.warp_order[sid]:
+                seq.append(slot_of[id(w)])
+        for rec in (mgr.no_wait if mgr.no_wait else mgr.finish_no_wait):
+            for w in rec.warp_order[sid]:
+                seq.append(slot_of[id(w)])
+        self.seq = seq
+        self.dirty = False
+
+    def try_issue(self, cycle: int, mshr) -> int:
+        if self.dirty:
+            self.refresh()
+        sm = self.sm
+        stat = sm._stat
+        slots = sm._slots
+        ports_tbl = sm._ports_tbl
+        isldg = sm._isldg
+        ucode = sm._ucode
+        avail = [-3, -3, -3]
+        mshr_full = None
+        for s in self.seq:
+            if stat[s] == 1:
+                w = slots[s]
+                pc = w.pc
+                code = ucode[pc]
+                if code < 0:
+                    pi = -1  # no-unit control instruction: no port to claim
+                else:
+                    pi = avail[code]
+                    if pi == -3:
+                        pi = 0
+                        for t in ports_tbl[pc]:
+                            if t <= cycle:
+                                break
+                            pi += 1
+                        else:
+                            pi = -2  # every port of the class is busy
+                        avail[code] = pi
+                    if pi >= 0 and isldg[pc]:
+                        if mshr_full is None:
+                            mshr_full = mshr.is_full(cycle)
+                        if mshr_full:
+                            pi = -2
+                if pi != -2:
+                    sm._issue(
+                        s, w, pc, cycle,
+                        ports_tbl[pc] if pi >= 0 else None, pi,
+                    )
+                    return 1
+        return 0
+
+
+_SELECTOR_FOR = {
+    LrrScheduler: _LrrSel,
+    GtoScheduler: _GtoSel,
+    TwoLevelScheduler: _TlSel,
+    ProScheduler: _ProSel,
+}
+
+
+class VectorSM(StreamingMultiprocessor):
+    """Struct-of-arrays SM stepping engine (see module docstring)."""
+
+    __slots__ = (
+        "program",
+        # -- dynamic SoA state ------------------------------------------
+        "_slots",        # slot -> Warp (monotonic; never reused in a launch)
+        "_slot_of",      # id(warp) -> slot
+        "_pend",         # int lane per slot: pending-register bitmask
+        "_stat",         # status code per slot (_INACTIVE/_READY/_BLOCKED)
+        "_n_ready",      # population count of _READY slots
+        "_n_blocked",    # population count of _BLOCKED slots
+        "_recheck",      # heap of (next_valid_cycle, slot)
+        "_needs_classify",
+        "_selectors",
+        "_pro_mgr",
+        # -- static per-pc tables (from the finalized program) ----------
+        "_hz",           # dst|srcs hazard bitmask
+        "_meta",         # issue metadata row per pc (layout below)
+        "_ports_tbl",    # direct ref to units._free_at[unit] (None w/o unit)
+        "_unit_tbl",     # ExecUnit or None (for _rebind_ports)
+        "_isldg",        # bool: op is LDG (MSHR admission check)
+        "_ucode",        # unit-class code per pc: ExecUnit value, -1 w/o unit
+        "_ins_tbl",      # Instruction (pattern access on the MEM path)
+        "_bubble",       # cfg.latency.branch_bubble
+    )
+
+    # _meta row layout, per dispatch kind (one tuple load replaces five
+    # table lookups on the issue path; unused fields are 0):
+    #   ALU    (0): (kind, dstbit, dst,    latency, interval, hz_next)
+    #   MEM    (1): (kind, dstbit, dst,    0,       is_stg,   hz_next)
+    #   SHARED (2): (kind, dstbit, dst,    latency, interval, hz_next)
+    #   BRA    (3): (kind, 0,      target, 0,       0,        0)
+    #   BAR    (4): (kind, 0, 0, 0, 0, 0)
+    #   EXIT   (5): (kind, 0, 0, 0, 0, 0)
+    # hz_next is the *following* instruction's hazard mask — the issue
+    # path reclassifies the warp against its next pc without re-indexing
+    # the hazard table. BRA classifies on refetch-wake instead (the
+    # target varies) and BAR/EXIT park the slot, so theirs is unused.
+
+    def __init__(self, sm_id, cfg, memory, gpu=None, program=None) -> None:
+        super().__init__(sm_id, cfg, memory, gpu=gpu)
+        if program is None:
+            raise ValueError("VectorSM requires the finalized kernel program")
+        self.program = program
+        self._bubble = cfg.latency.branch_bubble
+        instructions = program.instructions
+        hz: List[int] = []
+        for ins in instructions:
+            mask = 0
+            if ins.dst is not None:
+                mask |= 1 << ins.dst
+            for src in ins.srcs:
+                mask |= 1 << src
+            hz.append(mask)
+        n_ins = len(instructions)
+        meta: List[tuple] = []
+        unit_tbl: List[Optional[ExecUnit]] = []
+        isldg: List[bool] = []
+        for pc, ins in enumerate(instructions):
+            op = ins.op
+            dstbit = 0 if ins.dst is None else 1 << ins.dst
+            hz_next = hz[pc + 1] if pc + 1 < n_ins else 0
+            if op is Opcode.LDG or op is Opcode.STG:
+                row = (_K_MEM, dstbit, ins.dst, 0, op is Opcode.STG, hz_next)
+            elif op is Opcode.LDS or op is Opcode.STS:
+                ways = ins.conflict_ways
+                row = (_K_SHARED, dstbit, ins.dst, ins.latency,
+                       ways if ways > 1 else 1, hz_next)
+            elif op is Opcode.BRA:
+                row = (_K_BRA, 0, ins.target, 0, 0, 0)
+            elif op is Opcode.BAR:
+                row = (_K_BAR, 0, 0, 0, 0, 0)
+            elif op is Opcode.EXIT:
+                row = (_K_EXIT, 0, 0, 0, 0, 0)
+            else:
+                row = (_K_ALU, dstbit, ins.dst, ins.latency,
+                       4 if ins.unit is ExecUnit.SFU else 1, hz_next)
+            meta.append(row)
+            unit = ins.unit
+            unit_tbl.append(None if unit is ExecUnit.NONE else unit)
+            isldg.append(op is Opcode.LDG)
+        self._hz = hz
+        self._meta = meta
+        self._unit_tbl = unit_tbl
+        self._isldg = isldg
+        self._ucode = [-1 if u is None else int(u) for u in unit_tbl]
+        self._ins_tbl = list(instructions)
+        self._rebind_ports()
+        self._slots: List[object] = []
+        self._slot_of: dict = {}
+        self._pend: List[int] = []
+        self._stat: List[int] = []
+        self._n_ready = 0
+        self._n_blocked = 0
+        self._recheck: List[tuple] = []
+        self._needs_classify = False
+        self._selectors: tuple = ()
+        self._pro_mgr = None
+
+    def _rebind_ports(self) -> None:
+        """Re-cache direct references to the unit port-stamp lists.
+
+        ``ExecUnitPool.restore``/``reset`` install *new* list objects, so
+        the per-pc shortcuts must be rebound after either.
+        """
+        free_at = self.units._free_at
+        self._ports_tbl = [
+            None if unit is None else free_at[unit] for unit in self._unit_tbl
+        ]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def supports(schedulers) -> bool:
+        """True when every scheduler has a vector selector.
+
+        Exact-type match on purpose: a user subclass with an overridden
+        ``order()`` would be silently mis-ordered by the stock selector,
+        so it routes to the reference backend instead.
+        """
+        return all(type(s) in _SELECTOR_FOR for s in schedulers)
+
+    def attach_schedulers(self, schedulers) -> None:
+        super().attach_schedulers(schedulers)
+        selectors = []
+        pro_mgr = None
+        for sched in schedulers:
+            sel_cls = _SELECTOR_FOR.get(type(sched))
+            if sel_cls is None:
+                raise SchedulerError(
+                    f"vector backend has no selector for "
+                    f"{type(sched).__name__}; check VectorSM.supports() "
+                    "before attaching"
+                )
+            selectors.append(sel_cls(self, sched))
+            if sel_cls is _ProSel:
+                pro_mgr = sched.manager
+        self._selectors = tuple(selectors)
+        self._pro_mgr = pro_mgr
+
+    # -- slot management ------------------------------------------------------
+
+    def _new_slot(self, warp) -> int:
+        s = len(self._slots)
+        self._slots.append(warp)
+        self._slot_of[id(warp)] = s
+        self._pend.append(0)
+        self._stat.append(_INACTIVE)
+        return s
+
+    # -- TB residency hooks ---------------------------------------------------
+
+    def assign_tb(self, tb, cycle: int) -> None:
+        super().assign_tb(tb, cycle)
+        recheck = self._recheck
+        for w in tb.warps:
+            s = self._new_slot(w)
+            nvc = w.next_valid_cycle
+            if nvc > cycle:
+                _heappush(recheck, (nvc, s))
+            elif self._pend[s] & self._hz[w.pc]:
+                self._stat[s] = _BLOCKED
+                self._n_blocked += 1
+            else:
+                self._stat[s] = _READY
+                self._n_ready += 1
+        for sel in self._selectors:
+            sel.dirty = True
+
+    # -- barrier / finish bookkeeping (reference bodies minus the bus and
+    # fault branches, which the backend gate guarantees are inactive, plus
+    # refetch-heap maintenance and selector invalidation) ----------------------
+
+    def _warp_reached_barrier(self, warp, cycle: int) -> None:
+        tb = warp.tb
+        warp.at_barrier = True
+        tb.n_at_barrier += 1
+        for listener in self.listeners:
+            listener.on_warp_barrier(warp, cycle)
+        if tb.all_at_barrier:
+            tb.n_at_barrier = 0
+            refetch = cycle + self._bubble
+            recheck = self._recheck
+            slot_of = self._slot_of
+            for w in tb.warps:
+                if w.at_barrier:
+                    w.at_barrier = False
+                    if w.next_valid_cycle < refetch:
+                        w.next_valid_cycle = refetch
+                    _heappush(recheck, (w.next_valid_cycle, slot_of[id(w)]))
+            for listener in self.listeners:
+                listener.on_barrier_release(tb, cycle)
+        for sel in self._selectors:
+            if sel.needs_barrier_refresh:
+                sel.dirty = True
+
+    def _warp_finished(self, warp, cycle: int) -> None:
+        tb = warp.tb
+        warp.finished = True
+        tb.n_finished += 1
+        for listener in self.listeners:
+            listener.on_warp_finished(warp, cycle)
+        if tb.all_finished:
+            self._release_tb(tb, cycle)
+        for sel in self._selectors:
+            sel.dirty = True
+
+    # -- main per-cycle step --------------------------------------------------
+
+    def step(self, cycle: int) -> int:
+        """Vectorized step: SoA columns + heaps instead of the warp scan.
+
+        Keeps the observable sequence in lockstep with the reference
+        ``StreamingMultiprocessor.step``: stall credit, event retirement,
+        per-scheduler issue (PRO phase/threshold maintenance included),
+        then identical accounting and wake computation.
+        """
+        counters = self.counters
+        if self._stall_kind is not None:
+            counters.add_stall(self._stall_kind, cycle - self._stall_since)
+            self._stall_kind = None
+
+        # 1. Retire due writebacks: clear the pending bit and promote the
+        #    warp from scoreboard-blocked to ready when its current
+        #    instruction's hazard mask no longer intersects.
+        events = self._events
+        if events and events[0][0] <= cycle:
+            slot_of = self._slot_of
+            pend = self._pend
+            stat = self._stat
+            hz = self._hz
+            while events and events[0][0] <= cycle:
+                _, _, warp, reg = _heappop(events)
+                s = slot_of[id(warp)]
+                lane = pend[s] & ~(1 << reg)
+                pend[s] = lane
+                if stat[s] == 2 and not (lane & hz[warp.pc]):
+                    stat[s] = 1
+                    self._n_blocked -= 1
+                    self._n_ready += 1
+
+        # 1b. Wake warps whose refetch bubble / launch latency expired.
+        if self._needs_classify:
+            self._needs_classify = False
+            self._classify_all(cycle)
+        else:
+            recheck = self._recheck
+            if recheck and recheck[0][0] <= cycle:
+                slots = self._slots
+                pend = self._pend
+                stat = self._stat
+                hz = self._hz
+                while recheck and recheck[0][0] <= cycle:
+                    _, s = _heappop(recheck)
+                    w = slots[s]
+                    # Stale entry: the warp re-stalled (barrier/finish),
+                    # re-bubbled (a newer heap entry exists), or a
+                    # duplicate of this entry already classified it.
+                    if (
+                        w.finished
+                        or w.at_barrier
+                        or w.next_valid_cycle > cycle
+                        or stat[s] != 0
+                    ):
+                        continue
+                    if pend[s] & hz[w.pc]:
+                        stat[s] = 2
+                        self._n_blocked += 1
+                    else:
+                        stat[s] = 1
+                        self._n_ready += 1
+
+        # 2. Each scheduler issues at most one warp instruction. With no
+        #    ready slot nothing can issue and (for the stateless-order
+        #    baselines) the reference scan has no side effects, so the
+        #    walk is skipped outright. PRO's order() performs phase and
+        #    threshold maintenance at the top of every call — run it per
+        #    scheduler regardless, so a mid-step transition between
+        #    scheduler 0 and 1 lands on the same cycle as the reference.
+        issued = 0
+        mshr = None
+        selectors = self._selectors
+        pro = self._pro_mgr
+        if pro is not None:
+            mshr = self.memory.mshr[self.sm_id]
+            for sel in selectors:
+                fast = pro.fast_phase
+                sorted_at = pro.last_sort_cycle
+                pro._maybe_phase_transition(cycle)
+                pro._maybe_threshold_sort(cycle)
+                if pro.fast_phase != fast or pro.last_sort_cycle != sorted_at:
+                    for other in selectors:
+                        other.dirty = True
+                if self._n_ready:
+                    issued += sel.try_issue(cycle, mshr)
+        elif self._n_ready:
+            mshr = self.memory.mshr[self.sm_id]
+            for sel in selectors:
+                issued += sel.try_issue(cycle, mshr)
+                if not self._n_ready:
+                    break
+
+        # 3. Accounting + sleep computation (identical to the reference).
+        if issued:
+            counters.active_cycles += 1
+            self.sleep_until = cycle + 1 if self.resident_tbs else NEVER
+            return issued
+
+        if not self.resident_tbs:
+            self.sleep_until = NEVER
+            return 0
+
+        # On a zero-issue step the reference scan visits every warp, so
+        # its aggregated status equals: PIPELINE iff any warp was ready
+        # (every ready candidate was tried and failed a port/MSHR check),
+        # else SCOREBOARD iff any warp was hazard-blocked, else IDLE.
+        kind = (
+            StallKind.PIPELINE
+            if self._n_ready
+            else StallKind.SCOREBOARD
+            if self._n_blocked
+            else StallKind.IDLE
+        )
+        wake = events[0][0] if events else NEVER
+        port_free = self.units.next_free(cycle)
+        if port_free is not None and port_free < wake:
+            wake = port_free
+        recheck = self._recheck
+        if recheck and recheck[0][0] < wake:
+            wake = recheck[0][0]
+        if kind == StallKind.PIPELINE:
+            if mshr is None:  # pragma: no cover - defensive
+                mshr = self.memory.mshr[self.sm_id]
+            ret = mshr.next_retirement()
+            if ret is not None and cycle < ret < wake:
+                wake = ret
+        if wake >= NEVER:
+            from ..robustness.diagnostics import report_for_sm
+
+            self.flush_scoreboards()
+            reason = (
+                f"SM {self.sm_id}: {len(self.resident_tbs)} resident TB(s) "
+                "but no pending events, free ports or refetches to wake on"
+            )
+            raise DeadlockError(
+                f"SM {self.sm_id} deadlocked at cycle {cycle}: "
+                f"{len(self.resident_tbs)} resident TB(s), no pending events",
+                report=report_for_sm(self, cycle, reason),
+            )
+        if wake <= cycle:  # pragma: no cover - defensive
+            wake = cycle + 1
+        self._stall_since = cycle
+        self._stall_kind = kind
+        self.sleep_until = wake
+        return 0
+
+    # -- issue fast path ------------------------------------------------------
+
+    def _issue(self, s: int, warp, pc: int, cycle: int, ports, pi) -> None:
+        """Issue the ready warp in slot ``s`` (all checks already passed).
+
+        Table-driven twin of the reference ``_do_issue`` (bus/fault
+        branches omitted: the backend gate guarantees both are absent).
+        ``ports``/``pi`` name the unit-class port the caller found free,
+        so occupying it is a single stamp store here.
+        """
+        kind, dstbit, aux, lat, ival, hz_next = self._meta[pc]
+        active = warp._active.get(pc, warp.n_threads)
+        counters = self.counters
+        warp.progress += active
+        warp.last_issue_cycle = cycle
+        counters.instructions += 1
+        counters.thread_instructions += active
+        counters.last_issue_cycle = cycle
+
+        if kind == 0:  # _K_ALU
+            ports[pi] = cycle + ival
+            warp.pc = pc + 1
+            pend = self._pend
+            lane = pend[s]
+            if dstbit:
+                lane |= dstbit
+                pend[s] = lane
+                seq = self._event_seq
+                self._event_seq = seq + 1
+                _heappush(self._events, (cycle + lat, seq, warp, aux))
+            if lane & hz_next:
+                self._stat[s] = 2
+                self._n_ready -= 1
+                self._n_blocked += 1
+            # else: the slot stays _READY — no column update needed.
+            return
+
+        if kind == 1:  # _K_MEM
+            mem_iter = warp.mem_iter
+            iteration = mem_iter.get(pc, 0)
+            mem_iter[pc] = iteration + 1
+            lines = self._ins_tbl[pc].pattern.lines(
+                _FastCtx(warp.tb.tb_index, warp.warp_in_tb, iteration, active)
+            )
+            n_txn = len(lines) if lines else 1
+            ports[pi] = cycle + (n_txn if n_txn > 1 else 1)
+            counters.mem_transactions += n_txn
+            result = self.memory.access(
+                self.sm_id, lines, cycle, is_write=bool(ival)
+            )
+            warp.pc = pc + 1
+            pend = self._pend
+            lane = pend[s]
+            if dstbit:
+                lane |= dstbit
+                pend[s] = lane
+                seq = self._event_seq
+                self._event_seq = seq + 1
+                _heappush(self._events, (result.completion, seq, warp, aux))
+            if lane & hz_next:
+                self._stat[s] = 2
+                self._n_ready -= 1
+                self._n_blocked += 1
+            return
+
+        if kind == 3:  # _K_BRA
+            ports[pi] = cycle + 1
+            warp.pc = aux if warp.branch_take(pc) else pc + 1
+            nvc = cycle + self._bubble
+            warp.next_valid_cycle = nvc
+            self._stat[s] = 0
+            self._n_ready -= 1
+            _heappush(self._recheck, (nvc, s))
+            return
+
+        if kind == 2:  # _K_SHARED
+            ports[pi] = cycle + ival
+            warp.pc = pc + 1
+            pend = self._pend
+            lane = pend[s]
+            if dstbit:
+                lane |= dstbit
+                pend[s] = lane
+                seq = self._event_seq
+                self._event_seq = seq + 1
+                _heappush(self._events, (cycle + lat, seq, warp, aux))
+            if lane & hz_next:
+                self._stat[s] = 2
+                self._n_ready -= 1
+                self._n_blocked += 1
+            return
+
+        self._stat[s] = 0
+        self._n_ready -= 1
+        if kind == 4:  # _K_BAR
+            warp.pc = pc + 1
+            self._warp_reached_barrier(warp, cycle)
+        else:  # _K_EXIT (pc intentionally not advanced, as in the reference)
+            self._warp_finished(warp, cycle)
+
+    # -- bulk (re)classification ----------------------------------------------
+
+    def _classify_all(self, cycle: int) -> None:
+        """Batched numpy rebuild of the status column + refetch heap.
+
+        Used after a snapshot restore, where every slot's state is fresh
+        and one whole-column vectorized pass beats per-slot incremental
+        updates. Evicted-warp stand-ins (no ``finished`` attribute)
+        classify as inactive.
+        """
+        slots = self._slots
+        n = len(slots)
+        self._stat = [0] * n
+        self._n_ready = 0
+        self._n_blocked = 0
+        self._recheck = []
+        if not n:
+            return
+        hz = self._hz
+        live = np.fromiter(
+            (
+                not (getattr(w, "finished", True) or w.at_barrier)
+                for w in slots
+            ),
+            dtype=bool,
+            count=n,
+        )
+        nvc = np.fromiter(
+            (w.next_valid_cycle if live[i] else 0
+             for i, w in enumerate(slots)),
+            dtype=np.int64,
+            count=n,
+        )
+        hazard = np.fromiter(
+            (hz[w.pc] if live[i] else 0 for i, w in enumerate(slots)),
+            dtype=np.int64,
+            count=n,
+        )
+        pend = np.fromiter(self._pend, dtype=np.int64, count=n)
+        future = live & (nvc > cycle)
+        current = live & ~future
+        blocked = current & ((pend & hazard) != 0)
+        ready = current & ~blocked
+        stat = self._stat
+        for i in np.flatnonzero(ready):
+            stat[i] = 1
+        self._n_ready = int(ready.sum())
+        for i in np.flatnonzero(blocked):
+            stat[i] = 2
+        self._n_blocked = int(blocked.sum())
+        recheck = [(int(nvc[i]), int(i)) for i in np.flatnonzero(future)]
+        heapq.heapify(recheck)
+        self._recheck = recheck
+
+    # -- state serialization --------------------------------------------------
+
+    def flush_scoreboards(self) -> None:
+        """Write the authoritative pending lanes back into each warp's
+        ``Scoreboard`` object (they are stale during vector stepping).
+
+        Needed whenever scoreboard *objects* are observed: snapshots and
+        deadlock diagnostics.
+        """
+        pend = self._pend
+        for s, warp in enumerate(self._slots):
+            lane = pend[s]
+            regs = set()
+            while lane:
+                low = lane & -lane
+                regs.add(low.bit_length() - 1)
+                lane ^= low
+            warp.scoreboard._pending = regs
+
+    def snapshot(self) -> dict:
+        self.flush_scoreboards()
+        data = super().snapshot()
+        # The reference records the min future next_valid_cycle seen by
+        # its last scan; the heap top is this backend's equivalent. The
+        # field is diagnostic-only on restore (step() recomputes it).
+        data["min_refetch"] = (
+            self._recheck[0][0] if self._recheck else NEVER
+        )
+        return data
+
+    def restore(self, data: dict, program) -> dict:
+        warp_map = super().restore(data, program)
+        self._rebind_ports()
+        self._slots = []
+        self._slot_of = {}
+        self._pend = []
+        self._stat = []
+        self._n_ready = 0
+        self._n_blocked = 0
+        for tb in self.resident_tbs:
+            for w in tb.warps:
+                s = self._new_slot(w)
+                lane = 0
+                for reg in w.scoreboard._pending:
+                    lane |= 1 << reg
+                self._pend[s] = lane
+        # Events may reference evicted-warp stand-ins; give them zombie
+        # slots so event retirement stays a pure column update.
+        for _, _, w, _ in self._events:
+            if id(w) not in self._slot_of:
+                s = self._new_slot(w)
+                lane = 0
+                for reg in w.scoreboard._pending:
+                    lane |= 1 << reg
+                self._pend[s] = lane
+        self._recheck = []
+        # Defer classification into the first step(), *after* its event
+        # retirement — the same point the reference scan first observes
+        # the restored state.
+        self._needs_classify = True
+        for sel in self._selectors:
+            sel.dirty = True
+        return warp_map

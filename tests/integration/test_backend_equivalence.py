@@ -1,0 +1,125 @@
+"""Cross-backend equivalence: the vectorized core is bit-identical.
+
+``backend="vector"`` replaces the per-warp interpreter with a
+struct-of-arrays stepping core (``repro.simt.vector``). Its contract is
+that it is *observationally indistinguishable* from the reference
+interpreter: every cell of the golden micro matrix must reproduce the
+committed counters exactly, a snapshot taken under one backend must
+resume bit-identically under the other, and attaching a probe bus must
+fall back to reference stepping without changing a single counter.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Gpu, GPUConfig, KernelLaunch
+from repro.harness.runner import CellPolicy, ResultCache
+from repro.obs.bus import Probe
+from repro.robustness.checkpoint import result_to_json
+from repro.simt.sm import StreamingMultiprocessor
+from repro.simt.vector import VectorSM
+from repro.workloads import get_kernel
+from tests.conftest import tiny_program
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+CFG = GPUConfig.scaled(2)
+SCALE = 0.25
+
+_CELLS = {
+    (r["kernel"], r["scheduler"]): r
+    for r in (json.loads(line) for line in
+              (GOLDEN / "micro_cells.jsonl").read_text().splitlines())
+}
+
+
+def _counters(result):
+    return dataclasses.asdict(result.counters)
+
+
+def _assert_vector_active(gpu):
+    assert all(type(sm) is VectorSM for sm in gpu.sms), (
+        "vector backend silently fell back to reference stepping — the "
+        "equivalence below would be vacuous"
+    )
+
+
+@pytest.mark.parametrize(
+    ("kernel", "scheduler"), sorted(_CELLS),
+    ids=[f"{k}-{s}" for k, s in sorted(_CELLS)],
+)
+def test_vector_run_bit_identical_to_golden(kernel, scheduler):
+    """All 8 kernels x 4 schedulers against the pre-probe golden store."""
+    record = _CELLS[(kernel, scheduler)]
+    gpu = Gpu(CFG, scheduler=scheduler, backend="vector")
+    launch = get_kernel(kernel).build_launch(SCALE)
+    result = gpu.run(launch)
+    _assert_vector_active(gpu)
+    assert result_to_json(result) == record["result"]
+
+
+def test_vector_backend_threads_through_the_cell_cache():
+    """CellPolicy.backend reaches the Gpu built inside ResultCache — the
+    same path worker processes take, so a parallel sweep with
+    ``--backend vector`` runs the chosen backend."""
+    record = _CELLS[("cenergy", "pro")]
+    cache = ResultCache(policy=CellPolicy(backend="vector"))
+    result = cache.run("cenergy", "pro", CFG, SCALE)
+    assert result_to_json(result) == record["result"]
+
+
+class TestSnapshotCrossBackend:
+    """A snapshot is backend-agnostic state: either backend resumes it."""
+
+    @pytest.mark.parametrize("src,dst", [("reference", "vector"),
+                                         ("vector", "reference")])
+    def test_resume_on_the_other_backend(self, tmp_path, src, dst):
+        model = get_kernel("cenergy")
+        baseline = Gpu(CFG, "pro").run(model.build_launch(0.1))
+        snap = tmp_path / f"{src}.snap"
+        gpu = Gpu(CFG, "pro", backend=src)
+        snapped = gpu.run(model.build_launch(0.1),
+                          snapshot_every=max(1, baseline.cycles // 3),
+                          snapshot_path=snap)
+        assert _counters(snapped) == _counters(baseline)
+        resumed = Gpu.resume(snap, launch=model.build_launch(0.1),
+                             backend=dst)
+        assert resumed.cycles == baseline.cycles
+        assert _counters(resumed) == _counters(baseline)
+
+    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro"])
+    def test_mid_run_snapshot_every_scheduler(self, tmp_path, sched):
+        launch = KernelLaunch(tiny_program(barrier=True, loops=3), 6)
+        baseline = Gpu(CFG, sched).run(launch)
+        snap = tmp_path / "cell.snap"
+        gpu = Gpu(CFG, sched, backend="vector")
+        gpu.run(KernelLaunch(tiny_program(barrier=True, loops=3), 6),
+                snapshot_every=max(1, baseline.cycles // 3),
+                snapshot_path=snap)
+        _assert_vector_active(gpu)
+        resumed = Gpu.resume(snap,
+                             launch=KernelLaunch(
+                                 tiny_program(barrier=True, loops=3), 6))
+        assert _counters(resumed) == _counters(baseline)
+
+
+class TestFallback:
+    """The vector path only engages when it can be bit-exact; otherwise
+    the Gpu silently builds reference SMs."""
+
+    class _Null(Probe):
+        pass
+
+    def test_probe_bus_forces_reference_stepping(self):
+        model = get_kernel("cenergy")
+        plain = Gpu(CFG, "pro").run(model.build_launch(0.1))
+        gpu = Gpu(CFG, "pro", backend="vector")
+        observed = gpu.run(model.build_launch(0.1), probes=[self._Null()])
+        assert all(type(sm) is StreamingMultiprocessor for sm in gpu.sms)
+        assert _counters(observed) == _counters(plain)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            Gpu(CFG, "pro", backend="simd")
