@@ -26,7 +26,7 @@ def main() -> None:
     for sched in ("lrr", "pro"):
         timeline = TimelineRecorder()
         result = Gpu(cfg, scheduler=sched).run(
-            model.build_launch(), timeline=timeline
+            model.build_launch(), probes=[timeline]
         )
         rows = [
             (f"tb{iv.tb_index}", iv.start_cycle, iv.finish_cycle)

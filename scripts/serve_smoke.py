@@ -1,0 +1,148 @@
+"""CI smoke test for ``pro-sim serve``.
+
+Boots the real service as a subprocess, drives it over plain HTTP the
+way an external client would, and checks the three serve guarantees
+end to end:
+
+1. a submitted run job completes with counters **equal to a direct
+   in-process** ``repro.simulate()`` of the same cell;
+2. re-submitting the same job is a ledger-audited cache hit — exactly
+   one simulation happened service-wide;
+3. a clean shutdown leaves a parseable JSONL ledger behind (uploaded as
+   the CI artifact).
+
+Exit 0 on success, 1 with a diagnostic on any violation.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py [--serve-dir DIR]
+"""
+
+import argparse
+import json
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+SMOKE_JOB = {"kind": "run", "kernel": "scalarProdGPU",
+             "scheduler": "pro", "sms": 2, "scale": 0.25}
+BOOT_TIMEOUT = 60.0
+JOB_TIMEOUT = 300.0
+
+
+def fail(msg):
+    print(f"serve-smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def http(method, url, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read().decode())
+
+
+def wait_for_banner(proc):
+    """Read the child's stdout until it announces its listen address."""
+    deadline = time.monotonic() + BOOT_TIMEOUT
+    pattern = re.compile(r"listening on (http://\S+)")
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            fail(f"service exited during startup (rc={proc.returncode})")
+        ready, _, _ = select.select([proc.stdout], [], [], 1.0)
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        if not line:
+            continue
+        print(f"  [serve] {line.rstrip()}")
+        match = pattern.search(line)
+        if match:
+            return match.group(1)
+    fail("service did not announce its address in time")
+
+
+def wait_terminal(base, job_id):
+    deadline = time.monotonic() + JOB_TIMEOUT
+    while time.monotonic() < deadline:
+        job = http("GET", f"{base}/jobs/{job_id}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.2)
+    fail(f"job {job_id} did not finish within {JOB_TIMEOUT}s")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--serve-dir", default="serve-smoke")
+    args = parser.parse_args()
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.cli", "serve",
+         "--port", "0", "--serve-dir", args.serve_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        base = wait_for_banner(proc)
+        if not http("GET", f"{base}/healthz").get("ok"):
+            fail("/healthz not ok")
+
+        print(f"serve-smoke: submitting {SMOKE_JOB} to {base}")
+        job = http("POST", f"{base}/jobs", SMOKE_JOB)
+        done = wait_terminal(base, job["id"])
+        if done["state"] != "done":
+            fail(f"job ended {done['state']}: {done.get('error')}")
+        served = http("GET", f"{base}/jobs/{job['id']}/result")
+        served_counters = served["result"]["result"]
+
+        # Oracle: the same cell simulated directly, in this process.
+        from repro import GPUConfig, simulate
+        from repro.robustness.checkpoint import result_to_json
+
+        direct = result_to_json(simulate(
+            SMOKE_JOB["kernel"], SMOKE_JOB["scheduler"],
+            cfg=GPUConfig.scaled(SMOKE_JOB["sms"]),
+            scale=SMOKE_JOB["scale"],
+        ))
+        if served_counters != direct:
+            fail("served counters differ from direct repro.simulate(): "
+                 f"served cycles={served_counters.get('cycles')} "
+                 f"direct cycles={direct.get('cycles')}")
+        print(f"serve-smoke: counters match direct simulation "
+              f"(cycles={direct['cycles']})")
+
+        dup = http("POST", f"{base}/jobs", SMOKE_JOB)
+        if not (dup["state"] == "done" and dup["cache_hit"]):
+            fail(f"duplicate submission was not a cache hit: {dup}")
+        status = http("GET", f"{base}/status")
+        executed = status["service"]["cache"]["runs_executed"]
+        if executed != 1:
+            fail(f"expected exactly 1 simulation, saw {executed}")
+        ledger = http("GET", f"{base}/ledger")["entries"]
+        events = [e["event"] for e in ledger]
+        if "cache-hit" not in events:
+            fail(f"no cache-hit ledger entry; saw {events}")
+        print("serve-smoke: dedup verified (1 simulation, "
+              "ledger cache-hit recorded)")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    # The shutdown path must leave a parseable ledger (the CI artifact).
+    from repro.serve import JobLedger
+
+    entries = JobLedger.load(f"{args.serve_dir}/ledger.jsonl")
+    if not entries or entries[-1]["event"] != "service-stop":
+        fail("ledger missing or not closed with service-stop")
+    print(f"serve-smoke: OK ({len(entries)} ledger entries, "
+          f"artifact at {args.serve_dir}/ledger.jsonl)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,10 +12,14 @@ behind a single call and is where observability probes attach::
     print(result.summary())
     sampler.write_csv("metrics.csv")
 
-Power users who need to reuse a :class:`~repro.gpu.gpu.Gpu` across launches
-or build custom :class:`~repro.isa.program.Program` objects can keep using
-the underlying classes directly; ``simulate`` is sugar, not a new layer of
-state.
+The facade has full parity with :meth:`Gpu.run`: backend selection,
+cycle-level snapshotting, wall-clock deadlines and deterministic fault
+injection are all reachable from here, so callers (including the
+``repro.serve`` job runner) never need to drive :class:`Gpu` directly.
+Power users who need to reuse a :class:`~repro.gpu.gpu.Gpu` across
+launches or build custom :class:`~repro.isa.program.Program` objects can
+keep using the underlying classes; ``simulate`` is sugar, not a new
+layer of state.
 """
 
 from __future__ import annotations
@@ -39,7 +43,11 @@ def simulate(
     probes: Sequence[object] = (),
     scale: float = 1.0,
     num_tbs: Optional[int] = None,
-    deadline: Optional[int] = None,
+    deadline: Optional[float] = None,
+    backend: str = "reference",
+    snapshot_every: Optional[int] = None,
+    snapshot_path: Optional[str] = None,
+    fault_plan: Optional[object] = None,
 ) -> RunResult:
     """Simulate one kernel under one warp scheduler.
 
@@ -66,8 +74,23 @@ def simulate(
     num_tbs:
         Grid size when ``kernel`` is a raw :class:`Program`.
     deadline:
-        Optional max simulated cycles (watchdog), forwarded to
-        :meth:`Gpu.run`.
+        Optional absolute ``time.monotonic()`` wall-clock budget,
+        forwarded to :meth:`Gpu.run` (exceeding it raises
+        :class:`~repro.errors.CellTimeoutError`).
+    backend:
+        Simulation core: ``"reference"`` (per-warp interpreter) or
+        ``"vector"`` (the struct-of-arrays core of
+        :mod:`repro.simt.vector`; bit-identical counters, faster).
+    snapshot_every / snapshot_path:
+        Cycle-level snapshotting, exactly as on :meth:`Gpu.run`: every
+        ``snapshot_every`` cycles (and on a cooperative stop) the full
+        simulator state is written to ``snapshot_path``, from which
+        :meth:`Gpu.resume` continues bit-identically. When ``kernel``
+        names a registry workload, the snapshot carries a ``launch_ref``
+        so resuming needs no explicit launch.
+    fault_plan:
+        A :class:`repro.robustness.FaultPlan` armed on the GPU for this
+        run (tests / chaos engineering; production runs pass nothing).
 
     Returns
     -------
@@ -76,9 +99,25 @@ def simulate(
     """
     if cfg is None:
         cfg = GPUConfig.scaled()
+    launch_ref = None
+    if snapshot_path is not None or snapshot_every is not None:
+        name = kernel if isinstance(kernel, str) else (
+            kernel.name if isinstance(kernel, KernelModel) else None
+        )
+        if name is not None:
+            launch_ref = {"kernel": name, "scale": scale}
     launch = _as_launch(kernel, scale=scale, num_tbs=num_tbs)
-    gpu = Gpu(cfg, scheduler)
-    return gpu.run(launch, probes=probes, deadline=deadline)
+    gpu = Gpu(cfg, scheduler, backend=backend)
+    if fault_plan is not None:
+        gpu.install_faults(fault_plan)
+    return gpu.run(
+        launch,
+        probes=probes,
+        deadline=deadline,
+        snapshot_every=snapshot_every,
+        snapshot_path=snapshot_path,
+        launch_ref=launch_ref,
+    )
 
 
 def _as_launch(

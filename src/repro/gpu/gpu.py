@@ -29,7 +29,6 @@ simulates each kernel independently).
 from __future__ import annotations
 
 import heapq
-import warnings
 from typing import List, Optional, Sequence
 
 from ..config import GPUConfig
@@ -49,7 +48,6 @@ from ..simt.sm import NEVER, StreamingMultiprocessor
 from ..simt.threadblock import ThreadBlock
 from ..stats.counters import GpuCounters
 from ..stats.timeline import SortTraceRecorder, TimelineRecorder
-from ..stats.trace import IssueTrace
 from .launch import KernelLaunch, RunResult
 from .tb_scheduler import ThreadBlockScheduler
 
@@ -71,6 +69,30 @@ def _first_of(probes: Sequence[object], cls: type):
 #: Recognized simulation backends: the per-warp object interpreter and
 #: the struct-of-arrays core (see :mod:`repro.simt.vector`).
 BACKENDS = ("reference", "vector")
+
+#: Recorder kwargs Gpu.run accepted through the PR-3 deprecation cycle,
+#: mapped to the probe class that replaces each. Passing one now raises
+#: TypeError with a one-line migration hint.
+_RETIRED_RUN_KWARGS = {
+    "timeline": "TimelineRecorder",
+    "sort_trace": "SortTraceRecorder",
+    "trace": "IssueTrace",
+}
+
+
+def _reject_retired_kwargs(kwargs: dict) -> None:
+    """Raise the migration-hint TypeError for retired Gpu.run kwargs."""
+    for name in kwargs:
+        probe_cls = _RETIRED_RUN_KWARGS.get(name)
+        if probe_cls is not None:
+            raise TypeError(
+                f"Gpu.run({name}=...) was removed; pass the recorder as a "
+                f"probe instead: Gpu.run(probes=[{probe_cls}(...)])"
+            )
+    name = next(iter(kwargs))
+    raise TypeError(
+        f"Gpu.run() got an unexpected keyword argument {name!r}"
+    )
 
 
 class Gpu:
@@ -137,13 +159,11 @@ class Gpu:
         launch: KernelLaunch,
         *,
         probes: Sequence[object] = (),
-        timeline: Optional[TimelineRecorder] = None,
-        sort_trace: Optional[SortTraceRecorder] = None,
-        trace: Optional["IssueTrace"] = None,
         deadline: Optional[float] = None,
         snapshot_every: Optional[int] = None,
         snapshot_path: Optional[str] = None,
         launch_ref: Optional[dict] = None,
+        **retired,
     ) -> RunResult:
         """Simulate one kernel launch to completion.
 
@@ -155,9 +175,9 @@ class Gpu:
         run and detached afterwards; untraced runs pay nothing (every
         emit site is guarded by one ``bus is None`` check).
 
-        ``timeline`` / ``sort_trace`` / ``trace`` are **deprecated**
-        aliases that forward the given recorder to ``probes``; they emit
-        a :class:`DeprecationWarning` and will be removed.
+        The pre-probes recorder kwargs (``timeline=`` / ``sort_trace=`` /
+        ``trace=``) completed their deprecation cycle and now raise
+        :class:`TypeError` naming the equivalent probe.
 
         ``deadline`` is an absolute ``time.monotonic()`` wall-clock budget
         (the harness's ``--cell-timeout``); exceeding it raises
@@ -176,19 +196,9 @@ class Gpu:
         resume requires an explicit ``launch=``. ``snapshot_every=None``
         with no path leaves the run entirely uninstrumented.
         """
+        if retired:
+            _reject_retired_kwargs(retired)
         probe_list = list(probes)
-        for name, recorder in (("timeline", timeline),
-                               ("sort_trace", sort_trace),
-                               ("trace", trace)):
-            if recorder is not None:
-                warnings.warn(
-                    f"Gpu.run({name}=...) is deprecated; pass the recorder "
-                    "in the probes= list instead "
-                    f"(Gpu.run(probes=[{type(recorder).__name__}(...)]))",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-                probe_list.append(recorder)
         bus = ProbeBus(probe_list) if probe_list else None
 
         cfg = self.cfg

@@ -16,6 +16,11 @@ Examples::
                                    # the paper expectations + goldens
     pro-sim diff-baseline baselines/ other-baselines/
                                    # per-cell counter diff of two goldens
+    pro-sim serve --port 8642 --serve-dir serve-data/
+                                   # simulation-as-a-service: async job API
+                                   # (submit/status/result/cancel over HTTP,
+                                   # content-addressed dedup, priority
+                                   # preemption; see docs/serve.md)
 
 ``pro-sim fidelity`` scores the measured (kernels x schedulers) matrix
 against the tolerance-banded paper expectations (docs/fidelity.md) and
@@ -48,9 +53,12 @@ snapshot file directly. ``--keep-going`` turns a failed experiment into a
 FAILURES section (exit code 3, "partial success") instead of aborting
 everything.
 
-Exit codes: 0 = success, 1 = simulation failure, 2 = usage error,
-3 = partial success (``--keep-going`` with at least one failure) or an
-interrupted sweep (SIGINT/SIGTERM; state saved, re-run to resume).
+Exit codes: 0 = success, 1 = simulation failure, 2 = usage error
+(including a refused overwrite of an existing output file — every
+file-writing flag shares the guard of :mod:`repro.harness.outputs`;
+pass ``--force`` to overwrite), 3 = partial success (``--keep-going``
+with at least one failure) or an interrupted sweep (SIGINT/SIGTERM;
+state saved, re-run to resume).
 """
 
 from __future__ import annotations
@@ -127,13 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all", "run", "bench", "trace",
-                                       "fidelity", "diff-baseline"],
+                                       "fidelity", "diff-baseline",
+                                       "serve"],
         help="which artifact to regenerate ('all' = every one; 'run' = a "
              "single kernel simulation; 'bench' = simulator throughput "
              "measurement; 'trace' = one instrumented run exporting "
              "windowed metrics + a Perfetto-loadable trace; 'fidelity' = "
              "score the reproduction against the paper expectations; "
-             "'diff-baseline' = compare two golden baseline files/dirs)",
+             "'diff-baseline' = compare two golden baseline files/dirs; "
+             "'serve' = run the HTTP simulation-as-a-service job API)",
     )
     p.add_argument("kernel", nargs="?", default=None,
                    help="kernel name (for 'run' and 'trace'; 'trace' "
@@ -244,6 +254,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=500, metavar="CYCLES",
                    help="for 'trace': metrics window width in cycles "
                         "(default 500)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="for 'serve': interface to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="for 'serve': TCP port (default 8642; 0 = let the "
+                        "OS pick, reported on startup)")
+    p.add_argument("--serve-dir", default="serve-data", metavar="DIR",
+                   help="for 'serve': service state directory — the JSONL "
+                        "job ledger plus the content-addressed checkpoint "
+                        "tier that memoizes results across clients and "
+                        "restarts. The ledger is an artifact: an existing "
+                        "one is refused without --force; the checkpoint "
+                        "tier is a resumable store and survives restarts "
+                        "by design")
     return p
 
 
@@ -272,24 +295,27 @@ def _resolve_geometry(args: argparse.Namespace) -> None:
 
 def _guard_overwrite(parser: argparse.ArgumentParser,
                      args: argparse.Namespace) -> None:
-    """Refuse to clobber existing output files unless --force.
+    """One overwrite rule for every artifact-writing flag.
 
-    Applies to the machine-readable artifacts CI archives (bench JSON,
-    fidelity JSON) where a silent overwrite can mask a previous run's
-    evidence.
+    Delegates to :mod:`repro.harness.outputs`: an existing target file
+    is refused with exit code 2 unless ``--force`` (see EXPERIMENTS.md,
+    "Output files and --force"). Resumable stores — ``--checkpoint``
+    and the snapshots inside it, the serve checkpoint tier — are exempt
+    by contract; the serve *ledger* is an artifact and is guarded where
+    it is opened (:class:`repro.serve.ledger.JobLedger`).
     """
-    if args.force:
-        return
-    targets = []
-    if args.experiment == "bench" and args.bench_out:
+    from .outputs import OutputExistsError, guard_outputs
+
+    targets = [("--out", args.out), ("--json", args.json_out)]
+    if args.experiment == "bench":
         targets.append(("--bench-out", args.bench_out))
-    if args.experiment == "fidelity" and args.json_out:
-        targets.append(("--json", args.json_out))
-    for flag, path in targets:
-        if os.path.exists(path):
-            parser.error(
-                f"{flag} target exists: {path} (pass --force to overwrite)"
-            )
+    if args.experiment == "trace":
+        targets.append(("--metrics-out", args.metrics_out))
+        targets.append(("--trace-out", args.trace_out))
+    try:
+        guard_outputs(targets, force=args.force)
+    except OutputExistsError as err:
+        parser.error(str(err))
 
 
 def _validate_args(parser: argparse.ArgumentParser,
@@ -311,9 +337,10 @@ def _validate_args(parser: argparse.ArgumentParser,
             parser.error(
                 f"--snapshot-every must be positive (got {args.snapshot_every})"
             )
-        if not args.checkpoint:
+        if not args.checkpoint and args.experiment != "serve":
             parser.error("--snapshot-every requires --checkpoint (snapshots "
-                         "live under the checkpoint directory)")
+                         "live under the checkpoint directory; 'serve' "
+                         "keeps its own under --serve-dir)")
     if args.resume and args.experiment != "run":
         parser.error("--resume only applies to 'run'")
     try:
@@ -491,6 +518,11 @@ def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate_args(parser, args)
+
+    if args.experiment == "serve":
+        from ..serve.cli import run_serve
+
+        return run_serve(args)
 
     if args.experiment == "diff-baseline":
         from ..fidelity import diff_baselines

@@ -1,0 +1,69 @@
+"""Shared output-file overwrite guard — one rule for every artifact writer.
+
+Every CLI flag (and service option) that creates an artifact file —
+``--out``, ``--json``, ``--bench-out``, ``--metrics-out``, ``--trace-out``,
+standalone snapshot outputs, the ``pro-sim serve`` job ledger — goes
+through :func:`guard_output`: an existing file is refused with exit code
+2 unless ``--force`` is given. Resumable *stores* (``--checkpoint DIR``
+and the snapshots inside it, the serve checkpoint tier) are exempt by
+contract: re-running the same command to resume them is their whole
+point, so "already exists" is the expected state, not a clobber.
+
+The rule is documented once in EXPERIMENTS.md ("Output files and
+--force"); this module is the single implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Process exit code of a refused overwrite (matches argparse usage
+#: errors — the refusal is a usage problem, not a simulation failure).
+EXIT_REFUSED = 2
+
+
+class OutputExistsError(ReproError):
+    """An artifact output path already exists and ``--force`` was absent."""
+
+    def __init__(self, path: os.PathLike | str, flag: str = "") -> None:
+        self.path = str(path)
+        self.flag = flag
+        label = f"{flag} target exists" if flag else "output target exists"
+        super().__init__(
+            f"{label}: {self.path} (pass --force to overwrite)"
+        )
+
+
+def guard_output(
+    path: Optional[os.PathLike | str],
+    *,
+    force: bool = False,
+    flag: str = "",
+) -> Optional[Path]:
+    """Refuse to clobber an existing artifact file unless ``force``.
+
+    Returns the path (as :class:`~pathlib.Path`) when it is safe to
+    write, ``None`` when ``path`` is None/empty, and raises
+    :class:`OutputExistsError` naming ``flag`` otherwise. Callers turn
+    the error into exit code :data:`EXIT_REFUSED`.
+    """
+    if not path:
+        return None
+    p = Path(path)
+    if not force and p.exists():
+        raise OutputExistsError(p, flag)
+    return p
+
+
+def guard_outputs(
+    targets: Iterable[Tuple[str, Optional[os.PathLike | str]]],
+    *,
+    force: bool = False,
+) -> None:
+    """Guard several ``(flag, path)`` pairs; first offender raises."""
+    for flag, path in targets:
+        guard_output(path, force=force, flag=flag)

@@ -1,0 +1,49 @@
+"""repro.serve — simulation-as-a-service: an async job API over the
+checkpoint/snapshot substrate.
+
+The service composes pieces that already exist in the library into a
+multi-tenant job queue:
+
+* **Content-addressed dedup** — jobs are keyed by the same content hash
+  :func:`repro.robustness.checkpoint.cell_key` uses, so a million
+  identical requests cost one simulation: concurrent duplicates coalesce
+  onto the in-flight job, later duplicates answer from the memo, and the
+  :class:`~repro.robustness.checkpoint.CheckpointStore` tier makes the
+  result cache durable across service restarts.
+* **Supervised execution** — sweep jobs ride the
+  :class:`~repro.harness.pool.WorkerPool`, so worker death, deadlines
+  and poison-cell quarantine come for free.
+* **Priority preemption** — a higher-priority submission cooperatively
+  stops the running job via ``request_stop()``; the simulator snapshots
+  at the exact stop cycle and the preempted job later *resumes
+  bit-identically* instead of restarting.
+* **Telemetry** — a JSONL job ledger records every state transition,
+  and a live ``/status`` endpoint (snapshot or NDJSON stream) exposes
+  per-job progress fed by :class:`~repro.obs.MetricsSampler` windows and
+  ``on_pool_event`` lifecycle telemetry.
+
+Three job kinds: ``run`` (one kernel x scheduler cell), ``sweep`` (a
+kernels x schedulers matrix) and ``fidelity`` (score a paper-fidelity
+profile). HTTP API reference and a curl quickstart: docs/serve.md.
+CLI: ``pro-sim serve``; client: :class:`repro.serve.client.ServeClient`.
+"""
+
+from .app import ProSimService
+from .client import ServeClient, ServeClientError
+from .jobs import Job, JobKind, JobSpec, JobSpecError, JobState
+from .ledger import JobLedger
+from .queue import JobManager, ServeConfig
+
+__all__ = [
+    "Job",
+    "JobKind",
+    "JobLedger",
+    "JobManager",
+    "JobSpec",
+    "JobSpecError",
+    "JobState",
+    "ProSimService",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+]

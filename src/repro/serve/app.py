@@ -1,0 +1,309 @@
+"""Asyncio HTTP front-end of the job service (stdlib only).
+
+A deliberately small HTTP/1.1 server over ``asyncio.start_server`` —
+no framework, no threads per connection. Every response is JSON;
+``Connection: close`` keeps the parser one-shot and race-free. The
+blocking :class:`~repro.serve.queue.JobManager` calls are cheap
+(lock-guarded dict work), so they run inline on the event loop; only
+the long-poll of ``/status?watch=`` is pushed to the default executor.
+
+Routes
+------
+=======  ==========================  ========================================
+POST     /jobs                       submit a job (JSON body -> job record)
+GET      /jobs                       list all jobs
+GET      /jobs/<id>                  one job record
+GET      /jobs/<id>/result           result payload (409 until terminal)
+POST     /jobs/<id>/cancel           cancel (queued: instant; running:
+                                     cooperative stop + snapshot)
+GET      /status                     service + per-job progress snapshot
+GET      /status?watch=<seconds>     NDJSON stream: a fresh snapshot per
+                                     state change, for <seconds>
+GET      /ledger                     parsed job ledger (``?tail=N``)
+GET      /healthz                    liveness probe
+=======  ==========================  ========================================
+
+:meth:`ProSimService.start_background` runs the whole service (manager
+thread + event loop) on a daemon thread and returns the bound address —
+the shape the tests and the CI smoke script use. The CLI verb
+(``pro-sim serve``) runs :meth:`ProSimService.run` in the foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .jobs import JobSpecError, JobState
+from .ledger import JobLedger
+from .queue import JobManager, ServeConfig, ServeError
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is already an absurd submission
+
+
+class ProSimService:
+    """Binds a :class:`JobManager` to an asyncio HTTP server."""
+
+    def __init__(self, config: ServeConfig, *,
+                 manager: Optional[JobManager] = None) -> None:
+        self.cfg = config
+        self.manager = manager if manager is not None else JobManager(config)
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def url(self) -> str:
+        if self.address is None:
+            raise ServeError("service is not listening yet")
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            self.manager.start()
+            self._server = await asyncio.start_server(
+                self._handle, self.cfg.host, self.cfg.port
+            )
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+        except BaseException as err:
+            self._startup_error = err
+            self._ready.set()
+            raise
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def run(self) -> None:
+        """Foreground mode (the CLI): serve until Ctrl-C."""
+        try:
+            asyncio.run(self._amain())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.manager.close()
+
+    def start_background(self, timeout: float = 30.0) -> Tuple[str, int]:
+        """Run the service on a daemon thread; returns (host, port)."""
+        self._thread = threading.Thread(
+            target=self._thread_main, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServeError("service failed to start listening in time")
+        if self._startup_error is not None:
+            raise ServeError(
+                f"service failed to start: {self._startup_error}"
+            )
+        assert self.address is not None
+        return self.address
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException:  # noqa: BLE001 - recorded for start_background
+            if not self._ready.is_set():
+                self._ready.set()
+
+    def stop(self) -> None:
+        """Stop the HTTP server and the manager (idempotent)."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:  # pragma: no cover - loop just closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.manager.close()
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, body = request
+            await self._route(writer, method, path, query, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/mid-response
+        except Exception as err:  # noqa: BLE001 - one bad request != crash
+            try:
+                await self._respond(writer, 500, {
+                    "error": f"{type(err).__name__}: {err}"
+                })
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line.strip():
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            return None
+        headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise ServeError(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        return method.upper(), parts.path.rstrip("/") or "/", query, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 409: "Conflict",
+                  500: "Internal Server Error"}.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(self, writer, method: str, path: str, query: dict,
+                     body: bytes) -> None:
+        m = self.manager
+        if path == "/healthz":
+            await self._respond(writer, 200, {"ok": True})
+            return
+        if path == "/":
+            await self._respond(writer, 200, {
+                "service": "repro.serve",
+                "endpoints": ["/jobs", "/jobs/<id>", "/jobs/<id>/result",
+                              "/jobs/<id>/cancel", "/status", "/ledger",
+                              "/healthz"],
+            })
+            return
+        if path == "/jobs" and method == "POST":
+            try:
+                data = json.loads(body.decode() or "null")
+                job = m.submit(data)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                await self._respond(writer, 400,
+                                    {"error": "body must be valid JSON"})
+                return
+            except (JobSpecError, ServeError) as err:
+                await self._respond(writer, 400, {"error": str(err)})
+                return
+            await self._respond(writer, 200, m.job_json(job))
+            return
+        if path == "/jobs" and method == "GET":
+            await self._respond(writer, 200, {"jobs": m.jobs_json()})
+            return
+        if path == "/status" and method == "GET":
+            watch = float(query.get("watch", 0) or 0)
+            if watch > 0:
+                await self._stream_status(writer, watch)
+            else:
+                await self._respond(writer, 200, m.status_json())
+            return
+        if path == "/ledger" and method == "GET":
+            entries = JobLedger.load(m.ledger.path)
+            tail = int(query.get("tail", 0) or 0)
+            if tail > 0:
+                entries = entries[-tail:]
+            await self._respond(writer, 200, {"entries": entries})
+            return
+        if path.startswith("/jobs/"):
+            await self._route_job(writer, method, path)
+            return
+        await self._respond(writer, 404, {"error": f"no route {path}"})
+
+    async def _route_job(self, writer, method: str, path: str) -> None:
+        m = self.manager
+        parts = path.split("/")  # ['', 'jobs', '<id>', ...rest]
+        job_id, rest = parts[2], parts[3:]
+        job = m.get_job(job_id)
+        if job is None:
+            await self._respond(writer, 404,
+                                {"error": f"unknown job {job_id!r}"})
+            return
+        if not rest and method == "GET":
+            await self._respond(writer, 200, m.job_json(job))
+            return
+        if rest == ["result"] and method == "GET":
+            if job.state == JobState.FAILED:
+                await self._respond(writer, 409, {
+                    "error": job.error or "job failed", "state": job.state,
+                })
+            elif job.result is None:
+                await self._respond(writer, 409, {
+                    "error": "job not finished", "state": job.state,
+                })
+            else:
+                await self._respond(
+                    writer, 200, m.job_json(job, include_result=True)
+                )
+            return
+        if rest == ["cancel"] and method == "POST":
+            cancelled = m.cancel(job_id)
+            await self._respond(writer, 200, m.job_json(cancelled))
+            return
+        await self._respond(writer, 405 if rest in ([], ["result"],
+                                                    ["cancel"]) else 404,
+                            {"error": f"no route {method} {path}"})
+
+    async def _stream_status(self, writer, duration: float) -> None:
+        """NDJSON stream: one status snapshot per state change."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + min(duration, 3600.0)
+        last = -1
+        while True:
+            snapshot = self.manager.status_json()
+            version = snapshot["service"]["version"]
+            if version != last:
+                last = version
+                writer.write(
+                    (json.dumps(snapshot, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return
+            # Long-poll the manager's version clock off the event loop.
+            await loop.run_in_executor(
+                None, self.manager.wait_version, last,
+                min(remaining, 0.5),
+            )

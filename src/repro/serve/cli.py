@@ -1,0 +1,68 @@
+"""The ``pro-sim serve`` verb: run the job service in the foreground.
+
+Flag mapping (parsed by :mod:`repro.harness.cli`, which dispatches
+here): ``--host``/``--port`` bind the HTTP listener; ``--serve-dir`` is
+the service state directory (JSONL job ledger + checkpoint tier);
+``--jobs`` sizes the sweep worker pool; ``--backend`` picks the
+simulation core; ``--snapshot-every`` the preemption-snapshot cadence;
+``--sms``/``--scale`` the geometry defaults applied to submissions that
+omit them; ``--baseline`` the fidelity-job baseline directory. An
+existing ledger is refused with exit code 2 unless ``--force`` (the
+checkpoint tier, being a resumable store, is reused as-is — that reuse
+is what makes dedup survive restarts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..harness.outputs import EXIT_REFUSED, OutputExistsError
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    from .app import ProSimService
+    from .queue import ServeConfig, ServeError
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        directory=args.serve_dir,
+        jobs=args.jobs,
+        backend=args.backend,
+        force=args.force,
+        default_sms=args.sms,
+        default_scale=args.scale,
+        baseline_dir=args.baseline,
+    )
+    if args.snapshot_every is not None:
+        config.snapshot_every = args.snapshot_every
+    try:
+        service = ProSimService(config)
+    except OutputExistsError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_REFUSED
+    try:
+        host, port = service.start_background()
+    except ServeError as err:
+        print(f"error: {err}", file=sys.stderr)
+        service.manager.close()
+        return 1
+    print(f"pro-sim serve listening on http://{host}:{port}")
+    print(f"state: {config.directory}/ (ledger.jsonl + checkpoint/), "
+          f"jobs={config.jobs}, backend={config.backend}, "
+          f"snapshot_every={config.snapshot_every}")
+    print("submit:  curl -X POST -d '{\"kind\": \"run\", \"kernel\": "
+          "\"scalarProdGPU\", \"scheduler\": \"pro\"}' "
+          f"http://{host}:{port}/jobs")
+    print("Ctrl-C stops the service (in-flight job is snapshotted and "
+          "resumes bit-identically on restart with --force).")
+    try:
+        while service._thread is not None and service._thread.is_alive():
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        print("\nshutting down...", file=sys.stderr)
+    finally:
+        service.stop()
+    return 0

@@ -1,0 +1,121 @@
+"""Tiny stdlib HTTP client for the serve API (urllib, no deps).
+
+The same calls the curl quickstart in docs/serve.md makes, as methods::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8642")
+    job = client.submit({"kind": "run", "kernel": "scalarProdGPU",
+                         "scheduler": "pro", "scale": 0.25})
+    done = client.wait(job["id"])
+    counters = client.result(job["id"])["result"]["result"]["counters"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+
+from .jobs import JobState
+
+
+class ServeClientError(ReproError):
+    """An HTTP-level error from the service (carries status + payload)."""
+
+    def __init__(self, status: int, payload: Optional[dict],
+                 detail: str = "") -> None:
+        self.status = status
+        self.payload = payload or {}
+        message = self.payload.get("error") or detail or f"HTTP {status}"
+        super().__init__(f"serve API error {status}: {message}")
+
+
+class ServeClient:
+    """Synchronous client: submit / status / result / cancel / wait."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as err:
+            try:
+                payload = json.loads(err.read().decode() or "{}")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = None
+            raise ServeClientError(err.code, payload,
+                                   detail=str(err.reason)) from None
+        except urllib.error.URLError as err:
+            raise ServeClientError(0, None,
+                                   detail=f"cannot reach service: "
+                                          f"{err.reason}") from None
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> dict:
+        """POST /jobs — returns the job record (may already be done:
+        content-addressed dedup answers identical submissions from the
+        result cache without simulating)."""
+        return self._request("POST", "/jobs", spec)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """GET /jobs/<id>/result — 409 (raised) until the job is done."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def status(self) -> dict:
+        return self._request("GET", "/status")
+
+    def ledger(self, tail: int = 0) -> list:
+        path = f"/ledger?tail={tail}" if tail else "/ledger"
+        return self._request("GET", path)["entries"]
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except ServeClientError:
+            return False
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns the job
+        record. Raises :class:`ServeClientError` on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in JobState.TERMINAL:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    0, record,
+                    detail=f"job {job_id} still {record['state']} "
+                           f"after {timeout}s",
+                )
+            time.sleep(poll)

@@ -1,0 +1,295 @@
+"""Job model of the serve API: kinds, states, specs and content keys.
+
+A :class:`JobSpec` is the *what* (parsed and validated from client
+JSON); a :class:`Job` is the *lifecycle* (state machine + progress).
+Every spec hashes to a content key — run jobs reuse the exact
+:func:`repro.robustness.checkpoint.cell_key` the checkpoint tier is
+keyed by, sweep/fidelity jobs hash their expanded cell matrix the same
+way — so identical submissions collide by construction and the service
+dedups instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import GPUConfig
+from ..errors import ReproError, WorkloadError
+from ..robustness.checkpoint import cell_key, config_digest
+from ..workloads import get_kernel
+
+#: Valid ``kind`` values of a job submission.
+JOB_KINDS = ("run", "sweep", "fidelity")
+
+
+class JobKind:
+    """Symbolic names of the three job kinds (plain strings)."""
+
+    RUN = "run"
+    SWEEP = "sweep"
+    FIDELITY = "fidelity"
+
+
+class JobState:
+    """Job lifecycle states (plain strings, JSON-friendly).
+
+    ``queued -> running -> done`` is the happy path; ``running`` may
+    loop back to ``queued`` on preemption (the transition is counted in
+    :attr:`Job.preemptions`, never a distinct state — a preempted job is
+    simply waiting again). ``failed`` and ``cancelled`` are terminal.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class JobSpecError(ReproError):
+    """A job submission that cannot be turned into a valid JobSpec."""
+
+
+def _require_str(data: Dict[str, Any], name: str) -> str:
+    value = data.get(name)
+    if not isinstance(value, str) or not value:
+        raise JobSpecError(f"job field {name!r} must be a non-empty string")
+    return value
+
+
+def _check_kernel(name: str) -> str:
+    try:
+        get_kernel(name)
+    except WorkloadError as err:
+        raise JobSpecError(str(err)) from None
+    return name
+
+
+def _check_scheduler(name: str) -> str:
+    from ..core.scheduler import available_schedulers
+
+    if name in available_schedulers() or name.startswith("pro-t"):
+        return name
+    raise JobSpecError(
+        f"unknown scheduler {name!r}; have {sorted(available_schedulers())} "
+        "(plus pro-t<N> threshold variants)"
+    )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated job submission (immutable; hashes to a content key).
+
+    ``run`` uses ``kernel``/``scheduler``; ``sweep`` uses ``kernels`` x
+    ``schedulers``; ``fidelity`` uses ``profile``. ``sms``/``scale``
+    pick the GPU geometry for run/sweep jobs (fidelity geometry comes
+    from the profile). ``priority`` orders the queue — a strictly higher
+    priority submission preempts the running job. ``metrics_window``
+    (run jobs only) attaches a :class:`~repro.obs.MetricsSampler` for
+    windowed progress/IPC data; such runs bypass the result cache by
+    design (probes must observe a real simulation).
+    """
+
+    kind: str
+    kernel: str = ""
+    scheduler: str = ""
+    kernels: Tuple[str, ...] = ()
+    schedulers: Tuple[str, ...] = ()
+    profile: str = ""
+    sms: int = 4
+    scale: float = 1.0
+    priority: int = 0
+    metrics_window: int = 0
+
+    @classmethod
+    def from_json(
+        cls,
+        data: Any,
+        *,
+        default_sms: int = 4,
+        default_scale: float = 1.0,
+    ) -> "JobSpec":
+        """Parse and validate a client submission body."""
+        if not isinstance(data, dict):
+            raise JobSpecError("job submission must be a JSON object")
+        kind = data.get("kind", JobKind.RUN)
+        if kind not in JOB_KINDS:
+            raise JobSpecError(
+                f"unknown job kind {kind!r}; have {list(JOB_KINDS)}"
+            )
+        try:
+            sms = int(data.get("sms", default_sms))
+            scale = float(data.get("scale", default_scale))
+            priority = int(data.get("priority", 0))
+            metrics_window = int(data.get("metrics_window", 0))
+        except (TypeError, ValueError) as err:
+            raise JobSpecError(f"bad numeric job field: {err}") from None
+        if sms < 1:
+            raise JobSpecError("sms must be >= 1")
+        if scale <= 0:
+            raise JobSpecError("scale must be > 0")
+        if metrics_window < 0:
+            raise JobSpecError("metrics_window must be >= 0")
+        if metrics_window and kind != JobKind.RUN:
+            raise JobSpecError("metrics_window only applies to run jobs")
+
+        if kind == JobKind.RUN:
+            kernel = _check_kernel(_require_str(data, "kernel"))
+            scheduler = _check_scheduler(_require_str(data, "scheduler"))
+            return cls(kind=kind, kernel=kernel, scheduler=scheduler,
+                       sms=sms, scale=scale, priority=priority,
+                       metrics_window=metrics_window)
+        if kind == JobKind.SWEEP:
+            from ..harness.runner import PAPER_SCHEDULERS
+
+            kernels = data.get("kernels")
+            if not isinstance(kernels, (list, tuple)) or not kernels:
+                raise JobSpecError(
+                    "sweep jobs need a non-empty 'kernels' list"
+                )
+            schedulers = data.get("schedulers", list(PAPER_SCHEDULERS))
+            if not isinstance(schedulers, (list, tuple)) or not schedulers:
+                raise JobSpecError(
+                    "sweep 'schedulers' must be a non-empty list"
+                )
+            return cls(
+                kind=kind,
+                kernels=tuple(_check_kernel(str(k)) for k in kernels),
+                schedulers=tuple(
+                    _check_scheduler(str(s)) for s in schedulers
+                ),
+                sms=sms, scale=scale, priority=priority,
+            )
+        # fidelity
+        from ..fidelity import PROFILES
+
+        profile = str(data.get("profile", "smoke"))
+        if profile not in PROFILES:
+            raise JobSpecError(
+                f"unknown fidelity profile {profile!r}; "
+                f"have {sorted(PROFILES)}"
+            )
+        return cls(kind=kind, profile=profile, priority=priority)
+
+    # ------------------------------------------------------------------
+    def gpu_config(self) -> GPUConfig:
+        return GPUConfig.scaled(self.sms)
+
+    def cells(self) -> List[Tuple[str, str]]:
+        """The (kernel, scheduler) matrix a sweep job expands to."""
+        return [(k, s) for k in self.kernels for s in self.schedulers]
+
+    def content_key(self) -> str:
+        """Content hash identifying what this job computes.
+
+        Run jobs use :func:`cell_key` verbatim, so the service's dedup
+        key IS the checkpoint key — a run answered by the checkpoint
+        tier and a run deduped by the service agree by construction.
+        Other kinds hash their expanded parameter set the same way.
+        """
+        if self.kind == JobKind.RUN:
+            key = cell_key(self.kernel, self.scheduler, self.gpu_config(),
+                           self.scale)
+            if self.metrics_window:
+                # Instrumented runs never share results with plain runs.
+                key = hashlib.sha256(
+                    f"metrics|{self.metrics_window}|{key}".encode()
+                ).hexdigest()[:24]
+            return key
+        if self.kind == JobKind.SWEEP:
+            matrix = ",".join(f"{k}/{s}" for k, s in sorted(self.cells()))
+            payload = (f"sweep|{config_digest(self.gpu_config())}|"
+                       f"{self.scale!r}|{matrix}")
+            return hashlib.sha256(payload.encode()).hexdigest()[:24]
+        return hashlib.sha256(
+            f"fidelity|{self.profile}".encode()
+        ).hexdigest()[:24]
+
+    def to_json(self) -> dict:
+        out: Dict[str, Any] = {"kind": self.kind, "priority": self.priority}
+        if self.kind == JobKind.RUN:
+            out.update(kernel=self.kernel, scheduler=self.scheduler,
+                       sms=self.sms, scale=self.scale)
+            if self.metrics_window:
+                out["metrics_window"] = self.metrics_window
+        elif self.kind == JobKind.SWEEP:
+            out.update(kernels=list(self.kernels),
+                       schedulers=list(self.schedulers),
+                       sms=self.sms, scale=self.scale)
+        else:
+            out["profile"] = self.profile
+        return out
+
+
+@dataclass
+class Job:
+    """Runtime record of one submitted job (the manager owns these)."""
+
+    id: str
+    spec: JobSpec
+    key: str
+    state: str = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Monotonic submission sequence; FIFO tiebreak within a priority.
+    seq: int = 0
+    #: Times this job was cooperatively stopped for a higher priority.
+    preemptions: int = 0
+    #: Times the runner picked this job up (1 + preemptions, roughly).
+    attempts: int = 0
+    #: True when the result came from dedup (memo/checkpoint/coalesce)
+    #: instead of a simulation performed for this job.
+    cache_hit: bool = False
+    #: Id of the in-flight primary job this one coalesced onto.
+    coalesced_with: Optional[str] = None
+    cancel_requested: bool = False
+    #: Set while a higher-priority submission is stopping this job.
+    preempt_requested: bool = False
+    error: str = ""
+    #: Result payload (JSON-able) once state == done.
+    result: Optional[dict] = None
+    #: Live progress scratch (kind-specific; see JobManager).
+    progress: Dict[str, Any] = field(default_factory=dict)
+    #: Recent pool/sampler telemetry lines (capped).
+    events: List[str] = field(default_factory=list)
+
+    MAX_EVENTS = 50
+
+    def record_event(self, line: str) -> None:
+        self.events.append(line)
+        del self.events[:-self.MAX_EVENTS]
+
+    def to_json(self, *, include_result: bool = False) -> dict:
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "key": self.key,
+            "state": self.state,
+            "spec": self.spec.to_json(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "preemptions": self.preemptions,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "progress": dict(self.progress),
+        }
+        if self.coalesced_with:
+            out["coalesced_with"] = self.coalesced_with
+        if self.error:
+            out["error"] = self.error
+        if self.events:
+            out["events"] = list(self.events)
+        if self.state == JobState.RUNNING and self.started_at:
+            out["progress"]["elapsed"] = round(
+                time.time() - self.started_at, 3
+            )
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        return out

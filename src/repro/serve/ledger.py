@@ -1,0 +1,104 @@
+"""Append-only JSONL ledger of every job transition the service makes.
+
+One JSON object per line, written under a lock so concurrent HTTP
+submissions and the runner thread interleave whole lines, never bytes:
+
+    {"ts": ..., "seq": 3, "event": "state", "job": "j0002-ab12cd34",
+     "state": "running", "detail": ""}
+
+``event`` values: ``service-start`` / ``service-stop`` (lifecycle),
+``submitted``, ``state`` (every state transition), ``cache-hit`` (a job
+answered without simulating — the dedup audit trail), ``coalesced``,
+``preempt-request``, ``preempted``, ``resumed`` (a preempted job
+continued from its snapshot), ``pool`` (worker-pool telemetry such as
+worker-death/respawn/quarantine). The file is an artifact: the overwrite
+guard of :mod:`repro.harness.outputs` applies (``--force`` to restart a
+service over an old ledger).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..harness.outputs import guard_output
+
+from .jobs import Job
+
+
+class JobLedger:
+    """Thread-safe JSONL transition log (one writer process)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        force: bool = False,
+        flag: str = "ledger",
+    ) -> None:
+        self.path = Path(path)
+        guard_output(self.path, force=force, flag=flag)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def record(
+        self,
+        event: str,
+        *,
+        job: Optional[Job] = None,
+        state: Optional[str] = None,
+        detail: str = "",
+        **extra: Any,
+    ) -> None:
+        entry: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "event": event,
+        }
+        if job is not None:
+            entry["job"] = job.id
+            entry["key"] = job.key
+            entry["kind"] = job.spec.kind
+        if state is not None:
+            entry["state"] = state
+        if detail:
+            entry["detail"] = detail
+        entry.update(extra)
+        # seq is assigned under the lock, so seq order == file order.
+        with self._lock:
+            entry["seq"] = self._seq
+            self._seq += 1
+            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[dict]:
+        """Parse the ledger back (tests, the /ledger endpoint)."""
+        return self.load(self.path)
+
+    @staticmethod
+    def load(path: str | Path) -> List[dict]:
+        out: List[dict] = []
+        p = Path(path)
+        if not p.exists():
+            return out
+        for line in p.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A torn final line (reader racing the writer) is not an
+                # integrity failure; whole past lines always parse.
+                continue
+        return out

@@ -1,0 +1,628 @@
+"""JobManager: the service core — queue, dedup, preemption, execution.
+
+The manager is deliberately HTTP-free (tests drive it directly; the
+asyncio front-end in :mod:`repro.serve.app` is a thin adapter). One
+runner thread executes jobs strictly one at a time against a shared
+:class:`~repro.harness.runner.ResultCache` whose checkpoint tier lives
+in the serve directory:
+
+* **Dedup** is three-tiered. At submission, a job whose content key is
+  already answered (in-memory result memo, or the cache's
+  memo/checkpoint tiers for plain run jobs) completes instantly as a
+  ledger ``cache-hit``; a job identical to one currently queued/running
+  *coalesces* onto it and shares its eventual result; everything else
+  queues. The checkpoint tier makes tier one durable across restarts.
+* **Priority preemption**: a strictly higher-priority submission calls
+  ``cache.request_stop()``; the running simulation stops at its next
+  cycle boundary, writes a snapshot keyed by the cell's content hash,
+  and the job goes back to ``queued``. When re-picked it resumes from
+  the snapshot *bit-identically* (PR-4 contract) instead of restarting.
+* **Sweeps** ride :func:`~repro.harness.parallel.run_matrix_parallel`
+  and — with ``jobs > 1`` — a persistent supervised
+  :class:`~repro.harness.pool.WorkerPool`, so worker death, deadlines
+  and poison-cell quarantine are inherited, and pool lifecycle events
+  stream into the job's event feed and the ledger.
+* **Instrumented runs** (``metrics_window``) go through the public
+  :func:`repro.simulate` facade with a
+  :class:`~repro.obs.MetricsSampler` attached; they bypass the result
+  cache by design (a probe must observe a real simulation) and are not
+  preemptible (the facade GPU is not registered with the cache).
+
+Thread-safety: one lock guards all queue/job state; the ledger has its
+own lock; the runner executes simulations outside the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..config import GPUConfig
+from ..errors import ReproError, SimulationError, SimulationInterrupted
+from ..harness.runner import CellPolicy, ResultCache
+from ..robustness.checkpoint import CheckpointStore, result_to_json
+
+from .jobs import Job, JobKind, JobSpec, JobState
+from .ledger import JobLedger
+
+#: Pool event kinds too routine to ledger (still fed to the job's
+#: event feed); everything else — worker-death, respawn, quarantine,
+#: deadline, degrade... — is an auditable incident.
+_ROUTINE_POOL_EVENTS = frozenset({"dispatch"})
+
+
+class ServeError(ReproError):
+    """A service-level request error (shutting down, bad transition)."""
+
+
+@dataclass
+class ServeConfig:
+    """Everything one service instance needs to run."""
+
+    host: str = "127.0.0.1"
+    #: 0 = let the OS pick (the bound port is reported after start).
+    port: int = 0
+    #: Service state directory: ledger.jsonl + checkpoint/ live here.
+    directory: str = "serve-data"
+    #: Worker processes for sweep jobs (1 = in-process sequential).
+    jobs: int = 1
+    #: Periodic snapshot cadence armed on every checkpointed cell, so a
+    #: preemption (or crash) never loses more than this many cycles.
+    snapshot_every: int = 2000
+    #: Simulation core for cached runs ("reference" or "vector").
+    backend: str = "reference"
+    #: Overwrite an existing ledger (restart over old service state).
+    force: bool = False
+    #: Geometry defaults applied to submissions that omit sms/scale.
+    default_sms: int = 4
+    default_scale: float = 1.0
+    #: Optional fidelity baseline directory (trend scoring).
+    baseline_dir: Optional[str] = None
+
+
+class _PoolRelay:
+    """Routes WorkerPool telemetry to the currently running sweep job."""
+
+    def __init__(self, manager: "JobManager") -> None:
+        self._manager = manager
+        self.job: Optional[Job] = None
+
+    def on_pool_event(self, event) -> None:
+        job = self.job
+        if job is None:
+            return
+        line = event.describe()
+        job.record_event(line)
+        job.progress["pool_events"] = job.progress.get("pool_events", 0) + 1
+        if event.kind not in _ROUTINE_POOL_EVENTS:
+            self._manager.ledger.record("pool", job=job, detail=line,
+                                        pool_kind=event.kind)
+
+
+class JobManager:
+    """Owns all jobs, the queue, the shared cache and the runner thread."""
+
+    def __init__(self, config: ServeConfig, *,
+                 fault_plan: Optional[object] = None) -> None:
+        self.cfg = config
+        self.directory = Path(config.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.ledger = JobLedger(self.directory / "ledger.jsonl",
+                                force=config.force, flag="serve ledger")
+        self.checkpoint = CheckpointStore(self.directory / "checkpoint")
+        self.cache = ResultCache(
+            checkpoint=self.checkpoint,
+            policy=CellPolicy(snapshot_every=config.snapshot_every,
+                              backend=config.backend),
+            faults=fault_plan,
+        )
+        self._pool = None
+        self._pool_relay = _PoolRelay(self)
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[str] = []
+        #: content key -> id of the queued/running job computing it.
+        self._primary: Dict[str, str] = {}
+        #: primary job id -> ids coalesced onto it.
+        self._followers: Dict[str, List[str]] = {}
+        #: content key -> finished result payload (tier-one dedup).
+        self._results: Dict[str, dict] = {}
+        #: live per-job scratch read by /status (runner-thread owned).
+        self._live_outcomes: Dict[str, list] = {}
+        self._samplers: Dict[str, Any] = {}
+        self._seq = 0
+        self._version = 0
+        self._running_id: Optional[str] = None
+        self._stopping = False
+        self._closed = False
+        self._started_at = time.time()
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="serve-runner", daemon=True)
+        self.ledger.record("service-start", directory=str(self.directory),
+                           jobs=config.jobs, backend=config.backend,
+                           checkpoint_cells=len(self.checkpoint))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "JobManager":
+        if not self._thread.is_alive() and not self._closed:
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the runner (snapshotting any in-flight job) and the pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._stopping = True
+            self.cache.request_stop()
+            self._wake.notify_all()
+        if self._thread.is_alive():
+            self._thread.join(timeout=30.0)
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self.ledger.record("service-stop")
+        self.ledger.close()
+
+    def __enter__(self) -> "JobManager":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- client surface ------------------------------------------------
+
+    def submit(self, data: Any) -> Job:
+        """Validate, dedup/coalesce, or enqueue one submission."""
+        spec = JobSpec.from_json(data, default_sms=self.cfg.default_sms,
+                                 default_scale=self.cfg.default_scale)
+        key = spec.content_key()
+        with self._lock:
+            if self._closed:
+                raise ServeError("service is shutting down")
+            self._seq += 1
+            job = Job(id=f"j{self._seq:04d}-{key[:8]}", spec=spec, key=key,
+                      seq=self._seq)
+            self._jobs[job.id] = job
+            self.ledger.record("submitted", job=job,
+                               priority=spec.priority)
+            payload = self._cached_payload_locked(spec, key)
+            if payload is not None:
+                job.result = payload
+                job.cache_hit = True
+                self.ledger.record("cache-hit", job=job,
+                                   detail="answered from result cache")
+                self._transition_locked(job, JobState.DONE,
+                                        detail="cache hit")
+                return job
+            primary_id = self._primary.get(key)
+            if primary_id is not None:
+                job.coalesced_with = primary_id
+                self._followers.setdefault(primary_id, []).append(job.id)
+                self.ledger.record("coalesced", job=job,
+                                   detail=f"onto in-flight {primary_id}")
+                self._touch_locked()
+                return job
+            self._primary[key] = job.id
+            self._queue.append(job.id)
+            self._touch_locked()
+            self._maybe_preempt_locked(job)
+            self._wake.notify_all()
+            return job
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job. Queued jobs cancel immediately; the running job
+        is stopped cooperatively (its cell snapshot is kept — a future
+        identical submission resumes it). Terminal jobs are left as-is
+        (the caller inspects ``state``). Returns None for unknown ids.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in JobState.TERMINAL:
+                return job
+            if job.state == JobState.QUEUED:
+                if job.coalesced_with is not None:
+                    peers = self._followers.get(job.coalesced_with, [])
+                    if job.id in peers:
+                        peers.remove(job.id)
+                else:
+                    self._queue.remove(job.id)
+                    self._primary.pop(job.key, None)
+                    self._promote_followers_locked(job)
+                self._transition_locked(job, JobState.CANCELLED)
+                return job
+            # running
+            job.cancel_requested = True
+            self.ledger.record("cancel-request", job=job)
+            if self._preemptible(job):
+                self.cache.request_stop()
+            self._touch_locked()
+            return job
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs_json(self) -> List[dict]:
+        with self._lock:
+            return [self._job_json_locked(j) for j in self._jobs.values()]
+
+    def job_json(self, job: Job, *, include_result: bool = False) -> dict:
+        with self._lock:
+            return self._job_json_locked(job, include_result=include_result)
+
+    def status_json(self) -> dict:
+        """One /status snapshot: service counters + every job."""
+        with self._lock:
+            counts = Counter(j.state for j in self._jobs.values())
+            return {
+                "service": {
+                    "uptime": round(time.time() - self._started_at, 3),
+                    "version": self._version,
+                    "queue_depth": len(self._queue),
+                    "running": self._running_id,
+                    "stopping": self._stopping,
+                    "jobs": {
+                        state: counts.get(state, 0)
+                        for state in (JobState.QUEUED, JobState.RUNNING,
+                                      JobState.DONE, JobState.FAILED,
+                                      JobState.CANCELLED)
+                    },
+                    "cache": {
+                        "memo_cells": len(self.cache),
+                        "checkpoint_cells": len(self.checkpoint),
+                        "checkpoint_hits": self.cache.checkpoint_hits,
+                        "runs_executed": self.cache.runs_executed,
+                        "snapshot_resumes": self.cache.snapshot_resumes,
+                    },
+                },
+                "jobs": [self._job_json_locked(j)
+                         for j in self._jobs.values()],
+            }
+
+    def wait_version(self, last: int, timeout: float = 1.0) -> int:
+        """Block until job state changes past ``last`` (or timeout);
+        returns the current version. Drives /status?watch streaming."""
+        with self._lock:
+            self._wake.wait_for(
+                lambda: self._version != last or self._closed, timeout
+            )
+            return self._version
+
+    # -- locked helpers ------------------------------------------------
+
+    def _touch_locked(self) -> None:
+        self._version += 1
+        self._wake.notify_all()
+
+    def _transition_locked(self, job: Job, state: str, *,
+                           detail: str = "") -> None:
+        job.state = state
+        now = time.time()
+        if state == JobState.RUNNING:
+            job.started_at = now
+        if state in JobState.TERMINAL:
+            job.finished_at = now
+        self.ledger.record("state", job=job, state=state, detail=detail)
+        self._touch_locked()
+
+    def _cached_payload_locked(self, spec: JobSpec,
+                               key: str) -> Optional[dict]:
+        payload = self._results.get(key)
+        if payload is not None:
+            return payload
+        if spec.kind == JobKind.RUN and not spec.metrics_window:
+            hit = self.cache.lookup(spec.kernel, spec.scheduler,
+                                    spec.gpu_config(), spec.scale)
+            if hit is not None:
+                payload = {"kind": "run", "result": result_to_json(hit)}
+                self._results[key] = payload
+                return payload
+        return None
+
+    @staticmethod
+    def _preemptible(job: Job) -> bool:
+        # Instrumented facade runs are not registered with the cache,
+        # so request_stop() cannot reach their GPU.
+        return not (job.spec.kind == JobKind.RUN
+                    and job.spec.metrics_window)
+
+    def _maybe_preempt_locked(self, challenger: Job) -> None:
+        rid = self._running_id
+        if rid is None:
+            return
+        running = self._jobs[rid]
+        if challenger.spec.priority <= running.spec.priority:
+            return
+        if running.preempt_requested or running.cancel_requested:
+            return
+        if not self._preemptible(running):
+            return
+        running.preempt_requested = True
+        self.ledger.record(
+            "preempt-request", job=running,
+            detail=(f"preempted by {challenger.id} (priority "
+                    f"{challenger.spec.priority} > "
+                    f"{running.spec.priority})"),
+        )
+        self.cache.request_stop()
+
+    def _promote_followers_locked(self, primary: Job) -> None:
+        """Re-queue the followers of a cancelled primary (their clients
+        did not cancel; the first follower becomes the new primary)."""
+        followers = self._followers.pop(primary.id, [])
+        live = [fid for fid in followers
+                if self._jobs[fid].state == JobState.QUEUED]
+        if not live:
+            return
+        head = self._jobs[live[0]]
+        head.coalesced_with = None
+        self._primary[head.key] = head.id
+        self._queue.append(head.id)
+        self.ledger.record("promoted", job=head,
+                           detail=f"primary {primary.id} cancelled")
+        for fid in live[1:]:
+            self._jobs[fid].coalesced_with = head.id
+        if live[1:]:
+            self._followers[head.id] = live[1:]
+        self._wake.notify_all()
+
+    def _job_json_locked(self, job: Job, *,
+                         include_result: bool = False) -> dict:
+        out = job.to_json(include_result=include_result)
+        outcomes = self._live_outcomes.get(job.id)
+        if outcomes is not None:
+            out["progress"]["cells_done"] = len(outcomes)
+        sampler = self._samplers.get(job.id)
+        if sampler is not None:
+            try:
+                out["progress"]["windows_sampled"] = len(sampler.rows())
+            except RuntimeError:  # pragma: no cover - racing the run
+                pass
+        return out
+
+    # -- the runner thread ---------------------------------------------
+
+    def _pick_locked(self) -> Job:
+        best = max(
+            self._queue,
+            key=lambda jid: (self._jobs[jid].spec.priority,
+                             -self._jobs[jid].seq),
+        )
+        self._queue.remove(best)
+        return self._jobs[best]
+
+    def _run_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._stopping and not self._queue:
+                    self._wake.wait(0.5)
+                if self._stopping:
+                    return
+                job = self._pick_locked()
+                job.attempts += 1
+                job.preempt_requested = False
+                self._running_id = job.id
+                # A stale stop request (the target finished before the
+                # signal landed) must not kill this job.
+                self.cache.interrupted = False
+                self._transition_locked(job, JobState.RUNNING,
+                                        detail=f"attempt {job.attempts}")
+            try:
+                payload = self._execute(job)
+            except SimulationInterrupted as err:
+                self._handle_interrupt(job, err)
+            except SimulationError as err:
+                self._finish_error(job, f"{type(err).__name__}: {err}")
+            except Exception as err:  # noqa: BLE001 - service must survive
+                self._finish_error(job, f"{type(err).__name__}: {err}")
+            else:
+                self._finish_done(job, payload)
+
+    def _handle_interrupt(self, job: Job,
+                          err: SimulationInterrupted) -> None:
+        with self._lock:
+            self.cache.interrupted = False
+            self._running_id = None
+            if job.cancel_requested:
+                self._primary.pop(job.key, None)
+                self._promote_followers_locked(job)
+                self._transition_locked(job, JobState.CANCELLED,
+                                        detail="cancelled while running")
+                return
+            job.preemptions += 1
+            job.preempt_requested = False
+            snap = getattr(err, "snapshot_path", None)
+            self.ledger.record(
+                "preempted", job=job,
+                detail=(f"snapshot {snap}" if snap
+                        else "stopped at cycle boundary"),
+            )
+            self._queue.append(job.id)
+            self._transition_locked(
+                job, JobState.QUEUED,
+                detail=("service stopping" if self._stopping
+                        else "requeued after preemption"),
+            )
+
+    def _finish_done(self, job: Job, payload: dict) -> None:
+        with self._lock:
+            self._running_id = None
+            job.result = payload
+            self._results[job.key] = payload
+            self._primary.pop(job.key, None)
+            followers = self._followers.pop(job.id, [])
+            if job.cancel_requested:
+                # The cancel landed after the simulation finished; the
+                # paid-for result stays in the dedup tiers (and feeds
+                # the followers, whose clients did not cancel).
+                self._transition_locked(job, JobState.CANCELLED,
+                                        detail="completed before cancel "
+                                               "took effect")
+            else:
+                self._transition_locked(job, JobState.DONE)
+            for fid in followers:
+                follower = self._jobs[fid]
+                if follower.state != JobState.QUEUED:
+                    continue
+                follower.result = payload
+                follower.cache_hit = True
+                self.ledger.record("cache-hit", job=follower,
+                                   detail=f"coalesced result of {job.id}")
+                self._transition_locked(follower, JobState.DONE,
+                                        detail=f"via {job.id}")
+
+    def _finish_error(self, job: Job, message: str) -> None:
+        with self._lock:
+            self._running_id = None
+            self.cache.interrupted = False
+            job.error = message
+            self._primary.pop(job.key, None)
+            followers = self._followers.pop(job.id, [])
+            self._transition_locked(job, JobState.FAILED, detail=message)
+            for fid in followers:
+                follower = self._jobs[fid]
+                if follower.state != JobState.QUEUED:
+                    continue
+                follower.error = f"coalesced job {job.id} failed: {message}"
+                self._transition_locked(follower, JobState.FAILED,
+                                        detail=f"via {job.id}")
+
+    # -- execution (runner thread, no lock held) -----------------------
+
+    def _execute(self, job: Job) -> dict:
+        if job.spec.kind == JobKind.RUN:
+            return self._execute_run(job)
+        if job.spec.kind == JobKind.SWEEP:
+            return self._execute_sweep(job)
+        return self._execute_fidelity(job)
+
+    def _execute_run(self, job: Job) -> dict:
+        spec = job.spec
+        config = spec.gpu_config()
+        if spec.metrics_window:
+            # Instrumented run through the public facade: the sampler
+            # must observe a real simulation, so no cache tier applies.
+            from ..api import simulate
+            from ..obs import MetricsSampler
+
+            sampler = MetricsSampler(window=spec.metrics_window)
+            self._samplers[job.id] = sampler
+            try:
+                result = simulate(
+                    spec.kernel, spec.scheduler, cfg=config,
+                    scale=spec.scale, probes=[sampler],
+                    backend=self.cfg.backend,
+                )
+            finally:
+                self._samplers.pop(job.id, None)
+            rows = sampler.rows()
+            job.record_event(f"[metrics] {len(rows)} windows sampled")
+            return {
+                "kind": "run",
+                "result": result_to_json(result),
+                "metrics": {
+                    "window": spec.metrics_window,
+                    "windows_sampled": len(rows),
+                    "stall_totals": sampler.stall_totals(),
+                },
+            }
+        resumes_before = self.cache.snapshot_resumes
+        runs_before = self.cache.runs_executed
+        result = self.cache.run(spec.kernel, spec.scheduler, config,
+                                spec.scale)
+        if self.cache.snapshot_resumes > resumes_before:
+            self.ledger.record("resumed", job=job,
+                               detail="continued from preemption snapshot")
+            job.record_event("[snapshot] resumed bit-identically")
+        elif self.cache.runs_executed == runs_before:
+            # Answered by a cache tier between submission and pickup.
+            job.cache_hit = True
+            self.ledger.record("cache-hit", job=job,
+                               detail="answered at execution time")
+        return {"kind": "run", "result": result_to_json(result)}
+
+    def _execute_sweep(self, job: Job) -> dict:
+        from ..harness.parallel import run_matrix_parallel
+
+        spec = job.spec
+        cells = spec.cells()
+        config = spec.gpu_config()
+        outcomes: list = []
+        job.progress.update(cells_total=len(cells), cells_done=0)
+        self._live_outcomes[job.id] = outcomes
+        failures_before = len(self.cache.failures)
+        self._pool_relay.job = job
+        try:
+            results = run_matrix_parallel(
+                self.cache, cells, config, spec.scale,
+                jobs=self.cfg.jobs, keep_going=True, outcomes=outcomes,
+                pool=self._ensure_pool() if self.cfg.jobs > 1 else None,
+            )
+        finally:
+            self._pool_relay.job = None
+            self._live_outcomes.pop(job.id, None)
+            job.progress["cells_done"] = len(outcomes)
+        failures = self.cache.failures[failures_before:]
+        simulated = sum(1 for o in outcomes if not o.from_cache)
+        if simulated == 0 and not failures:
+            job.cache_hit = True
+            self.ledger.record("cache-hit", job=job,
+                               detail="every cell answered from cache")
+        return {
+            "kind": "sweep",
+            "cells": {
+                f"{k}/{s}": (result_to_json(r) if r is not None else None)
+                for (k, s), r in sorted(results.items())
+            },
+            "failures": [
+                {"kernel": f.kernel, "scheduler": f.scheduler,
+                 "attempts": f.attempts, "error": f.describe()}
+                for f in failures
+            ],
+            "simulated": simulated,
+        }
+
+    def _execute_fidelity(self, job: Job) -> dict:
+        from ..fidelity import (
+            BaselineStore,
+            load_expectations,
+            measure,
+            resolve_profile,
+            score,
+        )
+        from ..harness.runner import ExperimentSetup
+
+        profile = resolve_profile(job.spec.profile)
+        cells_total = len(profile.kernels) * len(profile.schedulers)
+        job.progress.update(profile=profile.name, cells_total=cells_total)
+        setup = ExperimentSetup(config=GPUConfig.scaled(profile.sms),
+                                scale=profile.scale, cache=self.cache,
+                                jobs=1)
+        measurement = measure(profile, setup=setup)
+        baseline = (BaselineStore(self.cfg.baseline_dir)
+                    if self.cfg.baseline_dir else None)
+        report = score(measurement, load_expectations(None),
+                       baseline=baseline)
+        job.record_event(f"[fidelity] {profile.name}: {report.status}")
+        return {
+            "kind": "fidelity",
+            "ok": report.ok,
+            "status": report.status,
+            "report": report.to_json(),
+        }
+
+    def _ensure_pool(self):
+        from ..harness.pool import WorkerPool
+
+        if self._pool is None:
+            self._pool = WorkerPool(self.cfg.jobs,
+                                    probes=(self._pool_relay,))
+        return self._pool

@@ -1,0 +1,110 @@
+"""The shared output-overwrite guard and its CLI wiring.
+
+One rule (EXPERIMENTS.md, "Output files and --force"): every
+artifact-writing flag refuses an existing target with exit code 2
+unless ``--force``; resumable stores (``--checkpoint``) are exempt.
+"""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.outputs import (
+    EXIT_REFUSED,
+    OutputExistsError,
+    guard_output,
+    guard_outputs,
+)
+
+
+class TestGuardHelpers:
+    def test_missing_target_passes_through(self, tmp_path):
+        target = tmp_path / "out.json"
+        assert guard_output(target, flag="--json") == target
+
+    def test_none_and_empty_are_noops(self):
+        assert guard_output(None) is None
+        assert guard_output("") is None
+
+    def test_existing_target_refused_with_flag_in_message(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("{}")
+        with pytest.raises(OutputExistsError) as exc:
+            guard_output(target, flag="--json")
+        assert exc.value.flag == "--json"
+        assert "--json target exists" in str(exc.value)
+        assert "--force" in str(exc.value)
+
+    def test_force_allows_overwrite(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("{}")
+        assert guard_output(target, force=True, flag="--json") == target
+
+    def test_guard_outputs_names_first_offender(self, tmp_path):
+        exists = tmp_path / "a.json"
+        exists.write_text("{}")
+        with pytest.raises(OutputExistsError) as exc:
+            guard_outputs([("--out", tmp_path / "missing.txt"),
+                           ("--json", exists)])
+        assert exc.value.flag == "--json"
+
+    def test_exit_code_constant_matches_usage_errors(self):
+        assert EXIT_REFUSED == 2
+
+
+class TestCliWiring:
+    """Every file-writing verb goes through the same guard."""
+
+    def _expect_refusal(self, argv, capsys, flag):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert f"{flag} target exists" in err
+        assert "--force" in err
+
+    def test_out_guarded_everywhere(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        target.write_text("old")
+        self._expect_refusal(["table1", "--out", str(target)],
+                             capsys, "--out")
+
+    def test_json_guarded_for_run(self, tmp_path, capsys):
+        target = tmp_path / "run.json"
+        target.write_text("{}")
+        self._expect_refusal(
+            ["run", "cenergy", "--json", str(target)], capsys, "--json"
+        )
+
+    def test_trace_outputs_guarded(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        metrics.write_text("")
+        self._expect_refusal(
+            ["trace", "--smoke", "--metrics-out", str(metrics),
+             "--trace-out", str(tmp_path / "t.json")],
+            capsys, "--metrics-out",
+        )
+
+    def test_bench_out_still_guarded(self, tmp_path, capsys):
+        target = tmp_path / "bench.json"
+        target.write_text("{}")
+        self._expect_refusal(
+            ["bench", "--smoke", "--bench-out", str(target)],
+            capsys, "--bench-out",
+        )
+
+    def test_force_overwrites_out(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        target.write_text("old")
+        assert main(["table1", "--out", str(target), "--force"]) == 0
+        assert "Table I" in target.read_text()
+
+    def test_checkpoint_store_is_exempt(self, tmp_path, capsys):
+        # Resumable stores must NOT be guarded: re-running the same
+        # command against an existing checkpoint dir is the resume path.
+        ckpt = tmp_path / "ckpt"
+        assert main(["run", "cenergy", "--sms", "2", "--scale", "0.1",
+                     "--checkpoint", str(ckpt)]) == 0
+        assert (ckpt / "cells.jsonl").exists()
+        capsys.readouterr()
+        assert main(["run", "cenergy", "--sms", "2", "--scale", "0.1",
+                     "--checkpoint", str(ckpt)]) == 0

@@ -1,0 +1,96 @@
+"""repro.simulate() has full parity with Gpu.run.
+
+The facade is the only entry point the ``repro.serve`` job runner uses,
+so everything ``Gpu.run`` can do — backend selection, snapshotting,
+deadlines, fault injection — must be reachable from it.
+"""
+
+import pytest
+
+from repro import GPUConfig, simulate
+from repro.errors import SimulationHang, SimulationInterrupted
+from repro.gpu.gpu import Gpu
+from repro.robustness.checkpoint import result_to_json
+from repro.robustness.faults import FaultPlan
+
+CFG = GPUConfig.scaled(2)
+KERNEL, SCHED, SCALE = "scalarProdGPU", "pro", 0.25
+
+
+class TestBackendParity:
+    def test_vector_backend_is_bit_identical(self):
+        ref = simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE)
+        vec = simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE,
+                       backend="vector")
+        assert result_to_json(vec) == result_to_json(ref)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception, match="backend"):
+            simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE,
+                     backend="quantum")
+
+
+class _GrabGpu:
+    """Probe that captures the Gpu so the test can request_stop() it."""
+
+    def __init__(self):
+        self.gpu = None
+
+    def on_run_start(self, gpu, launch):
+        self.gpu = gpu
+
+
+class _StopMidRun(FaultPlan):
+    """Cooperatively stops the captured Gpu after N fill-hook calls."""
+
+    def __init__(self, grab, after):
+        super().__init__()
+        self._grab = grab
+        self._after = after
+        self._calls = 0
+
+    def should_swallow_fill(self, sm_id, warp, cycle):
+        self._calls += 1
+        if self._calls == self._after:
+            self._grab.gpu.request_stop()
+        return False
+
+
+class TestSnapshotParity:
+    def test_snapshot_written_and_result_unchanged(self, tmp_path):
+        snap = tmp_path / "run.snap"
+        full = simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE)
+        snapped = simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE,
+                           snapshot_every=1000, snapshot_path=str(snap))
+        assert snap.exists()
+        assert result_to_json(snapped) == result_to_json(full)
+
+    def test_interrupted_run_resumes_bit_identically(self, tmp_path):
+        # simulate() stores a launch_ref for named kernels, so the
+        # snapshot resumes with no explicit launch.
+        snap = tmp_path / "run.snap"
+        grab = _GrabGpu()
+        with pytest.raises(SimulationInterrupted) as exc:
+            simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE,
+                     probes=[grab],
+                     fault_plan=_StopMidRun(grab, after=50),
+                     snapshot_path=str(snap))
+        assert exc.value.snapshot_path is not None
+        assert snap.exists()
+        resumed = Gpu.resume(str(snap))
+        full = simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE)
+        assert result_to_json(resumed) == result_to_json(full)
+
+
+class TestFaultPlanParity:
+    def test_fault_plan_is_armed_on_the_gpu(self):
+        # clamp_max_cycles is consumed inside Gpu.run's main loop, so it
+        # proves the plan reached the simulator through the facade.
+        plan = FaultPlan().clamp_max_cycles(50)
+        with pytest.raises(SimulationHang, match="max_cycles"):
+            simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE,
+                     fault_plan=plan)
+
+    def test_plans_do_not_leak_between_calls(self):
+        result = simulate(KERNEL, SCHED, cfg=CFG, scale=SCALE)
+        assert result.cycles > 50  # the clamp above was not sticky

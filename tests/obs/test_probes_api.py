@@ -56,34 +56,30 @@ class TestSimulateFacade:
         assert len(trace.events) == 100
 
 
-class TestDeprecatedKwargShims:
-    """Old-style kwargs still work, warn, and match the probes= path."""
+class TestRetiredKwargShims:
+    """The PR-3 recorder kwargs are gone: TypeError + migration hint."""
 
-    def test_timeline_kwarg_equivalent_to_probe(self):
-        new = TimelineRecorder()
-        Gpu(CFG, "lrr").run(_launch(), probes=[new])
-        old = TimelineRecorder()
-        with pytest.warns(DeprecationWarning, match="timeline"):
-            r = Gpu(CFG, "lrr").run(_launch(), timeline=old)
-        assert old.intervals == new.intervals
-        assert r.timeline is old
+    @pytest.mark.parametrize("name,recorder,probe_cls", [
+        ("timeline", TimelineRecorder(), "TimelineRecorder"),
+        ("sort_trace", SortTraceRecorder(sm_id=0), "SortTraceRecorder"),
+        ("trace", IssueTrace(), "IssueTrace"),
+    ])
+    def test_retired_kwarg_raises_with_hint(self, name, recorder, probe_cls):
+        with pytest.raises(TypeError, match=name) as exc:
+            Gpu(CFG, "lrr").run(_launch(), **{name: recorder})
+        # The hint names the equivalent probe and the probes= spelling.
+        assert probe_cls in str(exc.value)
+        assert "probes=" in str(exc.value)
 
-    def test_sort_trace_kwarg_equivalent_to_probe(self):
-        new = SortTraceRecorder(sm_id=0)
-        Gpu(CFG, "pro").run(_launch(num_tbs=8), probes=[new])
-        old = SortTraceRecorder(sm_id=0)
-        with pytest.warns(DeprecationWarning, match="sort_trace"):
-            r = Gpu(CFG, "pro").run(_launch(num_tbs=8), sort_trace=old)
-        assert old.snapshots == new.snapshots
-        assert r.sort_trace is old
+    def test_unknown_kwarg_still_a_plain_typeerror(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            Gpu(CFG, "lrr").run(_launch(), bogus=1)
 
-    def test_trace_kwarg_equivalent_to_probe(self):
-        new = IssueTrace(limit=500)
-        Gpu(CFG, "lrr").run(_launch(), probes=[new])
-        old = IssueTrace(limit=500)
-        with pytest.warns(DeprecationWarning, match="trace"):
-            Gpu(CFG, "lrr").run(_launch(), trace=old)
-        assert old.events == new.events
+    def test_shortcuts_still_filled_from_probes(self):
+        tl, st = TimelineRecorder(), SortTraceRecorder(sm_id=0)
+        r = Gpu(CFG, "pro").run(_launch(num_tbs=8), probes=[tl, st])
+        assert r.timeline is tl
+        assert r.sort_trace is st
 
     def test_new_style_run_emits_no_warning(self):
         with warnings.catch_warnings():

@@ -1,0 +1,107 @@
+"""The ``pro-sim serve`` verb: flag parsing and artifact guarding."""
+
+from repro.harness.cli import build_parser, main
+from repro.serve.cli import run_serve
+
+
+class TestParser:
+    def test_serve_is_a_choice_with_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--serve-dir", "state/", "--jobs", "2",
+             "--snapshot-every", "1000", "--backend", "vector"]
+        )
+        assert args.experiment == "serve"
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.serve_dir == "state/"
+        assert args.backend == "vector"
+
+    def test_snapshot_every_needs_no_checkpoint_for_serve(self):
+        # Everywhere else --snapshot-every requires --checkpoint; serve
+        # keeps its snapshots under --serve-dir.
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--snapshot-every", "500"])
+        from repro.harness.cli import _validate_args
+
+        _validate_args(parser, args)  # must not SystemExit
+        assert args.snapshot_every == 500
+
+
+class TestLedgerGuard:
+    def test_existing_ledger_refused_with_exit_2(self, tmp_path, capsys):
+        directory = tmp_path / "serve"
+        directory.mkdir()
+        (directory / "ledger.jsonl").write_text("{}\n")
+        rc = main(["serve", "--serve-dir", str(directory), "--port", "0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "ledger" in err
+        assert "--force" in err
+
+    def test_force_restarts_over_the_old_ledger(self, tmp_path,
+                                                monkeypatch):
+        directory = tmp_path / "serve"
+        directory.mkdir()
+        (directory / "ledger.jsonl").write_text("{}\n")
+
+        captured = {}
+
+        class FakeService:
+            def __init__(self, config):
+                from repro.serve.ledger import JobLedger
+
+                # The real guard runs (force honored)...
+                JobLedger(directory / "ledger.jsonl",
+                          force=config.force).close()
+                captured["config"] = config
+                self.manager = self
+
+            def start_background(self):
+                # ...but no server/thread is started for this test.
+                from repro.serve.queue import ServeError
+
+                raise ServeError("stop here")
+
+            def close(self):
+                pass
+
+        import repro.serve.app as app_module
+
+        monkeypatch.setattr(app_module, "ProSimService", FakeService)
+        args = build_parser().parse_args(
+            ["serve", "--serve-dir", str(directory), "--port", "0",
+             "--force", "--jobs", "3", "--sms", "2", "--scale", "0.5"]
+        )
+        from repro.harness.cli import _validate_args
+
+        _validate_args(build_parser(), args)
+        rc = run_serve(args)
+        assert rc == 1  # the injected ServeError, after the guard passed
+        cfg = captured["config"]
+        assert cfg.force is True
+        assert cfg.jobs == 3
+        assert cfg.default_sms == 2
+        assert cfg.default_scale == 0.5
+
+
+class TestServeEndToEndViaCli:
+    def test_config_mapping_reaches_the_service(self, tmp_path):
+        # Construct the service exactly as run_serve would, without the
+        # foreground loop: ServeConfig mapping + a live round-trip.
+        from repro.serve import ProSimService, ServeClient, ServeConfig
+
+        cfg = ServeConfig(directory=str(tmp_path / "serve"), port=0,
+                          default_sms=2, default_scale=0.25)
+        svc = ProSimService(cfg)
+        svc.start_background()
+        try:
+            client = ServeClient(svc.url)
+            job = client.submit({"kind": "run", "kernel": "scalarProdGPU",
+                                 "scheduler": "pro"})
+            done = client.wait(job["id"])
+            # The submission omitted sms/scale: the serve defaults won.
+            assert done["spec"]["sms"] == 2
+            assert done["spec"]["scale"] == 0.25
+        finally:
+            svc.stop()

@@ -1,0 +1,127 @@
+"""JobSpec parsing/validation and content-key semantics."""
+
+import pytest
+
+from repro.serve.jobs import Job, JobKind, JobSpec, JobSpecError, JobState
+
+
+def _run_spec(**over):
+    data = {"kind": "run", "kernel": "scalarProdGPU", "scheduler": "pro",
+            "sms": 2, "scale": 0.25}
+    data.update(over)
+    return JobSpec.from_json(data)
+
+
+class TestSpecParsing:
+    def test_run_roundtrip(self):
+        spec = _run_spec(priority=3)
+        assert spec.kind == JobKind.RUN
+        assert spec.kernel == "scalarProdGPU"
+        assert spec.priority == 3
+        assert spec.to_json()["scheduler"] == "pro"
+
+    def test_defaults_applied(self):
+        spec = JobSpec.from_json(
+            {"kind": "run", "kernel": "scalarProdGPU", "scheduler": "lrr"},
+            default_sms=2, default_scale=0.5,
+        )
+        assert (spec.sms, spec.scale) == (2, 0.5)
+
+    def test_sweep_expands_cells(self):
+        spec = JobSpec.from_json({
+            "kind": "sweep", "kernels": ["scalarProdGPU", "cenergy"],
+            "schedulers": ["lrr", "pro"],
+        })
+        assert len(spec.cells()) == 4
+        assert ("cenergy", "pro") in spec.cells()
+
+    def test_sweep_default_schedulers_is_paper_matrix(self):
+        from repro.harness.runner import PAPER_SCHEDULERS
+
+        spec = JobSpec.from_json({"kind": "sweep",
+                                  "kernels": ["scalarProdGPU"]})
+        assert spec.schedulers == PAPER_SCHEDULERS
+
+    def test_fidelity_profile_validated(self):
+        spec = JobSpec.from_json({"kind": "fidelity", "profile": "smoke"})
+        assert spec.profile == "smoke"
+        with pytest.raises(JobSpecError, match="profile"):
+            JobSpec.from_json({"kind": "fidelity", "profile": "nope"})
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        [],
+        {"kind": "teapot"},
+        {"kind": "run", "kernel": "scalarProdGPU"},  # no scheduler
+        {"kind": "run", "kernel": "noSuchKernel", "scheduler": "pro"},
+        {"kind": "run", "kernel": "scalarProdGPU", "scheduler": "bogus"},
+        {"kind": "run", "kernel": "scalarProdGPU", "scheduler": "pro",
+         "scale": 0},
+        {"kind": "run", "kernel": "scalarProdGPU", "scheduler": "pro",
+         "sms": 0},
+        {"kind": "run", "kernel": "scalarProdGPU", "scheduler": "pro",
+         "sms": "many"},
+        {"kind": "sweep", "kernels": []},
+        {"kind": "sweep", "kernels": ["scalarProdGPU"], "schedulers": []},
+        {"kind": "sweep", "kernels": ["scalarProdGPU"],
+         "metrics_window": 100},
+    ])
+    def test_rejected_submissions(self, bad):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_json(bad)
+
+    def test_threshold_variant_scheduler_accepted(self):
+        assert _run_spec(scheduler="pro-t500").scheduler == "pro-t500"
+
+
+class TestContentKeys:
+    def test_identical_specs_collide(self):
+        assert _run_spec().content_key() == _run_spec().content_key()
+
+    def test_run_key_is_the_checkpoint_cell_key(self):
+        from repro.config import GPUConfig
+        from repro.robustness.checkpoint import cell_key
+
+        spec = _run_spec()
+        assert spec.content_key() == cell_key(
+            "scalarProdGPU", "pro", GPUConfig.scaled(2), 0.25
+        )
+
+    @pytest.mark.parametrize("over", [
+        {"scheduler": "lrr"}, {"scale": 0.5}, {"sms": 4},
+        {"metrics_window": 200},
+    ])
+    def test_any_parameter_changes_the_key(self, over):
+        assert _run_spec(**over).content_key() != _run_spec().content_key()
+
+    def test_priority_does_not_change_the_key(self):
+        # Priority is queue policy, not content: a high-priority twin
+        # must still dedup against the low-priority original.
+        assert _run_spec(priority=9).content_key() == \
+            _run_spec().content_key()
+
+    def test_sweep_key_order_insensitive_matrix(self):
+        a = JobSpec.from_json({"kind": "sweep",
+                               "kernels": ["scalarProdGPU", "cenergy"],
+                               "schedulers": ["lrr", "pro"]})
+        b = JobSpec.from_json({"kind": "sweep",
+                               "kernels": ["cenergy", "scalarProdGPU"],
+                               "schedulers": ["pro", "lrr"]})
+        assert a.content_key() == b.content_key()
+
+
+class TestJobRecord:
+    def test_to_json_shape(self):
+        job = Job(id="j0001-abc", spec=_run_spec(), key="abc")
+        data = job.to_json()
+        assert data["state"] == JobState.QUEUED
+        assert data["kind"] == "run"
+        assert data["cache_hit"] is False
+        assert "result" not in data
+
+    def test_event_feed_is_capped(self):
+        job = Job(id="j1", spec=_run_spec(), key="k")
+        for i in range(2 * Job.MAX_EVENTS):
+            job.record_event(f"e{i}")
+        assert len(job.events) == Job.MAX_EVENTS
+        assert job.events[-1] == f"e{2 * Job.MAX_EVENTS - 1}"

@@ -1,0 +1,270 @@
+"""JobManager: lifecycle, dedup, coalescing, preemption, recovery.
+
+These tests drive the manager directly (no HTTP) — the front-end in
+:mod:`repro.serve.app` is a thin adapter tested separately.
+"""
+
+import time
+
+import pytest
+
+from repro import GPUConfig, simulate
+from repro.robustness.checkpoint import result_to_json
+from repro.robustness.faults import FaultPlan
+from repro.serve import JobManager, ServeConfig
+from repro.serve.jobs import JobState
+
+RUN = {"kind": "run", "kernel": "scalarProdGPU", "scheduler": "pro",
+       "sms": 2, "scale": 0.25}
+#: A cell long enough that preemption reliably lands mid-simulation.
+LONG_RUN = {"kind": "run", "kernel": "aesEncrypt128", "scheduler": "pro",
+            "sms": 2, "scale": 1.0}
+
+
+def wait_for(predicate, timeout=180.0, poll=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(poll)
+    raise AssertionError("condition not reached in time")
+
+
+def wait_terminal(job, timeout=180.0):
+    wait_for(lambda: job.state in JobState.TERMINAL, timeout)
+    return job.state
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    m = JobManager(ServeConfig(directory=str(tmp_path / "serve"))).start()
+    yield m
+    m.close()
+
+
+def ledger_events(m):
+    return [e["event"] for e in m.ledger.entries()]
+
+
+class TestLifecycle:
+    def test_submit_running_done(self, manager):
+        job = manager.submit(RUN)
+        assert job.state == JobState.QUEUED
+        assert wait_terminal(job) == JobState.DONE
+        assert job.result["kind"] == "run"
+        assert job.result["result"]["cycles"] > 0
+        assert job.started_at is not None
+        assert job.finished_at >= job.started_at
+        # Ledger saw the full transition chain, in order.
+        events = ledger_events(manager)
+        assert events[:3] == ["service-start", "submitted", "state"]
+        states = [e["state"] for e in manager.ledger.entries()
+                  if e["event"] == "state"]
+        assert states == [JobState.RUNNING, JobState.DONE]
+
+    def test_result_matches_direct_simulation(self, manager):
+        job = manager.submit(RUN)
+        wait_terminal(job)
+        direct = simulate("scalarProdGPU", "pro",
+                          cfg=GPUConfig.scaled(2), scale=0.25)
+        assert job.result["result"] == result_to_json(direct)
+
+    def test_invalid_submission_never_becomes_a_job(self, manager):
+        from repro.serve.jobs import JobSpecError
+
+        with pytest.raises(JobSpecError):
+            manager.submit({"kind": "run", "kernel": "nope",
+                            "scheduler": "pro"})
+        assert manager.jobs_json() == []
+
+
+class TestDedup:
+    def test_identical_submission_is_one_simulation(self, manager):
+        """The acceptance criterion: same (kernel, scheduler, config)
+        twice -> exactly one simulation, ledger shows a cache hit."""
+        first = manager.submit(RUN)
+        wait_terminal(first)
+        assert manager.cache.runs_executed == 1
+        second = manager.submit(RUN)
+        assert second.state == JobState.DONE  # instant, no queueing
+        assert second.cache_hit is True
+        assert second.result == first.result
+        assert manager.cache.runs_executed == 1
+        assert "cache-hit" in ledger_events(manager)
+
+    def test_priority_is_not_part_of_the_content(self, manager):
+        first = manager.submit(RUN)
+        wait_terminal(first)
+        second = manager.submit(dict(RUN, priority=7))
+        assert second.cache_hit is True
+        assert manager.cache.runs_executed == 1
+
+    def test_concurrent_identical_jobs_coalesce(self, manager):
+        primary = manager.submit(LONG_RUN)
+        wait_for(lambda: primary.state == JobState.RUNNING)
+        twin = manager.submit(LONG_RUN)
+        assert twin.coalesced_with == primary.id
+        wait_terminal(primary)
+        wait_terminal(twin, timeout=10.0)
+        assert twin.state == JobState.DONE
+        assert twin.cache_hit is True
+        assert twin.result == primary.result
+        assert manager.cache.runs_executed == 1
+        assert "coalesced" in ledger_events(manager)
+
+    def test_dedup_survives_restart_via_checkpoint(self, tmp_path):
+        directory = str(tmp_path / "serve")
+        with JobManager(ServeConfig(directory=directory)) as first:
+            job = first.submit(RUN)
+            wait_terminal(job)
+            payload = job.result
+            assert first.cache.runs_executed == 1
+        reborn = JobManager(
+            ServeConfig(directory=directory, force=True)
+        ).start()
+        try:
+            job = reborn.submit(RUN)
+            assert job.state == JobState.DONE
+            assert job.cache_hit is True
+            assert job.result == payload
+            assert reborn.cache.runs_executed == 0
+            assert "cache-hit" in ledger_events(reborn)
+        finally:
+            reborn.close()
+
+
+class TestPreemption:
+    def test_preempted_job_resumes_bit_identically(self, manager):
+        low = manager.submit(LONG_RUN)
+        wait_for(lambda: low.state == JobState.RUNNING)
+        high = manager.submit(dict(RUN, priority=5))
+        wait_terminal(high)
+        wait_terminal(low)
+        assert low.state == JobState.DONE
+        assert low.preemptions == 1
+        assert low.attempts == 2
+        assert manager.cache.snapshot_resumes == 1
+        # High priority finished before the preempted job came back.
+        assert high.finished_at <= low.finished_at
+        events = ledger_events(manager)
+        for expected in ("preempt-request", "preempted", "resumed"):
+            assert expected in events
+        # The acceptance criterion: counters (incl. per-SM) bit-identical
+        # to an uninterrupted run of the same cell.
+        direct = simulate("aesEncrypt128", "pro",
+                          cfg=GPUConfig.scaled(2), scale=1.0)
+        assert low.result["result"] == result_to_json(direct)
+
+    def test_equal_priority_does_not_preempt(self, manager):
+        low = manager.submit(LONG_RUN)
+        wait_for(lambda: low.state == JobState.RUNNING)
+        peer = manager.submit(RUN)  # same priority: waits its turn
+        wait_terminal(low)
+        wait_terminal(peer)
+        assert low.preemptions == 0
+        assert "preempt-request" not in ledger_events(manager)
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, manager):
+        running = manager.submit(LONG_RUN)
+        wait_for(lambda: running.state == JobState.RUNNING)
+        queued = manager.submit(RUN)
+        cancelled = manager.cancel(queued.id)
+        assert cancelled.state == JobState.CANCELLED
+        wait_terminal(running)
+        # The cancelled job never ran.
+        assert queued.started_at is None
+        assert queued.attempts == 0
+
+    def test_cancel_running_job_keeps_its_snapshot(self, manager):
+        job = manager.submit(LONG_RUN)
+        wait_for(lambda: job.state == JobState.RUNNING)
+        manager.cancel(job.id)
+        wait_terminal(job)
+        assert job.state == JobState.CANCELLED
+        # Service keeps serving...
+        after = manager.submit(RUN)
+        assert wait_terminal(after) == JobState.DONE
+        # ...and a re-submission of the cancelled cell resumes from the
+        # snapshot the cancel left behind instead of restarting.
+        retry = manager.submit(LONG_RUN)
+        assert wait_terminal(retry) == JobState.DONE
+        assert manager.cache.snapshot_resumes == 1
+        direct = simulate("aesEncrypt128", "pro",
+                          cfg=GPUConfig.scaled(2), scale=1.0)
+        assert retry.result["result"] == result_to_json(direct)
+
+    def test_cancel_unknown_job(self, manager):
+        assert manager.cancel("j9999-missing") is None
+
+
+class TestFailures:
+    def test_injected_cell_failure_fails_the_job(self, tmp_path):
+        plan = FaultPlan().fail_cell("scalarProdGPU", "pro", times=10)
+        m = JobManager(ServeConfig(directory=str(tmp_path / "serve")),
+                       fault_plan=plan).start()
+        try:
+            job = m.submit(RUN)
+            assert wait_terminal(job) == JobState.FAILED
+            assert "InjectedFault" in job.error
+            assert job.result is None
+            # The failure did not poison the service or the dedup map:
+            # an unrelated cell still runs.
+            ok = m.submit(dict(RUN, scheduler="lrr"))
+            assert wait_terminal(ok) == JobState.DONE
+        finally:
+            m.close()
+
+
+class TestSweepJobs:
+    def test_sweep_recovers_from_worker_death(self, tmp_path):
+        plan = FaultPlan().kill_worker("scalarProdGPU", "lrr")
+        m = JobManager(ServeConfig(directory=str(tmp_path / "serve"),
+                                   jobs=2), fault_plan=plan).start()
+        try:
+            job = m.submit({"kind": "sweep", "kernels": ["scalarProdGPU"],
+                            "schedulers": ["lrr", "pro"],
+                            "sms": 2, "scale": 0.25})
+            assert wait_terminal(job) == JobState.DONE
+            assert job.result["failures"] == []
+            assert job.result["simulated"] == 2
+            cells = job.result["cells"]
+            assert cells["scalarProdGPU/lrr"]["cycles"] > 0
+            # The pool's recovery telemetry reached the ledger and the
+            # job's event feed.
+            pool_kinds = [e["pool_kind"] for e in m.ledger.entries()
+                          if e["event"] == "pool"]
+            assert "worker-death" in pool_kinds
+            assert "respawn" in pool_kinds
+            assert any("worker-death" in line for line in job.events)
+            assert job.progress["cells_done"] == 2
+            # And the killed-then-redispatched cell's counters are the
+            # true ones.
+            direct = simulate("scalarProdGPU", "lrr",
+                              cfg=GPUConfig.scaled(2), scale=0.25)
+            assert cells["scalarProdGPU/lrr"] == result_to_json(direct)
+        finally:
+            m.close()
+
+    def test_sweep_dedups_against_run_jobs(self, manager):
+        run = manager.submit(RUN)
+        wait_terminal(run)
+        sweep = manager.submit({"kind": "sweep",
+                                "kernels": ["scalarProdGPU"],
+                                "schedulers": ["pro"],
+                                "sms": 2, "scale": 0.25})
+        assert wait_terminal(sweep) == JobState.DONE
+        # The sweep's only cell was already simulated by the run job.
+        assert manager.cache.runs_executed == 1
+        assert sweep.result["simulated"] == 0
+        assert sweep.cache_hit is True
+
+
+class TestFidelityJobs:
+    def test_smoke_profile_scores(self, manager):
+        job = manager.submit({"kind": "fidelity", "profile": "smoke"})
+        assert wait_terminal(job, timeout=600.0) == JobState.DONE
+        assert job.result["kind"] == "fidelity"
+        assert job.result["ok"] is True
+        assert job.result["report"]["profile"]["name"] == "smoke"
