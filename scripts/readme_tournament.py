@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the README scheduler-tournament table.
+
+Reads the committed smoke-profile tournament artifact
+(``benchmarks/TOURNAMENT_smoke.json``, written by ``pro-sim tournament
+--smoke --json``) and splices its markdown rendering between the
+``<!-- tournament:begin -->`` / ``<!-- tournament:end -->`` markers in
+README.md — the README table is generated, never hand-edited.
+
+Usage::
+
+    python scripts/readme_tournament.py           # rewrite README.md
+    python scripts/readme_tournament.py --check   # exit 1 if stale (CI)
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.tournament import TournamentResult  # noqa: E402
+
+BEGIN = "<!-- tournament:begin -->"
+END = "<!-- tournament:end -->"
+
+
+def splice(readme: str, markdown: str) -> str:
+    try:
+        head, rest = readme.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"README.md is missing the {BEGIN} / {END} markers"
+        )
+    return f"{head}{BEGIN}\n{markdown}{END}{tail}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact",
+                        default="benchmarks/TOURNAMENT_smoke.json")
+    parser.add_argument("--readme", default="README.md")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the README is current; do not write")
+    args = parser.parse_args()
+
+    with open(args.artifact) as f:
+        result = TournamentResult.from_json(json.load(f))
+    with open(args.readme) as f:
+        readme = f.read()
+    updated = splice(readme, result.render_markdown())
+    if args.check:
+        if updated != readme:
+            print(f"STALE: {args.readme} tournament table does not match "
+                  f"{args.artifact}; run scripts/readme_tournament.py")
+            return 1
+        print(f"OK: {args.readme} tournament table is current")
+        return 0
+    if updated == readme:
+        print(f"{args.readme}: already current")
+        return 0
+    with open(args.readme, "w") as f:
+        f.write(updated)
+    print(f"{args.readme}: tournament table regenerated from "
+          f"{args.artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,14 @@ Schedulers are looked up by name via :func:`available_schedulers` /
 ``pro-norm`` PRO extension: normalized (fractional) progress (§III-C.1/§VI)
 ``of``     Oldest-First reference (GTO without the greedy component)
 ``rand``   Deterministic pseudo-random priority (policy floor)
+``rlws``   RL-based warp scheduler (Anantpur et al., arXiv:1712.04303):
+           tabular Q-learner over ready/stall/memory features
+``wasp``   Scout-warp prefetch mimicking (Joseph et al., arXiv:2404.06156)
 ========== ==========================================================
+
+The post-2015 frontier entries (``rlws``/``wasp``) make the repo a
+scheduler arena: ``pro-sim tournament`` races all six first-class
+policies over the Table II kernel matrix.
 """
 
 from .scheduler import (
@@ -29,15 +36,20 @@ from .tl import TwoLevelScheduler
 from .pro import ProManager, ProScheduler
 from . import variants as _variants  # noqa: F401  (registers pro-nb / pro-nf / pro-norm)
 from . import extra as _extra  # noqa: F401  (registers of / rand)
+from .rlws import QTable, RlwsScheduler
+from .wasp import WaspScheduler
 
 __all__ = [
     "GtoScheduler",
     "LrrScheduler",
     "ProManager",
     "ProScheduler",
+    "QTable",
+    "RlwsScheduler",
     "TbState",
     "TwoLevelScheduler",
     "WarpScheduler",
+    "WaspScheduler",
     "allowed_transitions",
     "available_schedulers",
     "build_schedulers",

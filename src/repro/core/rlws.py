@@ -1,0 +1,435 @@
+"""RLWS — Reinforcement Learning based Warp Scheduler (Anantpur et al.).
+
+A reproduction-scale take on RLWS (arXiv:1712.04303, by the PRO author):
+the scheduler is a tabular Q-learner whose *state* is a discretized view
+of the signals this simulator already exposes to probes — ready-warp
+count, the dominant stall class of the recent window, and pending-memory
+depth (MSHR occupancy) — and whose *actions* are warp-ordering policies.
+Every ``quantum`` cycles the scheduler observes the state, picks the
+highest-valued action (greedily at inference; epsilon-greedily while
+training) and serves that ordering until the next decision point. The
+reward is the issue throughput achieved during the quantum (RLWS's
+reward is IPC), credited with a standard TD(0) update when learning is
+enabled.
+
+The Q-table is an offline artifact: :func:`load_default_table` reads the
+versioned JSON packaged at ``data/rlws_qtable.json`` (overridable via the
+``REPRO_RLWS_QTABLE`` environment variable, which is how the parallel
+training sweep ships candidate tables to worker processes). Inference
+runs never mutate the table, so simulations stay deterministic;
+training runs (see :mod:`repro.core.rlws_train`) share one mutable
+:class:`QTable` across episodes.
+
+State, action, reward and every piece of bookkeeping are plain data, so
+``rlws`` honors the full stateful-component contract: ``snapshot()`` /
+``restore()`` round-trips mid-run bit-exactly (Q-table included) and the
+scheduler runs unchanged inside worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from bisect import bisect_right
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from .scheduler import WarpScheduler, register_scheduler
+
+#: Ordering policies the learner chooses between (the action space).
+ACTIONS = (
+    "oldest",          # strict age order (OF)
+    "youngest",        # reverse age order
+    "most-progress",   # descending warp progress (stagger leaders ahead)
+    "least-progress",  # ascending warp progress (drag stragglers)
+    "round-robin",     # rotating start after the last issued warp (LRR)
+    "greedy-oldest",   # last issued warp first, then age order (GTO)
+)
+
+#: Feature discretization: right-open bucket upper bounds.
+READY_BUCKETS = (1, 2, 4, 8)    # 0 | 1 | 2-3 | 4-7 | 8+
+MEM_BUCKETS = (1, 3, 7)         # 0 | 1-2 | 3-6 | 7+
+#: Dominant-stall feature values (index = code).
+STALL_CLASSES = ("none", "idle", "scoreboard", "pipeline")
+
+ARTIFACT_SCHEMA = 1
+DATA_PATH = Path(__file__).parent / "data" / "rlws_qtable.json"
+#: Environment override for the Q-table artifact — the training sweep's
+#: channel for shipping candidate tables into worker processes.
+ENV_TABLE = "REPRO_RLWS_QTABLE"
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    """SplitMix64 finalizer: the deterministic exploration hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class QTableError(ReproError):
+    """Malformed or unreadable Q-table artifact."""
+
+
+class QTable:
+    """Tabular state -> action-value store with artifact (de)serialization.
+
+    States are ``"r.s.m"`` keys (ready bucket, stall class code, memory
+    bucket); values are ``len(ACTIONS)`` floats. Unvisited states answer
+    with ``default_q`` — a prior that ranks the GTO-like ordering first,
+    so an untrained table already behaves like a sane baseline.
+    """
+
+    def __init__(
+        self,
+        q: Optional[Dict[str, List[float]]] = None,
+        *,
+        default_q: Optional[List[float]] = None,
+        alpha: float = 0.10,
+        gamma: float = 0.90,
+        epsilon: float = 0.08,
+        quantum: int = 24,
+        version: str = "untrained",
+    ) -> None:
+        self.q: Dict[str, List[float]] = {k: list(v) for k, v in (q or {}).items()}
+        # Prior: greedy-oldest slightly above oldest, everything else flat.
+        self.default_q = list(default_q) if default_q is not None else [
+            0.05, 0.0, 0.0, 0.0, 0.0, 0.10,
+        ]
+        if len(self.default_q) != len(ACTIONS):
+            raise QTableError(
+                f"default_q needs {len(ACTIONS)} entries, got "
+                f"{len(self.default_q)}"
+            )
+        for key, row in self.q.items():
+            if len(row) != len(ACTIONS):
+                raise QTableError(
+                    f"state {key!r} has {len(row)} action values, "
+                    f"expected {len(ACTIONS)}"
+                )
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.quantum = quantum
+        self.version = version
+
+    # -- lookups -------------------------------------------------------
+
+    def row(self, state: str) -> List[float]:
+        """The mutable action-value row for ``state`` (created on demand)."""
+        r = self.q.get(state)
+        if r is None:
+            r = list(self.default_q)
+            self.q[state] = r
+        return r
+
+    def values(self, state: str) -> List[float]:
+        """Read-only action values (no row materialization)."""
+        return self.q.get(state, self.default_q)
+
+    def best_action(self, state: str) -> int:
+        """Greedy argmax with deterministic lowest-index tie-breaking."""
+        vals = self.values(state)
+        best, best_v = 0, vals[0]
+        for i in range(1, len(vals)):
+            if vals[i] > best_v:
+                best, best_v = i, vals[i]
+        return best
+
+    def update(self, state: str, action: int, reward: float,
+               next_state: str) -> None:
+        """One TD(0) backup: ``Q[s,a] += a*(r + g*maxQ[s'] - Q[s,a])``."""
+        row = self.row(state)
+        target = reward + self.gamma * max(self.values(next_state))
+        row[action] += self.alpha * (target - row[action])
+
+    # -- artifact (de)serialization ------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "version": self.version,
+            "actions": list(ACTIONS),
+            "features": {
+                "ready_buckets": list(READY_BUCKETS),
+                "mem_buckets": list(MEM_BUCKETS),
+                "stall_classes": list(STALL_CLASSES),
+            },
+            "alpha": self.alpha,
+            "gamma": self.gamma,
+            "epsilon": self.epsilon,
+            "quantum": self.quantum,
+            "default_q": list(self.default_q),
+            "q": {k: list(v) for k, v in sorted(self.q.items())},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, source: str = "<data>") -> "QTable":
+        if data.get("schema") != ARTIFACT_SCHEMA:
+            raise QTableError(
+                f"{source}: Q-table schema {data.get('schema')!r} != "
+                f"{ARTIFACT_SCHEMA}"
+            )
+        if tuple(data.get("actions", ())) != ACTIONS:
+            raise QTableError(
+                f"{source}: action set {data.get('actions')!r} does not "
+                f"match this simulator's {list(ACTIONS)}"
+            )
+        if data.get("quantum", 1) <= 0:
+            raise QTableError(f"{source}: quantum must be positive")
+        return cls(
+            q=data.get("q", {}),
+            default_q=data.get("default_q"),
+            alpha=data.get("alpha", 0.10),
+            gamma=data.get("gamma", 0.90),
+            epsilon=data.get("epsilon", 0.08),
+            quantum=data.get("quantum", 24),
+            version=data.get("version", "unversioned"),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=1) + "\n",
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QTable":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise QTableError(f"Q-table artifact not found: {path}") from None
+        except json.JSONDecodeError as err:
+            raise QTableError(f"{path} is not JSON: {err}") from None
+        return cls.from_json(data, source=str(path))
+
+
+#: Process-wide cache of the default artifact: (resolved path, table).
+_DEFAULT_CACHE: Optional[tuple] = None
+
+
+def load_default_table() -> QTable:
+    """The packaged Q-table artifact (or the ``REPRO_RLWS_QTABLE`` one).
+
+    Loaded once per process and shared read-only between scheduler
+    instances — inference never mutates it.
+    """
+    global _DEFAULT_CACHE
+    path = os.environ.get(ENV_TABLE) or DATA_PATH
+    if _DEFAULT_CACHE is not None and _DEFAULT_CACHE[0] == str(path):
+        return _DEFAULT_CACHE[1]
+    table = QTable.load(path)
+    _DEFAULT_CACHE = (str(path), table)
+    return table
+
+
+class RlwsScheduler(WarpScheduler):
+    """Q-learning warp scheduler over ProbeBus-grade state features."""
+
+    name = "rlws"
+
+    def __init__(self, sm, sched_id, cfg, *, table: Optional[QTable] = None,
+                 learn: bool = False) -> None:
+        super().__init__(sm, sched_id, cfg)
+        self.table = table if table is not None else load_default_table()
+        self.learn = learn
+        self.quantum = self.table.quantum
+        #: Cycle at/after which the next decision fires.
+        self._next_decision = 0
+        #: Current action index (the ordering being served).
+        self._action = self.table.best_action("0.0.0")
+        #: State the current action was chosen in (TD backup source).
+        self._state: Optional[str] = None
+        #: Instructions issued since the last decision (the reward signal).
+        self._issued = 0
+        #: Stall-counter values at the last decision (delta -> stall mix).
+        self._prev_stall = (0, 0, 0)
+        #: Round-robin start index (actions "round-robin").
+        self._rr = 0
+        #: Last issued warp (action "greedy-oldest").
+        self._greedy = None
+        #: Cached priority order served until the next decision/rebuild.
+        self._order: List = []
+        self._dirty = True
+
+    # -- feature extraction --------------------------------------------
+
+    def _observe(self, cycle: int) -> str:
+        """Discretized state key ``"ready.stall.mem"`` at ``cycle``."""
+        ready = 0
+        for w in self.warps:
+            if w.finished or w.at_barrier or cycle < w.next_valid_cycle:
+                continue
+            pending = w.scoreboard._pending
+            if pending:
+                instr = w.instructions[w.pc]
+                dst = instr.dst
+                if (dst is not None and dst in pending) or not (
+                    pending.isdisjoint(instr.srcs)
+                ):
+                    continue
+            ready += 1
+        c = self.sm.counters
+        idle, sb, pipe = (c.stall_idle, c.stall_scoreboard, c.stall_pipeline)
+        p_idle, p_sb, p_pipe = self._prev_stall
+        deltas = (idle - p_idle, sb - p_sb, pipe - p_pipe)
+        self._prev_stall = (idle, sb, pipe)
+        if max(deltas) <= 0:
+            stall = 0
+        else:
+            # 1=idle, 2=scoreboard, 3=pipeline; ties resolve to the
+            # first (deterministic).
+            stall = 1 + deltas.index(max(deltas))
+        mshr = self.sm.memory.mshr[self.sm.sm_id]
+        depth = mshr.occupancy(cycle)["in_flight"]
+        return (f"{bisect_right(READY_BUCKETS, ready)}.{stall}."
+                f"{bisect_right(MEM_BUCKETS, depth)}")
+
+    # -- ordering ------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Render the current action into a concrete warp order."""
+        warps = self.warps
+        action = self._action
+        if action == 0:      # oldest
+            order = list(warps)
+        elif action == 1:    # youngest
+            order = list(reversed(warps))
+        elif action == 2:    # most-progress
+            order = sorted(warps, key=lambda w: -w.progress)
+        elif action == 3:    # least-progress
+            order = sorted(warps, key=lambda w: w.progress)
+        elif action == 4:    # round-robin
+            start = self._rr % len(warps) if warps else 0
+            order = warps[start:] + warps[:start]
+        else:                # greedy-oldest
+            g = self._greedy
+            if g is None or g.finished or g not in warps:
+                order = list(warps)
+            else:
+                order = [g] + [w for w in warps if w is not g]
+        self._order = order
+        self._dirty = False
+
+    def order(self, cycle: int) -> Sequence:
+        if cycle >= self._next_decision:
+            self._decide(cycle)
+        elif self._dirty:
+            self._rebuild()
+        return self._order
+
+    def _decide(self, cycle: int) -> None:
+        state = self._observe(cycle)
+        if self.learn and self._state is not None:
+            reward = self._issued / self.quantum
+            self.table.update(self._state, self._action, reward, state)
+        if self.learn:
+            h = _mix((cycle << 16) ^ (self.sm.sm_id << 8) ^ self.sched_id)
+            if (h % 10_000) / 10_000.0 < self.table.epsilon:
+                action = (h >> 32) % len(ACTIONS)
+            else:
+                action = self.table.best_action(state)
+        else:
+            action = self.table.best_action(state)
+        self._state = state
+        self._action = action
+        self._issued = 0
+        self._next_decision = cycle + self.quantum
+        self._rebuild()
+
+    def note_issued(self, warp, cycle: int) -> None:
+        self._issued += 1
+        self._greedy = warp
+        try:
+            self._rr = self.warps.index(warp) + 1
+        except ValueError:  # warp finished on this very issue (EXIT)
+            self._rr = 0
+
+    # -- pool maintenance ----------------------------------------------
+
+    def on_tb_assigned(self, tb, cycle: int) -> None:
+        super().on_tb_assigned(tb, cycle)
+        self._dirty = True
+
+    def on_warp_finished(self, warp, cycle: int) -> None:
+        if warp.sched_id != self.sched_id:
+            return
+        idx = None
+        try:
+            idx = self.warps.index(warp)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        super().on_warp_finished(warp, cycle)
+        if self._greedy is warp:
+            self._greedy = None
+        # Keep the round-robin point stable across removals (LRR rule).
+        if idx is not None and idx < self._rr:
+            self._rr -= 1
+        self._dirty = True
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        g = self._greedy
+        data.update({
+            # Full Q-table state: restore must not depend on the artifact
+            # on disk (which may have changed since the run started).
+            "qtable": self.table.to_json(),
+            "learn": self.learn,
+            "next_decision": self._next_decision,
+            "action": self._action,
+            "state": self._state,
+            "issued": self._issued,
+            "prev_stall": list(self._prev_stall),
+            "rr": self._rr,
+            "greedy": None if g is None or g.finished else self.warp_ref(g),
+            # Served order: live warps only (finished warps are skipped
+            # by the SM scan with no side effects, so dropping them is
+            # behavior-preserving and keeps every ref resolvable).
+            "order": [self.warp_ref(w) for w in self._order
+                      if not w.finished],
+            "dirty": self._dirty,
+        })
+        return data
+
+    def restore(self, data: dict, warp_map) -> None:
+        super().restore(data, warp_map)
+        self.table = QTable.from_json(data["qtable"], source="<snapshot>")
+        self.learn = data["learn"]
+        self.quantum = self.table.quantum
+        self._next_decision = data["next_decision"]
+        self._action = data["action"]
+        self._state = data["state"]
+        self._issued = data["issued"]
+        self._prev_stall = tuple(data["prev_stall"])
+        self._rr = data["rr"]
+        g = data["greedy"]
+        self._greedy = None if g is None else warp_map[tuple(g)]
+        self._order = [warp_map[tuple(r)] for r in data["order"]]
+        self._dirty = data["dirty"]
+
+
+def make_rlws_factory(*, table: Optional[QTable] = None, learn: bool = False):
+    """Registry factory for RLWS.
+
+    Without arguments this is the inference configuration: every
+    scheduler instance shares the (frozen) default artifact. A training
+    loop passes its own mutable ``table`` (shared across instances and
+    episodes) with ``learn=True``.
+    """
+
+    def factory(sm, cfg):
+        return [
+            RlwsScheduler(sm, i, cfg, table=table, learn=learn)
+            for i in range(cfg.num_schedulers)
+        ]
+
+    return factory
+
+
+register_scheduler("rlws", make_rlws_factory())

@@ -1,0 +1,254 @@
+"""Offline training loop for the RLWS scheduler (``pro-sim train-rlws``).
+
+RLWS learns offline, the way the paper trains per-application policies:
+
+1. **Episodes (sequential, in-process).** Each epoch runs every training
+   kernel once under a *learning* RLWS instance — all SMs and all
+   episodes share one mutable :class:`~repro.core.rlws.QTable`, updated
+   by TD(0) backups at every scheduling quantum with epsilon-greedy
+   exploration (epsilon decays per epoch). Episodes run on a bare
+   :class:`~repro.gpu.gpu.Gpu` — deliberately outside the
+   :class:`~repro.harness.runner.ResultCache`, whose memo would
+   otherwise answer every epoch after the first from cache.
+2. **Evaluation (the existing parallel sweep).** After each epoch the
+   candidate table is frozen to a temporary artifact, exported through
+   the ``REPRO_RLWS_QTABLE`` environment variable (worker processes
+   inherit it, so the frozen candidate rides the ordinary worker-payload
+   machinery), and raced against the LRR/GTO baselines with
+   :func:`~repro.harness.parallel.run_matrix_parallel` — geomean
+   speedups are the epoch's report card, exactly the IPC reward the
+   learner optimizes.
+
+The resulting artifact is versioned with a content digest and loads at
+scheduler construction (see :func:`repro.core.rlws.load_default_table`);
+the packaged default at ``repro/core/data/rlws_qtable.json`` was
+produced by this loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GPUConfig
+from .rlws import ENV_TABLE, QTable, make_rlws_factory
+from .scheduler import register_scheduler
+
+#: Transient registry name episodes run under (learning enabled).
+TRAIN_SCHEDULER = "rlws!train"
+#: Default training kernel set: the fidelity smoke subset — one
+#: single-kernel application per behavior class (barrier-heavy,
+#: divergent, compute-regular, ray-divergent, stall-heavy, headline).
+DEFAULT_KERNELS = (
+    "aesEncrypt128", "bfs_kernel", "cenergy", "sha1_overlap",
+    "calculate_temp", "scalarProdGPU",
+)
+#: Baselines each epoch's frozen candidate is raced against.
+EVAL_BASELINES = ("lrr", "gto")
+
+
+def _geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+@dataclass
+class Episode:
+    """One training run of one kernel."""
+
+    kernel: str
+    cycles: int
+    ipc: float
+
+
+@dataclass
+class Epoch:
+    """One pass over the training kernels plus its evaluation."""
+
+    index: int
+    epsilon: float
+    episodes: List[Episode] = field(default_factory=list)
+    #: baseline -> geomean(baseline cycles / rlws cycles) over the
+    #: evaluation kernels (>1 = the learned policy is faster).
+    eval_speedups: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingResult:
+    """The trained table and its per-epoch history."""
+
+    table: QTable
+    epochs: List[Epoch]
+    kernels: Tuple[str, ...]
+    sms: int
+    scale: float
+
+    def render(self) -> str:
+        lines = [
+            f"RLWS offline training: {len(self.epochs)} epoch(s) x "
+            f"{len(self.kernels)} kernel(s), {self.sms} SMs, "
+            f"scale {self.scale}",
+            f"Q-table: {len(self.table.q)} visited state(s), "
+            f"version {self.table.version}",
+        ]
+        for ep in self.epochs:
+            evals = " ".join(
+                f"vs-{b}={s:.4f}x" for b, s in ep.eval_speedups.items()
+            ) or "(not evaluated)"
+            lines.append(
+                f"  epoch {ep.index}: epsilon={ep.epsilon:.4f} "
+                f"episodes={len(ep.episodes)} {evals}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "kernels": list(self.kernels),
+            "sms": self.sms,
+            "scale": self.scale,
+            "epochs": [
+                {
+                    "index": ep.index,
+                    "epsilon": ep.epsilon,
+                    "episodes": [
+                        {"kernel": e.kernel, "cycles": e.cycles,
+                         "ipc": e.ipc}
+                        for e in ep.episodes
+                    ],
+                    "eval_speedups": dict(ep.eval_speedups),
+                }
+                for ep in self.epochs
+            ],
+            "qtable_version": self.table.version,
+            "visited_states": len(self.table.q),
+        }
+
+
+def table_digest(table: QTable) -> str:
+    """Content digest versioning a trained artifact."""
+    payload = json.dumps(
+        {"q": {k: list(v) for k, v in sorted(table.q.items())},
+         "default_q": table.default_q, "quantum": table.quantum},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def evaluate(
+    table: QTable,
+    kernels: Sequence[str],
+    config: GPUConfig,
+    scale: float,
+    *,
+    jobs: int = 1,
+    baselines: Sequence[str] = EVAL_BASELINES,
+) -> Dict[str, float]:
+    """Race a frozen candidate table against the baselines.
+
+    The table is written to a temporary artifact and exported via
+    ``REPRO_RLWS_QTABLE`` so both this process and any worker processes
+    construct ``rlws`` from the candidate; the cells run through the
+    ordinary (optionally parallel) sweep machinery on a private cache.
+    """
+    from ..harness.parallel import run_matrix_parallel
+    from ..harness.runner import ResultCache
+
+    schedulers = ("rlws",) + tuple(baselines)
+    cells = [(k, s) for k in kernels for s in schedulers]
+    prev = os.environ.get(ENV_TABLE)
+    fd, tmp = tempfile.mkstemp(prefix="rlws-candidate-", suffix=".json")
+    os.close(fd)
+    try:
+        table.save(tmp)
+        os.environ[ENV_TABLE] = tmp
+        cache = ResultCache()
+        results = run_matrix_parallel(cache, cells, config, scale,
+                                      jobs=jobs)
+    finally:
+        if prev is None:
+            os.environ.pop(ENV_TABLE, None)
+        else:
+            os.environ[ENV_TABLE] = prev
+        os.unlink(tmp)
+    return {
+        b: _geomean(
+            results[(k, b)].cycles / results[(k, "rlws")].cycles
+            for k in kernels
+        )
+        for b in baselines
+    }
+
+
+def train(
+    *,
+    kernels: Sequence[str] = DEFAULT_KERNELS,
+    epochs: int = 4,
+    sms: int = 2,
+    scale: float = 0.25,
+    jobs: int = 1,
+    epsilon_decay: float = 0.6,
+    seed_table: Optional[QTable] = None,
+    evaluate_epochs: bool = True,
+) -> TrainingResult:
+    """Run the offline training loop; returns the trained table.
+
+    Deterministic end to end: exploration uses the scheduler's
+    counter-hashed epsilon-greedy draw, so the same arguments always
+    produce the same artifact. When epochs are evaluated, the returned
+    table is the *best* frozen candidate by geomean-vs-LRR (early
+    stopping by selection — late epochs can regress as epsilon decays).
+    """
+    table = seed_table if seed_table is not None else QTable()
+    epsilon0 = table.epsilon
+    config = GPUConfig.scaled(sms)
+    register_scheduler(TRAIN_SCHEDULER,
+                       make_rlws_factory(table=table, learn=True))
+    from ..gpu.gpu import Gpu
+    from ..workloads import get_kernel
+
+    history: List[Epoch] = []
+    best: Optional[Tuple[float, QTable]] = None
+    for index in range(epochs):
+        table.epsilon = epsilon0 * (epsilon_decay ** index)
+        epoch = Epoch(index=index, epsilon=table.epsilon)
+        for name in kernels:
+            model = get_kernel(name)
+            result = Gpu(config, TRAIN_SCHEDULER).run(
+                model.build_launch(scale)
+            )
+            epoch.episodes.append(
+                Episode(kernel=name, cycles=result.cycles, ipc=result.ipc)
+            )
+        if evaluate_epochs:
+            frozen = QTable.from_json(table.to_json(), source="<candidate>")
+            frozen.epsilon = epsilon0
+            epoch.eval_speedups = evaluate(frozen, kernels, config, scale,
+                                           jobs=jobs)
+            score = epoch.eval_speedups.get("lrr", 0.0)
+            if best is None or score > best[0]:
+                best = (score, frozen)
+        history.append(epoch)
+    # Freeze the best evaluated candidate (or the final table when epoch
+    # evaluation is off), restore the artifact epsilon (inference
+    # ignores it, but the artifact should not encode the last epoch's
+    # decayed schedule) and stamp the content-digest version.
+    final = best[1] if best is not None else table
+    final.epsilon = epsilon0
+    final.version = f"trained-{table_digest(final)}"
+    return TrainingResult(table=final, epochs=history,
+                          kernels=tuple(kernels), sms=sms, scale=scale)
+
+
+def save_artifact(result: TrainingResult, path: str | Path) -> Path:
+    """Write the trained, versioned Q-table artifact."""
+    return result.table.save(path)

@@ -1,0 +1,177 @@
+"""WaSP — warp scheduling that mimics prefetching (Joseph et al.).
+
+A reproduction-scale take on WaSP (arXiv:2404.06156): instead of adding
+a hardware prefetcher, the scheduler manufactures prefetch behavior out
+of warp priorities. One warp per scheduler — the *scout* — is pushed
+ahead of its siblings at the start of each wave so its memory misses
+warm the caches and MSHRs for everyone behind it; once the scout has
+built a sufficient lead it is deliberately *de-prioritized* (sent to the
+back of the priority order) so the trailing warps catch up through the
+lines the scout already fetched, exactly the perceived-latency reduction
+a prefetcher provides. Each time the scout hands priority back, the
+followers go through WaSP's *warp-reordering phase*: the follower order
+is rotated so a different warp leads each wave, spreading the warm-line
+benefit instead of letting one neighbour monopolize it.
+
+Mechanics (all deterministic, all plain data):
+
+* The scout is the oldest live warp of the pool; when it finishes, the
+  next-oldest is elected lazily at the next scheduling decision.
+* ``SCOUT``-phase order: ``[scout] + rotate(followers)``. The phase ends
+  once the scout leads the closest follower by :data:`SCOUT_LEAD`
+  warp-instructions.
+* ``FOLLOW``-phase order: ``rotate(followers) + [scout]`` — the
+  de-prioritization. The phase ends (and the rotation advances — the
+  reordering phase) when the lead decays below half of
+  :data:`SCOUT_LEAD`.
+* Phase transitions are evaluated every :data:`CHECK_PERIOD` cycles, not
+  every cycle — the cached order between checks is what keeps WaSP off
+  the simulator's hot path.
+
+``wasp`` honors the full stateful-component contract: every field
+snapshots/restores bit-exactly mid-run, and the scheduler is a pure
+function of pool + cycle, so it runs unchanged inside worker processes
+and falls back (type-gated, like every non-inlined policy) to the
+reference interpreter under the vector backend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .scheduler import WarpScheduler, register_scheduler, simple_factory
+
+#: Scout lead target, in warp-instructions (progress is thread-weighted,
+#: so the comparison normalizes by the warp's thread count).
+SCOUT_LEAD = 32
+#: Hysteresis: hand priority back to the scout when the lead decays
+#: below this fraction of the target.
+LEAD_DECAY_NUM, LEAD_DECAY_DEN = 1, 2
+#: Cycles between phase-transition evaluations.
+CHECK_PERIOD = 16
+
+_SCOUT, _FOLLOW = 0, 1
+
+
+class WaspScheduler(WarpScheduler):
+    """Scout-warp prefetch-mimicking scheduler."""
+
+    name = "wasp"
+
+    def __init__(self, sm, sched_id, cfg) -> None:
+        super().__init__(sm, sched_id, cfg)
+        self._scout = None
+        self._phase = _SCOUT
+        #: Follower-rotation counter: advanced at each FOLLOW -> SCOUT
+        #: transition (the warp-reordering phase).
+        self._rotation = 0
+        #: Next cycle at/after which the phase is re-evaluated.
+        self._next_check = 0
+        self._order: List = []
+        self._dirty = True
+
+    # -- scheduling ----------------------------------------------------
+
+    def order(self, cycle: int) -> Sequence:
+        scout = self._scout
+        if scout is None or scout.finished:
+            self._elect()
+        elif cycle >= self._next_check:
+            self._check_phase(cycle)
+        if self._dirty:
+            self._rebuild()
+        return self._order
+
+    def _elect(self) -> None:
+        """Elect the oldest live warp as scout; restart in SCOUT phase."""
+        self._scout = self.warps[0] if self.warps else None
+        self._phase = _SCOUT
+        self._dirty = True
+
+    def _lead(self) -> int:
+        """Scout progress lead over the closest follower, normalized to
+        warp-instructions."""
+        scout = self._scout
+        chaser = None
+        for w in self.warps:
+            if w is scout:
+                continue
+            if chaser is None or w.progress > chaser:
+                chaser = w.progress
+        if chaser is None:
+            return 0
+        return (scout.progress - chaser) // max(1, scout.n_threads)
+
+    def _check_phase(self, cycle: int) -> None:
+        self._next_check = cycle + CHECK_PERIOD
+        lead = self._lead()
+        if self._phase == _SCOUT:
+            if lead >= SCOUT_LEAD:
+                self._phase = _FOLLOW
+                self._dirty = True
+        else:
+            if lead * LEAD_DECAY_DEN <= SCOUT_LEAD * LEAD_DECAY_NUM:
+                # Scout goes back out front; followers re-order so a
+                # different warp leads the new wave.
+                self._phase = _SCOUT
+                self._rotation += 1
+                self._dirty = True
+
+    def _rebuild(self) -> None:
+        scout = self._scout
+        followers = [w for w in self.warps if w is not scout]
+        if followers:
+            start = self._rotation % len(followers)
+            followers = followers[start:] + followers[:start]
+        if scout is None:
+            self._order = followers
+        elif self._phase == _SCOUT:
+            self._order = [scout] + followers
+        else:
+            self._order = followers + [scout]
+        self._dirty = False
+
+    # -- pool maintenance ----------------------------------------------
+
+    def on_tb_assigned(self, tb, cycle: int) -> None:
+        super().on_tb_assigned(tb, cycle)
+        self._dirty = True
+
+    def on_warp_finished(self, warp, cycle: int) -> None:
+        if warp.sched_id != self.sched_id:
+            return
+        super().on_warp_finished(warp, cycle)
+        if self._scout is warp:
+            # Lazy re-election at the next order() call (identical
+            # before and after a snapshot/restore round trip).
+            self._scout = None
+        self._dirty = True
+
+    # -- state serialization -------------------------------------------
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        s = self._scout
+        data.update({
+            "scout": None if s is None or s.finished else self.warp_ref(s),
+            "phase": self._phase,
+            "rotation": self._rotation,
+            "next_check": self._next_check,
+            "order": [self.warp_ref(w) for w in self._order
+                      if not w.finished],
+            "dirty": self._dirty,
+        })
+        return data
+
+    def restore(self, data: dict, warp_map) -> None:
+        super().restore(data, warp_map)
+        s = data["scout"]
+        self._scout = None if s is None else warp_map[tuple(s)]
+        self._phase = data["phase"]
+        self._rotation = data["rotation"]
+        self._next_check = data["next_check"]
+        self._order = [warp_map[tuple(r)] for r in data["order"]]
+        self._dirty = data["dirty"]
+
+
+register_scheduler("wasp", simple_factory(WaspScheduler))

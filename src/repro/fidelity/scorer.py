@@ -248,6 +248,10 @@ def verdicts_for_fig4(fig4_result,
     for e in expectations:
         if e.shape is None:
             continue
+        if e.scheduler != "pro":
+            # Frontier records (rlws/wasp) measure other numerators;
+            # Fig. 4 artifacts only carry PRO-over-baseline speedups.
+            continue
         if e.kind == "geomean_speedup":
             measured = fig4_result.geomeans[e.over]
         elif e.kind == "gto_closest":

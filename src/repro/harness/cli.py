@@ -21,6 +21,11 @@ Examples::
                                    # (submit/status/result/cancel over HTTP,
                                    # content-addressed dedup, priority
                                    # preemption; see docs/serve.md)
+    pro-sim tournament --smoke --json t.json
+                                   # race all six schedulers (lrr/gto/tl/
+                                   # pro/rlws/wasp) over the kernel matrix
+    pro-sim train-rlws --epochs 6 --jobs auto --qtable-out q.json
+                                   # offline-train the RLWS Q-table
 
 ``pro-sim fidelity`` scores the measured (kernels x schedulers) matrix
 against the tolerance-banded paper expectations (docs/fidelity.md) and
@@ -136,14 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all", "run", "bench", "trace",
                                        "fidelity", "diff-baseline",
-                                       "serve"],
+                                       "serve", "tournament",
+                                       "train-rlws"],
         help="which artifact to regenerate ('all' = every one; 'run' = a "
              "single kernel simulation; 'bench' = simulator throughput "
              "measurement; 'trace' = one instrumented run exporting "
              "windowed metrics + a Perfetto-loadable trace; 'fidelity' = "
              "score the reproduction against the paper expectations; "
              "'diff-baseline' = compare two golden baseline files/dirs; "
-             "'serve' = run the HTTP simulation-as-a-service job API)",
+             "'serve' = run the HTTP simulation-as-a-service job API; "
+             "'tournament' = race all six first-class schedulers over the "
+             "kernel matrix; 'train-rlws' = offline-train the RLWS "
+             "Q-table artifact)",
     )
     p.add_argument("kernel", nargs="?", default=None,
                    help="kernel name (for 'run' and 'trace'; 'trace' "
@@ -219,10 +228,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "crashes/deadlines before the sweep degrades to "
                         "in-process execution (default 4)")
     p.add_argument("--smoke", action="store_true",
-                   help="for 'bench'/'trace'/'fidelity': the quick CI "
-                        "variant (fewer, smaller cells; 'trace' drops to "
-                        "2 SMs at scale 0.25; 'fidelity' scores the smoke "
-                        "profile, which is also its default)")
+                   help="for 'bench'/'trace'/'fidelity'/'tournament': the "
+                        "quick CI variant (fewer, smaller cells; 'trace' "
+                        "drops to 2 SMs at scale 0.25; 'fidelity' scores "
+                        "the smoke profile, which is also its default; "
+                        "'tournament' races the 6 smoke kernels at 2 SMs, "
+                        "scale 0.25)")
+    p.add_argument("--epochs", type=int, default=None, metavar="N",
+                   help="for 'train-rlws': training epochs — passes over "
+                        "the training kernels with TD(0) updates and "
+                        "decaying exploration (default 4)")
+    p.add_argument("--qtable-out", default=None, metavar="PATH",
+                   help="for 'train-rlws': write the trained, "
+                        "content-digest-versioned Q-table artifact to PATH "
+                        "(exportable via REPRO_RLWS_QTABLE; omit for a "
+                        "dry training run)")
     p.add_argument("--full", action="store_true",
                    help="for 'fidelity': score the full profile (all "
                         "Table II kernels at the paper-faithful scaled "
@@ -286,6 +306,15 @@ def _resolve_geometry(args: argparse.Namespace) -> None:
             args.sms = profile.sms
         if args.scale is None:
             args.scale = profile.scale
+    elif (args.experiment == "train-rlws"
+          or (args.experiment == "tournament" and args.smoke)):
+        # Training always runs at the smoke geometry (the artifact is
+        # trained where CI evaluates it); the smoke tournament matches
+        # the fidelity smoke profile.
+        if args.sms is None:
+            args.sms = 2
+        if args.scale is None:
+            args.scale = 0.25
     else:
         if args.sms is None:
             args.sms = 4
@@ -309,6 +338,8 @@ def _guard_overwrite(parser: argparse.ArgumentParser,
     targets = [("--out", args.out), ("--json", args.json_out)]
     if args.experiment == "bench":
         targets.append(("--bench-out", args.bench_out))
+    if args.experiment == "train-rlws":
+        targets.append(("--qtable-out", args.qtable_out))
     if args.experiment == "trace":
         targets.append(("--metrics-out", args.metrics_out))
         targets.append(("--trace-out", args.trace_out))
@@ -355,9 +386,19 @@ def _validate_args(parser: argparse.ArgumentParser,
         parser.error(
             f"--max-respawns must be >= 0 (got {args.max_respawns})"
         )
-    if args.smoke and args.experiment not in ("bench", "trace", "fidelity"):
-        parser.error("--smoke only applies to 'bench', 'trace' and "
-                     "'fidelity'")
+    if args.smoke and args.experiment not in ("bench", "trace", "fidelity",
+                                              "tournament"):
+        parser.error("--smoke only applies to 'bench', 'trace', 'fidelity' "
+                     "and 'tournament'")
+    if args.epochs is not None:
+        if args.experiment != "train-rlws":
+            parser.error("--epochs only applies to 'train-rlws'")
+        if args.epochs <= 0:
+            parser.error(f"--epochs must be positive (got {args.epochs})")
+    elif args.experiment == "train-rlws":
+        args.epochs = 4
+    if args.qtable_out and args.experiment != "train-rlws":
+        parser.error("--qtable-out only applies to 'train-rlws'")
     if args.window <= 0:
         parser.error(f"--window must be positive (got {args.window})")
     if args.bench_out and args.experiment != "bench":
@@ -485,6 +526,30 @@ def _run_trace(cache: ResultCache, args: argparse.Namespace) -> List[str]:
     ]
 
 
+def _run_tournament(setup: ExperimentSetup, args: argparse.Namespace,
+                    chunks: List[str]) -> None:
+    """Race the six first-class schedulers; emit report + optional JSON.
+
+    ``--smoke`` uses the fidelity smoke kernel subset (geometry already
+    resolved to 2 SMs at scale 0.25); the default is the full Table II
+    matrix. Like fidelity, the markdown rendering is appended to
+    ``$GITHUB_STEP_SUMMARY`` when CI sets it.
+    """
+    from ..fidelity.expectations import SMOKE_KERNELS
+    from .tournament import run_tournament
+
+    kernels = SMOKE_KERNELS if args.smoke else None
+    result = run_tournament(setup, kernels=kernels,
+                            keep_going=args.keep_going)
+    chunks.append(result.render())
+    if args.json_out:
+        _dump_json(args.json_out, result.to_json())
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(result.render_markdown())
+
+
 def _run_fidelity(setup: ExperimentSetup, args: argparse.Namespace,
                   chunks: List[str]) -> bool:
     """Score the reproduction; returns the gate verdict (False = fail)."""
@@ -582,6 +647,20 @@ def main(argv: Optional[list] = None) -> int:
             chunks.extend(_run_trace(cache, args))
         elif args.experiment == "fidelity":
             fidelity_ok = _run_fidelity(setup, args, chunks)
+        elif args.experiment == "tournament":
+            _run_tournament(setup, args, chunks)
+        elif args.experiment == "train-rlws":
+            from ..core.rlws_train import save_artifact, train
+
+            training = train(epochs=args.epochs, sms=args.sms,
+                             scale=args.scale, jobs=args.jobs)
+            chunks.append(training.render())
+            if args.qtable_out:
+                path = save_artifact(training, args.qtable_out)
+                chunks.append(f"Q-table artifact -> {path} "
+                              f"(activate with REPRO_RLWS_QTABLE={path})")
+            if args.json_out:
+                _dump_json(args.json_out, training.to_json())
         elif args.experiment == "run":
             if args.resume:
                 result = Gpu.resume(args.resume,

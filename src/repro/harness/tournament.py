@@ -1,0 +1,200 @@
+"""The scheduler tournament (``pro-sim tournament``).
+
+Races every first-class scheduler — the three paper baselines, PRO, and
+the post-2015 frontier entries (RLWS, WaSP) — over the Table II kernel
+matrix and produces one comparison artifact: per-kernel cycle counts,
+speedups normalized to LRR, geomean speedups, and per-scheduler stall
+breakdowns. The result renders both as a monospace report (terminal) and
+as GitHub-flavored markdown (CI step summaries, README).
+
+This is deliberately *not* a fidelity experiment: the paper never ran
+RLWS or WaSP, so there are no paper-numeric targets here — the fidelity
+layer carries only shape-band expectations for the frontier schedulers.
+The tournament is the arena view: which policy wins where, and by what
+stall profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..stats.report import geomean, render_table
+from ..workloads import all_kernels
+from .runner import ExperimentSetup
+
+#: The six first-class schedulers, in presentation order.
+TOURNAMENT_SCHEDULERS = ("lrr", "gto", "tl", "pro", "rlws", "wasp")
+
+#: Speedups are normalized to this scheduler (the paper's Fig. 4 anchor
+#: is per-baseline; the tournament needs one common denominator).
+REFERENCE = "lrr"
+
+#: Stall kinds, in the paper's Table III column order.
+STALL_KINDS = ("pipeline", "idle", "scoreboard")
+
+
+@dataclass
+class TournamentResult:
+    """Full cross product of kernels x schedulers plus aggregates."""
+
+    schedulers: Tuple[str, ...]
+    kernels: Tuple[str, ...]
+    sms: int
+    scale: float
+    #: kernel -> scheduler -> end-to-end cycles.
+    cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: kernel -> scheduler -> warp-instructions per cycle.
+    ipc: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: kernel -> scheduler -> REFERENCE cycles / scheduler cycles.
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: scheduler -> geomean speedup over REFERENCE across kernels.
+    geomeans: Dict[str, float] = field(default_factory=dict)
+    #: scheduler -> stall kind -> mean fraction of stall cycles.
+    stalls: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Schedulers by geomean speedup, fastest first."""
+        return sorted(self.geomeans.items(), key=lambda kv: -kv[1])
+
+    def winner(self) -> str:
+        return self.ranking()[0][0]
+
+    def render(self) -> str:
+        parts = [render_table(
+            ("Rank", "Scheduler", f"Geomean vs {REFERENCE.upper()}",
+             "Pipe", "Idle", "SB"),
+            [
+                (i + 1, s.upper(), g,
+                 self.stalls[s]["pipeline"], self.stalls[s]["idle"],
+                 self.stalls[s]["scoreboard"])
+                for i, (s, g) in enumerate(self.ranking())
+            ],
+            title=(f"Scheduler tournament — {len(self.kernels)} kernels, "
+                   f"{self.sms} SMs, scale {self.scale}"),
+        )]
+        parts.append(render_table(
+            ("Kernel",) + tuple(s.upper() for s in self.schedulers),
+            [
+                (k,) + tuple(self.speedups[k][s] for s in self.schedulers)
+                for k in self.kernels
+            ],
+            title=f"Per-kernel speedup vs {REFERENCE.upper()}",
+        ))
+        return "\n\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavored markdown (CI step summary / README)."""
+        lines = [
+            f"### Scheduler tournament — {len(self.kernels)} kernels, "
+            f"{self.sms} SMs, scale {self.scale}",
+            "",
+            f"| Rank | Scheduler | Geomean vs {REFERENCE.upper()} "
+            "| Pipe | Idle | SB |",
+            "|---:|---|---:|---:|---:|---:|",
+        ]
+        for i, (s, g) in enumerate(self.ranking()):
+            st = self.stalls[s]
+            lines.append(
+                f"| {i + 1} | `{s}` | {g:.3f}x | {st['pipeline']:.3f} "
+                f"| {st['idle']:.3f} | {st['scoreboard']:.3f} |"
+            )
+        lines += [
+            "",
+            "| Kernel | " + " | ".join(f"`{s}`" for s in self.schedulers)
+            + " |",
+            "|---|" + "---:|" * len(self.schedulers),
+        ]
+        for k in self.kernels:
+            cells = " | ".join(
+                f"{self.speedups[k][s]:.3f}" for s in self.schedulers
+            )
+            lines.append(f"| {k} | {cells} |")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TournamentResult":
+        """Rehydrate from :meth:`to_json` output (README generation
+        re-renders the committed smoke artifact without re-simulating)."""
+        result = cls(
+            schedulers=tuple(data["schedulers"]),
+            kernels=tuple(data["kernels"]),
+            sms=data["sms"],
+            scale=data["scale"],
+            cycles=data["cycles"],
+            ipc=data["ipc"],
+            speedups=data["speedups"],
+            geomeans=data["geomeans"],
+            stalls=data["stalls"],
+        )
+        return result
+
+    def to_json(self) -> dict:
+        return {
+            "schedulers": list(self.schedulers),
+            "kernels": list(self.kernels),
+            "sms": self.sms,
+            "scale": self.scale,
+            "reference": REFERENCE,
+            "cycles": {k: dict(v) for k, v in self.cycles.items()},
+            "ipc": {k: dict(v) for k, v in self.ipc.items()},
+            "speedups": {k: dict(v) for k, v in self.speedups.items()},
+            "geomeans": dict(self.geomeans),
+            "stalls": {s: dict(v) for s, v in self.stalls.items()},
+            "ranking": [[s, g] for s, g in self.ranking()],
+        }
+
+
+def run_tournament(
+    setup: ExperimentSetup,
+    *,
+    kernels: Optional[Sequence[str]] = None,
+    schedulers: Sequence[str] = TOURNAMENT_SCHEDULERS,
+    keep_going: bool = False,
+) -> TournamentResult:
+    """Race ``schedulers`` over ``kernels`` (default: full Table II).
+
+    Runs through the setup's shared cache — with ``jobs > 1`` the matrix
+    is prewarmed by the supervised worker pool, then aggregated from
+    cache; sequential runs produce the identical result (workers are
+    bit-exact with the in-process path).
+    """
+    names = tuple(kernels) if kernels else tuple(
+        m.name for m in all_kernels()
+    )
+    if REFERENCE not in schedulers:
+        raise ValueError(f"tournament needs reference scheduler "
+                         f"{REFERENCE!r} in the field")
+    setup.prewarm(list(names), tuple(schedulers), keep_going=keep_going)
+    result = TournamentResult(
+        schedulers=tuple(schedulers),
+        kernels=names,
+        sms=setup.config.num_sms,
+        scale=setup.scale,
+    )
+    # scheduler -> stall kind -> per-kernel fractions (averaged below).
+    stall_acc: Dict[str, Dict[str, List[float]]] = {
+        s: {kind: [] for kind in STALL_KINDS} for s in schedulers
+    }
+    for k in names:
+        ref = setup.run(k, REFERENCE)
+        result.cycles[k] = {}
+        result.ipc[k] = {}
+        result.speedups[k] = {}
+        for s in schedulers:
+            r = setup.run(k, s)
+            result.cycles[k][s] = r.cycles
+            result.ipc[k][s] = r.counters.ipc
+            result.speedups[k][s] = ref.cycles / r.cycles
+            breakdown = r.counters.stall_breakdown()
+            for kind in STALL_KINDS:
+                stall_acc[s][kind].append(breakdown[kind])
+    for s in schedulers:
+        result.geomeans[s] = geomean(
+            result.speedups[k][s] for k in names
+        )
+        result.stalls[s] = {
+            kind: sum(vals) / len(vals)
+            for kind, vals in stall_acc[s].items()
+        }
+    return result

@@ -1,0 +1,258 @@
+"""Unit tests for the RLWS scheduler and its Q-table artifact."""
+
+import json
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.rlws import (
+    ACTIONS,
+    DATA_PATH,
+    ENV_TABLE,
+    QTable,
+    QTableError,
+    RlwsScheduler,
+    load_default_table,
+    make_rlws_factory,
+)
+from repro.core.scheduler import available_schedulers
+from repro.isa.builder import ProgramBuilder
+from repro.simt.threadblock import ThreadBlock
+from repro.stats.counters import SmCounters
+
+CFG = GPUConfig.scaled(1).with_(num_schedulers=1)
+
+
+def make_tb(idx, n_warps=4):
+    prog = ProgramBuilder("p", threads_per_tb=32 * n_warps).ialu(1).build()
+    tb = ThreadBlock(idx, prog)
+    tb.materialize(sm_id=0, launch_seq=idx, num_schedulers=1)
+    return tb
+
+
+class _StubMshr:
+    def __init__(self, depth=0):
+        self.depth = depth
+
+    def occupancy(self, cycle):
+        return {"in_flight": self.depth}
+
+
+class _StubMemory:
+    def __init__(self):
+        self.mshr = {0: _StubMshr()}
+
+
+class _StubSm:
+    """Just enough SM surface for RLWS feature extraction."""
+
+    def __init__(self):
+        self.sm_id = 0
+        self.counters = SmCounters(sm_id=0)
+        self.memory = _StubMemory()
+
+
+def make_sched(table=None, learn=False):
+    return RlwsScheduler(_StubSm(), 0, CFG,
+                         table=table if table is not None else QTable(),
+                         learn=learn)
+
+
+class TestQTable:
+    def test_prior_prefers_greedy_oldest(self):
+        t = QTable()
+        assert ACTIONS[t.best_action("0.0.0")] == "greedy-oldest"
+
+    def test_row_materializes_and_update_moves_value(self):
+        t = QTable()
+        assert "1.2.3" not in t.q
+        before = t.values("1.2.3")[0]
+        t.update("1.2.3", 0, reward=5.0, next_state="0.0.0")
+        assert "1.2.3" in t.q
+        assert t.q["1.2.3"][0] > before
+
+    def test_update_never_mutates_the_shared_default_row(self):
+        t = QTable()
+        prior = list(t.default_q)
+        t.update("9.9.9", 2, reward=3.0, next_state="8.8.8")
+        assert t.default_q == prior
+        assert t.values("7.7.7") == prior
+
+    def test_json_round_trip(self):
+        t = QTable(version="test-1")
+        t.update("1.0.2", 4, reward=1.0, next_state="1.0.2")
+        again = QTable.from_json(t.to_json())
+        assert again.to_json() == t.to_json()
+
+    def test_save_load_round_trip(self, tmp_path):
+        t = QTable(version="test-2")
+        t.update("2.1.0", 1, reward=0.5, next_state="2.1.0")
+        path = t.save(tmp_path / "q.json")
+        assert QTable.load(path).to_json() == t.to_json()
+
+    def test_schema_mismatch_rejected(self):
+        bad = QTable().to_json() | {"schema": 99}
+        with pytest.raises(QTableError):
+            QTable.from_json(bad)
+
+    def test_foreign_action_set_rejected(self):
+        bad = QTable().to_json() | {"actions": ["spin", "pray"]}
+        with pytest.raises(QTableError):
+            QTable.from_json(bad)
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(QTableError):
+            QTable(q={"0.0.0": [1.0, 2.0]})
+
+    def test_missing_artifact_rejected(self, tmp_path):
+        with pytest.raises(QTableError):
+            QTable.load(tmp_path / "nope.json")
+
+
+class TestArtifact:
+    def test_packaged_artifact_is_trained_and_loadable(self):
+        table = QTable.load(DATA_PATH)
+        assert table.version.startswith("trained-")
+        assert len(table.q) > 0
+
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        custom = QTable(version="env-test")
+        path = custom.save(tmp_path / "custom.json")
+        monkeypatch.setenv(ENV_TABLE, str(path))
+        assert load_default_table().version == "env-test"
+        monkeypatch.delenv(ENV_TABLE)
+        assert load_default_table().version != "env-test"
+
+
+class TestOrdering:
+    def test_registered(self):
+        assert "rlws" in available_schedulers()
+
+    def test_untrained_default_behaves_like_oldest_first(self):
+        # Prior argmax is greedy-oldest with no greedy warp yet -> age
+        # order.
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        assert list(s.order(0)) == tb.warps
+
+    def test_greedy_oldest_puts_last_issued_first(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        s.note_issued(tb.warps[2], 1)
+        # The served order is cached within a quantum; the greedy warp
+        # leads from the next decision point on.
+        order = list(s.order(s.quantum))
+        assert order[0] is tb.warps[2]
+
+    @pytest.mark.parametrize("action,expect", [
+        ("oldest", [0, 1, 2, 3]),
+        ("youngest", [3, 2, 1, 0]),
+        ("most-progress", [1, 3, 0, 2]),
+        ("least-progress", [2, 0, 3, 1]),
+    ])
+    def test_action_renderings(self, action, expect):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        for w, p in zip(tb.warps, (10, 40, 0, 20)):
+            w.progress = p
+        s._action = ACTIONS.index(action)
+        s._dirty = True
+        s._next_decision = 1_000_000  # freeze the decision clock
+        assert list(s.order(1)) == [tb.warps[i] for i in expect]
+
+    def test_round_robin_rotates_after_issue(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.note_issued(tb.warps[1], 0)
+        s._action = ACTIONS.index("round-robin")
+        s._dirty = True
+        s._next_decision = 1_000_000
+        assert list(s.order(1))[0] is tb.warps[2]
+
+    def test_decisions_fire_every_quantum(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        first = s._next_decision
+        assert first == s.quantum
+        s.order(first)
+        assert s._next_decision == first + s.quantum
+
+    def test_finished_warp_leaves_the_pool(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        s.on_warp_finished(tb.warps[1], 3)
+        assert tb.warps[1] not in s.order(4)
+
+
+class TestLearning:
+    def test_inference_never_mutates_the_table(self):
+        t = QTable()
+        s = make_sched(table=t)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        for cycle in range(0, 5 * t.quantum, t.quantum):
+            s.order(cycle)
+            s.note_issued(tb.warps[0], cycle)
+        assert t.q == {}
+
+    def test_learning_backs_up_reward(self):
+        t = QTable()
+        s = make_sched(table=t, learn=True)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        for _ in range(10):
+            s.note_issued(tb.warps[0], 1)
+        s.order(t.quantum)  # second decision performs the TD backup
+        assert len(t.q) >= 1
+
+    def test_factory_shares_one_table_across_instances(self):
+        t = QTable()
+        cfg = GPUConfig.scaled(1)
+        scheds = make_rlws_factory(table=t, learn=True)(_StubSm(), cfg)
+        assert len(scheds) == cfg.num_schedulers
+        assert all(s.table is t for s in scheds)
+
+
+class TestSnapshot:
+    def test_round_trip_restores_every_field(self):
+        t = QTable()
+        s = make_sched(table=t, learn=True)
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        s.note_issued(tb.warps[2], 1)
+        s.order(t.quantum)
+        snap = json.loads(json.dumps(s.snapshot()))  # must be JSON-safe
+
+        warp_map = {(0, w.warp_in_tb): w for w in tb.warps}
+        fresh = make_sched()
+        fresh.restore(snap, warp_map)
+        assert fresh._action == s._action
+        assert fresh._state == s._state
+        assert fresh._next_decision == s._next_decision
+        assert fresh._issued == s._issued
+        assert fresh._prev_stall == s._prev_stall
+        assert fresh._rr == s._rr
+        assert fresh._greedy is s._greedy
+        assert fresh._order == s._order
+        assert fresh.learn is True
+        assert fresh.table.to_json() == s.table.to_json()
+
+    def test_snapshot_embeds_qtable_not_a_disk_pointer(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        snap = s.snapshot()
+        assert snap["qtable"]["q"] == {k: list(v)
+                                       for k, v in s.table.q.items()}

@@ -1,0 +1,70 @@
+"""Unit tests for the RLWS offline training loop."""
+
+import json
+import os
+
+from repro.config import GPUConfig
+from repro.core.rlws import ENV_TABLE, QTable
+from repro.core.rlws_train import (
+    evaluate,
+    save_artifact,
+    table_digest,
+    train,
+)
+
+KERNELS = ("cenergy", "scalarProdGPU")
+
+
+def tiny_train(**over):
+    kw = dict(kernels=KERNELS, epochs=1, sms=1, scale=0.05)
+    kw.update(over)
+    return train(**kw)
+
+
+class TestTrain:
+    def test_training_visits_states_and_stamps_version(self):
+        result = tiny_train()
+        assert result.table.version == f"trained-{table_digest(result.table)}"
+        assert len(result.table.q) > 0
+        assert len(result.epochs) == 1
+        assert [e.kernel for e in result.epochs[0].episodes] == list(KERNELS)
+        assert set(result.epochs[0].eval_speedups) == {"lrr", "gto"}
+
+    def test_deterministic_end_to_end(self):
+        a = tiny_train()
+        b = tiny_train()
+        assert a.table.version == b.table.version
+        assert a.to_json() == b.to_json()
+
+    def test_epsilon_decays_per_epoch_but_artifact_restores_it(self):
+        result = tiny_train(epochs=2, evaluate_epochs=False)
+        eps = [ep.epsilon for ep in result.epochs]
+        assert eps[1] < eps[0]
+        assert result.table.epsilon == QTable().epsilon
+
+    def test_best_epoch_selection_uses_vs_lrr(self):
+        result = tiny_train(epochs=2)
+        best = max(ep.eval_speedups["lrr"] for ep in result.epochs)
+        got = evaluate(result.table, KERNELS, GPUConfig.scaled(1), 0.05)
+        assert got["lrr"] == best
+
+    def test_save_artifact_round_trips(self, tmp_path):
+        result = tiny_train()
+        path = save_artifact(result, tmp_path / "q.json")
+        loaded = QTable.load(path)
+        assert loaded.version == result.table.version
+        assert loaded.to_json() == result.table.to_json()
+        assert json.loads(path.read_text())["version"].startswith("trained-")
+
+
+class TestEvaluate:
+    def test_env_override_is_restored(self, tmp_path, monkeypatch):
+        sentinel = QTable(version="sentinel").save(tmp_path / "s.json")
+        monkeypatch.setenv(ENV_TABLE, str(sentinel))
+        evaluate(QTable(), ("cenergy",), GPUConfig.scaled(1), 0.05)
+        assert os.environ[ENV_TABLE] == str(sentinel)
+
+    def test_speedups_are_positive(self):
+        got = evaluate(QTable(), KERNELS, GPUConfig.scaled(1), 0.05)
+        assert set(got) == {"lrr", "gto"}
+        assert all(v > 0 for v in got.values())

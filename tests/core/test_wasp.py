@@ -1,0 +1,135 @@
+"""Unit tests for the WaSP scout-warp scheduler."""
+
+import json
+
+from repro.config import GPUConfig
+from repro.core.scheduler import available_schedulers
+from repro.core.wasp import CHECK_PERIOD, SCOUT_LEAD, WaspScheduler
+from repro.isa.builder import ProgramBuilder
+from repro.simt.threadblock import ThreadBlock
+
+CFG = GPUConfig.scaled(1).with_(num_schedulers=1)
+
+
+def make_tb(idx, n_warps=4):
+    prog = ProgramBuilder("p", threads_per_tb=32 * n_warps).ialu(1).build()
+    tb = ThreadBlock(idx, prog)
+    tb.materialize(sm_id=0, launch_seq=idx, num_schedulers=1)
+    return tb
+
+
+def make_sched():
+    return WaspScheduler(sm=None, sched_id=0, cfg=CFG)
+
+
+def give_lead(scout, followers, lead_warp_instructions):
+    """Put the scout ``lead_warp_instructions`` ahead of every follower."""
+    scout.progress = lead_warp_instructions * scout.n_threads
+    for w in followers:
+        w.progress = 0
+
+
+class TestPhases:
+    def test_registered(self):
+        assert "wasp" in available_schedulers()
+
+    def test_scout_is_oldest_and_leads_initially(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        order = list(s.order(0))
+        assert s._scout is tb.warps[0]
+        assert order[0] is tb.warps[0]
+        assert len(order) == 4
+
+    def test_scout_deprioritized_once_lead_builds(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        give_lead(tb.warps[0], tb.warps[1:], SCOUT_LEAD)
+        order = list(s.order(CHECK_PERIOD))
+        assert order[-1] is tb.warps[0], "scout must drop to the back"
+        assert order[:3] == tb.warps[1:]
+
+    def test_phase_checks_are_periodic_not_per_cycle(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        s.order(1)  # first check (lead 0): anchors next_check = 1 + period
+        give_lead(tb.warps[0], tb.warps[1:], SCOUT_LEAD)
+        # Before the next check boundary the cached SCOUT order persists.
+        assert list(s.order(CHECK_PERIOD))[0] is tb.warps[0]
+        assert list(s.order(CHECK_PERIOD + 1))[0] is not tb.warps[0]
+
+    def test_hysteresis_and_follower_rotation(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        give_lead(tb.warps[0], tb.warps[1:], SCOUT_LEAD)
+        s.order(CHECK_PERIOD)  # -> FOLLOW
+        # Lead decays to half: scout returns out front and the follower
+        # order rotates (the warp-reordering phase).
+        give_lead(tb.warps[0], tb.warps[1:], SCOUT_LEAD // 2)
+        order = list(s.order(2 * CHECK_PERIOD))
+        assert order[0] is tb.warps[0]
+        assert s._rotation == 1
+        assert order[1:] == [tb.warps[2], tb.warps[3], tb.warps[1]]
+
+    def test_lead_above_half_keeps_follow_phase(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        give_lead(tb.warps[0], tb.warps[1:], SCOUT_LEAD)
+        s.order(CHECK_PERIOD)
+        give_lead(tb.warps[0], tb.warps[1:], SCOUT_LEAD // 2 + 1)
+        assert list(s.order(2 * CHECK_PERIOD))[-1] is tb.warps[0]
+
+    def test_finished_scout_is_lazily_reelected(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        tb.warps[0].finished = True
+        s.on_warp_finished(tb.warps[0], 5)
+        order = list(s.order(6))
+        assert s._scout is tb.warps[1]
+        assert order[0] is tb.warps[1]
+        assert tb.warps[0] not in order
+
+    def test_empty_pool(self):
+        s = make_sched()
+        assert list(s.order(0)) == []
+
+
+class TestSnapshot:
+    def test_round_trip_restores_every_field(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        give_lead(tb.warps[0], tb.warps[1:], SCOUT_LEAD)
+        s.order(CHECK_PERIOD)  # FOLLOW phase, non-trivial state
+        snap = json.loads(json.dumps(s.snapshot()))  # must be JSON-safe
+
+        warp_map = {(0, w.warp_in_tb): w for w in tb.warps}
+        fresh = make_sched()
+        fresh.restore(snap, warp_map)
+        assert fresh._scout is s._scout
+        assert fresh._phase == s._phase
+        assert fresh._rotation == s._rotation
+        assert fresh._next_check == s._next_check
+        assert fresh._order == s._order
+        assert fresh._dirty == s._dirty
+
+    def test_finished_scout_snapshots_as_none(self):
+        s = make_sched()
+        tb = make_tb(0)
+        s.on_tb_assigned(tb, 0)
+        s.order(0)
+        tb.warps[0].finished = True
+        snap = s.snapshot()
+        assert snap["scout"] is None

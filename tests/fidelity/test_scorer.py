@@ -10,6 +10,7 @@ from repro.stats.counters import GpuCounters, SmCounters
 
 #: Two single-kernel applications (AES, CP) so per-app == per-kernel.
 PROFILE = FidelityProfile(name="toy", kernels=("aesEncrypt128", "cenergy"),
+                          schedulers=("tl", "lrr", "gto", "pro"),
                           sms=2, scale=0.25)
 
 

@@ -285,3 +285,85 @@ class TestSnapshotResumeFlags:
         assert rc == 3
         assert "interrupted:" in err and "x.snap" in err
         assert "re-run the same command" in err
+
+
+class TestTournament:
+    ARGS = ["tournament", "--smoke", "--sms", "1", "--scale", "0.05"]
+
+    def test_smoke_tournament_table_json_and_step_summary(
+            self, tmp_path, monkeypatch, capsys):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        path = tmp_path / "t.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduler tournament" in out
+        assert "Geomean vs LRR" in out
+        data = json.loads(path.read_text())
+        assert set(data["schedulers"]) == {"lrr", "gto", "tl", "pro",
+                                           "rlws", "wasp"}
+        assert data["reference"] == "lrr"
+        assert data["geomeans"]["lrr"] == 1.0
+        assert len(data["ranking"]) == 6
+        # The CI step summary got the markdown rendering.
+        md = summary.read_text()
+        assert md.startswith("### Scheduler tournament")
+        assert "| `rlws` |" in md and "| `wasp` |" in md
+
+    def test_smoke_uses_the_fidelity_smoke_kernels(self, tmp_path, capsys):
+        from repro.fidelity.expectations import SMOKE_KERNELS
+
+        path = tmp_path / "t.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert tuple(data["kernels"]) == tuple(SMOKE_KERNELS)
+
+    def test_json_round_trips_through_the_result_type(self, tmp_path,
+                                                      capsys):
+        from repro.harness.tournament import TournamentResult
+
+        path = tmp_path / "t.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        result = TournamentResult.from_json(json.loads(path.read_text()))
+        assert result.winner() == result.ranking()[0][0]
+        assert result.to_json() | {"reference": "lrr"} == json.loads(
+            path.read_text())
+
+
+class TestTrainRlws:
+    def test_writes_versioned_artifact_with_activation_hint(
+            self, tmp_path, capsys):
+        path = tmp_path / "q.json"
+        assert main(["train-rlws", "--epochs", "1", "--sms", "1",
+                     "--scale", "0.05", "--qtable-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "RLWS offline training" in out
+        assert "REPRO_RLWS_QTABLE" in out
+        data = json.loads(path.read_text())
+        assert data["version"].startswith("trained-")
+        assert data["q"]  # visited at least one state
+
+    def test_dry_run_without_artifact(self, capsys):
+        assert main(["train-rlws", "--epochs", "1", "--sms", "1",
+                     "--scale", "0.05"]) == 0
+        assert "epoch 0" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv", [
+        ["train-rlws", "--epochs", "0"],
+        ["train-rlws", "--epochs", "-1"],
+        ["tournament", "--qtable-out", "q.json"],  # train-rlws only
+        ["fig4", "--epochs", "2"],                 # train-rlws only
+    ])
+    def test_bad_arguments_exit_usage(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+
+    def test_qtable_out_overwrite_guarded(self, tmp_path, capsys):
+        path = tmp_path / "q.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit) as exc:
+            main(["train-rlws", "--epochs", "1", "--sms", "1",
+                  "--scale", "0.05", "--qtable-out", str(path)])
+        assert exc.value.code == 2
+        assert "--force" in capsys.readouterr().err

@@ -62,6 +62,23 @@ class TestEquivalence:
             assert (seq[key].counters.stall_breakdown()
                     == par[key].counters.stall_breakdown())
 
+    def test_frontier_schedulers_parallel_match_sequential(self):
+        """rlws/wasp cells must survive the worker-payload round trip:
+        a jobs=2 sweep is bit-identical to the sequential one."""
+        cells = [
+            (k, s)
+            for k in ("scalarProdGPU", "cenergy")
+            for s in ("rlws", "wasp")
+        ]
+        seq = run_matrix_parallel(ResultCache(), cells, CONFIG, SCALE,
+                                  jobs=1)
+        par = run_matrix_parallel(ResultCache(), cells, CONFIG, SCALE,
+                                  jobs=2)
+        assert _flatten(seq) == _flatten(par)
+        for key in cells:
+            assert (seq[key].counters.stall_breakdown()
+                    == par[key].counters.stall_breakdown())
+
     def test_results_land_in_cache_memo(self):
         cache = ResultCache()
         par = run_matrix_parallel(cache, CELLS, CONFIG, SCALE, jobs=2)

@@ -1,0 +1,57 @@
+"""Unit tests for the scheduler tournament aggregator."""
+
+import json
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness.runner import ExperimentSetup, ResultCache
+from repro.harness.tournament import (
+    REFERENCE,
+    TOURNAMENT_SCHEDULERS,
+    TournamentResult,
+    run_tournament,
+)
+
+
+def small_setup():
+    return ExperimentSetup(config=GPUConfig.scaled(1), scale=0.05,
+                           cache=ResultCache())
+
+
+class TestRunTournament:
+    def test_field_is_the_six_first_class_schedulers(self):
+        assert TOURNAMENT_SCHEDULERS == ("lrr", "gto", "tl", "pro",
+                                         "rlws", "wasp")
+        assert REFERENCE in TOURNAMENT_SCHEDULERS
+
+    def test_reference_must_be_in_the_field(self):
+        with pytest.raises(ValueError, match=REFERENCE):
+            run_tournament(small_setup(), kernels=("cenergy",),
+                           schedulers=("gto", "pro"))
+
+    def test_small_field_aggregates_and_ranks(self):
+        result = run_tournament(
+            small_setup(), kernels=("cenergy", "scalarProdGPU"),
+            schedulers=("lrr", "pro"),
+        )
+        assert result.geomeans["lrr"] == pytest.approx(1.0)
+        ranked = result.ranking()
+        assert [s for s, _ in ranked] == sorted(
+            ("lrr", "pro"), key=lambda s: -result.geomeans[s]
+        )
+        assert result.winner() == ranked[0][0]
+        for s in ("lrr", "pro"):
+            shares = result.stalls[s]
+            assert set(shares) == {"pipeline", "idle", "scoreboard"}
+            assert all(0.0 <= v <= 1.0 for v in shares.values())
+
+    def test_json_round_trip_and_markdown(self):
+        result = run_tournament(small_setup(), kernels=("cenergy",),
+                                schedulers=("lrr", "gto"))
+        data = json.loads(json.dumps(result.to_json()))
+        again = TournamentResult.from_json(data)
+        assert again.to_json() == result.to_json()
+        md = again.render_markdown()
+        assert md.startswith("### Scheduler tournament")
+        assert "| `lrr` |" in md and "cenergy" in md

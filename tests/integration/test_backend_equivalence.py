@@ -89,7 +89,8 @@ class TestSnapshotCrossBackend:
         assert resumed.cycles == baseline.cycles
         assert _counters(resumed) == _counters(baseline)
 
-    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro"])
+    @pytest.mark.parametrize("sched", ["lrr", "tl", "gto", "pro",
+                                       "rlws", "wasp"])
     def test_mid_run_snapshot_every_scheduler(self, tmp_path, sched):
         launch = KernelLaunch(tiny_program(barrier=True, loops=3), 6)
         baseline = Gpu(CFG, sched).run(launch)
@@ -98,7 +99,8 @@ class TestSnapshotCrossBackend:
         gpu.run(KernelLaunch(tiny_program(barrier=True, loops=3), 6),
                 snapshot_every=max(1, baseline.cycles // 3),
                 snapshot_path=snap)
-        _assert_vector_active(gpu)
+        if sched not in ("rlws", "wasp"):  # frontier pair routes to reference
+            _assert_vector_active(gpu)
         resumed = Gpu.resume(snap,
                              launch=KernelLaunch(
                                  tiny_program(barrier=True, loops=3), 6))
@@ -123,3 +125,46 @@ class TestFallback:
     def test_unknown_backend_rejected(self):
         with pytest.raises(Exception):
             Gpu(CFG, "pro", backend="simd")
+
+    @pytest.mark.parametrize("sched", ["rlws", "wasp"])
+    def test_frontier_schedulers_route_to_reference(self, sched):
+        """rlws/wasp have no vector selector: ``backend="vector"`` must
+        silently build reference SMs and match a reference run exactly."""
+        model = get_kernel("cenergy")
+        plain = Gpu(CFG, sched).run(model.build_launch(0.1))
+        gpu = Gpu(CFG, sched, backend="vector")
+        result = gpu.run(model.build_launch(0.1))
+        assert all(type(sm) is StreamingMultiprocessor for sm in gpu.sms)
+        assert _counters(result) == _counters(plain)
+
+    def test_registered_custom_scheduler_routes_to_reference(self):
+        """Any register_scheduler() policy outside the four inlined ones
+        falls back — even a subclass of an inlined policy, since the
+        selector match is exact-type on purpose."""
+        from repro.core.lrr import LrrScheduler
+        from repro.core.scheduler import (
+            _REGISTRY,
+            register_scheduler,
+            simple_factory,
+        )
+
+        class _Custom(LrrScheduler):
+            pass
+
+        register_scheduler("custom!fallback-test", simple_factory(_Custom))
+        try:
+            model = get_kernel("cenergy")
+            plain = Gpu(CFG, "lrr").run(model.build_launch(0.1))
+            gpu = Gpu(CFG, "custom!fallback-test", backend="vector")
+            result = gpu.run(model.build_launch(0.1))
+            assert all(
+                type(sm) is StreamingMultiprocessor for sm in gpu.sms
+            )
+            assert _counters(result) == _counters(plain)
+        finally:
+            _REGISTRY.pop("custom!fallback-test", None)
+
+    def test_inlined_policy_still_gets_vector_sms(self):
+        gpu = Gpu(CFG, "pro", backend="vector")
+        gpu.run(get_kernel("cenergy").build_launch(0.1))
+        _assert_vector_active(gpu)

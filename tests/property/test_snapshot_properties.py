@@ -17,7 +17,7 @@ from repro.isa.patterns import Coalesced, Strided
 from repro.obs.bus import Probe
 
 CFG = GPUConfig.scaled(2)
-SCHEDULERS = ("lrr", "tl", "gto", "pro")
+SCHEDULERS = ("lrr", "tl", "gto", "pro", "rlws", "wasp")
 
 kernel_recipes = st.fixed_dictionaries({
     "threads": st.sampled_from([32, 64, 96]),

@@ -73,6 +73,12 @@ class TestSpecParsing:
     def test_threshold_variant_scheduler_accepted(self):
         assert _run_spec(scheduler="pro-t500").scheduler == "pro-t500"
 
+    @pytest.mark.parametrize("sched", ["rlws", "wasp"])
+    def test_frontier_schedulers_accepted(self, sched):
+        """Registry-backed validation: new first-class schedulers are
+        submittable without touching the serve layer."""
+        assert _run_spec(scheduler=sched).scheduler == sched
+
 
 class TestContentKeys:
     def test_identical_specs_collide(self):
